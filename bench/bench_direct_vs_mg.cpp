@@ -1,0 +1,72 @@
+// Reproduction of the paper's §1 motivation: "direct methods possess
+// sub-optimal time and space complexity, as the scale of the problems
+// increase, when compared to iterative methods."
+//
+// Sweeps problem sizes and compares the sparse direct solver (Cholesky
+// with RCM ordering) against the automatic multigrid (FMG-PCG) on the
+// elastic cube: factor/iteration flops, fill, wall times, and where the
+// crossover falls. Shape claims: direct factor flops and fill grow
+// super-linearly with n while MG grows linearly, so MG overtakes the
+// direct method as the problem grows — exactly the argument that
+// motivates the paper.
+#include <cstdio>
+#include <cstdlib>
+
+#include "app/driver.h"
+#include "common/flops.h"
+#include "common/timer.h"
+#include "la/sparse_chol.h"
+#include "mg/hierarchy.h"
+#include "mg/solver.h"
+
+using namespace prom;
+
+int main() {
+  const bool full = std::getenv("PROM_BENCH_FULL") != nullptr;
+  std::vector<idx> sizes = {6, 8, 10, 12, 14};
+  if (full) sizes.push_back(18);
+
+  std::printf("Direct (sparse Cholesky + RCM) vs automatic multigrid "
+              "(FMG-PCG, rtol 1e-8)\n");
+  std::printf("%-8s | %-12s %-12s %-9s | %-9s %-12s %-9s | %-9s\n", "dofs",
+              "factor Mflop", "fill nnz(L)", "chol s", "MG its",
+              "solve Mflop", "MG s", "winner");
+  for (idx n : sizes) {
+    const app::ModelProblem model = app::make_box_problem(n);
+    fem::FeProblem fe(model.mesh, model.materials, model.dofmap);
+    const fem::LinearSystem sys = fem::assemble_linear_system(fe);
+
+    // Direct path.
+    Timer t;
+    const la::SparseCholesky chol(sys.stiffness);
+    std::vector<real> x_direct(sys.rhs.size());
+    chol.solve(sys.rhs, x_direct);
+    const double chol_time = t.seconds();
+
+    // Multigrid path (setup + solve counted).
+    t.reset();
+    reset_thread_flops();
+    mg::MgOptions mo;
+    const mg::Hierarchy h =
+        mg::Hierarchy::build(model.mesh, model.dofmap, sys.stiffness, mo);
+    std::vector<real> x(sys.rhs.size(), 0.0);
+    mg::MgSolveOptions so;
+    so.rtol = 1e-8;
+    FlopWindow solve_flops;
+    const la::KrylovResult res = mg_pcg_solve(h, sys.rhs, x, so);
+    const double mg_time = t.seconds();
+
+    std::printf("%-8d | %-12.1f %-12lld %-9.3f | %-9d %-12.1f %-9.3f | %s\n",
+                sys.stiffness.nrows, chol.factor_flops() / 1e6,
+                static_cast<long long>(chol.factor_nnz()), chol_time,
+                res.iterations, solve_flops.flops() / 1e6, mg_time,
+                chol.factor_flops() > solve_flops.flops() ? "MG (flops)"
+                                                          : "direct");
+  }
+  std::printf(
+      "\nshape claims: the direct factor's flops and fill grow super-"
+      "linearly in the\nnumber of unknowns, the multigrid solve grows "
+      "linearly with bounded iteration\ncounts; MG wins on flops from a "
+      "modest size on (the paper's §1 argument).\n");
+  return 0;
+}

@@ -1,0 +1,68 @@
+// Figure 12 reproduction: scaled efficiency of all major components of
+// one linear solve (solve for x, matrix setup, fine grid creation, mesh
+// setup, and total), normalized to the base case as
+//   e = (base per-unknown wall time) / (case per-unknown wall time),
+// which is the paper's 2/p * T(2)/T(p) * N(p)/N(2) normalization adapted
+// to a fixed host (the per-rank model covers the communication part in
+// Figure 11's bench).
+#include <cstdio>
+#include <cstdlib>
+
+#include "app/driver.h"
+
+using namespace prom;
+
+namespace {
+
+double per_unknown(double seconds, idx unknowns) {
+  return seconds / static_cast<double>(unknowns);
+}
+
+}  // namespace
+
+int main() {
+  const bool full = std::getenv("PROM_BENCH_FULL") != nullptr;
+  const auto series = app::scaled_series(full ? 4 : 3);
+
+  std::vector<app::LinearStudyReport> reports;
+  for (const app::ScaledCase& sc : series) {
+    const app::ModelProblem problem =
+        app::make_sphere_problem(sc.params, 1.2);
+    app::LinearStudyConfig cfg;
+    cfg.nranks = sc.ranks;
+    cfg.rtol = 1e-4;
+    reports.push_back(app::run_linear_study(problem, cfg));
+  }
+  const app::LinearStudyReport& base = reports.front();
+
+  std::printf("Figure 12: per-component scaled efficiencies "
+              "(1.0 = perfect; > 1.0 = super-linear)\n");
+  std::printf("%-10s %-7s %-10s %-11s %-11s %-11s %-9s\n", "equations",
+              "ranks", "solve x", "mat setup", "fine grid", "mesh setup",
+              "total");
+  for (const app::LinearStudyReport& r : reports) {
+    auto eff = [&](double base_t, double t) {
+      const double b = per_unknown(base_t, base.unknowns);
+      const double c = per_unknown(t, r.unknowns);
+      return c > 0 ? b / c : 0.0;
+    };
+    const double total_base = base.wall_partition + base.wall_fine_grid +
+                              base.wall_mesh_setup + base.wall_matrix_setup +
+                              base.wall_solve;
+    const double total_r = r.wall_partition + r.wall_fine_grid +
+                           r.wall_mesh_setup + r.wall_matrix_setup +
+                           r.wall_solve;
+    std::printf("%-10d %-7d %-10.2f %-11.2f %-11.2f %-11.2f %-9.2f\n",
+                r.unknowns, r.ranks, eff(base.wall_solve, r.wall_solve),
+                eff(base.wall_matrix_setup, r.wall_matrix_setup),
+                eff(base.wall_fine_grid, r.wall_fine_grid),
+                eff(base.wall_mesh_setup, r.wall_mesh_setup),
+                eff(total_base, total_r));
+  }
+  std::printf(
+      "\nshape claims vs the paper's Figure 12: every component's "
+      "efficiency\nstays within a band around 1.0 as the problem scales "
+      "(all phases scale);\nthe solve's efficiency benefits from the "
+      "super-linear iteration/flop terms.\n");
+  return 0;
+}

@@ -1,0 +1,79 @@
+// Figure 13 reproduction: the nonlinear crush study.
+//  - Left plot: percentage of "hard"-shell Gauss points in the plastic
+//    state after each of the 10 displacement steps (monotone growth of
+//    the plastic front).
+//  - Right plot: PCG iterations of every Newton solve of every step,
+//    stacked per problem size (roughly constant totals across sizes).
+// Scaled down per DESIGN.md substitutions 2 and 4: smaller meshes and a
+// gentler total crush (1.2 instead of 3.6) so the simplified finite-
+// strain kinematics remain in their robust range; the growth *shape* of
+// the plastic fraction and the flat iteration counts are the claims under
+// test.
+#include <cstdio>
+#include <cstdlib>
+#include <vector>
+
+#include "app/driver.h"
+#include "nonlinear/newton.h"
+
+using namespace prom;
+
+namespace {
+
+struct CaseConfig {
+  idx num_shells;
+  idx core, outer;
+  int steps;
+};
+
+}  // namespace
+
+int main() {
+  const bool full = std::getenv("PROM_BENCH_FULL") != nullptr;
+  std::vector<CaseConfig> cases = {{9, 1, 1, 10}, {13, 1, 1, 10}};
+  if (full) cases.push_back({17, 1, 1, 10});
+
+  std::printf("Figure 13: nonlinear crush study (10 'time' steps, "
+              "displacement control)\n\n");
+  for (const CaseConfig& cc : cases) {
+    mesh::SphereInCubeParams params;
+    params.num_shells = cc.num_shells;
+    params.base_core_layers = cc.core;
+    params.base_outer_layers = cc.outer;
+    const app::ModelProblem model = app::make_sphere_problem(params, 1.2);
+    std::printf("case: %d shells, %d dofs\n", cc.num_shells,
+                model.dofmap.num_free());
+    fem::FeProblem fe(model.mesh, model.materials, model.dofmap);
+    nonlinear::NewtonDriver driver(fe, mg::MgOptions{});
+
+    std::printf("  %-6s %-14s %-8s %-22s %-10s\n", "step",
+                "plastic %% (L)", "Newton", "PCG its per solve (R)", "total");
+    int grand_total = 0;
+    for (int s = 1; s <= cc.steps; ++s) {
+      const auto rep = driver.solve_step_adaptive(
+          static_cast<real>(s) / static_cast<real>(cc.steps));
+      int total = 0;
+      char detail[128] = {0};
+      std::size_t off = 0;
+      for (int it : rep.linear_iters) {
+        total += it;
+        if (off + 8 < sizeof detail) {
+          off += std::snprintf(detail + off, sizeof detail - off, "%d ", it);
+        }
+      }
+      grand_total += total;
+      std::printf("  %-6d %-14.2f %-8d %-22s %-10d%s\n", s,
+                  100 * rep.plastic_fraction, rep.newton_iters, detail,
+                  total, rep.converged ? "" : "  [FAILED]");
+      if (!rep.converged) break;
+    }
+    std::printf("  stacked total: %d PCG iterations\n\n", grand_total);
+  }
+  std::printf(
+      "shape claims vs the paper's Figure 13: the plastic fraction grows\n"
+      "monotonically over the steps to tens of percent (left; paper: 24%%\n"
+      "at its final step); Newton iterations per step stay ~5-8 (paper:\n"
+      "6-7) and the stacked PCG totals stay roughly constant across\n"
+      "problem sizes (right; paper: ~3000-4100 at every size).\n");
+  return 0;
+}

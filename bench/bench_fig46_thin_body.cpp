@@ -1,0 +1,89 @@
+// Figures 4-6 reproduction: the thin-body MIS pathology and its fix.
+// Figure 4 shows a plain MIS on a thin region losing the cover of one
+// surface; Figure 5 the modified graph (feature edges removed); Figure 6
+// the resulting MIS that keeps both surfaces. This bench quantifies the
+// effect on a one-element-thick plate, sweeping the thickness, and shows
+// the consequence for the multigrid solver (ablation called out in
+// DESIGN.md).
+#include <cstdio>
+
+#include "app/driver.h"
+#include "coarsen/coarsen.h"
+#include "fem/assembly.h"
+#include "mesh/generate.h"
+#include "mg/hierarchy.h"
+#include "mg/solver.h"
+
+using namespace prom;
+
+namespace {
+
+struct Row {
+  idx selected, top, bottom;
+  int iters;
+  bool converged;
+};
+
+Row run(idx nx, real lz, bool modify) {
+  mesh::Mesh mesh = mesh::thin_slab(nx, nx, 1, 16.0, 16.0, lz);
+  const graph::Graph g = mesh.vertex_graph();
+  const coarsen::Classification cls = coarsen::classify_mesh(mesh);
+  coarsen::CoarsenOptions copts;
+  copts.modify_graph = modify;
+  const auto level = coarsen::coarsen_level(mesh.coords(), g, cls, 0, copts);
+  Row row{static_cast<idx>(level.selected.size()), 0, 0, 0, false};
+  for (idx v : level.selected) {
+    if (mesh.coord(v).z > lz - 1e-9) row.top++;
+    if (mesh.coord(v).z < 1e-9) row.bottom++;
+  }
+  // MG solve of plate bending with this coarsening option.
+  fem::DofMap dofmap(mesh.num_vertices());
+  dofmap.fix_all(
+      mesh.vertices_where([](const Vec3& p) { return p.x < 1e-9; }), 0.0);
+  for (idx v : mesh.vertices_where(
+           [](const Vec3& p) { return p.x > 16.0 - 1e-9; })) {
+    dofmap.fix(v, 2, -0.2);
+  }
+  dofmap.finalize();
+  fem::Material mat;
+  fem::FeProblem problem(mesh, {mat}, dofmap);
+  fem::LinearSystem sys = fem::assemble_linear_system(problem);
+  mg::MgOptions mg_opts;
+  mg_opts.coarsen.modify_graph = modify;
+  mg_opts.coarsest_max_dofs = 250;
+  const mg::Hierarchy h =
+      mg::Hierarchy::build(mesh, dofmap, sys.stiffness, mg_opts);
+  std::vector<real> x(sys.rhs.size(), 0.0);
+  mg::MgSolveOptions so;
+  so.rtol = 1e-8;
+  so.max_iters = 500;
+  const la::KrylovResult res = mg_pcg_solve(h, sys.rhs, x, so);
+  row.iters = res.iterations;
+  row.converged = res.converged;
+  return row;
+}
+
+}  // namespace
+
+int main() {
+  std::printf("Figures 4-6: MIS on thin bodies, plain vs modified graph\n");
+  std::printf("%-10s %-10s | %-9s %-5s %-7s %-8s | %-9s %-5s %-7s %-8s\n",
+              "thickness", "plate", "plain:sel", "top", "bottom", "MG its",
+              "mod:sel", "top", "bottom", "MG its");
+  for (real lz : {2.0, 1.0, 0.5, 0.25}) {
+    const Row plain = run(16, lz, false);
+    const Row mod = run(16, lz, true);
+    std::printf(
+        "%-10.2f %-10s | %-9d %-5d %-7d %-8d | %-9d %-5d %-7d %-8d\n", lz,
+        "16x16x1", plain.selected, plain.top, plain.bottom, plain.iters,
+        mod.selected, mod.top, mod.bottom, mod.iters);
+  }
+  std::printf(
+      "\nshape claims: with the modified graph both surfaces keep a\n"
+      "comparable number of selected vertices at every thickness (Fig 6),\n"
+      "while the plain MIS lets one surface suppress the other as the\n"
+      "body gets thinner (Fig 4); the multigrid iteration count with the\n"
+      "modified graph is at least as good and typically better on the\n"
+      "thinnest plates.\n");
+  return 0;
+}

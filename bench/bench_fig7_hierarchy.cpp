@@ -1,0 +1,66 @@
+// Figure 7 reproduction: "Fine (input) grid and coarse grids for problem
+// in 3D elasticity" — the automatically generated grid hierarchy. Prints
+// per-level statistics (vertices, reduction ratios, classification, lost
+// vertices) for the concentric-spheres problem and writes each level's
+// mesh to fig7_level<k>.vtk (level 0 = input hexes, deeper levels =
+// Delaunay tet remeshes of the MIS vertex sets).
+#include <cstdio>
+#include <cstdlib>
+
+#include "app/driver.h"
+#include "coarsen/coarsen.h"
+#include "mesh/vtk.h"
+
+using namespace prom;
+
+int main() {
+  mesh::SphereInCubeParams params;
+  params.base_core_layers = 1;
+  params.base_outer_layers = 1;
+  const app::ModelProblem model = app::make_sphere_problem(params, 1.2);
+  std::printf("Figure 7: automatic grid hierarchy for the 3D elasticity "
+              "problem\n");
+  std::printf("input grid: %d vertices, %d hex cells\n\n",
+              model.mesh.num_vertices(), model.mesh.num_cells());
+  mesh::write_vtk("fig7_level0.vtk", model.mesh);
+
+  std::printf("%-6s %-10s %-10s %-11s %-7s %-22s %-12s\n", "level",
+              "vertices", "cells", "reduction", "lost", "classes i/s/e/c",
+              "edges cut");
+  std::vector<Vec3> coords = model.mesh.coords();
+  graph::Graph vgraph = model.mesh.vertex_graph();
+  coarsen::Classification cls = coarsen::classify_mesh(model.mesh);
+  {
+    const auto h = cls.type_histogram();
+    std::printf("%-6d %-10d %-10d %-11s %-7s %d/%d/%d/%d %-12s\n", 0,
+                static_cast<idx>(coords.size()), model.mesh.num_cells(), "-",
+                "-", h[0], h[1], h[2], h[3], "-");
+  }
+  for (int l = 0; l < 3; ++l) {
+    const coarsen::CoarsenLevelResult level =
+        coarsen::coarsen_level(coords, vgraph, cls, l, {});
+    const auto h = level.coarse_cls.type_histogram();
+    std::printf("%-6d %-10zu %-10d 1/%-9.2f %-7zu %d/%d/%d/%d %-12lld\n",
+                l + 1, level.selected.size(),
+                level.coarse_mesh.num_cells(),
+                static_cast<double>(coords.size()) / level.selected.size(),
+                level.lost.size(), h[0], h[1], h[2], h[3],
+                static_cast<long long>(level.graph_stats.edges_removed));
+    char name[64];
+    std::snprintf(name, sizeof name, "fig7_level%d.vtk", l + 1);
+    mesh::write_vtk(name, level.coarse_mesh);
+    // Advance.
+    std::vector<Vec3> next;
+    for (idx v : level.selected) next.push_back(coords[v]);
+    coords = std::move(next);
+    vgraph = level.coarse_mesh.vertex_graph();
+    cls = level.coarse_cls;
+    if (coords.size() < 30) break;
+  }
+  std::printf(
+      "\nwrote fig7_level0..3.vtk.  shape claims: vertex reduction per\n"
+      "level within the paper's uniform-hex band (1/8 .. 1/27 interior,\n"
+      "less on surface-dominated coarse grids); boundary and interface\n"
+      "vertices survive preferentially (the articulation heuristic).\n");
+  return 0;
+}

@@ -1,0 +1,178 @@
+// Kernel microbenchmarks (google-benchmark): the numerical and
+// algorithmic primitives the solver spends its time in — SpMV, the
+// Galerkin triple product, smoothers (including the block-count ablation
+// called out in DESIGN.md), greedy MIS, face identification, Delaunay
+// insertion, and the exact geometric predicates' fast path.
+#include <benchmark/benchmark.h>
+
+#include <map>
+
+#include "coarsen/classify.h"
+#include "common/rng.h"
+#include "coarsen/coarsen.h"
+#include "delaunay/delaunay.h"
+#include "fem/assembly.h"
+#include "geom/predicates.h"
+#include "graph/mis.h"
+#include "graph/order.h"
+#include "la/smoothers.h"
+#include "mesh/generate.h"
+#include "partition/greedy.h"
+
+using namespace prom;
+
+namespace {
+
+struct Assembled {
+  mesh::Mesh mesh;
+  fem::DofMap dofmap{0};
+  la::Csr stiffness;
+};
+
+const Assembled& assembled(idx n) {
+  static std::map<idx, Assembled> cache;
+  auto it = cache.find(n);
+  if (it == cache.end()) {
+    Assembled a;
+    a.mesh = mesh::box_hex(n, n, n, {0, 0, 0}, {1, 1, 1});
+    a.dofmap = fem::DofMap(a.mesh.num_vertices());
+    a.dofmap.fix_all(a.mesh.vertices_where(
+                         [](const Vec3& p) { return p.z < 1e-12; }),
+                     0);
+    a.dofmap.finalize();
+    fem::FeProblem prob(a.mesh, {fem::Material{}}, a.dofmap);
+    a.stiffness = fem::assemble_linear_system(prob).stiffness;
+    it = cache.emplace(n, std::move(a)).first;
+  }
+  return it->second;
+}
+
+void BM_Spmv(benchmark::State& state) {
+  const Assembled& a = assembled(static_cast<idx>(state.range(0)));
+  std::vector<real> x(a.stiffness.ncols, 1.0), y(a.stiffness.nrows);
+  for (auto _ : state) {
+    a.stiffness.spmv(x, y);
+    benchmark::DoNotOptimize(y.data());
+  }
+  state.SetItemsProcessed(state.iterations() * a.stiffness.nnz());
+}
+BENCHMARK(BM_Spmv)->Arg(8)->Arg(12)->Arg(16);
+
+void BM_GalerkinTripleProduct(benchmark::State& state) {
+  const Assembled& a = assembled(static_cast<idx>(state.range(0)));
+  const graph::Graph g = a.mesh.vertex_graph();
+  const coarsen::Classification cls = coarsen::classify_mesh(a.mesh);
+  const auto level =
+      coarsen::coarsen_level(a.mesh.coords(), g, cls, 0, {});
+  std::vector<idx> coarse_free;
+  for (idx c = 0; c < static_cast<idx>(level.selected.size()); ++c) {
+    for (int comp = 0; comp < 3; ++comp) {
+      if (!a.dofmap.is_constrained(3 * level.selected[c] + comp)) {
+        coarse_free.push_back(3 * c + comp);
+      }
+    }
+  }
+  const la::Csr r = coarsen::expand_restriction_to_dofs(
+      level.r_vertex, a.dofmap.free_dofs(), coarse_free);
+  for (auto _ : state) {
+    const la::Csr coarse = la::galerkin_product(r, a.stiffness);
+    benchmark::DoNotOptimize(coarse.nnz());
+  }
+}
+BENCHMARK(BM_GalerkinTripleProduct)->Arg(8)->Arg(10);
+
+void BM_BlockJacobiSweep(benchmark::State& state) {
+  // Block-count ablation: the paper's 6 blocks/1000 unknowns vs denser
+  // and sparser alternatives.
+  const Assembled& a = assembled(10);
+  const idx per1000 = static_cast<idx>(state.range(0));
+  std::vector<std::pair<idx, idx>> edges;
+  for (idx i = 0; i < a.stiffness.nrows; ++i) {
+    for (nnz_t k = a.stiffness.rowptr[i]; k < a.stiffness.rowptr[i + 1];
+         ++k) {
+      if (a.stiffness.colidx[k] > i) {
+        edges.emplace_back(i, a.stiffness.colidx[k]);
+      }
+    }
+  }
+  const graph::Graph g = graph::Graph::from_edges(a.stiffness.nrows, edges);
+  const la::BlockJacobiSmoother smoother(
+      a.stiffness, partition::block_jacobi_blocks(g, per1000), 0.6);
+  std::vector<real> b(a.stiffness.nrows, 1.0), x(a.stiffness.nrows, 0.0);
+  for (auto _ : state) {
+    smoother.smooth(b, x);
+    benchmark::DoNotOptimize(x.data());
+  }
+}
+BENCHMARK(BM_BlockJacobiSweep)->Arg(2)->Arg(6)->Arg(20);
+
+void BM_GreedyMis(benchmark::State& state) {
+  const Assembled& a = assembled(static_cast<idx>(state.range(0)));
+  const graph::Graph g = a.mesh.vertex_graph();
+  const auto order = graph::random_order(g.num_vertices(), 1);
+  for (auto _ : state) {
+    const auto mis = graph::greedy_mis(g, order, {});
+    benchmark::DoNotOptimize(mis.selected.size());
+  }
+  state.SetItemsProcessed(state.iterations() * g.num_vertices());
+}
+BENCHMARK(BM_GreedyMis)->Arg(12)->Arg(16);
+
+void BM_FaceIdentification(benchmark::State& state) {
+  const Assembled& a = assembled(static_cast<idx>(state.range(0)));
+  const auto facets = mesh::boundary_facets(a.mesh);
+  const auto adj = mesh::facet_adjacency(facets);
+  for (auto _ : state) {
+    const auto faces = coarsen::identify_faces(facets, adj);
+    benchmark::DoNotOptimize(faces.num_faces);
+  }
+  state.SetItemsProcessed(state.iterations() * facets.size());
+}
+BENCHMARK(BM_FaceIdentification)->Arg(12)->Arg(16);
+
+void BM_DelaunayBuild(benchmark::State& state) {
+  const idx n = static_cast<idx>(state.range(0));
+  Rng rng(7);
+  std::vector<Vec3> pts(static_cast<std::size_t>(n));
+  for (Vec3& p : pts) {
+    p = {rng.next_real(), rng.next_real(), rng.next_real()};
+  }
+  for (auto _ : state) {
+    const delaunay::Delaunay3 dt(pts);
+    benchmark::DoNotOptimize(dt.num_alive_tets());
+  }
+  state.SetItemsProcessed(state.iterations() * n);
+}
+BENCHMARK(BM_DelaunayBuild)->Arg(200)->Arg(1000);
+
+void BM_Orient3dFastPath(benchmark::State& state) {
+  Rng rng(3);
+  std::vector<Vec3> pts(4000);
+  for (Vec3& p : pts) {
+    p = {rng.next_real(), rng.next_real(), rng.next_real()};
+  }
+  std::size_t i = 0;
+  for (auto _ : state) {
+    const real d = orient3d(pts[i % 4000], pts[(i + 1) % 4000],
+                            pts[(i + 2) % 4000], pts[(i + 3) % 4000]);
+    benchmark::DoNotOptimize(d);
+    ++i;
+  }
+}
+BENCHMARK(BM_Orient3dFastPath);
+
+void BM_Assembly(benchmark::State& state) {
+  const Assembled& a = assembled(static_cast<idx>(state.range(0)));
+  fem::FeProblem prob(a.mesh, {fem::Material{}}, a.dofmap);
+  const std::vector<real> u(a.dofmap.num_dofs(), 0.0);
+  for (auto _ : state) {
+    const auto res = prob.assemble(u, true);
+    benchmark::DoNotOptimize(res.stiffness.nnz());
+  }
+  state.SetItemsProcessed(state.iterations() * a.mesh.num_cells());
+}
+BENCHMARK(BM_Assembly)->Arg(8)->Arg(12);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,71 @@
+// §4.7 reproduction: the effect of vertex ordering on MIS density. On a
+// uniform 3D hex mesh the MIS-to-vertex ratio is bounded by 1/27 and 1/8
+// (every third vs every second vertex per dimension); natural orders give
+// dense MISs near the upper bound, random orders sparse ones. Also sweeps
+// the exterior-natural/interior-random combination the paper recommends,
+// and the corner-protection ablation (DESIGN.md).
+#include <cstdio>
+
+#include "coarsen/coarsen.h"
+#include "graph/mis.h"
+#include "graph/order.h"
+#include "mesh/generate.h"
+
+using namespace prom;
+
+namespace {
+
+double mis_ratio(const mesh::Mesh& m, coarsen::MisOrdering exterior,
+                 coarsen::MisOrdering interior, bool modify_graph) {
+  const graph::Graph g = m.vertex_graph();
+  const coarsen::Classification cls = coarsen::classify_mesh(m);
+  coarsen::CoarsenOptions opts;
+  opts.exterior_order = exterior;
+  opts.interior_order = interior;
+  opts.modify_graph = modify_graph;
+  const graph::Graph* mis_graph = &g;
+  graph::Graph modified;
+  if (modify_graph) {
+    modified = coarsen::modified_mis_graph(g, cls);
+    mis_graph = &modified;
+  }
+  const std::vector<idx> ranks = cls.ranks();
+  graph::MisOptions mopts;
+  mopts.ranks = ranks;
+  const auto mis =
+      graph::greedy_mis(*mis_graph, coarsen::mis_ordering(cls, opts), mopts);
+  return static_cast<double>(mis.selected.size()) / m.num_vertices();
+}
+
+}  // namespace
+
+int main() {
+  using Ord = coarsen::MisOrdering;
+  std::printf("Section 4.7: MIS size vs vertex ordering on uniform hex "
+              "meshes\n");
+  std::printf("(uniform-mesh bounds: 1/27 = %.4f <= ratio <= 1/8 = %.4f)\n\n",
+              1.0 / 27, 1.0 / 8);
+  std::printf("%-8s %-10s | %-16s %-16s %-20s\n", "mesh", "vertices",
+              "natural/natural", "random/random", "natural-ext/random-int");
+  for (idx n : {8, 12, 16, 20}) {
+    const mesh::Mesh m = mesh::box_hex(n, n, n, {0, 0, 0}, {1, 1, 1});
+    const double nat = mis_ratio(m, Ord::kNatural, Ord::kNatural, true);
+    const double rnd = mis_ratio(m, Ord::kRandom, Ord::kRandom, true);
+    const double mix = mis_ratio(m, Ord::kNatural, Ord::kRandom, true);
+    std::printf("%2dx%2dx%2d %-10d | 1/%-14.2f 1/%-14.2f 1/%-18.2f\n", n, n,
+                n, m.num_vertices(), 1 / nat, 1 / rnd, 1 / mix);
+  }
+
+  std::printf("\nablation: graph modification effect on MIS size "
+              "(16^3 mesh)\n");
+  const mesh::Mesh m = mesh::box_hex(16, 16, 16, {0, 0, 0}, {1, 1, 1});
+  std::printf("  modified graph : ratio 1/%.2f\n",
+              1 / mis_ratio(m, Ord::kNatural, Ord::kRandom, true));
+  std::printf("  plain graph    : ratio 1/%.2f\n",
+              1 / mis_ratio(m, Ord::kNatural, Ord::kRandom, false));
+  std::printf(
+      "\nshape claims: natural orderings yield denser (larger) MISs than\n"
+      "random ones; all ratios inside (or near) the paper's [1/27, 1/8]\n"
+      "band; the recommended mixed ordering lands between the extremes.\n");
+  return 0;
+}

@@ -1,0 +1,109 @@
+// Table 1 reproduction: the two nonlinear materials of the §7 model
+// problem. Table 1 is configuration, not measurement, so this harness
+// prints the configured constitution AND verifies it by driving each
+// material through single-Gauss-point tests: uniaxial stiffness (E),
+// lateral contraction (nu), yield onset and hardening slope for the hard
+// J2 material, and the large-deformation response of the soft Neo-Hookean
+// material.
+#include <cmath>
+#include <cstdio>
+
+#include "fem/material.h"
+
+using namespace prom;
+using namespace prom::fem;
+
+namespace {
+
+/// Uniaxial stress response of the J2 material at total strain e11 (with
+/// the lateral strains iterated so sigma22 = sigma33 = 0).
+Mat3 j2_uniaxial_stress(const Material& mat, real e11, const J2State& state,
+                        J2State& updated) {
+  real lateral = -mat.poisson * e11;
+  Mat3 stress;
+  Tangent c;
+  for (int it = 0; it < 60; ++it) {
+    Mat3 strain = Mat3::zero();
+    strain(0, 0) = e11;
+    strain(1, 1) = strain(2, 2) = lateral;
+    j2_radial_return(mat, strain, state, updated, stress, c);
+    if (std::fabs(stress(1, 1)) < 1e-14 * mat.youngs) break;
+    // Newton on the lateral strain: d(sigma22)/d(lateral) ~ C2222 + C2233.
+    const real slope =
+        tangent_at(c, 1, 1, 1, 1) + tangent_at(c, 1, 1, 2, 2);
+    lateral -= stress(1, 1) / slope;
+  }
+  return stress;
+}
+
+}  // namespace
+
+int main() {
+  std::printf("Table 1: nonlinear materials (paper values + verification)\n");
+  std::printf(
+      "%-8s %-12s %-9s %-12s %-12s %-12s\n", "material", "elastic mod.",
+      "Poisson", "deformation", "yield", "hardening");
+  const Material soft = Material::paper_soft();
+  const Material hard = Material::paper_hard();
+  std::printf("%-8s %-12g %-9g %-12s %-12s %-12s\n", "soft", soft.youngs,
+              soft.poisson, "large (NH)", "-", "-");
+  std::printf("%-8s %-12g %-9g %-12s %-12g %-12s\n", "hard", hard.youngs,
+              hard.poisson, "large*", hard.yield_stress, "0.002 E");
+  std::printf("  (* J2 update via small-strain radial return, see "
+              "DESIGN.md substitution 4)\n\n");
+
+  // --- Verify the hard material: uniaxial stress-strain curve. ---
+  std::printf("hard material uniaxial response (J2, kinematic hardening):\n");
+  std::printf("%-10s %-14s %-14s %-10s\n", "strain", "stress", "tangent E",
+              "plastic?");
+  J2State state;
+  real prev_strain = 0, prev_stress = 0;
+  real measured_e = 0, measured_h_slope = 0;
+  const real yield_strain = hard.yield_stress / hard.youngs;
+  for (real e11 : {0.2 * yield_strain, 0.6 * yield_strain,
+                   2.0 * yield_strain, 6.0 * yield_strain,
+                   12.0 * yield_strain}) {
+    J2State updated;
+    const Mat3 stress = j2_uniaxial_stress(hard, e11, state, updated);
+    const real slope =
+        (stress(0, 0) - prev_stress) / (e11 - prev_strain);
+    if (e11 < yield_strain) measured_e = slope;
+    if (e11 > 4 * yield_strain) measured_h_slope = slope;
+    std::printf("%-10.5f %-14.6e %-14.4e %-10s\n", e11, stress(0, 0), slope,
+                updated.has_yielded() ? "yes" : "no");
+    prev_strain = e11;
+    prev_stress = stress(0, 0);
+  }
+  std::printf("  measured elastic modulus : %.4f (Table 1: %.4f)\n",
+              measured_e, hard.youngs);
+  // Linear kinematic hardening: uniaxial elastoplastic slope is
+  // E_T = E*H / (E + H) with H the hardening modulus.
+  const real expected_tangent =
+      hard.youngs * hard.hardening / (hard.youngs + hard.hardening);
+  std::printf("  measured hardening slope : %.6f (E*H/(E+H) = %.6f)\n\n",
+              measured_h_slope, expected_tangent);
+
+  // --- Verify the soft material: Neo-Hookean uniaxial stretch. ---
+  std::printf("soft material uniaxial stretch (Neo-Hookean, nu = %.2f):\n",
+              soft.poisson);
+  std::printf("%-10s %-14s %-14s\n", "stretch", "P11", "small-strain E*e");
+  for (real stretch : {0.999, 0.99, 0.95, 0.9, 0.8}) {
+    // Iterate lateral stretch for a uniaxial stress state.
+    real lat = 1 + soft.poisson * (1 - stretch);
+    Mat3 p;
+    Tangent a;
+    for (int it = 0; it < 80; ++it) {
+      Mat3 f = Mat3::zero();
+      f(0, 0) = stretch;
+      f(1, 1) = f(2, 2) = lat;
+      neo_hookean_stress(soft, f, p, a);
+      if (std::fabs(p(1, 1)) < 1e-18) break;
+      lat -= p(1, 1) / tangent_at(a, 1, 1, 1, 1);
+    }
+    std::printf("%-10.3f %-14.6e %-14.6e\n", stretch, p(0, 0),
+                soft.youngs * (stretch - 1));
+  }
+  std::printf("  (response follows E*e for small strain, stiffening "
+              "nonlinearly in compression)\n");
+  return 0;
+}

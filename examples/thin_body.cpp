@@ -1,0 +1,102 @@
+// The thin-body scenario of Figures 4-6: on a plate one element thick,
+// the plain MIS lets one surface decimate the other and the coarse grid
+// loses the geometry; the feature-aware modified graph (§4.6) keeps both
+// surfaces represented and improves the multigrid convergence rate.
+//
+// Prints MIS statistics and solver iteration counts for both variants and
+// writes thin_body_mis_{plain,modified}.vtk with the selection marked.
+#include <cstdio>
+
+#include "app/driver.h"
+#include "coarsen/coarsen.h"
+#include "fem/assembly.h"
+#include "mesh/generate.h"
+#include "mesh/vtk.h"
+#include "mg/hierarchy.h"
+#include "mg/solver.h"
+
+using namespace prom;
+
+namespace {
+
+struct VariantResult {
+  idx selected_top = 0, selected_bottom = 0, selected_total = 0;
+  int iterations = 0;
+  bool converged = false;
+};
+
+VariantResult run_variant(bool modify_graph) {
+  const real lz = 0.5;
+  mesh::Mesh mesh = mesh::thin_slab(16, 16, 1, 16.0, 16.0, lz);
+  // MIS statistics for this variant.
+  const graph::Graph g = mesh.vertex_graph();
+  const coarsen::Classification cls = coarsen::classify_mesh(mesh);
+  coarsen::CoarsenOptions copts;
+  copts.modify_graph = modify_graph;
+  const coarsen::CoarsenLevelResult level =
+      coarsen::coarsen_level(mesh.coords(), g, cls, 0, copts);
+
+  VariantResult out;
+  out.selected_total = static_cast<idx>(level.selected.size());
+  std::vector<real> marker(static_cast<std::size_t>(mesh.num_vertices()), 0);
+  for (idx v : level.selected) {
+    marker[v] = 1;
+    if (mesh.coord(v).z > lz - 1e-9) out.selected_top++;
+    if (mesh.coord(v).z < 1e-9) out.selected_bottom++;
+  }
+  mesh::VtkFields fields;
+  fields.vertex_scalar = marker;
+  fields.vertex_scalar_name = "mis_selected";
+  mesh::write_vtk(modify_graph ? "thin_body_mis_modified.vtk"
+                               : "thin_body_mis_plain.vtk",
+                  mesh, fields);
+
+  // Multigrid solve of a bending-dominated elasticity problem on the
+  // plate, using this variant's coarsening throughout the hierarchy.
+  fem::DofMap dofmap(mesh.num_vertices());
+  dofmap.fix_all(
+      mesh.vertices_where([](const Vec3& p) { return p.x < 1e-9; }), 0.0);
+  for (idx v : mesh.vertices_where(
+           [](const Vec3& p) { return p.x > 16.0 - 1e-9; })) {
+    dofmap.fix(v, 2, -0.2);
+  }
+  dofmap.finalize();
+  fem::Material mat;
+  fem::FeProblem problem(mesh, {mat}, dofmap);
+  fem::LinearSystem sys = fem::assemble_linear_system(problem);
+  mg::MgOptions mg_opts;
+  mg_opts.coarsen.modify_graph = modify_graph;
+  mg_opts.coarsest_max_dofs = 200;
+  const mg::Hierarchy h =
+      mg::Hierarchy::build(mesh, dofmap, sys.stiffness, mg_opts);
+  std::vector<real> x(sys.rhs.size(), 0.0);
+  mg::MgSolveOptions so;
+  so.rtol = 1e-8;
+  so.max_iters = 400;
+  const la::KrylovResult res = mg_pcg_solve(h, sys.rhs, x, so);
+  out.iterations = res.iterations;
+  out.converged = res.converged;
+  return out;
+}
+
+}  // namespace
+
+int main() {
+  std::printf("thin plate, one element through the thickness (Figs 4-6)\n\n");
+  const VariantResult plain = run_variant(false);
+  const VariantResult modified = run_variant(true);
+  std::printf("%-22s %10s %10s %10s %12s\n", "MIS graph", "selected",
+              "top srf", "bottom srf", "MG-PCG its");
+  std::printf("%-22s %10d %10d %10d %12d%s\n", "plain (Fig 4)",
+              plain.selected_total, plain.selected_top, plain.selected_bottom,
+              plain.iterations, plain.converged ? "" : " (not conv.)");
+  std::printf("%-22s %10d %10d %10d %12d%s\n", "modified (Figs 5-6)",
+              modified.selected_total, modified.selected_top,
+              modified.selected_bottom, modified.iterations,
+              modified.converged ? "" : " (not conv.)");
+  std::printf(
+      "\nThe modified graph keeps both surfaces of the thin body in the\n"
+      "coarse grid (compare the 'top srf'/'bottom srf' counts) as in\n"
+      "Figure 6; wrote thin_body_mis_plain.vtk / thin_body_mis_modified.vtk\n");
+  return 0;
+}

@@ -1,0 +1,82 @@
+// "Athena" — the end-to-end experiment driver of Figure 8: generate the
+// model problem, partition it, create the fine grid (assembly), build the
+// grid hierarchy (mesh setup), build the Galerkin operators (matrix
+// setup), and run the solve phase on virtual ranks, with per-phase wall
+// times and the §6 flop/traffic measurements the benches print.
+#pragma once
+
+#include <vector>
+
+#include "common/config.h"
+#include "fem/assembly.h"
+#include "mesh/generate.h"
+#include "mg/hierarchy.h"
+#include "mg/solver.h"
+#include "nonlinear/newton.h"
+#include "perf/efficiency.h"
+#include "perf/model.h"
+
+namespace prom::app {
+
+/// A ready-to-solve model problem (mesh + constraints + materials).
+struct ModelProblem {
+  mesh::Mesh mesh;
+  fem::DofMap dofmap{0};
+  std::vector<fem::Material> materials;
+};
+
+/// The paper's §7 concentric-spheres problem: symmetric BCs on the three
+/// cut faces, uniform crushing displacement on the top face.
+ModelProblem make_sphere_problem(const mesh::SphereInCubeParams& params,
+                                 real crush);
+
+/// A homogeneous elastic cube: bottom clamped, top pressed down; the
+/// simple scalable problem used by tests and the quickstart.
+ModelProblem make_box_problem(idx n, real crush = 0.05,
+                              fem::Material material = {});
+
+struct LinearStudyConfig {
+  int nranks = 2;
+  real rtol = 1e-4;             ///< the paper's first-linear-solve tolerance
+  int max_iters = 200;
+  mg::MgOptions mg;
+  mg::CycleKind cycle = mg::CycleKind::kFmg;
+};
+
+/// Everything Figures 10-12 and Table 2 need from one linear solve.
+struct LinearStudyReport {
+  idx unknowns = 0;
+  int ranks = 0;
+  int levels = 0;
+  int iterations = 0;
+  bool converged = false;
+
+  // Wall-clock phase breakdown on the host (Figure 10's phases).
+  double wall_partition = 0;     ///< Athena: partitioning
+  double wall_fine_grid = 0;     ///< FEAP: fine grid creation (assembly)
+  double wall_mesh_setup = 0;    ///< Prometheus: coarse grid construction
+  double wall_matrix_setup = 0;  ///< Epimetheus: RAR^T + smoother setup
+  double wall_solve = 0;         ///< PETSc: the actual MG-PCG solve
+
+  // Solve-phase measurements across virtual ranks (§6).
+  perf::PhaseStats solve_phase;
+  double modeled_solve_time = 0;   ///< machine-model seconds
+  double modeled_mflops = 0;       ///< total modeled Mflop/s in MG iterations
+
+  perf::RunMeasurement measurement() const;
+};
+
+/// Runs the distributed first linear solve of `problem` on virtual ranks.
+LinearStudyReport run_linear_study(const ModelProblem& problem,
+                                   const LinearStudyConfig& config);
+
+/// The scaled-problem series of §7 (~constant work per rank): returns the
+/// sphere parameters and rank count for step `i` of the series, starting
+/// from `base_ranks` ranks at `layers_per_shell` == 1.
+struct ScaledCase {
+  mesh::SphereInCubeParams params;
+  int ranks;
+};
+std::vector<ScaledCase> scaled_series(int num_cases, int base_ranks = 2);
+
+}  // namespace prom::app

@@ -1,0 +1,97 @@
+#include "coarsen/classify.h"
+
+#include <algorithm>
+#include <map>
+#include <set>
+#include <utility>
+
+#include "common/error.h"
+
+namespace prom::coarsen {
+
+bool Classification::share_face(idx u, idx v) const {
+  const auto fu = faces_of(u);
+  const auto fv = faces_of(v);
+  // Both lists are sorted; merge-scan.
+  std::size_t i = 0, j = 0;
+  while (i < fu.size() && j < fv.size()) {
+    if (fu[i] == fv[j]) return true;
+    if (fu[i] < fv[j]) {
+      ++i;
+    } else {
+      ++j;
+    }
+  }
+  return false;
+}
+
+std::array<idx, 4> Classification::type_histogram() const {
+  std::array<idx, 4> h{0, 0, 0, 0};
+  for (VertexType t : type) h[static_cast<int>(t)]++;
+  return h;
+}
+
+std::vector<idx> Classification::ranks() const {
+  std::vector<idx> r(type.size());
+  for (std::size_t v = 0; v < type.size(); ++v) {
+    r[v] = static_cast<idx>(type[v]);
+  }
+  return r;
+}
+
+Classification classify_vertices(idx num_vertices,
+                                 std::span<const mesh::Facet> facets,
+                                 const FaceIdResult& faces) {
+  PROM_CHECK(faces.face_id.size() == facets.size());
+
+  // Distinct (face, material) pairs per vertex.
+  std::vector<std::set<std::pair<idx, idx>>> vert_faces(
+      static_cast<std::size_t>(num_vertices));
+  for (std::size_t f = 0; f < facets.size(); ++f) {
+    for (idx v : facets[f].vertices()) {
+      vert_faces[v].insert({faces.face_id[f], facets[f].material});
+    }
+  }
+
+  Classification cls;
+  cls.type.assign(static_cast<std::size_t>(num_vertices),
+                  VertexType::kInterior);
+  cls.vface_ptr.assign(static_cast<std::size_t>(num_vertices) + 1, 0);
+
+  for (idx v = 0; v < num_vertices; ++v) {
+    const auto& fs = vert_faces[v];
+    if (fs.empty()) continue;
+    // Faces per material; the vertex type is driven by the most featured
+    // side so a flat interface is "surface" even though it has two sides.
+    std::map<idx, idx> per_material;
+    for (const auto& [face, material] : fs) per_material[material]++;
+    idx worst = 0;
+    for (const auto& [material, count] : per_material) {
+      worst = std::max(worst, count);
+    }
+    cls.type[v] = worst == 1 ? VertexType::kSurface
+                  : worst == 2 ? VertexType::kEdge
+                               : VertexType::kCorner;
+  }
+
+  // CSR of distinct face ids per vertex (material-agnostic: the feature
+  // heuristic only asks "do u and v share a face?").
+  for (idx v = 0; v < num_vertices; ++v) {
+    std::set<idx> distinct;
+    for (const auto& [face, material] : vert_faces[v]) distinct.insert(face);
+    cls.vface_ptr[v + 1] =
+        cls.vface_ptr[v] + static_cast<nnz_t>(distinct.size());
+    cls.vface.insert(cls.vface.end(), distinct.begin(), distinct.end());
+  }
+  return cls;
+}
+
+Classification classify_mesh(const mesh::Mesh& mesh,
+                             const FaceIdOptions& opts) {
+  const std::vector<mesh::Facet> facets = mesh::boundary_facets(mesh);
+  const graph::Graph adj = mesh::facet_adjacency(facets);
+  const FaceIdResult faces = identify_faces(facets, adj, opts);
+  return classify_vertices(mesh.num_vertices(), facets, faces);
+}
+
+}  // namespace prom::coarsen

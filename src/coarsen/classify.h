@@ -1,0 +1,59 @@
+// Topological classification of vertices (§4.3–4.4): from the identified
+// faces, vertices are typed as interior (touching no boundary facet),
+// surface (exactly one face), edge (two faces) or corner (more than two),
+// giving the MIS ranks 0..3. Material interfaces contribute one face per
+// side; the type counts faces per material and takes the worst side, so a
+// vertex on a smooth two-sided interface is a *surface* vertex, not an
+// edge vertex.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "common/config.h"
+#include "coarsen/faces.h"
+#include "mesh/mesh.h"
+
+namespace prom::coarsen {
+
+enum class VertexType : std::uint8_t {
+  kInterior = 0,
+  kSurface = 1,
+  kEdge = 2,
+  kCorner = 3,
+};
+
+struct Classification {
+  std::vector<VertexType> type;  ///< per vertex
+  /// Distinct incident face ids per vertex (CSR, sorted within a vertex) —
+  /// the "feature sets" used by the modified-graph heuristic (§4.6).
+  std::vector<nnz_t> vface_ptr;
+  std::vector<idx> vface;
+
+  idx num_vertices() const { return static_cast<idx>(type.size()); }
+  idx rank(idx v) const { return static_cast<idx>(type[v]); }
+  std::span<const idx> faces_of(idx v) const {
+    return {vface.data() + vface_ptr[v],
+            static_cast<std::size_t>(vface_ptr[v + 1] - vface_ptr[v])};
+  }
+  /// True if u and v touch at least one common face.
+  bool share_face(idx u, idx v) const;
+
+  /// Count of vertices of each type (diagnostics / tests).
+  std::array<idx, 4> type_histogram() const;
+
+  /// All ranks as a vector (for graph::MisOptions).
+  std::vector<idx> ranks() const;
+};
+
+/// Classifies all `num_vertices` vertices of the mesh whose boundary
+/// facets and face ids are given.
+Classification classify_vertices(idx num_vertices,
+                                 std::span<const mesh::Facet> facets,
+                                 const FaceIdResult& faces);
+
+/// One-call convenience: facets + adjacency + face id + classification.
+Classification classify_mesh(const mesh::Mesh& mesh,
+                             const FaceIdOptions& opts = {});
+
+}  // namespace prom::coarsen

@@ -1,0 +1,59 @@
+// One level of the automatic coarsening pipeline (§3): classify → modify
+// graph → MIS → Delaunay remesh → restriction. Applied recursively by
+// mg::Hierarchy, "to produce a series of coarse grids, and their attendant
+// operators, from a 'fine' (application provided) grid."
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "coarsen/classify.h"
+#include "coarsen/modified_graph.h"
+#include "coarsen/restriction.h"
+#include "graph/graph.h"
+#include "graph/mis.h"
+
+namespace prom::coarsen {
+
+enum class MisOrdering : std::uint8_t { kNatural, kRandom };
+
+struct CoarsenOptions {
+  FaceIdOptions face;
+  RestrictionOptions restriction;
+  /// Apply the §4.6 feature-aware edge deletion.
+  bool modify_graph = true;
+  /// Grids with index >= this are reclassified from their own (tet) mesh;
+  /// below it they inherit the type of their fine parent vertex. Paper:
+  /// "we generally reclassify the third and subsequent grids" → 2.
+  int reclassify_from_level = 2;
+  /// §4.7: "use natural ordering for the exterior vertices and a random
+  /// ordering for the interior vertices."
+  MisOrdering exterior_order = MisOrdering::kNatural;
+  MisOrdering interior_order = MisOrdering::kRandom;
+  std::uint64_t seed = 0x9d15u;
+};
+
+/// MIS traversal order per §4.7: exterior vertices first (their relative
+/// order natural or random per options), then interior vertices. The rank
+/// sort inside greedy_mis dominates, so only the within-class order
+/// matters here.
+std::vector<idx> mis_ordering(const Classification& cls,
+                              const CoarsenOptions& opts);
+
+struct CoarsenLevelResult {
+  std::vector<idx> selected;       ///< MIS (fine-level vertex indices)
+  la::Csr r_vertex;                ///< n_coarse x n_fine weights
+  mesh::Mesh coarse_mesh;          ///< pruned Delaunay tets, coarse-local
+  Classification coarse_cls;      ///< classification of the coarse grid
+  std::vector<idx> lost;           ///< fine vertices on the fallback path
+  ModifiedGraphStats graph_stats;
+};
+
+/// Coarsens one grid. `level_index` is the index of the *fine* grid being
+/// coarsened (0 = application grid); it controls reclassification.
+CoarsenLevelResult coarsen_level(const std::vector<Vec3>& coords,
+                                 const graph::Graph& vertex_graph,
+                                 const Classification& cls, int level_index,
+                                 const CoarsenOptions& opts = {});
+
+}  // namespace prom::coarsen

@@ -1,0 +1,37 @@
+#include "coarsen/faces.h"
+
+#include <deque>
+
+#include "common/error.h"
+
+namespace prom::coarsen {
+
+FaceIdResult identify_faces(std::span<const mesh::Facet> facets,
+                            const graph::Graph& facet_adj,
+                            const FaceIdOptions& opts) {
+  PROM_CHECK(facet_adj.num_vertices() == static_cast<idx>(facets.size()));
+  FaceIdResult result;
+  result.face_id.assign(facets.size(), kInvalidIdx);
+
+  for (idx seed = 0; seed < static_cast<idx>(facets.size()); ++seed) {
+    if (result.face_id[seed] != kInvalidIdx) continue;
+    const Vec3 root_norm = facets[seed].normal;
+    const idx current_id = result.face_id[seed] = result.num_faces++;
+    std::deque<idx> queue{seed};
+    while (!queue.empty()) {
+      const idx f = queue.front();
+      queue.pop_front();
+      for (idx f1 : facet_adj.neighbors(f)) {
+        if (result.face_id[f1] != kInvalidIdx) continue;
+        if (dot(root_norm, facets[f1].normal) > opts.tol &&
+            dot(facets[f].normal, facets[f1].normal) > opts.tol) {
+          result.face_id[f1] = current_id;
+          queue.push_back(f1);
+        }
+      }
+    }
+  }
+  return result;
+}
+
+}  // namespace prom::coarsen

@@ -1,0 +1,36 @@
+// Face identification (the paper's Figure 3): partitions the boundary
+// facets of a mesh into "faces" — maximal somewhat-flat manifolds — by
+// breadth-first growth from seed facets, constrained so every facet in a
+// face keeps normal agreement (dot product > TOL) with both the face's
+// root facet and its BFS parent neighbor.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "common/config.h"
+#include "graph/graph.h"
+#include "mesh/mesh.h"
+
+namespace prom::coarsen {
+
+struct FaceIdOptions {
+  /// Minimum cosine between facet normals within a face (the paper's user
+  /// tolerance TOL, -1 < TOL <= 1). cos(30 deg) by default.
+  real tol = 0.866;
+};
+
+struct FaceIdResult {
+  /// face id per facet, in [0, num_faces).
+  std::vector<idx> face_id;
+  idx num_faces = 0;
+};
+
+/// Serial face identification over `facets` with adjacency `facet_adj`
+/// (from mesh::facet_adjacency). Deterministic: seeds are taken in facet
+/// index order, exactly as Figure 3's "forall f in facet_list".
+FaceIdResult identify_faces(std::span<const mesh::Facet> facets,
+                            const graph::Graph& facet_adj,
+                            const FaceIdOptions& opts = {});
+
+}  // namespace prom::coarsen

@@ -1,0 +1,33 @@
+#include "coarsen/modified_graph.h"
+
+#include <utility>
+#include <vector>
+
+#include "common/error.h"
+
+namespace prom::coarsen {
+
+graph::Graph modified_mis_graph(const graph::Graph& vertex_graph,
+                                const Classification& cls,
+                                ModifiedGraphStats* stats) {
+  const idx n = vertex_graph.num_vertices();
+  PROM_CHECK(cls.num_vertices() == n);
+  std::vector<std::pair<idx, idx>> kept;
+  nnz_t removed = 0;
+  for (idx u = 0; u < n; ++u) {
+    for (idx v : vertex_graph.neighbors(u)) {
+      if (v <= u) continue;
+      const bool both_exterior = cls.type[u] != VertexType::kInterior &&
+                                 cls.type[v] != VertexType::kInterior;
+      if (both_exterior && !cls.share_face(u, v)) {
+        ++removed;
+        continue;
+      }
+      kept.emplace_back(u, v);
+    }
+  }
+  if (stats != nullptr) stats->edges_removed = removed;
+  return graph::Graph::from_edges(n, kept);
+}
+
+}  // namespace prom::coarsen

@@ -1,0 +1,23 @@
+// The modified MIS graph of §4.6: edges connecting exterior vertices that
+// do not share a face are deleted, so a vertex on one face cannot decimate
+// vertices on an opposing face of a thin region (Figures 4–6), and corner
+// vertices cannot suppress edge vertices across features.
+#pragma once
+
+#include "coarsen/classify.h"
+#include "graph/graph.h"
+
+namespace prom::coarsen {
+
+struct ModifiedGraphStats {
+  nnz_t edges_removed = 0;
+};
+
+/// Returns the vertex graph with every edge (u, v) removed where both u
+/// and v are exterior (type > interior) and share no identified face.
+/// Edges with an interior endpoint are always kept.
+graph::Graph modified_mis_graph(const graph::Graph& vertex_graph,
+                                const Classification& cls,
+                                ModifiedGraphStats* stats = nullptr);
+
+}  // namespace prom::coarsen

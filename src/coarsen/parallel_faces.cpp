@@ -1,0 +1,199 @@
+#include "coarsen/parallel_faces.h"
+
+#include <algorithm>
+#include <cstdint>
+#include <deque>
+#include <map>
+#include <set>
+
+#include "common/error.h"
+
+namespace prom::coarsen {
+namespace {
+
+constexpr int kTagSeeds = 201;
+
+// Face ids during the parallel phase are 64-bit <rank, counter> tuples so
+// every rank can mint unique ids; "largest reachable in Gfid" then has a
+// well-defined meaning.
+using FaceId64 = std::int64_t;
+constexpr FaceId64 kNone = -1;
+
+FaceId64 encode(int rank, idx counter) {
+  return (static_cast<FaceId64>(rank) << 32) | static_cast<FaceId64>(counter);
+}
+
+struct GfidEdge {
+  FaceId64 a;
+  FaceId64 b;
+};
+
+struct SeedMsg {
+  idx facet;       ///< global facet index
+  FaceId64 id;     ///< face id of its tree
+  real root[3];    ///< root normal of its tree
+};
+
+/// Union-find over arbitrary FaceId64 keys.
+class IdUnion {
+ public:
+  FaceId64 find(FaceId64 x) {
+    auto it = parent_.find(x);
+    if (it == parent_.end()) {
+      parent_[x] = x;
+      return x;
+    }
+    if (it->second == x) return x;
+    return it->second = find(it->second);
+  }
+  void unite(FaceId64 a, FaceId64 b) {
+    a = find(a);
+    b = find(b);
+    if (a == b) return;
+    // Keep the larger id as the representative ("largest face ID that
+    // face_ID can reach").
+    if (a < b) std::swap(a, b);
+    parent_[b] = a;
+  }
+
+ private:
+  std::map<FaceId64, FaceId64> parent_;
+};
+
+}  // namespace
+
+FaceIdResult parallel_identify_faces(parx::Comm& comm,
+                                     std::span<const mesh::Facet> facets,
+                                     const graph::Graph& facet_adj,
+                                     std::span<const idx> facet_owner,
+                                     const FaceIdOptions& opts) {
+  const idx nf = static_cast<idx>(facets.size());
+  const int me = comm.rank();
+  PROM_CHECK(facet_adj.num_vertices() == nf);
+  PROM_CHECK(static_cast<idx>(facet_owner.size()) == nf);
+
+  // Neighbor ranks across the facet adjacency.
+  std::set<int> higher, lower;
+  for (idx f = 0; f < nf; ++f) {
+    if (facet_owner[f] != me) continue;
+    for (idx f1 : facet_adj.neighbors(f)) {
+      if (facet_owner[f1] > me) higher.insert(facet_owner[f1]);
+      if (facet_owner[f1] < me) lower.insert(facet_owner[f1]);
+    }
+  }
+
+  std::vector<FaceId64> id(static_cast<std::size_t>(nf), kNone);
+  std::map<FaceId64, Vec3> root_norm;
+  std::vector<GfidEdge> gfid_edges;
+
+  // BFS of Figure 3 restricted to my undone owned facets, rooted at
+  // `start` whose id/root are already set. Collisions with already-labeled
+  // compatible facets become Gfid edges.
+  auto grow = [&](idx start) {
+    const FaceId64 tree_id = id[start];
+    const Vec3 root = root_norm.at(tree_id);
+    std::deque<idx> queue{start};
+    while (!queue.empty()) {
+      const idx f = queue.front();
+      queue.pop_front();
+      for (idx f1 : facet_adj.neighbors(f)) {
+        const bool compatible =
+            dot(root, facets[f1].normal) > opts.tol &&
+            dot(facets[f].normal, facets[f1].normal) > opts.tol;
+        if (!compatible) continue;
+        if (id[f1] == kNone) {
+          if (facet_owner[f1] != me) continue;  // their owner labels them
+          id[f1] = tree_id;
+          queue.push_back(f1);
+        } else if (id[f1] != tree_id) {
+          gfid_edges.push_back({tree_id, id[f1]});
+        }
+      }
+    }
+  };
+
+  // Wait for seed facets from all higher-numbered neighbor ranks (the
+  // highest rank has none and starts immediately).
+  for (int r : higher) {
+    const std::vector<SeedMsg> seeds = comm.recv<SeedMsg>(r, kTagSeeds);
+    for (const SeedMsg& s : seeds) {
+      const Vec3 root{s.root[0], s.root[1], s.root[2]};
+      if (id[s.facet] == kNone) {
+        id[s.facet] = s.id;
+        root_norm.emplace(s.id, root);
+        grow(s.facet);
+      } else if (id[s.facet] != s.id) {
+        // The ghost copy was already labeled by another tree: reconcile.
+        root_norm.emplace(s.id, root);
+        gfid_edges.push_back({id[s.facet], s.id});
+      }
+    }
+  }
+
+  // Local algorithm over the remaining undone owned facets (Figure 3).
+  idx counter = 0;
+  for (idx f = 0; f < nf; ++f) {
+    if (facet_owner[f] != me || id[f] != kNone) continue;
+    const FaceId64 fresh = encode(me, counter++);
+    id[f] = fresh;
+    root_norm.emplace(fresh, facets[f].normal);
+    grow(f);
+  }
+
+  // Send seeds to lower-numbered neighbor ranks: my owned facets adjacent
+  // to facets they own.
+  for (int r : lower) {
+    std::vector<SeedMsg> seeds;
+    for (idx f = 0; f < nf; ++f) {
+      if (facet_owner[f] != me) continue;
+      bool borders_r = false;
+      for (idx f1 : facet_adj.neighbors(f)) {
+        if (facet_owner[f1] == r) {
+          borders_r = true;
+          break;
+        }
+      }
+      if (!borders_r) continue;
+      const Vec3& root = root_norm.at(id[f]);
+      seeds.push_back({f, id[f], {root.x, root.y, root.z}});
+    }
+    comm.send<SeedMsg>(r, kTagSeeds, seeds);
+  }
+
+  // Global reduction of Gfid and of the facet labels ("a global reduction
+  // is performed ... so that all processors have a copy of Gfid").
+  struct Labeled {
+    idx facet;
+    FaceId64 id;
+  };
+  std::vector<Labeled> mine;
+  for (idx f = 0; f < nf; ++f) {
+    if (facet_owner[f] == me) mine.push_back({f, id[f]});
+  }
+  const auto all_labels = comm.allgatherv(mine);
+  const auto all_edges = comm.allgatherv(gfid_edges);
+
+  std::vector<FaceId64> final_id(static_cast<std::size_t>(nf), kNone);
+  for (const auto& part : all_labels) {
+    for (const Labeled& l : part) final_id[l.facet] = l.id;
+  }
+  IdUnion uf;
+  for (const auto& part : all_edges) {
+    for (const GfidEdge& e : part) uf.unite(e.a, e.b);
+  }
+
+  // Compress representatives to contiguous small ids.
+  std::map<FaceId64, idx> compact;
+  FaceIdResult result;
+  result.face_id.resize(static_cast<std::size_t>(nf));
+  for (idx f = 0; f < nf; ++f) {
+    PROM_CHECK_MSG(final_id[f] != kNone, "facet left unlabeled");
+    const FaceId64 rep = uf.find(final_id[f]);
+    auto [it, inserted] = compact.emplace(rep, result.num_faces);
+    if (inserted) ++result.num_faces;
+    result.face_id[f] = it->second;
+  }
+  return result;
+}
+
+}  // namespace prom::coarsen

@@ -1,0 +1,27 @@
+// Parallel face identification (§4.5): each rank runs the Figure 3
+// algorithm on the facets it owns, seeded by facets received from
+// higher-numbered neighbor ranks; face-id collisions are recorded as edges
+// of a face-id graph Gfid, which is globally reduced at the end and each
+// facet takes the largest face id reachable from its own. As the paper
+// notes, this does not reproduce the serial algorithm's faces exactly, but
+// the resulting partitions are equivalent for the solver's purposes.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "coarsen/faces.h"
+#include "parx/runtime.h"
+
+namespace prom::coarsen {
+
+/// Runs inside a parx SPMD region with the replicated global facet data
+/// and an owner rank per facet. Every rank returns the identical result
+/// (face ids renumbered contiguously from 0).
+FaceIdResult parallel_identify_faces(parx::Comm& comm,
+                                     std::span<const mesh::Facet> facets,
+                                     const graph::Graph& facet_adj,
+                                     std::span<const idx> facet_owner,
+                                     const FaceIdOptions& opts = {});
+
+}  // namespace prom::coarsen

@@ -1,0 +1,162 @@
+#include "coarsen/parallel_mis.h"
+
+#include <algorithm>
+#include <map>
+#include <set>
+
+#include "common/error.h"
+#include "graph/mis.h"
+#include "graph/order.h"
+
+namespace prom::coarsen {
+namespace {
+
+constexpr int kTagStates = 101;
+
+enum : idx { kUndone = 0, kSelected = 1, kDeleted = 2 };
+
+struct StateMsg {
+  idx vertex;
+  idx state;
+};
+
+}  // namespace
+
+ParallelMisResult parallel_mis(parx::Comm& comm, const graph::Graph& g,
+                               std::span<const idx> owner,
+                               const ParallelMisOptions& opts) {
+  const idx n = g.num_vertices();
+  const int me = comm.rank();
+  PROM_CHECK(static_cast<idx>(owner.size()) == n);
+  PROM_CHECK(opts.ranks.empty() ||
+             static_cast<idx>(opts.ranks.size()) == n);
+
+  auto rank_of = [&](idx v) -> idx {
+    return opts.ranks.empty() ? 0 : opts.ranks[v];
+  };
+
+  // Traversal: my owned vertices, in the global heuristic order, stably
+  // sorted by decreasing classification rank (§4.2: "the order in which
+  // each processor traverses the local vertex list can be governed by our
+  // heuristics").
+  std::vector<idx> traversal;
+  if (opts.order.empty()) {
+    for (idx v = 0; v < n; ++v) {
+      if (owner[v] == me) traversal.push_back(v);
+    }
+  } else {
+    PROM_CHECK(static_cast<idx>(opts.order.size()) == n);
+    for (idx v : opts.order) {
+      if (owner[v] == me) traversal.push_back(v);
+    }
+  }
+  std::stable_sort(traversal.begin(), traversal.end(),
+                   [&](idx a, idx b) { return rank_of(a) > rank_of(b); });
+
+  // Boundary book-keeping: which ranks hold a ghost copy of each of my
+  // owned boundary vertices, and the set of neighbor ranks.
+  std::map<idx, std::vector<int>> subscribers;  // owned vertex -> ranks
+  std::set<int> neighbor_ranks;
+  for (idx v = 0; v < n; ++v) {
+    if (owner[v] != me) continue;
+    std::set<int> subs;
+    for (idx u : g.neighbors(v)) {
+      if (owner[u] != me) {
+        subs.insert(owner[u]);
+        neighbor_ranks.insert(owner[u]);
+      }
+    }
+    if (!subs.empty()) {
+      subscribers[v] = std::vector<int>(subs.begin(), subs.end());
+    }
+  }
+
+  std::vector<idx> state(static_cast<std::size_t>(n), kUndone);
+
+  // The §4.2 selection test.
+  auto selectable = [&](idx v) {
+    for (idx u : g.neighbors(v)) {
+      if (state[u] == kDeleted) continue;
+      if (state[u] == kSelected) return false;  // v must become deleted
+      if (rank_of(v) > rank_of(u)) continue;
+      if (rank_of(v) == rank_of(u) && me >= owner[u]) continue;
+      return false;
+    }
+    return true;
+  };
+
+  auto select_vertex = [&](idx v) {
+    state[v] = kSelected;
+    for (idx u : g.neighbors(v)) {
+      if (state[u] == kUndone) state[u] = kDeleted;
+    }
+  };
+
+  ParallelMisResult result;
+  for (;;) {
+    // Local greedy sweep over my undone owned vertices.
+    for (idx v : traversal) {
+      if (state[v] != kUndone) continue;
+      // A neighbor selection may have been learned this round.
+      bool has_selected_neighbor = false;
+      for (idx u : g.neighbors(v)) {
+        if (state[u] == kSelected) {
+          has_selected_neighbor = true;
+          break;
+        }
+      }
+      if (has_selected_neighbor) {
+        state[v] = kDeleted;
+        continue;
+      }
+      if (selectable(v)) select_vertex(v);
+    }
+    ++result.rounds;
+
+    // Exchange boundary states (fixed, deterministic message pattern).
+    std::map<int, std::vector<StateMsg>> outbox;
+    for (int r : neighbor_ranks) outbox[r] = {};
+    for (const auto& [v, subs] : subscribers) {
+      for (int r : subs) outbox[r].push_back({v, state[v]});
+    }
+    for (const auto& [r, msgs] : outbox) {
+      comm.send<StateMsg>(r, kTagStates, msgs);
+    }
+    for (int r : neighbor_ranks) {
+      const std::vector<StateMsg> msgs = comm.recv<StateMsg>(r, kTagStates);
+      for (const StateMsg& m : msgs) {
+        if (m.state == kSelected && state[m.vertex] != kSelected) {
+          state[m.vertex] = kSelected;
+          for (idx u : g.neighbors(m.vertex)) {
+            if (state[u] == kUndone) state[u] = kDeleted;
+          }
+        } else if (m.state == kDeleted && state[m.vertex] == kUndone) {
+          state[m.vertex] = kDeleted;
+        }
+      }
+    }
+
+    std::int64_t undone = 0;
+    for (idx v : traversal) {
+      if (state[v] == kUndone) ++undone;
+    }
+    if (comm.allreduce_sum(undone) == 0) break;
+    // Progress guarantee: the globally maximal undone vertex (by rank,
+    // owner, traversal position) is always selectable, so at most n rounds.
+    PROM_CHECK_MSG(result.rounds <= n + 1, "parallel MIS failed to converge");
+  }
+
+  // Gather the global MIS.
+  std::vector<idx> mine;
+  for (idx v : traversal) {
+    if (state[v] == kSelected) mine.push_back(v);
+  }
+  const auto all = comm.allgatherv(mine);
+  for (const auto& part : all) {
+    result.selected.insert(result.selected.end(), part.begin(), part.end());
+  }
+  std::sort(result.selected.begin(), result.selected.end());
+  return result;
+}
+
+}  // namespace prom::coarsen

@@ -1,0 +1,42 @@
+// The partition-based parallel MIS of §4.2 (Adams' parallel MIS [2 in the
+// paper]): each rank owns the vertices assigned to it, iterates the greedy
+// algorithm locally, and may select a vertex v only when every neighbor v1
+// is deleted, or is out-ranked (v.rank > v1.rank), or ties are broken by
+// processor number (v.rank == v1.rank and v.proc >= v1.proc). Boundary
+// vertex states are exchanged between rounds until no vertex is undone.
+//
+// Each rank is handed the same replicated global graph and extracts its
+// local view (owned vertices + ghosts); the result is identical on every
+// rank. With identical per-rank traversal orders the parallel result also
+// matches the rank-emulating serial algorithm — a property the tests use.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "common/config.h"
+#include "graph/graph.h"
+#include "parx/runtime.h"
+
+namespace prom::coarsen {
+
+struct ParallelMisOptions {
+  /// Per-vertex classification ranks (empty = all zero).
+  std::span<const idx> ranks;
+  /// Global traversal-order permutation (empty = natural); each rank
+  /// traverses its owned vertices in this order (after the rank sort).
+  std::span<const idx> order;
+};
+
+struct ParallelMisResult {
+  std::vector<idx> selected;  ///< the global MIS, ascending
+  int rounds = 0;             ///< communication rounds used
+};
+
+/// Runs inside a parx SPMD region. `owner[v]` is the rank that owns global
+/// vertex v. All ranks receive the full result.
+ParallelMisResult parallel_mis(parx::Comm& comm, const graph::Graph& g,
+                               std::span<const idx> owner,
+                               const ParallelMisOptions& opts = {});
+
+}  // namespace prom::coarsen

@@ -1,0 +1,65 @@
+// Coarse-grid remeshing and restriction operator construction (§4.8):
+// Delaunay-mesh the MIS vertex set, evaluate linear tetrahedral shape
+// functions at every fine vertex to form the rows of R, prune super-box
+// and far-connecting tetrahedra, and fall back to nearest-vertex
+// injection for "lost" fine vertices.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "common/config.h"
+#include "geom/vec3.h"
+#include "graph/graph.h"
+#include "la/csr.h"
+#include "mesh/mesh.h"
+
+namespace prom::coarsen {
+
+struct RestrictionOptions {
+  /// The paper's epsilon: a fine vertex counts as lying "uniquely" inside
+  /// a tet when all its barycentric weights exceed +eps; tets that connect
+  /// far-apart vertices and contain no such fine vertex are pruned from
+  /// the *coarse mesh* (interpolation is unaffected — it always uses the
+  /// containing tet of the full triangulation, super-box tets excepted).
+  real inside_eps = 0.02;
+  /// Two coarse vertices are "near each other on the fine mesh" if they
+  /// are within this many hops in the fine vertex graph; tet edges between
+  /// non-near vertices mark the tet as a pruning candidate. Used when a
+  /// fine graph is supplied; otherwise the edge-length fallback applies.
+  idx near_hops = 3;
+  /// Edge-length fallback (no fine graph): tets with an edge longer than
+  /// this multiple of the median coarse tet edge are pruning candidates.
+  real long_edge_factor = 2.5;
+};
+
+struct RestrictionResult {
+  /// Vertex-weight restriction: n_coarse x n_fine, rows sum to... each
+  /// *column* (fine vertex) holds that vertex's interpolation weights; a
+  /// selected fine vertex has a single unit weight on itself.
+  la::Csr r_vertex;
+  /// Pruned coarse tet mesh in coarse-local vertex numbering (material 0).
+  mesh::Mesh coarse_mesh;
+  /// Fine vertices that required the nearest-vertex fallback.
+  std::vector<idx> lost;
+};
+
+/// Builds the restriction from `fine_coords` onto the subset `selected`
+/// (coarse vertex i is fine vertex selected[i]). `fine_graph`, when given,
+/// provides the "near each other on the fine mesh" relation for tet
+/// pruning (§4.8); pass nullptr to use the geometric fallback.
+RestrictionResult build_restriction(std::span<const Vec3> fine_coords,
+                                    std::span<const idx> selected,
+                                    const RestrictionOptions& opts = {},
+                                    const graph::Graph* fine_graph = nullptr);
+
+/// Expands a vertex-weight restriction to dof space (3 dofs per vertex):
+/// R_dof = R_vertex (Kronecker) I_3, then restricted to the given free-dof
+/// subsets: row c of the result corresponds to coarse free dof c, and
+/// columns to fine free dofs. `fine_free`/`coarse_free` list the free dofs
+/// (3*vertex+comp) at each level in free-index order.
+la::Csr expand_restriction_to_dofs(const la::Csr& r_vertex,
+                                   std::span<const idx> fine_free,
+                                   std::span<const idx> coarse_free);
+
+}  // namespace prom::coarsen

@@ -1,0 +1,29 @@
+// Project-wide fundamental types and configuration constants.
+//
+// Index conventions (chosen to match the scale of the reproduction while
+// keeping sparse storage compact):
+//   - `idx`  : 32-bit signed index for vertices, elements, dofs, ranks.
+//   - `nnz_t`: 64-bit signed index for positions inside sparse structures.
+//   - `real` : double precision everywhere (the exact geometric predicates
+//              depend on IEEE-754 binary64 semantics).
+#pragma once
+
+#include <cstdint>
+
+namespace prom {
+
+using idx = std::int32_t;
+using nnz_t = std::int64_t;
+using real = double;
+
+/// Invalid / "none" sentinel for idx-valued fields.
+inline constexpr idx kInvalidIdx = -1;
+
+/// Spatial dimension of the whole project (the paper is explicitly 3D).
+inline constexpr int kDim = 3;
+
+/// Degrees of freedom per vertex for the solid mechanics problems
+/// (displacement in x, y, z).
+inline constexpr int kDofPerVertex = 3;
+
+}  // namespace prom

@@ -1,0 +1,37 @@
+// Lightweight runtime checking. `PROM_CHECK` is used for conditions that
+// indicate a programming error or corrupted input; it is active in all
+// build types because the cost is negligible relative to the numerical
+// kernels it guards.
+#pragma once
+
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+namespace prom {
+
+/// Thrown when a PROM_CHECK fails or an API is misused.
+class Error : public std::runtime_error {
+ public:
+  explicit Error(const std::string& what) : std::runtime_error(what) {}
+};
+
+[[noreturn]] inline void fail(const char* cond, const char* file, int line,
+                              const std::string& msg = {}) {
+  std::ostringstream os;
+  os << "check failed: " << cond << " at " << file << ":" << line;
+  if (!msg.empty()) os << " — " << msg;
+  throw Error(os.str());
+}
+
+}  // namespace prom
+
+#define PROM_CHECK(cond)                                  \
+  do {                                                    \
+    if (!(cond)) ::prom::fail(#cond, __FILE__, __LINE__); \
+  } while (0)
+
+#define PROM_CHECK_MSG(cond, msg)                                \
+  do {                                                           \
+    if (!(cond)) ::prom::fail(#cond, __FILE__, __LINE__, (msg)); \
+  } while (0)

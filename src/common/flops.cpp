@@ -1,0 +1,16 @@
+#include "common/flops.h"
+
+namespace prom {
+namespace {
+
+thread_local std::int64_t t_flops = 0;
+
+}  // namespace
+
+void count_flops(std::int64_t n) { t_flops += n; }
+
+std::int64_t thread_flops() { return t_flops; }
+
+void reset_thread_flops() { t_flops = 0; }
+
+}  // namespace prom

@@ -1,0 +1,34 @@
+// Flop accounting. The paper's §6 efficiency decomposition is defined in
+// terms of flop counts (work efficiency, flop scale efficiency, load
+// balance), so every numerical kernel in `la`/`dla` reports the flops it
+// performs to a thread-local counter. Virtual ranks run on distinct
+// threads, which makes the thread-local counter a *per-rank* counter — the
+// quantity §6 needs.
+#pragma once
+
+#include <cstdint>
+
+namespace prom {
+
+/// Adds `n` flops to the calling thread's counter.
+void count_flops(std::int64_t n);
+
+/// Current value of the calling thread's counter.
+std::int64_t thread_flops();
+
+/// Resets the calling thread's counter to zero.
+void reset_thread_flops();
+
+/// RAII window: measures flops performed on this thread inside a scope.
+class FlopWindow {
+ public:
+  FlopWindow() : start_(thread_flops()) {}
+
+  /// Flops counted on this thread since construction.
+  std::int64_t flops() const { return thread_flops() - start_; }
+
+ private:
+  std::int64_t start_;
+};
+
+}  // namespace prom

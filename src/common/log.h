@@ -1,0 +1,34 @@
+// Minimal leveled logging to stderr. Thread-safe (each line is emitted with
+// a single write under a mutex). Verbosity is a process-global setting so
+// examples/benches can silence library chatter.
+#pragma once
+
+#include <sstream>
+#include <string>
+
+namespace prom {
+
+enum class LogLevel { kError = 0, kWarn = 1, kInfo = 2, kDebug = 3 };
+
+/// Sets the global verbosity; messages above this level are dropped.
+void set_log_level(LogLevel level);
+LogLevel log_level();
+
+/// Emits one log line (appends '\n'); used by the PROM_LOG macro below.
+void log_line(LogLevel level, const std::string& msg);
+
+}  // namespace prom
+
+#define PROM_LOG(level, expr)                                \
+  do {                                                       \
+    if (static_cast<int>(level) <=                           \
+        static_cast<int>(::prom::log_level())) {             \
+      std::ostringstream prom_log_os;                        \
+      prom_log_os << expr;                                   \
+      ::prom::log_line(level, prom_log_os.str());            \
+    }                                                        \
+  } while (0)
+
+#define PROM_INFO(expr) PROM_LOG(::prom::LogLevel::kInfo, expr)
+#define PROM_WARN(expr) PROM_LOG(::prom::LogLevel::kWarn, expr)
+#define PROM_DEBUG(expr) PROM_LOG(::prom::LogLevel::kDebug, expr)

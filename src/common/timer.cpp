@@ -1,0 +1,4 @@
+#include "common/timer.h"
+
+// Header-only today; this translation unit anchors the library target and
+// leaves room for future non-inline additions.

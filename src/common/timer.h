@@ -1,0 +1,68 @@
+// Wall-clock timers and a named phase-timer registry used by the driver to
+// report the per-phase breakdown of Figure 10 (partitioning, fine grid
+// creation, mesh setup, matrix setup, solve).
+#pragma once
+
+#include <chrono>
+#include <map>
+#include <string>
+
+namespace prom {
+
+/// Simple wall-clock stopwatch.
+class Timer {
+ public:
+  Timer() : start_(clock::now()) {}
+
+  /// Seconds since construction or the last reset().
+  double seconds() const {
+    return std::chrono::duration<double>(clock::now() - start_).count();
+  }
+
+  void reset() { start_ = clock::now(); }
+
+ private:
+  using clock = std::chrono::steady_clock;
+  clock::time_point start_;
+};
+
+/// Accumulates named phase durations; not thread-safe by design (one
+/// registry per driver run on the controlling thread).
+class PhaseTimers {
+ public:
+  /// Adds `seconds` to the accumulated time of `phase`.
+  void add(const std::string& phase, double seconds) {
+    totals_[phase] += seconds;
+  }
+
+  /// Accumulated seconds for `phase` (0 if never recorded).
+  double total(const std::string& phase) const {
+    auto it = totals_.find(phase);
+    return it == totals_.end() ? 0.0 : it->second;
+  }
+
+  const std::map<std::string, double>& totals() const { return totals_; }
+
+  void clear() { totals_.clear(); }
+
+ private:
+  std::map<std::string, double> totals_;
+};
+
+/// RAII helper: times a scope and records it into a PhaseTimers.
+class ScopedPhase {
+ public:
+  ScopedPhase(PhaseTimers& timers, std::string phase)
+      : timers_(timers), phase_(std::move(phase)) {}
+  ~ScopedPhase() { timers_.add(phase_, timer_.seconds()); }
+
+  ScopedPhase(const ScopedPhase&) = delete;
+  ScopedPhase& operator=(const ScopedPhase&) = delete;
+
+ private:
+  PhaseTimers& timers_;
+  std::string phase_;
+  Timer timer_;
+};
+
+}  // namespace prom

@@ -1,0 +1,301 @@
+#include "delaunay/delaunay.h"
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+
+#include "common/error.h"
+#include "common/rng.h"
+#include "geom/predicates.h"
+
+namespace prom::delaunay {
+namespace {
+
+// Face opposite v[i], ordered so orient3d(face, v[i]) > 0 for a positively
+// oriented tet — i.e. the face normal (right-hand rule) points *into* the
+// tet from that face.
+constexpr int kFaceOf[4][3] = {{1, 3, 2}, {0, 2, 3}, {0, 3, 1}, {0, 1, 2}};
+
+// 6-tet decomposition of a hexahedron along the 0-6 diagonal (vertex order
+// as produced by the super-box corner loop below).
+constexpr int kBoxTets[6][4] = {{0, 1, 2, 6}, {0, 2, 3, 6}, {0, 3, 7, 6},
+                                {0, 7, 4, 6}, {0, 4, 5, 6}, {0, 5, 1, 6}};
+
+}  // namespace
+
+Delaunay3::Delaunay3(std::span<const Vec3> points,
+                     const DelaunayOptions& opts) {
+  num_points_ = static_cast<idx>(points.size());
+
+  Aabb box = Aabb::of(points);
+  if (points.empty()) box = Aabb::of(std::vector<Vec3>{{0, 0, 0}, {1, 1, 1}});
+  const Vec3 c = box.center();
+  real half = box.max_extent() * real{0.5};
+  if (half == 0) half = 1;
+  half *= opts.super_box_scale;
+
+  // Super-box corners in VTK hex order (ids 0..7).
+  coords_.reserve(points.size() + 8);
+  const real sx[8] = {-1, 1, 1, -1, -1, 1, 1, -1};
+  const real sy[8] = {-1, -1, 1, 1, -1, -1, 1, 1};
+  const real sz[8] = {-1, -1, -1, -1, 1, 1, 1, 1};
+  for (int a = 0; a < 8; ++a) {
+    coords_.push_back({c.x + sx[a] * half, c.y + sy[a] * half,
+                       c.z + sz[a] * half});
+  }
+
+  // Jittered copies of the input points (predicate coordinates).
+  Rng rng(0x5eedULL);
+  const real jmag = opts.jitter * box.max_extent();
+  for (const Vec3& p : points) {
+    Vec3 q = p;
+    if (jmag > 0) {
+      q.x += jmag * (rng.next_real() - real{0.5});
+      q.y += jmag * (rng.next_real() - real{0.5});
+      q.z += jmag * (rng.next_real() - real{0.5});
+    }
+    coords_.push_back(q);
+  }
+
+  // Seed triangulation: 6 tets of the super-box, oriented positively, with
+  // adjacency built by face matching.
+  for (const auto& bt : kBoxTets) {
+    Tet t;
+    t.v = {bt[0], bt[1], bt[2], bt[3]};
+    if (orient3d(coords_[t.v[0]], coords_[t.v[1]], coords_[t.v[2]],
+                 coords_[t.v[3]]) < 0) {
+      std::swap(t.v[2], t.v[3]);
+    }
+    t.nbr = {kInvalidIdx, kInvalidIdx, kInvalidIdx, kInvalidIdx};
+    tets_.push_back(t);
+  }
+  std::map<std::array<idx, 3>, std::pair<idx, int>> face_map;
+  for (idx t = 0; t < static_cast<idx>(tets_.size()); ++t) {
+    for (int f = 0; f < 4; ++f) {
+      std::array<idx, 3> key = {tets_[t].v[kFaceOf[f][0]],
+                                tets_[t].v[kFaceOf[f][1]],
+                                tets_[t].v[kFaceOf[f][2]]};
+      std::sort(key.begin(), key.end());
+      auto it = face_map.find(key);
+      if (it == face_map.end()) {
+        face_map[key] = {t, f};
+      } else {
+        tets_[t].nbr[f] = it->second.first;
+        tets_[it->second.first].nbr[it->second.second] = t;
+      }
+    }
+  }
+
+  for (idx i = 0; i < num_points_; ++i) insert_point(8 + i);
+}
+
+bool Delaunay3::tet_touches_super(idx t) const {
+  for (idx v : tets_[t].v) {
+    if (is_super_vertex(v)) return true;
+  }
+  return false;
+}
+
+bool Delaunay3::point_in_tet(idx t, const Vec3& p) const {
+  const Tet& tet = tets_[t];
+  for (int f = 0; f < 4; ++f) {
+    if (orient3d(coords_[tet.v[kFaceOf[f][0]]], coords_[tet.v[kFaceOf[f][1]]],
+                 coords_[tet.v[kFaceOf[f][2]]], p) < 0) {
+      return false;
+    }
+  }
+  return true;
+}
+
+idx Delaunay3::walk_from(idx start, const Vec3& p) const {
+  idx t = start;
+  const idx max_steps = static_cast<idx>(tets_.size()) * 4 + 64;
+  for (idx step = 0; step < max_steps; ++step) {
+    PROM_CHECK(tets_[t].alive);
+    const Tet& tet = tets_[t];
+    bool moved = false;
+    // Rotate the face scan origin by step to avoid degenerate cycling.
+    for (int ff = 0; ff < 4 && !moved; ++ff) {
+      const int f = (ff + static_cast<int>(step)) % 4;
+      const real o =
+          orient3d(coords_[tet.v[kFaceOf[f][0]]], coords_[tet.v[kFaceOf[f][1]]],
+                   coords_[tet.v[kFaceOf[f][2]]], p);
+      if (o < 0) {
+        const idx nb = tet.nbr[f];
+        PROM_CHECK_MSG(nb != kInvalidIdx,
+                       "Delaunay walk left the super-box (point outside?)");
+        t = nb;
+        moved = true;
+      }
+    }
+    if (!moved) return t;
+  }
+  // Degenerate cycling fallback: exhaustive scan.
+  for (idx tt = 0; tt < static_cast<idx>(tets_.size()); ++tt) {
+    if (tets_[tt].alive && point_in_tet(tt, p)) return tt;
+  }
+  PROM_CHECK_MSG(false, "Delaunay locate failed");
+  return kInvalidIdx;
+}
+
+idx Delaunay3::locate(const Vec3& p, idx hint) const {
+  idx start = (hint != kInvalidIdx && hint < static_cast<idx>(tets_.size()) &&
+               tets_[hint].alive)
+                  ? hint
+                  : last_tet_;
+  if (!tets_[start].alive) {
+    // Find any alive tet to start from.
+    for (idx t = 0; t < static_cast<idx>(tets_.size()); ++t) {
+      if (tets_[t].alive) {
+        start = t;
+        break;
+      }
+    }
+  }
+  return walk_from(start, p);
+}
+
+void Delaunay3::insert_point(idx vertex_id) {
+  const Vec3& p = coords_[vertex_id];
+  const idx containing = locate(p);
+
+  // Grow the cavity: every alive tet whose circumsphere strictly contains
+  // p, found by BFS across faces from the containing tet.
+  std::vector<idx> cavity{containing};
+  std::vector<char> in_cavity(tets_.size(), 0);
+  in_cavity[containing] = 1;
+  auto sphere_contains = [&](idx t) {
+    const Tet& tet = tets_[t];
+    return insphere(coords_[tet.v[0]], coords_[tet.v[1]], coords_[tet.v[2]],
+                    coords_[tet.v[3]], p) > 0;
+  };
+  for (std::size_t head = 0; head < cavity.size(); ++head) {
+    const Tet tet = tets_[cavity[head]];
+    for (int f = 0; f < 4; ++f) {
+      const idx nb = tet.nbr[f];
+      if (nb != kInvalidIdx && !in_cavity[nb] && sphere_contains(nb)) {
+        in_cavity[nb] = 1;
+        cavity.push_back(nb);
+      }
+    }
+  }
+
+  // Collect boundary faces; ensure each is strictly visible from p (add
+  // the offending cavity-side tet's neighbor... if a boundary face is not
+  // strictly visible, absorb the tet across it into the cavity to restore
+  // star-shapedness, and rebuild).
+  struct BoundaryFace {
+    std::array<idx, 3> v;  // oriented so orient3d(v, p) > 0
+    idx outer;             // tet across the face (not in cavity), or -1
+  };
+  std::vector<BoundaryFace> boundary;
+  for (bool stable = false; !stable;) {
+    stable = true;
+    boundary.clear();
+    for (idx t : cavity) {
+      const Tet& tet = tets_[t];
+      for (int f = 0; f < 4; ++f) {
+        const idx nb = tet.nbr[f];
+        if (nb != kInvalidIdx && in_cavity[nb]) continue;
+        const std::array<idx, 3> fv = {tet.v[kFaceOf[f][0]],
+                                       tet.v[kFaceOf[f][1]],
+                                       tet.v[kFaceOf[f][2]]};
+        if (orient3d(coords_[fv[0]], coords_[fv[1]], coords_[fv[2]], p) <= 0) {
+          // Not strictly visible: absorb the outer tet (if any) to fix the
+          // cavity shape; with no outer tet we'd be on the hull, which the
+          // super-box prevents.
+          PROM_CHECK_MSG(nb != kInvalidIdx, "cavity reached the hull");
+          in_cavity[nb] = 1;
+          cavity.push_back(nb);
+          stable = false;
+          break;
+        }
+        boundary.push_back({fv, nb});
+      }
+      if (!stable) break;
+    }
+  }
+
+  // Retire the cavity and build the new tets (one per boundary face).
+  for (idx t : cavity) tets_[t].alive = false;
+  std::map<std::pair<idx, idx>, std::pair<idx, int>> edge_map;
+  std::vector<idx> new_tets;
+  new_tets.reserve(boundary.size());
+  for (const BoundaryFace& bf : boundary) {
+    Tet nt;
+    nt.v = {bf.v[0], bf.v[1], bf.v[2], vertex_id};
+    nt.nbr = {kInvalidIdx, kInvalidIdx, kInvalidIdx, kInvalidIdx};
+    const idx tid = static_cast<idx>(tets_.size());
+    // Outer link: the face opposite the new vertex (index 3).
+    nt.nbr[3] = bf.outer;
+    if (bf.outer != kInvalidIdx) {
+      Tet& out = tets_[bf.outer];
+      std::array<idx, 3> key = bf.v;
+      std::sort(key.begin(), key.end());
+      for (int f = 0; f < 4; ++f) {
+        std::array<idx, 3> ok = {out.v[kFaceOf[f][0]], out.v[kFaceOf[f][1]],
+                                 out.v[kFaceOf[f][2]]};
+        std::sort(ok.begin(), ok.end());
+        if (ok == key) {
+          out.nbr[f] = tid;
+          break;
+        }
+      }
+    }
+    tets_.push_back(nt);
+    new_tets.push_back(tid);
+    // Internal links: new tets sharing a cavity-boundary edge. The face of
+    // the new tet opposite base vertex v[i] contains the other two base
+    // vertices and the new vertex.
+    for (int i = 0; i < 3; ++i) {
+      idx e0 = bf.v[(i + 1) % 3], e1 = bf.v[(i + 2) % 3];
+      if (e0 > e1) std::swap(e0, e1);
+      auto it = edge_map.find({e0, e1});
+      if (it == edge_map.end()) {
+        edge_map[{e0, e1}] = {tid, i};
+      } else {
+        tets_[tid].nbr[i] = it->second.first;
+        tets_[it->second.first].nbr[it->second.second] = tid;
+      }
+    }
+  }
+  PROM_CHECK_MSG(!new_tets.empty(), "insertion produced no tets");
+  last_tet_ = new_tets.back();
+}
+
+std::array<real, 4> Delaunay3::barycentric(idx t, const Vec3& p) const {
+  const Tet& tet = tets_[t];
+  const Vec3& a = coords_[tet.v[0]];
+  const Vec3& b = coords_[tet.v[1]];
+  const Vec3& c = coords_[tet.v[2]];
+  const Vec3& d = coords_[tet.v[3]];
+  const real vol = orient3d(a, b, c, d);
+  PROM_CHECK_MSG(vol != 0, "degenerate tet in barycentric()");
+  return {orient3d(p, b, c, d) / vol, orient3d(a, p, c, d) / vol,
+          orient3d(a, b, p, d) / vol, orient3d(a, b, c, p) / vol};
+}
+
+idx Delaunay3::count_delaunay_violations() const {
+  idx violations = 0;
+  for (const Tet& tet : tets_) {
+    if (!tet.alive) continue;
+    for (idx v = 0; v < static_cast<idx>(coords_.size()); ++v) {
+      if (v == tet.v[0] || v == tet.v[1] || v == tet.v[2] || v == tet.v[3]) {
+        continue;
+      }
+      if (insphere(coords_[tet.v[0]], coords_[tet.v[1]], coords_[tet.v[2]],
+                   coords_[tet.v[3]], coords_[v]) > 0) {
+        ++violations;
+      }
+    }
+  }
+  return violations;
+}
+
+idx Delaunay3::num_alive_tets() const {
+  return static_cast<idx>(
+      std::count_if(tets_.begin(), tets_.end(),
+                    [](const Tet& t) { return t.alive; }));
+}
+
+}  // namespace prom::delaunay

@@ -1,0 +1,100 @@
+// Incremental (Bowyer–Watson) 3D Delaunay tetrahedralization, the
+// remeshing engine of §4.8: "We use a standard Delaunay meshing algorithm
+// ... by placing a bounding box around the coarse grid vertices, then
+// meshing this to produce a mesh that covers all fine grid vertices."
+//
+// The mesher seeds the triangulation with the 8 corners of an enlarged
+// bounding box ("super-box"), inserts the input points one at a time, and
+// keeps the super-box tetrahedra in the structure — the caller classifies
+// fine vertices that land in super-box tetrahedra as "lost" (lost_list of
+// §4.8) and assigns them interpolants from a nearby element instead.
+//
+// Robustness: all orientation/circumsphere decisions go through the exact
+// predicates in geom/predicates.h. Inputs may optionally be jittered by a
+// deterministic relative perturbation to keep exactly-degenerate
+// (cospherical lattice) configurations off the slow exact path; the
+// perturbation is orders of magnitude below the interpolation accuracy the
+// multigrid restriction needs.
+#pragma once
+
+#include <array>
+#include <span>
+#include <vector>
+
+#include "common/config.h"
+#include "geom/aabb.h"
+#include "geom/vec3.h"
+
+namespace prom::delaunay {
+
+struct Tet {
+  std::array<idx, 4> v;    ///< vertex ids, positively oriented
+  std::array<idx, 4> nbr;  ///< nbr[i] = tet across the face opposite v[i]
+  bool alive = true;
+};
+
+struct DelaunayOptions {
+  /// Relative jitter magnitude (times the bounding-box extent) applied
+  /// to the points used for predicate evaluation; 0 disables. Large enough
+  /// that sliver tetrahedra between exactly-cospherical lattice points get
+  /// numerically usable volumes, small enough that linear interpolation is
+  /// unaffected at working accuracy.
+  real jitter = 1e-6;
+  /// Super-box inflation factor around the point bounding box.
+  real super_box_scale = 10.0;
+};
+
+class Delaunay3 {
+ public:
+  /// Triangulates `points`. Point i becomes vertex id 8 + i (ids 0..7 are
+  /// the super-box corners). Duplicate points are not supported.
+  explicit Delaunay3(std::span<const Vec3> points,
+                     const DelaunayOptions& opts = {});
+
+  idx num_input_points() const { return num_points_; }
+
+  /// True if vertex id belongs to the super-box.
+  bool is_super_vertex(idx v) const { return v < 8; }
+
+  /// Input point index of vertex id (requires !is_super_vertex).
+  idx point_of_vertex(idx v) const { return v - 8; }
+
+  /// All alive tetrahedra (including those touching super-box vertices).
+  const std::vector<Tet>& tets() const { return tets_; }
+  bool tet_alive(idx t) const { return tets_[t].alive; }
+
+  /// True if tet t touches a super-box vertex.
+  bool tet_touches_super(idx t) const;
+
+  /// Locates the alive tet containing p (walks from `hint` if valid,
+  /// otherwise from the last inserted tet). Points on shared faces may
+  /// return either incident tet.
+  idx locate(const Vec3& p, idx hint = kInvalidIdx) const;
+
+  /// Barycentric coordinates of p in tet t (sum to 1; components may be
+  /// slightly negative for p outside t). Uses the *unjittered* original
+  /// coordinates for super-box corners and jittered-free math otherwise.
+  std::array<real, 4> barycentric(idx t, const Vec3& p) const;
+
+  /// The coordinates the triangulation actually used (jittered).
+  const std::vector<Vec3>& vertex_coords() const { return coords_; }
+
+  /// Verifies the empty-circumsphere property over all alive tets
+  /// (O(n_tets * n_points) — tests only). Returns number of violations.
+  idx count_delaunay_violations() const;
+
+  /// Number of alive tets.
+  idx num_alive_tets() const;
+
+ private:
+  void insert_point(idx vertex_id);
+  idx walk_from(idx start, const Vec3& p) const;
+  bool point_in_tet(idx t, const Vec3& p) const;
+
+  std::vector<Vec3> coords_;  ///< super-box corners + (jittered) points
+  std::vector<Tet> tets_;
+  idx num_points_ = 0;
+  idx last_tet_ = 0;  ///< walk hint
+};
+
+}  // namespace prom::delaunay

@@ -1,0 +1,168 @@
+#include "dla/dist_csr.h"
+
+#include <algorithm>
+#include <map>
+
+#include "common/error.h"
+#include "common/flops.h"
+
+namespace prom::dla {
+namespace {
+
+constexpr int kTagGhost = 301;
+constexpr int kTagTranspose = 302;
+
+}  // namespace
+
+DistCsr::DistCsr(parx::Comm& comm, const la::Csr& a, RowDist row_dist,
+                 RowDist col_dist)
+    : rank_(comm.rank()), rows_(std::move(row_dist)), cols_(std::move(col_dist)) {
+  PROM_CHECK(rows_.global_size() == a.nrows);
+  PROM_CHECK(cols_.global_size() == a.ncols);
+  PROM_CHECK(rows_.nranks() == comm.size() && cols_.nranks() == comm.size());
+
+  const idx r0 = rows_.begin(rank_), r1 = rows_.end(rank_);
+  const idx c0 = cols_.begin(rank_), c1 = cols_.end(rank_);
+  const idx n_local_cols = c1 - c0;
+
+  // Collect ghost columns referenced by my rows.
+  std::vector<char> is_ghost(static_cast<std::size_t>(a.ncols), 0);
+  for (idx i = r0; i < r1; ++i) {
+    for (nnz_t k = a.rowptr[i]; k < a.rowptr[i + 1]; ++k) {
+      const idx c = a.colidx[k];
+      if (c < c0 || c >= c1) is_ghost[c] = 1;
+    }
+  }
+  for (idx c = 0; c < a.ncols; ++c) {
+    if (is_ghost[c]) ghost_cols_.push_back(c);
+  }
+
+  // Local matrix with remapped columns.
+  std::vector<idx> ghost_slot(static_cast<std::size_t>(a.ncols), kInvalidIdx);
+  for (std::size_t g = 0; g < ghost_cols_.size(); ++g) {
+    ghost_slot[ghost_cols_[g]] = static_cast<idx>(g);
+  }
+  local_.nrows = r1 - r0;
+  local_.ncols = n_local_cols + static_cast<idx>(ghost_cols_.size());
+  local_.rowptr.assign(static_cast<std::size_t>(local_.nrows) + 1, 0);
+  for (idx i = r0; i < r1; ++i) {
+    for (nnz_t k = a.rowptr[i]; k < a.rowptr[i + 1]; ++k) {
+      const idx c = a.colidx[k];
+      local_.colidx.push_back(c >= c0 && c < c1
+                                  ? c - c0
+                                  : n_local_cols + ghost_slot[c]);
+      local_.vals.push_back(a.vals[k]);
+    }
+    local_.rowptr[i - r0 + 1] = static_cast<nnz_t>(local_.colidx.size());
+  }
+
+  // Build the exchange plan: tell each owner which of its entries I need.
+  std::vector<std::vector<idx>> requests(comm.size());
+  for (idx g : ghost_cols_) requests[cols_.owner(g)].push_back(g);
+  const auto incoming = comm.alltoallv(requests);
+
+  for (int r = 0; r < comm.size(); ++r) {
+    if (r == rank_) continue;
+    if (!incoming[r].empty()) {
+      peers_send_.push_back(r);
+      std::vector<idx> local_ids;
+      local_ids.reserve(incoming[r].size());
+      for (idx g : incoming[r]) {
+        PROM_CHECK(cols_.owner(g) == rank_);
+        local_ids.push_back(g - c0);
+      }
+      send_lists_.push_back(std::move(local_ids));
+    }
+    if (!requests[r].empty()) {
+      peers_recv_.push_back(r);
+      std::vector<idx> slots;
+      slots.reserve(requests[r].size());
+      for (idx g : requests[r]) slots.push_back(ghost_slot[g]);
+      recv_slots_.push_back(std::move(slots));
+    }
+  }
+}
+
+void DistCsr::exchange_ghosts(parx::Comm& comm, std::span<const real> x_local,
+                              std::span<real> ghost_values) const {
+  std::vector<real> buffer;
+  for (std::size_t p = 0; p < peers_send_.size(); ++p) {
+    buffer.clear();
+    for (idx li : send_lists_[p]) buffer.push_back(x_local[li]);
+    comm.send<real>(peers_send_[p], kTagGhost, buffer);
+  }
+  for (std::size_t p = 0; p < peers_recv_.size(); ++p) {
+    const std::vector<real> vals = comm.recv<real>(peers_recv_[p], kTagGhost);
+    PROM_CHECK(vals.size() == recv_slots_[p].size());
+    for (std::size_t i = 0; i < vals.size(); ++i) {
+      ghost_values[recv_slots_[p][i]] = vals[i];
+    }
+  }
+}
+
+void DistCsr::spmv(parx::Comm& comm, std::span<const real> x_local,
+                   std::span<real> y_local) const {
+  const idx n_own = cols_.local_size(rank_);
+  PROM_CHECK(static_cast<idx>(x_local.size()) == n_own);
+  PROM_CHECK(static_cast<idx>(y_local.size()) == local_.nrows);
+
+  // Assemble [owned | ghost] input.
+  std::vector<real> x_ext(static_cast<std::size_t>(local_.ncols), 0);
+  std::copy(x_local.begin(), x_local.end(), x_ext.begin());
+  exchange_ghosts(comm, x_local,
+                  std::span<real>(x_ext).subspan(n_own));
+  local_.spmv(x_ext, y_local);
+}
+
+void DistCsr::spmv_transpose(parx::Comm& comm, std::span<const real> x_local,
+                             std::span<real> y_local) const {
+  const idx n_own_cols = cols_.local_size(rank_);
+  PROM_CHECK(static_cast<idx>(x_local.size()) == local_.nrows);
+  PROM_CHECK(static_cast<idx>(y_local.size()) == n_own_cols);
+
+  // Local A^T x over the extended column space.
+  std::vector<real> y_ext(static_cast<std::size_t>(local_.ncols), 0);
+  local_.spmv_transpose(x_local, y_ext);
+
+  std::fill(y_local.begin(), y_local.end(), real{0});
+  for (idx c = 0; c < n_own_cols; ++c) y_local[c] = y_ext[c];
+
+  // Ship ghost contributions to their owners (reverse of the ghost plan:
+  // I RECEIVED ghost values from peers_recv_, so contributions go back to
+  // those ranks, and I accumulate contributions arriving from peers_send_).
+  for (std::size_t p = 0; p < peers_recv_.size(); ++p) {
+    std::vector<real> buffer;
+    buffer.reserve(recv_slots_[p].size());
+    for (idx slot : recv_slots_[p]) buffer.push_back(y_ext[n_own_cols + slot]);
+    comm.send<real>(peers_recv_[p], kTagTranspose, buffer);
+  }
+  for (std::size_t p = 0; p < peers_send_.size(); ++p) {
+    const std::vector<real> vals =
+        comm.recv<real>(peers_send_[p], kTagTranspose);
+    PROM_CHECK(vals.size() == send_lists_[p].size());
+    for (std::size_t i = 0; i < vals.size(); ++i) {
+      y_local[send_lists_[p][i]] += vals[i];
+    }
+    count_flops(static_cast<std::int64_t>(vals.size()));
+  }
+}
+
+la::Csr DistCsr::local_diagonal_block() const {
+  const idx n_own_cols = cols_.local_size(rank_);
+  la::Csr d;
+  d.nrows = local_.nrows;
+  d.ncols = n_own_cols;
+  d.rowptr.assign(static_cast<std::size_t>(local_.nrows) + 1, 0);
+  for (idx i = 0; i < local_.nrows; ++i) {
+    for (nnz_t k = local_.rowptr[i]; k < local_.rowptr[i + 1]; ++k) {
+      if (local_.colidx[k] < n_own_cols) {
+        d.colidx.push_back(local_.colidx[k]);
+        d.vals.push_back(local_.vals[k]);
+      }
+    }
+    d.rowptr[i + 1] = static_cast<nnz_t>(d.colidx.size());
+  }
+  return d;
+}
+
+}  // namespace prom::dla

@@ -1,0 +1,70 @@
+// Distributed CSR matrices: each rank stores the rows it owns; columns are
+// split into the locally-owned block and "ghost" columns whose values are
+// fetched from their owners by a precomputed neighbor-exchange plan before
+// each SpMV — the standard PETSc-style MPIAIJ pattern the paper's solve
+// phase runs on.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "common/config.h"
+#include "dla/dist_vec.h"
+#include "la/csr.h"
+#include "parx/runtime.h"
+
+namespace prom::dla {
+
+class DistCsr {
+ public:
+  DistCsr() = default;
+
+  /// Builds this rank's slice of the global matrix `a` (replicated input;
+  /// only rows [row_dist.begin(rank), end(rank)) are stored). `col_dist`
+  /// describes the distribution of the input vector. Collective.
+  DistCsr(parx::Comm& comm, const la::Csr& a, RowDist row_dist,
+          RowDist col_dist);
+
+  const RowDist& row_dist() const { return rows_; }
+  const RowDist& col_dist() const { return cols_; }
+  idx local_rows() const { return local_.nrows; }
+  idx num_ghosts() const { return static_cast<idx>(ghost_cols_.size()); }
+
+  /// y_local = A x (x given as the local block of the distributed input);
+  /// performs the ghost exchange. Collective.
+  void spmv(parx::Comm& comm, std::span<const real> x_local,
+            std::span<real> y_local) const;
+
+  /// y_local = A^T x distributed: each rank computes its rows' scatter
+  /// contributions and ships them to the owners of the output (used for
+  /// prolongation when only R is stored). Collective.
+  void spmv_transpose(parx::Comm& comm, std::span<const real> x_local,
+                      std::span<real> y_local) const;
+
+  /// The local rows with *local* column indexing: columns [0, n_local) are
+  /// owned, [n_local, n_local + n_ghost) are ghosts.
+  const la::Csr& local_matrix() const { return local_; }
+
+  /// Diagonal block (owned rows x owned cols) as a standalone matrix —
+  /// what the processor-local block-Jacobi smoother factors.
+  la::Csr local_diagonal_block() const;
+
+ private:
+  void exchange_ghosts(parx::Comm& comm, std::span<const real> x_local,
+                       std::span<real> ghost_values) const;
+
+  int rank_ = 0;
+  RowDist rows_;
+  RowDist cols_;
+  la::Csr local_;                 // local rows, remapped columns
+  std::vector<idx> ghost_cols_;   // global ids of ghost columns (sorted)
+  // Exchange plan: for each peer rank, the local indices of my owned x
+  // entries to send (send_plan_) and the ghost slots to fill (recv ordering
+  // follows each peer's send order = their request order).
+  std::vector<int> peers_send_;               // ranks I send values to
+  std::vector<std::vector<idx>> send_lists_;  // local x indices per peer
+  std::vector<int> peers_recv_;               // ranks I receive from
+  std::vector<std::vector<idx>> recv_slots_;  // ghost slots per peer
+};
+
+}  // namespace prom::dla

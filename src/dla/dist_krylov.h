@@ -1,0 +1,45 @@
+// Distributed preconditioned conjugate gradient over parx: the same
+// algorithm as la::pcg with dot products replaced by allreduce reductions
+// and operator application by distributed SpMV — the paper's solve phase.
+#pragma once
+
+#include <span>
+
+#include "dla/dist_csr.h"
+#include "la/krylov.h"
+#include "parx/runtime.h"
+
+namespace prom::dla {
+
+/// A distributed linear operator: applies to the local block of a
+/// distributed vector; implementations communicate internally.
+class DistOperator {
+ public:
+  virtual ~DistOperator() = default;
+  virtual idx local_n() const = 0;
+  virtual void apply(parx::Comm& comm, std::span<const real> x_local,
+                     std::span<real> y_local) const = 0;
+};
+
+/// Adapter for a square DistCsr.
+class DistCsrOperator final : public DistOperator {
+ public:
+  explicit DistCsrOperator(const DistCsr& a) : a_(&a) {}
+  idx local_n() const override { return a_->local_rows(); }
+  void apply(parx::Comm& comm, std::span<const real> x_local,
+             std::span<real> y_local) const override {
+    a_->spmv(comm, x_local, y_local);
+  }
+
+ private:
+  const DistCsr* a_;
+};
+
+/// Distributed (P)CG; `m` may be null for plain CG. Collective; every rank
+/// receives the same KrylovResult.
+la::KrylovResult dist_pcg(parx::Comm& comm, const DistOperator& a,
+                          const DistOperator* m, std::span<const real> b_local,
+                          std::span<real> x_local,
+                          const la::KrylovOptions& opts = {});
+
+}  // namespace prom::dla

@@ -1,0 +1,96 @@
+// Distributed multigrid: mirrors a serial mg::Hierarchy across virtual
+// ranks. Dofs at every level are assigned to the rank owning the vertex
+// they derive from (the MIS chain makes coarse vertices fine vertices, so
+// ownership is inherited, exactly as in the paper's Prometheus); each
+// level's operator and restriction are row-distributed, smoothing is
+// processor-block Jacobi, and the constant-size coarsest problem is solved
+// redundantly on every rank (§5).
+//
+// The build is replicated (every rank constructs the same permuted global
+// operators and slices out its rows) — see DESIGN.md substitution 1: the
+// setup phases are studied serially, the *solve phase* runs with real
+// per-rank work and message traffic, which is what Figures 10-12 measure.
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "dla/dist_csr.h"
+#include "dla/dist_krylov.h"
+#include "la/dense.h"
+#include "mg/hierarchy.h"
+#include "mg/solver.h"
+
+namespace prom::dla {
+
+struct DistMgLevel {
+  DistCsr a;   ///< level operator (square, row/col dist identical)
+  DistCsr r;   ///< restriction from the finer level (empty on level 0)
+  // Processor-block-Jacobi smoother data over the local diagonal block.
+  la::Csr local_diag;
+  std::vector<std::vector<idx>> blocks;
+  std::vector<la::DenseLdlt> factors;
+  real omega = 0.6;
+  // Coarsest level: replicated dense factorization.
+  std::unique_ptr<la::DenseLdlt> direct;
+
+  idx local_n() const { return a.local_rows(); }
+
+  /// One damped block-Jacobi smoothing step (collective).
+  void smooth(parx::Comm& comm, std::span<const real> b_local,
+              std::span<real> x_local) const;
+};
+
+class DistHierarchy {
+ public:
+  /// Builds the distributed mirror of `serial`. `fine_vertex_owner` maps
+  /// each fine-mesh vertex to a rank; level-l dof ownership follows the
+  /// MIS parent chain. Collective; deterministic and identical on all
+  /// ranks. The permutations applied per level are retained so solutions
+  /// can be mapped back to the serial ordering.
+  static DistHierarchy build(parx::Comm& comm, const mg::Hierarchy& serial,
+                             std::span<const idx> fine_vertex_owner);
+
+  int num_levels() const { return static_cast<int>(levels_.size()); }
+  const DistMgLevel& level(int l) const { return levels_[l]; }
+
+  /// perm[l][new_index] = serial free-dof index at level l.
+  const std::vector<idx>& permutation(int l) const { return perms_[l]; }
+
+  int pre_smooth = 1;
+  int post_smooth = 1;
+
+ private:
+  std::vector<DistMgLevel> levels_;
+  std::vector<std::vector<idx>> perms_;
+};
+
+/// One distributed V-cycle at `level` (collective).
+void dist_vcycle(parx::Comm& comm, const DistHierarchy& h, int level,
+                 std::span<const real> b_local, std::span<real> x_local);
+
+/// One distributed full-multigrid cycle from zero (collective).
+std::vector<real> dist_fmg_cycle(parx::Comm& comm, const DistHierarchy& h,
+                                 std::span<const real> b_local);
+
+/// The distributed FMG/V-cycle preconditioner.
+class DistMgPreconditioner final : public DistOperator {
+ public:
+  DistMgPreconditioner(const DistHierarchy& h, mg::CycleKind kind)
+      : h_(&h), kind_(kind) {}
+  idx local_n() const override { return h_->level(0).local_n(); }
+  void apply(parx::Comm& comm, std::span<const real> x_local,
+             std::span<real> y_local) const override;
+
+ private:
+  const DistHierarchy* h_;
+  mg::CycleKind kind_;
+};
+
+/// Distributed MG-preconditioned CG (collective).
+la::KrylovResult dist_mg_pcg_solve(parx::Comm& comm, const DistHierarchy& h,
+                                   std::span<const real> b_local,
+                                   std::span<real> x_local,
+                                   const mg::MgSolveOptions& opts = {});
+
+}  // namespace prom::dla

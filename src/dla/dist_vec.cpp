@@ -1,0 +1,62 @@
+#include "dla/dist_vec.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/error.h"
+#include "la/vec.h"
+
+namespace prom::dla {
+
+int RowDist::owner(idx gid) const {
+  PROM_CHECK(gid >= 0 && gid < global_size());
+  const auto it = std::upper_bound(offsets.begin(), offsets.end(), gid);
+  return static_cast<int>(it - offsets.begin()) - 1;
+}
+
+RowDist RowDist::block(idx n, int nranks) {
+  RowDist d;
+  d.offsets.resize(static_cast<std::size_t>(nranks) + 1);
+  for (int r = 0; r <= nranks; ++r) {
+    d.offsets[r] = static_cast<idx>(static_cast<nnz_t>(n) * r / nranks);
+  }
+  return d;
+}
+
+RowDist RowDist::from_sorted_owners(std::span<const idx> owner_of,
+                                    int nranks) {
+  RowDist d;
+  d.offsets.assign(static_cast<std::size_t>(nranks) + 1, 0);
+  for (std::size_t i = 0; i < owner_of.size(); ++i) {
+    PROM_CHECK(owner_of[i] >= 0 && owner_of[i] < nranks);
+    if (i > 0) PROM_CHECK_MSG(owner_of[i] >= owner_of[i - 1],
+                              "owners must be non-decreasing");
+    d.offsets[owner_of[i] + 1]++;
+  }
+  for (int r = 0; r < nranks; ++r) d.offsets[r + 1] += d.offsets[r];
+  return d;
+}
+
+real dist_dot(parx::Comm& comm, std::span<const real> a,
+              std::span<const real> b) {
+  return comm.allreduce_sum(la::dot(a, b));
+}
+
+real dist_nrm2(parx::Comm& comm, std::span<const real> a) {
+  return std::sqrt(dist_dot(comm, a, a));
+}
+
+std::vector<real> dist_gather_all(parx::Comm& comm, const RowDist& dist,
+                                  std::span<const real> local) {
+  PROM_CHECK(static_cast<idx>(local.size()) == dist.local_size(comm.rank()));
+  const auto parts =
+      comm.allgatherv(std::vector<real>(local.begin(), local.end()));
+  std::vector<real> full(static_cast<std::size_t>(dist.global_size()));
+  for (int r = 0; r < dist.nranks(); ++r) {
+    PROM_CHECK(static_cast<idx>(parts[r].size()) == dist.local_size(r));
+    std::copy(parts[r].begin(), parts[r].end(), full.begin() + dist.begin(r));
+  }
+  return full;
+}
+
+}  // namespace prom::dla

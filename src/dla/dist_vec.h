@@ -1,0 +1,49 @@
+// Distributed (row-block) vectors over the parx runtime. A distributed
+// vector is owned in contiguous global index ranges described by a
+// RowDist; each rank holds only its local block. Reductions (dot, norm)
+// are allreduce operations — exactly the communication pattern whose cost
+// §6's communication efficiency measures.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "common/config.h"
+#include "parx/runtime.h"
+
+namespace prom::dla {
+
+/// Ownership map: rank r owns global indices [offsets[r], offsets[r+1]).
+struct RowDist {
+  std::vector<idx> offsets;  // size nranks + 1
+
+  int nranks() const { return static_cast<int>(offsets.size()) - 1; }
+  idx global_size() const { return offsets.back(); }
+  idx begin(int rank) const { return offsets[rank]; }
+  idx end(int rank) const { return offsets[rank + 1]; }
+  idx local_size(int rank) const { return end(rank) - begin(rank); }
+
+  /// Owner of global index gid (binary search).
+  int owner(idx gid) const;
+
+  /// Even contiguous split of [0, n) over nranks.
+  static RowDist block(idx n, int nranks);
+
+  /// Split of [0, n) where index i belongs to rank owner_of[i]; requires
+  /// owners to be non-decreasing (i.e. indices pre-permuted by owner).
+  static RowDist from_sorted_owners(std::span<const idx> owner_of,
+                                    int nranks);
+};
+
+/// <a, b> over the distributed vector (local chunks passed in).
+real dist_dot(parx::Comm& comm, std::span<const real> a,
+              std::span<const real> b);
+
+/// ||a||_2 over the distributed vector.
+real dist_nrm2(parx::Comm& comm, std::span<const real> a);
+
+/// Gathers a distributed vector to a full copy on every rank.
+std::vector<real> dist_gather_all(parx::Comm& comm, const RowDist& dist,
+                                  std::span<const real> local);
+
+}  // namespace prom::dla

@@ -1,0 +1,249 @@
+#include "fem/element.h"
+
+#include <cmath>
+
+#include "common/error.h"
+#include "common/flops.h"
+#include "fem/quadrature.h"
+#include "fem/shape.h"
+
+namespace prom::fem {
+namespace {
+
+ShapeEval shape_at(int nodes, const Vec3& xi) {
+  return nodes == 8 ? hex8_shape(xi) : tet4_shape(xi);
+}
+
+std::span<const GaussPoint> rule_for(int nodes) {
+  return nodes == 8 ? hex_gauss_8() : tet_gauss_4();
+}
+
+/// C : B for a symmetric second-order tensor B.
+Mat3 contract_tangent(const Tangent& c, const Mat3& b) {
+  Mat3 out = Mat3::zero();
+  for (int i = 0; i < 3; ++i) {
+    for (int j = 0; j < 3; ++j) {
+      real sum = 0;
+      for (int k = 0; k < 3; ++k) {
+        for (int l = 0; l < 3; ++l) {
+          sum += tangent_at(c, i, j, k, l) * b(k, l);
+        }
+      }
+      out(i, j) = sum;
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+int gauss_points_per_cell(int nodes) { return nodes == 8 ? 8 : 4; }
+
+int small_strain_element(const Material& mat, std::span<const Vec3> coords,
+                         std::span<const real> disp, bool bbar,
+                         std::span<const J2State> committed,
+                         std::span<J2State> updated,
+                         la::DenseMatrix* stiffness, std::span<real> f_int) {
+  const int nen = static_cast<int>(coords.size());
+  PROM_CHECK(nen == 8 || nen == 4);
+  PROM_CHECK(static_cast<int>(disp.size()) == 3 * nen);
+  const auto rule = rule_for(nen);
+  const bool plastic_model = mat.model == MaterialModel::kJ2Plasticity;
+  if (plastic_model) {
+    PROM_CHECK(static_cast<int>(committed.size()) ==
+                   static_cast<int>(rule.size()) &&
+               committed.size() == updated.size());
+  }
+
+  if (stiffness != nullptr) {
+    PROM_CHECK(stiffness->rows() == 3 * nen && stiffness->cols() == 3 * nen);
+    for (real& v : stiffness->data()) v = 0;
+  }
+  if (!f_int.empty()) {
+    PROM_CHECK(static_cast<int>(f_int.size()) == 3 * nen);
+    for (real& v : f_int) v = 0;
+  }
+
+  // B-bar: element-mean physical gradients (mean dilatation).
+  std::array<Vec3, kMaxNodes> mean_grad{};
+  if (bbar) {
+    real vol = 0;
+    for (const GaussPoint& gp : rule) {
+      const ShapeEval shape = shape_at(nen, gp.xi);
+      const PhysicalGrads pg = physical_gradients(shape, coords);
+      const real w = gp.w * pg.detJ;
+      vol += w;
+      for (int a = 0; a < nen; ++a) mean_grad[a] += pg.grad[a] * w;
+    }
+    for (int a = 0; a < nen; ++a) mean_grad[a] *= real{1} / vol;
+  }
+
+  Tangent c_ep;
+  if (mat.model == MaterialModel::kLinearElastic) elastic_tangent(mat, c_ep);
+
+  int plastic_points = 0;
+  // Strain-displacement tensors: bop[a*3+k] is the strain produced by a
+  // unit displacement of node a in direction k.
+  std::vector<Mat3> bop(static_cast<std::size_t>(3) * nen);
+  std::vector<Mat3> cb(static_cast<std::size_t>(3) * nen);
+
+  for (std::size_t q = 0; q < rule.size(); ++q) {
+    const GaussPoint& gp = rule[q];
+    const ShapeEval shape = shape_at(nen, gp.xi);
+    const PhysicalGrads pg = physical_gradients(shape, coords);
+    const real w = gp.w * pg.detJ;
+
+    for (int a = 0; a < nen; ++a) {
+      const Vec3& g = pg.grad[a];
+      const Vec3 gm = bbar ? (mean_grad[a] - g) * (real{1} / 3) : Vec3{};
+      for (int k = 0; k < 3; ++k) {
+        Mat3 b = Mat3::zero();
+        for (int j = 0; j < 3; ++j) {
+          b(k, j) += real{0.5} * g[j];
+          b(j, k) += real{0.5} * g[j];
+        }
+        if (bbar) {
+          for (int j = 0; j < 3; ++j) b(j, j) += gm[k];
+        }
+        bop[a * 3 + k] = b;
+      }
+    }
+
+    // Strain at this Gauss point.
+    Mat3 strain = Mat3::zero();
+    for (int a = 0; a < nen; ++a) {
+      for (int k = 0; k < 3; ++k) {
+        const real ua = disp[a * 3 + k];
+        if (ua != 0) strain += bop[a * 3 + k] * ua;
+      }
+    }
+
+    // Constitutive update.
+    Mat3 stress;
+    if (plastic_model) {
+      if (j2_radial_return(mat, strain, committed[q], updated[q], stress,
+                           c_ep)) {
+        ++plastic_points;
+      }
+    } else {
+      stress = contract_tangent(c_ep, strain);
+    }
+
+    if (!f_int.empty()) {
+      for (int a = 0; a < nen; ++a) {
+        for (int k = 0; k < 3; ++k) {
+          f_int[a * 3 + k] += w * double_contract(bop[a * 3 + k], stress);
+        }
+      }
+    }
+
+    if (stiffness != nullptr) {
+      for (int b = 0; b < 3 * nen; ++b) cb[b] = contract_tangent(c_ep, bop[b]);
+      for (int a = 0; a < 3 * nen; ++a) {
+        for (int b = 0; b < 3 * nen; ++b) {
+          (*stiffness)(a, b) += w * double_contract(bop[a], cb[b]);
+        }
+      }
+      count_flops(3LL * nen * 81 + 9LL * nen * nen * 9);
+    }
+  }
+  return plastic_points;
+}
+
+void total_lagrangian_element(const Material& mat,
+                              std::span<const Vec3> coords,
+                              std::span<const real> disp, bool fbar,
+                              la::DenseMatrix* stiffness,
+                              std::span<real> f_int) {
+  const int nen = static_cast<int>(coords.size());
+  PROM_CHECK(nen == 8 || nen == 4);
+  PROM_CHECK(static_cast<int>(disp.size()) == 3 * nen);
+  PROM_CHECK(mat.model == MaterialModel::kNeoHookean);
+  const auto rule = rule_for(nen);
+
+  if (stiffness != nullptr) {
+    PROM_CHECK(stiffness->rows() == 3 * nen && stiffness->cols() == 3 * nen);
+    for (real& v : stiffness->data()) v = 0;
+  }
+  if (!f_int.empty()) {
+    PROM_CHECK(static_cast<int>(f_int.size()) == 3 * nen);
+    for (real& v : f_int) v = 0;
+  }
+
+  auto deformation_gradient = [&](const PhysicalGrads& pg) {
+    Mat3 f = Mat3::identity();
+    for (int a = 0; a < nen; ++a) {
+      for (int i = 0; i < 3; ++i) {
+        for (int j = 0; j < 3; ++j) {
+          f(i, j) += disp[a * 3 + i] * pg.grad[a][j];
+        }
+      }
+    }
+    return f;
+  };
+
+  // F-bar: centroid Jacobian determinant.
+  real centroid_j = 1;
+  if (fbar) {
+    const Vec3 xi_c = nen == 8 ? Vec3{0, 0, 0} : Vec3{0.25, 0.25, 0.25};
+    const ShapeEval shape = shape_at(nen, xi_c);
+    const PhysicalGrads pg = physical_gradients(shape, coords);
+    centroid_j = det(deformation_gradient(pg));
+    PROM_CHECK_MSG(centroid_j > 0, "F-bar: inverted element at centroid");
+  }
+
+  Tangent a_tan;
+  for (const GaussPoint& gp : rule) {
+    const ShapeEval shape = shape_at(nen, gp.xi);
+    const PhysicalGrads pg = physical_gradients(shape, coords);
+    const real w = gp.w * pg.detJ;
+
+    Mat3 f = deformation_gradient(pg);
+    if (fbar) {
+      const real jq = det(f);
+      PROM_CHECK_MSG(jq > 0, "F-bar: non-positive det F");
+      f *= std::cbrt(centroid_j / jq);
+    }
+
+    Mat3 pk1;
+    neo_hookean_stress(mat, f, pk1, a_tan);
+
+    if (!f_int.empty()) {
+      for (int a = 0; a < nen; ++a) {
+        for (int i = 0; i < 3; ++i) {
+          real sum = 0;
+          for (int jj = 0; jj < 3; ++jj) sum += pk1(i, jj) * pg.grad[a][jj];
+          f_int[a * 3 + i] += w * sum;
+        }
+      }
+    }
+
+    if (stiffness != nullptr) {
+      // t[b][k](i, J) = sum_L A_iJkL * grad_b[L]
+      for (int b = 0; b < nen; ++b) {
+        for (int k = 0; k < 3; ++k) {
+          Mat3 t = Mat3::zero();
+          for (int i = 0; i < 3; ++i) {
+            for (int jj = 0; jj < 3; ++jj) {
+              real sum = 0;
+              for (int l = 0; l < 3; ++l) {
+                sum += tangent_at(a_tan, i, jj, k, l) * pg.grad[b][l];
+              }
+              t(i, jj) = sum;
+            }
+          }
+          for (int a = 0; a < nen; ++a) {
+            for (int i = 0; i < 3; ++i) {
+              real sum = 0;
+              for (int jj = 0; jj < 3; ++jj) sum += pg.grad[a][jj] * t(i, jj);
+              (*stiffness)(a * 3 + i, b * 3 + k) += w * sum;
+            }
+          }
+        }
+      }
+      count_flops(3LL * nen * (27 + 9LL * nen));
+    }
+  }
+}
+
+}  // namespace prom::fem

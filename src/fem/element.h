@@ -1,0 +1,42 @@
+// Element-level kernels: stiffness and internal force for one cell.
+//  - small_strain_element: linear elastic or J2-plastic HEX8/TET4, with
+//    optional B-bar (mean dilatation) treatment for near-incompressibility
+//    (the paper's "mixed formulation", DESIGN.md substitution 4).
+//  - total_lagrangian_element: finite-deformation Neo-Hookean with an
+//    optional F-bar volumetric correction.
+#pragma once
+
+#include <span>
+
+#include "common/config.h"
+#include "fem/material.h"
+#include "geom/vec3.h"
+#include "la/dense.h"
+
+namespace prom::fem {
+
+/// Gauss points per element used by these kernels (8 for HEX8, 4 for TET4).
+int gauss_points_per_cell(int nodes);
+
+/// Small-strain element update.
+///  - `coords`/`disp`: nodal coordinates and displacements (3 per node).
+///  - `committed`/`updated`: per-Gauss-point J2 states (ignored for the
+///    linear elastic model; must both have gauss_points_per_cell entries
+///    for J2).
+///  - `stiffness` (3n x 3n) and `f_int` (3n) are accumulated from zero;
+///    either may be null/empty to skip.
+/// Returns the number of Gauss points in the plastic regime.
+int small_strain_element(const Material& mat, std::span<const Vec3> coords,
+                         std::span<const real> disp, bool bbar,
+                         std::span<const J2State> committed,
+                         std::span<J2State> updated,
+                         la::DenseMatrix* stiffness, std::span<real> f_int);
+
+/// Total-Lagrangian Neo-Hookean element update (same conventions).
+void total_lagrangian_element(const Material& mat,
+                              std::span<const Vec3> coords,
+                              std::span<const real> disp, bool fbar,
+                              la::DenseMatrix* stiffness,
+                              std::span<real> f_int);
+
+}  // namespace prom::fem

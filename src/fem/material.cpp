@@ -1,0 +1,134 @@
+#include "fem/material.h"
+
+#include <cmath>
+
+#include "common/error.h"
+
+namespace prom::fem {
+namespace {
+
+constexpr real kDelta[3][3] = {{1, 0, 0}, {0, 1, 0}, {0, 0, 1}};
+
+}  // namespace
+
+Material Material::paper_soft() {
+  Material m;
+  m.model = MaterialModel::kNeoHookean;
+  m.youngs = 1e-4;
+  m.poisson = 0.49;
+  return m;
+}
+
+Material Material::paper_hard() {
+  Material m;
+  m.model = MaterialModel::kJ2Plasticity;
+  m.youngs = 1;
+  m.poisson = 0.3;
+  m.yield_stress = 0.001;
+  m.hardening = 0.002 * m.youngs;
+  return m;
+}
+
+void elastic_tangent(const Material& mat, Tangent& c) {
+  const real lam = mat.lambda();
+  const real mu = mat.mu();
+  for (int i = 0; i < 3; ++i) {
+    for (int j = 0; j < 3; ++j) {
+      for (int k = 0; k < 3; ++k) {
+        for (int l = 0; l < 3; ++l) {
+          tangent_at(c, i, j, k, l) =
+              lam * kDelta[i][j] * kDelta[k][l] +
+              mu * (kDelta[i][k] * kDelta[j][l] +
+                    kDelta[i][l] * kDelta[j][k]);
+        }
+      }
+    }
+  }
+}
+
+bool j2_radial_return(const Material& mat, const Mat3& strain,
+                      const J2State& committed, J2State& updated,
+                      Mat3& stress, Tangent& c_ep) {
+  const real mu = mat.mu();
+  const real kappa = mat.bulk();
+  const real h = mat.hardening;
+
+  // Elastic trial.
+  const Mat3 strain_e = strain - committed.plastic_strain;
+  const Mat3 s_trial = deviator(strain_e) * (2 * mu);
+  const real pressure = kappa * trace(strain);
+  const Mat3 xi = s_trial - committed.backstress;
+  const real xi_norm = frobenius_norm(xi);
+  const real radius = std::sqrt(real{2.0} / 3) * mat.yield_stress;
+  const real f_trial = xi_norm - radius;
+
+  if (f_trial <= 0) {
+    updated = committed;
+    stress = s_trial;
+    for (int i = 0; i < 3; ++i) stress(i, i) += pressure;
+    elastic_tangent(mat, c_ep);
+    return false;
+  }
+
+  // Plastic correction (radial return).
+  const real dgamma = f_trial / (2 * mu + (real{2.0} / 3) * h);
+  const Mat3 n = xi * (real{1} / xi_norm);
+
+  updated.plastic_strain = committed.plastic_strain + n * dgamma;
+  updated.backstress = committed.backstress + n * ((real{2.0} / 3) * h * dgamma);
+  updated.eq_plastic =
+      committed.eq_plastic + std::sqrt(real{2.0} / 3) * dgamma;
+
+  stress = s_trial - n * (2 * mu * dgamma);
+  for (int i = 0; i < 3; ++i) stress(i, i) += pressure;
+
+  // Consistent tangent (Simo & Hughes eq. 3.3.12 adapted to kinematic
+  // hardening): C = kappa I (x) I + 2 mu theta I_dev - 2 mu theta_bar n (x) n.
+  const real theta = 1 - 2 * mu * dgamma / xi_norm;
+  const real theta_bar = 1 / (1 + h / (3 * mu)) - (1 - theta);
+  for (int i = 0; i < 3; ++i) {
+    for (int j = 0; j < 3; ++j) {
+      for (int k = 0; k < 3; ++k) {
+        for (int l = 0; l < 3; ++l) {
+          const real i_sym = real{0.5} * (kDelta[i][k] * kDelta[j][l] +
+                                          kDelta[i][l] * kDelta[j][k]);
+          const real i_dev = i_sym - kDelta[i][j] * kDelta[k][l] / real{3};
+          tangent_at(c_ep, i, j, k, l) =
+              kappa * kDelta[i][j] * kDelta[k][l] + 2 * mu * theta * i_dev -
+              2 * mu * theta_bar * n(i, j) * n(k, l);
+        }
+      }
+    }
+  }
+  return true;
+}
+
+void neo_hookean_stress(const Material& mat, const Mat3& f, Mat3& p,
+                        Tangent& a) {
+  const real mu = mat.mu();
+  const real lam = mat.lambda();
+  const real jac = det(f);
+  PROM_CHECK_MSG(jac > 0, "Neo-Hookean: non-positive det F");
+  const real lnj = std::log(jac);
+  const Mat3 finv_t = transpose(inverse(f));
+
+  // P = mu F + (lambda ln J - mu) F^{-T}
+  p = f * mu + finv_t * (lam * lnj - mu);
+
+  // A_iJkL = mu d_ik d_JL + lambda Fit_iJ Fit_kL
+  //          + (mu - lambda ln J) Fit_iL Fit_kJ
+  const real coeff = mu - lam * lnj;
+  for (int i = 0; i < 3; ++i) {
+    for (int jj = 0; jj < 3; ++jj) {
+      for (int k = 0; k < 3; ++k) {
+        for (int l = 0; l < 3; ++l) {
+          tangent_at(a, i, jj, k, l) = mu * kDelta[i][k] * kDelta[jj][l] +
+                                       lam * finv_t(i, jj) * finv_t(k, l) +
+                                       coeff * finv_t(i, l) * finv_t(k, jj);
+        }
+      }
+    }
+  }
+}
+
+}  // namespace prom::fem

@@ -1,0 +1,82 @@
+// Constitutive models: the paper's §7 problem combines a Neo-Hookean
+// hyperelastic "soft" material (E = 1e-4, nu = 0.49, large deformation)
+// with a J2-plastic "hard" material with kinematic hardening (E = 1,
+// nu = 0.3, yield 0.001, hardening 0.002 E) — Table 1. The J2 update here
+// is the textbook small-strain radial return (Simo & Hughes, Box 3.2);
+// DESIGN.md substitution 4 documents how this stands in for the paper's
+// finite-strain mixed formulation.
+//
+// All tangents are full fourth-order tensors C_ijkl (no Voigt notation),
+// stored row-major in a flat array of 81 values.
+#pragma once
+
+#include <array>
+#include <limits>
+
+#include "common/config.h"
+#include "geom/mat3.h"
+
+namespace prom::fem {
+
+enum class MaterialModel : std::uint8_t {
+  kLinearElastic,
+  kNeoHookean,
+  kJ2Plasticity,
+};
+
+struct Material {
+  MaterialModel model = MaterialModel::kLinearElastic;
+  real youngs = 1;
+  real poisson = 0.3;
+  real yield_stress = std::numeric_limits<real>::infinity();
+  real hardening = 0;  ///< linear kinematic hardening modulus H
+
+  real mu() const { return youngs / (2 * (1 + poisson)); }
+  real lambda() const {
+    return youngs * poisson / ((1 + poisson) * (1 - 2 * poisson));
+  }
+  real bulk() const { return youngs / (3 * (1 - 2 * poisson)); }
+
+  /// The paper's Table 1 materials.
+  static Material paper_soft();
+  static Material paper_hard();
+};
+
+/// Fourth-order tangent tensor, flattened as C[((i*3+j)*3+k)*3+l].
+using Tangent = std::array<real, 81>;
+
+inline real& tangent_at(Tangent& c, int i, int j, int k, int l) {
+  return c[((i * 3 + j) * 3 + k) * 3 + l];
+}
+inline real tangent_at(const Tangent& c, int i, int j, int k, int l) {
+  return c[((i * 3 + j) * 3 + k) * 3 + l];
+}
+
+/// Isotropic linear elastic tangent:
+/// C_ijkl = lambda d_ij d_kl + mu (d_ik d_jl + d_il d_jk).
+void elastic_tangent(const Material& mat, Tangent& c);
+
+/// Per-Gauss-point history for the J2 model.
+struct J2State {
+  Mat3 plastic_strain{};
+  Mat3 backstress{};
+  real eq_plastic = 0;  ///< accumulated equivalent plastic strain
+
+  bool has_yielded() const { return eq_plastic > 0; }
+};
+
+/// Radial return for J2 plasticity with linear kinematic hardening.
+/// Consumes the *committed* state, produces the trial-updated state, the
+/// stress, and the consistent (algorithmic) tangent. Returns true if this
+/// update is in the plastic regime.
+bool j2_radial_return(const Material& mat, const Mat3& strain,
+                      const J2State& committed, J2State& updated,
+                      Mat3& stress, Tangent& c_ep);
+
+/// Compressible Neo-Hookean (W = mu/2 (I_C - 3) - mu ln J + lambda/2 ln^2 J):
+/// first Piola-Kirchhoff stress P(F) and first elasticity tensor
+/// A_iJkL = dP_iJ / dF_kL. Throws if det F <= 0.
+void neo_hookean_stress(const Material& mat, const Mat3& f, Mat3& p,
+                        Tangent& a);
+
+}  // namespace prom::fem

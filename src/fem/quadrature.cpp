@@ -1,0 +1,39 @@
+#include "fem/quadrature.h"
+
+#include <array>
+#include <cmath>
+
+namespace prom::fem {
+namespace {
+
+constexpr real kG = 0.5773502691896257;  // 1/sqrt(3)
+
+constexpr std::array<GaussPoint, 8> kHex8 = {{
+    {{-kG, -kG, -kG}, 1}, {{kG, -kG, -kG}, 1}, {{kG, kG, -kG}, 1},
+    {{-kG, kG, -kG}, 1},  {{-kG, -kG, kG}, 1}, {{kG, -kG, kG}, 1},
+    {{kG, kG, kG}, 1},    {{-kG, kG, kG}, 1},
+}};
+
+constexpr std::array<GaussPoint, 1> kHex1 = {{{{0, 0, 0}, 8}}};
+
+// Reference tet: vertices (0,0,0), (1,0,0), (0,1,0), (0,0,1); volume 1/6.
+constexpr std::array<GaussPoint, 1> kTet1 = {{{{0.25, 0.25, 0.25},
+                                               1.0 / 6.0}}};
+
+constexpr real kTa = 0.5854101966249685;  // (5 + 3*sqrt(5)) / 20
+constexpr real kTb = 0.1381966011250105;  // (5 - sqrt(5)) / 20
+constexpr std::array<GaussPoint, 4> kTet4 = {{
+    {{kTa, kTb, kTb}, 1.0 / 24.0},
+    {{kTb, kTa, kTb}, 1.0 / 24.0},
+    {{kTb, kTb, kTa}, 1.0 / 24.0},
+    {{kTb, kTb, kTb}, 1.0 / 24.0},
+}};
+
+}  // namespace
+
+std::span<const GaussPoint> hex_gauss_8() { return kHex8; }
+std::span<const GaussPoint> hex_gauss_1() { return kHex1; }
+std::span<const GaussPoint> tet_gauss_1() { return kTet1; }
+std::span<const GaussPoint> tet_gauss_4() { return kTet4; }
+
+}  // namespace prom::fem

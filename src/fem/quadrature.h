@@ -1,0 +1,28 @@
+// Gauss quadrature rules for the reference hexahedron [-1,1]^3 and the
+// reference tetrahedron (unit simplex).
+#pragma once
+
+#include <span>
+
+#include "geom/vec3.h"
+
+namespace prom::fem {
+
+struct GaussPoint {
+  Vec3 xi;    ///< reference coordinates
+  real w = 0; ///< weight
+};
+
+/// 2x2x2 rule for HEX8 (exact for the trilinear stiffness integrand).
+std::span<const GaussPoint> hex_gauss_8();
+
+/// Single centroid point for HEX8 (used by B-bar mean dilatation).
+std::span<const GaussPoint> hex_gauss_1();
+
+/// 1-point rule for TET4 (exact for linear shape function products).
+std::span<const GaussPoint> tet_gauss_1();
+
+/// 4-point rule for TET4.
+std::span<const GaussPoint> tet_gauss_4();
+
+}  // namespace prom::fem

@@ -1,0 +1,71 @@
+#include "fem/shape.h"
+
+#include "common/error.h"
+
+namespace prom::fem {
+
+ShapeEval hex8_shape(const Vec3& xi) {
+  // VTK hex: node a has reference corner (sx, sy, sz) below.
+  constexpr real sx[8] = {-1, 1, 1, -1, -1, 1, 1, -1};
+  constexpr real sy[8] = {-1, -1, 1, 1, -1, -1, 1, 1};
+  constexpr real sz[8] = {-1, -1, -1, -1, 1, 1, 1, 1};
+  ShapeEval s;
+  s.n = 8;
+  for (int a = 0; a < 8; ++a) {
+    const real fx = 1 + sx[a] * xi.x;
+    const real fy = 1 + sy[a] * xi.y;
+    const real fz = 1 + sz[a] * xi.z;
+    s.value[a] = real{0.125} * fx * fy * fz;
+    s.grad_xi[a] = {real{0.125} * sx[a] * fy * fz,
+                    real{0.125} * fx * sy[a] * fz,
+                    real{0.125} * fx * fy * sz[a]};
+  }
+  return s;
+}
+
+ShapeEval tet4_shape(const Vec3& xi) {
+  ShapeEval s;
+  s.n = 4;
+  s.value[0] = 1 - xi.x - xi.y - xi.z;
+  s.value[1] = xi.x;
+  s.value[2] = xi.y;
+  s.value[3] = xi.z;
+  s.grad_xi[0] = {-1, -1, -1};
+  s.grad_xi[1] = {1, 0, 0};
+  s.grad_xi[2] = {0, 1, 0};
+  s.grad_xi[3] = {0, 0, 1};
+  return s;
+}
+
+PhysicalGrads physical_gradients(const ShapeEval& shape,
+                                 std::span<const Vec3> nodes) {
+  PROM_CHECK(static_cast<int>(nodes.size()) == shape.n);
+  // J_ij = dX_i / dxi_j = sum_a X_a,i * dN_a/dxi_j
+  Mat3 jac = Mat3::zero();
+  for (int a = 0; a < shape.n; ++a) {
+    for (int i = 0; i < 3; ++i) {
+      for (int j = 0; j < 3; ++j) {
+        jac(i, j) += nodes[a][i] * shape.grad_xi[a][j];
+      }
+    }
+  }
+  PhysicalGrads out;
+  out.detJ = det(jac);
+  PROM_CHECK_MSG(out.detJ > 0, "inverted element (detJ <= 0)");
+  const Mat3 jinv = inverse(jac);
+  // dN/dX = J^{-T} dN/dxi
+  const Mat3 jinv_t = transpose(jinv);
+  for (int a = 0; a < shape.n; ++a) {
+    out.grad[a] = matvec(jinv_t, shape.grad_xi[a]);
+  }
+  return out;
+}
+
+Vec3 interpolate_position(const ShapeEval& shape,
+                          std::span<const Vec3> nodes) {
+  Vec3 x{};
+  for (int a = 0; a < shape.n; ++a) x += nodes[a] * shape.value[a];
+  return x;
+}
+
+}  // namespace prom::fem

@@ -1,0 +1,47 @@
+// Isoparametric shape functions. HEX8 (trilinear) carries the fine-grid
+// discretization; TET4 (linear) provides the restriction operator weights
+// on Delaunay coarse grids — "standard linear finite element shape
+// functions for tetrahedra are used to produce the restriction operator"
+// (§3 of the paper).
+#pragma once
+
+#include <array>
+#include <span>
+
+#include "common/config.h"
+#include "geom/mat3.h"
+#include "geom/vec3.h"
+
+namespace prom::fem {
+
+inline constexpr int kMaxNodes = 8;
+
+/// Shape function values and reference-space gradients at one point.
+struct ShapeEval {
+  int n = 0;                                 ///< number of nodes (4 or 8)
+  std::array<real, kMaxNodes> value{};       ///< N_a
+  std::array<Vec3, kMaxNodes> grad_xi{};     ///< dN_a / dxi
+};
+
+/// Trilinear HEX8 shape functions at reference point xi in [-1,1]^3, node
+/// order matching the VTK hexahedron.
+ShapeEval hex8_shape(const Vec3& xi);
+
+/// Linear TET4 shape functions at reference point xi in the unit simplex.
+ShapeEval tet4_shape(const Vec3& xi);
+
+/// Physical-space gradients at one quadrature point.
+struct PhysicalGrads {
+  std::array<Vec3, kMaxNodes> grad;  ///< dN_a / dX
+  real detJ = 0;                     ///< Jacobian determinant
+};
+
+/// Maps reference gradients to physical ones given the element's node
+/// coordinates. Throws on a non-positive Jacobian (inverted element).
+PhysicalGrads physical_gradients(const ShapeEval& shape,
+                                 std::span<const Vec3> nodes);
+
+/// Interpolated position sum_a N_a * X_a.
+Vec3 interpolate_position(const ShapeEval& shape, std::span<const Vec3> nodes);
+
+}  // namespace prom::fem

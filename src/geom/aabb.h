@@ -1,0 +1,50 @@
+// Axis-aligned bounding box; used by the Delaunay mesher (super-box of
+// §4.8), the RCB partitioner, and mesh generators.
+#pragma once
+
+#include <algorithm>
+#include <limits>
+#include <span>
+
+#include "geom/vec3.h"
+
+namespace prom {
+
+struct Aabb {
+  Vec3 lo{std::numeric_limits<real>::max(), std::numeric_limits<real>::max(),
+          std::numeric_limits<real>::max()};
+  Vec3 hi{std::numeric_limits<real>::lowest(),
+          std::numeric_limits<real>::lowest(),
+          std::numeric_limits<real>::lowest()};
+
+  void extend(const Vec3& p) {
+    lo.x = std::min(lo.x, p.x);
+    lo.y = std::min(lo.y, p.y);
+    lo.z = std::min(lo.z, p.z);
+    hi.x = std::max(hi.x, p.x);
+    hi.y = std::max(hi.y, p.y);
+    hi.z = std::max(hi.z, p.z);
+  }
+
+  bool contains(const Vec3& p) const {
+    return p.x >= lo.x && p.x <= hi.x && p.y >= lo.y && p.y <= hi.y &&
+           p.z >= lo.z && p.z <= hi.z;
+  }
+
+  Vec3 center() const { return (lo + hi) * real{0.5}; }
+  Vec3 extent() const { return hi - lo; }
+
+  /// Longest edge length of the box (0 for an empty/degenerate box).
+  real max_extent() const {
+    const Vec3 e = extent();
+    return std::max({e.x, e.y, e.z, real{0}});
+  }
+
+  static Aabb of(std::span<const Vec3> points) {
+    Aabb box;
+    for (const Vec3& p : points) box.extend(p);
+    return box;
+  }
+};
+
+}  // namespace prom

@@ -1,0 +1,141 @@
+// Small 3x3 matrix for continuum mechanics kinematics (deformation
+// gradients, stress and strain tensors). Value semantics, row-major.
+#pragma once
+
+#include <array>
+#include <cmath>
+
+#include "common/config.h"
+#include "geom/vec3.h"
+
+namespace prom {
+
+struct Mat3 {
+  // m[i][j], row i, column j.
+  std::array<std::array<real, 3>, 3> m{};
+
+  static constexpr Mat3 zero() { return {}; }
+  static constexpr Mat3 identity() {
+    Mat3 a;
+    a.m[0][0] = a.m[1][1] = a.m[2][2] = 1;
+    return a;
+  }
+
+  constexpr real& operator()(int i, int j) { return m[i][j]; }
+  constexpr real operator()(int i, int j) const { return m[i][j]; }
+
+  constexpr Mat3& operator+=(const Mat3& o) {
+    for (int i = 0; i < 3; ++i) {
+      for (int j = 0; j < 3; ++j) m[i][j] += o.m[i][j];
+    }
+    return *this;
+  }
+  constexpr Mat3& operator-=(const Mat3& o) {
+    for (int i = 0; i < 3; ++i) {
+      for (int j = 0; j < 3; ++j) m[i][j] -= o.m[i][j];
+    }
+    return *this;
+  }
+  constexpr Mat3& operator*=(real s) {
+    for (auto& row : m) {
+      for (real& v : row) v *= s;
+    }
+    return *this;
+  }
+};
+
+constexpr Mat3 operator+(Mat3 a, const Mat3& b) { return a += b; }
+constexpr Mat3 operator-(Mat3 a, const Mat3& b) { return a -= b; }
+constexpr Mat3 operator*(Mat3 a, real s) { return a *= s; }
+constexpr Mat3 operator*(real s, Mat3 a) { return a *= s; }
+
+constexpr Mat3 matmul(const Mat3& a, const Mat3& b) {
+  Mat3 c;
+  for (int i = 0; i < 3; ++i) {
+    for (int j = 0; j < 3; ++j) {
+      real sum = 0;
+      for (int k = 0; k < 3; ++k) sum += a(i, k) * b(k, j);
+      c(i, j) = sum;
+    }
+  }
+  return c;
+}
+
+constexpr Vec3 matvec(const Mat3& a, const Vec3& x) {
+  return {a(0, 0) * x.x + a(0, 1) * x.y + a(0, 2) * x.z,
+          a(1, 0) * x.x + a(1, 1) * x.y + a(1, 2) * x.z,
+          a(2, 0) * x.x + a(2, 1) * x.y + a(2, 2) * x.z};
+}
+
+constexpr Mat3 transpose(const Mat3& a) {
+  Mat3 t;
+  for (int i = 0; i < 3; ++i) {
+    for (int j = 0; j < 3; ++j) t(i, j) = a(j, i);
+  }
+  return t;
+}
+
+constexpr real trace(const Mat3& a) { return a(0, 0) + a(1, 1) + a(2, 2); }
+
+constexpr real det(const Mat3& a) {
+  return a(0, 0) * (a(1, 1) * a(2, 2) - a(1, 2) * a(2, 1)) -
+         a(0, 1) * (a(1, 0) * a(2, 2) - a(1, 2) * a(2, 0)) +
+         a(0, 2) * (a(1, 0) * a(2, 1) - a(1, 1) * a(2, 0));
+}
+
+/// Inverse; the caller must ensure det != 0.
+constexpr Mat3 inverse(const Mat3& a) {
+  const real d = det(a);
+  const real id = real{1} / d;
+  Mat3 inv;
+  inv(0, 0) = (a(1, 1) * a(2, 2) - a(1, 2) * a(2, 1)) * id;
+  inv(0, 1) = (a(0, 2) * a(2, 1) - a(0, 1) * a(2, 2)) * id;
+  inv(0, 2) = (a(0, 1) * a(1, 2) - a(0, 2) * a(1, 1)) * id;
+  inv(1, 0) = (a(1, 2) * a(2, 0) - a(1, 0) * a(2, 2)) * id;
+  inv(1, 1) = (a(0, 0) * a(2, 2) - a(0, 2) * a(2, 0)) * id;
+  inv(1, 2) = (a(0, 2) * a(1, 0) - a(0, 0) * a(1, 2)) * id;
+  inv(2, 0) = (a(1, 0) * a(2, 1) - a(1, 1) * a(2, 0)) * id;
+  inv(2, 1) = (a(0, 1) * a(2, 0) - a(0, 0) * a(2, 1)) * id;
+  inv(2, 2) = (a(0, 0) * a(1, 1) - a(0, 1) * a(1, 0)) * id;
+  return inv;
+}
+
+constexpr Mat3 sym(const Mat3& a) {
+  Mat3 s;
+  for (int i = 0; i < 3; ++i) {
+    for (int j = 0; j < 3; ++j) s(i, j) = real{0.5} * (a(i, j) + a(j, i));
+  }
+  return s;
+}
+
+constexpr Mat3 deviator(const Mat3& a) {
+  Mat3 d = a;
+  const real p = trace(a) / real{3};
+  d(0, 0) -= p;
+  d(1, 1) -= p;
+  d(2, 2) -= p;
+  return d;
+}
+
+constexpr real double_contract(const Mat3& a, const Mat3& b) {
+  real sum = 0;
+  for (int i = 0; i < 3; ++i) {
+    for (int j = 0; j < 3; ++j) sum += a(i, j) * b(i, j);
+  }
+  return sum;
+}
+
+inline real frobenius_norm(const Mat3& a) {
+  return std::sqrt(double_contract(a, a));
+}
+
+/// Outer product of two vectors: (a ⊗ b)_ij = a_i b_j.
+constexpr Mat3 outer(const Vec3& a, const Vec3& b) {
+  Mat3 o;
+  for (int i = 0; i < 3; ++i) {
+    for (int j = 0; j < 3; ++j) o(i, j) = a[i] * b[j];
+  }
+  return o;
+}
+
+}  // namespace prom

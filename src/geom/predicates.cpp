@@ -1,0 +1,285 @@
+#include "geom/predicates.h"
+
+#include <atomic>
+#include <cmath>
+#include <vector>
+
+namespace prom {
+namespace {
+
+// Machine epsilon in Shewchuk's convention: half an ulp of 1.0. All error
+// bound constants below are taken from "Adaptive Precision Floating-Point
+// Arithmetic and Fast Robust Geometric Predicates" (1997), stage-A filters.
+constexpr real kEps = 0x1p-53;
+constexpr real kO3dErrBoundA = (7.0 + 56.0 * kEps) * kEps;
+constexpr real kIspErrBoundA = (16.0 + 224.0 * kEps) * kEps;
+
+std::atomic<long> g_orient3d_exact{0};
+std::atomic<long> g_insphere_exact{0};
+
+// ---------------------------------------------------------------------------
+// Expansion arithmetic. An expansion is a sum of doubles stored in order of
+// increasing magnitude whose components are nonoverlapping, so the sign of
+// the expansion equals the sign of its largest (last nonzero) component.
+// The operations below (two_sum / two_diff / two_prod / grow / scale)
+// preserve that invariant (Shewchuk, Theorems 6, 10, 19).
+// ---------------------------------------------------------------------------
+
+using Expansion = std::vector<real>;
+
+inline void two_sum(real a, real b, real& x, real& y) {
+  x = a + b;
+  const real bv = x - a;
+  const real av = x - bv;
+  y = (a - av) + (b - bv);
+}
+
+inline void two_diff(real a, real b, real& x, real& y) {
+  x = a - b;
+  const real bv = a - x;
+  const real av = x + bv;
+  y = (a - av) - (b - bv);
+}
+
+inline void two_prod(real a, real b, real& x, real& y) {
+  x = a * b;
+  y = std::fma(a, b, -x);
+}
+
+/// e + b, where e is an expansion and b a single double.
+Expansion grow_expansion(const Expansion& e, real b) {
+  Expansion h;
+  h.reserve(e.size() + 1);
+  real q = b;
+  for (real ei : e) {
+    real sum, err;
+    two_sum(q, ei, sum, err);
+    if (err != 0) h.push_back(err);
+    q = sum;
+  }
+  h.push_back(q);
+  return h;
+}
+
+/// e + f (expansion + expansion).
+Expansion expansion_sum(const Expansion& e, const Expansion& f) {
+  Expansion h = e;
+  for (real fi : f) h = grow_expansion(h, fi);
+  return h;
+}
+
+/// e * b (expansion times a single double).
+Expansion scale_expansion(const Expansion& e, real b) {
+  Expansion h;
+  h.reserve(2 * e.size());
+  for (real ei : e) {
+    real p, perr;
+    two_prod(ei, b, p, perr);
+    Expansion term;
+    if (perr != 0) term.push_back(perr);
+    term.push_back(p);
+    h = h.empty() ? term : expansion_sum(h, term);
+  }
+  if (h.empty()) h.push_back(0);
+  return h;
+}
+
+/// e * f (expansion times expansion).
+Expansion expansion_mul(const Expansion& e, const Expansion& f) {
+  Expansion h{0};
+  for (real fi : f) h = expansion_sum(h, scale_expansion(e, fi));
+  return h;
+}
+
+Expansion expansion_neg(Expansion e) {
+  for (real& v : e) v = -v;
+  return e;
+}
+
+Expansion expansion_diff(const Expansion& e, const Expansion& f) {
+  return expansion_sum(e, expansion_neg(f));
+}
+
+/// Most significant component (0 for the zero expansion); its sign is the
+/// sign of the whole (nonoverlapping) expansion.
+real expansion_estimate(const Expansion& e) {
+  for (auto it = e.rbegin(); it != e.rend(); ++it) {
+    if (*it != 0) return *it;
+  }
+  return 0;
+}
+
+/// Exact a - b as a length-2 expansion.
+Expansion exact_diff(real a, real b) {
+  real x, y;
+  two_diff(a, b, x, y);
+  Expansion e;
+  if (y != 0) e.push_back(y);
+  e.push_back(x);
+  return e;
+}
+
+/// 2x2 determinant p*s - q*r of four expansions.
+Expansion det2(const Expansion& p, const Expansion& q, const Expansion& r,
+               const Expansion& s) {
+  return expansion_diff(expansion_mul(p, s), expansion_mul(q, r));
+}
+
+/// 3x3 determinant of expansion entries (rows u, v, w).
+Expansion det3(const Expansion& u0, const Expansion& u1, const Expansion& u2,
+               const Expansion& v0, const Expansion& v1, const Expansion& v2,
+               const Expansion& w0, const Expansion& w1, const Expansion& w2) {
+  Expansion t0 = expansion_mul(u0, det2(v1, v2, w1, w2));
+  Expansion t1 = expansion_mul(u1, det2(v0, v2, w0, w2));
+  Expansion t2 = expansion_mul(u2, det2(v0, v1, w0, w1));
+  return expansion_sum(expansion_diff(t0, t1), t2);
+}
+
+real orient3d_exact(const Vec3& a, const Vec3& b, const Vec3& c,
+                    const Vec3& d) {
+  g_orient3d_exact.fetch_add(1, std::memory_order_relaxed);
+  const Expansion adx = exact_diff(a.x, d.x), ady = exact_diff(a.y, d.y),
+                  adz = exact_diff(a.z, d.z);
+  const Expansion bdx = exact_diff(b.x, d.x), bdy = exact_diff(b.y, d.y),
+                  bdz = exact_diff(b.z, d.z);
+  const Expansion cdx = exact_diff(c.x, d.x), cdy = exact_diff(c.y, d.y),
+                  cdz = exact_diff(c.z, d.z);
+  const Expansion det =
+      det3(adx, ady, adz, bdx, bdy, bdz, cdx, cdy, cdz);
+  return expansion_estimate(det);
+}
+
+real insphere_exact(const Vec3& a, const Vec3& b, const Vec3& c,
+                    const Vec3& d, const Vec3& e) {
+  g_insphere_exact.fetch_add(1, std::memory_order_relaxed);
+  // Row entries relative to e; lift(p) = |p - e|^2 computed exactly.
+  const Vec3* pts[4] = {&a, &b, &c, &d};
+  Expansion dx[4], dy[4], dz[4], lift[4];
+  for (int i = 0; i < 4; ++i) {
+    dx[i] = exact_diff(pts[i]->x, e.x);
+    dy[i] = exact_diff(pts[i]->y, e.y);
+    dz[i] = exact_diff(pts[i]->z, e.z);
+    lift[i] = expansion_sum(expansion_mul(dx[i], dx[i]),
+                            expansion_sum(expansion_mul(dy[i], dy[i]),
+                                          expansion_mul(dz[i], dz[i])));
+  }
+  // Cofactor expansion of the 4x4 determinant along the lift column:
+  //   det = -lift0*D0 + lift1*D1 - lift2*D2 + lift3*D3
+  // where Di is the 3x3 minor of the coordinate rows with row i removed,
+  // matching the standard insphere sign convention.
+  auto minor = [&](int skip) {
+    int r[3], k = 0;
+    for (int i = 0; i < 4; ++i) {
+      if (i != skip) r[k++] = i;
+    }
+    return det3(dx[r[0]], dy[r[0]], dz[r[0]], dx[r[1]], dy[r[1]], dz[r[1]],
+                dx[r[2]], dy[r[2]], dz[r[2]]);
+  };
+  Expansion det = expansion_neg(expansion_mul(lift[0], minor(0)));
+  det = expansion_sum(det, expansion_mul(lift[1], minor(1)));
+  det = expansion_diff(det, expansion_mul(lift[2], minor(2)));
+  det = expansion_sum(det, expansion_mul(lift[3], minor(3)));
+  return expansion_estimate(det);
+}
+
+}  // namespace
+
+real orient3d(const Vec3& a_in, const Vec3& b_in, const Vec3& c, const Vec3& d) {
+  // Conventional sign (positive for the standard unit tetrahedron, i.e.
+  // det[b-a, c-a, d-a] > 0) is the negative of Shewchuk's determinant of
+  // [a-d; b-d; c-d]; swapping the first two arguments implements the
+  // negation exactly in both the filtered and the exact path.
+  const Vec3& a = b_in;
+  const Vec3& b = a_in;
+  const real adx = a.x - d.x, ady = a.y - d.y, adz = a.z - d.z;
+  const real bdx = b.x - d.x, bdy = b.y - d.y, bdz = b.z - d.z;
+  const real cdx = c.x - d.x, cdy = c.y - d.y, cdz = c.z - d.z;
+
+  const real bdxcdy = bdx * cdy, bdycdx = bdy * cdx;
+  const real bdycdz = bdy * cdz, bdzcdy = bdz * cdy;
+  const real bdzcdx = bdz * cdx, bdxcdz = bdx * cdz;
+
+  const real det = adx * (bdycdz - bdzcdy) + ady * (bdzcdx - bdxcdz) +
+                   adz * (bdxcdy - bdycdx);
+
+  const real permanent = (std::fabs(bdycdz) + std::fabs(bdzcdy)) *
+                             std::fabs(adx) +
+                         (std::fabs(bdzcdx) + std::fabs(bdxcdz)) *
+                             std::fabs(ady) +
+                         (std::fabs(bdxcdy) + std::fabs(bdycdx)) *
+                             std::fabs(adz);
+  const real errbound = kO3dErrBoundA * permanent;
+  if (det > errbound || -det > errbound) return det;
+  return orient3d_exact(a, b, c, d);
+}
+
+real insphere(const Vec3& a_in, const Vec3& b_in, const Vec3& c,
+              const Vec3& d, const Vec3& e) {
+  // Same argument swap as orient3d: keeps "insphere > 0 iff e inside the
+  // circumsphere" tied to the conventional positive orientation.
+  const Vec3& a = b_in;
+  const Vec3& b = a_in;
+  const real aex = a.x - e.x, aey = a.y - e.y, aez = a.z - e.z;
+  const real bex = b.x - e.x, bey = b.y - e.y, bez = b.z - e.z;
+  const real cex = c.x - e.x, cey = c.y - e.y, cez = c.z - e.z;
+  const real dex = d.x - e.x, dey = d.y - e.y, dez = d.z - e.z;
+
+  const real ab = aex * bey - bex * aey;
+  const real bc = bex * cey - cex * bey;
+  const real cd = cex * dey - dex * cey;
+  const real da = dex * aey - aex * dey;
+  const real ac = aex * cey - cex * aey;
+  const real bd = bex * dey - dex * bey;
+
+  const real abc = aez * bc - bez * ac + cez * ab;
+  const real bcd = bez * cd - cez * bd + dez * bc;
+  const real cda = cez * da + dez * ac + aez * cd;
+  const real dab = dez * ab + aez * bd + bez * da;
+
+  const real alift = aex * aex + aey * aey + aez * aez;
+  const real blift = bex * bex + bey * bey + bez * bez;
+  const real clift = cex * cex + cey * cey + cez * cez;
+  const real dlift = dex * dex + dey * dey + dez * dez;
+
+  const real det = (dlift * abc - clift * dab) + (blift * cda - alift * bcd);
+
+  const real aezplus = std::fabs(aez), bezplus = std::fabs(bez);
+  const real cezplus = std::fabs(cez), dezplus = std::fabs(dez);
+  const real aexbeyplus = std::fabs(aex * bey), bexaeyplus = std::fabs(bex * aey);
+  const real bexceyplus = std::fabs(bex * cey), cexbeyplus = std::fabs(cex * bey);
+  const real cexdeyplus = std::fabs(cex * dey), dexceyplus = std::fabs(dex * cey);
+  const real dexaeyplus = std::fabs(dex * aey), aexdeyplus = std::fabs(aex * dey);
+  const real aexceyplus = std::fabs(aex * cey), cexaeyplus = std::fabs(cex * aey);
+  const real bexdeyplus = std::fabs(bex * dey), dexbeyplus = std::fabs(dex * bey);
+  const real permanent =
+      ((cexdeyplus + dexceyplus) * bezplus +
+       (dexbeyplus + bexdeyplus) * cezplus +
+       (bexceyplus + cexbeyplus) * dezplus) *
+          alift +
+      ((dexaeyplus + aexdeyplus) * cezplus +
+       (aexceyplus + cexaeyplus) * dezplus +
+       (cexdeyplus + dexceyplus) * aezplus) *
+          blift +
+      ((aexbeyplus + bexaeyplus) * dezplus +
+       (bexdeyplus + dexbeyplus) * aezplus +
+       (dexaeyplus + aexdeyplus) * bezplus) *
+          clift +
+      ((bexceyplus + cexbeyplus) * aezplus +
+       (cexaeyplus + aexceyplus) * bezplus +
+       (aexbeyplus + bexaeyplus) * cezplus) *
+          dlift;
+  const real errbound = kIspErrBoundA * permanent;
+  if (det > errbound || -det > errbound) return det;
+  return insphere_exact(a, b, c, d, e);
+}
+
+PredicateStats predicate_stats() {
+  return {g_orient3d_exact.load(), g_insphere_exact.load()};
+}
+
+void reset_predicate_stats() {
+  g_orient3d_exact = 0;
+  g_insphere_exact = 0;
+}
+
+}  // namespace prom

@@ -1,0 +1,55 @@
+// Robust geometric predicates in the style of Shewchuk's adaptive-precision
+// arithmetic [21 in the paper]: a fast floating-point evaluation guarded by
+// a forward error bound, with an exact multi-term ("expansion") fallback
+// when the fast result is not certain. These are the foundation of the
+// Delaunay tetrahedralization used to remesh MIS vertex sets (§4.8).
+//
+// Both predicates follow the conventional signs:
+//  - orient3d(a,b,c,d) > 0  iff det[b-a, c-a, d-a] > 0, i.e. d lies on the
+//    side of plane(a,b,c) from which a,b,c appear counterclockwise (the
+//    standard unit tetrahedron (0,0,0),(1,0,0),(0,1,0),(0,0,1) is
+//    positive).
+//  - insphere(a,b,c,d,e) > 0 iff e lies inside the circumsphere of the
+//    positively oriented tetrahedron (a,b,c,d).
+//
+// The returned value is only meaningful through its sign (and zero-ness):
+// the fast path returns the approximate determinant, the exact path returns
+// the most significant component of the exact determinant.
+#pragma once
+
+#include "geom/vec3.h"
+
+namespace prom {
+
+/// Orientation test for four points (see file comment for the convention).
+real orient3d(const Vec3& a, const Vec3& b, const Vec3& c, const Vec3& d);
+
+/// Circumsphere test for five points (see file comment for the convention).
+real insphere(const Vec3& a, const Vec3& b, const Vec3& c, const Vec3& d,
+              const Vec3& e);
+
+/// Sign helper: -1, 0 or +1.
+inline int sign_of(real v) { return (v > 0) - (v < 0); }
+
+/// Signed volume of tetrahedron (a,b,c,d); positive when orient3d > 0.
+inline real signed_tet_volume(const Vec3& a, const Vec3& b, const Vec3& c,
+                              const Vec3& d) {
+  return orient3d(a, b, c, d) / real{6};
+}
+
+/// Unit normal of triangle (a,b,c) by the right-hand rule; zero for a
+/// degenerate triangle.
+inline Vec3 triangle_normal(const Vec3& a, const Vec3& b, const Vec3& c) {
+  return normalized(cross(b - a, c - a));
+}
+
+/// Counts of how often each predicate fell back to the exact path; useful
+/// to verify the filter is effective (kernel microbenchmarks).
+struct PredicateStats {
+  long orient3d_exact = 0;
+  long insphere_exact = 0;
+};
+PredicateStats predicate_stats();
+void reset_predicate_stats();
+
+}  // namespace prom

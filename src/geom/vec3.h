@@ -1,0 +1,73 @@
+// Small 3-vector used for vertex coordinates, facet normals, and the
+// geometric heuristics of §4. Deliberately a plain aggregate with value
+// semantics; all operations are constexpr-friendly.
+#pragma once
+
+#include <cmath>
+
+#include "common/config.h"
+
+namespace prom {
+
+struct Vec3 {
+  real x = 0, y = 0, z = 0;
+
+  constexpr real& operator[](int i) { return i == 0 ? x : (i == 1 ? y : z); }
+  constexpr const real& operator[](int i) const {
+    return i == 0 ? x : (i == 1 ? y : z);
+  }
+
+  constexpr Vec3& operator+=(const Vec3& o) {
+    x += o.x;
+    y += o.y;
+    z += o.z;
+    return *this;
+  }
+  constexpr Vec3& operator-=(const Vec3& o) {
+    x -= o.x;
+    y -= o.y;
+    z -= o.z;
+    return *this;
+  }
+  constexpr Vec3& operator*=(real s) {
+    x *= s;
+    y *= s;
+    z *= s;
+    return *this;
+  }
+};
+
+constexpr Vec3 operator+(Vec3 a, const Vec3& b) { return a += b; }
+constexpr Vec3 operator-(Vec3 a, const Vec3& b) { return a -= b; }
+constexpr Vec3 operator*(Vec3 a, real s) { return a *= s; }
+constexpr Vec3 operator*(real s, Vec3 a) { return a *= s; }
+constexpr Vec3 operator/(Vec3 a, real s) { return a *= (real{1} / s); }
+constexpr Vec3 operator-(const Vec3& a) { return {-a.x, -a.y, -a.z}; }
+
+constexpr bool operator==(const Vec3& a, const Vec3& b) {
+  return a.x == b.x && a.y == b.y && a.z == b.z;
+}
+
+constexpr real dot(const Vec3& a, const Vec3& b) {
+  return a.x * b.x + a.y * b.y + a.z * b.z;
+}
+
+constexpr Vec3 cross(const Vec3& a, const Vec3& b) {
+  return {a.y * b.z - a.z * b.y, a.z * b.x - a.x * b.z,
+          a.x * b.y - a.y * b.x};
+}
+
+inline real norm(const Vec3& a) { return std::sqrt(dot(a, a)); }
+
+constexpr real norm2(const Vec3& a) { return dot(a, a); }
+
+/// Unit vector in the direction of `a`; returns the zero vector if `a` is
+/// (numerically) zero so callers need not special-case degenerate facets.
+inline Vec3 normalized(const Vec3& a) {
+  const real n = norm(a);
+  return n > real{0} ? a / n : Vec3{};
+}
+
+inline real distance(const Vec3& a, const Vec3& b) { return norm(a - b); }
+
+}  // namespace prom

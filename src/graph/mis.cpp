@@ -1,0 +1,47 @@
+#include "graph/mis.h"
+
+#include <algorithm>
+
+#include "common/error.h"
+#include "graph/order.h"
+
+namespace prom::graph {
+
+MisResult greedy_mis(const Graph& g, std::span<const idx> order,
+                     const MisOptions& opts) {
+  const idx n = g.num_vertices();
+  PROM_CHECK(static_cast<idx>(order.size()) == n);
+  PROM_CHECK(opts.ranks.empty() || static_cast<idx>(opts.ranks.size()) == n);
+
+  std::vector<idx> traversal(order.begin(), order.end());
+  if (!opts.ranks.empty()) {
+    // Stable sort by decreasing rank: all corner vertices are visited
+    // before edge vertices, and so on, so a lower-ranked vertex can never
+    // delete an undone higher-ranked one.
+    std::stable_sort(traversal.begin(), traversal.end(), [&](idx a, idx b) {
+      return opts.ranks[a] > opts.ranks[b];
+    });
+  }
+
+  MisResult result;
+  result.state.assign(static_cast<std::size_t>(n), MisState::kUndone);
+  for (idx v : traversal) {
+    PROM_CHECK(v >= 0 && v < n);
+    if (result.state[v] != MisState::kUndone) continue;
+    result.state[v] = MisState::kSelected;
+    result.selected.push_back(v);
+    for (idx u : g.neighbors(v)) {
+      if (result.state[u] == MisState::kUndone) {
+        result.state[u] = MisState::kDeleted;
+      }
+    }
+  }
+  return result;
+}
+
+MisResult greedy_mis(const Graph& g) {
+  const std::vector<idx> order = natural_order(g.num_vertices());
+  return greedy_mis(g, order, {});
+}
+
+}  // namespace prom::graph

@@ -1,0 +1,40 @@
+// Maximal independent sets — the paper's coarsening mechanism (§4.1).
+// The greedy algorithm of Figure 2 with the two refinements the paper
+// layers on top:
+//   * vertex *ranks* (from topological classification, §4.3–4.4): a vertex
+//     of lower rank must not suppress a vertex of higher rank;
+//   * *protected* top-rank vertices ("we do not allow corners to be
+//     deleted at all", §4.6) — realized as processing them first.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "common/config.h"
+#include "graph/graph.h"
+
+namespace prom::graph {
+
+enum class MisState : std::uint8_t { kUndone = 0, kSelected = 1, kDeleted = 2 };
+
+struct MisOptions {
+  /// Per-vertex rank (empty = all rank 0). Higher rank wins: the traversal
+  /// is stably sorted by decreasing rank before the greedy pass, which
+  /// implements the paper's "lower rank does not suppress higher rank".
+  std::span<const idx> ranks;
+};
+
+struct MisResult {
+  std::vector<idx> selected;      ///< the MIS, in selection order
+  std::vector<MisState> state;    ///< final state of every vertex
+};
+
+/// Greedy MIS (Figure 2) traversing vertices in `order` (a permutation of
+/// 0..nv-1), honoring ranks per MisOptions.
+MisResult greedy_mis(const Graph& g, std::span<const idx> order,
+                     const MisOptions& opts = {});
+
+/// Convenience: greedy MIS in natural order.
+MisResult greedy_mis(const Graph& g);
+
+}  // namespace prom::graph

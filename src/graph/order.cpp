@@ -1,0 +1,67 @@
+#include "graph/order.h"
+
+#include <algorithm>
+#include <numeric>
+
+#include "common/rng.h"
+
+namespace prom::graph {
+
+std::vector<idx> natural_order(idx n) {
+  std::vector<idx> order(static_cast<std::size_t>(n));
+  std::iota(order.begin(), order.end(), idx{0});
+  return order;
+}
+
+std::vector<idx> random_order(idx n, std::uint64_t seed) {
+  std::vector<idx> order = natural_order(n);
+  Rng rng(seed);
+  for (idx i = n - 1; i > 0; --i) {
+    const idx j = static_cast<idx>(rng.next_below(static_cast<std::uint64_t>(i) + 1));
+    std::swap(order[i], order[j]);
+  }
+  return order;
+}
+
+std::vector<idx> cuthill_mckee(const Graph& g) {
+  const idx n = g.num_vertices();
+  std::vector<idx> order;
+  order.reserve(static_cast<std::size_t>(n));
+  std::vector<char> visited(static_cast<std::size_t>(n), 0);
+
+  // Vertices sorted by degree, used both to pick component seeds and to
+  // order neighbor expansion.
+  std::vector<idx> by_degree = natural_order(n);
+  std::sort(by_degree.begin(), by_degree.end(), [&](idx a, idx b) {
+    return g.degree(a) != g.degree(b) ? g.degree(a) < g.degree(b) : a < b;
+  });
+
+  std::vector<idx> nbrs;
+  for (idx seed : by_degree) {
+    if (visited[seed]) continue;
+    visited[seed] = 1;
+    order.push_back(seed);
+    for (std::size_t head = order.size() - 1; head < order.size(); ++head) {
+      const idx v = order[head];
+      nbrs.assign(g.neighbors(v).begin(), g.neighbors(v).end());
+      std::sort(nbrs.begin(), nbrs.end(), [&](idx a, idx b) {
+        return g.degree(a) != g.degree(b) ? g.degree(a) < g.degree(b) : a < b;
+      });
+      for (idx u : nbrs) {
+        if (!visited[u]) {
+          visited[u] = 1;
+          order.push_back(u);
+        }
+      }
+    }
+  }
+  return order;
+}
+
+std::vector<idx> reverse_cuthill_mckee(const Graph& g) {
+  std::vector<idx> order = cuthill_mckee(g);
+  std::reverse(order.begin(), order.end());
+  return order;
+}
+
+}  // namespace prom::graph

@@ -1,0 +1,27 @@
+// Vertex orderings for the MIS (§4.7): "natural" orders (block-regular
+// input order, or a cache-friendly Cuthill–McKee order) tend to produce
+// dense MISs; random orders produce sparse ones.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/config.h"
+#include "graph/graph.h"
+
+namespace prom::graph {
+
+/// The identity permutation 0, 1, ..., n-1.
+std::vector<idx> natural_order(idx n);
+
+/// A deterministic pseudo-random permutation (Fisher–Yates).
+std::vector<idx> random_order(idx n, std::uint64_t seed);
+
+/// Cuthill–McKee: breadth-first from a minimum-degree vertex, neighbors
+/// visited in increasing-degree order; handles disconnected graphs.
+std::vector<idx> cuthill_mckee(const Graph& g);
+
+/// Reverse Cuthill–McKee (the usual bandwidth-reducing variant).
+std::vector<idx> reverse_cuthill_mckee(const Graph& g);
+
+}  // namespace prom::graph

@@ -1,0 +1,217 @@
+#include "la/csr.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "common/error.h"
+#include "common/flops.h"
+
+namespace prom::la {
+
+void Csr::spmv(std::span<const real> x, std::span<real> y) const {
+  PROM_CHECK(static_cast<idx>(x.size()) == ncols &&
+             static_cast<idx>(y.size()) == nrows);
+  for (idx i = 0; i < nrows; ++i) {
+    real sum = 0;
+    for (nnz_t k = rowptr[i]; k < rowptr[i + 1]; ++k) {
+      sum += vals[k] * x[colidx[k]];
+    }
+    y[i] = sum;
+  }
+  count_flops(2 * nnz());
+}
+
+void Csr::spmv_add(std::span<const real> x, std::span<real> y) const {
+  PROM_CHECK(static_cast<idx>(x.size()) == ncols &&
+             static_cast<idx>(y.size()) == nrows);
+  for (idx i = 0; i < nrows; ++i) {
+    real sum = 0;
+    for (nnz_t k = rowptr[i]; k < rowptr[i + 1]; ++k) {
+      sum += vals[k] * x[colidx[k]];
+    }
+    y[i] += sum;
+  }
+  count_flops(2 * nnz());
+}
+
+void Csr::spmv_transpose(std::span<const real> x, std::span<real> y) const {
+  PROM_CHECK(static_cast<idx>(x.size()) == nrows &&
+             static_cast<idx>(y.size()) == ncols);
+  std::fill(y.begin(), y.end(), real{0});
+  for (idx i = 0; i < nrows; ++i) {
+    const real xi = x[i];
+    for (nnz_t k = rowptr[i]; k < rowptr[i + 1]; ++k) {
+      y[colidx[k]] += vals[k] * xi;
+    }
+  }
+  count_flops(2 * nnz());
+}
+
+std::vector<real> Csr::apply(std::span<const real> x) const {
+  std::vector<real> y(static_cast<std::size_t>(nrows));
+  spmv(x, y);
+  return y;
+}
+
+real Csr::at(idx i, idx j) const {
+  PROM_CHECK(i >= 0 && i < nrows && j >= 0 && j < ncols);
+  const auto begin = colidx.begin() + rowptr[i];
+  const auto end = colidx.begin() + rowptr[i + 1];
+  const auto it = std::lower_bound(begin, end, j);
+  if (it == end || *it != j) return 0;
+  return vals[it - colidx.begin()];
+}
+
+Csr Csr::transposed() const {
+  Csr t;
+  t.nrows = ncols;
+  t.ncols = nrows;
+  t.rowptr.assign(static_cast<std::size_t>(ncols) + 1, 0);
+  for (idx j : colidx) t.rowptr[j + 1]++;
+  for (idx j = 0; j < ncols; ++j) t.rowptr[j + 1] += t.rowptr[j];
+  t.colidx.resize(colidx.size());
+  t.vals.resize(vals.size());
+  std::vector<nnz_t> next(t.rowptr.begin(), t.rowptr.end() - 1);
+  for (idx i = 0; i < nrows; ++i) {
+    for (nnz_t k = rowptr[i]; k < rowptr[i + 1]; ++k) {
+      const nnz_t pos = next[colidx[k]]++;
+      t.colidx[pos] = i;
+      t.vals[pos] = vals[k];
+    }
+  }
+  return t;  // columns are sorted because rows were traversed in order
+}
+
+std::vector<real> Csr::diagonal() const {
+  std::vector<real> d(static_cast<std::size_t>(nrows), real{0});
+  for (idx i = 0; i < nrows && i < ncols; ++i) d[i] = at(i, i);
+  return d;
+}
+
+real Csr::symmetry_error() const {
+  if (nrows != ncols) return std::numeric_limits<real>::infinity();
+  real err = 0;
+  for (idx i = 0; i < nrows; ++i) {
+    for (nnz_t k = rowptr[i]; k < rowptr[i + 1]; ++k) {
+      err = std::max(err, std::fabs(vals[k] - at(colidx[k], i)));
+    }
+  }
+  return err;
+}
+
+Csr Csr::from_triplets(idx nrows, idx ncols,
+                       std::span<const Triplet> triplets) {
+  std::vector<Triplet> t(triplets.begin(), triplets.end());
+  std::sort(t.begin(), t.end(), [](const Triplet& a, const Triplet& b) {
+    return a.row != b.row ? a.row < b.row : a.col < b.col;
+  });
+  Csr m;
+  m.nrows = nrows;
+  m.ncols = ncols;
+  m.rowptr.assign(static_cast<std::size_t>(nrows) + 1, 0);
+  m.colidx.reserve(t.size());
+  m.vals.reserve(t.size());
+  for (std::size_t i = 0; i < t.size();) {
+    PROM_CHECK(t[i].row >= 0 && t[i].row < nrows && t[i].col >= 0 &&
+               t[i].col < ncols);
+    real sum = 0;
+    const idx row = t[i].row, col = t[i].col;
+    while (i < t.size() && t[i].row == row && t[i].col == col) {
+      sum += t[i].value;
+      ++i;
+    }
+    m.colidx.push_back(col);
+    m.vals.push_back(sum);
+    m.rowptr[row + 1] = static_cast<nnz_t>(m.colidx.size());
+  }
+  for (idx r = 0; r < nrows; ++r) {
+    m.rowptr[r + 1] = std::max(m.rowptr[r + 1], m.rowptr[r]);
+  }
+  return m;
+}
+
+Csr Csr::identity(idx n) {
+  Csr m;
+  m.nrows = m.ncols = n;
+  m.rowptr.resize(static_cast<std::size_t>(n) + 1);
+  m.colidx.resize(static_cast<std::size_t>(n));
+  m.vals.assign(static_cast<std::size_t>(n), real{1});
+  for (idx i = 0; i <= n; ++i) m.rowptr[i] = i;
+  for (idx i = 0; i < n; ++i) m.colidx[i] = i;
+  return m;
+}
+
+std::vector<real> Csr::to_dense_rowmajor() const {
+  std::vector<real> d(static_cast<std::size_t>(nrows) * ncols, real{0});
+  for (idx i = 0; i < nrows; ++i) {
+    for (nnz_t k = rowptr[i]; k < rowptr[i + 1]; ++k) {
+      d[static_cast<std::size_t>(i) * ncols + colidx[k]] = vals[k];
+    }
+  }
+  return d;
+}
+
+Csr spgemm(const Csr& a, const Csr& b) {
+  PROM_CHECK(a.ncols == b.nrows);
+  Csr c;
+  c.nrows = a.nrows;
+  c.ncols = b.ncols;
+  c.rowptr.assign(static_cast<std::size_t>(a.nrows) + 1, 0);
+  // Gustavson: a dense accumulator over the columns of C per row of A.
+  std::vector<real> acc(static_cast<std::size_t>(b.ncols), real{0});
+  std::vector<idx> marker(static_cast<std::size_t>(b.ncols), kInvalidIdx);
+  std::vector<idx> cols_in_row;
+  std::int64_t flops = 0;
+  for (idx i = 0; i < a.nrows; ++i) {
+    cols_in_row.clear();
+    for (nnz_t ka = a.rowptr[i]; ka < a.rowptr[i + 1]; ++ka) {
+      const idx j = a.colidx[ka];
+      const real av = a.vals[ka];
+      for (nnz_t kb = b.rowptr[j]; kb < b.rowptr[j + 1]; ++kb) {
+        const idx col = b.colidx[kb];
+        if (marker[col] != i) {
+          marker[col] = i;
+          acc[col] = 0;
+          cols_in_row.push_back(col);
+        }
+        acc[col] += av * b.vals[kb];
+        flops += 2;
+      }
+    }
+    std::sort(cols_in_row.begin(), cols_in_row.end());
+    for (idx col : cols_in_row) {
+      c.colidx.push_back(col);
+      c.vals.push_back(acc[col]);
+    }
+    c.rowptr[i + 1] = static_cast<nnz_t>(c.colidx.size());
+  }
+  count_flops(flops);
+  return c;
+}
+
+Csr galerkin_product(const Csr& r, const Csr& a) {
+  PROM_CHECK(r.ncols == a.nrows && a.nrows == a.ncols);
+  const Csr rt = r.transposed();
+  const Csr art = spgemm(a, rt);
+  return spgemm(r, art);
+}
+
+Csr drop_small(const Csr& a, real tol) {
+  Csr m;
+  m.nrows = a.nrows;
+  m.ncols = a.ncols;
+  m.rowptr.assign(static_cast<std::size_t>(a.nrows) + 1, 0);
+  for (idx i = 0; i < a.nrows; ++i) {
+    for (nnz_t k = a.rowptr[i]; k < a.rowptr[i + 1]; ++k) {
+      if (std::fabs(a.vals[k]) > tol || a.colidx[k] == i) {
+        m.colidx.push_back(a.colidx[k]);
+        m.vals.push_back(a.vals[k]);
+      }
+    }
+    m.rowptr[i + 1] = static_cast<nnz_t>(m.colidx.size());
+  }
+  return m;
+}
+
+}  // namespace prom::la

@@ -1,0 +1,74 @@
+#include "la/dense.h"
+
+#include <cmath>
+
+#include "common/flops.h"
+
+namespace prom::la {
+
+void DenseMatrix::matvec(std::span<const real> x, std::span<real> y) const {
+  PROM_CHECK(static_cast<idx>(x.size()) == cols_ &&
+             static_cast<idx>(y.size()) == rows_);
+  for (idx i = 0; i < rows_; ++i) y[i] = 0;
+  for (idx j = 0; j < cols_; ++j) {
+    const real xj = x[j];
+    for (idx i = 0; i < rows_; ++i) y[i] += (*this)(i, j) * xj;
+  }
+  count_flops(2LL * rows_ * cols_);
+}
+
+DenseMatrix DenseMatrix::identity(idx n) {
+  DenseMatrix m(n, n);
+  for (idx i = 0; i < n; ++i) m(i, i) = 1;
+  return m;
+}
+
+DenseLdlt::DenseLdlt(const DenseMatrix& a)
+    : n_(a.rows()), l_(a.rows(), a.rows()), d_(a.rows(), real{0}) {
+  PROM_CHECK(a.rows() == a.cols());
+  const idx n = n_;
+  // Column-by-column LDL^T using the lower triangle of `a`.
+  std::vector<real> w(n);  // workspace: column j of L*D
+  for (idx j = 0; j < n; ++j) {
+    for (idx k = 0; k < j; ++k) w[k] = l_(j, k) * d_[k];
+    real dj = a(j, j);
+    for (idx k = 0; k < j; ++k) dj -= l_(j, k) * w[k];
+    if (!(std::isfinite(dj)) || dj <= real{0}) {
+      ok_ = false;
+      return;
+    }
+    d_[j] = dj;
+    l_(j, j) = 1;
+    for (idx i = j + 1; i < n; ++i) {
+      real lij = a(i, j);
+      for (idx k = 0; k < j; ++k) lij -= l_(i, k) * w[k];
+      l_(i, j) = lij / dj;
+    }
+  }
+  count_flops(n * static_cast<std::int64_t>(n) * n / 3);
+  ok_ = true;
+}
+
+void DenseLdlt::solve(std::span<const real> b, std::span<real> x) const {
+  PROM_CHECK_MSG(ok_, "DenseLdlt::solve on a failed factorization");
+  PROM_CHECK(static_cast<idx>(b.size()) == n_ &&
+             static_cast<idx>(x.size()) == n_);
+  const idx n = n_;
+  // Forward solve L y = b.
+  for (idx i = 0; i < n; ++i) {
+    real yi = b[i];
+    for (idx k = 0; k < i; ++k) yi -= l_(i, k) * x[k];
+    x[i] = yi;
+  }
+  // Diagonal solve D z = y.
+  for (idx i = 0; i < n; ++i) x[i] /= d_[i];
+  // Backward solve L^T x = z.
+  for (idx i = n - 1; i >= 0; --i) {
+    real xi = x[i];
+    for (idx k = i + 1; k < n; ++k) xi -= l_(k, i) * x[k];
+    x[i] = xi;
+  }
+  count_flops(2LL * n * n);
+}
+
+}  // namespace prom::la

@@ -1,0 +1,56 @@
+// Conjugate gradient solvers. The paper's outer solver is CG preconditioned
+// with one full multigrid cycle (§7.2); the same `pcg` below accepts any
+// symmetric positive definite preconditioner through LinearOperator.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "common/config.h"
+#include "la/operator.h"
+
+namespace prom::la {
+
+struct KrylovOptions {
+  real rtol = 1e-6;        ///< stop when ||r||_2 / ||b||_2 <= rtol
+  int max_iters = 1000;
+  bool track_history = false;  ///< record ||r|| after each iteration
+};
+
+struct KrylovResult {
+  int iterations = 0;
+  real final_relres = 0;
+  bool converged = false;
+  /// True if CG stopped because p'Ap or r'z lost positivity (operator or
+  /// preconditioner not SPD at working precision).
+  bool breakdown = false;
+  std::vector<real> history;  ///< residual norms (if tracked), history[0]=||b||
+};
+
+/// Unpreconditioned CG for SPD systems; x holds the initial guess on entry
+/// and the solution on exit.
+KrylovResult cg(const LinearOperator& a, std::span<const real> b,
+                std::span<real> x, const KrylovOptions& opts = {});
+
+/// Preconditioned CG; `m` applies the (SPD) preconditioner: z = M^{-1} r.
+KrylovResult pcg(const LinearOperator& a, const LinearOperator& m,
+                 std::span<const real> b, std::span<real> x,
+                 const KrylovOptions& opts = {});
+
+struct GmresOptions {
+  real rtol = 1e-6;
+  int max_iters = 500;   ///< total inner iterations across restarts
+  int restart = 50;      ///< Krylov subspace dimension per cycle
+  bool track_history = false;
+};
+
+/// Restarted GMRES with optional *right* preconditioning (`m` may be
+/// null). Unlike CG it tolerates nonsymmetric and indefinite operators —
+/// the fallback for Newton tangents that lose positive definiteness (cf.
+/// the multigrid-enhanced GMRES of Owen/Feng/Peric the paper cites as
+/// related work [18]).
+KrylovResult gmres(const LinearOperator& a, const LinearOperator* m,
+                   std::span<const real> b, std::span<real> x,
+                   const GmresOptions& opts = {});
+
+}  // namespace prom::la

@@ -1,0 +1,54 @@
+// Abstract linear operator. Krylov methods see the system matrix and the
+// preconditioner only through this interface, which lets the same CG code
+// run on a serial CSR matrix, the full-multigrid preconditioner, or a
+// distributed operator.
+#pragma once
+
+#include <span>
+
+#include "common/config.h"
+#include "la/csr.h"
+
+namespace prom::la {
+
+class LinearOperator {
+ public:
+  virtual ~LinearOperator() = default;
+
+  virtual idx rows() const = 0;
+  virtual idx cols() const = 0;
+
+  /// y = Op(x). `x` and `y` never alias.
+  virtual void apply(std::span<const real> x, std::span<real> y) const = 0;
+};
+
+/// Adapts a CSR matrix (not owned) to the LinearOperator interface.
+class CsrOperator final : public LinearOperator {
+ public:
+  explicit CsrOperator(const Csr& a) : a_(&a) {}
+
+  idx rows() const override { return a_->nrows; }
+  idx cols() const override { return a_->ncols; }
+  void apply(std::span<const real> x, std::span<real> y) const override {
+    a_->spmv(x, y);
+  }
+
+ private:
+  const Csr* a_;
+};
+
+/// The identity, usable as a "no preconditioner" placeholder.
+class IdentityOperator final : public LinearOperator {
+ public:
+  explicit IdentityOperator(idx n) : n_(n) {}
+  idx rows() const override { return n_; }
+  idx cols() const override { return n_; }
+  void apply(std::span<const real> x, std::span<real> y) const override {
+    for (std::size_t i = 0; i < x.size(); ++i) y[i] = x[i];
+  }
+
+ private:
+  idx n_;
+};
+
+}  // namespace prom::la

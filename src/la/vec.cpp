@@ -1,0 +1,53 @@
+#include "la/vec.h"
+
+#include <cmath>
+
+#include "common/error.h"
+#include "common/flops.h"
+
+namespace prom::la {
+
+void axpy(real a, std::span<const real> x, std::span<real> y) {
+  PROM_CHECK(x.size() == y.size());
+  for (std::size_t i = 0; i < x.size(); ++i) y[i] += a * x[i];
+  count_flops(2 * static_cast<std::int64_t>(x.size()));
+}
+
+void aypx(real a, std::span<const real> x, std::span<real> y) {
+  PROM_CHECK(x.size() == y.size());
+  for (std::size_t i = 0; i < x.size(); ++i) y[i] = x[i] + a * y[i];
+  count_flops(2 * static_cast<std::int64_t>(x.size()));
+}
+
+void waxpby(real a, std::span<const real> x, real b, std::span<const real> y,
+            std::span<real> w) {
+  PROM_CHECK(x.size() == y.size() && x.size() == w.size());
+  for (std::size_t i = 0; i < x.size(); ++i) w[i] = a * x[i] + b * y[i];
+  count_flops(3 * static_cast<std::int64_t>(x.size()));
+}
+
+real dot(std::span<const real> x, std::span<const real> y) {
+  PROM_CHECK(x.size() == y.size());
+  real sum = 0;
+  for (std::size_t i = 0; i < x.size(); ++i) sum += x[i] * y[i];
+  count_flops(2 * static_cast<std::int64_t>(x.size()));
+  return sum;
+}
+
+real nrm2(std::span<const real> x) { return std::sqrt(dot(x, x)); }
+
+void scale(real a, std::span<real> x) {
+  for (real& v : x) v *= a;
+  count_flops(static_cast<std::int64_t>(x.size()));
+}
+
+void set_all(std::span<real> x, real value) {
+  for (real& v : x) v = value;
+}
+
+void copy(std::span<const real> x, std::span<real> y) {
+  PROM_CHECK(x.size() == y.size());
+  for (std::size_t i = 0; i < x.size(); ++i) y[i] = x[i];
+}
+
+}  // namespace prom::la

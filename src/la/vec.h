@@ -1,0 +1,43 @@
+// Dense vector kernels (BLAS-1 level) with flop accounting. All kernels
+// operate on spans so callers can use std::vector, sub-ranges of a
+// distributed vector, or stack buffers.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "common/config.h"
+
+namespace prom::la {
+
+/// y <- y + a*x
+void axpy(real a, std::span<const real> x, std::span<real> y);
+
+/// y <- x + a*y
+void aypx(real a, std::span<const real> x, std::span<real> y);
+
+/// w <- a*x + b*y
+void waxpby(real a, std::span<const real> x, real b, std::span<const real> y,
+            std::span<real> w);
+
+/// <x, y>
+real dot(std::span<const real> x, std::span<const real> y);
+
+/// ||x||_2
+real nrm2(std::span<const real> x);
+
+/// x <- a*x
+void scale(real a, std::span<real> x);
+
+/// x <- value
+void set_all(std::span<real> x, real value);
+
+/// y <- x
+void copy(std::span<const real> x, std::span<real> y);
+
+/// Convenience: allocate a zero vector of length n.
+inline std::vector<real> zeros(idx n) {
+  return std::vector<real>(static_cast<std::size_t>(n), real{0});
+}
+
+}  // namespace prom::la

@@ -1,0 +1,151 @@
+#include "mesh/generate.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/error.h"
+
+namespace prom::mesh {
+namespace {
+
+/// Structured hex connectivity over an (nx+1)x(ny+1)x(nz+1) vertex lattice.
+std::vector<idx> lattice_hexes(idx nx, idx ny, idx nz) {
+  auto vid = [&](idx i, idx j, idx k) {
+    return (k * (ny + 1) + j) * (nx + 1) + i;
+  };
+  std::vector<idx> cells;
+  cells.reserve(static_cast<std::size_t>(nx) * ny * nz * 8);
+  for (idx k = 0; k < nz; ++k) {
+    for (idx j = 0; j < ny; ++j) {
+      for (idx i = 0; i < nx; ++i) {
+        // VTK hex ordering: bottom quad then top quad.
+        cells.push_back(vid(i, j, k));
+        cells.push_back(vid(i + 1, j, k));
+        cells.push_back(vid(i + 1, j + 1, k));
+        cells.push_back(vid(i, j + 1, k));
+        cells.push_back(vid(i, j, k + 1));
+        cells.push_back(vid(i + 1, j, k + 1));
+        cells.push_back(vid(i + 1, j + 1, k + 1));
+        cells.push_back(vid(i, j + 1, k + 1));
+      }
+    }
+  }
+  return cells;
+}
+
+}  // namespace
+
+Mesh box_hex(idx nx, idx ny, idx nz, const Vec3& lo, const Vec3& hi) {
+  PROM_CHECK(nx >= 1 && ny >= 1 && nz >= 1);
+  std::vector<Vec3> coords;
+  coords.reserve(static_cast<std::size_t>(nx + 1) * (ny + 1) * (nz + 1));
+  for (idx k = 0; k <= nz; ++k) {
+    for (idx j = 0; j <= ny; ++j) {
+      for (idx i = 0; i <= nx; ++i) {
+        coords.push_back({lo.x + (hi.x - lo.x) * i / nx,
+                          lo.y + (hi.y - lo.y) * j / ny,
+                          lo.z + (hi.z - lo.z) * k / nz});
+      }
+    }
+  }
+  std::vector<idx> cells = lattice_hexes(nx, ny, nz);
+  std::vector<idx> materials(cells.size() / 8, 0);
+  return Mesh(CellKind::kHex8, std::move(coords), std::move(cells),
+              std::move(materials));
+}
+
+Mesh thin_slab(idx nx, idx ny, idx nz, real lx, real ly, real lz) {
+  return box_hex(nx, ny, nz, {0, 0, 0}, {lx, ly, lz});
+}
+
+idx sphere_in_cube_resolution(const SphereInCubeParams& p) {
+  const idx s = p.layers_per_shell;
+  return p.base_core_layers * s + p.num_shells * s + p.base_outer_layers * s;
+}
+
+Mesh sphere_in_cube_octant(const SphereInCubeParams& p) {
+  PROM_CHECK(p.num_shells >= 1 && p.layers_per_shell >= 1);
+  PROM_CHECK(p.core_radius > 0 && p.shell_outer_radius > p.core_radius);
+  PROM_CHECK(p.cube_side > p.shell_outer_radius);
+
+  const idx s = p.layers_per_shell;
+  const idx core_layers = p.base_core_layers * s;
+  const idx shell_layers = p.num_shells * s;
+  const idx outer_layers = p.base_outer_layers * s;
+  const idx n = core_layers + shell_layers + outer_layers;
+
+  // Radial knots: physical radius of each layer boundary l = 0..n, as a
+  // function of the "cube-radial" coordinate m = l/n. Piecewise linear:
+  // core [0, core_radius], shells [core_radius, shell_outer_radius] in
+  // equal steps, then out to the cube surface.
+  std::vector<real> radius_of_layer(static_cast<std::size_t>(n) + 1);
+  for (idx l = 0; l <= core_layers; ++l) {
+    radius_of_layer[l] = p.core_radius * l / core_layers;
+  }
+  const real shell_dr =
+      (p.shell_outer_radius - p.core_radius) / shell_layers;
+  for (idx l = 1; l <= shell_layers; ++l) {
+    radius_of_layer[core_layers + l] = p.core_radius + shell_dr * l;
+  }
+  for (idx l = 1; l <= outer_layers; ++l) {
+    radius_of_layer[core_layers + shell_layers + l] =
+        p.shell_outer_radius +
+        (p.cube_side - p.shell_outer_radius) * l / outer_layers;
+  }
+
+  const real m_sphere =
+      static_cast<real>(core_layers + shell_layers) / n;  // blend start
+
+  // Map lattice point (i,j,k)/n to physical space: spherical inside the
+  // shell stack, blended back to the cube outside (see generate.h).
+  auto map_point = [&](idx i, idx j, idx k) -> Vec3 {
+    const Vec3 q{static_cast<real>(i) / n, static_cast<real>(j) / n,
+                 static_cast<real>(k) / n};
+    const real m = std::max({q.x, q.y, q.z});
+    if (m == real{0}) return {0, 0, 0};
+    // Physical radius for this cube-shell: interpolate the layer knots.
+    const real lf = m * n;
+    const idx l0 = std::min<idx>(static_cast<idx>(lf), n - 1);
+    const real t = lf - l0;
+    const real radius =
+        radius_of_layer[l0] * (1 - t) + radius_of_layer[l0 + 1] * t;
+    const Vec3 dir = q / norm(q);
+    if (m <= m_sphere) return dir * radius;
+    // Blend zone: interpolate between the spherical image and the scaled
+    // cube position so the outer boundary is exactly the cube.
+    const real blend = (m - m_sphere) / (real{1} - m_sphere);
+    const Vec3 cube_pos = q * (radius / m);
+    return dir * radius * (1 - blend) + cube_pos * blend;
+  };
+
+  std::vector<Vec3> coords;
+  coords.reserve(static_cast<std::size_t>(n + 1) * (n + 1) * (n + 1));
+  for (idx k = 0; k <= n; ++k) {
+    for (idx j = 0; j <= n; ++j) {
+      for (idx i = 0; i <= n; ++i) coords.push_back(map_point(i, j, k));
+    }
+  }
+
+  std::vector<idx> cells = lattice_hexes(n, n, n);
+  const idx nc = static_cast<idx>(cells.size() / 8);
+  std::vector<idx> materials(static_cast<std::size_t>(nc), p.soft_material);
+  // A cell in the structured grid belongs to radial layer
+  // l = max(i,j,k) of its lower corner; assign shell materials by layer.
+  idx e = 0;
+  for (idx k = 0; k < n; ++k) {
+    for (idx j = 0; j < n; ++j) {
+      for (idx i = 0; i < n; ++i, ++e) {
+        const idx l = std::max({i, j, k});
+        if (l >= core_layers && l < core_layers + shell_layers) {
+          const idx shell = (l - core_layers) / s;
+          materials[e] =
+              (shell % 2 == 0) ? p.hard_material : p.soft_material;
+        }
+      }
+    }
+  }
+  return Mesh(CellKind::kHex8, std::move(coords), std::move(cells),
+              std::move(materials));
+}
+
+}  // namespace prom::mesh

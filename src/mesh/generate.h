@@ -1,0 +1,55 @@
+// Mesh generators. `box_hex` is the workhorse for tests; `thin_slab`
+// reproduces the "thin body" of Figures 4–6; `sphere_in_cube_octant` is the
+// paper's §7 model problem: one octant of a cube with a 17-layer
+// alternating hard/soft sphere embedded in a soft matrix (the "spherical
+// steel-belted radial inside a rubber cube"), built directly instead of
+// read from a FEAP input deck (DESIGN.md substitution 3).
+#pragma once
+
+#include "common/config.h"
+#include "mesh/mesh.h"
+
+namespace prom::mesh {
+
+/// Structured hexahedral mesh of the box [lo, hi] with nx*ny*nz cells,
+/// all material 0.
+Mesh box_hex(idx nx, idx ny, idx nz, const Vec3& lo, const Vec3& hi);
+
+/// A thin plate: nx*ny*nz cells over [0,Lx]x[0,Ly]x[0,Lz] with Lz << Lx.
+/// Defaults give the two-elements-through-the-thickness geometry whose MIS
+/// pathology Figure 4 illustrates.
+Mesh thin_slab(idx nx = 16, idx ny = 16, idx nz = 2, real lx = 16.0,
+               real ly = 16.0, real lz = 1.0);
+
+struct SphereInCubeParams {
+  /// Number of alternating hard/soft spherical shells (paper: 17).
+  idx num_shells = 17;
+  /// Element layers through each shell — the paper's scale knob ("each
+  /// successive problem has one more layer of elements through each of the
+  /// seventeen shell layers").
+  idx layers_per_shell = 1;
+  /// Element layers in the soft core / outer soft region at
+  /// layers_per_shell == 1; both scale proportionally with it.
+  idx base_core_layers = 4;
+  idx base_outer_layers = 4;
+
+  real core_radius = 4.0;         ///< inner radius of the shell stack
+  real shell_outer_radius = 7.5;  ///< outer radius of the shell stack
+  real cube_side = 12.5;          ///< octant side length (paper: 12.5 in)
+
+  idx soft_material = 0;
+  idx hard_material = 1;
+};
+
+/// Octant sphere-in-cube mesh. The grid is a warped structured cube: cube
+/// shells (constant max-index) are mapped to spherical shells inside the
+/// sphere and blended back to the cube outside it, so every material
+/// interface is an exact sphere aligned with element layers. Material of
+/// shell k is hard for even k (9 hard, 8 soft at num_shells == 17).
+Mesh sphere_in_cube_octant(const SphereInCubeParams& params = {});
+
+/// Total radial (= tangential) element count per edge for given params;
+/// the mesh has cube of this many elements per edge.
+idx sphere_in_cube_resolution(const SphereInCubeParams& params);
+
+}  // namespace prom::mesh

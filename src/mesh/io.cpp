@@ -1,0 +1,215 @@
+#include "mesh/io.h"
+
+#include <cstdio>
+#include <cstring>
+#include <memory>
+
+#include "common/error.h"
+
+namespace prom::mesh {
+namespace {
+
+constexpr int kHeaderBytes = 64;
+constexpr int kVertexLineBytes = 75;  // "%24.16e %24.16e %24.16e\n"
+
+int cell_line_bytes(CellKind kind) {
+  // material + npc vertex ids, 11 bytes per field ("%10d " / final "\n").
+  return 11 * (1 + nodes_per_cell(kind));
+}
+
+struct FileCloser {
+  void operator()(std::FILE* f) const {
+    if (f != nullptr) std::fclose(f);
+  }
+};
+using File = std::unique_ptr<std::FILE, FileCloser>;
+
+struct Header {
+  CellKind kind;
+  idx num_vertices;
+  idx num_cells;
+};
+
+Header read_header(std::FILE* f) {
+  char buf[kHeaderBytes + 1] = {0};
+  PROM_CHECK_MSG(std::fread(buf, 1, kHeaderBytes, f) == kHeaderBytes,
+                 "flat mesh: truncated header");
+  char magic[16] = {0}, kind_str[16] = {0};
+  int version = 0;
+  long nv = 0, nc = 0;
+  PROM_CHECK_MSG(std::sscanf(buf, "%15s %d %15s %ld %ld", magic, &version,
+                             kind_str, &nv, &nc) == 5,
+                 "flat mesh: malformed header");
+  PROM_CHECK_MSG(std::strcmp(magic, "prom-mesh") == 0 && version == 1,
+                 "flat mesh: bad magic/version");
+  Header h;
+  if (std::strcmp(kind_str, "hex8") == 0) {
+    h.kind = CellKind::kHex8;
+  } else if (std::strcmp(kind_str, "tet4") == 0) {
+    h.kind = CellKind::kTet4;
+  } else {
+    PROM_CHECK_MSG(false, "flat mesh: unknown cell kind");
+  }
+  h.num_vertices = static_cast<idx>(nv);
+  h.num_cells = static_cast<idx>(nc);
+  return h;
+}
+
+void read_vertex_range(std::FILE* f, idx begin, idx count,
+                       std::vector<Vec3>& coords) {
+  PROM_CHECK(std::fseek(f, kHeaderBytes +
+                               static_cast<long>(begin) * kVertexLineBytes,
+                        SEEK_SET) == 0);
+  char line[kVertexLineBytes + 1];
+  coords.resize(static_cast<std::size_t>(count));
+  for (idx i = 0; i < count; ++i) {
+    PROM_CHECK_MSG(
+        std::fread(line, 1, kVertexLineBytes, f) ==
+            static_cast<std::size_t>(kVertexLineBytes),
+        "flat mesh: truncated vertex record");
+    line[kVertexLineBytes] = 0;
+    double x, y, z;
+    PROM_CHECK(std::sscanf(line, "%lf %lf %lf", &x, &y, &z) == 3);
+    coords[i] = {x, y, z};
+  }
+}
+
+void read_cell_range(std::FILE* f, const Header& h, idx begin, idx count,
+                     std::vector<idx>& cells, std::vector<idx>& materials) {
+  const int npc = nodes_per_cell(h.kind);
+  const int bytes = cell_line_bytes(h.kind);
+  const long cells_offset = kHeaderBytes +
+                            static_cast<long>(h.num_vertices) *
+                                kVertexLineBytes;
+  PROM_CHECK(std::fseek(f, cells_offset + static_cast<long>(begin) * bytes,
+                        SEEK_SET) == 0);
+  std::vector<char> line(static_cast<std::size_t>(bytes) + 1);
+  cells.clear();
+  materials.clear();
+  for (idx e = 0; e < count; ++e) {
+    PROM_CHECK_MSG(std::fread(line.data(), 1, bytes, f) ==
+                       static_cast<std::size_t>(bytes),
+                   "flat mesh: truncated cell record");
+    line[bytes] = 0;
+    const char* p = line.data();
+    long value = 0;
+    int consumed = 0;
+    PROM_CHECK(std::sscanf(p, "%ld%n", &value, &consumed) == 1);
+    p += consumed;
+    materials.push_back(static_cast<idx>(value));
+    for (int a = 0; a < npc; ++a) {
+      PROM_CHECK(std::sscanf(p, "%ld%n", &value, &consumed) == 1);
+      p += consumed;
+      cells.push_back(static_cast<idx>(value));
+    }
+  }
+}
+
+}  // namespace
+
+bool write_flat_mesh(const std::string& path, const Mesh& mesh) {
+  File f(std::fopen(path.c_str(), "wb"));
+  if (!f) return false;
+
+  char header[kHeaderBytes + 1];
+  std::snprintf(header, sizeof header, "prom-mesh 1 %s %d %d",
+                mesh.kind() == CellKind::kHex8 ? "hex8" : "tet4",
+                mesh.num_vertices(), mesh.num_cells());
+  // Pad the header to its fixed width (newline-terminated).
+  std::string padded(header);
+  padded.resize(kHeaderBytes - 1, ' ');
+  padded.push_back('\n');
+  if (std::fwrite(padded.data(), 1, kHeaderBytes, f.get()) != kHeaderBytes) {
+    return false;
+  }
+
+  for (idx v = 0; v < mesh.num_vertices(); ++v) {
+    const Vec3& p = mesh.coord(v);
+    if (std::fprintf(f.get(), "%24.16e %24.16e %24.16e\n", p.x, p.y, p.z) !=
+        kVertexLineBytes) {
+      return false;
+    }
+  }
+  const int npc = nodes_per_cell(mesh.kind());
+  for (idx e = 0; e < mesh.num_cells(); ++e) {
+    std::fprintf(f.get(), "%10d", mesh.material(e));
+    const auto verts = mesh.cell(e);
+    for (int a = 0; a < npc; ++a) {
+      std::fprintf(f.get(), " %10d", verts[a]);
+    }
+    std::fprintf(f.get(), "\n");
+  }
+  return std::fflush(f.get()) == 0;
+}
+
+Mesh read_flat_mesh(const std::string& path) {
+  File f(std::fopen(path.c_str(), "rb"));
+  PROM_CHECK_MSG(f != nullptr, "flat mesh: cannot open " + path);
+  const Header h = read_header(f.get());
+  std::vector<Vec3> coords;
+  std::vector<idx> cells, materials;
+  read_vertex_range(f.get(), 0, h.num_vertices, coords);
+  read_cell_range(f.get(), h, 0, h.num_cells, cells, materials);
+  return Mesh(h.kind, std::move(coords), std::move(cells),
+              std::move(materials));
+}
+
+FlatMeshSlice read_flat_mesh_slice(parx::Comm& comm,
+                                   const std::string& path) {
+  File f(std::fopen(path.c_str(), "rb"));
+  PROM_CHECK_MSG(f != nullptr, "flat mesh: cannot open " + path);
+  const Header h = read_header(f.get());
+  const int p = comm.size();
+  const int r = comm.rank();
+
+  FlatMeshSlice slice;
+  slice.kind = h.kind;
+  slice.num_vertices_total = h.num_vertices;
+  slice.num_cells_total = h.num_cells;
+  slice.vertex_begin =
+      static_cast<idx>(static_cast<nnz_t>(h.num_vertices) * r / p);
+  const idx vertex_end =
+      static_cast<idx>(static_cast<nnz_t>(h.num_vertices) * (r + 1) / p);
+  slice.cell_begin =
+      static_cast<idx>(static_cast<nnz_t>(h.num_cells) * r / p);
+  const idx cell_end =
+      static_cast<idx>(static_cast<nnz_t>(h.num_cells) * (r + 1) / p);
+
+  read_vertex_range(f.get(), slice.vertex_begin,
+                    vertex_end - slice.vertex_begin, slice.coords);
+  read_cell_range(f.get(), h, slice.cell_begin, cell_end - slice.cell_begin,
+                  slice.cells, slice.cell_material);
+  return slice;
+}
+
+Mesh gather_flat_mesh(parx::Comm& comm, const FlatMeshSlice& slice) {
+  // Slices are contiguous and rank-ordered: concatenation reassembles the
+  // file order exactly.
+  std::vector<real> flat_coords;
+  for (const Vec3& c : slice.coords) {
+    flat_coords.insert(flat_coords.end(), {c.x, c.y, c.z});
+  }
+  const auto all_coords = comm.allgatherv(flat_coords);
+  const auto all_cells = comm.allgatherv(slice.cells);
+  const auto all_materials = comm.allgatherv(slice.cell_material);
+
+  std::vector<Vec3> coords;
+  coords.reserve(static_cast<std::size_t>(slice.num_vertices_total));
+  for (const auto& part : all_coords) {
+    for (std::size_t i = 0; i + 2 < part.size(); i += 3) {
+      coords.push_back({part[i], part[i + 1], part[i + 2]});
+    }
+  }
+  std::vector<idx> cells, materials;
+  for (const auto& part : all_cells) {
+    cells.insert(cells.end(), part.begin(), part.end());
+  }
+  for (const auto& part : all_materials) {
+    materials.insert(materials.end(), part.begin(), part.end());
+  }
+  PROM_CHECK(static_cast<idx>(coords.size()) == slice.num_vertices_total);
+  return Mesh(slice.kind, std::move(coords), std::move(cells),
+              std::move(materials));
+}
+
+}  // namespace prom::mesh

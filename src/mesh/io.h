@@ -1,0 +1,55 @@
+// Flat mesh file I/O — the Athena input stage of §5: "Athena reads a
+// large 'flat' finite element mesh input file in parallel (ie, each
+// processor seeks and reads only the part of the input file that it, and
+// it alone, is responsible for)".
+//
+// The format is a fixed-width text format designed for seekability: a one
+// line header, then one fixed-width line per vertex and per cell, so rank
+// r can compute the byte offset of its slice and read only that. Fixed
+// width costs space but buys O(1) seeking without an index — the property
+// Athena's parallel reader depends on.
+//
+//   prom-mesh 1 <hex8|tet4> <num_vertices> <num_cells>
+//   <x> <y> <z>                          (num_vertices lines, %24.16e each)
+//   <material> <v0> ... <v7|v3>          (num_cells lines, %10d each)
+#pragma once
+
+#include <string>
+
+#include "common/config.h"
+#include "mesh/mesh.h"
+#include "parx/runtime.h"
+
+namespace prom::mesh {
+
+/// Writes `mesh` to `path` in the flat format. Returns false on I/O error.
+bool write_flat_mesh(const std::string& path, const Mesh& mesh);
+
+/// Reads a complete mesh (serial).
+Mesh read_flat_mesh(const std::string& path);
+
+/// The slice of a flat mesh one rank is responsible for: a contiguous
+/// range of vertices and of cells (cells may reference vertices outside
+/// the slice; resolving ghosts is the caller's partitioning problem,
+/// exactly as in Athena).
+struct FlatMeshSlice {
+  CellKind kind = CellKind::kHex8;
+  idx num_vertices_total = 0;
+  idx num_cells_total = 0;
+  idx vertex_begin = 0;  ///< global id of coords[0]
+  idx cell_begin = 0;    ///< global id of the first cell
+  std::vector<Vec3> coords;
+  std::vector<idx> cells;          ///< global vertex ids
+  std::vector<idx> cell_material;
+};
+
+/// Parallel read (collective): rank r seeks to and reads only its
+/// contiguous 1/size share of the vertex and cell records.
+FlatMeshSlice read_flat_mesh_slice(parx::Comm& comm, const std::string& path);
+
+/// Reassembles the full mesh from all ranks' slices (collective; every
+/// rank returns the complete mesh). Used to validate the parallel read
+/// against the serial one and as the simplest Athena-style ingest.
+Mesh gather_flat_mesh(parx::Comm& comm, const FlatMeshSlice& slice);
+
+}  // namespace prom::mesh

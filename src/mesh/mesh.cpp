@@ -1,0 +1,205 @@
+#include "mesh/mesh.h"
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+#include <utility>
+
+#include "common/error.h"
+#include "geom/predicates.h"
+
+namespace prom::mesh {
+namespace {
+
+// VTK hexahedron local face connectivity, outward-oriented for a
+// right-handed (non-inverted) hex: bottom 0-3, top 4-7 with 4 above 0.
+constexpr int kHexFaces[6][4] = {{0, 3, 2, 1}, {4, 5, 6, 7}, {0, 1, 5, 4},
+                                 {1, 2, 6, 5}, {2, 3, 7, 6}, {3, 0, 4, 7}};
+
+// Tetrahedron faces, outward-oriented for orient3d(v0,v1,v2,v3) > 0.
+constexpr int kTetFaces[4][3] = {{0, 2, 1}, {0, 1, 3}, {1, 2, 3}, {0, 3, 2}};
+
+// The 6-tet decomposition of a hex along the 0-6 diagonal; used for volume.
+constexpr int kHexTets[6][4] = {{0, 1, 2, 6}, {0, 2, 3, 6}, {0, 3, 7, 6},
+                                {0, 7, 4, 6}, {0, 4, 5, 6}, {0, 5, 1, 6}};
+
+/// Newell's method: robust polygon normal for (possibly non-planar) quads.
+Vec3 newell_normal(std::span<const Vec3> pts) {
+  Vec3 n{};
+  for (std::size_t i = 0; i < pts.size(); ++i) {
+    const Vec3& a = pts[i];
+    const Vec3& b = pts[(i + 1) % pts.size()];
+    n.x += (a.y - b.y) * (a.z + b.z);
+    n.y += (a.z - b.z) * (a.x + b.x);
+    n.z += (a.x - b.x) * (a.y + b.y);
+  }
+  return normalized(n);
+}
+
+}  // namespace
+
+Mesh::Mesh(CellKind kind, std::vector<Vec3> coords, std::vector<idx> cells,
+           std::vector<idx> cell_material)
+    : kind_(kind),
+      coords_(std::move(coords)),
+      cells_(std::move(cells)),
+      cell_material_(std::move(cell_material)) {
+  const int npc = nodes_per_cell(kind_);
+  PROM_CHECK(cells_.size() % npc == 0);
+  PROM_CHECK(cell_material_.size() == cells_.size() / npc);
+  for (idx v : cells_) {
+    PROM_CHECK(v >= 0 && v < static_cast<idx>(coords_.size()));
+  }
+}
+
+Vec3 Mesh::centroid(idx e) const {
+  Vec3 c{};
+  for (idx v : cell(e)) c += coords_[v];
+  return c / static_cast<real>(nodes_per_cell(kind_));
+}
+
+graph::Graph Mesh::vertex_graph() const {
+  std::vector<std::pair<idx, idx>> edges;
+  const idx nc = num_cells();
+  const int npc = nodes_per_cell(kind_);
+  edges.reserve(static_cast<std::size_t>(nc) * npc * (npc - 1) / 2);
+  for (idx e = 0; e < nc; ++e) {
+    const auto verts = cell(e);
+    for (int a = 0; a < npc; ++a) {
+      for (int b = a + 1; b < npc; ++b) {
+        edges.emplace_back(verts[a], verts[b]);
+      }
+    }
+  }
+  return graph::Graph::from_edges(num_vertices(), edges);
+}
+
+void Mesh::vertex_to_cells(std::vector<nnz_t>& offsets,
+                           std::vector<idx>& out_cells) const {
+  const idx nv = num_vertices();
+  const idx nc = num_cells();
+  const int npc = nodes_per_cell(kind_);
+  offsets.assign(static_cast<std::size_t>(nv) + 1, 0);
+  for (idx v : cells_) offsets[v + 1]++;
+  for (idx v = 0; v < nv; ++v) offsets[v + 1] += offsets[v];
+  out_cells.resize(cells_.size());
+  std::vector<nnz_t> next(offsets.begin(), offsets.end() - 1);
+  for (idx e = 0; e < nc; ++e) {
+    for (int a = 0; a < npc; ++a) {
+      out_cells[next[cells_[static_cast<std::size_t>(e) * npc + a]]++] = e;
+    }
+  }
+}
+
+std::vector<idx> Mesh::vertices_where(
+    const std::function<bool(const Vec3&)>& pred) const {
+  std::vector<idx> out;
+  for (idx v = 0; v < num_vertices(); ++v) {
+    if (pred(coords_[v])) out.push_back(v);
+  }
+  return out;
+}
+
+real cell_volume(const Mesh& mesh, idx e) {
+  const auto verts = mesh.cell(e);
+  const auto& x = mesh.coords();
+  if (mesh.kind() == CellKind::kTet4) {
+    return std::fabs(
+        signed_tet_volume(x[verts[0]], x[verts[1]], x[verts[2]], x[verts[3]]));
+  }
+  real vol = 0;
+  for (const auto& t : kHexTets) {
+    vol += signed_tet_volume(x[verts[t[0]]], x[verts[t[1]]], x[verts[t[2]]],
+                             x[verts[t[3]]]);
+  }
+  return std::fabs(vol);
+}
+
+real Mesh::volume() const {
+  real vol = 0;
+  for (idx e = 0; e < num_cells(); ++e) vol += cell_volume(*this, e);
+  return vol;
+}
+
+std::vector<Facet> boundary_facets(const Mesh& mesh) {
+  struct FaceUse {
+    idx cell;
+    idx material;
+    std::array<idx, 4> verts;  // original (oriented) order
+    int nv;
+  };
+  // Key: sorted vertex ids; value: the cells using the face.
+  std::map<std::array<idx, 4>, std::vector<FaceUse>> uses;
+
+  const bool hex = mesh.kind() == CellKind::kHex8;
+  const int nfaces = hex ? 6 : 4;
+  const int face_nv = hex ? 4 : 3;
+  for (idx e = 0; e < mesh.num_cells(); ++e) {
+    const auto verts = mesh.cell(e);
+    for (int f = 0; f < nfaces; ++f) {
+      FaceUse use;
+      use.cell = e;
+      use.material = mesh.material(e);
+      use.nv = face_nv;
+      use.verts = {kInvalidIdx, kInvalidIdx, kInvalidIdx, kInvalidIdx};
+      for (int a = 0; a < face_nv; ++a) {
+        use.verts[a] = hex ? verts[kHexFaces[f][a]] : verts[kTetFaces[f][a]];
+      }
+      std::array<idx, 4> key = use.verts;
+      std::sort(key.begin(), key.end());
+      uses[key].push_back(use);
+    }
+  }
+
+  std::vector<Facet> facets;
+  for (const auto& [key, list] : uses) {
+    PROM_CHECK_MSG(list.size() <= 2, "non-manifold mesh face");
+    const bool exterior = list.size() == 1;
+    const bool interface =
+        list.size() == 2 && list[0].material != list[1].material;
+    if (!exterior && !interface) continue;
+    for (const FaceUse& use : list) {
+      Facet facet;
+      facet.cell = use.cell;
+      facet.material = use.material;
+      facet.v = use.verts;
+      std::vector<Vec3> pts;
+      for (int a = 0; a < use.nv; ++a) pts.push_back(mesh.coord(use.verts[a]));
+      Vec3 n = newell_normal(pts);
+      // Orient away from the owning cell.
+      Vec3 fc{};
+      for (const Vec3& p : pts) fc += p;
+      fc = fc / static_cast<real>(pts.size());
+      if (dot(n, fc - mesh.centroid(use.cell)) < 0) n = -n;
+      facet.normal = n;
+      facets.push_back(facet);
+    }
+  }
+  return facets;
+}
+
+graph::Graph facet_adjacency(std::span<const Facet> facets) {
+  std::map<std::pair<idx, idx>, std::vector<idx>> edge_to_facets;
+  for (std::size_t f = 0; f < facets.size(); ++f) {
+    const int nv = facets[f].num_vertices();
+    for (int a = 0; a < nv; ++a) {
+      idx u = facets[f].v[a];
+      idx v = facets[f].v[(a + 1) % nv];
+      if (u > v) std::swap(u, v);
+      edge_to_facets[{u, v}].push_back(static_cast<idx>(f));
+    }
+  }
+  std::vector<std::pair<idx, idx>> edges;
+  for (const auto& [edge, fs] : edge_to_facets) {
+    for (std::size_t a = 0; a < fs.size(); ++a) {
+      for (std::size_t b = a + 1; b < fs.size(); ++b) {
+        if (facets[fs[a]].material == facets[fs[b]].material) {
+          edges.emplace_back(fs[a], fs[b]);
+        }
+      }
+    }
+  }
+  return graph::Graph::from_edges(static_cast<idx>(facets.size()), edges);
+}
+
+}  // namespace prom::mesh

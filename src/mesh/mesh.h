@@ -1,0 +1,110 @@
+// Unstructured finite element mesh container (the FEAP-substitute data
+// model). A mesh is a homogeneous collection of HEX8 or TET4 cells with
+// per-cell material ids. The solver needs only data "easily available in
+// most finite element applications" (§1): coordinates, connectivity, and
+// materials — everything else (vertex graphs, boundary facets, features) is
+// derived here.
+#pragma once
+
+#include <array>
+#include <functional>
+#include <span>
+#include <vector>
+
+#include "common/config.h"
+#include "geom/aabb.h"
+#include "geom/vec3.h"
+#include "graph/graph.h"
+
+namespace prom::mesh {
+
+enum class CellKind : std::uint8_t { kHex8, kTet4 };
+
+inline constexpr int nodes_per_cell(CellKind kind) {
+  return kind == CellKind::kHex8 ? 8 : 4;
+}
+
+/// A facet of a cell lying on a boundary: either the exterior boundary of
+/// the domain or an interface between different materials (§4.4 considers
+/// both). Triangles store kInvalidIdx in v[3].
+struct Facet {
+  std::array<idx, 4> v{kInvalidIdx, kInvalidIdx, kInvalidIdx, kInvalidIdx};
+  idx cell = kInvalidIdx;      ///< owning cell
+  idx material = kInvalidIdx;  ///< material of the owning cell
+  Vec3 normal;                 ///< unit outward normal (w.r.t. owning cell)
+
+  int num_vertices() const { return v[3] == kInvalidIdx ? 3 : 4; }
+  std::span<const idx> vertices() const {
+    return {v.data(), static_cast<std::size_t>(num_vertices())};
+  }
+};
+
+class Mesh {
+ public:
+  Mesh() = default;
+  Mesh(CellKind kind, std::vector<Vec3> coords, std::vector<idx> cells,
+       std::vector<idx> cell_material);
+
+  CellKind kind() const { return kind_; }
+  idx num_vertices() const { return static_cast<idx>(coords_.size()); }
+  idx num_cells() const {
+    return cells_.empty()
+               ? 0
+               : static_cast<idx>(cells_.size()) / nodes_per_cell(kind_);
+  }
+
+  const std::vector<Vec3>& coords() const { return coords_; }
+  const Vec3& coord(idx v) const { return coords_[v]; }
+
+  std::span<const idx> cell(idx e) const {
+    const int npc = nodes_per_cell(kind_);
+    return {cells_.data() + static_cast<std::size_t>(e) * npc,
+            static_cast<std::size_t>(npc)};
+  }
+  idx material(idx e) const { return cell_material_[e]; }
+  const std::vector<idx>& cell_materials() const { return cell_material_; }
+
+  /// Centroid of cell e.
+  Vec3 centroid(idx e) const;
+
+  Aabb bounding_box() const { return Aabb::of(coords_); }
+
+  /// Vertex connectivity graph: two vertices are adjacent iff they share a
+  /// cell (the graph of the assembled stiffness matrix — the graph the MIS
+  /// coarsener traverses).
+  graph::Graph vertex_graph() const;
+
+  /// For each vertex, the list of cells containing it (CSR layout).
+  void vertex_to_cells(std::vector<nnz_t>& offsets,
+                       std::vector<idx>& cells) const;
+
+  /// Vertices satisfying a coordinate predicate (used to build BC sets).
+  std::vector<idx> vertices_where(
+      const std::function<bool(const Vec3&)>& pred) const;
+
+  /// Total mesh volume (sum of |cell| volumes); for sanity checks.
+  real volume() const;
+
+ private:
+  CellKind kind_ = CellKind::kHex8;
+  std::vector<Vec3> coords_;
+  std::vector<idx> cells_;
+  std::vector<idx> cell_material_;
+};
+
+/// All boundary facets: cell faces not shared with another cell *of the
+/// same material* — i.e. the exterior surface plus material interfaces.
+/// Normals point out of the owning cell. Interfaces produce one facet per
+/// side (each side belongs to its own material's boundary), matching the
+/// paper's definition of a "domain" as a contiguous region of one material.
+std::vector<Facet> boundary_facets(const Mesh& mesh);
+
+/// Facet adjacency for the face-identification algorithm (Fig 3): two
+/// facets are adjacent iff they share an edge (two vertices) and belong to
+/// the same material's boundary.
+graph::Graph facet_adjacency(std::span<const Facet> facets);
+
+/// Signed/unsigned volume of a single cell.
+real cell_volume(const Mesh& mesh, idx e);
+
+}  // namespace prom::mesh

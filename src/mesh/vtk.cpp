@@ -1,0 +1,67 @@
+#include "mesh/vtk.h"
+
+#include <cstdio>
+#include <fstream>
+
+#include "common/error.h"
+
+namespace prom::mesh {
+
+bool write_vtk(const std::string& path, const Mesh& mesh,
+               const VtkFields& fields) {
+  std::ofstream out(path);
+  if (!out) return false;
+
+  const idx nv = mesh.num_vertices();
+  const idx nc = mesh.num_cells();
+  const int npc = nodes_per_cell(mesh.kind());
+  const int vtk_type = mesh.kind() == CellKind::kHex8 ? 12 : 10;
+
+  out << "# vtk DataFile Version 3.0\n"
+      << "prometheus-repro mesh\n"
+      << "ASCII\n"
+      << "DATASET UNSTRUCTURED_GRID\n";
+  out << "POINTS " << nv << " double\n";
+  for (idx v = 0; v < nv; ++v) {
+    const Vec3& p = mesh.coord(v);
+    out << p.x << " " << p.y << " " << p.z << "\n";
+  }
+  out << "CELLS " << nc << " " << static_cast<nnz_t>(nc) * (npc + 1) << "\n";
+  for (idx e = 0; e < nc; ++e) {
+    out << npc;
+    for (idx v : mesh.cell(e)) out << " " << v;
+    out << "\n";
+  }
+  out << "CELL_TYPES " << nc << "\n";
+  for (idx e = 0; e < nc; ++e) out << vtk_type << "\n";
+
+  out << "CELL_DATA " << nc << "\n"
+      << "SCALARS material int 1\nLOOKUP_TABLE default\n";
+  for (idx e = 0; e < nc; ++e) out << mesh.material(e) << "\n";
+
+  const bool has_disp =
+      !fields.displacement.empty() &&
+      fields.displacement.size() == static_cast<std::size_t>(nv) * 3;
+  const bool has_scalar =
+      !fields.vertex_scalar.empty() &&
+      fields.vertex_scalar.size() == static_cast<std::size_t>(nv);
+  if (has_disp || has_scalar) {
+    out << "POINT_DATA " << nv << "\n";
+    if (has_disp) {
+      out << "VECTORS displacement double\n";
+      for (idx v = 0; v < nv; ++v) {
+        out << fields.displacement[3 * v] << " "
+            << fields.displacement[3 * v + 1] << " "
+            << fields.displacement[3 * v + 2] << "\n";
+      }
+    }
+    if (has_scalar) {
+      out << "SCALARS " << fields.vertex_scalar_name
+          << " double 1\nLOOKUP_TABLE default\n";
+      for (idx v = 0; v < nv; ++v) out << fields.vertex_scalar[v] << "\n";
+    }
+  }
+  return static_cast<bool>(out);
+}
+
+}  // namespace prom::mesh

@@ -1,0 +1,26 @@
+// Legacy-ASCII VTK writer, enough to inspect meshes, material layouts,
+// grid hierarchies (Fig 7) and displacement fields in ParaView.
+#pragma once
+
+#include <span>
+#include <string>
+
+#include "common/config.h"
+#include "mesh/mesh.h"
+
+namespace prom::mesh {
+
+struct VtkFields {
+  /// Optional per-vertex displacement (3 components per vertex).
+  std::span<const real> displacement;
+  /// Optional per-vertex scalar (e.g. MIS selection flag, vertex rank).
+  std::span<const real> vertex_scalar;
+  std::string vertex_scalar_name = "scalar";
+};
+
+/// Writes `mesh` (with material ids as cell data) to `path`. Returns false
+/// on I/O failure.
+bool write_vtk(const std::string& path, const Mesh& mesh,
+               const VtkFields& fields = {});
+
+}  // namespace prom::mesh

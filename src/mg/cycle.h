@@ -1,0 +1,23 @@
+// Multigrid cycles: the V-cycle of Figure 1 and the full multigrid (FMG)
+// cycle the paper uses in its numerical experiments ("one full multigrid
+// cycle applies the V-cycle to each grid, starting with the coarsest").
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "common/config.h"
+#include "mg/hierarchy.h"
+
+namespace prom::mg {
+
+/// One V-cycle at `level` for A_level x = b, improving x in place
+/// (Figure 1 of the paper: pre-smooth, restrict residual, recurse,
+/// prolongate correction, post-smooth; direct solve on the coarsest grid).
+void vcycle(const Hierarchy& h, int level, std::span<const real> b,
+            std::span<real> x);
+
+/// One full multigrid cycle for A_0 x = b starting from zero; returns x.
+std::vector<real> fmg_cycle(const Hierarchy& h, std::span<const real> b);
+
+}  // namespace prom::mg

@@ -1,0 +1,230 @@
+#include "mg/hierarchy.h"
+
+#include <sstream>
+
+#include "common/error.h"
+#include "common/log.h"
+#include "partition/greedy.h"
+
+namespace prom::mg {
+namespace {
+
+/// Adjacency graph of a (structurally symmetric) sparse matrix.
+graph::Graph graph_of_matrix(const la::Csr& a) {
+  std::vector<std::pair<idx, idx>> edges;
+  edges.reserve(static_cast<std::size_t>(a.nnz()));
+  for (idx i = 0; i < a.nrows; ++i) {
+    for (nnz_t k = a.rowptr[i]; k < a.rowptr[i + 1]; ++k) {
+      if (a.colidx[k] > i) edges.emplace_back(i, a.colidx[k]);
+    }
+  }
+  return graph::Graph::from_edges(a.nrows, edges);
+}
+
+std::unique_ptr<la::Smoother> make_smoother(const la::Csr& a,
+                                            const MgOptions& opts) {
+  switch (opts.smoother) {
+    case SmootherKind::kJacobi:
+      return std::make_unique<la::JacobiSmoother>(a, opts.omega);
+    case SmootherKind::kSymGaussSeidel:
+      return std::make_unique<la::SymmetricGaussSeidel>(a);
+    case SmootherKind::kBlockJacobi: {
+      auto blocks = partition::block_jacobi_blocks(graph_of_matrix(a),
+                                                   opts.bj_blocks_per_1000);
+      return std::make_unique<la::BlockJacobiSmoother>(a, std::move(blocks),
+                                                       opts.omega);
+    }
+    case SmootherKind::kChebyshev:
+      return std::make_unique<la::ChebyshevSmoother>(a, opts.cheby_degree);
+  }
+  PROM_CHECK(false);
+  return nullptr;
+}
+
+}  // namespace
+
+Hierarchy Hierarchy::build(const mesh::Mesh& mesh, const fem::DofMap& dofmap,
+                           la::Csr a_fine, const MgOptions& opts) {
+  PROM_CHECK(dofmap.num_vertices() == mesh.num_vertices());
+  PROM_CHECK(a_fine.nrows == dofmap.num_free() &&
+             a_fine.ncols == dofmap.num_free());
+
+  Hierarchy h;
+  h.opts_ = opts;
+
+  // Level 0: the application-provided grid.
+  MgLevel fine;
+  fine.a = std::move(a_fine);
+  fine.num_vertices = mesh.num_vertices();
+  fine.free_dofs = dofmap.free_dofs();
+  h.levels_.push_back(std::move(fine));
+
+  // Geometry of the level currently being coarsened.
+  std::vector<Vec3> coords = mesh.coords();
+  graph::Graph vgraph = mesh.vertex_graph();
+  coarsen::Classification cls = coarsen::classify_mesh(mesh, opts.coarsen.face);
+  // Per-vertex dof constraint flags, inherited down the hierarchy.
+  std::vector<char> dof_free(static_cast<std::size_t>(3) * mesh.num_vertices());
+  for (idx d = 0; d < dofmap.num_dofs(); ++d) {
+    dof_free[d] = dofmap.is_constrained(d) ? 0 : 1;
+  }
+
+  for (int l = 0; l + 1 < opts.max_levels; ++l) {
+    const idx n_free = static_cast<idx>(h.levels_.back().free_dofs.size());
+    if (n_free <= opts.coarsest_max_dofs) break;
+
+    coarsen::CoarsenLevelResult cl =
+        coarsen::coarsen_level(coords, vgraph, cls, l, opts.coarsen);
+    const idx n_coarse = static_cast<idx>(cl.selected.size());
+    if (n_coarse < 8 ||
+        n_coarse >= static_cast<idx>(opts.min_coarsen_ratio *
+                                     static_cast<real>(coords.size()))) {
+      PROM_WARN("coarsening stalled at level "
+                << l << " (" << coords.size() << " -> " << n_coarse
+                << " vertices); stopping hierarchy here");
+      break;
+    }
+
+    // Coarse constraint flags + free dof lists for the dof expansion.
+    std::vector<char> coarse_dof_free(static_cast<std::size_t>(3) * n_coarse);
+    std::vector<idx> coarse_free;
+    for (idx c = 0; c < n_coarse; ++c) {
+      for (int comp = 0; comp < 3; ++comp) {
+        const char f = dof_free[3 * cl.selected[c] + comp];
+        coarse_dof_free[3 * c + comp] = f;
+        if (f) coarse_free.push_back(3 * c + comp);
+      }
+    }
+
+    MgLevel next;
+    next.r = coarsen::expand_restriction_to_dofs(
+        cl.r_vertex, h.levels_.back().free_dofs, coarse_free);
+    next.num_vertices = n_coarse;
+    next.free_dofs = std::move(coarse_free);
+    next.selected_from_fine = cl.selected;
+    next.lost_vertices = static_cast<idx>(cl.lost.size());
+    next.graph_edges_removed = cl.graph_stats.edges_removed;
+    h.levels_.push_back(std::move(next));
+
+    // Advance the geometry to the new level.
+    std::vector<Vec3> coarse_coords(static_cast<std::size_t>(n_coarse));
+    for (idx c = 0; c < n_coarse; ++c) {
+      coarse_coords[c] = coords[cl.selected[c]];
+    }
+    coords = std::move(coarse_coords);
+    vgraph = cl.coarse_mesh.vertex_graph();
+    cls = std::move(cl.coarse_cls);
+    dof_free = std::move(coarse_dof_free);
+  }
+
+  h.build_operators();
+  return h;
+}
+
+Hierarchy Hierarchy::from_operator_chain(la::Csr a_fine,
+                                         std::vector<la::Csr> restrictions,
+                                         const MgOptions& opts) {
+  Hierarchy h;
+  h.opts_ = opts;
+  MgLevel fine;
+  fine.num_vertices = a_fine.nrows;
+  fine.free_dofs.resize(static_cast<std::size_t>(a_fine.nrows));
+  for (idx i = 0; i < a_fine.nrows; ++i) fine.free_dofs[i] = i;
+  fine.a = std::move(a_fine);
+  h.levels_.push_back(std::move(fine));
+  for (la::Csr& r : restrictions) {
+    PROM_CHECK(r.ncols ==
+               static_cast<idx>(h.levels_.back().free_dofs.size()));
+    MgLevel next;
+    next.num_vertices = r.nrows;
+    next.free_dofs.resize(static_cast<std::size_t>(r.nrows));
+    for (idx i = 0; i < r.nrows; ++i) next.free_dofs[i] = i;
+    next.r = std::move(r);
+    h.levels_.push_back(std::move(next));
+  }
+  h.build_operators();
+  return h;
+}
+
+void Hierarchy::update_fine_matrix(la::Csr a_fine) {
+  PROM_CHECK(!levels_.empty());
+  PROM_CHECK(a_fine.nrows == levels_[0].a.nrows);
+  levels_[0].a = std::move(a_fine);
+  build_operators();
+}
+
+void Hierarchy::build_operators() {
+  for (std::size_t l = 1; l < levels_.size(); ++l) {
+    levels_[l].a = la::galerkin_product(levels_[l].r, levels_[l - 1].a);
+  }
+  for (std::size_t l = 0; l < levels_.size(); ++l) {
+    const bool coarsest = l + 1 == levels_.size();
+    levels_[l].smoother.reset();
+    levels_[l].direct.reset();
+    levels_[l].sparse_direct.reset();
+    if (coarsest && levels_.size() > 1 &&
+        opts_.coarse_solver == CoarseSolverKind::kSparseCholesky) {
+      const la::Csr& a = levels_[l].a;
+      levels_[l].sparse_direct = std::make_unique<la::SparseCholesky>(a);
+      if (!levels_[l].sparse_direct->ok()) {
+        real max_diag = 1;
+        for (real v : a.diagonal()) max_diag = std::max(max_diag, std::abs(v));
+        la::SparseCholOptions copts;
+        for (copts.shift = 1e-12 * max_diag;
+             !levels_[l].sparse_direct->ok(); copts.shift *= 10) {
+          *levels_[l].sparse_direct = la::SparseCholesky(a, copts);
+          PROM_CHECK_MSG(copts.shift < 1e30,
+                         "coarse sparse Cholesky shift escalation failed");
+        }
+        PROM_WARN("coarsest-level sparse factor required a diagonal shift");
+      }
+    } else if (coarsest && levels_.size() > 1) {
+      // Redundant dense factorization of the coarsest operator.
+      const la::Csr& a = levels_[l].a;
+      la::DenseMatrix dense(a.nrows, a.ncols);
+      for (idx i = 0; i < a.nrows; ++i) {
+        for (nnz_t k = a.rowptr[i]; k < a.rowptr[i + 1]; ++k) {
+          dense(i, a.colidx[k]) = a.vals[k];
+        }
+      }
+      levels_[l].direct = std::make_unique<la::DenseLdlt>(dense);
+      if (!levels_[l].direct->ok()) {
+        // Newton tangents can be mildly indefinite; shift to factorability
+        // (degrades the coarse solve, never correctness of PCG's answer).
+        real max_diag = 1;
+        for (idx i = 0; i < a.nrows; ++i) {
+          max_diag = std::max(max_diag, std::abs(dense(i, i)));
+        }
+        for (real shift = 1e-12 * max_diag; !levels_[l].direct->ok();
+             shift *= 10) {
+          la::DenseMatrix shifted = dense;
+          for (idx i = 0; i < a.nrows; ++i) shifted(i, i) += shift;
+          *levels_[l].direct = la::DenseLdlt(shifted);
+          PROM_CHECK_MSG(shift < 1e30, "coarse-level shift escalation failed");
+        }
+        PROM_WARN("coarsest-level operator required a diagonal shift");
+      }
+    } else {
+      levels_[l].smoother = make_smoother(levels_[l].a, opts_);
+    }
+  }
+}
+
+std::string Hierarchy::describe() const {
+  std::ostringstream os;
+  for (std::size_t l = 0; l < levels_.size(); ++l) {
+    const MgLevel& lv = levels_[l];
+    os << "level " << l << ": " << lv.num_vertices << " vertices, "
+       << lv.free_dofs.size() << " free dofs, nnz(A) = " << lv.a.nnz();
+    if (l > 0) {
+      os << ", reduction 1/"
+         << static_cast<double>(levels_[l - 1].num_vertices) /
+                static_cast<double>(lv.num_vertices)
+         << ", lost " << lv.lost_vertices;
+    }
+    os << "\n";
+  }
+  return os.str();
+}
+
+}  // namespace prom::mg

@@ -1,0 +1,105 @@
+// The multigrid hierarchy (Prometheus + Epimetheus of Figure 8): applies
+// coarsen::coarsen_level recursively to build grids and restriction
+// operators, forms the Galerkin coarse operators A_{l+1} = R A_l R^T (§3),
+// and equips each level with a smoother and the coarsest with a redundant
+// dense factorization.
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "coarsen/coarsen.h"
+#include "common/config.h"
+#include "fem/assembly.h"
+#include "la/csr.h"
+#include "la/dense.h"
+#include "la/smoothers.h"
+#include "la/sparse_chol.h"
+#include "mesh/mesh.h"
+
+namespace prom::mg {
+
+enum class SmootherKind : std::uint8_t {
+  kJacobi,
+  kSymGaussSeidel,
+  kBlockJacobi,
+  kChebyshev,
+};
+
+enum class CoarseSolverKind : std::uint8_t { kDense, kSparseCholesky };
+
+struct MgOptions {
+  int max_levels = 12;
+  /// Stop coarsening when a level has at most this many free dofs (it is
+  /// then solved directly; its size "remains constant as the problem size
+  /// increases and is thus not a hindrance to scalability", §5).
+  idx coarsest_max_dofs = 700;
+  /// Abort coarsening if the MIS keeps more than this fraction of vertices.
+  real min_coarsen_ratio = 0.75;
+
+  coarsen::CoarsenOptions coarsen;
+
+  SmootherKind smoother = SmootherKind::kBlockJacobi;
+  real omega = 0.6;               ///< damping for Jacobi/block Jacobi
+  idx bj_blocks_per_1000 = 6;     ///< the paper's block density (§7.2)
+  int cheby_degree = 3;           ///< polynomial degree for kChebyshev
+  int pre_smooth = 1;             ///< paper: one pre-smoothing step
+  int post_smooth = 1;            ///< paper: one post-smoothing step
+
+  /// Coarsest-level factorization; sparse Cholesky (with RCM) keeps the
+  /// redundant coarse solve cheap when coarsest_max_dofs is raised.
+  CoarseSolverKind coarse_solver = CoarseSolverKind::kDense;
+};
+
+struct MgLevel {
+  la::Csr a;  ///< operator on this level's free dofs
+  /// Restriction from the next-finer level's free dofs to this level's
+  /// (empty on level 0). Prolongation is r^T.
+  la::Csr r;
+  std::unique_ptr<la::Smoother> smoother;        // all but coarsest
+  std::unique_ptr<la::DenseLdlt> direct;         // coarsest (dense mode)
+  std::unique_ptr<la::SparseCholesky> sparse_direct;  // coarsest (sparse)
+
+  // Grid diagnostics (Figure 7 / DESIGN.md hierarchy stats).
+  idx num_vertices = 0;
+  std::vector<idx> free_dofs;       ///< vertex-local dof ids (3*v+c), free
+  std::vector<idx> selected_from_fine;  ///< fine-level vertex of each vertex
+  idx lost_vertices = 0;
+  nnz_t graph_edges_removed = 0;
+};
+
+class Hierarchy {
+ public:
+  /// Builds grids + operators from the fine mesh, its constraints, and the
+  /// assembled fine matrix on the free dofs.
+  static Hierarchy build(const mesh::Mesh& mesh, const fem::DofMap& dofmap,
+                         la::Csr a_fine, const MgOptions& opts = {});
+
+  /// Builds a hierarchy from an explicit operator/restriction chain
+  /// (restrictions[l] maps level l free dofs -> level l+1); used by the
+  /// algebraic (smoothed aggregation) coarsening, which produces its own
+  /// restriction operators.
+  static Hierarchy from_operator_chain(la::Csr a_fine,
+                                       std::vector<la::Csr> restrictions,
+                                       const MgOptions& opts);
+
+  /// Replaces the fine operator (new Newton tangent) and recomputes the
+  /// Galerkin chain, smoothers and coarse factorization on the *same*
+  /// grids — the paper's "matrix setup" phase, paid once per Newton step.
+  void update_fine_matrix(la::Csr a_fine);
+
+  int num_levels() const { return static_cast<int>(levels_.size()); }
+  const MgLevel& level(int l) const { return levels_[l]; }
+  const MgOptions& options() const { return opts_; }
+
+  /// One-line-per-level summary (vertices, dofs, nnz) for logs/benches.
+  std::string describe() const;
+
+ private:
+  void build_operators();
+
+  MgOptions opts_;
+  std::vector<MgLevel> levels_;
+};
+
+}  // namespace prom::mg

@@ -1,0 +1,51 @@
+// Smoothed aggregation multigrid (Vanek, Mandel & Brezina [25 in the
+// paper]) — the alternative unstructured algorithm the paper's §8 names as
+// future work ("we also plan to explore alternative (effective)
+// unstructured multigrid algorithms such as smoothed aggregation, to
+// evaluate (and make publicly available) competitive algorithms").
+//
+// Unlike the paper's geometric MIS/Delaunay coarsening, SA is purely
+// algebraic: nodes are aggregated along strong connections, a tentative
+// prolongator is built from the rigid-body modes restricted to each
+// aggregate (orthonormalized per aggregate), and the prolongator is
+// improved by one damped-Jacobi smoothing step. The resulting hierarchy
+// plugs into the same V-cycle/FMG/PCG machinery as the geometric solver,
+// which makes the head-to-head comparison (bench_sa_vs_gmg) direct.
+#pragma once
+
+#include "mg/hierarchy.h"
+
+namespace prom::mg {
+
+struct SaOptions {
+  /// Strength-of-connection threshold: nodes i, j are strongly connected
+  /// when ||A_ij||_F^2 > theta^2 ||A_ii||_F ||A_jj||_F.
+  real strength_theta = 0.06;
+  /// Damping for the prolongator smoother P = (I - omega D^{-1} A) P_tent
+  /// (omega is divided by the spectral radius estimate of D^{-1}A).
+  real prolongator_omega = 0.66;
+  /// Columns of the near-null-space candidate block carried per level
+  /// (6 rigid body modes for 3D elasticity).
+  int num_candidates = 6;
+};
+
+/// Builds a smoothed-aggregation hierarchy for the free-dof system
+/// `a_fine` of the given mesh/constraints. Level sizing (max_levels,
+/// coarsest_max_dofs), smoother and coarse-solver choices come from
+/// `opts`; the coarsening itself ignores opts.coarsen (it is algebraic).
+Hierarchy build_smoothed_aggregation(const mesh::Mesh& mesh,
+                                     const fem::DofMap& dofmap,
+                                     la::Csr a_fine, const MgOptions& opts,
+                                     const SaOptions& sa = {});
+
+/// The rigid-body modes of the mesh restricted to the free dofs: a dense
+/// column-major n_free x 6 block (3 translations + 3 rotations about the
+/// mesh centroid). Exposed for tests.
+std::vector<real> rigid_body_modes(const mesh::Mesh& mesh,
+                                   const fem::DofMap& dofmap);
+
+/// Greedy root-based aggregation of a node strength graph; returns the
+/// aggregate id per node (all nodes assigned). Exposed for tests.
+std::vector<idx> aggregate_nodes(const graph::Graph& strength, idx* num_out);
+
+}  // namespace prom::mg

@@ -1,0 +1,44 @@
+// The paper's solver: conjugate gradient preconditioned with one multigrid
+// cycle (§7.2: "preconditioned conjugate gradient (PCG), preconditioned
+// with one 'full' multigrid cycle").
+#pragma once
+
+#include <span>
+
+#include "la/krylov.h"
+#include "la/operator.h"
+#include "mg/cycle.h"
+#include "mg/hierarchy.h"
+
+namespace prom::mg {
+
+enum class CycleKind : std::uint8_t { kV, kFmg };
+
+/// Adapts one multigrid cycle to the preconditioner interface.
+class MgPreconditioner final : public la::LinearOperator {
+ public:
+  MgPreconditioner(const Hierarchy& h, CycleKind kind)
+      : h_(&h), kind_(kind) {}
+
+  idx rows() const override { return h_->level(0).a.nrows; }
+  idx cols() const override { return rows(); }
+  void apply(std::span<const real> x, std::span<real> y) const override;
+
+ private:
+  const Hierarchy* h_;
+  CycleKind kind_;
+};
+
+struct MgSolveOptions {
+  real rtol = 1e-6;
+  int max_iters = 200;
+  CycleKind cycle = CycleKind::kFmg;
+  bool track_history = false;
+};
+
+/// Solves A_0 x = b with MG-preconditioned CG; x holds the initial guess.
+la::KrylovResult mg_pcg_solve(const Hierarchy& h, std::span<const real> b,
+                              std::span<real> x,
+                              const MgSolveOptions& opts = {});
+
+}  // namespace prom::mg

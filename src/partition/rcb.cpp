@@ -1,0 +1,76 @@
+#include "partition/rcb.h"
+
+#include <algorithm>
+#include <numeric>
+
+#include "common/error.h"
+#include "geom/aabb.h"
+
+namespace prom::partition {
+namespace {
+
+// Recursively assigns parts [part_lo, part_lo + nparts) to the points whose
+// indices are in `ids` (modified in place by nth_element).
+void rcb_recurse(std::span<const Vec3> points, std::span<idx> ids,
+                 idx part_lo, idx nparts, std::vector<idx>& part) {
+  if (nparts == 1) {
+    for (idx i : ids) part[i] = part_lo;
+    return;
+  }
+  Aabb box;
+  for (idx i : ids) box.extend(points[i]);
+  const Vec3 ext = box.extent();
+  int axis = 0;
+  if (ext.y > ext.x) axis = 1;
+  if (ext.z > ext[axis]) axis = 2;
+
+  // Split point counts proportionally to the part counts on each side so
+  // non-power-of-two part counts stay balanced.
+  const idx left_parts = nparts / 2;
+  const idx right_parts = nparts - left_parts;
+  const std::size_t left_count =
+      ids.size() * static_cast<std::size_t>(left_parts) / nparts;
+  auto mid = ids.begin() + static_cast<std::ptrdiff_t>(left_count);
+  std::nth_element(ids.begin(), mid, ids.end(), [&](idx a, idx b) {
+    if (points[a][axis] != points[b][axis]) {
+      return points[a][axis] < points[b][axis];
+    }
+    return a < b;  // deterministic tie-break
+  });
+  rcb_recurse(points, ids.subspan(0, left_count), part_lo, left_parts, part);
+  rcb_recurse(points, ids.subspan(left_count), part_lo + left_parts,
+              right_parts, part);
+}
+
+}  // namespace
+
+std::vector<idx> rcb_partition(std::span<const Vec3> points, idx nparts) {
+  PROM_CHECK(nparts >= 1);
+  std::vector<idx> part(points.size(), 0);
+  if (nparts == 1 || points.empty()) return part;
+  std::vector<idx> ids(points.size());
+  std::iota(ids.begin(), ids.end(), idx{0});
+  rcb_recurse(points, ids, 0, nparts, part);
+  return part;
+}
+
+std::vector<idx> part_sizes(std::span<const idx> part, idx nparts) {
+  std::vector<idx> sizes(static_cast<std::size_t>(nparts), 0);
+  for (idx p : part) {
+    PROM_CHECK(p >= 0 && p < nparts);
+    sizes[p]++;
+  }
+  return sizes;
+}
+
+std::vector<std::vector<idx>> parts_to_blocks(std::span<const idx> part,
+                                              idx nparts) {
+  std::vector<std::vector<idx>> blocks(static_cast<std::size_t>(nparts));
+  for (std::size_t i = 0; i < part.size(); ++i) {
+    blocks[part[i]].push_back(static_cast<idx>(i));
+  }
+  std::erase_if(blocks, [](const auto& b) { return b.empty(); });
+  return blocks;
+}
+
+}  // namespace prom::partition

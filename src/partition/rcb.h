@@ -1,0 +1,26 @@
+// Recursive coordinate bisection — the geometric partitioner used to place
+// mesh vertices on virtual ranks (the ParMetis substitute for the
+// "partition to SMPs / partition within each SMP" stage of Figure 8).
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "common/config.h"
+#include "geom/vec3.h"
+
+namespace prom::partition {
+
+/// Assigns each point a part in [0, nparts). Splits recursively along the
+/// longest axis of each subset's bounding box at the weighted median, so
+/// part sizes differ by at most one point per split level.
+std::vector<idx> rcb_partition(std::span<const Vec3> points, idx nparts);
+
+/// Part sizes histogram (convenience for balance checks).
+std::vector<idx> part_sizes(std::span<const idx> part, idx nparts);
+
+/// Converts a part assignment into explicit index blocks.
+std::vector<std::vector<idx>> parts_to_blocks(std::span<const idx> part,
+                                              idx nparts);
+
+}  // namespace prom::partition

@@ -1,0 +1,250 @@
+#include "parx/runtime.h"
+
+#include <condition_variable>
+#include <deque>
+#include <exception>
+#include <memory>
+#include <mutex>
+#include <thread>
+
+#include "common/flops.h"
+
+namespace prom::parx {
+namespace detail {
+
+// Shared state of one SPMD region: a mailbox per rank plus traffic stats.
+class Context {
+ public:
+  explicit Context(int nranks) : nranks_(nranks), stats_(nranks) {
+    boxes_.reserve(nranks);
+    for (int r = 0; r < nranks; ++r) {
+      boxes_.push_back(std::make_unique<Mailbox>());
+    }
+  }
+
+  int nranks() const { return nranks_; }
+
+  void send(int from, int to, int tag, std::span<const std::byte> data) {
+    PROM_CHECK_MSG(to >= 0 && to < nranks_, "send: bad destination rank");
+    PROM_CHECK_MSG(from != to, "send: self-sends are not supported");
+    Mailbox& box = *boxes_[to];
+    {
+      std::lock_guard<std::mutex> lock(box.m);
+      box.q.push_back(
+          Message{from, tag, std::vector<std::byte>(data.begin(), data.end())});
+    }
+    box.cv.notify_all();
+    stats_[from].messages_sent += 1;
+    stats_[from].bytes_sent += static_cast<std::int64_t>(data.size());
+  }
+
+  std::vector<std::byte> recv(int me, int from, int tag) {
+    PROM_CHECK_MSG(from >= 0 && from < nranks_, "recv: bad source rank");
+    Mailbox& box = *boxes_[me];
+    std::unique_lock<std::mutex> lock(box.m);
+    for (;;) {
+      for (auto it = box.q.begin(); it != box.q.end(); ++it) {
+        if (it->src == from && it->tag == tag) {
+          std::vector<std::byte> data = std::move(it->data);
+          box.q.erase(it);
+          return data;
+        }
+      }
+      box.cv.wait(lock);
+    }
+  }
+
+  bool has_message(int me, int from, int tag) {
+    Mailbox& box = *boxes_[me];
+    std::lock_guard<std::mutex> lock(box.m);
+    for (const Message& msg : box.q) {
+      if (msg.src == from && msg.tag == tag) return true;
+    }
+    return false;
+  }
+
+  TrafficStats& stats(int rank) { return stats_[rank]; }
+  std::vector<TrafficStats> take_stats() { return std::move(stats_); }
+
+ private:
+  struct Message {
+    int src;
+    int tag;
+    std::vector<std::byte> data;
+  };
+  struct Mailbox {
+    std::mutex m;
+    std::condition_variable cv;
+    std::deque<Message> q;
+  };
+
+  int nranks_;
+  std::vector<std::unique_ptr<Mailbox>> boxes_;
+  std::vector<TrafficStats> stats_;
+};
+
+}  // namespace detail
+
+namespace {
+
+// Reserved internal tags; user tags must be >= 0 and below 0x7ffffff0.
+constexpr int kTagBarrierUp = -1;
+constexpr int kTagBarrierDown = -2;
+constexpr int kTagBcast = -3;
+constexpr int kTagReduce = -4;
+
+}  // namespace
+
+int Comm::size() const { return ctx_->nranks(); }
+
+void Comm::send_bytes(int to, int tag, std::span<const std::byte> data) {
+  ctx_->send(rank_, to, tag, data);
+}
+
+std::vector<std::byte> Comm::recv_bytes(int from, int tag) {
+  return ctx_->recv(rank_, from, tag);
+}
+
+bool Comm::has_message(int from, int tag) const {
+  return ctx_->has_message(rank_, from, tag);
+}
+
+TrafficStats Comm::traffic() const {
+  TrafficStats t = ctx_->stats(rank_);
+  t.flops = thread_flops();
+  return t;
+}
+
+void Comm::barrier() {
+  // Binomial reduce to rank 0 followed by a binomial broadcast.
+  const int p = size();
+  const std::byte token{0};
+  for (int mask = 1; mask < p; mask <<= 1) {
+    if (rank_ & mask) {
+      ctx_->send(rank_, rank_ - mask, kTagBarrierUp, {&token, 1});
+      break;
+    }
+    if (rank_ + mask < p) ctx_->recv(rank_, rank_ + mask, kTagBarrierUp);
+  }
+  // Binomial release: each rank receives from the parent given by its
+  // lowest set bit, then forwards to children at the smaller bit positions.
+  int mask = 1;
+  while (mask < p) {
+    if (rank_ & mask) {
+      ctx_->recv(rank_, rank_ - mask, kTagBarrierDown);
+      break;
+    }
+    mask <<= 1;
+  }
+  mask >>= 1;
+  while (mask > 0) {
+    if (rank_ + mask < p) {
+      ctx_->send(rank_, rank_ + mask, kTagBarrierDown, {&token, 1});
+    }
+    mask >>= 1;
+  }
+}
+
+std::vector<std::byte> Comm::bcast_bytes(std::vector<std::byte> data,
+                                         int root) {
+  const int p = size();
+  const int vr = (rank_ - root + p) % p;
+  auto to_real = [&](int v) { return (v + root) % p; };
+  // MPICH-style binomial tree: receive from the parent at the lowest set
+  // bit of vr, then forward to children at all smaller bit positions.
+  int mask = 1;
+  while (mask < p) {
+    if (vr & mask) {
+      data = ctx_->recv(rank_, to_real(vr - mask), kTagBcast);
+      break;
+    }
+    mask <<= 1;
+  }
+  mask >>= 1;
+  while (mask > 0) {
+    if (vr + mask < p) {
+      ctx_->send(rank_, to_real(vr + mask), kTagBcast,
+                 std::span<const std::byte>(data));
+    }
+    mask >>= 1;
+  }
+  return data;
+}
+
+namespace {
+
+template <typename T>
+std::vector<T> allreduce_impl(Comm& comm, detail::Context* ctx, int rank,
+                              std::vector<T> v, Comm::ReduceOp op) {
+  const int p = comm.size();
+  auto combine = [op](std::vector<T>& acc, const std::vector<T>& other) {
+    PROM_CHECK(acc.size() == other.size());
+    for (std::size_t i = 0; i < acc.size(); ++i) {
+      switch (op) {
+        case Comm::ReduceOp::kSum:
+          acc[i] += other[i];
+          break;
+        case Comm::ReduceOp::kMin:
+          acc[i] = std::min(acc[i], other[i]);
+          break;
+        case Comm::ReduceOp::kMax:
+          acc[i] = std::max(acc[i], other[i]);
+          break;
+      }
+    }
+  };
+  // Binomial reduce to rank 0.
+  for (int mask = 1; mask < p; mask <<= 1) {
+    if (rank & mask) {
+      ctx->send(rank, rank - mask, kTagReduce,
+                std::as_bytes(std::span<const T>(v)));
+      break;
+    }
+    if (rank + mask < p) {
+      std::vector<std::byte> raw = ctx->recv(rank, rank + mask, kTagReduce);
+      std::vector<T> other(raw.size() / sizeof(T));
+      std::memcpy(other.data(), raw.data(), raw.size());
+      combine(v, other);
+    }
+  }
+  return comm.bcast(std::move(v), 0);
+}
+
+}  // namespace
+
+std::vector<double> Comm::allreduce(std::vector<double> v, ReduceOp op) {
+  return allreduce_impl<double>(*this, ctx_, rank_, std::move(v), op);
+}
+
+std::vector<std::int64_t> Comm::allreduce(std::vector<std::int64_t> v,
+                                          ReduceOp op) {
+  return allreduce_impl<std::int64_t>(*this, ctx_, rank_, std::move(v), op);
+}
+
+std::vector<TrafficStats> Runtime::run(
+    int nranks, const std::function<void(Comm&)>& fn) {
+  PROM_CHECK_MSG(nranks >= 1, "Runtime::run needs at least one rank");
+  detail::Context ctx(nranks);
+  std::vector<std::thread> threads;
+  threads.reserve(nranks);
+  std::mutex err_mutex;
+  std::exception_ptr first_error;
+  for (int r = 0; r < nranks; ++r) {
+    threads.emplace_back([&, r] {
+      reset_thread_flops();
+      try {
+        Comm comm(&ctx, r);
+        fn(comm);
+      } catch (...) {
+        std::lock_guard<std::mutex> lock(err_mutex);
+        if (!first_error) first_error = std::current_exception();
+      }
+      ctx.stats(r).flops = thread_flops();
+    });
+  }
+  for (std::thread& t : threads) t.join();
+  if (first_error) std::rethrow_exception(first_error);
+  return ctx.take_stats();
+}
+
+}  // namespace prom::parx

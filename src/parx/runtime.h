@@ -1,0 +1,214 @@
+// parx — a virtual message-passing runtime (the project's MPI substitute,
+// see DESIGN.md substitution 1). `Runtime::run(nranks, fn)` launches one
+// thread per rank and executes `fn` SPMD-style; ranks communicate only
+// through the `Comm` handle: buffered point-to-point sends, blocking
+// tag-matched receives, and tree-based collectives. Per-rank traffic
+// statistics (message/byte counts) feed the §6 communication-efficiency
+// model in `src/perf`.
+//
+// Semantics intentionally mirror the MPI subset the paper's stack uses:
+//  - send() is buffered and never blocks (like MPI_Bsend);
+//  - recv() blocks until a message with matching (source, tag) arrives;
+//    messages from the same source with the same tag are FIFO;
+//  - collectives are implemented over point-to-point with binomial trees,
+//    so their traffic is O(log P) deep like a real MPI implementation.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <cstring>
+#include <functional>
+#include <span>
+#include <type_traits>
+#include <vector>
+
+#include "common/error.h"
+
+namespace prom::parx {
+
+/// Per-rank communication counters, returned by Runtime::run.
+struct TrafficStats {
+  std::int64_t messages_sent = 0;
+  std::int64_t bytes_sent = 0;
+  std::int64_t flops = 0;  ///< flops counted on the rank's thread
+};
+
+namespace detail {
+class Context;
+}
+
+/// Per-rank communicator handle; only valid inside Runtime::run.
+class Comm {
+ public:
+  int rank() const { return rank_; }
+  int size() const;
+
+  /// Buffered, non-blocking send of raw bytes. `tag` must be >= 0 (negative
+  /// tags are reserved for collectives).
+  void send_bytes(int to, int tag, std::span<const std::byte> data);
+
+  /// Blocking receive of a message from `from` with tag `tag`.
+  std::vector<std::byte> recv_bytes(int from, int tag);
+
+  /// True if a message from (from, tag) is already waiting.
+  bool has_message(int from, int tag) const;
+
+  /// Snapshot of this rank's cumulative traffic counters (messages/bytes
+  /// sent so far) plus the calling thread's flop counter — used to bracket
+  /// per-phase measurements (§6).
+  TrafficStats traffic() const;
+
+  // ---- typed convenience wrappers (T must be trivially copyable) ----
+
+  template <typename T>
+  void send(int to, int tag, std::span<const T> data) {
+    static_assert(std::is_trivially_copyable_v<T>);
+    send_bytes(to, tag, std::as_bytes(data));
+  }
+
+  template <typename T>
+  void send(int to, int tag, const std::vector<T>& data) {
+    send<T>(to, tag, std::span<const T>(data));
+  }
+
+  template <typename T>
+  void send_value(int to, int tag, const T& value) {
+    send<T>(to, tag, std::span<const T>(&value, 1));
+  }
+
+  template <typename T>
+  std::vector<T> recv(int from, int tag) {
+    static_assert(std::is_trivially_copyable_v<T>);
+    std::vector<std::byte> raw = recv_bytes(from, tag);
+    PROM_CHECK(raw.size() % sizeof(T) == 0);
+    std::vector<T> out(raw.size() / sizeof(T));
+    std::memcpy(out.data(), raw.data(), raw.size());
+    return out;
+  }
+
+  template <typename T>
+  T recv_value(int from, int tag) {
+    std::vector<T> v = recv<T>(from, tag);
+    PROM_CHECK(v.size() == 1);
+    return v[0];
+  }
+
+  // ---- collectives (all ranks must call; tree-based over p2p) ----
+
+  void barrier();
+
+  /// Element-wise reduction of equal-length vectors; result on all ranks.
+  enum class ReduceOp { kSum, kMin, kMax };
+  std::vector<double> allreduce(std::vector<double> v, ReduceOp op);
+  std::vector<std::int64_t> allreduce(std::vector<std::int64_t> v,
+                                      ReduceOp op);
+
+  double allreduce_sum(double v) {
+    return allreduce(std::vector<double>{v}, ReduceOp::kSum)[0];
+  }
+  double allreduce_max(double v) {
+    return allreduce(std::vector<double>{v}, ReduceOp::kMax)[0];
+  }
+  double allreduce_min(double v) {
+    return allreduce(std::vector<double>{v}, ReduceOp::kMin)[0];
+  }
+  std::int64_t allreduce_sum(std::int64_t v) {
+    return allreduce(std::vector<std::int64_t>{v}, ReduceOp::kSum)[0];
+  }
+
+  /// Broadcast `data` from `root` to all ranks (returned everywhere).
+  template <typename T>
+  std::vector<T> bcast(std::vector<T> data, int root);
+
+  /// Variable-size gather-to-all: every rank contributes `mine`, every rank
+  /// receives all contributions indexed by rank.
+  template <typename T>
+  std::vector<std::vector<T>> allgatherv(const std::vector<T>& mine);
+
+  /// Personalized all-to-all: `sendbufs[r]` goes to rank r; returns the
+  /// buffers received from each rank.
+  template <typename T>
+  std::vector<std::vector<T>> alltoallv(
+      const std::vector<std::vector<T>>& sendbufs);
+
+ private:
+  friend class Runtime;
+  friend class detail::Context;
+  Comm(detail::Context* ctx, int rank) : ctx_(ctx), rank_(rank) {}
+
+  std::vector<std::byte> bcast_bytes(std::vector<std::byte> data, int root);
+
+  detail::Context* ctx_;
+  int rank_;
+};
+
+/// Launches an SPMD region on `nranks` virtual ranks (threads). Exceptions
+/// thrown by any rank are re-thrown (the first one) after all join.
+class Runtime {
+ public:
+  static std::vector<TrafficStats> run(
+      int nranks, const std::function<void(Comm&)>& fn);
+};
+
+// ---- template definitions -------------------------------------------------
+
+template <typename T>
+std::vector<T> Comm::bcast(std::vector<T> data, int root) {
+  static_assert(std::is_trivially_copyable_v<T>);
+  std::vector<std::byte> raw(data.size() * sizeof(T));
+  if (rank_ == root) std::memcpy(raw.data(), data.data(), raw.size());
+  raw = bcast_bytes(std::move(raw), root);
+  std::vector<T> out(raw.size() / sizeof(T));
+  std::memcpy(out.data(), raw.data(), raw.size());
+  return out;
+}
+
+template <typename T>
+std::vector<std::vector<T>> Comm::allgatherv(const std::vector<T>& mine) {
+  // Gather to rank 0 then broadcast; sizes first, then payloads.
+  constexpr int kTagGather = 0x7ffffff1;
+  const int p = size();
+  std::vector<std::vector<T>> all(p);
+  if (rank_ == 0) {
+    all[0] = mine;
+    for (int r = 1; r < p; ++r) all[r] = recv<T>(r, kTagGather);
+  } else {
+    send<T>(0, kTagGather, mine);
+  }
+  // Broadcast the concatenation with a size table.
+  std::vector<std::int64_t> sizes(p);
+  std::vector<T> flat;
+  if (rank_ == 0) {
+    for (int r = 0; r < p; ++r) {
+      sizes[r] = static_cast<std::int64_t>(all[r].size());
+      flat.insert(flat.end(), all[r].begin(), all[r].end());
+    }
+  }
+  sizes = bcast(std::move(sizes), 0);
+  flat = bcast(std::move(flat), 0);
+  std::size_t off = 0;
+  for (int r = 0; r < p; ++r) {
+    all[r].assign(flat.begin() + off, flat.begin() + off + sizes[r]);
+    off += sizes[r];
+  }
+  return all;
+}
+
+template <typename T>
+std::vector<std::vector<T>> Comm::alltoallv(
+    const std::vector<std::vector<T>>& sendbufs) {
+  const int p = size();
+  PROM_CHECK(static_cast<int>(sendbufs.size()) == p);
+  constexpr int kTag = 0x7ffffff0;
+  for (int r = 0; r < p; ++r) {
+    if (r != rank_) send<T>(r, kTag, sendbufs[r]);
+  }
+  std::vector<std::vector<T>> recvbufs(p);
+  recvbufs[rank_] = sendbufs[rank_];
+  for (int r = 0; r < p; ++r) {
+    if (r != rank_) recvbufs[r] = recv<T>(r, kTag);
+  }
+  return recvbufs;
+}
+
+}  // namespace prom::parx

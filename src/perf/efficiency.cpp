@@ -1,0 +1,39 @@
+#include "perf/efficiency.h"
+
+namespace prom::perf {
+
+Efficiencies compute_efficiencies(const RunMeasurement& base,
+                                  const RunMeasurement& run) {
+  Efficiencies e;
+  if (run.iterations > 0 && base.iterations > 0) {
+    e.iteration_scale = static_cast<double>(base.iterations) /
+                        static_cast<double>(run.iterations);
+  }
+  // Flops per iteration per unknown, base over run.
+  const double base_fpiu =
+      base.iterations > 0 && base.unknowns > 0
+          ? static_cast<double>(base.solve_flops) /
+                (static_cast<double>(base.iterations) *
+                 static_cast<double>(base.unknowns))
+          : 0;
+  const double run_fpiu =
+      run.iterations > 0 && run.unknowns > 0
+          ? static_cast<double>(run.solve_flops) /
+                (static_cast<double>(run.iterations) *
+                 static_cast<double>(run.unknowns))
+          : 0;
+  if (run_fpiu > 0 && base_fpiu > 0) e.flop_scale = base_fpiu / run_fpiu;
+
+  // Communication efficiency: modeled per-rank flop rate, base over run.
+  const MachineModel model;
+  const double base_rate =
+      base.solve_phase.modeled_flop_rate(model) / base.ranks;
+  const double run_rate = run.solve_phase.modeled_flop_rate(model) / run.ranks;
+  if (base_rate > 0 && run_rate > 0) e.communication = run_rate / base_rate;
+
+  e.load_balance = run.solve_phase.load_balance();
+  e.total = e.iteration_scale * e.flop_scale * e.communication;
+  return e;
+}
+
+}  // namespace prom::perf

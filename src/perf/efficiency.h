@@ -1,0 +1,41 @@
+// The efficiency decomposition of §6:
+//   e(P) ~= eIs * eFs * ec
+// with iteration scale efficiency eIs = Iterations(base)/Iterations(P),
+// flop scale efficiency eFs = normalized flops/iteration/unknown, and
+// communication efficiency ec = normalized flop rate per processor; load
+// balance l = average/max work. Efficiencies are reported relative to the
+// smallest (base) configuration, exactly as the paper normalizes to its
+// 2-processor case.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "perf/model.h"
+
+namespace prom::perf {
+
+/// Raw measurements of one scaled-problem run.
+struct RunMeasurement {
+  int ranks = 1;
+  std::int64_t unknowns = 0;
+  int iterations = 0;              ///< PCG iterations of the solve
+  std::int64_t solve_flops = 0;    ///< total flops in the solve phase
+  PhaseStats solve_phase;          ///< per-rank stats of the solve phase
+  double modeled_solve_time = 0;   ///< machine-model time of the solve
+  double wall_solve_time = 0;      ///< measured wall time (host machine)
+};
+
+/// Efficiencies of one run relative to a base run (§6 definitions).
+struct Efficiencies {
+  double iteration_scale = 1;     ///< eIs
+  double flop_scale = 1;          ///< eFs (flops/iteration/unknown)
+  double communication = 1;       ///< ec (modeled flop rate / rank)
+  double load_balance = 1;        ///< l
+  double total = 1;               ///< eIs * eFs * ec
+};
+
+Efficiencies compute_efficiencies(const RunMeasurement& base,
+                                  const RunMeasurement& run);
+
+}  // namespace prom::perf

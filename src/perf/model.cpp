@@ -1,0 +1,57 @@
+#include "perf/model.h"
+
+#include <algorithm>
+
+namespace prom::perf {
+
+std::int64_t PhaseStats::total_flops() const {
+  std::int64_t sum = 0;
+  for (const auto& r : per_rank) sum += r.flops;
+  return sum;
+}
+
+std::int64_t PhaseStats::max_flops() const {
+  std::int64_t mx = 0;
+  for (const auto& r : per_rank) mx = std::max(mx, r.flops);
+  return mx;
+}
+
+double PhaseStats::average_flops() const {
+  return per_rank.empty()
+             ? 0.0
+             : static_cast<double>(total_flops()) /
+                   static_cast<double>(per_rank.size());
+}
+
+std::int64_t PhaseStats::total_messages() const {
+  std::int64_t sum = 0;
+  for (const auto& r : per_rank) sum += r.messages_sent;
+  return sum;
+}
+
+std::int64_t PhaseStats::total_bytes() const {
+  std::int64_t sum = 0;
+  for (const auto& r : per_rank) sum += r.bytes_sent;
+  return sum;
+}
+
+double PhaseStats::load_balance() const {
+  const std::int64_t mx = max_flops();
+  return mx == 0 ? 1.0 : average_flops() / static_cast<double>(mx);
+}
+
+double PhaseStats::modeled_time(const MachineModel& m) const {
+  double worst = 0;
+  for (const auto& r : per_rank) {
+    worst = std::max(worst, m.rank_time(r.flops, r.messages_sent,
+                                        r.bytes_sent));
+  }
+  return worst;
+}
+
+double PhaseStats::modeled_flop_rate(const MachineModel& m) const {
+  const double t = modeled_time(m);
+  return t == 0 ? 0 : static_cast<double>(total_flops()) / t;
+}
+
+}  // namespace prom::perf

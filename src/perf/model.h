@@ -1,0 +1,59 @@
+// Machine model for the §6 performance studies (DESIGN.md substitution 1).
+// The host for this reproduction is a single workstation, so wall-clock
+// parallel speedups cannot be measured; instead, every virtual rank's flop
+// count and message traffic are *measured*, and a machine model calibrated
+// to the paper's hardware (332 MHz PowerPC 604e nodes: 36 Mflop/s sparse
+// matrix-vector products, MPI-over-switch latencies of the era) converts
+// them into modeled times. Iteration counts, flops/unknown, and load
+// balance — the terms eIs, eFs and l of §6 — are real measurements; only
+// the flop-rate/communication term ec uses the model.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "parx/runtime.h"
+
+namespace prom::perf {
+
+struct MachineModel {
+  /// Sustained Mflop/s of one processor in sparse kernels (paper: 36
+  /// Mflop/s MatVec, 34 Mflop/s inside the full MG solve).
+  double flops_per_sec = 34e6;
+  /// Point-to-point message latency (seconds); mid-90s switched SMP
+  /// cluster class.
+  double latency = 35e-6;
+  /// Point-to-point bandwidth (bytes/second).
+  double bandwidth = 120e6;
+
+  /// Modeled time for one rank's recorded work and traffic.
+  double rank_time(std::int64_t flops, std::int64_t messages,
+                   std::int64_t bytes) const {
+    return static_cast<double>(flops) / flops_per_sec +
+           static_cast<double>(messages) * latency +
+           static_cast<double>(bytes) / bandwidth;
+  }
+};
+
+/// Aggregated view of one SPMD phase across ranks.
+struct PhaseStats {
+  std::vector<parx::TrafficStats> per_rank;
+
+  std::int64_t total_flops() const;
+  std::int64_t max_flops() const;
+  double average_flops() const;
+  std::int64_t total_messages() const;
+  std::int64_t total_bytes() const;
+
+  /// Load balance l = average/maximum flops (§6).
+  double load_balance() const;
+
+  /// Modeled parallel execution time: max over ranks of the modeled
+  /// per-rank time (bulk-synchronous approximation).
+  double modeled_time(const MachineModel& m) const;
+
+  /// Modeled aggregate flop rate: total flops / modeled time.
+  double modeled_flop_rate(const MachineModel& m) const;
+};
+
+}  // namespace prom::perf

@@ -1,0 +1,187 @@
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "coarsen/classify.h"
+#include "coarsen/faces.h"
+#include "coarsen/parallel_faces.h"
+#include "mesh/generate.h"
+#include "partition/rcb.h"
+
+namespace prom::coarsen {
+namespace {
+
+struct BoxFaceData {
+  std::vector<mesh::Facet> facets;
+  graph::Graph adj;
+};
+
+BoxFaceData box_faces(idx n) {
+  static std::map<idx, BoxFaceData> cache;
+  auto it = cache.find(n);
+  if (it == cache.end()) {
+    const mesh::Mesh m = mesh::box_hex(n, n, n, {0, 0, 0}, {1, 1, 1});
+    BoxFaceData d;
+    d.facets = mesh::boundary_facets(m);
+    d.adj = mesh::facet_adjacency(d.facets);
+    it = cache.emplace(n, std::move(d)).first;
+  }
+  return it->second;
+}
+
+TEST(FaceId, BoxHasExactlySixFaces) {
+  const auto data = box_faces(4);
+  const FaceIdResult faces = identify_faces(data.facets, data.adj);
+  EXPECT_EQ(faces.num_faces, 6);
+  // Each face holds n^2 facets.
+  std::map<idx, int> counts;
+  for (idx id : faces.face_id) counts[id]++;
+  for (const auto& [id, count] : counts) EXPECT_EQ(count, 16);
+}
+
+TEST(FaceId, FacesAreNormalCoherent) {
+  const auto data = box_faces(3);
+  const FaceIdResult faces = identify_faces(data.facets, data.adj);
+  // All facets of one face share (here: exactly equal) normals.
+  for (std::size_t a = 0; a < data.facets.size(); ++a) {
+    for (std::size_t b = a + 1; b < data.facets.size(); ++b) {
+      if (faces.face_id[a] == faces.face_id[b]) {
+        EXPECT_GT(dot(data.facets[a].normal, data.facets[b].normal), 0.99);
+      }
+    }
+  }
+}
+
+TEST(FaceId, TolControlsMergingOnCurvedSurface) {
+  // The sphere-in-cube interface is curved: a loose tolerance merges the
+  // spherical interface into few faces, a strict one fragments it.
+  mesh::SphereInCubeParams p;
+  p.num_shells = 3;
+  p.base_core_layers = 2;
+  p.base_outer_layers = 2;
+  const mesh::Mesh m = mesh::sphere_in_cube_octant(p);
+  const auto facets = mesh::boundary_facets(m);
+  const auto adj = mesh::facet_adjacency(facets);
+  FaceIdOptions loose;
+  loose.tol = 0.2;
+  FaceIdOptions strict;
+  strict.tol = 0.995;
+  const idx faces_loose = identify_faces(facets, adj, loose).num_faces;
+  const idx faces_strict = identify_faces(facets, adj, strict).num_faces;
+  EXPECT_LT(faces_loose, faces_strict);
+}
+
+TEST(Classify, BoxHistogramIsExact) {
+  // (n+1)^3 vertices of a cube: 8 corners, 12(n-1) edge vertices,
+  // 6(n-1)^2 surface vertices, (n-1)^3 interior.
+  const idx n = 5;
+  const mesh::Mesh m = mesh::box_hex(n, n, n, {0, 0, 0}, {1, 1, 1});
+  const Classification cls = classify_mesh(m);
+  const auto h = cls.type_histogram();
+  EXPECT_EQ(h[static_cast<int>(VertexType::kInterior)], (n - 1) * (n - 1) * (n - 1));
+  EXPECT_EQ(h[static_cast<int>(VertexType::kSurface)], 6 * (n - 1) * (n - 1));
+  EXPECT_EQ(h[static_cast<int>(VertexType::kEdge)], 12 * (n - 1));
+  EXPECT_EQ(h[static_cast<int>(VertexType::kCorner)], 8);
+}
+
+TEST(Classify, RanksMatchTypes) {
+  const mesh::Mesh m = mesh::box_hex(3, 3, 3, {0, 0, 0}, {1, 1, 1});
+  const Classification cls = classify_mesh(m);
+  const auto ranks = cls.ranks();
+  for (idx v = 0; v < cls.num_vertices(); ++v) {
+    EXPECT_EQ(ranks[v], static_cast<idx>(cls.type[v]));
+  }
+}
+
+TEST(Classify, FlatMaterialInterfaceVerticesAreSurface) {
+  // Two-material bar: vertices in the middle of the interface plane touch
+  // one face per side — they must classify as surface, not edge (§4.3
+  // treats each material's boundary separately).
+  const idx n = 4;
+  mesh::Mesh base = mesh::box_hex(n, n, n, {0, 0, 0}, {1, 1, 1});
+  std::vector<idx> cells(base.cell(0).begin(), base.cell(0).end());
+  cells.clear();
+  std::vector<idx> materials;
+  for (idx e = 0; e < base.num_cells(); ++e) {
+    cells.insert(cells.end(), base.cell(e).begin(), base.cell(e).end());
+    materials.push_back(base.centroid(e).x < 0.5 ? 0 : 1);
+  }
+  const mesh::Mesh m(mesh::CellKind::kHex8, base.coords(), cells, materials);
+  const Classification cls = classify_mesh(m);
+  // A vertex strictly inside the interface plane x = 0.5.
+  idx probe = kInvalidIdx;
+  for (idx v = 0; v < m.num_vertices(); ++v) {
+    const Vec3& p = m.coord(v);
+    if (p.x == 0.5 && p.y == 0.5 && p.z == 0.5) probe = v;
+  }
+  ASSERT_NE(probe, kInvalidIdx);
+  EXPECT_EQ(cls.type[probe], VertexType::kSurface);
+}
+
+TEST(Classify, ShareFace) {
+  const mesh::Mesh m = mesh::box_hex(3, 3, 3, {0, 0, 0}, {1, 1, 1});
+  const Classification cls = classify_mesh(m);
+  // Two surface vertices in the middle of the same box face share it; a
+  // vertex on the bottom and one on the top share nothing.
+  idx bottom_mid = kInvalidIdx, bottom_mid2 = kInvalidIdx, top_mid = kInvalidIdx;
+  for (idx v = 0; v < m.num_vertices(); ++v) {
+    const Vec3& p = m.coord(v);
+    if (p.z == 0 && p.x > 0.2 && p.x < 0.8 && p.y > 0.2 && p.y < 0.45) {
+      bottom_mid = v;
+    }
+    if (p.z == 0 && p.x > 0.2 && p.x < 0.8 && p.y > 0.55 && p.y < 0.8) {
+      bottom_mid2 = v;
+    }
+    if (p.z == 1 && p.x > 0.2 && p.x < 0.8 && p.y > 0.2 && p.y < 0.8) {
+      top_mid = v;
+    }
+  }
+  ASSERT_NE(bottom_mid, kInvalidIdx);
+  ASSERT_NE(bottom_mid2, kInvalidIdx);
+  ASSERT_NE(top_mid, kInvalidIdx);
+  EXPECT_TRUE(cls.share_face(bottom_mid, bottom_mid2));
+  EXPECT_FALSE(cls.share_face(bottom_mid, top_mid));
+}
+
+class ParallelFaceRanks : public ::testing::TestWithParam<int> {};
+
+TEST_P(ParallelFaceRanks, MatchesSerialFaceCountOnBox) {
+  const int nranks = GetParam();
+  const auto data = box_faces(4);
+  // Owner of a facet: RCB on facet centroids (any owner map works).
+  const mesh::Mesh m = mesh::box_hex(4, 4, 4, {0, 0, 0}, {1, 1, 1});
+  std::vector<Vec3> centroids;
+  for (const auto& f : data.facets) {
+    Vec3 c{};
+    for (idx v : f.vertices()) c += m.coord(v);
+    centroids.push_back(c / 4.0);
+  }
+  const auto owner = partition::rcb_partition(centroids, nranks);
+
+  const FaceIdResult serial = identify_faces(data.facets, data.adj);
+  std::vector<FaceIdResult> per_rank(static_cast<std::size_t>(nranks));
+  parx::Runtime::run(nranks, [&](parx::Comm& comm) {
+    per_rank[comm.rank()] =
+        parallel_identify_faces(comm, data.facets, data.adj, owner);
+  });
+  // Identical on all ranks and equal to the serial face *partition* (face
+  // count and facet groupings; ids may be renumbered).
+  for (int r = 0; r < nranks; ++r) {
+    EXPECT_EQ(per_rank[r].num_faces, serial.num_faces) << "rank " << r;
+    EXPECT_EQ(per_rank[r].face_id, per_rank[0].face_id);
+  }
+  // Same partition: two facets share a parallel face id iff they share a
+  // serial one.
+  for (std::size_t a = 0; a < data.facets.size(); ++a) {
+    for (std::size_t b = a + 1; b < data.facets.size(); ++b) {
+      EXPECT_EQ(per_rank[0].face_id[a] == per_rank[0].face_id[b],
+                serial.face_id[a] == serial.face_id[b]);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Ranks, ParallelFaceRanks,
+                         ::testing::Values(1, 2, 3, 4, 7));
+
+}  // namespace
+}  // namespace prom::coarsen

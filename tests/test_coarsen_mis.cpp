@@ -1,0 +1,211 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <map>
+
+#include "coarsen/coarsen.h"
+#include "coarsen/modified_graph.h"
+#include "coarsen/parallel_mis.h"
+#include "graph/mis.h"
+#include "graph/order.h"
+#include "mesh/generate.h"
+#include "partition/rcb.h"
+
+namespace prom::coarsen {
+namespace {
+
+TEST(ModifiedGraph, RemovesOppositeSurfaceEdgesOfThinBody) {
+  // The Figure 4/5 scenario: a plate two elements thick. In the raw
+  // vertex graph, top-surface vertices are adjacent to bottom-surface
+  // vertices through the middle layer cells? No — with two layers there is
+  // a mid-plane of interior vertices; use ONE layer so top and bottom
+  // surface vertices share cells directly.
+  const mesh::Mesh m = mesh::thin_slab(8, 8, 1, 8.0, 8.0, 0.5);
+  const graph::Graph g = m.vertex_graph();
+  const Classification cls = classify_mesh(m);
+  ModifiedGraphStats stats;
+  const graph::Graph modified = modified_mis_graph(g, cls, &stats);
+  EXPECT_GT(stats.edges_removed, 0);
+  EXPECT_LT(modified.num_edges(), g.num_edges());
+  // Specifically: a mid-face top vertex and the bottom vertex below it are
+  // adjacent in g (they share a cell) but not in the modified graph (they
+  // share no identified face).
+  idx top = kInvalidIdx, bottom = kInvalidIdx;
+  for (idx v = 0; v < m.num_vertices(); ++v) {
+    const Vec3& p = m.coord(v);
+    if (p.x == 4 && p.y == 4 && p.z == 0.5) top = v;
+    if (p.x == 4 && p.y == 4 && p.z == 0) bottom = v;
+  }
+  ASSERT_NE(top, kInvalidIdx);
+  ASSERT_NE(bottom, kInvalidIdx);
+  EXPECT_TRUE(g.has_edge(top, bottom));
+  EXPECT_FALSE(modified.has_edge(top, bottom));
+}
+
+TEST(ModifiedGraph, KeepsInteriorEdges) {
+  const mesh::Mesh m = mesh::box_hex(4, 4, 4, {0, 0, 0}, {1, 1, 1});
+  const graph::Graph g = m.vertex_graph();
+  const Classification cls = classify_mesh(m);
+  const graph::Graph modified = modified_mis_graph(g, cls);
+  for (idx v = 0; v < m.num_vertices(); ++v) {
+    if (cls.type[v] != VertexType::kInterior) continue;
+    EXPECT_EQ(modified.degree(v), g.degree(v)) << "interior vertex " << v;
+  }
+}
+
+TEST(ModifiedGraph, MisCoversThinBodySurfacesSeparately) {
+  // After modification, the MIS must keep vertices on *both* surfaces of
+  // the thin body (Figure 6), because neither surface can decimate the
+  // other.
+  const mesh::Mesh m = mesh::thin_slab(10, 10, 1, 10.0, 10.0, 0.4);
+  const graph::Graph g = m.vertex_graph();
+  const Classification cls = classify_mesh(m);
+  const graph::Graph modified = modified_mis_graph(g, cls);
+  const std::vector<idx> ranks = cls.ranks();
+  graph::MisOptions opts;
+  opts.ranks = ranks;
+  const auto order = graph::natural_order(m.num_vertices());
+  const graph::MisResult mis = graph::greedy_mis(modified, order, opts);
+  idx top = 0, bottom = 0;
+  for (idx v : mis.selected) {
+    if (m.coord(v).z > 0.39) ++top;
+    if (m.coord(v).z < 0.01) ++bottom;
+  }
+  EXPECT_GT(top, 4);
+  EXPECT_GT(bottom, 4);
+}
+
+TEST(MisOrdering, ExteriorBeforeInteriorAndSeedStable) {
+  const mesh::Mesh m = mesh::box_hex(4, 4, 4, {0, 0, 0}, {1, 1, 1});
+  const Classification cls = classify_mesh(m);
+  CoarsenOptions opts;
+  const auto order = mis_ordering(cls, opts);
+  EXPECT_EQ(order.size(), static_cast<std::size_t>(m.num_vertices()));
+  // All exterior vertices precede all interior ones.
+  bool seen_interior = false;
+  for (idx v : order) {
+    if (cls.type[v] == VertexType::kInterior) {
+      seen_interior = true;
+    } else {
+      EXPECT_FALSE(seen_interior) << "exterior after interior";
+    }
+  }
+  EXPECT_EQ(order, mis_ordering(cls, opts));  // deterministic
+}
+
+TEST(MisOrdering, NaturalVsRandomInteriorDensity) {
+  // §4.7: natural orderings give denser (larger) MISs than random ones on
+  // structured hex meshes. Compare interior-vertex MIS sizes.
+  const mesh::Mesh m = mesh::box_hex(10, 10, 10, {0, 0, 0}, {1, 1, 1});
+  const graph::Graph g = m.vertex_graph();
+  const Classification cls = classify_mesh(m);
+  const std::vector<idx> ranks = cls.ranks();
+  graph::MisOptions mis_opts;
+  mis_opts.ranks = ranks;
+
+  CoarsenOptions natural;
+  natural.interior_order = MisOrdering::kNatural;
+  natural.exterior_order = MisOrdering::kNatural;
+  CoarsenOptions random;
+  random.interior_order = MisOrdering::kRandom;
+  random.exterior_order = MisOrdering::kRandom;
+
+  const auto mis_nat =
+      graph::greedy_mis(g, mis_ordering(cls, natural), mis_opts);
+  const auto mis_rnd =
+      graph::greedy_mis(g, mis_ordering(cls, random), mis_opts);
+  EXPECT_GT(mis_nat.selected.size(), mis_rnd.selected.size());
+
+  // Both bounded by the paper's 1/27..1/8 heuristic range for the
+  // interior of a uniform hex mesh (with slack for boundary effects).
+  const double n = m.num_vertices();
+  EXPECT_GT(mis_nat.selected.size() / n, 1.0 / 27.0);
+  EXPECT_LT(mis_rnd.selected.size() / n, 1.0 / 4.0);
+}
+
+// Owner map placing every vertex on rank 0.
+std::vector<idx> owner_all_zero(const graph::Graph& g) {
+  return std::vector<idx>(static_cast<std::size_t>(g.num_vertices()), 0);
+}
+
+class ParallelMisRanks : public ::testing::TestWithParam<int> {};
+
+TEST_P(ParallelMisRanks, ProducesValidMisMatchingAllRanks) {
+  const int nranks = GetParam();
+  const mesh::Mesh m = mesh::box_hex(5, 5, 5, {0, 0, 0}, {1, 1, 1});
+  const graph::Graph g = m.vertex_graph();
+  const Classification cls = classify_mesh(m);
+  const std::vector<idx> ranks = cls.ranks();
+  const auto owner = partition::rcb_partition(m.coords(), nranks);
+  const auto order = graph::natural_order(m.num_vertices());
+
+  std::vector<ParallelMisResult> results(static_cast<std::size_t>(nranks));
+  parx::Runtime::run(nranks, [&](parx::Comm& comm) {
+    ParallelMisOptions opts;
+    opts.ranks = ranks;
+    opts.order = order;
+    results[comm.rank()] = parallel_mis(comm, g, owner, opts);
+  });
+  for (int r = 0; r < nranks; ++r) {
+    EXPECT_TRUE(graph::is_maximal_independent_set(g, results[r].selected));
+    EXPECT_EQ(results[r].selected, results[0].selected);
+  }
+}
+
+TEST_P(ParallelMisRanks, SingleRankMatchesSerialGreedy) {
+  // With one rank and the same rank-sorted traversal, the parallel
+  // algorithm degenerates to Figure 2's greedy algorithm.
+  const int nranks = GetParam();
+  if (nranks != 1) GTEST_SKIP();
+  const mesh::Mesh m = mesh::box_hex(4, 4, 4, {0, 0, 0}, {1, 1, 1});
+  const graph::Graph g = m.vertex_graph();
+  const Classification cls = classify_mesh(m);
+  const std::vector<idx> ranks = cls.ranks();
+  const auto order = graph::natural_order(m.num_vertices());
+  graph::MisOptions serial_opts;
+  serial_opts.ranks = ranks;
+  const auto serial = graph::greedy_mis(g, order, serial_opts);
+  std::vector<idx> serial_sorted = serial.selected;
+  std::sort(serial_sorted.begin(), serial_sorted.end());
+
+  ParallelMisResult parallel;
+  parx::Runtime::run(1, [&](parx::Comm& comm) {
+    ParallelMisOptions opts;
+    opts.ranks = ranks;
+    opts.order = order;
+    parallel = parallel_mis(comm, g, owner_all_zero(g), opts);
+  });
+  EXPECT_EQ(parallel.selected, serial_sorted);
+}
+
+INSTANTIATE_TEST_SUITE_P(Ranks, ParallelMisRanks,
+                         ::testing::Values(1, 2, 3, 4, 6, 9));
+
+TEST(ParallelMis, RankRuleRespectedAcrossPartition) {
+  // Classification ranks must dominate regardless of the partition: every
+  // deleted vertex has a selected neighbor of >= rank.
+  const mesh::Mesh m = mesh::box_hex(6, 6, 2, {0, 0, 0}, {3, 3, 1});
+  const graph::Graph g = m.vertex_graph();
+  const Classification cls = classify_mesh(m);
+  const std::vector<idx> vranks = cls.ranks();
+  const auto owner = partition::rcb_partition(m.coords(), 4);
+  ParallelMisResult result;
+  parx::Runtime::run(4, [&](parx::Comm& comm) {
+    ParallelMisOptions opts;
+    opts.ranks = vranks;
+    result = parallel_mis(comm, g, owner, opts);
+  });
+  std::vector<char> selected(static_cast<std::size_t>(g.num_vertices()), 0);
+  for (idx v : result.selected) selected[v] = 1;
+  for (idx v = 0; v < g.num_vertices(); ++v) {
+    if (selected[v]) continue;
+    bool dominated = false;
+    for (idx u : g.neighbors(v)) {
+      if (selected[u] && vranks[u] >= vranks[v]) dominated = true;
+    }
+    EXPECT_TRUE(dominated) << "vertex " << v;
+  }
+}
+
+}  // namespace
+}  // namespace prom::coarsen

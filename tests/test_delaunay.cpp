@@ -1,0 +1,175 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/rng.h"
+#include "delaunay/delaunay.h"
+#include "geom/predicates.h"
+
+namespace prom::delaunay {
+namespace {
+
+std::vector<Vec3> random_points(idx n, std::uint64_t seed) {
+  Rng rng(seed);
+  std::vector<Vec3> pts(static_cast<std::size_t>(n));
+  for (Vec3& p : pts) {
+    p = {rng.next_real(), rng.next_real(), rng.next_real()};
+  }
+  return pts;
+}
+
+std::vector<Vec3> lattice_points(idx n) {
+  std::vector<Vec3> pts;
+  for (idx k = 0; k < n; ++k) {
+    for (idx j = 0; j < n; ++j) {
+      for (idx i = 0; i < n; ++i) {
+        pts.push_back({static_cast<real>(i), static_cast<real>(j),
+                       static_cast<real>(k)});
+      }
+    }
+  }
+  return pts;
+}
+
+/// Structural invariant: neighbor links are mutual and share a face.
+void check_adjacency(const Delaunay3& dt) {
+  const auto& tets = dt.tets();
+  for (idx t = 0; t < static_cast<idx>(tets.size()); ++t) {
+    if (!tets[t].alive) continue;
+    for (int f = 0; f < 4; ++f) {
+      const idx nb = tets[t].nbr[f];
+      if (nb == kInvalidIdx) continue;
+      ASSERT_TRUE(tets[nb].alive) << "dangling neighbor";
+      bool mutual = false;
+      for (int g = 0; g < 4; ++g) {
+        if (tets[nb].nbr[g] == t) mutual = true;
+      }
+      EXPECT_TRUE(mutual);
+    }
+  }
+}
+
+/// All tets positively oriented.
+void check_orientation(const Delaunay3& dt) {
+  const auto& c = dt.vertex_coords();
+  for (const Tet& t : dt.tets()) {
+    if (!t.alive) continue;
+    EXPECT_GT(orient3d(c[t.v[0]], c[t.v[1]], c[t.v[2]], c[t.v[3]]), 0.0);
+  }
+}
+
+class DelaunayRandom : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(DelaunayRandom, EmptyCircumsphereProperty) {
+  const auto pts = random_points(60, GetParam());
+  const Delaunay3 dt(pts);
+  EXPECT_EQ(dt.count_delaunay_violations(), 0);
+  check_adjacency(dt);
+  check_orientation(dt);
+}
+
+TEST_P(DelaunayRandom, LocateFindsContainingTet) {
+  const auto pts = random_points(80, GetParam() + 100);
+  const Delaunay3 dt(pts);
+  Rng rng(GetParam());
+  for (int trial = 0; trial < 50; ++trial) {
+    const Vec3 q{rng.next_real(), rng.next_real(), rng.next_real()};
+    const idx t = dt.locate(q);
+    ASSERT_NE(t, kInvalidIdx);
+    const auto w = dt.barycentric(t, q);
+    for (real wi : w) EXPECT_GE(wi, -1e-9);
+  }
+}
+
+TEST_P(DelaunayRandom, BarycentricInterpolatesLinearFields) {
+  // Linear function f(p) = 1 + 2x - 3y + z must be reproduced exactly by
+  // barycentric interpolation within any tet.
+  const auto pts = random_points(50, GetParam() + 200);
+  const Delaunay3 dt(pts);
+  auto f = [](const Vec3& p) { return 1 + 2 * p.x - 3 * p.y + p.z; };
+  Rng rng(GetParam() + 1);
+  for (int trial = 0; trial < 30; ++trial) {
+    const Vec3 q{rng.next_real(), rng.next_real(), rng.next_real()};
+    const idx t = dt.locate(q);
+    if (dt.tet_touches_super(t)) continue;
+    const auto w = dt.barycentric(t, q);
+    real interp = 0;
+    for (int a = 0; a < 4; ++a) {
+      interp += w[a] * f(dt.vertex_coords()[dt.tets()[t].v[a]]);
+    }
+    // Accuracy is limited by the predicate jitter (1e-6 relative).
+    EXPECT_NEAR(interp, f(q), 1e-5);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, DelaunayRandom,
+                         ::testing::Values(1u, 2u, 3u, 4u, 10u));
+
+TEST(Delaunay, DegenerateLatticeInput) {
+  // A cubic lattice is maximally cospherical/coplanar — the jitter plus
+  // exact predicates must still produce a valid triangulation.
+  const auto pts = lattice_points(4);
+  const Delaunay3 dt(pts);
+  EXPECT_EQ(dt.count_delaunay_violations(), 0);
+  check_adjacency(dt);
+  check_orientation(dt);
+}
+
+TEST(Delaunay, LatticeWithoutJitterStillValid) {
+  DelaunayOptions opts;
+  opts.jitter = 0;
+  const auto pts = lattice_points(3);
+  const Delaunay3 dt(pts, opts);
+  check_adjacency(dt);
+  check_orientation(dt);
+  EXPECT_EQ(dt.count_delaunay_violations(), 0);
+}
+
+TEST(Delaunay, SinglePoint) {
+  const std::vector<Vec3> pts = {{0.5, 0.5, 0.5}};
+  const Delaunay3 dt(pts);
+  EXPECT_EQ(dt.num_input_points(), 1);
+  // All alive tets touch the super-box (no interior tets possible).
+  for (idx t = 0; t < static_cast<idx>(dt.tets().size()); ++t) {
+    if (dt.tet_alive(t)) {
+      EXPECT_TRUE(dt.tet_touches_super(t));
+    }
+  }
+}
+
+TEST(Delaunay, FivePointsVolumeCovered) {
+  // Unit tetrahedron corners + centroid: non-super tets tile the tet, so
+  // their volumes sum to 1/6.
+  const std::vector<Vec3> pts = {{0, 0, 0}, {1, 0, 0}, {0, 1, 0},
+                                 {0, 0, 1}, {0.25, 0.25, 0.25}};
+  DelaunayOptions opts;
+  opts.jitter = 0;
+  const Delaunay3 dt(pts, opts);
+  real volume = 0;
+  const auto& c = dt.vertex_coords();
+  for (idx t = 0; t < static_cast<idx>(dt.tets().size()); ++t) {
+    if (!dt.tet_alive(t) || dt.tet_touches_super(t)) continue;
+    const auto& tv = dt.tets()[t].v;
+    volume += signed_tet_volume(c[tv[0]], c[tv[1]], c[tv[2]], c[tv[3]]);
+  }
+  EXPECT_NEAR(volume, 1.0 / 6.0, 1e-12);
+}
+
+TEST(Delaunay, VertexIdMapping) {
+  const auto pts = random_points(10, 3);
+  const Delaunay3 dt(pts);
+  EXPECT_TRUE(dt.is_super_vertex(0));
+  EXPECT_TRUE(dt.is_super_vertex(7));
+  EXPECT_FALSE(dt.is_super_vertex(8));
+  EXPECT_EQ(dt.point_of_vertex(8), 0);
+  EXPECT_EQ(dt.point_of_vertex(17), 9);
+}
+
+TEST(Delaunay, AliveTetCountGrowsWithPoints) {
+  const Delaunay3 small(random_points(10, 1));
+  const Delaunay3 large(random_points(100, 1));
+  EXPECT_GT(large.num_alive_tets(), small.num_alive_tets());
+}
+
+}  // namespace
+}  // namespace prom::delaunay

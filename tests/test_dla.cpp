@@ -1,0 +1,221 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/error.h"
+#include "app/driver.h"
+#include "common/rng.h"
+#include "dla/dist_csr.h"
+#include "dla/dist_krylov.h"
+#include "dla/dist_mg.h"
+#include "dla/dist_vec.h"
+#include "fem/assembly.h"
+#include "la/vec.h"
+#include "mg/hierarchy.h"
+#include "mg/solver.h"
+#include "partition/rcb.h"
+
+namespace prom::dla {
+namespace {
+
+la::Csr poisson1d(idx n) {
+  std::vector<la::Triplet> t;
+  for (idx i = 0; i < n; ++i) {
+    t.push_back({i, i, 2.0});
+    if (i > 0) t.push_back({i, i - 1, -1.0});
+    if (i + 1 < n) t.push_back({i, i + 1, -1.0});
+  }
+  return la::Csr::from_triplets(n, n, t);
+}
+
+std::vector<real> random_vec(idx n, std::uint64_t seed) {
+  Rng rng(seed);
+  std::vector<real> v(static_cast<std::size_t>(n));
+  for (real& x : v) x = rng.next_real() - 0.5;
+  return v;
+}
+
+TEST(RowDist, BlockSplit) {
+  const RowDist d = RowDist::block(10, 3);
+  EXPECT_EQ(d.nranks(), 3);
+  EXPECT_EQ(d.global_size(), 10);
+  EXPECT_EQ(d.local_size(0) + d.local_size(1) + d.local_size(2), 10);
+  EXPECT_EQ(d.owner(0), 0);
+  EXPECT_EQ(d.owner(9), 2);
+  for (idx g = 0; g < 10; ++g) {
+    const int r = d.owner(g);
+    EXPECT_GE(g, d.begin(r));
+    EXPECT_LT(g, d.end(r));
+  }
+}
+
+TEST(RowDist, FromSortedOwners) {
+  const std::vector<idx> owners = {0, 0, 1, 1, 1, 3};
+  const RowDist d = RowDist::from_sorted_owners(owners, 4);
+  EXPECT_EQ(d.local_size(0), 2);
+  EXPECT_EQ(d.local_size(1), 3);
+  EXPECT_EQ(d.local_size(2), 0);
+  EXPECT_EQ(d.local_size(3), 1);
+  // Non-monotone owners rejected.
+  const std::vector<idx> bad = {1, 0};
+  EXPECT_THROW(RowDist::from_sorted_owners(bad, 2), Error);
+}
+
+class DlaRanks : public ::testing::TestWithParam<int> {};
+
+TEST_P(DlaRanks, DistDotMatchesSerial) {
+  const int p = GetParam();
+  const idx n = 101;
+  const auto a = random_vec(n, 1), b = random_vec(n, 2);
+  const real serial = la::dot(a, b);
+  const RowDist dist = RowDist::block(n, p);
+  parx::Runtime::run(p, [&](parx::Comm& comm) {
+    const idx lo = dist.begin(comm.rank()), hi = dist.end(comm.rank());
+    const real mine = dist_dot(
+        comm, std::span<const real>(a).subspan(lo, hi - lo),
+        std::span<const real>(b).subspan(lo, hi - lo));
+    EXPECT_NEAR(mine, serial, 1e-12);
+    EXPECT_NEAR(
+        dist_nrm2(comm, std::span<const real>(a).subspan(lo, hi - lo)),
+        la::nrm2(a), 1e-12);
+  });
+}
+
+TEST_P(DlaRanks, DistSpmvMatchesSerial) {
+  const int p = GetParam();
+  const idx n = 73;
+  const la::Csr a = poisson1d(n);
+  const auto x = random_vec(n, 3);
+  std::vector<real> y_ref(n);
+  a.spmv(x, y_ref);
+  const RowDist dist = RowDist::block(n, p);
+  parx::Runtime::run(p, [&](parx::Comm& comm) {
+    const DistCsr da(comm, a, dist, dist);
+    const idx lo = dist.begin(comm.rank());
+    const idx ln = dist.local_size(comm.rank());
+    std::vector<real> xl(x.begin() + lo, x.begin() + lo + ln), yl(ln);
+    da.spmv(comm, xl, yl);
+    for (idx i = 0; i < ln; ++i) EXPECT_NEAR(yl[i], y_ref[lo + i], 1e-13);
+  });
+}
+
+TEST_P(DlaRanks, DistSpmvTransposeMatchesSerial) {
+  const int p = GetParam();
+  const idx n = 40, m = 25;
+  // Rectangular random matrix (restriction-like).
+  Rng rng(7);
+  std::vector<la::Triplet> t;
+  for (int k = 0; k < 120; ++k) {
+    t.push_back({static_cast<idx>(rng.next_below(m)),
+                 static_cast<idx>(rng.next_below(n)),
+                 rng.next_real()});
+  }
+  const la::Csr r = la::Csr::from_triplets(m, n, t);
+  const auto x = random_vec(m, 4);
+  std::vector<real> y_ref(n);
+  r.spmv_transpose(x, y_ref);
+  const RowDist rows = RowDist::block(m, p);
+  const RowDist cols = RowDist::block(n, p);
+  parx::Runtime::run(p, [&](parx::Comm& comm) {
+    const DistCsr dr(comm, r, rows, cols);
+    const idx rlo = rows.begin(comm.rank());
+    std::vector<real> xl(x.begin() + rlo,
+                         x.begin() + rows.end(comm.rank()));
+    std::vector<real> yl(static_cast<std::size_t>(
+        cols.local_size(comm.rank())));
+    dr.spmv_transpose(comm, xl, yl);
+    const idx clo = cols.begin(comm.rank());
+    for (std::size_t i = 0; i < yl.size(); ++i) {
+      EXPECT_NEAR(yl[i], y_ref[clo + i], 1e-12);
+    }
+  });
+}
+
+TEST_P(DlaRanks, DistPcgMatchesSerialIterationForIteration) {
+  const int p = GetParam();
+  const idx n = 64;
+  const la::Csr a = poisson1d(n);
+  const auto b = random_vec(n, 5);
+  // Serial CG reference.
+  std::vector<real> x_ref(n, 0.0);
+  la::KrylovOptions opts;
+  opts.rtol = 1e-10;
+  const la::CsrOperator op(a);
+  const la::KrylovResult serial = la::cg(op, b, x_ref, opts);
+  ASSERT_TRUE(serial.converged);
+  const RowDist dist = RowDist::block(n, p);
+  parx::Runtime::run(p, [&](parx::Comm& comm) {
+    const DistCsr da(comm, a, dist, dist);
+    const DistCsrOperator dop(da);
+    const idx lo = dist.begin(comm.rank());
+    const idx ln = dist.local_size(comm.rank());
+    std::vector<real> bl(b.begin() + lo, b.begin() + lo + ln), xl(ln, 0.0);
+    const la::KrylovResult res = dist_pcg(comm, dop, nullptr, bl, xl, opts);
+    EXPECT_TRUE(res.converged);
+    EXPECT_EQ(res.iterations, serial.iterations);
+    for (idx i = 0; i < ln; ++i) EXPECT_NEAR(xl[i], x_ref[lo + i], 1e-8);
+  });
+}
+
+INSTANTIATE_TEST_SUITE_P(Ranks, DlaRanks, ::testing::Values(1, 2, 3, 5, 8));
+
+class DistMgRanks : public ::testing::TestWithParam<int> {};
+
+TEST_P(DistMgRanks, MatchesSerialMgIterationCounts) {
+  const int p = GetParam();
+  const app::ModelProblem model = app::make_box_problem(6);
+  fem::FeProblem fe(model.mesh, model.materials, model.dofmap);
+  const fem::LinearSystem sys = fem::assemble_linear_system(fe);
+  mg::MgOptions mopts;
+  mopts.coarsest_max_dofs = 150;
+  const mg::Hierarchy serial_h =
+      mg::Hierarchy::build(model.mesh, model.dofmap, sys.stiffness, mopts);
+
+  // Serial reference.
+  std::vector<real> x_ref(sys.rhs.size(), 0.0);
+  mg::MgSolveOptions so;
+  so.rtol = 1e-8;
+  const la::KrylovResult serial = mg_pcg_solve(serial_h, sys.rhs, x_ref, so);
+  ASSERT_TRUE(serial.converged);
+
+  const auto owner = partition::rcb_partition(model.mesh.coords(), p);
+  parx::Runtime::run(p, [&](parx::Comm& comm) {
+    const DistHierarchy dh = DistHierarchy::build(comm, serial_h, owner);
+    const auto& perm = dh.permutation(0);
+    const RowDist& rows = dh.level(0).a.row_dist();
+    const idx lo = rows.begin(comm.rank());
+    const idx ln = rows.local_size(comm.rank());
+    std::vector<real> bl(static_cast<std::size_t>(ln)), xl(ln, 0.0);
+    for (idx i = 0; i < ln; ++i) bl[i] = sys.rhs[perm[lo + i]];
+    const la::KrylovResult res = dist_mg_pcg_solve(comm, dh, bl, xl, so);
+    EXPECT_TRUE(res.converged);
+    // Identical grids and a processor-block smoother: iteration counts may
+    // differ slightly from serial but must stay in the same band (the
+    // paper's "no deterioration in convergence rates with the use of
+    // multiple processors").
+    EXPECT_LE(res.iterations, serial.iterations + 6);
+    // Distributed solution must solve the system (check via residual).
+    for (idx i = 0; i < ln; ++i) {
+      EXPECT_NEAR(xl[i], x_ref[perm[lo + i]], 1e-5);
+    }
+  });
+}
+
+TEST_P(DistMgRanks, GatherAllReassemblesVector) {
+  const int p = GetParam();
+  const idx n = 37;
+  const auto full = random_vec(n, 6);
+  const RowDist dist = RowDist::block(n, p);
+  parx::Runtime::run(p, [&](parx::Comm& comm) {
+    const idx lo = dist.begin(comm.rank());
+    std::vector<real> local(full.begin() + lo,
+                            full.begin() + dist.end(comm.rank()));
+    const std::vector<real> gathered = dist_gather_all(comm, dist, local);
+    EXPECT_EQ(gathered, full);
+  });
+}
+
+INSTANTIATE_TEST_SUITE_P(Ranks, DistMgRanks, ::testing::Values(1, 2, 4));
+
+}  // namespace
+}  // namespace prom::dla

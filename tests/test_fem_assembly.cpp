@@ -1,0 +1,210 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/error.h"
+#include "fem/assembly.h"
+#include "la/dense.h"
+#include "la/krylov.h"
+#include "mesh/generate.h"
+
+namespace prom::fem {
+namespace {
+
+TEST(DofMap, FixAndFinalize) {
+  DofMap dm(4);  // 12 dofs
+  EXPECT_EQ(dm.num_dofs(), 12);
+  EXPECT_EQ(dm.num_free(), 12);
+  dm.fix(0, 2, -1.5);
+  dm.fix(3, 0, 0.0);
+  dm.finalize();
+  EXPECT_EQ(dm.num_free(), 10);
+  EXPECT_TRUE(dm.is_constrained(DofMap::dof_of(0, 2)));
+  EXPECT_DOUBLE_EQ(dm.bc_value(DofMap::dof_of(0, 2)), -1.5);
+  EXPECT_EQ(dm.free_index(DofMap::dof_of(0, 2)), kInvalidIdx);
+  EXPECT_NE(dm.free_index(DofMap::dof_of(1, 0)), kInvalidIdx);
+}
+
+TEST(DofMap, FullFreeRoundTrip) {
+  DofMap dm(2);
+  dm.fix(0, 0, 2.0);
+  dm.finalize();
+  std::vector<real> free_values(5);
+  for (int i = 0; i < 5; ++i) free_values[i] = 10.0 + i;
+  const auto full = dm.full_from_free(free_values);
+  EXPECT_DOUBLE_EQ(full[0], 2.0);
+  EXPECT_DOUBLE_EQ(full[1], 10.0);
+  const auto back = dm.free_from_full(full);
+  EXPECT_EQ(back, free_values);
+  // Scaled BC insertion.
+  const auto half = dm.full_from_free(free_values, 0.5);
+  EXPECT_DOUBLE_EQ(half[0], 1.0);
+}
+
+TEST(DofMap, ScaleBc) {
+  DofMap dm(1);
+  dm.fix(0, 1, 4.0);
+  dm.scale_bc(0.25);
+  EXPECT_DOUBLE_EQ(dm.bc_value(1), 1.0);
+}
+
+class AssemblyFixture : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    mesh_ = mesh::box_hex(3, 3, 3, {0, 0, 0}, {1, 1, 1});
+    dofmap_ = DofMap(mesh_.num_vertices());
+    const real eps = 1e-12;
+    dofmap_.fix_all(
+        mesh_.vertices_where([&](const Vec3& p) { return p.z < eps; }), 0);
+    for (idx v : mesh_.vertices_where(
+             [&](const Vec3& p) { return p.z > 1 - eps; })) {
+      dofmap_.fix(v, 2, -0.01);
+    }
+    dofmap_.finalize();
+  }
+
+  mesh::Mesh mesh_;
+  DofMap dofmap_{0};
+};
+
+TEST_F(AssemblyFixture, StiffnessSymmetricPositiveDefinite) {
+  FeProblem prob(mesh_, {Material{}}, dofmap_);
+  const LinearSystem sys = assemble_linear_system(prob);
+  EXPECT_EQ(sys.stiffness.nrows, dofmap_.num_free());
+  EXPECT_LT(sys.stiffness.symmetry_error(), 1e-12);
+  // SPD: dense LDLT succeeds.
+  la::DenseMatrix dense(sys.stiffness.nrows, sys.stiffness.ncols);
+  const auto d = sys.stiffness.to_dense_rowmajor();
+  for (idx i = 0; i < sys.stiffness.nrows; ++i) {
+    for (idx j = 0; j < sys.stiffness.ncols; ++j) {
+      dense(i, j) = d[static_cast<std::size_t>(i) * sys.stiffness.ncols + j];
+    }
+  }
+  EXPECT_TRUE(la::DenseLdlt(dense).ok());
+}
+
+TEST_F(AssemblyFixture, LinearSolveMatchesDirectSolve) {
+  FeProblem prob(mesh_, {Material{}}, dofmap_);
+  const LinearSystem sys = assemble_linear_system(prob);
+  // CG solution.
+  std::vector<real> x_cg(sys.rhs.size(), 0.0);
+  const la::CsrOperator op(sys.stiffness);
+  la::KrylovOptions kopts;
+  kopts.rtol = 1e-12;
+  kopts.max_iters = 5000;
+  ASSERT_TRUE(la::cg(op, sys.rhs, x_cg, kopts).converged);
+  // Dense direct solution.
+  la::DenseMatrix dense(sys.stiffness.nrows, sys.stiffness.ncols);
+  const auto d = sys.stiffness.to_dense_rowmajor();
+  for (idx i = 0; i < sys.stiffness.nrows; ++i) {
+    for (idx j = 0; j < sys.stiffness.ncols; ++j) {
+      dense(i, j) = d[static_cast<std::size_t>(i) * sys.stiffness.ncols + j];
+    }
+  }
+  la::DenseLdlt ldlt(dense);
+  ASSERT_TRUE(ldlt.ok());
+  std::vector<real> x_direct(sys.rhs.size());
+  ldlt.solve(sys.rhs, x_direct);
+  for (std::size_t i = 0; i < x_cg.size(); ++i) {
+    EXPECT_NEAR(x_cg[i], x_direct[i], 1e-8);
+  }
+}
+
+TEST_F(AssemblyFixture, ResidualVanishesAtEquilibrium) {
+  // f_int at the solved displacement is zero on the free dofs.
+  FeProblem prob(mesh_, {Material{}}, dofmap_);
+  const LinearSystem sys = assemble_linear_system(prob);
+  std::vector<real> x(sys.rhs.size(), 0.0);
+  const la::CsrOperator op(sys.stiffness);
+  la::KrylovOptions kopts;
+  kopts.rtol = 1e-13;
+  kopts.max_iters = 5000;
+  ASSERT_TRUE(la::cg(op, sys.rhs, x, kopts).converged);
+  const auto u_full = prob.dofmap().full_from_free(x);
+  const AssemblyResult res = prob.assemble(u_full, false);
+  real rnorm = 0;
+  for (real v : res.f_int) rnorm = std::max(rnorm, std::fabs(v));
+  EXPECT_LT(rnorm, 1e-10);
+}
+
+TEST_F(AssemblyFixture, CompressionProducesDownwardDisplacementField) {
+  FeProblem prob(mesh_, {Material{}}, dofmap_);
+  const LinearSystem sys = assemble_linear_system(prob);
+  std::vector<real> x(sys.rhs.size(), 0.0);
+  const la::CsrOperator op(sys.stiffness);
+  la::KrylovOptions kopts;
+  kopts.rtol = 1e-10;
+  kopts.max_iters = 5000;
+  ASSERT_TRUE(la::cg(op, sys.rhs, x, kopts).converged);
+  const auto u_full = prob.dofmap().full_from_free(x);
+  // All z-displacements between the BC values.
+  for (idx v = 0; v < mesh_.num_vertices(); ++v) {
+    const real uz = u_full[DofMap::dof_of(v, 2)];
+    EXPECT_LE(uz, 1e-12);
+    EXPECT_GE(uz, -0.01 - 1e-12);
+  }
+}
+
+TEST_F(AssemblyFixture, BcCouplingMatchesExplicitProduct) {
+  // bc_coupling must equal K_fc * u_c computed from an unconstrained
+  // reference assembly.
+  FeProblem prob(mesh_, {Material{}}, dofmap_);
+  const std::vector<real> u_zero(dofmap_.num_dofs(), 0.0);
+  const AssemblyResult res = prob.assemble(u_zero, true);
+
+  // Reference: unconstrained problem (no BCs) gives the full matrix.
+  DofMap free_map(mesh_.num_vertices());
+  FeProblem full_prob(mesh_, {Material{}}, free_map);
+  const AssemblyResult full = full_prob.assemble(u_zero, true);
+  // K_fc u_c: rows = free dofs of dofmap_, cols = constrained with values.
+  for (idx d = 0; d < dofmap_.num_dofs(); ++d) {
+    const idx fi = dofmap_.free_index(d);
+    if (fi == kInvalidIdx) continue;
+    real expected = 0;
+    for (idx c = 0; c < dofmap_.num_dofs(); ++c) {
+      if (!dofmap_.is_constrained(c)) continue;
+      expected += full.stiffness.at(d, c) * dofmap_.bc_value(c);
+    }
+    EXPECT_NEAR(res.bc_coupling[fi], expected, 1e-12);
+  }
+}
+
+TEST(FeProblem, PlasticFractionLifecycle) {
+  // One hard element sheared far beyond yield; commit() latches state.
+  mesh::Mesh m = mesh::box_hex(1, 1, 1, {0, 0, 0}, {1, 1, 1});
+  DofMap dm(m.num_vertices());
+  const real eps = 1e-12;
+  dm.fix_all(m.vertices_where([&](const Vec3& p) { return p.z < eps; }), 0);
+  for (idx v :
+       m.vertices_where([&](const Vec3& p) { return p.z > 1 - eps; })) {
+    dm.fix(v, 0, 0.05);  // shear the top
+    dm.fix(v, 1, 0.0);
+    dm.fix(v, 2, 0.0);
+  }
+  dm.finalize();
+  FeProblem prob(m, {Material::paper_hard()}, dm);
+  EXPECT_DOUBLE_EQ(prob.plastic_fraction(), 0.0);
+  const std::vector<real> zeros(dm.num_free(), 0.0);
+  const auto u_full = dm.full_from_free(zeros);
+  const AssemblyResult res = prob.assemble(u_full, false);
+  EXPECT_GT(res.plastic_gauss_points, 0);
+  EXPECT_EQ(res.hard_gauss_points, 8);
+  EXPECT_DOUBLE_EQ(prob.plastic_fraction(), 0.0);  // not yet committed
+  prob.commit();
+  EXPECT_GT(prob.plastic_fraction(), 0.0);
+  // Snapshot / restore round trip.
+  auto snap = prob.snapshot_state();
+  prob.restore_state(std::vector<J2State>(snap.size()));
+  EXPECT_DOUBLE_EQ(prob.plastic_fraction(), 0.0);
+  prob.restore_state(std::move(snap));
+  EXPECT_GT(prob.plastic_fraction(), 0.0);
+}
+
+TEST(FeProblem, RejectsBadMaterialIndex) {
+  mesh::Mesh m = mesh::box_hex(1, 1, 1, {0, 0, 0}, {1, 1, 1});
+  DofMap dm(m.num_vertices());
+  EXPECT_THROW(FeProblem(m, {}, dm), Error);
+}
+
+}  // namespace
+}  // namespace prom::fem

@@ -1,0 +1,241 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/rng.h"
+#include "fem/element.h"
+#include "fem/quadrature.h"
+
+namespace prom::fem {
+namespace {
+
+const std::vector<Vec3> kUnitHex = {
+    Vec3{0, 0, 0}, Vec3{1, 0, 0}, Vec3{1, 1, 0}, Vec3{0, 1, 0},
+    Vec3{0, 0, 1}, Vec3{1, 0, 1}, Vec3{1, 1, 1}, Vec3{0, 1, 1}};
+
+std::vector<real> zero_disp(int nodes) {
+  return std::vector<real>(static_cast<std::size_t>(3 * nodes), 0.0);
+}
+
+/// Nodal displacement of a linear field u(x) = A x + b.
+std::vector<real> linear_disp(std::span<const Vec3> coords, const Mat3& a,
+                              const Vec3& b) {
+  std::vector<real> u;
+  for (const Vec3& x : coords) {
+    const Vec3 v = matvec(a, x) + b;
+    u.insert(u.end(), {v.x, v.y, v.z});
+  }
+  return u;
+}
+
+la::DenseMatrix stiffness_of(const Material& mat,
+                             std::span<const Vec3> coords, bool bbar) {
+  la::DenseMatrix k(static_cast<idx>(3 * coords.size()),
+                    static_cast<idx>(3 * coords.size()));
+  small_strain_element(mat, coords, zero_disp(coords.size()), bbar, {}, {},
+                       &k, {});
+  return k;
+}
+
+TEST(SmallStrainElement, StiffnessSymmetric) {
+  Material m;
+  const la::DenseMatrix k = stiffness_of(m, kUnitHex, true);
+  for (idx i = 0; i < 24; ++i) {
+    for (idx j = 0; j < 24; ++j) {
+      EXPECT_NEAR(k(i, j), k(j, i), 1e-13);
+    }
+  }
+}
+
+TEST(SmallStrainElement, RigidBodyModesInNullSpace) {
+  // Translations and (linearized) rotations produce zero internal force
+  // and zero stiffness action.
+  Material m;
+  const la::DenseMatrix k = stiffness_of(m, kUnitHex, true);
+  // Three translations + three skew-symmetric rotations.
+  std::vector<std::vector<real>> modes;
+  for (int d = 0; d < 3; ++d) {
+    Vec3 b{};
+    b[d] = 1;
+    modes.push_back(linear_disp(kUnitHex, Mat3::zero(), b));
+  }
+  for (int r = 0; r < 3; ++r) {
+    Mat3 w = Mat3::zero();
+    const int i = (r + 1) % 3, j = (r + 2) % 3;
+    w(i, j) = 1;
+    w(j, i) = -1;
+    modes.push_back(linear_disp(kUnitHex, w, {}));
+  }
+  for (const auto& mode : modes) {
+    std::vector<real> ku(24);
+    k.matvec(mode, ku);
+    for (real v : ku) EXPECT_NEAR(v, 0.0, 1e-12);
+  }
+}
+
+TEST(SmallStrainElement, PatchTestConstantStrain) {
+  // A linear displacement field produces the exact constant-strain
+  // internal force: f = K u for the linear element.
+  Material m;
+  m.youngs = 2;
+  m.poisson = 0.25;
+  Mat3 grad = Mat3::zero();
+  grad(0, 0) = 0.01;
+  grad(1, 1) = -0.002;
+  grad(0, 1) = 0.004;
+  const std::vector<real> u = linear_disp(kUnitHex, grad, {});
+  la::DenseMatrix k(24, 24);
+  std::vector<real> f(24);
+  small_strain_element(m, kUnitHex, u, true, {}, {}, &k, f);
+  std::vector<real> ku(24);
+  k.matvec(u, ku);
+  for (int i = 0; i < 24; ++i) EXPECT_NEAR(f[i], ku[i], 1e-12);
+}
+
+TEST(SmallStrainElement, DistortedElementStillSymmetricPsd) {
+  Rng rng(4);
+  std::vector<Vec3> coords = kUnitHex;
+  for (Vec3& p : coords) {
+    p.x += 0.15 * (rng.next_real() - 0.5);
+    p.y += 0.15 * (rng.next_real() - 0.5);
+    p.z += 0.15 * (rng.next_real() - 0.5);
+  }
+  Material m;
+  const la::DenseMatrix k = stiffness_of(m, coords, true);
+  // PSD via quadratic forms on random vectors.
+  for (int trial = 0; trial < 20; ++trial) {
+    std::vector<real> x(24), kx(24);
+    for (real& v : x) v = rng.next_real() - 0.5;
+    k.matvec(x, kx);
+    real q = 0;
+    for (int i = 0; i < 24; ++i) q += x[i] * kx[i];
+    EXPECT_GE(q, -1e-12);
+  }
+}
+
+TEST(SmallStrainElement, BbarSoftensVolumetricLocking) {
+  // For a nearly incompressible material, the B-bar element must be much
+  // softer in the constrained bending-like mode than the standard one.
+  Material m;
+  m.poisson = 0.499;
+  const la::DenseMatrix k_std = stiffness_of(m, kUnitHex, false);
+  const la::DenseMatrix k_bbar = stiffness_of(m, kUnitHex, true);
+  // Probe with a non-volumetric trial mode that standard elements lock on.
+  Rng rng(7);
+  real q_std = 0, q_bbar = 0;
+  std::vector<real> x(24), kx(24);
+  for (real& v : x) v = rng.next_real() - 0.5;
+  k_std.matvec(x, kx);
+  for (int i = 0; i < 24; ++i) q_std += x[i] * kx[i];
+  k_bbar.matvec(x, kx);
+  for (int i = 0; i < 24; ++i) q_bbar += x[i] * kx[i];
+  EXPECT_LT(q_bbar, q_std);
+}
+
+TEST(SmallStrainElement, J2StateUpdatedAndPlasticCounted) {
+  Material m = Material::paper_hard();
+  std::vector<J2State> committed(8), updated(8);
+  Mat3 grad = Mat3::zero();
+  grad(0, 1) = 0.02;  // strong shear: all Gauss points yield
+  const std::vector<real> u = linear_disp(kUnitHex, grad, {});
+  std::vector<real> f(24);
+  const int plastic = small_strain_element(m, kUnitHex, u, true, committed,
+                                           updated, nullptr, f);
+  EXPECT_EQ(plastic, 8);
+  for (const J2State& s : updated) EXPECT_TRUE(s.has_yielded());
+  for (const J2State& s : committed) EXPECT_FALSE(s.has_yielded());
+}
+
+TEST(TotalLagrangian, MatchesSmallStrainAtTinyDisplacement) {
+  Material nh;
+  nh.model = MaterialModel::kNeoHookean;
+  nh.youngs = 1;
+  nh.poisson = 0.3;
+  Material lin;
+  lin.youngs = 1;
+  lin.poisson = 0.3;
+  Mat3 grad = Mat3::zero();
+  grad(0, 0) = 1e-7;
+  grad(1, 2) = 5e-8;
+  grad(2, 1) = 5e-8;
+  const std::vector<real> u = linear_disp(kUnitHex, grad, {});
+  std::vector<real> f_nh(24), f_lin(24);
+  total_lagrangian_element(nh, kUnitHex, u, false, nullptr, f_nh);
+  small_strain_element(lin, kUnitHex, u, false, {}, {}, nullptr, f_lin);
+  for (int i = 0; i < 24; ++i) {
+    EXPECT_NEAR(f_nh[i], f_lin[i], 1e-12);
+  }
+}
+
+TEST(TotalLagrangian, TangentConsistentWithResidual) {
+  // K(u) must equal d f_int/d u at a finite deformation state.
+  Material nh;
+  nh.model = MaterialModel::kNeoHookean;
+  nh.youngs = 1;
+  nh.poisson = 0.3;
+  Rng rng(12);
+  std::vector<real> u(24);
+  for (real& v : u) v = 0.05 * (rng.next_real() - 0.5);
+  la::DenseMatrix k(24, 24);
+  std::vector<real> f0(24);
+  total_lagrangian_element(nh, kUnitHex, u, false, &k, f0);
+  const real h = 1e-7;
+  for (int d = 0; d < 24; d += 5) {  // sample columns
+    std::vector<real> up = u, um = u;
+    up[d] += h;
+    um[d] -= h;
+    std::vector<real> fp(24), fm(24);
+    total_lagrangian_element(nh, kUnitHex, up, false, nullptr, fp);
+    total_lagrangian_element(nh, kUnitHex, um, false, nullptr, fm);
+    for (int i = 0; i < 24; ++i) {
+      EXPECT_NEAR((fp[i] - fm[i]) / (2 * h), k(i, d), 1e-5) << i << " " << d;
+    }
+  }
+}
+
+TEST(TotalLagrangian, TrueRotationIsStressFree) {
+  // Geometric nonlinearity: a *finite* rigid rotation produces zero
+  // internal force (the small-strain element would not pass this).
+  Material nh;
+  nh.model = MaterialModel::kNeoHookean;
+  nh.youngs = 1;
+  nh.poisson = 0.3;
+  const real angle = 0.5;
+  Mat3 rot = Mat3::identity();
+  rot(0, 0) = std::cos(angle);
+  rot(0, 1) = -std::sin(angle);
+  rot(1, 0) = std::sin(angle);
+  rot(1, 1) = std::cos(angle);
+  std::vector<real> u;
+  for (const Vec3& x : kUnitHex) {
+    const Vec3 v = matvec(rot, x) - x;
+    u.insert(u.end(), {v.x, v.y, v.z});
+  }
+  std::vector<real> f(24);
+  total_lagrangian_element(nh, kUnitHex, u, false, nullptr, f);
+  for (real v : f) EXPECT_NEAR(v, 0.0, 1e-12);
+}
+
+TEST(TotalLagrangian, FbarRunsAndStaysConsistentAtIdentity) {
+  Material nh;
+  nh.model = MaterialModel::kNeoHookean;
+  nh.youngs = 1;
+  nh.poisson = 0.49;
+  std::vector<real> u = zero_disp(8);
+  la::DenseMatrix k(24, 24);
+  std::vector<real> f(24);
+  total_lagrangian_element(nh, kUnitHex, u, true, &k, f);
+  for (real v : f) EXPECT_NEAR(v, 0.0, 1e-15);
+  // Symmetric at the reference state.
+  for (int i = 0; i < 24; ++i) {
+    for (int j = 0; j < 24; ++j) EXPECT_NEAR(k(i, j), k(j, i), 1e-12);
+  }
+}
+
+TEST(GaussPointsPerCell, Counts) {
+  EXPECT_EQ(gauss_points_per_cell(8), 8);
+  EXPECT_EQ(gauss_points_per_cell(4), 4);
+}
+
+}  // namespace
+}  // namespace prom::fem

@@ -1,0 +1,254 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/error.h"
+#include "common/rng.h"
+#include "fem/material.h"
+
+namespace prom::fem {
+namespace {
+
+Mat3 apply_tangent(const Tangent& c, const Mat3& e) {
+  Mat3 s = Mat3::zero();
+  for (int i = 0; i < 3; ++i) {
+    for (int j = 0; j < 3; ++j) {
+      for (int k = 0; k < 3; ++k) {
+        for (int l = 0; l < 3; ++l) {
+          s(i, j) += tangent_at(c, i, j, k, l) * e(k, l);
+        }
+      }
+    }
+  }
+  return s;
+}
+
+TEST(Material, DerivedModuli) {
+  Material m;
+  m.youngs = 210;
+  m.poisson = 0.3;
+  EXPECT_NEAR(m.mu(), 210 / 2.6, 1e-10);
+  EXPECT_NEAR(m.lambda(), 210 * 0.3 / (1.3 * 0.4), 1e-10);
+  EXPECT_NEAR(m.bulk(), 210 / (3 * 0.4), 1e-10);
+}
+
+TEST(Material, PaperTable1Values) {
+  const Material soft = Material::paper_soft();
+  EXPECT_DOUBLE_EQ(soft.youngs, 1e-4);
+  EXPECT_DOUBLE_EQ(soft.poisson, 0.49);
+  EXPECT_EQ(soft.model, MaterialModel::kNeoHookean);
+  const Material hard = Material::paper_hard();
+  EXPECT_DOUBLE_EQ(hard.youngs, 1.0);
+  EXPECT_DOUBLE_EQ(hard.poisson, 0.3);
+  EXPECT_DOUBLE_EQ(hard.yield_stress, 0.001);
+  EXPECT_DOUBLE_EQ(hard.hardening, 0.002);
+}
+
+TEST(ElasticTangent, SymmetriesAndIsotropy) {
+  Material m;
+  Tangent c;
+  elastic_tangent(m, c);
+  Rng rng(1);
+  for (int i = 0; i < 3; ++i) {
+    for (int j = 0; j < 3; ++j) {
+      for (int k = 0; k < 3; ++k) {
+        for (int l = 0; l < 3; ++l) {
+          // Minor and major symmetries.
+          EXPECT_DOUBLE_EQ(tangent_at(c, i, j, k, l),
+                           tangent_at(c, j, i, k, l));
+          EXPECT_DOUBLE_EQ(tangent_at(c, i, j, k, l),
+                           tangent_at(c, k, l, i, j));
+        }
+      }
+    }
+  }
+  // Hydrostatic response: C : I = 3K I.
+  const Mat3 p = apply_tangent(c, Mat3::identity());
+  EXPECT_NEAR(p(0, 0), 3 * m.bulk(), 1e-12);
+  EXPECT_NEAR(p(0, 1), 0.0, 1e-14);
+}
+
+TEST(ElasticTangent, UniaxialStressRecoversYoungs) {
+  // Pure uniaxial strain with lateral contraction -nu*e gives stress
+  // sigma_xx = E*e and zero lateral stress.
+  Material m;
+  m.youngs = 2.5;
+  m.poisson = 0.3;
+  Tangent c;
+  elastic_tangent(m, c);
+  const real e = 0.01;
+  Mat3 strain = Mat3::zero();
+  strain(0, 0) = e;
+  strain(1, 1) = strain(2, 2) = -m.poisson * e;
+  const Mat3 stress = apply_tangent(c, strain);
+  EXPECT_NEAR(stress(0, 0), m.youngs * e, 1e-12);
+  EXPECT_NEAR(stress(1, 1), 0.0, 1e-12);
+  EXPECT_NEAR(stress(2, 2), 0.0, 1e-12);
+}
+
+TEST(J2, ElasticBelowYield) {
+  const Material m = Material::paper_hard();
+  J2State committed, updated;
+  Mat3 strain = Mat3::zero();
+  strain(0, 1) = strain(1, 0) = 1e-5;  // well below yield
+  Mat3 stress;
+  Tangent c;
+  EXPECT_FALSE(j2_radial_return(m, strain, committed, updated, stress, c));
+  EXPECT_NEAR(stress(0, 1), 2 * m.mu() * 1e-5, 1e-15);
+  EXPECT_EQ(updated.eq_plastic, 0.0);
+}
+
+TEST(J2, YieldSurfaceRespectedAfterReturn) {
+  // Large shear strain: the returned stress must lie on the yield surface
+  // ||dev(sigma) - back|| = sqrt(2/3) sigma_y.
+  const Material m = Material::paper_hard();
+  J2State committed, updated;
+  Mat3 strain = Mat3::zero();
+  strain(0, 1) = strain(1, 0) = 0.01;
+  Mat3 stress;
+  Tangent c;
+  EXPECT_TRUE(j2_radial_return(m, strain, committed, updated, stress, c));
+  const Mat3 xi = deviator(stress) - updated.backstress;
+  EXPECT_NEAR(frobenius_norm(xi), std::sqrt(2.0 / 3.0) * m.yield_stress,
+              1e-12);
+  EXPECT_GT(updated.eq_plastic, 0.0);
+  EXPECT_TRUE(updated.has_yielded());
+}
+
+TEST(J2, PurelyVolumetricStrainNeverYields) {
+  const Material m = Material::paper_hard();
+  J2State committed, updated;
+  const Mat3 strain = Mat3::identity() * 0.5;  // huge but hydrostatic
+  Mat3 stress;
+  Tangent c;
+  EXPECT_FALSE(j2_radial_return(m, strain, committed, updated, stress, c));
+  EXPECT_NEAR(stress(0, 0), m.bulk() * 1.5, 1e-12);
+}
+
+TEST(J2, KinematicHardeningShiftsYieldSurface) {
+  // Load plastically in +shear, unload, reload in -shear: the backstress
+  // makes reverse yielding occur earlier (Bauschinger effect).
+  const Material m = Material::paper_hard();
+  J2State virgin, loaded;
+  Mat3 strain = Mat3::zero();
+  strain(0, 1) = strain(1, 0) = 0.01;
+  Mat3 stress;
+  Tangent c;
+  ASSERT_TRUE(j2_radial_return(m, strain, virgin, loaded, stress, c));
+  EXPECT_GT(frobenius_norm(loaded.backstress), 0.0);
+
+  // From the hardened state, a reversed strain of the same magnitude
+  // produces a *larger* trial overshoot than from the virgin state.
+  J2State after_reverse;
+  Mat3 rev = Mat3::zero();
+  rev(0, 1) = rev(1, 0) = -0.01;
+  Mat3 stress_rev;
+  ASSERT_TRUE(
+      j2_radial_return(m, rev, loaded, after_reverse, stress_rev, c));
+  EXPECT_GT(after_reverse.eq_plastic, loaded.eq_plastic);
+}
+
+TEST(J2, ConsistentTangentMatchesFiniteDifference) {
+  const Material m = Material::paper_hard();
+  J2State committed;  // virgin
+  Mat3 strain = Mat3::zero();
+  strain(0, 1) = strain(1, 0) = 0.008;
+  strain(0, 0) = 0.003;
+  J2State updated;
+  Mat3 stress;
+  Tangent c;
+  ASSERT_TRUE(j2_radial_return(m, strain, committed, updated, stress, c));
+  const real h = 1e-7;
+  for (int k = 0; k < 3; ++k) {
+    for (int l = 0; l < 3; ++l) {
+      Mat3 sp = strain, sm = strain;
+      sp(k, l) += h / 2;
+      sp(l, k) += h / 2;
+      sm(k, l) -= h / 2;
+      sm(l, k) -= h / 2;
+      J2State tmp;
+      Mat3 stress_p, stress_m;
+      Tangent dummy;
+      j2_radial_return(m, sp, committed, tmp, stress_p, dummy);
+      j2_radial_return(m, sm, committed, tmp, stress_m, dummy);
+      for (int i = 0; i < 3; ++i) {
+        for (int j = 0; j < 3; ++j) {
+          const real fd = (stress_p(i, j) - stress_m(i, j)) / (2 * h);
+          // The symmetrized perturbation divided by 2h isolates C_ijkl
+          // (minor symmetry folds the (l,k) term into the step size).
+          EXPECT_NEAR(fd, tangent_at(c, i, j, k, l), 2e-4 * m.youngs)
+              << i << j << k << l;
+        }
+      }
+    }
+  }
+}
+
+TEST(NeoHookean, StressFreeAtIdentity) {
+  const Material m = Material::paper_soft();
+  Mat3 p;
+  Tangent a;
+  neo_hookean_stress(m, Mat3::identity(), p, a);
+  EXPECT_NEAR(frobenius_norm(p), 0.0, 1e-18);
+}
+
+TEST(NeoHookean, TangentMatchesFiniteDifference) {
+  Material m;
+  m.model = MaterialModel::kNeoHookean;
+  m.youngs = 1.0;
+  m.poisson = 0.3;
+  Rng rng(9);
+  Mat3 f = Mat3::identity();
+  for (int i = 0; i < 3; ++i) {
+    for (int j = 0; j < 3; ++j) f(i, j) += 0.15 * (rng.next_real() - 0.5);
+  }
+  Mat3 p;
+  Tangent a;
+  neo_hookean_stress(m, f, p, a);
+  const real h = 1e-7;
+  for (int k = 0; k < 3; ++k) {
+    for (int l = 0; l < 3; ++l) {
+      Mat3 fp = f, fm = f;
+      fp(k, l) += h;
+      fm(k, l) -= h;
+      Mat3 pp, pm;
+      Tangent dummy;
+      neo_hookean_stress(m, fp, pp, dummy);
+      neo_hookean_stress(m, fm, pm, dummy);
+      for (int i = 0; i < 3; ++i) {
+        for (int j = 0; j < 3; ++j) {
+          const real fd = (pp(i, j) - pm(i, j)) / (2 * h);
+          EXPECT_NEAR(fd, tangent_at(a, i, j, k, l), 1e-5) << i << j << k << l;
+        }
+      }
+    }
+  }
+}
+
+TEST(NeoHookean, InvertedDeformationThrows) {
+  const Material m = Material::paper_soft();
+  Mat3 f = Mat3::identity();
+  f(0, 0) = -1;
+  Mat3 p;
+  Tangent a;
+  EXPECT_THROW(neo_hookean_stress(m, f, p, a), Error);
+}
+
+TEST(NeoHookean, SmallStrainLimitMatchesLinearElasticity) {
+  Material m;
+  m.model = MaterialModel::kNeoHookean;
+  m.youngs = 1.0;
+  m.poisson = 0.3;
+  const real e = 1e-6;
+  Mat3 f = Mat3::identity();
+  f(0, 0) += e;
+  Mat3 p;
+  Tangent a;
+  neo_hookean_stress(m, f, p, a);
+  // P ~= lambda*tr(eps) I + 2 mu eps for infinitesimal strains.
+  EXPECT_NEAR(p(0, 0), (m.lambda() + 2 * m.mu()) * e, 1e-11);
+  EXPECT_NEAR(p(1, 1), m.lambda() * e, 1e-11);
+}
+
+}  // namespace
+}  // namespace prom::fem

@@ -1,0 +1,145 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/error.h"
+#include "common/rng.h"
+#include "fem/quadrature.h"
+#include "fem/shape.h"
+
+namespace prom::fem {
+namespace {
+
+const std::array<Vec3, 8> kUnitHex = {
+    Vec3{0, 0, 0}, Vec3{1, 0, 0}, Vec3{1, 1, 0}, Vec3{0, 1, 0},
+    Vec3{0, 0, 1}, Vec3{1, 0, 1}, Vec3{1, 1, 1}, Vec3{0, 1, 1}};
+
+const std::array<Vec3, 4> kUnitTet = {Vec3{0, 0, 0}, Vec3{1, 0, 0},
+                                      Vec3{0, 1, 0}, Vec3{0, 0, 1}};
+
+TEST(Quadrature, WeightsSumToReferenceVolume) {
+  real w = 0;
+  for (const auto& gp : hex_gauss_8()) w += gp.w;
+  EXPECT_NEAR(w, 8.0, 1e-14);  // [-1,1]^3
+  w = 0;
+  for (const auto& gp : tet_gauss_4()) w += gp.w;
+  EXPECT_NEAR(w, 1.0 / 6.0, 1e-14);  // unit simplex
+  EXPECT_NEAR(tet_gauss_1()[0].w, 1.0 / 6.0, 1e-15);
+  EXPECT_NEAR(hex_gauss_1()[0].w, 8.0, 1e-15);
+}
+
+TEST(Quadrature, Hex2x2x2IntegratesQuadraticsExactly) {
+  // Integral of x^2 y^2 z^2 over [-1,1]^3 = (2/3)^3.
+  real sum = 0;
+  for (const auto& gp : hex_gauss_8()) {
+    sum += gp.w * gp.xi.x * gp.xi.x * gp.xi.y * gp.xi.y * gp.xi.z * gp.xi.z;
+  }
+  EXPECT_NEAR(sum, 8.0 / 27.0, 1e-13);
+}
+
+class ShapePoints : public ::testing::TestWithParam<int> {
+ protected:
+  Vec3 random_hex_point() {
+    Rng rng(GetParam());
+    return {2 * rng.next_real() - 1, 2 * rng.next_real() - 1,
+            2 * rng.next_real() - 1};
+  }
+  Vec3 random_tet_point() {
+    Rng rng(GetParam() + 50);
+    Vec3 p{rng.next_real(), rng.next_real(), rng.next_real()};
+    const real s = p.x + p.y + p.z;
+    if (s > 1) p = p * (0.99 / s);
+    return p;
+  }
+};
+
+TEST_P(ShapePoints, Hex8PartitionOfUnity) {
+  const ShapeEval s = hex8_shape(random_hex_point());
+  real sum = 0;
+  Vec3 grad_sum{};
+  for (int a = 0; a < 8; ++a) {
+    sum += s.value[a];
+    grad_sum += s.grad_xi[a];
+  }
+  EXPECT_NEAR(sum, 1.0, 1e-14);
+  EXPECT_NEAR(norm(grad_sum), 0.0, 1e-14);
+}
+
+TEST_P(ShapePoints, Tet4PartitionOfUnity) {
+  const ShapeEval s = tet4_shape(random_tet_point());
+  real sum = 0;
+  for (int a = 0; a < 4; ++a) sum += s.value[a];
+  EXPECT_NEAR(sum, 1.0, 1e-14);
+}
+
+TEST_P(ShapePoints, Hex8GradientsMatchFiniteDifferences) {
+  const Vec3 xi = random_hex_point();
+  const real h = 1e-6;
+  const ShapeEval s = hex8_shape(xi);
+  for (int d = 0; d < 3; ++d) {
+    Vec3 xp = xi, xm = xi;
+    xp[d] += h;
+    xm[d] -= h;
+    const ShapeEval sp = hex8_shape(xp);
+    const ShapeEval sm = hex8_shape(xm);
+    for (int a = 0; a < 8; ++a) {
+      const real fd = (sp.value[a] - sm.value[a]) / (2 * h);
+      EXPECT_NEAR(s.grad_xi[a][d], fd, 1e-8);
+    }
+  }
+}
+
+TEST_P(ShapePoints, IsoparametricMapReproducesGeometry) {
+  // Interpolating the node coordinates with the shape functions recovers
+  // the mapped point for the identity-like unit hex.
+  const Vec3 xi = random_hex_point();
+  const ShapeEval s = hex8_shape(xi);
+  const Vec3 x = interpolate_position(s, kUnitHex);
+  EXPECT_NEAR(x.x, (xi.x + 1) / 2, 1e-13);
+  EXPECT_NEAR(x.y, (xi.y + 1) / 2, 1e-13);
+  EXPECT_NEAR(x.z, (xi.z + 1) / 2, 1e-13);
+}
+
+INSTANTIATE_TEST_SUITE_P(Points, ShapePoints, ::testing::Range(1, 9));
+
+TEST(PhysicalGradients, UnitHexJacobian) {
+  const ShapeEval s = hex8_shape({0, 0, 0});
+  const PhysicalGrads pg = physical_gradients(s, kUnitHex);
+  EXPECT_NEAR(pg.detJ, 0.125, 1e-14);  // (1/2)^3
+}
+
+TEST(PhysicalGradients, LinearFieldGradientExact) {
+  // u(x) = 3x - 2y + z on the unit tet: grad from shape functions must be
+  // (3, -2, 1) exactly.
+  const ShapeEval s = tet4_shape({0.2, 0.3, 0.1});
+  const PhysicalGrads pg = physical_gradients(s, kUnitTet);
+  auto f = [](const Vec3& p) { return 3 * p.x - 2 * p.y + p.z; };
+  Vec3 grad{};
+  for (int a = 0; a < 4; ++a) grad += pg.grad[a] * f(kUnitTet[a]);
+  EXPECT_NEAR(grad.x, 3.0, 1e-13);
+  EXPECT_NEAR(grad.y, -2.0, 1e-13);
+  EXPECT_NEAR(grad.z, 1.0, 1e-13);
+}
+
+TEST(PhysicalGradients, InvertedElementThrows) {
+  std::array<Vec3, 4> bad = kUnitTet;
+  std::swap(bad[1], bad[2]);  // negative orientation
+  const ShapeEval s = tet4_shape({0.25, 0.25, 0.25});
+  EXPECT_THROW(physical_gradients(s, bad), Error);
+}
+
+TEST(PhysicalGradients, StretchedHexScalesGradients) {
+  std::array<Vec3, 8> stretched = kUnitHex;
+  for (Vec3& p : stretched) p.x *= 10;
+  const ShapeEval s = hex8_shape({0.3, -0.2, 0.4});
+  const PhysicalGrads pg = physical_gradients(s, stretched);
+  const PhysicalGrads ref = physical_gradients(s, kUnitHex);
+  EXPECT_NEAR(pg.detJ, 10 * ref.detJ, 1e-12);
+  for (int a = 0; a < 8; ++a) {
+    EXPECT_NEAR(pg.grad[a].x, ref.grad[a].x / 10, 1e-12);
+    EXPECT_NEAR(pg.grad[a].y, ref.grad[a].y, 1e-12);
+  }
+}
+
+}  // namespace
+}  // namespace prom::fem

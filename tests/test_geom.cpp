@@ -1,0 +1,149 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/rng.h"
+#include "geom/aabb.h"
+#include "geom/mat3.h"
+#include "geom/predicates.h"
+#include "geom/vec3.h"
+
+namespace prom {
+namespace {
+
+TEST(Vec3, Arithmetic) {
+  const Vec3 a{1, 2, 3}, b{4, 5, 6};
+  EXPECT_EQ(a + b, (Vec3{5, 7, 9}));
+  EXPECT_EQ(b - a, (Vec3{3, 3, 3}));
+  EXPECT_EQ(a * 2.0, (Vec3{2, 4, 6}));
+  EXPECT_DOUBLE_EQ(dot(a, b), 32.0);
+  EXPECT_EQ(cross(Vec3{1, 0, 0}, Vec3{0, 1, 0}), (Vec3{0, 0, 1}));
+  EXPECT_DOUBLE_EQ(norm(Vec3{3, 4, 0}), 5.0);
+  EXPECT_DOUBLE_EQ(norm(normalized(a)), 1.0);
+  EXPECT_EQ(normalized(Vec3{}), (Vec3{0, 0, 0}));
+}
+
+TEST(Aabb, ExtendAndContain) {
+  Aabb box;
+  box.extend({0, 0, 0});
+  box.extend({2, 1, 3});
+  EXPECT_TRUE(box.contains({1, 0.5, 1.5}));
+  EXPECT_FALSE(box.contains({3, 0, 0}));
+  EXPECT_EQ(box.center(), (Vec3{1, 0.5, 1.5}));
+  EXPECT_DOUBLE_EQ(box.max_extent(), 3.0);
+}
+
+TEST(Mat3, DetInverseTranspose) {
+  Mat3 a = Mat3::identity();
+  a(0, 1) = 2;
+  a(2, 0) = -1;
+  EXPECT_DOUBLE_EQ(det(Mat3::identity()), 1.0);
+  const Mat3 inv = inverse(a);
+  const Mat3 prod = matmul(a, inv);
+  for (int i = 0; i < 3; ++i) {
+    for (int j = 0; j < 3; ++j) {
+      EXPECT_NEAR(prod(i, j), i == j ? 1.0 : 0.0, 1e-14);
+    }
+  }
+  EXPECT_DOUBLE_EQ(transpose(a)(1, 0), a(0, 1));
+  EXPECT_DOUBLE_EQ(trace(a), 3.0);
+}
+
+TEST(Mat3, DeviatorIsTraceless) {
+  Mat3 a;
+  a(0, 0) = 3;
+  a(1, 1) = 5;
+  a(2, 2) = 1;
+  a(0, 1) = 2;
+  EXPECT_NEAR(trace(deviator(a)), 0.0, 1e-15);
+}
+
+TEST(Orient3d, SignConvention) {
+  // Positively oriented reference tetrahedron.
+  const Vec3 a{0, 0, 0}, b{1, 0, 0}, c{0, 1, 0}, d{0, 0, 1};
+  EXPECT_GT(orient3d(a, b, c, d), 0.0);
+  EXPECT_LT(orient3d(a, c, b, d), 0.0);
+  // Coplanar points: exactly zero via the exact path.
+  EXPECT_EQ(orient3d(a, b, c, Vec3{0.25, 0.25, 0}), 0.0);
+}
+
+TEST(Orient3d, ExactOnNearDegenerate) {
+  // A point displaced off a plane by one ulp must be classified
+  // consistently with the sign of the displacement.
+  const Vec3 a{0, 0, 0}, b{1, 0, 0}, c{0, 1, 0};
+  const real tiny = std::ldexp(1.0, -52);
+  EXPECT_GT(orient3d(a, b, c, Vec3{0.3, 0.3, tiny}), 0.0);
+  EXPECT_LT(orient3d(a, b, c, Vec3{0.3, 0.3, -tiny}), 0.0);
+}
+
+TEST(Orient3d, TranslationInvarianceOfSign) {
+  Rng rng(11);
+  for (int trial = 0; trial < 200; ++trial) {
+    Vec3 p[4];
+    for (auto& v : p) {
+      v = {rng.next_real(), rng.next_real(), rng.next_real()};
+    }
+    const int s = sign_of(orient3d(p[0], p[1], p[2], p[3]));
+    const Vec3 shift{1e6, -2e6, 3e6};
+    const int s2 = sign_of(orient3d(p[0] + shift, p[1] + shift, p[2] + shift,
+                                    p[3] + shift));
+    EXPECT_EQ(s, s2);
+  }
+}
+
+TEST(Insphere, SignConvention) {
+  // Unit tetrahedron, positively oriented; its circumsphere contains the
+  // centroid and not a faraway point.
+  const Vec3 a{0, 0, 0}, b{1, 0, 0}, c{0, 1, 0}, d{0, 0, 1};
+  ASSERT_GT(orient3d(a, b, c, d), 0.0);
+  EXPECT_GT(insphere(a, b, c, d, Vec3{0.25, 0.25, 0.25}), 0.0);
+  EXPECT_LT(insphere(a, b, c, d, Vec3{10, 10, 10}), 0.0);
+}
+
+TEST(Insphere, CospherePointIsExactZero) {
+  // Five points of a regular octahedron share a circumsphere.
+  const Vec3 a{1, 0, 0}, b{-1, 0, 0}, c{0, 1, 0}, d{0, 0, 1}, e{0, -1, 0};
+  ASSERT_NE(orient3d(a, b, c, d), 0.0);
+  // Reorder to a positive tetrahedron before testing.
+  if (orient3d(a, b, c, d) > 0) {
+    EXPECT_EQ(insphere(a, b, c, d, e), 0.0);
+  } else {
+    EXPECT_EQ(insphere(a, c, b, d, e), 0.0);
+  }
+}
+
+TEST(Insphere, AgreesWithDistanceToCircumcenter) {
+  // Tetrahedron with known circumcenter: corner of a cube plus axes.
+  const Vec3 a{0, 0, 0}, b{2, 0, 0}, c{0, 2, 0}, d{0, 0, 2};
+  const Vec3 center{1, 1, 1};
+  const real radius2 = norm2(a - center);
+  Rng rng(5);
+  for (int trial = 0; trial < 200; ++trial) {
+    const Vec3 p{4 * rng.next_real() - 1, 4 * rng.next_real() - 1,
+                 4 * rng.next_real() - 1};
+    const real inside = radius2 - norm2(p - center);
+    if (std::fabs(inside) < 1e-9) continue;  // too close to the sphere
+    EXPECT_EQ(sign_of(insphere(a, b, c, d, p)), sign_of(inside))
+        << "point " << p.x << "," << p.y << "," << p.z;
+  }
+}
+
+TEST(Predicates, ExactFallbackCounterAdvances) {
+  reset_predicate_stats();
+  const Vec3 a{0, 0, 0}, b{1, 0, 0}, c{0, 1, 0};
+  (void)orient3d(a, b, c, Vec3{0.5, 0.5, 0});  // degenerate: exact path
+  EXPECT_GE(predicate_stats().orient3d_exact, 1);
+}
+
+TEST(TriangleNormal, RightHandRule) {
+  const Vec3 n = triangle_normal({0, 0, 0}, {1, 0, 0}, {0, 1, 0});
+  EXPECT_NEAR(n.z, 1.0, 1e-15);
+}
+
+TEST(TetVolume, UnitTet) {
+  EXPECT_NEAR(signed_tet_volume({0, 0, 0}, {1, 0, 0}, {0, 1, 0}, {0, 0, 1}),
+              1.0 / 6.0, 1e-15);
+}
+
+}  // namespace
+}  // namespace prom

@@ -1,0 +1,109 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/error.h"
+#include "common/rng.h"
+#include "la/dense.h"
+
+namespace prom::la {
+namespace {
+
+/// Random SPD matrix A = B^T B + n*I.
+DenseMatrix random_spd(idx n, std::uint64_t seed) {
+  Rng rng(seed);
+  DenseMatrix b(n, n);
+  for (idx j = 0; j < n; ++j) {
+    for (idx i = 0; i < n; ++i) b(i, j) = rng.next_real() - 0.5;
+  }
+  DenseMatrix a(n, n);
+  for (idx i = 0; i < n; ++i) {
+    for (idx j = 0; j < n; ++j) {
+      real sum = 0;
+      for (idx k = 0; k < n; ++k) sum += b(k, i) * b(k, j);
+      a(i, j) = sum + (i == j ? n : real{0});
+    }
+  }
+  return a;
+}
+
+TEST(DenseMatrix, MatvecIdentity) {
+  const DenseMatrix eye = DenseMatrix::identity(3);
+  std::vector<real> x = {1, 2, 3}, y(3);
+  eye.matvec(x, y);
+  EXPECT_EQ(y, x);
+}
+
+TEST(DenseMatrix, MatvecRectangular) {
+  DenseMatrix a(2, 3);
+  a(0, 0) = 1;
+  a(0, 1) = 2;
+  a(0, 2) = 3;
+  a(1, 2) = 4;
+  std::vector<real> x = {1, 1, 1}, y(2);
+  a.matvec(x, y);
+  EXPECT_DOUBLE_EQ(y[0], 6);
+  EXPECT_DOUBLE_EQ(y[1], 4);
+}
+
+class LdltSizes : public ::testing::TestWithParam<idx> {};
+
+TEST_P(LdltSizes, SolveRecoversKnownSolution) {
+  const idx n = GetParam();
+  const DenseMatrix a = random_spd(n, 42 + n);
+  // Manufactured solution.
+  std::vector<real> x_true(n), b(n), x(n);
+  for (idx i = 0; i < n; ++i) x_true[i] = std::sin(i + 1.0);
+  a.matvec(x_true, b);
+  DenseLdlt ldlt(a);
+  ASSERT_TRUE(ldlt.ok());
+  ldlt.solve(b, x);
+  for (idx i = 0; i < n; ++i) EXPECT_NEAR(x[i], x_true[i], 1e-10);
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, LdltSizes,
+                         ::testing::Values(1, 2, 3, 5, 10, 33, 100));
+
+TEST(Ldlt, DetectsIndefiniteMatrix) {
+  DenseMatrix a(2, 2);
+  a(0, 0) = 1;
+  a(1, 1) = -1;
+  EXPECT_FALSE(DenseLdlt(a).ok());
+}
+
+TEST(Ldlt, DetectsSingularMatrix) {
+  DenseMatrix a(2, 2);
+  a(0, 0) = 1;
+  a(0, 1) = a(1, 0) = 1;
+  a(1, 1) = 1;  // rank 1
+  EXPECT_FALSE(DenseLdlt(a).ok());
+}
+
+TEST(Ldlt, SolveOnFailedFactorizationThrows) {
+  DenseMatrix a(1, 1);
+  a(0, 0) = -1;
+  DenseLdlt f(a);
+  ASSERT_FALSE(f.ok());
+  std::vector<real> b = {1}, x = {0};
+  EXPECT_THROW(f.solve(b, x), Error);
+}
+
+TEST(Ldlt, IllConditionedStillAccurate) {
+  // Diagonal spread of 1e10 — LDLT of an SPD diagonal-ish matrix.
+  const idx n = 20;
+  DenseMatrix a(n, n);
+  for (idx i = 0; i < n; ++i) a(i, i) = std::pow(10.0, i % 11 - 5);
+  for (idx i = 0; i + 1 < n; ++i) {
+    const real off = 1e-3 * std::min(a(i, i), a(i + 1, i + 1));
+    a(i, i + 1) = a(i + 1, i) = off;
+  }
+  DenseLdlt f(a);
+  ASSERT_TRUE(f.ok());
+  std::vector<real> x_true(n, 1.0), b(n), x(n);
+  a.matvec(x_true, b);
+  f.solve(b, x);
+  for (idx i = 0; i < n; ++i) EXPECT_NEAR(x[i], 1.0, 1e-8);
+}
+
+}  // namespace
+}  // namespace prom::la

@@ -1,0 +1,68 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/error.h"
+#include "common/flops.h"
+#include "la/vec.h"
+
+namespace prom::la {
+namespace {
+
+TEST(Vec, Axpy) {
+  std::vector<real> x = {1, 2, 3}, y = {10, 20, 30};
+  axpy(2, x, y);
+  EXPECT_EQ(y, (std::vector<real>{12, 24, 36}));
+}
+
+TEST(Vec, Aypx) {
+  std::vector<real> x = {1, 1, 1}, y = {1, 2, 3};
+  aypx(10, x, y);
+  EXPECT_EQ(y, (std::vector<real>{11, 21, 31}));
+}
+
+TEST(Vec, WaxpbyAllowsAliasing) {
+  std::vector<real> x = {1, 2}, y = {3, 4}, w(2);
+  waxpby(2, x, -1, y, w);
+  EXPECT_EQ(w, (std::vector<real>{-1, 0}));
+  // w aliasing y (used by residual updates r = b - A x).
+  waxpby(1, x, -1, y, y);
+  EXPECT_EQ(y, (std::vector<real>{-2, -2}));
+}
+
+TEST(Vec, DotAndNorm) {
+  std::vector<real> x = {3, 4};
+  EXPECT_DOUBLE_EQ(dot(x, x), 25.0);
+  EXPECT_DOUBLE_EQ(nrm2(x), 5.0);
+}
+
+TEST(Vec, ScaleSetCopy) {
+  std::vector<real> x = {1, 2, 3};
+  scale(3, x);
+  EXPECT_EQ(x, (std::vector<real>{3, 6, 9}));
+  std::vector<real> y(3);
+  copy(x, y);
+  EXPECT_EQ(y, x);
+  set_all(y, 0);
+  EXPECT_EQ(y, (std::vector<real>{0, 0, 0}));
+  EXPECT_EQ(zeros(4), (std::vector<real>{0, 0, 0, 0}));
+}
+
+TEST(Vec, SizeMismatchThrows) {
+  std::vector<real> x = {1, 2}, y = {1, 2, 3};
+  EXPECT_THROW(axpy(1, x, y), Error);
+  EXPECT_THROW(dot(x, y), Error);
+}
+
+TEST(Vec, FlopAccounting) {
+  std::vector<real> x(100, 1.0), y(100, 2.0);
+  reset_thread_flops();
+  axpy(1, x, y);
+  EXPECT_EQ(thread_flops(), 200);
+  reset_thread_flops();
+  (void)dot(x, y);
+  EXPECT_EQ(thread_flops(), 200);
+}
+
+}  // namespace
+}  // namespace prom::la

@@ -1,0 +1,207 @@
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <set>
+
+#include "mesh/generate.h"
+#include "mesh/mesh.h"
+#include "mesh/vtk.h"
+
+namespace prom::mesh {
+namespace {
+
+TEST(BoxHex, CountsAndVolume) {
+  const Mesh m = box_hex(3, 4, 5, {0, 0, 0}, {3, 4, 5});
+  EXPECT_EQ(m.num_vertices(), 4 * 5 * 6);
+  EXPECT_EQ(m.num_cells(), 60);
+  EXPECT_NEAR(m.volume(), 60.0, 1e-10);
+  for (idx e = 0; e < m.num_cells(); ++e) {
+    EXPECT_NEAR(cell_volume(m, e), 1.0, 1e-12);
+  }
+}
+
+TEST(BoxHex, VertexGraphIsCellClique) {
+  const Mesh m = box_hex(2, 2, 2, {0, 0, 0}, {1, 1, 1});
+  const graph::Graph g = m.vertex_graph();
+  EXPECT_TRUE(g.is_symmetric());
+  // The center vertex of a 2x2x2 box touches all 8 cells and hence all
+  // other 26 vertices.
+  idx center = kInvalidIdx;
+  for (idx v = 0; v < m.num_vertices(); ++v) {
+    if (m.coord(v) == Vec3{0.5, 0.5, 0.5}) center = v;
+  }
+  ASSERT_NE(center, kInvalidIdx);
+  EXPECT_EQ(g.degree(center), 26);
+  // A corner vertex touches one cell: 7 neighbors.
+  idx corner = kInvalidIdx;
+  for (idx v = 0; v < m.num_vertices(); ++v) {
+    if (m.coord(v) == Vec3{0, 0, 0}) corner = v;
+  }
+  EXPECT_EQ(g.degree(corner), 7);
+}
+
+TEST(BoxHex, BoundaryFacetCount) {
+  const idx n = 3;
+  const Mesh m = box_hex(n, n, n, {0, 0, 0}, {1, 1, 1});
+  const auto facets = boundary_facets(m);
+  EXPECT_EQ(facets.size(), 6u * n * n);
+}
+
+TEST(BoundaryFacets, NormalsPointOutward) {
+  const Mesh m = box_hex(2, 2, 2, {0, 0, 0}, {1, 1, 1});
+  for (const Facet& f : boundary_facets(m)) {
+    // Outward normal: facet centroid + normal moves away from the box
+    // center.
+    Vec3 fc{};
+    for (idx v : f.vertices()) fc += m.coord(v);
+    fc = fc / static_cast<real>(f.num_vertices());
+    const Vec3 center{0.5, 0.5, 0.5};
+    EXPECT_GT(dot(f.normal, fc - center), 0.0);
+    EXPECT_NEAR(norm(f.normal), 1.0, 1e-12);
+  }
+}
+
+TEST(BoundaryFacets, MaterialInterfaceEmitsBothSides) {
+  // Two-cell bar with different materials: 2*5 exterior + 2 interface.
+  std::vector<Vec3> coords;
+  for (idx k = 0; k <= 1; ++k) {
+    for (idx j = 0; j <= 1; ++j) {
+      for (idx i = 0; i <= 2; ++i) {
+        coords.push_back({static_cast<real>(i), static_cast<real>(j),
+                          static_cast<real>(k)});
+      }
+    }
+  }
+  auto vid = [](idx i, idx j, idx k) { return (k * 2 + j) * 3 + i; };
+  std::vector<idx> cells;
+  for (idx i = 0; i < 2; ++i) {
+    cells.insert(cells.end(),
+                 {vid(i, 0, 0), vid(i + 1, 0, 0), vid(i + 1, 1, 0),
+                  vid(i, 1, 0), vid(i, 0, 1), vid(i + 1, 0, 1),
+                  vid(i + 1, 1, 1), vid(i, 1, 1)});
+  }
+  const Mesh m(CellKind::kHex8, coords, cells, {0, 1});
+  const auto facets = boundary_facets(m);
+  EXPECT_EQ(facets.size(), 12u);  // 10 exterior + 2 interface sides
+  int interface_sides = 0;
+  for (const Facet& f : facets) {
+    Vec3 fc{};
+    for (idx v : f.vertices()) fc += m.coord(v);
+    fc = fc / 4.0;
+    if (std::abs(fc.x - 1.0) < 1e-12) ++interface_sides;
+  }
+  EXPECT_EQ(interface_sides, 2);
+}
+
+TEST(FacetAdjacency, BoxFaceInterior) {
+  const Mesh m = box_hex(3, 3, 3, {0, 0, 0}, {1, 1, 1});
+  const auto facets = boundary_facets(m);
+  const graph::Graph adj = facet_adjacency(facets);
+  EXPECT_EQ(adj.num_vertices(), static_cast<idx>(facets.size()));
+  // Facets in the middle of a box face touch 4 in-plane neighbors; facets
+  // at a box edge also touch across the edge.
+  for (idx f = 0; f < adj.num_vertices(); ++f) {
+    EXPECT_GE(adj.degree(f), 4);
+    EXPECT_LE(adj.degree(f), 6);
+  }
+}
+
+TEST(ThinSlab, Dimensions) {
+  const Mesh m = thin_slab();
+  const Aabb box = m.bounding_box();
+  EXPECT_NEAR(box.extent().z, 1.0, 1e-12);
+  EXPECT_NEAR(box.extent().x, 16.0, 1e-12);
+}
+
+class SphereParams : public ::testing::TestWithParam<idx> {};
+
+TEST_P(SphereParams, VolumeMatchesCubeOctant) {
+  SphereInCubeParams p;
+  p.num_shells = 5;
+  p.base_core_layers = 2;
+  p.base_outer_layers = 2;
+  p.layers_per_shell = GetParam();
+  const Mesh m = sphere_in_cube_octant(p);
+  const real expected = p.cube_side * p.cube_side * p.cube_side;
+  EXPECT_NEAR(m.volume(), expected, 1e-6 * expected);
+}
+
+TEST_P(SphereParams, NoInvertedCells) {
+  SphereInCubeParams p;
+  p.num_shells = 5;
+  p.base_core_layers = 2;
+  p.base_outer_layers = 2;
+  p.layers_per_shell = GetParam();
+  const Mesh m = sphere_in_cube_octant(p);
+  for (idx e = 0; e < m.num_cells(); ++e) {
+    EXPECT_GT(cell_volume(m, e), 0.0);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Refinements, SphereParams, ::testing::Values(1, 2));
+
+TEST(Sphere, ShellMaterialsAlternateAndLieInRadiusBands) {
+  SphereInCubeParams p;  // 17 shells, defaults
+  const Mesh m = sphere_in_cube_octant(p);
+  idx hard_cells = 0;
+  for (idx e = 0; e < m.num_cells(); ++e) {
+    const real r = norm(m.centroid(e));
+    if (m.material(e) == p.hard_material) {
+      ++hard_cells;
+      // Hard cells only inside the shell stack.
+      EXPECT_GT(r, p.core_radius * 0.9);
+      EXPECT_LT(r, p.shell_outer_radius * 1.1);
+    }
+  }
+  // 9 of 17 shells are hard.
+  EXPECT_GT(hard_cells, 0);
+  const real frac = static_cast<real>(hard_cells) / m.num_cells();
+  EXPECT_GT(frac, 0.1);
+  EXPECT_LT(frac, 0.6);
+}
+
+TEST(Sphere, SymmetryPlanesAreExact) {
+  SphereInCubeParams p;
+  p.num_shells = 5;
+  p.base_core_layers = 1;
+  p.base_outer_layers = 1;
+  const Mesh m = sphere_in_cube_octant(p);
+  // Every vertex with a zero lattice coordinate maps to an exactly zero
+  // physical coordinate (symmetry BC requires this).
+  int on_plane = 0;
+  for (idx v = 0; v < m.num_vertices(); ++v) {
+    const Vec3& x = m.coord(v);
+    if (x.x == 0 || x.y == 0 || x.z == 0) ++on_plane;
+    EXPECT_GE(x.x, 0);
+    EXPECT_GE(x.y, 0);
+    EXPECT_GE(x.z, 0);
+    EXPECT_LE(x.x, p.cube_side + 1e-12);
+  }
+  EXPECT_GT(on_plane, 0);
+}
+
+TEST(VerticesWhere, SelectsPredicateMatches) {
+  const Mesh m = box_hex(2, 2, 2, {0, 0, 0}, {1, 1, 1});
+  const auto bottom =
+      m.vertices_where([](const Vec3& p) { return p.z < 1e-12; });
+  EXPECT_EQ(bottom.size(), 9u);
+}
+
+TEST(Vtk, WritesReadableFile) {
+  const Mesh m = box_hex(2, 2, 2, {0, 0, 0}, {1, 1, 1});
+  const std::string path = ::testing::TempDir() + "/prom_test.vtk";
+  std::vector<real> disp(static_cast<std::size_t>(m.num_vertices()) * 3, 0.5);
+  VtkFields fields;
+  fields.displacement = disp;
+  ASSERT_TRUE(write_vtk(path, m, fields));
+  std::FILE* f = std::fopen(path.c_str(), "r");
+  ASSERT_NE(f, nullptr);
+  char header[64] = {0};
+  ASSERT_NE(std::fgets(header, sizeof header, f), nullptr);
+  EXPECT_NE(std::string(header).find("vtk"), std::string::npos);
+  std::fclose(f);
+  std::remove(path.c_str());
+}
+
+}  // namespace
+}  // namespace prom::mesh

@@ -1,0 +1,144 @@
+#include <gtest/gtest.h>
+
+#include <cstdio>
+
+#include "common/error.h"
+#include "mesh/generate.h"
+#include "mesh/io.h"
+#include "parx/runtime.h"
+
+namespace prom::mesh {
+namespace {
+
+std::string temp_path(const char* name) {
+  return ::testing::TempDir() + "/" + name;
+}
+
+void expect_meshes_equal(const Mesh& a, const Mesh& b) {
+  ASSERT_EQ(a.kind(), b.kind());
+  ASSERT_EQ(a.num_vertices(), b.num_vertices());
+  ASSERT_EQ(a.num_cells(), b.num_cells());
+  for (idx v = 0; v < a.num_vertices(); ++v) {
+    EXPECT_NEAR(distance(a.coord(v), b.coord(v)), 0.0, 1e-14);
+  }
+  for (idx e = 0; e < a.num_cells(); ++e) {
+    EXPECT_EQ(a.material(e), b.material(e));
+    const auto va = a.cell(e), vb = b.cell(e);
+    for (std::size_t i = 0; i < va.size(); ++i) EXPECT_EQ(va[i], vb[i]);
+  }
+}
+
+TEST(FlatMesh, SerialRoundTripHex) {
+  const Mesh m = box_hex(3, 2, 4, {0, 0, 0}, {3, 2, 4});
+  const std::string path = temp_path("roundtrip_hex.pm");
+  ASSERT_TRUE(write_flat_mesh(path, m));
+  const Mesh back = read_flat_mesh(path);
+  expect_meshes_equal(m, back);
+  std::remove(path.c_str());
+}
+
+TEST(FlatMesh, SerialRoundTripWithMaterials) {
+  SphereInCubeParams p;
+  p.num_shells = 3;
+  p.base_core_layers = 1;
+  p.base_outer_layers = 1;
+  const Mesh m = sphere_in_cube_octant(p);
+  const std::string path = temp_path("roundtrip_sphere.pm");
+  ASSERT_TRUE(write_flat_mesh(path, m));
+  const Mesh back = read_flat_mesh(path);
+  expect_meshes_equal(m, back);
+  std::remove(path.c_str());
+}
+
+TEST(FlatMesh, CoordinatesSurviveAtFullPrecision) {
+  // %24.16e must round-trip doubles exactly enough for identity.
+  std::vector<Vec3> coords = {{1.0 / 3.0, -2.718281828459045e-7, 1e20},
+                              {0, -0, 5e-324},
+                              {123456.789012345678, 1, -1},
+                              {0.1, 0.2, 0.3}};
+  std::vector<idx> cells = {0, 1, 2, 3};
+  const Mesh m(CellKind::kTet4, coords, cells, {7});
+  const std::string path = temp_path("precision.pm");
+  ASSERT_TRUE(write_flat_mesh(path, m));
+  const Mesh back = read_flat_mesh(path);
+  for (idx v = 0; v < 4; ++v) {
+    EXPECT_EQ(back.coord(v).x, m.coord(v).x);
+    EXPECT_EQ(back.coord(v).y, m.coord(v).y);
+    EXPECT_EQ(back.coord(v).z, m.coord(v).z);
+  }
+  std::remove(path.c_str());
+}
+
+TEST(FlatMesh, ReadMissingFileThrows) {
+  EXPECT_THROW(read_flat_mesh(temp_path("does_not_exist.pm")), Error);
+}
+
+TEST(FlatMesh, ReadGarbageHeaderThrows) {
+  const std::string path = temp_path("garbage.pm");
+  std::FILE* f = std::fopen(path.c_str(), "wb");
+  ASSERT_NE(f, nullptr);
+  std::fputs("this is not a prom mesh file at all; padding padding pad\n",
+             f);
+  std::fclose(f);
+  EXPECT_THROW(read_flat_mesh(path), Error);
+  std::remove(path.c_str());
+}
+
+class FlatMeshRanks : public ::testing::TestWithParam<int> {};
+
+TEST_P(FlatMeshRanks, ParallelSlicesPartitionTheFile) {
+  const int p = GetParam();
+  const Mesh m = box_hex(4, 4, 3, {0, 0, 0}, {4, 4, 3});
+  const std::string path = temp_path("parallel.pm");
+  ASSERT_TRUE(write_flat_mesh(path, m));
+
+  std::vector<FlatMeshSlice> slices(static_cast<std::size_t>(p));
+  parx::Runtime::run(p, [&](parx::Comm& comm) {
+    slices[comm.rank()] = read_flat_mesh_slice(comm, path);
+  });
+  idx total_vertices = 0, total_cells = 0;
+  idx expected_vertex_begin = 0, expected_cell_begin = 0;
+  for (const FlatMeshSlice& s : slices) {
+    EXPECT_EQ(s.num_vertices_total, m.num_vertices());
+    EXPECT_EQ(s.num_cells_total, m.num_cells());
+    EXPECT_EQ(s.vertex_begin, expected_vertex_begin);  // contiguous slices
+    EXPECT_EQ(s.cell_begin, expected_cell_begin);
+    expected_vertex_begin += static_cast<idx>(s.coords.size());
+    expected_cell_begin += static_cast<idx>(s.cell_material.size());
+    total_vertices += static_cast<idx>(s.coords.size());
+    total_cells += static_cast<idx>(s.cell_material.size());
+    // Slice content matches the source mesh.
+    for (std::size_t i = 0; i < s.coords.size(); ++i) {
+      EXPECT_NEAR(distance(s.coords[i],
+                           m.coord(s.vertex_begin + static_cast<idx>(i))),
+                  0.0, 1e-14);
+    }
+  }
+  EXPECT_EQ(total_vertices, m.num_vertices());
+  EXPECT_EQ(total_cells, m.num_cells());
+  std::remove(path.c_str());
+}
+
+TEST_P(FlatMeshRanks, GatherReassemblesOriginalMesh) {
+  const int p = GetParam();
+  const Mesh m = box_hex(3, 3, 3, {0, 0, 0}, {1, 1, 1});
+  const std::string path = temp_path("gather.pm");
+  ASSERT_TRUE(write_flat_mesh(path, m));
+  std::vector<char> ok(static_cast<std::size_t>(p), 0);
+  parx::Runtime::run(p, [&](parx::Comm& comm) {
+    const FlatMeshSlice slice = read_flat_mesh_slice(comm, path);
+    const Mesh gathered = gather_flat_mesh(comm, slice);
+    ok[comm.rank()] =
+        gathered.num_vertices() == m.num_vertices() &&
+        gathered.num_cells() == m.num_cells() &&
+        distance(gathered.coord(5), m.coord(5)) < 1e-14 &&
+        gathered.material(m.num_cells() - 1) == m.material(m.num_cells() - 1);
+  });
+  for (char c : ok) EXPECT_TRUE(c);
+  std::remove(path.c_str());
+}
+
+INSTANTIATE_TEST_SUITE_P(Ranks, FlatMeshRanks, ::testing::Values(1, 2, 3, 5));
+
+}  // namespace
+}  // namespace prom::mesh

@@ -1,0 +1,143 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "common/rng.h"
+#include "mesh/generate.h"
+#include "partition/greedy.h"
+#include "partition/rcb.h"
+
+namespace prom::partition {
+namespace {
+
+std::vector<Vec3> random_points(idx n, std::uint64_t seed) {
+  Rng rng(seed);
+  std::vector<Vec3> pts(static_cast<std::size_t>(n));
+  for (Vec3& p : pts) {
+    p = {rng.next_real(), rng.next_real(), rng.next_real()};
+  }
+  return pts;
+}
+
+class RcbParts : public ::testing::TestWithParam<idx> {};
+
+TEST_P(RcbParts, BalancedPartition) {
+  const idx nparts = GetParam();
+  const auto pts = random_points(1000, 7);
+  const auto part = rcb_partition(pts, nparts);
+  const auto sizes = part_sizes(part, nparts);
+  const idx lo = *std::min_element(sizes.begin(), sizes.end());
+  const idx hi = *std::max_element(sizes.begin(), sizes.end());
+  // RCB with proportional splits: near-perfect balance.
+  EXPECT_LE(hi - lo, nparts);
+  EXPECT_GT(lo, 0);
+}
+
+TEST_P(RcbParts, GeometricLocality) {
+  // Points in the same part should be closer on average than points in
+  // different parts (RCB produces spatially compact parts).
+  const idx nparts = GetParam();
+  if (nparts < 2) GTEST_SKIP();
+  const auto pts = random_points(600, 11);
+  const auto part = rcb_partition(pts, nparts);
+  Rng rng(3);
+  double same = 0, diff = 0;
+  int same_n = 0, diff_n = 0;
+  for (int trial = 0; trial < 4000; ++trial) {
+    const idx a = static_cast<idx>(rng.next_below(600));
+    const idx b = static_cast<idx>(rng.next_below(600));
+    if (a == b) continue;
+    const double d = distance(pts[a], pts[b]);
+    if (part[a] == part[b]) {
+      same += d;
+      ++same_n;
+    } else {
+      diff += d;
+      ++diff_n;
+    }
+  }
+  ASSERT_GT(same_n, 0);
+  ASSERT_GT(diff_n, 0);
+  EXPECT_LT(same / same_n, diff / diff_n);
+}
+
+INSTANTIATE_TEST_SUITE_P(Parts, RcbParts, ::testing::Values(1, 2, 3, 4, 7, 16));
+
+TEST(Rcb, SinglePointManyParts) {
+  const std::vector<Vec3> pts = {{0, 0, 0}};
+  const auto part = rcb_partition(pts, 4);
+  EXPECT_EQ(part.size(), 1u);
+  EXPECT_GE(part[0], 0);
+  EXPECT_LT(part[0], 4);
+}
+
+TEST(Rcb, DeterministicOnTies) {
+  // All points identical: still a valid deterministic partition.
+  const std::vector<Vec3> pts(64, Vec3{1, 1, 1});
+  const auto p1 = rcb_partition(pts, 4);
+  const auto p2 = rcb_partition(pts, 4);
+  EXPECT_EQ(p1, p2);
+  const auto sizes = part_sizes(p1, 4);
+  for (idx s : sizes) EXPECT_EQ(s, 16);
+}
+
+TEST(PartsToBlocks, RoundTrip) {
+  const std::vector<idx> part = {0, 1, 0, 2, 1};
+  const auto blocks = parts_to_blocks(part, 3);
+  ASSERT_EQ(blocks.size(), 3u);
+  EXPECT_EQ(blocks[0], (std::vector<idx>{0, 2}));
+  EXPECT_EQ(blocks[1], (std::vector<idx>{1, 4}));
+  EXPECT_EQ(blocks[2], (std::vector<idx>{3}));
+}
+
+graph::Graph mesh_graph(idx n) {
+  return mesh::box_hex(n, n, n, {0, 0, 0}, {1, 1, 1}).vertex_graph();
+}
+
+class GreedyParts : public ::testing::TestWithParam<idx> {};
+
+TEST_P(GreedyParts, CoversAllVerticesWithBoundedImbalance) {
+  const idx nparts = GetParam();
+  const auto g = mesh_graph(6);
+  const auto part = greedy_graph_partition(g, nparts);
+  const auto sizes = part_sizes(part, nparts);
+  const double avg = static_cast<double>(g.num_vertices()) / nparts;
+  for (idx s : sizes) {
+    EXPECT_GT(s, 0);
+    EXPECT_LE(s, static_cast<idx>(1.3 * avg) + 2);
+  }
+}
+
+TEST_P(GreedyParts, CutBeatsRandomAssignment) {
+  const idx nparts = GetParam();
+  if (nparts < 2) GTEST_SKIP();
+  const auto g = mesh_graph(6);
+  const auto part = greedy_graph_partition(g, nparts);
+  // Random assignment reference.
+  Rng rng(5);
+  std::vector<idx> random_part(static_cast<std::size_t>(g.num_vertices()));
+  for (idx& p : random_part) p = static_cast<idx>(rng.next_below(nparts));
+  EXPECT_LT(edge_cut(g, part), edge_cut(g, random_part) / 2);
+}
+
+INSTANTIATE_TEST_SUITE_P(Parts, GreedyParts, ::testing::Values(1, 2, 4, 8));
+
+TEST(BlockJacobiBlocks, PaperDensity) {
+  // 6 blocks per 1000 unknowns (§7.2): 2000 vertices -> 12 blocks.
+  const auto g = mesh_graph(12);  // 2197 vertices
+  const auto blocks = block_jacobi_blocks(g, 6);
+  EXPECT_EQ(blocks.size(), 14u);  // ceil(6 * 2197 / 1000)
+  idx total = 0;
+  for (const auto& b : blocks) total += static_cast<idx>(b.size());
+  EXPECT_EQ(total, g.num_vertices());
+}
+
+TEST(BlockJacobiBlocks, DegenerateTinyGraph) {
+  const auto g = graph::Graph::from_edges(
+      3, std::vector<std::pair<idx, idx>>{{0, 1}});
+  const auto blocks = block_jacobi_blocks(g, 6, /*min_blocks=*/5);
+  EXPECT_EQ(blocks.size(), 3u);  // one vertex per block
+}
+
+}  // namespace
+}  // namespace prom::partition

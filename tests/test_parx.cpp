@@ -1,0 +1,172 @@
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <numeric>
+
+#include "common/flops.h"
+#include "parx/runtime.h"
+
+namespace prom::parx {
+namespace {
+
+class ParxRanks : public ::testing::TestWithParam<int> {};
+
+TEST_P(ParxRanks, PointToPointRoundTrip) {
+  const int p = GetParam();
+  if (p < 2) GTEST_SKIP();
+  Runtime::run(p, [](Comm& comm) {
+    // Ring: send my rank to the next rank, receive from the previous.
+    const int next = (comm.rank() + 1) % comm.size();
+    const int prev = (comm.rank() + comm.size() - 1) % comm.size();
+    if (next != comm.rank()) {
+      comm.send_value<int>(next, 7, comm.rank());
+      EXPECT_EQ(comm.recv_value<int>(prev, 7), prev);
+    }
+  });
+}
+
+TEST_P(ParxRanks, TagMatchingIsSelective) {
+  const int p = GetParam();
+  if (p < 2) GTEST_SKIP();
+  Runtime::run(p, [](Comm& comm) {
+    if (comm.rank() == 0) {
+      // Send two tagged messages out of order; rank 1 receives by tag.
+      comm.send_value<int>(1, 20, 222);
+      comm.send_value<int>(1, 10, 111);
+    } else if (comm.rank() == 1) {
+      EXPECT_EQ(comm.recv_value<int>(0, 10), 111);
+      EXPECT_EQ(comm.recv_value<int>(0, 20), 222);
+    }
+  });
+}
+
+TEST_P(ParxRanks, FifoPerSourceAndTag) {
+  const int p = GetParam();
+  if (p < 2) GTEST_SKIP();
+  Runtime::run(p, [](Comm& comm) {
+    constexpr int kN = 50;
+    if (comm.rank() == 0) {
+      for (int i = 0; i < kN; ++i) comm.send_value<int>(1, 3, i);
+    } else if (comm.rank() == 1) {
+      for (int i = 0; i < kN; ++i) {
+        EXPECT_EQ(comm.recv_value<int>(0, 3), i);
+      }
+    }
+  });
+}
+
+TEST_P(ParxRanks, Barrier) {
+  const int p = GetParam();
+  std::atomic<int> phase_one{0};
+  std::atomic<bool> violated{false};
+  Runtime::run(p, [&](Comm& comm) {
+    phase_one.fetch_add(1);
+    comm.barrier();
+    if (phase_one.load() != comm.size()) violated = true;
+  });
+  EXPECT_FALSE(violated.load());
+}
+
+TEST_P(ParxRanks, AllreduceSumMinMax) {
+  const int p = GetParam();
+  Runtime::run(p, [p](Comm& comm) {
+    const double mine = comm.rank() + 1;
+    EXPECT_DOUBLE_EQ(comm.allreduce_sum(mine), p * (p + 1) / 2.0);
+    EXPECT_DOUBLE_EQ(comm.allreduce_min(mine), 1.0);
+    EXPECT_DOUBLE_EQ(comm.allreduce_max(mine), static_cast<double>(p));
+    EXPECT_EQ(comm.allreduce_sum(std::int64_t{2}), 2 * p);
+  });
+}
+
+TEST_P(ParxRanks, AllreduceVector) {
+  const int p = GetParam();
+  Runtime::run(p, [p](Comm& comm) {
+    std::vector<double> v = {1.0 * comm.rank(), 1.0};
+    v = comm.allreduce(v, Comm::ReduceOp::kSum);
+    EXPECT_DOUBLE_EQ(v[0], p * (p - 1) / 2.0);
+    EXPECT_DOUBLE_EQ(v[1], static_cast<double>(p));
+  });
+}
+
+TEST_P(ParxRanks, BcastFromEveryRoot) {
+  const int p = GetParam();
+  Runtime::run(p, [p](Comm& comm) {
+    for (int root = 0; root < p; ++root) {
+      std::vector<int> data;
+      if (comm.rank() == root) data = {root, 10 * root, -1};
+      data = comm.bcast(std::move(data), root);
+      ASSERT_EQ(data.size(), 3u);
+      EXPECT_EQ(data[0], root);
+      EXPECT_EQ(data[1], 10 * root);
+    }
+  });
+}
+
+TEST_P(ParxRanks, Allgatherv) {
+  const int p = GetParam();
+  Runtime::run(p, [](Comm& comm) {
+    // Rank r contributes r+1 copies of its rank id.
+    std::vector<int> mine(static_cast<std::size_t>(comm.rank()) + 1,
+                          comm.rank());
+    const auto all = comm.allgatherv(mine);
+    ASSERT_EQ(static_cast<int>(all.size()), comm.size());
+    for (int r = 0; r < comm.size(); ++r) {
+      ASSERT_EQ(static_cast<int>(all[r].size()), r + 1);
+      for (int v : all[r]) EXPECT_EQ(v, r);
+    }
+  });
+}
+
+TEST_P(ParxRanks, Alltoallv) {
+  const int p = GetParam();
+  Runtime::run(p, [p](Comm& comm) {
+    std::vector<std::vector<int>> send(p);
+    for (int r = 0; r < p; ++r) send[r] = {100 * comm.rank() + r};
+    const auto recv = comm.alltoallv(send);
+    for (int r = 0; r < p; ++r) {
+      ASSERT_EQ(recv[r].size(), 1u);
+      EXPECT_EQ(recv[r][0], 100 * r + comm.rank());
+    }
+  });
+}
+
+TEST_P(ParxRanks, TrafficStatsCountSends) {
+  const int p = GetParam();
+  if (p < 2) GTEST_SKIP();
+  const auto stats = Runtime::run(p, [](Comm& comm) {
+    if (comm.rank() == 0) {
+      std::vector<double> payload(100, 1.0);
+      comm.send<double>(1, 5, payload);
+    } else if (comm.rank() == 1) {
+      (void)comm.recv<double>(0, 5);
+    }
+  });
+  EXPECT_EQ(stats[0].messages_sent, 1);
+  EXPECT_EQ(stats[0].bytes_sent, 800);
+  if (p > 1) {
+    EXPECT_EQ(stats[1].messages_sent, 0);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(RankCounts, ParxRanks,
+                         ::testing::Values(1, 2, 3, 4, 5, 8, 13));
+
+TEST(Parx, ExceptionInRankPropagates) {
+  EXPECT_THROW(Runtime::run(3,
+                            [](Comm& comm) {
+                              if (comm.rank() == 1) {
+                                throw Error("rank 1 exploded");
+                              }
+                            }),
+               Error);
+}
+
+TEST(Parx, FlopCountsPerRank) {
+  const auto stats = Runtime::run(4, [](Comm& comm) {
+    count_flops(10 * (comm.rank() + 1));
+  });
+  for (int r = 0; r < 4; ++r) EXPECT_EQ(stats[r].flops, 10 * (r + 1));
+}
+
+}  // namespace
+}  // namespace prom::parx

@@ -1,0 +1,124 @@
+#include <gtest/gtest.h>
+
+#include "perf/efficiency.h"
+#include "perf/model.h"
+
+namespace prom::perf {
+namespace {
+
+PhaseStats make_stats(std::initializer_list<parx::TrafficStats> ranks) {
+  PhaseStats s;
+  s.per_rank.assign(ranks.begin(), ranks.end());
+  return s;
+}
+
+TEST(MachineModel, RankTimeComposition) {
+  MachineModel m;
+  m.flops_per_sec = 1e6;
+  m.latency = 1e-3;
+  m.bandwidth = 1e6;
+  // 1e6 flops (1s) + 10 messages (0.01s) + 1e6 bytes (1s).
+  EXPECT_NEAR(m.rank_time(1'000'000, 10, 1'000'000), 2.01, 1e-12);
+}
+
+TEST(PhaseStats, Aggregates) {
+  const PhaseStats s = make_stats({{10, 100, 1000}, {20, 200, 3000}});
+  EXPECT_EQ(s.total_flops(), 4000);
+  EXPECT_EQ(s.max_flops(), 3000);
+  EXPECT_DOUBLE_EQ(s.average_flops(), 2000.0);
+  EXPECT_EQ(s.total_messages(), 30);
+  EXPECT_EQ(s.total_bytes(), 300);
+  EXPECT_DOUBLE_EQ(s.load_balance(), 2000.0 / 3000.0);
+}
+
+TEST(PhaseStats, ModeledTimeIsMaxOverRanks) {
+  MachineModel m;
+  m.flops_per_sec = 1e3;
+  m.latency = 0;
+  m.bandwidth = 1e30;
+  const PhaseStats s = make_stats({{0, 0, 1000}, {0, 0, 4000}});
+  EXPECT_NEAR(s.modeled_time(m), 4.0, 1e-12);  // slowest rank dominates
+  EXPECT_NEAR(s.modeled_flop_rate(m), 5000.0 / 4.0, 1e-9);
+}
+
+TEST(PhaseStats, PerfectBalanceGivesUnitLoadBalance) {
+  const PhaseStats s = make_stats({{0, 0, 500}, {0, 0, 500}});
+  EXPECT_DOUBLE_EQ(s.load_balance(), 1.0);
+}
+
+TEST(Efficiencies, IdenticalRunsGiveUnity) {
+  RunMeasurement base;
+  base.ranks = 2;
+  base.unknowns = 1000;
+  base.iterations = 20;
+  base.solve_flops = 4'000'000;
+  base.solve_phase = make_stats({{10, 1000, 2'000'000}, {10, 1000, 2'000'000}});
+  const Efficiencies e = compute_efficiencies(base, base);
+  EXPECT_NEAR(e.iteration_scale, 1.0, 1e-12);
+  EXPECT_NEAR(e.flop_scale, 1.0, 1e-12);
+  EXPECT_NEAR(e.communication, 1.0, 1e-12);
+  EXPECT_NEAR(e.total, 1.0, 1e-12);
+  EXPECT_NEAR(e.load_balance, 1.0, 1e-12);
+}
+
+TEST(Efficiencies, SuperLinearIterationScale) {
+  // Fewer iterations at scale: eIs > 1, exactly the paper's Table 2
+  // behaviour (29 iterations at 80K dofs, 20 at 9.6M).
+  RunMeasurement base;
+  base.ranks = 2;
+  base.unknowns = 1000;
+  base.iterations = 29;
+  base.solve_flops = 1'000'000;
+  base.solve_phase = make_stats({{0, 0, 500'000}, {0, 0, 500'000}});
+  RunMeasurement run = base;
+  run.ranks = 4;
+  run.unknowns = 2000;
+  run.iterations = 20;
+  run.solve_flops = 2'000'000 * 20 / 29;
+  run.solve_phase = make_stats(
+      {{0, 0, 250'000}, {0, 0, 250'000}, {0, 0, 250'000}, {0, 0, 250'000}});
+  const Efficiencies e = compute_efficiencies(base, run);
+  EXPECT_GT(e.iteration_scale, 1.0);
+}
+
+TEST(Efficiencies, CommunicationPenaltyLowersEc) {
+  MachineModel model;  // default model: latency matters
+  RunMeasurement base;
+  base.ranks = 2;
+  base.unknowns = 1000;
+  base.iterations = 10;
+  base.solve_flops = 10'000'000;
+  base.solve_phase = make_stats({{0, 0, 5'000'000}, {0, 0, 5'000'000}});
+  RunMeasurement run = base;
+  run.ranks = 2;
+  // Same flops but heavy message traffic: modeled flop rate drops.
+  run.solve_phase =
+      make_stats({{5000, 5'000'000, 5'000'000}, {5000, 5'000'000, 5'000'000}});
+  const Efficiencies e = compute_efficiencies(base, run);
+  EXPECT_LT(e.communication, 1.0);
+  (void)model;
+}
+
+TEST(Efficiencies, LoadImbalanceReported) {
+  RunMeasurement base;
+  base.ranks = 1;
+  base.unknowns = 100;
+  base.iterations = 10;
+  base.solve_flops = 1000;
+  base.solve_phase = make_stats({{0, 0, 1000}});
+  RunMeasurement run = base;
+  run.solve_phase = make_stats({{0, 0, 100}, {0, 0, 900}});
+  run.ranks = 2;
+  const Efficiencies e = compute_efficiencies(base, run);
+  EXPECT_NEAR(e.load_balance, 500.0 / 900.0, 1e-12);
+}
+
+TEST(Efficiencies, ZeroGuards) {
+  // Empty/zero measurements must not divide by zero.
+  RunMeasurement base, run;
+  const Efficiencies e = compute_efficiencies(base, run);
+  EXPECT_EQ(e.total, 1.0);
+}
+
+}  // namespace
+}  // namespace prom::perf

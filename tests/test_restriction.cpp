@@ -1,0 +1,217 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <set>
+
+#include "coarsen/coarsen.h"
+#include "coarsen/restriction.h"
+#include "mesh/generate.h"
+
+namespace prom::coarsen {
+namespace {
+
+/// Runs one full coarsening of a box mesh and returns everything.
+struct CoarsenedBox {
+  mesh::Mesh mesh;
+  graph::Graph graph;
+  Classification cls;
+  CoarsenLevelResult level;
+};
+
+CoarsenedBox coarsen_box(idx n) {
+  CoarsenedBox out;
+  out.mesh = mesh::box_hex(n, n, n, {0, 0, 0}, {1, 1, 1});
+  out.graph = out.mesh.vertex_graph();
+  out.cls = classify_mesh(out.mesh);
+  out.level = coarsen_level(out.mesh.coords(), out.graph, out.cls, 0, {});
+  return out;
+}
+
+class RestrictionBox : public ::testing::TestWithParam<idx> {};
+
+TEST_P(RestrictionBox, ColumnsArePartitionsOfUnity) {
+  // Every fine vertex's interpolation weights sum to 1 (linear tet shape
+  // functions evaluated at the vertex).
+  const CoarsenedBox box = coarsen_box(GetParam());
+  const la::Csr rt = box.level.r_vertex.transposed();
+  for (idx v = 0; v < rt.nrows; ++v) {
+    real sum = 0;
+    for (nnz_t k = rt.rowptr[v]; k < rt.rowptr[v + 1]; ++k) {
+      sum += rt.vals[k];
+      EXPECT_GE(rt.vals[k], -1e-12);
+      EXPECT_LE(rt.vals[k], 1 + 1e-12);
+    }
+    EXPECT_NEAR(sum, 1.0, 1e-10) << "fine vertex " << v;
+  }
+}
+
+TEST_P(RestrictionBox, SelectedVerticesAreInjected) {
+  const CoarsenedBox box = coarsen_box(GetParam());
+  const la::Csr& r = box.level.r_vertex;
+  for (idx c = 0; c < r.nrows; ++c) {
+    EXPECT_DOUBLE_EQ(r.at(c, box.level.selected[c]), 1.0);
+  }
+  // ... and no other coarse vertex interpolates a selected fine vertex.
+  for (idx c = 0; c < r.nrows; ++c) {
+    const idx fv = box.level.selected[c];
+    idx count = 0;
+    for (idx c2 = 0; c2 < r.nrows; ++c2) {
+      if (r.at(c2, fv) != 0) ++count;
+    }
+    EXPECT_EQ(count, 1);
+  }
+}
+
+TEST_P(RestrictionBox, ProlongationReproducesLinearFields) {
+  // The heart of the method (§3): coarse linear FE spaces must reproduce
+  // linear functions, so R^T (f at coarse vertices) == f at fine vertices
+  // for every vertex interpolated through a tet (lost vertices excepted).
+  const CoarsenedBox box = coarsen_box(GetParam());
+  const la::Csr& r = box.level.r_vertex;
+  auto f = [](const Vec3& p) { return 0.5 + 2 * p.x - p.y + 3 * p.z; };
+  std::vector<real> coarse_values(static_cast<std::size_t>(r.nrows));
+  for (idx c = 0; c < r.nrows; ++c) {
+    coarse_values[c] = f(box.mesh.coord(box.level.selected[c]));
+  }
+  std::vector<real> fine_values(static_cast<std::size_t>(r.ncols));
+  r.spmv_transpose(coarse_values, fine_values);
+  std::set<idx> lost(box.level.lost.begin(), box.level.lost.end());
+  idx checked = 0;
+  for (idx v = 0; v < r.ncols; ++v) {
+    if (lost.contains(v)) continue;
+    // Weight clamping perturbs vertices outside their tet slightly; the
+    // tolerance reflects the jitter + clamping budget.
+    EXPECT_NEAR(fine_values[v], f(box.mesh.coord(v)), 5e-2) << "vertex " << v;
+    ++checked;
+  }
+  EXPECT_GT(checked, r.ncols / 2);
+}
+
+TEST_P(RestrictionBox, CoarseMeshIsValid) {
+  const CoarsenedBox box = coarsen_box(GetParam());
+  const mesh::Mesh& cm = box.level.coarse_mesh;
+  EXPECT_EQ(cm.kind(), mesh::CellKind::kTet4);
+  EXPECT_EQ(cm.num_vertices(),
+            static_cast<idx>(box.level.selected.size()));
+  EXPECT_GT(cm.num_cells(), 0);
+  for (idx e = 0; e < cm.num_cells(); ++e) {
+    EXPECT_GT(mesh::cell_volume(cm, e), 0.0);
+  }
+}
+
+TEST_P(RestrictionBox, FewLostVerticesOnConvexDomain) {
+  // The box is convex: nearly every fine vertex lies in the Delaunay hull
+  // of the MIS vertices (corners are always selected).
+  const CoarsenedBox box = coarsen_box(GetParam());
+  EXPECT_LT(box.level.lost.size(),
+            static_cast<std::size_t>(box.mesh.num_vertices() / 20 + 2));
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, RestrictionBox, ::testing::Values(3, 4, 6));
+
+TEST(Restriction, ExpandToDofsKroneckerStructure) {
+  // Small hand-made vertex restriction: 1 coarse vertex, 2 fine vertices.
+  std::vector<la::Triplet> t = {{0, 0, 1.0}, {0, 1, 0.5}};
+  const la::Csr rv = la::Csr::from_triplets(1, 2, t);
+  // All dofs free.
+  std::vector<idx> fine_free = {0, 1, 2, 3, 4, 5};
+  std::vector<idx> coarse_free = {0, 1, 2};
+  const la::Csr rd = expand_restriction_to_dofs(rv, fine_free, coarse_free);
+  EXPECT_EQ(rd.nrows, 3);
+  EXPECT_EQ(rd.ncols, 6);
+  // Component c of coarse vertex interpolates component c of fine only.
+  EXPECT_DOUBLE_EQ(rd.at(0, 0), 1.0);
+  EXPECT_DOUBLE_EQ(rd.at(0, 3), 0.5);
+  EXPECT_DOUBLE_EQ(rd.at(0, 1), 0.0);
+  EXPECT_DOUBLE_EQ(rd.at(1, 4), 0.5);
+  EXPECT_DOUBLE_EQ(rd.at(2, 5), 0.5);
+}
+
+TEST(Restriction, ExpandDropsConstrainedDofs) {
+  std::vector<la::Triplet> t = {{0, 0, 0.7}, {0, 1, 0.3}};
+  const la::Csr rv = la::Csr::from_triplets(1, 2, t);
+  // Fine dof 3 (vertex 1, comp 0) constrained; coarse comp 2 constrained.
+  std::vector<idx> fine_free = {0, 1, 2, 4, 5};
+  std::vector<idx> coarse_free = {0, 1};
+  const la::Csr rd = expand_restriction_to_dofs(rv, fine_free, coarse_free);
+  EXPECT_EQ(rd.nrows, 2);
+  EXPECT_EQ(rd.ncols, 5);
+  // Row 0 (coarse comp 0): only fine dof 0 remains with weight 0.7.
+  EXPECT_DOUBLE_EQ(rd.at(0, 0), 0.7);
+  EXPECT_EQ(rd.rowptr[1] - rd.rowptr[0], 1);
+}
+
+TEST(Restriction, GraphNearnessPruningDropsFarTets) {
+  // Construct a fine "graph" where two clusters are far apart: tets
+  // spanning clusters must be pruned unless they hold unique vertices.
+  std::vector<Vec3> fine;
+  for (int i = 0; i < 8; ++i) {
+    fine.push_back({i * 0.1, (i * 7 % 3) * 0.1, (i * 5 % 2) * 0.1});
+  }
+  for (int i = 0; i < 8; ++i) {
+    fine.push_back({10 + i * 0.1, (i * 7 % 3) * 0.1, (i * 5 % 2) * 0.1});
+  }
+  // Graph: two cliques, no inter-cluster edges.
+  std::vector<std::pair<idx, idx>> edges;
+  for (idx a = 0; a < 8; ++a) {
+    for (idx b = a + 1; b < 8; ++b) {
+      edges.emplace_back(a, b);
+      edges.emplace_back(a + 8, b + 8);
+    }
+  }
+  const graph::Graph g = graph::Graph::from_edges(16, edges);
+  std::vector<idx> selected = {0, 3, 6, 8, 11, 14};
+  const RestrictionResult res =
+      build_restriction(fine, selected, {}, &g);
+  // No kept tet may connect the two clusters (coarse 0-2 vs 3-5) because
+  // no fine vertex can lie uniquely inside the gap.
+  for (idx e = 0; e < res.coarse_mesh.num_cells(); ++e) {
+    const auto verts = res.coarse_mesh.cell(e);
+    const bool left = std::any_of(verts.begin(), verts.end(),
+                                  [](idx v) { return v < 3; });
+    const bool right = std::any_of(verts.begin(), verts.end(),
+                                   [](idx v) { return v >= 3; });
+    EXPECT_FALSE(left && right) << "cell " << e << " spans the gap";
+  }
+}
+
+TEST(CoarsenLevel, ReclassificationDepthControlsCoarseTypes) {
+  const mesh::Mesh m = mesh::box_hex(5, 5, 5, {0, 0, 0}, {1, 1, 1});
+  const graph::Graph g = m.vertex_graph();
+  const Classification cls = classify_mesh(m);
+  // Level 0 -> 1: inherited classification (second grid keeps fine types).
+  CoarsenOptions opts;
+  const CoarsenLevelResult l1 = coarsen_level(m.coords(), g, cls, 0, opts);
+  for (std::size_t c = 0; c < l1.selected.size(); ++c) {
+    EXPECT_EQ(l1.coarse_cls.type[c], cls.type[l1.selected[c]]);
+  }
+  // Level 1 -> 2: reclassified from the coarse tet mesh geometry.
+  std::vector<Vec3> coarse_coords;
+  for (idx v : l1.selected) coarse_coords.push_back(m.coord(v));
+  const CoarsenLevelResult l2 = coarsen_level(
+      coarse_coords, l1.coarse_mesh.vertex_graph(), l1.coarse_cls, 1, opts);
+  // Reclassified types need not match inheritance, but corners must still
+  // exist (the box has corners at every level) and counts stay sane.
+  const auto h = l2.coarse_cls.type_histogram();
+  EXPECT_EQ(h[0] + h[1] + h[2] + h[3],
+            static_cast<idx>(l2.selected.size()));
+}
+
+TEST(CoarsenLevel, CornersAlwaysSurvive) {
+  // The 8 box corners are rank-3 and processed first: all must be
+  // selected into the MIS (§4.6 "we do not allow corners to be deleted").
+  const mesh::Mesh m = mesh::box_hex(4, 4, 4, {0, 0, 0}, {1, 1, 1});
+  const graph::Graph g = m.vertex_graph();
+  const Classification cls = classify_mesh(m);
+  const CoarsenLevelResult level = coarsen_level(m.coords(), g, cls, 0, {});
+  std::set<idx> selected(level.selected.begin(), level.selected.end());
+  for (idx v = 0; v < m.num_vertices(); ++v) {
+    if (cls.type[v] == VertexType::kCorner) {
+      EXPECT_TRUE(selected.contains(v)) << "corner " << v << " deleted";
+    }
+  }
+}
+
+}  // namespace
+}  // namespace prom::coarsen
