@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_direct_vs_mg"
+  "../bench/bench_direct_vs_mg.pdb"
+  "CMakeFiles/bench_direct_vs_mg.dir/bench_direct_vs_mg.cpp.o"
+  "CMakeFiles/bench_direct_vs_mg.dir/bench_direct_vs_mg.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_direct_vs_mg.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig13_nonlinear"
+  "../bench/bench_fig13_nonlinear.pdb"
+  "CMakeFiles/bench_fig13_nonlinear.dir/bench_fig13_nonlinear.cpp.o"
+  "CMakeFiles/bench_fig13_nonlinear.dir/bench_fig13_nonlinear.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig13_nonlinear.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig46_thin_body"
+  "../bench/bench_fig46_thin_body.pdb"
+  "CMakeFiles/bench_fig46_thin_body.dir/bench_fig46_thin_body.cpp.o"
+  "CMakeFiles/bench_fig46_thin_body.dir/bench_fig46_thin_body.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig46_thin_body.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for bench_fig46_thin_body.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig7_hierarchy"
+  "../bench/bench_fig7_hierarchy.pdb"
+  "CMakeFiles/bench_fig7_hierarchy.dir/bench_fig7_hierarchy.cpp.o"
+  "CMakeFiles/bench_fig7_hierarchy.dir/bench_fig7_hierarchy.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig7_hierarchy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_ordering_mis"
+  "../bench/bench_ordering_mis.pdb"
+  "CMakeFiles/bench_ordering_mis.dir/bench_ordering_mis.cpp.o"
+  "CMakeFiles/bench_ordering_mis.dir/bench_ordering_mis.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ordering_mis.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

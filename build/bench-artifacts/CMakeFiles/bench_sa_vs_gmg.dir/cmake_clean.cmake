@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_sa_vs_gmg"
+  "../bench/bench_sa_vs_gmg.pdb"
+  "CMakeFiles/bench_sa_vs_gmg.dir/bench_sa_vs_gmg.cpp.o"
+  "CMakeFiles/bench_sa_vs_gmg.dir/bench_sa_vs_gmg.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_sa_vs_gmg.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_table1_materials"
+  "../bench/bench_table1_materials.pdb"
+  "CMakeFiles/bench_table1_materials.dir/bench_table1_materials.cpp.o"
+  "CMakeFiles/bench_table1_materials.dir/bench_table1_materials.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table1_materials.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_table2_iterations"
+  "../bench/bench_table2_iterations.pdb"
+  "CMakeFiles/bench_table2_iterations.dir/bench_table2_iterations.cpp.o"
+  "CMakeFiles/bench_table2_iterations.dir/bench_table2_iterations.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table2_iterations.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/crush_sphere.dir/crush_sphere.cpp.o"
+  "CMakeFiles/crush_sphere.dir/crush_sphere.cpp.o.d"
+  "crush_sphere"
+  "crush_sphere.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/crush_sphere.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

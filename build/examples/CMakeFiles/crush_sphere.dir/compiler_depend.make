@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for crush_sphere.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,2 @@
+# Empty dependencies file for crush_sphere.
+# This may be replaced when dependencies are built.

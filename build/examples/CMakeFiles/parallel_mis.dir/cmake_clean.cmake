@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/parallel_mis.dir/parallel_mis.cpp.o"
+  "CMakeFiles/parallel_mis.dir/parallel_mis.cpp.o.d"
+  "parallel_mis"
+  "parallel_mis.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/parallel_mis.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

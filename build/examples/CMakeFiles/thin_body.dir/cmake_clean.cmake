@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/thin_body.dir/thin_body.cpp.o"
+  "CMakeFiles/thin_body.dir/thin_body.cpp.o.d"
+  "thin_body"
+  "thin_body.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/thin_body.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

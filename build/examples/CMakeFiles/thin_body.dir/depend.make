@@ -1,0 +1,2 @@
+# Empty dependencies file for thin_body.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/prom_app.dir/app/driver.cpp.o"
+  "CMakeFiles/prom_app.dir/app/driver.cpp.o.d"
+  "libprom_app.a"
+  "libprom_app.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/prom_app.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

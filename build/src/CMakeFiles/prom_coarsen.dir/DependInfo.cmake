@@ -1,0 +1,32 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/coarsen/classify.cpp" "src/CMakeFiles/prom_coarsen.dir/coarsen/classify.cpp.o" "gcc" "src/CMakeFiles/prom_coarsen.dir/coarsen/classify.cpp.o.d"
+  "/root/repo/src/coarsen/coarsen.cpp" "src/CMakeFiles/prom_coarsen.dir/coarsen/coarsen.cpp.o" "gcc" "src/CMakeFiles/prom_coarsen.dir/coarsen/coarsen.cpp.o.d"
+  "/root/repo/src/coarsen/faces.cpp" "src/CMakeFiles/prom_coarsen.dir/coarsen/faces.cpp.o" "gcc" "src/CMakeFiles/prom_coarsen.dir/coarsen/faces.cpp.o.d"
+  "/root/repo/src/coarsen/modified_graph.cpp" "src/CMakeFiles/prom_coarsen.dir/coarsen/modified_graph.cpp.o" "gcc" "src/CMakeFiles/prom_coarsen.dir/coarsen/modified_graph.cpp.o.d"
+  "/root/repo/src/coarsen/parallel_faces.cpp" "src/CMakeFiles/prom_coarsen.dir/coarsen/parallel_faces.cpp.o" "gcc" "src/CMakeFiles/prom_coarsen.dir/coarsen/parallel_faces.cpp.o.d"
+  "/root/repo/src/coarsen/parallel_mis.cpp" "src/CMakeFiles/prom_coarsen.dir/coarsen/parallel_mis.cpp.o" "gcc" "src/CMakeFiles/prom_coarsen.dir/coarsen/parallel_mis.cpp.o.d"
+  "/root/repo/src/coarsen/restriction.cpp" "src/CMakeFiles/prom_coarsen.dir/coarsen/restriction.cpp.o" "gcc" "src/CMakeFiles/prom_coarsen.dir/coarsen/restriction.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/prom_mesh.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/prom_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/prom_delaunay.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/prom_la.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/prom_parx.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/prom_geom.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/prom_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

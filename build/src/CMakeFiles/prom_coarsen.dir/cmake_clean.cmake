@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/prom_coarsen.dir/coarsen/classify.cpp.o"
+  "CMakeFiles/prom_coarsen.dir/coarsen/classify.cpp.o.d"
+  "CMakeFiles/prom_coarsen.dir/coarsen/coarsen.cpp.o"
+  "CMakeFiles/prom_coarsen.dir/coarsen/coarsen.cpp.o.d"
+  "CMakeFiles/prom_coarsen.dir/coarsen/faces.cpp.o"
+  "CMakeFiles/prom_coarsen.dir/coarsen/faces.cpp.o.d"
+  "CMakeFiles/prom_coarsen.dir/coarsen/modified_graph.cpp.o"
+  "CMakeFiles/prom_coarsen.dir/coarsen/modified_graph.cpp.o.d"
+  "CMakeFiles/prom_coarsen.dir/coarsen/parallel_faces.cpp.o"
+  "CMakeFiles/prom_coarsen.dir/coarsen/parallel_faces.cpp.o.d"
+  "CMakeFiles/prom_coarsen.dir/coarsen/parallel_mis.cpp.o"
+  "CMakeFiles/prom_coarsen.dir/coarsen/parallel_mis.cpp.o.d"
+  "CMakeFiles/prom_coarsen.dir/coarsen/restriction.cpp.o"
+  "CMakeFiles/prom_coarsen.dir/coarsen/restriction.cpp.o.d"
+  "libprom_coarsen.a"
+  "libprom_coarsen.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/prom_coarsen.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

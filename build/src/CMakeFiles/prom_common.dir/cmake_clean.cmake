@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/prom_common.dir/common/flops.cpp.o"
+  "CMakeFiles/prom_common.dir/common/flops.cpp.o.d"
+  "CMakeFiles/prom_common.dir/common/log.cpp.o"
+  "CMakeFiles/prom_common.dir/common/log.cpp.o.d"
+  "CMakeFiles/prom_common.dir/common/timer.cpp.o"
+  "CMakeFiles/prom_common.dir/common/timer.cpp.o.d"
+  "libprom_common.a"
+  "libprom_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/prom_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

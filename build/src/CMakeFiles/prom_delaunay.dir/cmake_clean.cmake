@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/prom_delaunay.dir/delaunay/delaunay.cpp.o"
+  "CMakeFiles/prom_delaunay.dir/delaunay/delaunay.cpp.o.d"
+  "libprom_delaunay.a"
+  "libprom_delaunay.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/prom_delaunay.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

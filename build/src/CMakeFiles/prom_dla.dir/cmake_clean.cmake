@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/prom_dla.dir/dla/dist_csr.cpp.o"
+  "CMakeFiles/prom_dla.dir/dla/dist_csr.cpp.o.d"
+  "CMakeFiles/prom_dla.dir/dla/dist_krylov.cpp.o"
+  "CMakeFiles/prom_dla.dir/dla/dist_krylov.cpp.o.d"
+  "CMakeFiles/prom_dla.dir/dla/dist_mg.cpp.o"
+  "CMakeFiles/prom_dla.dir/dla/dist_mg.cpp.o.d"
+  "CMakeFiles/prom_dla.dir/dla/dist_vec.cpp.o"
+  "CMakeFiles/prom_dla.dir/dla/dist_vec.cpp.o.d"
+  "libprom_dla.a"
+  "libprom_dla.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/prom_dla.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

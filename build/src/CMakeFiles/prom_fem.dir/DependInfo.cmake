@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/fem/assembly.cpp" "src/CMakeFiles/prom_fem.dir/fem/assembly.cpp.o" "gcc" "src/CMakeFiles/prom_fem.dir/fem/assembly.cpp.o.d"
+  "/root/repo/src/fem/element.cpp" "src/CMakeFiles/prom_fem.dir/fem/element.cpp.o" "gcc" "src/CMakeFiles/prom_fem.dir/fem/element.cpp.o.d"
+  "/root/repo/src/fem/material.cpp" "src/CMakeFiles/prom_fem.dir/fem/material.cpp.o" "gcc" "src/CMakeFiles/prom_fem.dir/fem/material.cpp.o.d"
+  "/root/repo/src/fem/quadrature.cpp" "src/CMakeFiles/prom_fem.dir/fem/quadrature.cpp.o" "gcc" "src/CMakeFiles/prom_fem.dir/fem/quadrature.cpp.o.d"
+  "/root/repo/src/fem/shape.cpp" "src/CMakeFiles/prom_fem.dir/fem/shape.cpp.o" "gcc" "src/CMakeFiles/prom_fem.dir/fem/shape.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/prom_mesh.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/prom_la.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/prom_geom.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/prom_parx.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/prom_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/prom_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

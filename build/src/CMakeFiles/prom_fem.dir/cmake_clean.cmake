@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/prom_fem.dir/fem/assembly.cpp.o"
+  "CMakeFiles/prom_fem.dir/fem/assembly.cpp.o.d"
+  "CMakeFiles/prom_fem.dir/fem/element.cpp.o"
+  "CMakeFiles/prom_fem.dir/fem/element.cpp.o.d"
+  "CMakeFiles/prom_fem.dir/fem/material.cpp.o"
+  "CMakeFiles/prom_fem.dir/fem/material.cpp.o.d"
+  "CMakeFiles/prom_fem.dir/fem/quadrature.cpp.o"
+  "CMakeFiles/prom_fem.dir/fem/quadrature.cpp.o.d"
+  "CMakeFiles/prom_fem.dir/fem/shape.cpp.o"
+  "CMakeFiles/prom_fem.dir/fem/shape.cpp.o.d"
+  "libprom_fem.a"
+  "libprom_fem.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/prom_fem.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/prom_geom.dir/geom/predicates.cpp.o"
+  "CMakeFiles/prom_geom.dir/geom/predicates.cpp.o.d"
+  "libprom_geom.a"
+  "libprom_geom.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/prom_geom.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

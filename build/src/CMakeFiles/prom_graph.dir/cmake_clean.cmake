@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/prom_graph.dir/graph/graph.cpp.o"
+  "CMakeFiles/prom_graph.dir/graph/graph.cpp.o.d"
+  "CMakeFiles/prom_graph.dir/graph/mis.cpp.o"
+  "CMakeFiles/prom_graph.dir/graph/mis.cpp.o.d"
+  "CMakeFiles/prom_graph.dir/graph/order.cpp.o"
+  "CMakeFiles/prom_graph.dir/graph/order.cpp.o.d"
+  "libprom_graph.a"
+  "libprom_graph.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/prom_graph.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/la/csr.cpp" "src/CMakeFiles/prom_la.dir/la/csr.cpp.o" "gcc" "src/CMakeFiles/prom_la.dir/la/csr.cpp.o.d"
+  "/root/repo/src/la/dense.cpp" "src/CMakeFiles/prom_la.dir/la/dense.cpp.o" "gcc" "src/CMakeFiles/prom_la.dir/la/dense.cpp.o.d"
+  "/root/repo/src/la/krylov.cpp" "src/CMakeFiles/prom_la.dir/la/krylov.cpp.o" "gcc" "src/CMakeFiles/prom_la.dir/la/krylov.cpp.o.d"
+  "/root/repo/src/la/smoothers.cpp" "src/CMakeFiles/prom_la.dir/la/smoothers.cpp.o" "gcc" "src/CMakeFiles/prom_la.dir/la/smoothers.cpp.o.d"
+  "/root/repo/src/la/sparse_chol.cpp" "src/CMakeFiles/prom_la.dir/la/sparse_chol.cpp.o" "gcc" "src/CMakeFiles/prom_la.dir/la/sparse_chol.cpp.o.d"
+  "/root/repo/src/la/vec.cpp" "src/CMakeFiles/prom_la.dir/la/vec.cpp.o" "gcc" "src/CMakeFiles/prom_la.dir/la/vec.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/prom_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/prom_graph.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/prom_la.dir/la/csr.cpp.o"
+  "CMakeFiles/prom_la.dir/la/csr.cpp.o.d"
+  "CMakeFiles/prom_la.dir/la/dense.cpp.o"
+  "CMakeFiles/prom_la.dir/la/dense.cpp.o.d"
+  "CMakeFiles/prom_la.dir/la/krylov.cpp.o"
+  "CMakeFiles/prom_la.dir/la/krylov.cpp.o.d"
+  "CMakeFiles/prom_la.dir/la/smoothers.cpp.o"
+  "CMakeFiles/prom_la.dir/la/smoothers.cpp.o.d"
+  "CMakeFiles/prom_la.dir/la/sparse_chol.cpp.o"
+  "CMakeFiles/prom_la.dir/la/sparse_chol.cpp.o.d"
+  "CMakeFiles/prom_la.dir/la/vec.cpp.o"
+  "CMakeFiles/prom_la.dir/la/vec.cpp.o.d"
+  "libprom_la.a"
+  "libprom_la.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/prom_la.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

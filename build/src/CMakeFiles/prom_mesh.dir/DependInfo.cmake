@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/mesh/generate.cpp" "src/CMakeFiles/prom_mesh.dir/mesh/generate.cpp.o" "gcc" "src/CMakeFiles/prom_mesh.dir/mesh/generate.cpp.o.d"
+  "/root/repo/src/mesh/io.cpp" "src/CMakeFiles/prom_mesh.dir/mesh/io.cpp.o" "gcc" "src/CMakeFiles/prom_mesh.dir/mesh/io.cpp.o.d"
+  "/root/repo/src/mesh/mesh.cpp" "src/CMakeFiles/prom_mesh.dir/mesh/mesh.cpp.o" "gcc" "src/CMakeFiles/prom_mesh.dir/mesh/mesh.cpp.o.d"
+  "/root/repo/src/mesh/vtk.cpp" "src/CMakeFiles/prom_mesh.dir/mesh/vtk.cpp.o" "gcc" "src/CMakeFiles/prom_mesh.dir/mesh/vtk.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/prom_geom.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/prom_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/prom_parx.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/prom_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/prom_mesh.dir/mesh/generate.cpp.o"
+  "CMakeFiles/prom_mesh.dir/mesh/generate.cpp.o.d"
+  "CMakeFiles/prom_mesh.dir/mesh/io.cpp.o"
+  "CMakeFiles/prom_mesh.dir/mesh/io.cpp.o.d"
+  "CMakeFiles/prom_mesh.dir/mesh/mesh.cpp.o"
+  "CMakeFiles/prom_mesh.dir/mesh/mesh.cpp.o.d"
+  "CMakeFiles/prom_mesh.dir/mesh/vtk.cpp.o"
+  "CMakeFiles/prom_mesh.dir/mesh/vtk.cpp.o.d"
+  "libprom_mesh.a"
+  "libprom_mesh.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/prom_mesh.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/prom_mg.dir/mg/cycle.cpp.o"
+  "CMakeFiles/prom_mg.dir/mg/cycle.cpp.o.d"
+  "CMakeFiles/prom_mg.dir/mg/hierarchy.cpp.o"
+  "CMakeFiles/prom_mg.dir/mg/hierarchy.cpp.o.d"
+  "CMakeFiles/prom_mg.dir/mg/sa.cpp.o"
+  "CMakeFiles/prom_mg.dir/mg/sa.cpp.o.d"
+  "CMakeFiles/prom_mg.dir/mg/solver.cpp.o"
+  "CMakeFiles/prom_mg.dir/mg/solver.cpp.o.d"
+  "libprom_mg.a"
+  "libprom_mg.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/prom_mg.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/nonlinear/newton.cpp" "src/CMakeFiles/prom_nonlinear.dir/nonlinear/newton.cpp.o" "gcc" "src/CMakeFiles/prom_nonlinear.dir/nonlinear/newton.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/prom_fem.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/prom_mg.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/prom_coarsen.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/prom_mesh.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/prom_la.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/prom_parx.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/prom_delaunay.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/prom_partition.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/prom_geom.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/prom_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/prom_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/prom_nonlinear.dir/nonlinear/newton.cpp.o"
+  "CMakeFiles/prom_nonlinear.dir/nonlinear/newton.cpp.o.d"
+  "libprom_nonlinear.a"
+  "libprom_nonlinear.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/prom_nonlinear.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

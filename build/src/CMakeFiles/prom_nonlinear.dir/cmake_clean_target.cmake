@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libprom_nonlinear.a"
+)

@@ -1,0 +1,2 @@
+# Empty dependencies file for prom_nonlinear.
+# This may be replaced when dependencies are built.

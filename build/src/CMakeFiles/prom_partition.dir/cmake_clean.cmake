@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/prom_partition.dir/partition/greedy.cpp.o"
+  "CMakeFiles/prom_partition.dir/partition/greedy.cpp.o.d"
+  "CMakeFiles/prom_partition.dir/partition/rcb.cpp.o"
+  "CMakeFiles/prom_partition.dir/partition/rcb.cpp.o.d"
+  "libprom_partition.a"
+  "libprom_partition.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/prom_partition.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/prom_parx.dir/parx/runtime.cpp.o"
+  "CMakeFiles/prom_parx.dir/parx/runtime.cpp.o.d"
+  "libprom_parx.a"
+  "libprom_parx.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/prom_parx.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/prom_perf.dir/perf/efficiency.cpp.o"
+  "CMakeFiles/prom_perf.dir/perf/efficiency.cpp.o.d"
+  "CMakeFiles/prom_perf.dir/perf/model.cpp.o"
+  "CMakeFiles/prom_perf.dir/perf/model.cpp.o.d"
+  "libprom_perf.a"
+  "libprom_perf.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/prom_perf.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_coarsen_faces.dir/test_coarsen_faces.cpp.o"
+  "CMakeFiles/test_coarsen_faces.dir/test_coarsen_faces.cpp.o.d"
+  "test_coarsen_faces"
+  "test_coarsen_faces.pdb"
+  "test_coarsen_faces[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_coarsen_faces.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_coarsen_mis.dir/test_coarsen_mis.cpp.o"
+  "CMakeFiles/test_coarsen_mis.dir/test_coarsen_mis.cpp.o.d"
+  "test_coarsen_mis"
+  "test_coarsen_mis.pdb"
+  "test_coarsen_mis[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_coarsen_mis.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

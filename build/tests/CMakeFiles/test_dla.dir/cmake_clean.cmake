@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_dla.dir/test_dla.cpp.o"
+  "CMakeFiles/test_dla.dir/test_dla.cpp.o.d"
+  "test_dla"
+  "test_dla.pdb"
+  "test_dla[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_dla.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

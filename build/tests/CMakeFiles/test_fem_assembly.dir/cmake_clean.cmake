@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_fem_assembly.dir/test_fem_assembly.cpp.o"
+  "CMakeFiles/test_fem_assembly.dir/test_fem_assembly.cpp.o.d"
+  "test_fem_assembly"
+  "test_fem_assembly.pdb"
+  "test_fem_assembly[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_fem_assembly.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

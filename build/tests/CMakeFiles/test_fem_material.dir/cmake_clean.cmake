@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_fem_material.dir/test_fem_material.cpp.o"
+  "CMakeFiles/test_fem_material.dir/test_fem_material.cpp.o.d"
+  "test_fem_material"
+  "test_fem_material.pdb"
+  "test_fem_material[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_fem_material.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

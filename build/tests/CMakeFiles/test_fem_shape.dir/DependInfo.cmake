@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/test_fem_shape.cpp" "tests/CMakeFiles/test_fem_shape.dir/test_fem_shape.cpp.o" "gcc" "tests/CMakeFiles/test_fem_shape.dir/test_fem_shape.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/prom_fem.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/prom_mesh.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/prom_geom.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/prom_parx.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/prom_la.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/prom_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/prom_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_fem_shape.dir/test_fem_shape.cpp.o"
+  "CMakeFiles/test_fem_shape.dir/test_fem_shape.cpp.o.d"
+  "test_fem_shape"
+  "test_fem_shape.pdb"
+  "test_fem_shape[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_fem_shape.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_la_direct.dir/test_la_direct.cpp.o"
+  "CMakeFiles/test_la_direct.dir/test_la_direct.cpp.o.d"
+  "test_la_direct"
+  "test_la_direct.pdb"
+  "test_la_direct[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_la_direct.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

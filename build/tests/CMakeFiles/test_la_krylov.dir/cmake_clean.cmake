@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_la_krylov.dir/test_la_krylov.cpp.o"
+  "CMakeFiles/test_la_krylov.dir/test_la_krylov.cpp.o.d"
+  "test_la_krylov"
+  "test_la_krylov.pdb"
+  "test_la_krylov[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_la_krylov.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

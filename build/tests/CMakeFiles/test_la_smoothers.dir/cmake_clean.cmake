@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_la_smoothers.dir/test_la_smoothers.cpp.o"
+  "CMakeFiles/test_la_smoothers.dir/test_la_smoothers.cpp.o.d"
+  "test_la_smoothers"
+  "test_la_smoothers.pdb"
+  "test_la_smoothers[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_la_smoothers.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

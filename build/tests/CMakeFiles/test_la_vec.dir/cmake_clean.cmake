@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_la_vec.dir/test_la_vec.cpp.o"
+  "CMakeFiles/test_la_vec.dir/test_la_vec.cpp.o.d"
+  "test_la_vec"
+  "test_la_vec.pdb"
+  "test_la_vec[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_la_vec.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_parx.dir/test_parx.cpp.o"
+  "CMakeFiles/test_parx.dir/test_parx.cpp.o.d"
+  "test_parx"
+  "test_parx.pdb"
+  "test_parx[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_parx.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_restriction.dir/test_restriction.cpp.o"
+  "CMakeFiles/test_restriction.dir/test_restriction.cpp.o.d"
+  "test_restriction"
+  "test_restriction.pdb"
+  "test_restriction[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_restriction.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,33 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/test_common[1]_include.cmake")
+include("/root/repo/build/tests/test_geom[1]_include.cmake")
+include("/root/repo/build/tests/test_parx[1]_include.cmake")
+include("/root/repo/build/tests/test_la_vec[1]_include.cmake")
+include("/root/repo/build/tests/test_la_dense[1]_include.cmake")
+include("/root/repo/build/tests/test_la_csr[1]_include.cmake")
+include("/root/repo/build/tests/test_la_krylov[1]_include.cmake")
+include("/root/repo/build/tests/test_la_smoothers[1]_include.cmake")
+include("/root/repo/build/tests/test_la_direct[1]_include.cmake")
+include("/root/repo/build/tests/test_graph[1]_include.cmake")
+include("/root/repo/build/tests/test_partition[1]_include.cmake")
+include("/root/repo/build/tests/test_mesh[1]_include.cmake")
+include("/root/repo/build/tests/test_mesh_io[1]_include.cmake")
+include("/root/repo/build/tests/test_delaunay[1]_include.cmake")
+include("/root/repo/build/tests/test_fem_shape[1]_include.cmake")
+include("/root/repo/build/tests/test_fem_material[1]_include.cmake")
+include("/root/repo/build/tests/test_fem_element[1]_include.cmake")
+include("/root/repo/build/tests/test_fem_assembly[1]_include.cmake")
+include("/root/repo/build/tests/test_coarsen_faces[1]_include.cmake")
+include("/root/repo/build/tests/test_coarsen_mis[1]_include.cmake")
+include("/root/repo/build/tests/test_restriction[1]_include.cmake")
+include("/root/repo/build/tests/test_mg[1]_include.cmake")
+include("/root/repo/build/tests/test_sa[1]_include.cmake")
+include("/root/repo/build/tests/test_dla[1]_include.cmake")
+include("/root/repo/build/tests/test_nonlinear[1]_include.cmake")
+include("/root/repo/build/tests/test_perf[1]_include.cmake")
+include("/root/repo/build/tests/test_app[1]_include.cmake")
