@@ -5,9 +5,14 @@
 // insertion, and the exact geometric predicates' fast path.
 #include <benchmark/benchmark.h>
 
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
 #include <map>
 
 #include "coarsen/classify.h"
+#include "common/parallel.h"
 #include "common/rng.h"
 #include "coarsen/coarsen.h"
 #include "delaunay/delaunay.h"
@@ -160,6 +165,149 @@ void BM_Orient3dFastPath(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_Orient3dFastPath);
+
+// ---- threads sweep -------------------------------------------------------
+//
+// The two-level parallelism benchmarks: the same kernel at 1/2/4/8
+// intra-rank threads on a >= 100k-DOF operator (box_hex(32) has ~104k free
+// dofs). Each entry reports a "speedup_vs_1t" counter relative to the
+// 1-thread entry of its own sweep so BENCH_*.json tracks the trajectory,
+// and the SpMV sweep hard-fails if the threaded kernel is not bit-identical
+// to the pre-change serial loop.
+
+/// The pre-change serial SpMV, kept as the bit-identity reference.
+void spmv_serial_reference(const la::Csr& a, const std::vector<real>& x,
+                           std::vector<real>& y) {
+  for (idx i = 0; i < a.nrows; ++i) {
+    real sum = 0;
+    for (nnz_t k = a.rowptr[i]; k < a.rowptr[i + 1]; ++k) {
+      sum += a.vals[k] * x[a.colidx[k]];
+    }
+    y[i] = sum;
+  }
+}
+
+/// Records the 1-thread mean time per sweep so later entries can report
+/// their speedup. Keyed by (benchmark family, problem size).
+double& one_thread_ns(const char* family, std::int64_t size) {
+  static std::map<std::pair<std::string, std::int64_t>, double> base;
+  return base[{family, size}];
+}
+
+/// Runs `body` once per benchmark iteration under `threads` kernel
+/// threads, timing it manually, and attaches threads + speedup counters.
+template <typename Body>
+void run_thread_sweep(benchmark::State& state, const char* family,
+                      const Body& body) {
+  const std::int64_t size = state.range(0);
+  const int threads = static_cast<int>(state.range(1));
+  prom::common::set_kernel_threads(threads);
+  double total_ns = 0;
+  for (auto _ : state) {
+    const auto t0 = std::chrono::steady_clock::now();
+    body();
+    total_ns += std::chrono::duration<double, std::nano>(
+                    std::chrono::steady_clock::now() - t0)
+                    .count();
+  }
+  prom::common::set_kernel_threads(0);
+  const double mean_ns =
+      total_ns / static_cast<double>(std::max<std::int64_t>(
+                     1, static_cast<std::int64_t>(state.iterations())));
+  if (threads == 1) one_thread_ns(family, size) = mean_ns;
+  state.counters["threads"] = threads;
+  const double base = one_thread_ns(family, size);
+  if (base > 0) state.counters["speedup_vs_1t"] = base / mean_ns;
+}
+
+void BM_SpmvThreads(benchmark::State& state) {
+  const Assembled& a = assembled(static_cast<idx>(state.range(0)));
+  std::vector<real> x(a.stiffness.ncols), y(a.stiffness.nrows),
+      yref(a.stiffness.nrows);
+  Rng rng(11);
+  for (real& v : x) v = rng.next_real() - 0.5;
+  // Bit-identity gate: the threaded kernel must match the serial loop
+  // exactly at this sweep's thread count (rows are computed identically
+  // regardless of the decomposition).
+  spmv_serial_reference(a.stiffness, x, yref);
+  prom::common::set_kernel_threads(static_cast<int>(state.range(1)));
+  a.stiffness.spmv(x, y);
+  prom::common::set_kernel_threads(0);
+  if (std::memcmp(y.data(), yref.data(), y.size() * sizeof(real)) != 0) {
+    std::fprintf(stderr,
+                 "FATAL: threaded SpMV is not bit-identical to the serial "
+                 "reference (threads=%ld)\n",
+                 static_cast<long>(state.range(1)));
+    std::abort();
+  }
+  run_thread_sweep(state, "spmv", [&] {
+    a.stiffness.spmv(x, y);
+    benchmark::DoNotOptimize(y.data());
+  });
+  state.SetItemsProcessed(state.iterations() * a.stiffness.nnz());
+}
+BENCHMARK(BM_SpmvThreads)
+    ->Args({32, 1})
+    ->Args({32, 2})
+    ->Args({32, 4})
+    ->Args({32, 8});
+
+void BM_ChebyshevSmootherThreads(benchmark::State& state) {
+  const Assembled& a = assembled(static_cast<idx>(state.range(0)));
+  const la::ChebyshevSmoother smoother(a.stiffness, 3);
+  std::vector<real> b(a.stiffness.nrows, 1.0), x(a.stiffness.nrows, 0.0);
+  run_thread_sweep(state, "chebyshev", [&] {
+    smoother.smooth(b, x);
+    benchmark::DoNotOptimize(x.data());
+  });
+}
+BENCHMARK(BM_ChebyshevSmootherThreads)
+    ->Args({32, 1})
+    ->Args({32, 2})
+    ->Args({32, 4})
+    ->Args({32, 8});
+
+void BM_GalerkinThreads(benchmark::State& state) {
+  const Assembled& a = assembled(static_cast<idx>(state.range(0)));
+  const graph::Graph g = a.mesh.vertex_graph();
+  const coarsen::Classification cls = coarsen::classify_mesh(a.mesh);
+  const auto level = coarsen::coarsen_level(a.mesh.coords(), g, cls, 0, {});
+  std::vector<idx> coarse_free;
+  for (idx c = 0; c < static_cast<idx>(level.selected.size()); ++c) {
+    for (int comp = 0; comp < 3; ++comp) {
+      if (!a.dofmap.is_constrained(3 * level.selected[c] + comp)) {
+        coarse_free.push_back(3 * c + comp);
+      }
+    }
+  }
+  const la::Csr r = coarsen::expand_restriction_to_dofs(
+      level.r_vertex, a.dofmap.free_dofs(), coarse_free);
+  run_thread_sweep(state, "galerkin", [&] {
+    const la::Csr coarse = la::galerkin_product(r, a.stiffness);
+    benchmark::DoNotOptimize(coarse.nnz());
+  });
+}
+BENCHMARK(BM_GalerkinThreads)
+    ->Args({16, 1})
+    ->Args({16, 2})
+    ->Args({16, 4})
+    ->Args({16, 8});
+
+void BM_AssemblyThreads(benchmark::State& state) {
+  const Assembled& a = assembled(static_cast<idx>(state.range(0)));
+  fem::FeProblem prob(a.mesh, {fem::Material{}}, a.dofmap);
+  const std::vector<real> u(a.dofmap.num_dofs(), 0.0);
+  run_thread_sweep(state, "assembly", [&] {
+    const auto res = prob.assemble(u, true);
+    benchmark::DoNotOptimize(res.stiffness.nnz());
+  });
+  state.SetItemsProcessed(state.iterations() * a.mesh.num_cells());
+}
+BENCHMARK(BM_AssemblyThreads)
+    ->Args({12, 1})
+    ->Args({12, 2})
+    ->Args({12, 4})
+    ->Args({12, 8});
 
 void BM_Assembly(benchmark::State& state) {
   const Assembled& a = assembled(static_cast<idx>(state.range(0)));

@@ -3,8 +3,17 @@
 #include <algorithm>
 
 #include "common/error.h"
+#include "common/parallel.h"
 
 namespace prom::fem {
+namespace {
+
+/// Cells per assembly chunk — fixed, so the chunk decomposition (and with
+/// it the merged triplet/force ordering) never depends on the thread
+/// count (see common/parallel.h).
+constexpr idx kCellGrain = 64;
+
+}  // namespace
 
 DofMap::DofMap(idx num_vertices)
     : nv_(num_vertices),
@@ -98,70 +107,104 @@ AssemblyResult FeProblem::assemble(std::span<const real> u_full,
     out.bc_coupling.assign(static_cast<std::size_t>(dofmap_.num_free()), 0);
   }
 
-  std::vector<la::Triplet> triplets;
-  if (want_stiffness) {
-    triplets.reserve(static_cast<std::size_t>(mesh.num_cells()) * edof * edof);
-  }
+  // Cell-chunk-parallel assembly. Each fixed chunk of cells integrates
+  // into private buffers (element scratch included); chunk outputs are
+  // merged in chunk order afterwards, which reproduces the serial
+  // cell-by-cell scatter order exactly — the assembled matrix and force
+  // vector are bit-identical for any thread count. Gauss-point state
+  // (trial_) is indexed per cell, so chunks write disjoint slices of it.
+  struct ChunkOut {
+    std::vector<la::Triplet> triplets;
+    std::vector<std::pair<idx, real>> f_contrib;    // (free row, value)
+    std::vector<std::pair<idx, real>> bc_contrib;   // (free row, value)
+    idx plastic_gauss_points = 0;
+    idx hard_gauss_points = 0;
+  };
+  const idx nchunks = common::chunk_count(0, mesh.num_cells(), kCellGrain);
+  std::vector<ChunkOut> outs(static_cast<std::size_t>(nchunks));
 
-  la::DenseMatrix ke(edof, edof);
-  std::vector<real> fe(static_cast<std::size_t>(edof));
-  std::vector<Vec3> coords(static_cast<std::size_t>(npc));
-  std::vector<real> ue(static_cast<std::size_t>(edof));
-
-  for (idx e = 0; e < mesh.num_cells(); ++e) {
-    const auto verts = mesh.cell(e);
-    const Material& mat = materials_[mesh.material(e)];
-    for (int a = 0; a < npc; ++a) {
-      coords[a] = mesh.coord(verts[a]);
-      for (int c = 0; c < 3; ++c) {
-        ue[a * 3 + c] = u_full[DofMap::dof_of(verts[a], c)];
-      }
+  common::parallel_for(0, mesh.num_cells(), kCellGrain, [&](idx eb, idx ee) {
+    ChunkOut& co = outs[eb / kCellGrain];
+    if (want_stiffness) {
+      co.triplets.reserve(static_cast<std::size_t>(ee - eb) * edof * edof);
     }
+    la::DenseMatrix ke(edof, edof);
+    std::vector<real> fe(static_cast<std::size_t>(edof));
+    std::vector<Vec3> coords(static_cast<std::size_t>(npc));
+    std::vector<real> ue(static_cast<std::size_t>(edof));
 
-    const std::size_t state_base =
-        static_cast<std::size_t>(e) * gp_per_cell_;
-    if (mat.model == MaterialModel::kNeoHookean) {
-      total_lagrangian_element(mat, coords, ue, fbar_,
-                               want_stiffness ? &ke : nullptr, fe);
-    } else {
-      std::span<const J2State> committed;
-      std::span<J2State> updated;
-      if (mat.model == MaterialModel::kJ2Plasticity) {
-        committed = {committed_.data() + state_base,
+    for (idx e = eb; e < ee; ++e) {
+      const auto verts = mesh.cell(e);
+      const Material& mat = materials_[mesh.material(e)];
+      for (int a = 0; a < npc; ++a) {
+        coords[a] = mesh.coord(verts[a]);
+        for (int c = 0; c < 3; ++c) {
+          ue[a * 3 + c] = u_full[DofMap::dof_of(verts[a], c)];
+        }
+      }
+
+      const std::size_t state_base =
+          static_cast<std::size_t>(e) * gp_per_cell_;
+      if (mat.model == MaterialModel::kNeoHookean) {
+        total_lagrangian_element(mat, coords, ue, fbar_,
+                                 want_stiffness ? &ke : nullptr, fe);
+      } else {
+        std::span<const J2State> committed;
+        std::span<J2State> updated;
+        if (mat.model == MaterialModel::kJ2Plasticity) {
+          committed = {committed_.data() + state_base,
+                       static_cast<std::size_t>(gp_per_cell_)};
+          updated = {trial_.data() + state_base,
                      static_cast<std::size_t>(gp_per_cell_)};
-        updated = {trial_.data() + state_base,
-                   static_cast<std::size_t>(gp_per_cell_)};
-        out.hard_gauss_points += gp_per_cell_;
+          co.hard_gauss_points += gp_per_cell_;
+        }
+        co.plastic_gauss_points += small_strain_element(
+            mat, coords, ue, bbar_, committed, updated,
+            want_stiffness ? &ke : nullptr, fe);
       }
-      out.plastic_gauss_points += small_strain_element(
-          mat, coords, ue, bbar_, committed, updated,
-          want_stiffness ? &ke : nullptr, fe);
-    }
 
-    // Scatter to free dofs.
-    for (int a = 0; a < npc; ++a) {
-      for (int ca = 0; ca < 3; ++ca) {
-        const idx row = dofmap_.free_index(DofMap::dof_of(verts[a], ca));
-        if (row == kInvalidIdx) continue;
-        out.f_int[row] += fe[a * 3 + ca];
-        if (!want_stiffness) continue;
-        for (int b = 0; b < npc; ++b) {
-          for (int cb = 0; cb < 3; ++cb) {
-            const idx coldof = DofMap::dof_of(verts[b], cb);
-            const idx col = dofmap_.free_index(coldof);
-            if (col == kInvalidIdx) {
-              out.bc_coupling[row] +=
-                  ke(a * 3 + ca, b * 3 + cb) * dofmap_.bc_value(coldof);
-            } else {
-              triplets.push_back({row, col, ke(a * 3 + ca, b * 3 + cb)});
+      // Scatter to free dofs (recorded, merged below in cell order).
+      for (int a = 0; a < npc; ++a) {
+        for (int ca = 0; ca < 3; ++ca) {
+          const idx row = dofmap_.free_index(DofMap::dof_of(verts[a], ca));
+          if (row == kInvalidIdx) continue;
+          co.f_contrib.emplace_back(row, fe[a * 3 + ca]);
+          if (!want_stiffness) continue;
+          for (int b = 0; b < npc; ++b) {
+            for (int cb = 0; cb < 3; ++cb) {
+              const idx coldof = DofMap::dof_of(verts[b], cb);
+              const idx col = dofmap_.free_index(coldof);
+              if (col == kInvalidIdx) {
+                co.bc_contrib.emplace_back(
+                    row, ke(a * 3 + ca, b * 3 + cb) * dofmap_.bc_value(coldof));
+              } else {
+                co.triplets.push_back({row, col, ke(a * 3 + ca, b * 3 + cb)});
+              }
             }
           }
         }
       }
     }
+  });
+
+  // Deterministic merge: chunk order == cell order, and contributions are
+  // applied one by one, so the accumulation order (and therefore every
+  // rounding) matches the serial loop.
+  std::size_t total_triplets = 0;
+  for (const ChunkOut& co : outs) {
+    total_triplets += co.triplets.size();
+    for (const auto& [row, v] : co.f_contrib) out.f_int[row] += v;
+    for (const auto& [row, v] : co.bc_contrib) out.bc_coupling[row] += v;
+    out.plastic_gauss_points += co.plastic_gauss_points;
+    out.hard_gauss_points += co.hard_gauss_points;
   }
 
   if (want_stiffness) {
+    std::vector<la::Triplet> triplets;
+    triplets.reserve(total_triplets);
+    for (const ChunkOut& co : outs) {
+      triplets.insert(triplets.end(), co.triplets.begin(), co.triplets.end());
+    }
     out.stiffness = la::Csr::from_triplets(dofmap_.num_free(),
                                            dofmap_.num_free(), triplets);
   }

@@ -6,45 +6,97 @@
 
 #include "common/error.h"
 #include "common/flops.h"
+#include "common/parallel.h"
 
 namespace prom::la {
+namespace {
+
+/// Rows per parallel chunk for row-partitioned kernels. Fixed constants:
+/// the chunk decomposition is part of the bit-determinism contract (see
+/// common/parallel.h), so it may depend on the matrix but never on the
+/// thread count.
+constexpr idx kRowGrain = 256;
+constexpr idx kSpgemmGrain = 1024;
+constexpr idx kMergeGrain = 8192;
+
+/// Transpose-SpMV scatter chunks. Each chunk owns a private accumulator of
+/// `ncols` reals, so the count is capped to bound memory (8 x ncols reals).
+idx transpose_grain(idx nrows) {
+  return std::max<idx>(2048, (nrows + 7) / 8);
+}
+
+}  // namespace
 
 void Csr::spmv(std::span<const real> x, std::span<real> y) const {
   PROM_CHECK(static_cast<idx>(x.size()) == ncols &&
              static_cast<idx>(y.size()) == nrows);
-  for (idx i = 0; i < nrows; ++i) {
-    real sum = 0;
-    for (nnz_t k = rowptr[i]; k < rowptr[i + 1]; ++k) {
-      sum += vals[k] * x[colidx[k]];
+  common::parallel_for(0, nrows, kRowGrain, [&](idx rb, idx re) {
+    for (idx i = rb; i < re; ++i) {
+      real sum = 0;
+      for (nnz_t k = rowptr[i]; k < rowptr[i + 1]; ++k) {
+        sum += vals[k] * x[colidx[k]];
+      }
+      y[i] = sum;
     }
-    y[i] = sum;
-  }
+  });
   count_flops(2 * nnz());
 }
 
 void Csr::spmv_add(std::span<const real> x, std::span<real> y) const {
   PROM_CHECK(static_cast<idx>(x.size()) == ncols &&
              static_cast<idx>(y.size()) == nrows);
-  for (idx i = 0; i < nrows; ++i) {
-    real sum = 0;
-    for (nnz_t k = rowptr[i]; k < rowptr[i + 1]; ++k) {
-      sum += vals[k] * x[colidx[k]];
+  common::parallel_for(0, nrows, kRowGrain, [&](idx rb, idx re) {
+    for (idx i = rb; i < re; ++i) {
+      real sum = 0;
+      for (nnz_t k = rowptr[i]; k < rowptr[i + 1]; ++k) {
+        sum += vals[k] * x[colidx[k]];
+      }
+      y[i] += sum;
     }
-    y[i] += sum;
-  }
+  });
   count_flops(2 * nnz());
 }
 
 void Csr::spmv_transpose(std::span<const real> x, std::span<real> y) const {
   PROM_CHECK(static_cast<idx>(x.size()) == nrows &&
              static_cast<idx>(y.size()) == ncols);
-  std::fill(y.begin(), y.end(), real{0});
-  for (idx i = 0; i < nrows; ++i) {
-    const real xi = x[i];
-    for (nnz_t k = rowptr[i]; k < rowptr[i + 1]; ++k) {
-      y[colidx[k]] += vals[k] * xi;
+  const idx grain = transpose_grain(nrows);
+  const idx nchunks = common::chunk_count(0, nrows, grain);
+  if (nchunks <= 1) {
+    std::fill(y.begin(), y.end(), real{0});
+    for (idx i = 0; i < nrows; ++i) {
+      const real xi = x[i];
+      for (nnz_t k = rowptr[i]; k < rowptr[i + 1]; ++k) {
+        y[colidx[k]] += vals[k] * xi;
+      }
     }
+    count_flops(2 * nnz());
+    return;
   }
+  // Scatter into per-chunk accumulators (disjoint by construction), then
+  // merge them column-parallel in fixed chunk order — the merge order is a
+  // function of the decomposition, so any thread count produces the same
+  // bits.
+  std::vector<real> partial(static_cast<std::size_t>(nchunks) * ncols,
+                            real{0});
+  common::parallel_for(0, nrows, grain, [&](idx rb, idx re) {
+    real* acc = partial.data() + static_cast<std::size_t>(rb / grain) * ncols;
+    for (idx i = rb; i < re; ++i) {
+      const real xi = x[i];
+      for (nnz_t k = rowptr[i]; k < rowptr[i + 1]; ++k) {
+        acc[colidx[k]] += vals[k] * xi;
+      }
+    }
+  });
+  common::parallel_for(0, ncols, kMergeGrain, [&](idx jb, idx je) {
+    for (idx j = jb; j < je; ++j) {
+      real sum = 0;
+      for (idx c = 0; c < nchunks; ++c) {
+        sum += partial[static_cast<std::size_t>(c) * ncols + j];
+      }
+      y[j] = sum;
+    }
+  });
   count_flops(2 * nnz());
 }
 
@@ -158,34 +210,75 @@ Csr spgemm(const Csr& a, const Csr& b) {
   c.nrows = a.nrows;
   c.ncols = b.ncols;
   c.rowptr.assign(static_cast<std::size_t>(a.nrows) + 1, 0);
-  // Gustavson: a dense accumulator over the columns of C per row of A.
-  std::vector<real> acc(static_cast<std::size_t>(b.ncols), real{0});
-  std::vector<idx> marker(static_cast<std::size_t>(b.ncols), kInvalidIdx);
-  std::vector<idx> cols_in_row;
-  std::int64_t flops = 0;
-  for (idx i = 0; i < a.nrows; ++i) {
-    cols_in_row.clear();
-    for (nnz_t ka = a.rowptr[i]; ka < a.rowptr[i + 1]; ++ka) {
-      const idx j = a.colidx[ka];
-      const real av = a.vals[ka];
-      for (nnz_t kb = b.rowptr[j]; kb < b.rowptr[j + 1]; ++kb) {
-        const idx col = b.colidx[kb];
-        if (marker[col] != i) {
-          marker[col] = i;
-          acc[col] = 0;
-          cols_in_row.push_back(col);
+
+  // Row-parallel Gustavson: each fixed chunk of rows runs the classic
+  // serial algorithm into private buffers (every row's accumulation order
+  // is identical to the serial code, so results are bit-identical for any
+  // thread count), then the chunk outputs are concatenated in chunk order.
+  struct ChunkOut {
+    std::vector<idx> cols;
+    std::vector<real> vals;
+    std::vector<nnz_t> row_nnz;
+    std::int64_t flops = 0;
+  };
+  const idx nchunks = common::chunk_count(0, a.nrows, kSpgemmGrain);
+  std::vector<ChunkOut> outs(static_cast<std::size_t>(nchunks));
+  common::parallel_for(0, a.nrows, kSpgemmGrain, [&](idx rb, idx re) {
+    ChunkOut& out = outs[rb / kSpgemmGrain];
+    out.row_nnz.reserve(static_cast<std::size_t>(re - rb));
+    // Gustavson: a dense accumulator over the columns of C per row of A.
+    // Rows stamp the marker with their (globally unique) index, so one
+    // allocation serves the whole chunk.
+    std::vector<real> acc(static_cast<std::size_t>(b.ncols), real{0});
+    std::vector<idx> marker(static_cast<std::size_t>(b.ncols), kInvalidIdx);
+    std::vector<idx> cols_in_row;
+    for (idx i = rb; i < re; ++i) {
+      cols_in_row.clear();
+      for (nnz_t ka = a.rowptr[i]; ka < a.rowptr[i + 1]; ++ka) {
+        const idx j = a.colidx[ka];
+        const real av = a.vals[ka];
+        for (nnz_t kb = b.rowptr[j]; kb < b.rowptr[j + 1]; ++kb) {
+          const idx col = b.colidx[kb];
+          if (marker[col] != i) {
+            marker[col] = i;
+            acc[col] = 0;
+            cols_in_row.push_back(col);
+          }
+          acc[col] += av * b.vals[kb];
+          out.flops += 2;
         }
-        acc[col] += av * b.vals[kb];
-        flops += 2;
       }
+      std::sort(cols_in_row.begin(), cols_in_row.end());
+      for (idx col : cols_in_row) {
+        out.cols.push_back(col);
+        out.vals.push_back(acc[col]);
+      }
+      out.row_nnz.push_back(static_cast<nnz_t>(cols_in_row.size()));
     }
-    std::sort(cols_in_row.begin(), cols_in_row.end());
-    for (idx col : cols_in_row) {
-      c.colidx.push_back(col);
-      c.vals.push_back(acc[col]);
+  });
+
+  std::int64_t flops = 0;
+  std::vector<nnz_t> chunk_offset(static_cast<std::size_t>(nchunks) + 1, 0);
+  for (idx ch = 0; ch < nchunks; ++ch) {
+    const ChunkOut& out = outs[ch];
+    flops += out.flops;
+    chunk_offset[ch + 1] = chunk_offset[ch] +
+                           static_cast<nnz_t>(out.cols.size());
+    for (std::size_t r = 0; r < out.row_nnz.size(); ++r) {
+      const idx i = ch * kSpgemmGrain + static_cast<idx>(r);
+      c.rowptr[i + 1] = c.rowptr[i] + out.row_nnz[r];
     }
-    c.rowptr[i + 1] = static_cast<nnz_t>(c.colidx.size());
   }
+  c.colidx.resize(static_cast<std::size_t>(chunk_offset[nchunks]));
+  c.vals.resize(static_cast<std::size_t>(chunk_offset[nchunks]));
+  common::parallel_for(0, nchunks, 1, [&](idx cb, idx ce) {
+    for (idx ch = cb; ch < ce; ++ch) {
+      std::copy(outs[ch].cols.begin(), outs[ch].cols.end(),
+                c.colidx.begin() + chunk_offset[ch]);
+      std::copy(outs[ch].vals.begin(), outs[ch].vals.end(),
+                c.vals.begin() + chunk_offset[ch]);
+    }
+  });
   count_flops(flops);
   return c;
 }

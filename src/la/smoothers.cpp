@@ -4,10 +4,15 @@
 
 #include "common/error.h"
 #include "common/flops.h"
+#include "common/parallel.h"
 #include "la/vec.h"
 
 namespace prom::la {
 namespace {
+
+/// Fixed chunk sizes (see common/parallel.h determinism contract).
+constexpr idx kPointGrain = 8192;  // elementwise updates
+constexpr idx kBlockGrain = 8;     // block-Jacobi blocks
 
 std::vector<real> inverted_diagonal(const Csr& a) {
   std::vector<real> d = a.diagonal();
@@ -32,9 +37,11 @@ void JacobiSmoother::smooth(std::span<const real> b,
              static_cast<idx>(x.size()) == n);
   std::vector<real> r(n);
   a_->spmv(x, r);
-  for (idx i = 0; i < n; ++i) {
-    x[i] += omega_ * inv_diag_[i] * (b[i] - r[i]);
-  }
+  common::parallel_for(0, n, kPointGrain, [&](idx ib, idx ie) {
+    for (idx i = ib; i < ie; ++i) {
+      x[i] += omega_ * inv_diag_[i] * (b[i] - r[i]);
+    }
+  });
   count_flops(4LL * n);
 }
 
@@ -121,17 +128,24 @@ void BlockJacobiSmoother::smooth(std::span<const real> b,
   std::vector<real> r(n);
   a_->spmv(x, r);
   waxpby(1, b, -1, r, r);  // r = b - A x
-  std::vector<real> rb, xb;
-  for (std::size_t k = 0; k < blocks_.size(); ++k) {
-    const auto& block = blocks_[k];
-    rb.resize(block.size());
-    xb.resize(block.size());
-    for (std::size_t li = 0; li < block.size(); ++li) rb[li] = r[block[li]];
-    factors_[k].solve(rb, xb);
-    for (std::size_t li = 0; li < block.size(); ++li) {
-      x[block[li]] += omega_ * xb[li];
-    }
-  }
+  // Blocks partition the rows, so block solves write disjoint slices of x
+  // and parallelize without ordering concerns.
+  common::parallel_for(
+      0, static_cast<idx>(blocks_.size()), kBlockGrain, [&](idx kb, idx ke) {
+        std::vector<real> rb, xb;
+        for (idx k = kb; k < ke; ++k) {
+          const auto& block = blocks_[k];
+          rb.resize(block.size());
+          xb.resize(block.size());
+          for (std::size_t li = 0; li < block.size(); ++li) {
+            rb[li] = r[block[li]];
+          }
+          factors_[k].solve(rb, xb);
+          for (std::size_t li = 0; li < block.size(); ++li) {
+            x[block[li]] += omega_ * xb[li];
+          }
+        }
+      });
   count_flops(2LL * n);
 }
 
@@ -166,20 +180,24 @@ void ChebyshevSmoother::smooth(std::span<const real> b,
   const real sigma = theta / delta;
   real rho = 1 / sigma;
 
-  std::vector<real> r(n), z(n), d(n), ad(n);
+  std::vector<real> r(n), d(n), ad(n);
   a_->spmv(x, r);
   waxpby(1, b, -1, r, r);
-  for (idx i = 0; i < n; ++i) d[i] = inv_diag_[i] * r[i] / theta;
+  common::parallel_for(0, n, kPointGrain, [&](idx ib, idx ie) {
+    for (idx i = ib; i < ie; ++i) d[i] = inv_diag_[i] * r[i] / theta;
+  });
   for (int k = 0; k < degree_; ++k) {
     axpy(1, d, x);
     if (k + 1 == degree_) break;
     a_->spmv(d, ad);
     axpy(-1, ad, r);
-    for (idx i = 0; i < n; ++i) z[i] = inv_diag_[i] * r[i];
     const real rho_new = 1 / (2 * sigma - rho);
-    for (idx i = 0; i < n; ++i) {
-      d[i] = rho_new * rho * d[i] + 2 * rho_new / delta * z[i];
-    }
+    common::parallel_for(0, n, kPointGrain, [&](idx ib, idx ie) {
+      for (idx i = ib; i < ie; ++i) {
+        const real zi = inv_diag_[i] * r[i];
+        d[i] = rho_new * rho * d[i] + 2 * rho_new / delta * zi;
+      }
+    });
     rho = rho_new;
     count_flops(6LL * n);
   }

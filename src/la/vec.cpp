@@ -4,32 +4,53 @@
 
 #include "common/error.h"
 #include "common/flops.h"
+#include "common/parallel.h"
 
 namespace prom::la {
+namespace {
+
+/// Elements per parallel chunk. Fixed (thread-count independent): the
+/// chunk decomposition — and hence the `dot` reduction tree — is part of
+/// the bit-determinism contract (common/parallel.h).
+constexpr idx kVecGrain = 8192;
+
+idx length(std::span<const real> x) { return static_cast<idx>(x.size()); }
+
+}  // namespace
 
 void axpy(real a, std::span<const real> x, std::span<real> y) {
   PROM_CHECK(x.size() == y.size());
-  for (std::size_t i = 0; i < x.size(); ++i) y[i] += a * x[i];
+  common::parallel_for(0, length(x), kVecGrain, [&](idx b, idx e) {
+    for (idx i = b; i < e; ++i) y[i] += a * x[i];
+  });
   count_flops(2 * static_cast<std::int64_t>(x.size()));
 }
 
 void aypx(real a, std::span<const real> x, std::span<real> y) {
   PROM_CHECK(x.size() == y.size());
-  for (std::size_t i = 0; i < x.size(); ++i) y[i] = x[i] + a * y[i];
+  common::parallel_for(0, length(x), kVecGrain, [&](idx b, idx e) {
+    for (idx i = b; i < e; ++i) y[i] = x[i] + a * y[i];
+  });
   count_flops(2 * static_cast<std::int64_t>(x.size()));
 }
 
 void waxpby(real a, std::span<const real> x, real b, std::span<const real> y,
             std::span<real> w) {
   PROM_CHECK(x.size() == y.size() && x.size() == w.size());
-  for (std::size_t i = 0; i < x.size(); ++i) w[i] = a * x[i] + b * y[i];
+  common::parallel_for(0, length(x), kVecGrain, [&](idx cb, idx ce) {
+    for (idx i = cb; i < ce; ++i) w[i] = a * x[i] + b * y[i];
+  });
   count_flops(3 * static_cast<std::int64_t>(x.size()));
 }
 
 real dot(std::span<const real> x, std::span<const real> y) {
   PROM_CHECK(x.size() == y.size());
-  real sum = 0;
-  for (std::size_t i = 0; i < x.size(); ++i) sum += x[i] * y[i];
+  const real sum =
+      common::parallel_reduce(0, length(x), kVecGrain, [&](idx b, idx e) {
+        real s = 0;
+        for (idx i = b; i < e; ++i) s += x[i] * y[i];
+        return s;
+      });
   count_flops(2 * static_cast<std::int64_t>(x.size()));
   return sum;
 }
@@ -37,17 +58,23 @@ real dot(std::span<const real> x, std::span<const real> y) {
 real nrm2(std::span<const real> x) { return std::sqrt(dot(x, x)); }
 
 void scale(real a, std::span<real> x) {
-  for (real& v : x) v *= a;
+  common::parallel_for(0, length(x), kVecGrain, [&](idx b, idx e) {
+    for (idx i = b; i < e; ++i) x[i] *= a;
+  });
   count_flops(static_cast<std::int64_t>(x.size()));
 }
 
 void set_all(std::span<real> x, real value) {
-  for (real& v : x) v = value;
+  common::parallel_for(0, length(x), kVecGrain, [&](idx b, idx e) {
+    for (idx i = b; i < e; ++i) x[i] = value;
+  });
 }
 
 void copy(std::span<const real> x, std::span<real> y) {
   PROM_CHECK(x.size() == y.size());
-  for (std::size_t i = 0; i < x.size(); ++i) y[i] = x[i];
+  common::parallel_for(0, length(x), kVecGrain, [&](idx b, idx e) {
+    for (idx i = b; i < e; ++i) y[i] = x[i];
+  });
 }
 
 }  // namespace prom::la

@@ -8,6 +8,7 @@
 #include <thread>
 
 #include "common/flops.h"
+#include "common/parallel.h"
 
 namespace prom::parx {
 namespace detail {
@@ -224,6 +225,10 @@ std::vector<std::int64_t> Comm::allreduce(std::vector<std::int64_t> v,
 std::vector<TrafficStats> Runtime::run(
     int nranks, const std::function<void(Comm&)>& fn) {
   PROM_CHECK_MSG(nranks >= 1, "Runtime::run needs at least one rank");
+  // Tell the kernel-thread layer how many ranks share the machine so the
+  // default intra-rank thread count divides hardware_concurrency instead
+  // of oversubscribing it (the CLUMP model: ranks x kernel threads).
+  common::set_active_ranks(nranks);
   detail::Context ctx(nranks);
   std::vector<std::thread> threads;
   threads.reserve(nranks);
@@ -243,6 +248,7 @@ std::vector<TrafficStats> Runtime::run(
     });
   }
   for (std::thread& t : threads) t.join();
+  common::set_active_ranks(1);
   if (first_error) std::rethrow_exception(first_error);
   return ctx.take_stats();
 }

@@ -10,7 +10,7 @@
 namespace prom::mesh {
 namespace {
 
-std::string temp_path(const char* name) {
+std::string temp_path(const std::string& name) {
   return ::testing::TempDir() + "/" + name;
 }
 
@@ -89,7 +89,11 @@ class FlatMeshRanks : public ::testing::TestWithParam<int> {};
 TEST_P(FlatMeshRanks, ParallelSlicesPartitionTheFile) {
   const int p = GetParam();
   const Mesh m = box_hex(4, 4, 3, {0, 0, 0}, {4, 4, 3});
-  const std::string path = temp_path("parallel.pm");
+  // Parametrized instances run as separate ctest tests and may execute
+  // concurrently under `ctest -j`; each needs its own file, or one instance
+  // removes/rewrites the file while another's rank threads read it (a rank
+  // that throws mid-collective deadlocks the remaining ranks).
+  const std::string path = temp_path("parallel." + std::to_string(p) + ".pm");
   ASSERT_TRUE(write_flat_mesh(path, m));
 
   std::vector<FlatMeshSlice> slices(static_cast<std::size_t>(p));
@@ -122,7 +126,7 @@ TEST_P(FlatMeshRanks, ParallelSlicesPartitionTheFile) {
 TEST_P(FlatMeshRanks, GatherReassemblesOriginalMesh) {
   const int p = GetParam();
   const Mesh m = box_hex(3, 3, 3, {0, 0, 0}, {1, 1, 1});
-  const std::string path = temp_path("gather.pm");
+  const std::string path = temp_path("gather." + std::to_string(p) + ".pm");
   ASSERT_TRUE(write_flat_mesh(path, m));
   std::vector<char> ok(static_cast<std::size_t>(p), 0);
   parx::Runtime::run(p, [&](parx::Comm& comm) {

@@ -1,0 +1,254 @@
+// parx stress suite (ISSUE 1 satellite): randomized point-to-point
+// traffic and collectives across 2–16 virtual ranks, checked against
+// serial references, plus the composition test — parx rank-threads with
+// intra-rank kernel threads active at the same time. Run under the `tsan`
+// CMake preset this doubles as the data-race gate for the two-level
+// parallelism model.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <cstring>
+#include <map>
+#include <tuple>
+#include <vector>
+
+#include "common/parallel.h"
+#include "common/rng.h"
+#include "la/csr.h"
+#include "la/vec.h"
+#include "parx/runtime.h"
+
+namespace prom::parx {
+namespace {
+
+/// One scheduled message. The schedule is derived from a shared seed, so
+/// every rank reconstructs the same plan and knows exactly what to expect.
+struct PlannedMessage {
+  int src;
+  int dst;
+  int tag;
+  int len;
+  int seq;  // per-(src, dst, tag) sequence number, for FIFO checking
+};
+
+std::vector<PlannedMessage> make_schedule(std::uint64_t seed, int nranks,
+                                          int nmessages) {
+  Rng rng(seed);
+  std::vector<PlannedMessage> plan;
+  plan.reserve(nmessages);
+  std::map<std::tuple<int, int, int>, int> seq;
+  for (int m = 0; m < nmessages; ++m) {
+    PlannedMessage msg;
+    msg.src = static_cast<int>(rng.next_below(nranks));
+    msg.dst = static_cast<int>(rng.next_below(nranks - 1));
+    if (msg.dst >= msg.src) msg.dst++;  // parx forbids self-sends
+    msg.tag = static_cast<int>(rng.next_below(7));
+    msg.len = static_cast<int>(rng.next_below(2048));
+    msg.seq = seq[{msg.src, msg.dst, msg.tag}]++;
+    plan.push_back(msg);
+  }
+  return plan;
+}
+
+/// Payload bytes are a pure function of the message identity, so any
+/// corruption or cross-wiring is detected at the receiver.
+std::vector<std::int32_t> payload_of(const PlannedMessage& m) {
+  Rng rng(0x9E1D ^ (static_cast<std::uint64_t>(m.src) << 40) ^
+          (static_cast<std::uint64_t>(m.dst) << 28) ^
+          (static_cast<std::uint64_t>(m.tag) << 20) ^
+          static_cast<std::uint64_t>(m.seq));
+  std::vector<std::int32_t> data(static_cast<std::size_t>(m.len));
+  for (auto& v : data) v = static_cast<std::int32_t>(rng.next_u64());
+  return data;
+}
+
+TEST(ParxStress, RandomizedTrafficAllRankCounts) {
+  for (int nranks : {2, 3, 4, 8, 16}) {
+    const int nmessages = 40 * nranks;
+    const auto plan = make_schedule(0xCAFE + nranks, nranks, nmessages);
+    Runtime::run(nranks, [&](Comm& comm) {
+      const int me = comm.rank();
+      // Send everything I originate (buffered, never blocks)...
+      for (const PlannedMessage& m : plan) {
+        if (m.src == me) comm.send(m.dst, m.tag, payload_of(m));
+      }
+      // ...then receive everything addressed to me, in plan order. parx
+      // guarantees FIFO per (src, tag), and the plan's `seq` encodes the
+      // expected order, so the payload check also proves FIFO delivery.
+      for (const PlannedMessage& m : plan) {
+        if (m.dst != me) continue;
+        const auto got = comm.recv<std::int32_t>(m.src, m.tag);
+        const auto want = payload_of(m);
+        ASSERT_EQ(got.size(), want.size())
+            << "nranks=" << nranks << " src=" << m.src << " tag=" << m.tag;
+        ASSERT_EQ(std::memcmp(got.data(), want.data(),
+                              want.size() * sizeof(std::int32_t)),
+                  0)
+            << "payload corrupted: nranks=" << nranks << " src=" << m.src
+            << " dst=" << m.dst << " tag=" << m.tag << " seq=" << m.seq;
+      }
+      comm.barrier();
+    });
+  }
+}
+
+TEST(ParxStress, CollectivesMatchSerialReference) {
+  for (int nranks : {2, 3, 5, 8, 16}) {
+    // Serial references computed up front.
+    std::vector<std::vector<double>> contrib(nranks);
+    for (int r = 0; r < nranks; ++r) {
+      Rng rng(0xA11 + r);
+      contrib[r].resize(17);
+      for (double& v : contrib[r]) v = 2 * rng.next_real() - 1;
+    }
+    std::vector<double> ref_min = contrib[0], ref_max = contrib[0];
+    for (int r = 1; r < nranks; ++r) {
+      for (std::size_t i = 0; i < contrib[r].size(); ++i) {
+        ref_min[i] = std::min(ref_min[i], contrib[r][i]);
+        ref_max[i] = std::max(ref_max[i], contrib[r][i]);
+      }
+    }
+    std::vector<std::int64_t> int_sum(17, 0);
+    for (int r = 0; r < nranks; ++r) {
+      for (std::size_t i = 0; i < int_sum.size(); ++i) {
+        int_sum[i] += static_cast<std::int64_t>(100 * (r + 1)) + i;
+      }
+    }
+
+    Runtime::run(nranks, [&](Comm& comm) {
+      const int me = comm.rank();
+
+      // min/max are order-insensitive: exact equality required.
+      const auto got_min = comm.allreduce(contrib[me], Comm::ReduceOp::kMin);
+      const auto got_max = comm.allreduce(contrib[me], Comm::ReduceOp::kMax);
+      ASSERT_EQ(got_min, ref_min) << "nranks=" << nranks;
+      ASSERT_EQ(got_max, ref_max) << "nranks=" << nranks;
+
+      // Integer sums are exact under any combination order.
+      std::vector<std::int64_t> mine(17);
+      for (std::size_t i = 0; i < mine.size(); ++i) {
+        mine[i] = static_cast<std::int64_t>(100 * (me + 1)) + i;
+      }
+      ASSERT_EQ(comm.allreduce(mine, Comm::ReduceOp::kSum), int_sum);
+
+      // Double sums: tolerance for tree-order rounding.
+      const auto got_sum = comm.allreduce(contrib[me], Comm::ReduceOp::kSum);
+      for (std::size_t i = 0; i < got_sum.size(); ++i) {
+        double want = 0;
+        for (int r = 0; r < nranks; ++r) want += contrib[r][i];
+        ASSERT_NEAR(got_sum[i], want, 1e-12 * nranks);
+      }
+
+      // bcast from every root.
+      for (int root = 0; root < nranks; ++root) {
+        std::vector<std::int32_t> data;
+        if (me == root) {
+          data.resize(64 + root);
+          for (std::size_t i = 0; i < data.size(); ++i) {
+            data[i] = static_cast<std::int32_t>(root * 1000 + i);
+          }
+        }
+        data = comm.bcast(std::move(data), root);
+        ASSERT_EQ(data.size(), static_cast<std::size_t>(64 + root));
+        for (std::size_t i = 0; i < data.size(); ++i) {
+          ASSERT_EQ(data[i], static_cast<std::int32_t>(root * 1000 + i));
+        }
+      }
+
+      // allgatherv with rank-dependent sizes.
+      std::vector<std::int32_t> gmine(static_cast<std::size_t>(me) + 1,
+                                      me * 7);
+      const auto all = comm.allgatherv(gmine);
+      ASSERT_EQ(static_cast<int>(all.size()), nranks);
+      for (int r = 0; r < nranks; ++r) {
+        ASSERT_EQ(all[r].size(), static_cast<std::size_t>(r) + 1);
+        for (auto v : all[r]) ASSERT_EQ(v, r * 7);
+      }
+
+      // alltoallv: sendbufs[r] = f(me, r); received[r] must be f(r, me).
+      std::vector<std::vector<std::int32_t>> sendbufs(nranks);
+      for (int r = 0; r < nranks; ++r) {
+        sendbufs[r].assign(static_cast<std::size_t>((me + r) % 5 + 1),
+                           me * 100 + r);
+      }
+      const auto recvbufs = comm.alltoallv(sendbufs);
+      for (int r = 0; r < nranks; ++r) {
+        ASSERT_EQ(recvbufs[r].size(),
+                  static_cast<std::size_t>((r + me) % 5 + 1));
+        for (auto v : recvbufs[r]) ASSERT_EQ(v, r * 100 + me);
+      }
+
+      comm.barrier();
+    });
+  }
+}
+
+/// Rank threads and kernel threads at the same time: each rank drives the
+/// shared thread pool with its own SpMV/dot stream while exchanging
+/// results — composition must neither deadlock nor corrupt data. The
+/// per-rank result is compared bitwise against the same computation done
+/// serially before the SPMD region.
+TEST(ParxStress, KernelThreadsComposeWithRankThreads) {
+  constexpr int kRanks = 4;
+  constexpr idx kN = 8000;
+
+  auto rank_matrix = [&](int r) {
+    Rng rng(0x777 + r);
+    std::vector<la::Triplet> trip;
+    for (idx i = 0; i < kN; ++i) {
+      trip.push_back({i, i, 4.0 + rng.next_real()});
+      for (int k = 0; k < 4; ++k) {
+        trip.push_back({i, static_cast<idx>(rng.next_below(kN)),
+                        rng.next_real() - 0.5});
+      }
+    }
+    return la::Csr::from_triplets(kN, kN, trip);
+  };
+  auto rank_vector = [&](int r) {
+    Rng rng(0x888 + r);
+    std::vector<real> x(static_cast<std::size_t>(kN));
+    for (real& v : x) v = 2 * rng.next_real() - 1;
+    return x;
+  };
+
+  // Serial per-rank references (computed with the default thread count).
+  std::vector<std::vector<real>> ref_y(kRanks);
+  std::vector<real> ref_dot(kRanks);
+  for (int r = 0; r < kRanks; ++r) {
+    const la::Csr a = rank_matrix(r);
+    const std::vector<real> x = rank_vector(r);
+    ref_y[r].resize(static_cast<std::size_t>(kN));
+    a.spmv(x, ref_y[r]);
+    ref_dot[r] = la::dot(x, ref_y[r]);
+  }
+
+  common::set_kernel_threads(4);  // oversubscribed on purpose: 4 ranks x 4
+  Runtime::run(kRanks, [&](Comm& comm) {
+    const int me = comm.rank();
+    const la::Csr a = rank_matrix(me);
+    const std::vector<real> x = rank_vector(me);
+    std::vector<real> y(static_cast<std::size_t>(kN));
+    for (int iter = 0; iter < 5; ++iter) {
+      a.spmv(x, y);
+      ASSERT_EQ(std::memcmp(y.data(), ref_y[me].data(),
+                            y.size() * sizeof(real)),
+                0)
+          << "rank " << me << " iter " << iter
+          << ": threaded SpMV result corrupted under parx";
+      const real d = la::dot(x, y);
+      ASSERT_EQ(std::memcmp(&d, &ref_dot[me], sizeof(real)), 0)
+          << "rank " << me << " iter " << iter;
+      // Mix in collectives between kernel bursts.
+      const double total = comm.allreduce_sum(d);
+      double want = 0;
+      for (int r = 0; r < kRanks; ++r) want += ref_dot[r];
+      ASSERT_NEAR(total, want, 1e-9 * (1 + std::abs(want)));
+      comm.barrier();
+    }
+  });
+  common::set_kernel_threads(0);
+}
+
+}  // namespace
+}  // namespace prom::parx
