@@ -1,0 +1,13 @@
+#!/usr/bin/env bash
+# The one-command CI gate: optimized build, the full test suite, then the
+# ThreadSanitizer race gate (ci/tsan.sh). Everything a PR must pass.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+cmake --preset release
+cmake --build --preset release -j"$(nproc)"
+ctest --test-dir build-release --output-on-failure -j"$(nproc)"
+
+./ci/tsan.sh
+
+echo "ci/check.sh: OK"

@@ -51,14 +51,20 @@ struct LinearStudyReport {
   int iterations = 0;
   bool converged = false;
 
-  // Wall-clock phase breakdown on the host (Figure 10's phases).
+  // Wall-clock phase breakdown on the host (Figure 10's phases). Mesh
+  // setup is serial (grids only); matrix setup and solve run distributed
+  // on the virtual ranks.
   double wall_partition = 0;     ///< Athena: partitioning
   double wall_fine_grid = 0;     ///< FEAP: fine grid creation (assembly)
   double wall_mesh_setup = 0;    ///< Prometheus: coarse grid construction
-  double wall_matrix_setup = 0;  ///< Epimetheus: RAR^T + smoother setup
+  double wall_matrix_setup = 0;  ///< Epimetheus: distributed RAR^T + smoothers
   double wall_solve = 0;         ///< PETSc: the actual MG-PCG solve
 
-  // Solve-phase measurements across virtual ranks (§6).
+  // Per-phase measurements across virtual ranks (§6).
+  perf::PhaseStats setup_phase;  ///< distributed matrix setup
+  /// This-rank flops spent in the Galerkin triple products alone, maxed
+  /// over ranks (the matrix-setup scaling quantity).
+  std::int64_t max_rank_galerkin_flops = 0;
   perf::PhaseStats solve_phase;
   double modeled_solve_time = 0;   ///< machine-model seconds
   double modeled_mflops = 0;       ///< total modeled Mflop/s in MG iterations

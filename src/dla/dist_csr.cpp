@@ -1,7 +1,6 @@
 #include "dla/dist_csr.h"
 
 #include <algorithm>
-#include <map>
 
 #include "common/error.h"
 #include "common/flops.h"
@@ -14,46 +13,38 @@ constexpr int kTagTranspose = 302;
 
 }  // namespace
 
-DistCsr::DistCsr(parx::Comm& comm, const la::Csr& a, RowDist row_dist,
-                 RowDist col_dist)
-    : rank_(comm.rank()), rows_(std::move(row_dist)), cols_(std::move(col_dist)) {
-  PROM_CHECK(rows_.global_size() == a.nrows);
-  PROM_CHECK(cols_.global_size() == a.ncols);
-  PROM_CHECK(rows_.nranks() == comm.size() && cols_.nranks() == comm.size());
-
-  const idx r0 = rows_.begin(rank_), r1 = rows_.end(rank_);
+void DistCsr::init_from_local(parx::Comm& comm, const la::Csr& local_rows) {
+  PROM_CHECK(local_rows.nrows == rows_.local_size(rank_));
+  PROM_CHECK(local_rows.ncols == cols_.global_size());
   const idx c0 = cols_.begin(rank_), c1 = cols_.end(rank_);
   const idx n_local_cols = c1 - c0;
 
-  // Collect ghost columns referenced by my rows.
-  std::vector<char> is_ghost(static_cast<std::size_t>(a.ncols), 0);
-  for (idx i = r0; i < r1; ++i) {
-    for (nnz_t k = a.rowptr[i]; k < a.rowptr[i + 1]; ++k) {
-      const idx c = a.colidx[k];
-      if (c < c0 || c >= c1) is_ghost[c] = 1;
-    }
+  // Ghost columns: every referenced column outside my owned range, sorted
+  // ascending by global id. O(local nnz log) — never touches global size.
+  ghost_cols_.clear();
+  for (idx c : local_rows.colidx) {
+    if (c < c0 || c >= c1) ghost_cols_.push_back(c);
   }
-  for (idx c = 0; c < a.ncols; ++c) {
-    if (is_ghost[c]) ghost_cols_.push_back(c);
-  }
+  std::sort(ghost_cols_.begin(), ghost_cols_.end());
+  ghost_cols_.erase(std::unique(ghost_cols_.begin(), ghost_cols_.end()),
+                    ghost_cols_.end());
 
-  // Local matrix with remapped columns.
-  std::vector<idx> ghost_slot(static_cast<std::size_t>(a.ncols), kInvalidIdx);
-  for (std::size_t g = 0; g < ghost_cols_.size(); ++g) {
-    ghost_slot[ghost_cols_[g]] = static_cast<idx>(g);
-  }
-  local_.nrows = r1 - r0;
+  const auto ghost_slot = [&](idx c) {
+    return static_cast<idx>(
+        std::lower_bound(ghost_cols_.begin(), ghost_cols_.end(), c) -
+        ghost_cols_.begin());
+  };
+
+  // Local matrix with remapped columns (storage order preserved).
+  local_.nrows = local_rows.nrows;
   local_.ncols = n_local_cols + static_cast<idx>(ghost_cols_.size());
-  local_.rowptr.assign(static_cast<std::size_t>(local_.nrows) + 1, 0);
-  for (idx i = r0; i < r1; ++i) {
-    for (nnz_t k = a.rowptr[i]; k < a.rowptr[i + 1]; ++k) {
-      const idx c = a.colidx[k];
-      local_.colidx.push_back(c >= c0 && c < c1
-                                  ? c - c0
-                                  : n_local_cols + ghost_slot[c]);
-      local_.vals.push_back(a.vals[k]);
-    }
-    local_.rowptr[i - r0 + 1] = static_cast<nnz_t>(local_.colidx.size());
+  local_.rowptr = local_rows.rowptr;
+  local_.vals = local_rows.vals;
+  local_.colidx.resize(local_rows.colidx.size());
+  for (std::size_t k = 0; k < local_rows.colidx.size(); ++k) {
+    const idx c = local_rows.colidx[k];
+    local_.colidx[k] =
+        c >= c0 && c < c1 ? c - c0 : n_local_cols + ghost_slot(c);
   }
 
   // Build the exchange plan: tell each owner which of its entries I need.
@@ -61,6 +52,10 @@ DistCsr::DistCsr(parx::Comm& comm, const la::Csr& a, RowDist row_dist,
   for (idx g : ghost_cols_) requests[cols_.owner(g)].push_back(g);
   const auto incoming = comm.alltoallv(requests);
 
+  peers_send_.clear();
+  send_lists_.clear();
+  peers_recv_.clear();
+  recv_slots_.clear();
   for (int r = 0; r < comm.size(); ++r) {
     if (r == rank_) continue;
     if (!incoming[r].empty()) {
@@ -77,10 +72,84 @@ DistCsr::DistCsr(parx::Comm& comm, const la::Csr& a, RowDist row_dist,
       peers_recv_.push_back(r);
       std::vector<idx> slots;
       slots.reserve(requests[r].size());
-      for (idx g : requests[r]) slots.push_back(ghost_slot[g]);
+      for (idx g : requests[r]) slots.push_back(ghost_slot(g));
       recv_slots_.push_back(std::move(slots));
     }
   }
+}
+
+DistCsr::DistCsr(parx::Comm& comm, const la::Csr& a, RowDist row_dist,
+                 RowDist col_dist)
+    : rank_(comm.rank()),
+      rows_(std::move(row_dist)),
+      cols_(std::move(col_dist)) {
+  PROM_CHECK(rows_.global_size() == a.nrows);
+  PROM_CHECK(cols_.global_size() == a.ncols);
+  PROM_CHECK(rows_.nranks() == comm.size() && cols_.nranks() == comm.size());
+
+  // Slice my rows out of the replicated matrix, keeping global columns.
+  const idx r0 = rows_.begin(rank_), r1 = rows_.end(rank_);
+  la::Csr mine;
+  mine.nrows = r1 - r0;
+  mine.ncols = a.ncols;
+  mine.rowptr.assign(static_cast<std::size_t>(mine.nrows) + 1, 0);
+  for (idx i = r0; i < r1; ++i) {
+    for (nnz_t k = a.rowptr[i]; k < a.rowptr[i + 1]; ++k) {
+      mine.colidx.push_back(a.colidx[k]);
+      mine.vals.push_back(a.vals[k]);
+    }
+    mine.rowptr[i - r0 + 1] = static_cast<nnz_t>(mine.colidx.size());
+  }
+  init_from_local(comm, mine);
+}
+
+DistCsr DistCsr::from_local_rows(parx::Comm& comm, const la::Csr& local_rows,
+                                 RowDist row_dist, RowDist col_dist) {
+  DistCsr d;
+  d.rank_ = comm.rank();
+  d.rows_ = std::move(row_dist);
+  d.cols_ = std::move(col_dist);
+  PROM_CHECK(d.rows_.nranks() == comm.size() &&
+             d.cols_.nranks() == comm.size());
+  d.init_from_local(comm, local_rows);
+  return d;
+}
+
+DistCsr DistCsr::from_global_permuted(parx::Comm& comm, const la::Csr& a,
+                                      RowDist row_dist, RowDist col_dist,
+                                      std::span<const idx> row_perm,
+                                      std::span<const idx> col_perm) {
+  PROM_CHECK(row_dist.global_size() == a.nrows);
+  PROM_CHECK(col_dist.global_size() == a.ncols);
+  PROM_CHECK(static_cast<idx>(row_perm.size()) == a.nrows &&
+             static_cast<idx>(col_perm.size()) == a.ncols);
+  const int rank = comm.rank();
+  const idx r0 = row_dist.begin(rank), r1 = row_dist.end(rank);
+
+  // Inverse column permutation (index bookkeeping, no matrix values).
+  std::vector<idx> col_inv(static_cast<std::size_t>(a.ncols));
+  for (idx j = 0; j < a.ncols; ++j) col_inv[col_perm[j]] = j;
+
+  la::Csr mine;
+  mine.nrows = r1 - r0;
+  mine.ncols = a.ncols;
+  mine.rowptr.assign(static_cast<std::size_t>(mine.nrows) + 1, 0);
+  std::vector<std::pair<idx, real>> row;
+  for (idx i = r0; i < r1; ++i) {
+    const idx old_row = row_perm[i];
+    row.clear();
+    for (nnz_t k = a.rowptr[old_row]; k < a.rowptr[old_row + 1]; ++k) {
+      row.emplace_back(col_inv[a.colidx[k]], a.vals[k]);
+    }
+    std::sort(row.begin(), row.end());
+    for (const auto& [c, v] : row) {
+      mine.colidx.push_back(c);
+      mine.vals.push_back(v);
+    }
+    mine.rowptr[i - r0 + 1] = static_cast<nnz_t>(mine.colidx.size());
+  }
+  return from_local_rows(comm, mine, std::move(row_dist),
+                         std::move(col_dist));
 }
 
 void DistCsr::exchange_ghosts(parx::Comm& comm, std::span<const real> x_local,

@@ -25,10 +25,36 @@ class DistCsr {
   DistCsr(parx::Comm& comm, const la::Csr& a, RowDist row_dist,
           RowDist col_dist);
 
+  /// Builds from this rank's rows only: `local_rows` holds the owned rows
+  /// (in owning order) with *global* column indices. This is how the
+  /// distributed matrix-setup phase assembles operators — no rank ever
+  /// materializes a global matrix. Collective (builds the exchange plan).
+  static DistCsr from_local_rows(parx::Comm& comm, const la::Csr& local_rows,
+                                 RowDist row_dist, RowDist col_dist);
+
+  /// Slices rows [row_dist.begin(rank), end(rank)) of the *permuted* view
+  /// of the replicated matrix `a` (out[i][j] = a[row_perm[i]][col_perm[j]])
+  /// without forming the permuted global matrix. Used only on the fine
+  /// level and for restrictions, whose serial inputs already exist.
+  static DistCsr from_global_permuted(parx::Comm& comm, const la::Csr& a,
+                                      RowDist row_dist, RowDist col_dist,
+                                      std::span<const idx> row_perm,
+                                      std::span<const idx> col_perm);
+
   const RowDist& row_dist() const { return rows_; }
   const RowDist& col_dist() const { return cols_; }
   idx local_rows() const { return local_.nrows; }
   idx num_ghosts() const { return static_cast<idx>(ghost_cols_.size()); }
+
+  /// Global ids of this rank's ghost columns, ascending.
+  const std::vector<idx>& ghost_cols() const { return ghost_cols_; }
+
+  /// Global column id of a local column index (owned or ghost).
+  idx global_col(idx local_col) const {
+    const idx n_own = cols_.local_size(rank_);
+    return local_col < n_own ? cols_.begin(rank_) + local_col
+                             : ghost_cols_[local_col - n_own];
+  }
 
   /// y_local = A x (x given as the local block of the distributed input);
   /// performs the ghost exchange. Collective.
@@ -50,6 +76,11 @@ class DistCsr {
   la::Csr local_diagonal_block() const;
 
  private:
+  /// Shared construction core: remaps the owned rows (global column ids)
+  /// into the [owned | ghost] local indexing and builds the neighbor
+  /// exchange plan. Collective.
+  void init_from_local(parx::Comm& comm, const la::Csr& local_rows);
+
   void exchange_ghosts(parx::Comm& comm, std::span<const real> x_local,
                        std::span<real> ghost_values) const;
 

@@ -1,10 +1,7 @@
 #include "dla/dist_krylov.h"
 
-#include <cmath>
-
-#include "common/error.h"
-#include "dla/dist_vec.h"
-#include "la/vec.h"
+#include "dla/parx_backend.h"
+#include "la/krylov_any.h"
 
 namespace prom::dla {
 
@@ -12,67 +9,7 @@ la::KrylovResult dist_pcg(parx::Comm& comm, const DistOperator& a,
                           const DistOperator* m, std::span<const real> b_local,
                           std::span<real> x_local,
                           const la::KrylovOptions& opts) {
-  const idx n = a.local_n();
-  PROM_CHECK(static_cast<idx>(b_local.size()) == n &&
-             static_cast<idx>(x_local.size()) == n);
-
-  la::KrylovResult result;
-  std::vector<real> r(n), z(n), p(n), ap(n);
-
-  const real bnorm = dist_nrm2(comm, b_local);
-  if (opts.track_history) result.history.push_back(bnorm);
-  if (bnorm == real{0}) {
-    la::set_all(x_local, 0);
-    result.converged = true;
-    return result;
-  }
-
-  a.apply(comm, x_local, r);
-  la::waxpby(1, b_local, -1, r, r);
-  real rnorm = dist_nrm2(comm, r);
-  if (rnorm / bnorm <= opts.rtol) {
-    result.converged = true;
-    result.final_relres = rnorm / bnorm;
-    return result;
-  }
-
-  if (m != nullptr) {
-    m->apply(comm, r, z);
-  } else {
-    la::copy(r, z);
-  }
-  la::copy(z, p);
-  real rz = dist_dot(comm, r, z);
-
-  for (int it = 1; it <= opts.max_iters; ++it) {
-    a.apply(comm, p, ap);
-    const real pap = dist_dot(comm, p, ap);
-    if (!std::isfinite(pap) || pap <= 0) {
-      result.breakdown = true;
-      break;
-    }
-    const real alpha = rz / pap;
-    la::axpy(alpha, p, x_local);
-    la::axpy(-alpha, ap, r);
-    rnorm = dist_nrm2(comm, r);
-    if (opts.track_history) result.history.push_back(rnorm);
-    result.iterations = it;
-    if (rnorm / bnorm <= opts.rtol) {
-      result.converged = true;
-      break;
-    }
-    if (m != nullptr) {
-      m->apply(comm, r, z);
-    } else {
-      la::copy(r, z);
-    }
-    const real rz_new = dist_dot(comm, r, z);
-    const real beta = rz_new / rz;
-    rz = rz_new;
-    la::aypx(beta, z, p);
-  }
-  result.final_relres = rnorm / bnorm;
-  return result;
+  return la::pcg_any(ParxBackend{&comm}, a, m, b_local, x_local, opts);
 }
 
 }  // namespace prom::dla

@@ -1,6 +1,7 @@
-// Distributed preconditioned conjugate gradient over parx: the same
-// algorithm as la::pcg with dot products replaced by allreduce reductions
-// and operator application by distributed SpMV — the paper's solve phase.
+// Distributed preconditioned conjugate gradient over parx: literally the
+// same implementation as la::pcg (la::pcg_any), instantiated with the
+// ParxBackend so reductions allreduce and operator application is the
+// distributed SpMV — the paper's solve phase.
 #pragma once
 
 #include <span>

@@ -5,43 +5,18 @@
 
 #include "common/error.h"
 #include "common/flops.h"
+#include "dla/dist_setup.h"
 #include "dla/dist_vec.h"
+#include "dla/parx_backend.h"
+#include "la/krylov_any.h"
+#include "la/smoother_kernels.h"
+#include "la/smoothers.h"
 #include "la/vec.h"
+#include "mg/cycle_any.h"
 #include "partition/greedy.h"
 
 namespace prom::dla {
 namespace {
-
-/// Permutes a square matrix: out[new_i][new_j] = a[perm[new_i]][perm[new_j]].
-la::Csr permute_square(const la::Csr& a, std::span<const idx> perm) {
-  std::vector<idx> inv(static_cast<std::size_t>(a.nrows));
-  for (idx i = 0; i < a.nrows; ++i) inv[perm[i]] = i;
-  std::vector<la::Triplet> t;
-  t.reserve(static_cast<std::size_t>(a.nnz()));
-  for (idx i = 0; i < a.nrows; ++i) {
-    for (nnz_t k = a.rowptr[i]; k < a.rowptr[i + 1]; ++k) {
-      t.push_back({inv[i], inv[a.colidx[k]], a.vals[k]});
-    }
-  }
-  return la::Csr::from_triplets(a.nrows, a.ncols, t);
-}
-
-/// Permutes rows by row_perm and columns by col_perm (both new -> old).
-la::Csr permute_rect(const la::Csr& a, std::span<const idx> row_perm,
-                     std::span<const idx> col_perm) {
-  std::vector<idx> row_inv(static_cast<std::size_t>(a.nrows));
-  std::vector<idx> col_inv(static_cast<std::size_t>(a.ncols));
-  for (idx i = 0; i < a.nrows; ++i) row_inv[row_perm[i]] = i;
-  for (idx j = 0; j < a.ncols; ++j) col_inv[col_perm[j]] = j;
-  std::vector<la::Triplet> t;
-  t.reserve(static_cast<std::size_t>(a.nnz()));
-  for (idx i = 0; i < a.nrows; ++i) {
-    for (nnz_t k = a.rowptr[i]; k < a.rowptr[i + 1]; ++k) {
-      t.push_back({row_inv[i], col_inv[a.colidx[k]], a.vals[k]});
-    }
-  }
-  return la::Csr::from_triplets(a.nrows, a.ncols, t);
-}
 
 graph::Graph graph_of_pattern(const la::Csr& a) {
   std::vector<std::pair<idx, idx>> edges;
@@ -55,28 +30,91 @@ graph::Graph graph_of_pattern(const la::Csr& a) {
   return graph::Graph::from_edges(a.nrows, edges);
 }
 
+/// Redundant dense factorization of the (gathered, constant-size) coarsest
+/// operator, with the same diagonal-shift escalation as the serial build.
+std::unique_ptr<la::DenseLdlt> factor_coarse(const la::Csr& a) {
+  la::DenseMatrix dense(a.nrows, a.ncols);
+  for (idx i = 0; i < a.nrows; ++i) {
+    for (nnz_t k = a.rowptr[i]; k < a.rowptr[i + 1]; ++k) {
+      dense(i, a.colidx[k]) = a.vals[k];
+    }
+  }
+  auto direct = std::make_unique<la::DenseLdlt>(dense);
+  if (!direct->ok()) {
+    real max_diag = 1;
+    for (idx i = 0; i < a.nrows; ++i) {
+      max_diag = std::max(max_diag, std::abs(dense(i, i)));
+    }
+    for (real shift = 1e-12 * max_diag; !direct->ok(); shift *= 10) {
+      la::DenseMatrix shifted = dense;
+      for (idx i = 0; i < a.nrows; ++i) shifted(i, i) += shift;
+      *direct = la::DenseLdlt(shifted);
+      PROM_CHECK(shift < 1e30);
+    }
+  }
+  return direct;
+}
+
+/// Adapts the distributed hierarchy to the generic cycle templates
+/// (mg/cycle_any.h): the one V-cycle / FMG implementation runs on local
+/// blocks, and only these level operations communicate.
+struct DistCycleView {
+  parx::Comm* comm;
+  const DistHierarchy* h;
+
+  int num_levels() const { return h->num_levels(); }
+  idx local_n(int l) const { return h->level(l).local_n(); }
+  int pre_smooth() const { return h->pre_smooth; }
+  int post_smooth() const { return h->post_smooth; }
+  void smooth(int l, std::span<const real> b, std::span<real> x) const {
+    h->level(l).smooth(*comm, b, x);
+  }
+  void apply_a(int l, std::span<const real> x, std::span<real> y) const {
+    h->level(l).a.spmv(*comm, x, y);
+  }
+  void restrict_to(int l, std::span<const real> xf, std::span<real> xc) const {
+    h->level(l).r.spmv(*comm, xf, xc);
+  }
+  void prolong(int l, std::span<const real> xc, std::span<real> xf) const {
+    h->level(l).r.spmv_transpose(*comm, xc, xf);
+  }
+  void coarse_solve(std::span<const real> b, std::span<real> x) const {
+    const DistMgLevel& lv = h->level(h->num_levels() - 1);
+    if (lv.direct != nullptr) {
+      // Redundant coarse solve: gather, factor-solve locally, keep my
+      // slice (§5 — the coarsest problem is constant-size).
+      const std::vector<real> b_full =
+          dist_gather_all(*comm, lv.a.row_dist(), b);
+      std::vector<real> x_full(b_full.size());
+      lv.direct->solve(b_full, x_full);
+      const idx b0 = lv.a.row_dist().begin(comm->rank());
+      for (idx i = 0; i < lv.local_n(); ++i) x[i] = x_full[b0 + i];
+    } else {
+      // Single-level hierarchy: a few smoothing steps stand in.
+      for (int s = 0; s < 4; ++s) lv.smooth(*comm, b, x);
+    }
+  }
+};
+
 }  // namespace
 
 void DistMgLevel::smooth(parx::Comm& comm, std::span<const real> b_local,
                          std::span<real> x_local) const {
-  const idx n = local_n();
-  PROM_CHECK(static_cast<idx>(b_local.size()) == n &&
-             static_cast<idx>(x_local.size()) == n);
-  std::vector<real> r(n);
-  a.spmv(comm, x_local, r);
-  la::waxpby(1, b_local, -1, r, r);
-  std::vector<real> rb, xb;
-  for (std::size_t k = 0; k < blocks.size(); ++k) {
-    const auto& block = blocks[k];
-    rb.resize(block.size());
-    xb.resize(block.size());
-    for (std::size_t i = 0; i < block.size(); ++i) rb[i] = r[block[i]];
-    factors[k].solve(rb, xb);
-    for (std::size_t i = 0; i < block.size(); ++i) {
-      x_local[block[i]] += omega * xb[i];
-    }
+  const ParxBackend be{&comm};
+  const DistCsrOperator op(a);
+  switch (kind) {
+    case mg::SmootherKind::kJacobi:
+      la::jacobi_sweep(be, op, inv_diag, omega, b_local, x_local);
+      break;
+    case mg::SmootherKind::kChebyshev:
+      la::chebyshev_sweep(be, op, inv_diag, cheby_degree, cheby_lmin,
+                          cheby_lmax, b_local, x_local);
+      break;
+    default:
+      la::block_jacobi_sweep(be, op, blocks, factors, omega, b_local,
+                             x_local);
+      break;
   }
-  count_flops(2LL * n);
 }
 
 DistHierarchy DistHierarchy::build(parx::Comm& comm,
@@ -84,9 +122,11 @@ DistHierarchy DistHierarchy::build(parx::Comm& comm,
                                    std::span<const idx> fine_vertex_owner) {
   const int nl = serial.num_levels();
   const int p = comm.size();
+  const int rank = comm.rank();
+  const mg::MgOptions& mo = serial.options();
   DistHierarchy h;
-  h.pre_smooth = serial.options().pre_smooth;
-  h.post_smooth = serial.options().post_smooth;
+  h.pre_smooth = mo.pre_smooth;
+  h.post_smooth = mo.post_smooth;
   h.levels_.resize(static_cast<std::size_t>(nl));
   h.perms_.resize(static_cast<std::size_t>(nl));
 
@@ -121,76 +161,60 @@ DistHierarchy DistHierarchy::build(parx::Comm& comm,
     dists[l] = RowDist::from_sorted_owners(sorted_owner, p);
   }
 
+  // Operators: the fine matrix and the restrictions are sliced from the
+  // serial inputs (each rank extracts its rows only); every coarse
+  // operator is the distributed Galerkin product of the previous one.
   for (int l = 0; l < nl; ++l) {
-    const mg::MgLevel& lv = serial.level(l);
     DistMgLevel& dl = h.levels_[l];
-    const la::Csr a_perm = permute_square(lv.a, h.perms_[l]);
-    dl.a = DistCsr(comm, a_perm, dists[l], dists[l]);
-    if (l > 0) {
-      const la::Csr r_perm =
-          permute_rect(lv.r, h.perms_[l], h.perms_[l - 1]);
-      dl.r = DistCsr(comm, r_perm, dists[l], dists[l - 1]);
-    }
-    if (l + 1 == nl) {
-      // Redundant dense coarse factorization on every rank (global A).
-      la::DenseMatrix dense(a_perm.nrows, a_perm.ncols);
-      for (idx i = 0; i < a_perm.nrows; ++i) {
-        for (nnz_t k = a_perm.rowptr[i]; k < a_perm.rowptr[i + 1]; ++k) {
-          dense(i, a_perm.colidx[k]) = a_perm.vals[k];
-        }
-      }
-      dl.direct = std::make_unique<la::DenseLdlt>(dense);
-      if (!dl.direct->ok()) {
-        real max_diag = 1;
-        for (idx i = 0; i < a_perm.nrows; ++i) {
-          max_diag = std::max(max_diag, std::abs(dense(i, i)));
-        }
-        for (real shift = 1e-12 * max_diag; !dl.direct->ok(); shift *= 10) {
-          la::DenseMatrix shifted = dense;
-          for (idx i = 0; i < a_perm.nrows; ++i) shifted(i, i) += shift;
-          *dl.direct = la::DenseLdlt(shifted);
-          PROM_CHECK(shift < 1e30);
-        }
-      }
+    if (l == 0) {
+      dl.a = DistCsr::from_global_permuted(comm, serial.level(0).a, dists[0],
+                                           dists[0], h.perms_[0],
+                                           h.perms_[0]);
     } else {
-      // Processor-block Jacobi over the local diagonal block.
-      dl.omega = serial.options().omega;
-      dl.local_diag = dl.a.local_diagonal_block();
-      dl.blocks = partition::block_jacobi_blocks(
-          graph_of_pattern(dl.local_diag),
-          serial.options().bj_blocks_per_1000);
-      std::vector<idx> local_of(static_cast<std::size_t>(dl.local_diag.nrows),
-                                kInvalidIdx);
-      for (const auto& block : dl.blocks) {
-        for (std::size_t i = 0; i < block.size(); ++i) {
-          local_of[block[i]] = static_cast<idx>(i);
-        }
-        la::DenseMatrix blk(static_cast<idx>(block.size()),
-                            static_cast<idx>(block.size()));
-        real max_diag = 0;
-        for (std::size_t i = 0; i < block.size(); ++i) {
-          const idx gi = block[i];
-          for (nnz_t k = dl.local_diag.rowptr[gi];
-               k < dl.local_diag.rowptr[gi + 1]; ++k) {
-            const idx lj = local_of[dl.local_diag.colidx[k]];
-            if (lj != kInvalidIdx) blk(static_cast<idx>(i), lj) =
-                dl.local_diag.vals[k];
-            if (dl.local_diag.colidx[k] == gi) {
-              max_diag = std::max(max_diag, dl.local_diag.vals[k]);
-            }
-          }
-        }
-        dl.factors.emplace_back(blk);
-        if (max_diag <= 0) max_diag = 1;
-        for (real shift = 1e-12 * max_diag; !dl.factors.back().ok();
-             shift *= 10) {
-          la::DenseMatrix shifted = blk;
-          for (idx i = 0; i < blk.rows(); ++i) shifted(i, i) += shift;
-          dl.factors.back() = la::DenseLdlt(shifted);
-          PROM_CHECK(shift < 1e30);
-        }
-        for (const auto& bi : block) local_of[bi] = kInvalidIdx;
+      dl.r = DistCsr::from_global_permuted(comm, serial.level(l).r, dists[l],
+                                           dists[l - 1], h.perms_[l],
+                                           h.perms_[l - 1]);
+      const FlopWindow window;
+      dl.a = dist_galerkin_product(comm, dl.r, h.levels_[l - 1].a,
+                                   h.perms_[l - 1]);
+      h.galerkin_flops_ += window.flops();
+    }
+  }
+
+  // Smoothers / coarse factorization.
+  for (int l = 0; l < nl; ++l) {
+    DistMgLevel& dl = h.levels_[l];
+    const bool coarsest = l + 1 == nl;
+    if (coarsest && nl > 1) {
+      // The coarsest operator has constant size (§5): gather it and
+      // factor redundantly on every rank.
+      dl.direct = factor_coarse(dist_gather_matrix(comm, dl.a));
+      continue;
+    }
+    dl.kind = mo.smoother == mg::SmootherKind::kSymGaussSeidel
+                  ? mg::SmootherKind::kBlockJacobi
+                  : mo.smoother;
+    dl.omega = mo.omega;
+    dl.local_diag = dl.a.local_diagonal_block();
+    switch (dl.kind) {
+      case mg::SmootherKind::kJacobi:
+        dl.inv_diag = la::inverted_diagonal(dl.local_diag);
+        break;
+      case mg::SmootherKind::kChebyshev: {
+        dl.inv_diag = la::inverted_diagonal(dl.local_diag);
+        dl.cheby_degree = std::max(1, mo.cheby_degree);
+        const real lambda = la::estimate_lambda_max(
+            ParxBackend{&comm}, DistCsrOperator(dl.a), dl.inv_diag,
+            dists[l].begin(rank));
+        dl.cheby_lmax = 1.1 * std::max(lambda, real{1e-12});
+        dl.cheby_lmin = dl.cheby_lmax / 30;
+        break;
       }
+      default:
+        dl.blocks = partition::block_jacobi_blocks(
+            graph_of_pattern(dl.local_diag), mo.bj_blocks_per_1000);
+        dl.factors = la::factor_diagonal_blocks(dl.local_diag, dl.blocks);
+        break;
     }
   }
   return h;
@@ -198,67 +222,18 @@ DistHierarchy DistHierarchy::build(parx::Comm& comm,
 
 void dist_vcycle(parx::Comm& comm, const DistHierarchy& h, int level,
                  std::span<const real> b_local, std::span<real> x_local) {
-  const DistMgLevel& lv = h.level(level);
-  if (level + 1 == h.num_levels()) {
-    // Redundant coarse solve: gather, factor-solve locally, keep my slice.
-    const std::vector<real> b_full =
-        dist_gather_all(comm, lv.a.row_dist(), b_local);
-    std::vector<real> x_full(b_full.size());
-    lv.direct->solve(b_full, x_full);
-    const idx b0 = lv.a.row_dist().begin(comm.rank());
-    for (idx i = 0; i < lv.local_n(); ++i) x_local[i] = x_full[b0 + i];
-    return;
-  }
-  const DistMgLevel& coarse = h.level(level + 1);
-
-  for (int s = 0; s < h.pre_smooth; ++s) lv.smooth(comm, b_local, x_local);
-
-  std::vector<real> r(b_local.size());
-  lv.a.spmv(comm, x_local, r);
-  la::waxpby(1, b_local, -1, r, r);
-  std::vector<real> rc(static_cast<std::size_t>(coarse.local_n()));
-  coarse.r.spmv(comm, r, rc);
-
-  std::vector<real> xc(rc.size(), 0);
-  dist_vcycle(comm, h, level + 1, rc, xc);
-
-  std::vector<real> dx(b_local.size());
-  coarse.r.spmv_transpose(comm, xc, dx);
-  la::axpy(1, dx, x_local);
-
-  for (int s = 0; s < h.post_smooth; ++s) lv.smooth(comm, b_local, x_local);
+  mg::vcycle_any(DistCycleView{&comm, &h}, level, b_local, x_local);
 }
 
 std::vector<real> dist_fmg_cycle(parx::Comm& comm, const DistHierarchy& h,
                                  std::span<const real> b_local) {
-  const int nl = h.num_levels();
-  std::vector<std::vector<real>> bs(static_cast<std::size_t>(nl));
-  bs[0].assign(b_local.begin(), b_local.end());
-  for (int l = 1; l < nl; ++l) {
-    bs[l].resize(static_cast<std::size_t>(h.level(l).local_n()));
-    h.level(l).r.spmv(comm, bs[l - 1], bs[l]);
-  }
-  std::vector<real> x(bs[nl - 1].size(), 0);
-  dist_vcycle(comm, h, nl - 1, bs[nl - 1], x);
-  for (int l = nl - 2; l >= 0; --l) {
-    std::vector<real> xf(static_cast<std::size_t>(h.level(l).local_n()));
-    h.level(l + 1).r.spmv_transpose(comm, x, xf);
-    x = std::move(xf);
-    dist_vcycle(comm, h, l, bs[l], x);
-  }
-  return x;
+  return mg::fmg_any(DistCycleView{&comm, &h}, b_local);
 }
 
 void DistMgPreconditioner::apply(parx::Comm& comm,
                                  std::span<const real> x_local,
                                  std::span<real> y_local) const {
-  if (kind_ == mg::CycleKind::kFmg) {
-    const std::vector<real> z = dist_fmg_cycle(comm, *h_, x_local);
-    std::copy(z.begin(), z.end(), y_local.begin());
-  } else {
-    std::fill(y_local.begin(), y_local.end(), real{0});
-    dist_vcycle(comm, *h_, 0, x_local, y_local);
-  }
+  mg::apply_cycle(DistCycleView{&comm, h_}, kind_, x_local, y_local);
 }
 
 la::KrylovResult dist_mg_pcg_solve(parx::Comm& comm, const DistHierarchy& h,
@@ -267,11 +242,8 @@ la::KrylovResult dist_mg_pcg_solve(parx::Comm& comm, const DistHierarchy& h,
                                    const mg::MgSolveOptions& opts) {
   const DistMgPreconditioner precond(h, opts.cycle);
   const DistCsrOperator a(h.level(0).a);
-  la::KrylovOptions kopts;
-  kopts.rtol = opts.rtol;
-  kopts.max_iters = opts.max_iters;
-  kopts.track_history = opts.track_history;
-  return dist_pcg(comm, a, &precond, b_local, x_local, kopts);
+  return dist_pcg(comm, a, &precond, b_local, x_local,
+                  mg::to_krylov_options(opts));
 }
 
 }  // namespace prom::dla

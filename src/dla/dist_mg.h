@@ -1,17 +1,21 @@
-// Distributed multigrid: mirrors a serial mg::Hierarchy across virtual
-// ranks. Dofs at every level are assigned to the rank owning the vertex
-// they derive from (the MIS chain makes coarse vertices fine vertices, so
-// ownership is inherited, exactly as in the paper's Prometheus); each
-// level's operator and restriction are row-distributed, smoothing is
-// processor-block Jacobi, and the constant-size coarsest problem is solved
-// redundantly on every rank (§5).
+// Distributed multigrid: mirrors a serial mg::Hierarchy's *grids* across
+// virtual ranks and performs the matrix setup distributed. Dofs at every
+// level are assigned to the rank owning the vertex they derive from (the
+// MIS chain makes coarse vertices fine vertices, so ownership is
+// inherited, exactly as in the paper's Prometheus); each level's operator
+// is the Galerkin triple product R A R^T computed on row-distributed
+// matrices (dla/dist_setup.h), smoothing is the backend-generic driver of
+// the configured kind (processor-block Jacobi by default), and the
+// constant-size coarsest problem is gathered and solved redundantly on
+// every rank (§5). Per-rank setup work scales with local rows: no rank
+// constructs a global-size operator at any level but the coarsest.
 //
-// The build is replicated (every rank constructs the same permuted global
-// operators and slices out its rows) — see DESIGN.md substitution 1: the
-// setup phases are studied serially, the *solve phase* runs with real
-// per-rank work and message traffic, which is what Figures 10-12 measure.
+// The cycles and PCG are the single backend-generic implementations
+// (mg/cycle_any.h, la/krylov_any.h) instantiated with ParxBackend — this
+// file adds only the CycleView adapter and the level data.
 #pragma once
 
+#include <cstdint>
 #include <memory>
 #include <vector>
 
@@ -26,28 +30,39 @@ namespace prom::dla {
 struct DistMgLevel {
   DistCsr a;   ///< level operator (square, row/col dist identical)
   DistCsr r;   ///< restriction from the finer level (empty on level 0)
-  // Processor-block-Jacobi smoother data over the local diagonal block.
-  la::Csr local_diag;
+
+  // Smoother data over the local rows (kSymGaussSeidel falls back to
+  // processor-block Jacobi — Gauss–Seidel does not parallelize).
+  mg::SmootherKind kind = mg::SmootherKind::kBlockJacobi;
+  la::Csr local_diag;               ///< owned rows x owned cols
+  std::vector<real> inv_diag;       ///< Jacobi / Chebyshev
   std::vector<std::vector<idx>> blocks;
   std::vector<la::DenseLdlt> factors;
   real omega = 0.6;
-  // Coarsest level: replicated dense factorization.
+  int cheby_degree = 3;
+  real cheby_lmin = 0, cheby_lmax = 0;
+
+  // Coarsest level: replicated dense factorization of the gathered
+  // (constant-size) operator; null on single-level hierarchies.
   std::unique_ptr<la::DenseLdlt> direct;
 
   idx local_n() const { return a.local_rows(); }
 
-  /// One damped block-Jacobi smoothing step (collective).
+  /// One smoothing step of the configured kind (collective).
   void smooth(parx::Comm& comm, std::span<const real> b_local,
               std::span<real> x_local) const;
 };
 
 class DistHierarchy {
  public:
-  /// Builds the distributed mirror of `serial`. `fine_vertex_owner` maps
-  /// each fine-mesh vertex to a rank; level-l dof ownership follows the
-  /// MIS parent chain. Collective; deterministic and identical on all
-  /// ranks. The permutations applied per level are retained so solutions
-  /// can be mapped back to the serial ordering.
+  /// Builds the distributed hierarchy from `serial`'s grids and fine
+  /// matrix. `serial` needs grids + restrictions + the level-0 operator
+  /// only (mg::Hierarchy::build_grids suffices; a fully built hierarchy
+  /// also works — its serial coarse operators are simply ignored).
+  /// `fine_vertex_owner` maps each fine-mesh vertex to a rank; level-l dof
+  /// ownership follows the MIS parent chain. Collective; deterministic and
+  /// identical on all ranks. The permutations applied per level are
+  /// retained so solutions can be mapped back to the serial ordering.
   static DistHierarchy build(parx::Comm& comm, const mg::Hierarchy& serial,
                              std::span<const idx> fine_vertex_owner);
 
@@ -57,12 +72,17 @@ class DistHierarchy {
   /// perm[l][new_index] = serial free-dof index at level l.
   const std::vector<idx>& permutation(int l) const { return perms_[l]; }
 
+  /// Flops this rank spent in the distributed Galerkin triple products
+  /// (the matrix-setup scaling quantity: shrinks as ranks grow).
+  std::int64_t galerkin_flops() const { return galerkin_flops_; }
+
   int pre_smooth = 1;
   int post_smooth = 1;
 
  private:
   std::vector<DistMgLevel> levels_;
   std::vector<std::vector<idx>> perms_;
+  std::int64_t galerkin_flops_ = 0;
 };
 
 /// One distributed V-cycle at `level` (collective).

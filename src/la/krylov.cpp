@@ -3,92 +3,23 @@
 #include <cmath>
 
 #include "common/error.h"
+#include "la/krylov_any.h"
 #include "la/vec.h"
 
 namespace prom::la {
-namespace {
-
-// Shared PCG implementation; `m == nullptr` means unpreconditioned.
-KrylovResult pcg_impl(const LinearOperator& a, const LinearOperator* m,
-                      std::span<const real> b, std::span<real> x,
-                      const KrylovOptions& opts) {
-  const idx n = a.rows();
-  PROM_CHECK(a.cols() == n);
-  PROM_CHECK(static_cast<idx>(b.size()) == n &&
-             static_cast<idx>(x.size()) == n);
-
-  KrylovResult result;
-  std::vector<real> r(n), z(n), p(n), ap(n);
-
-  const real bnorm = nrm2(b);
-  if (opts.track_history) result.history.push_back(bnorm);
-  if (bnorm == real{0}) {
-    set_all(x, 0);
-    result.converged = true;
-    return result;
-  }
-
-  // r = b - A x
-  a.apply(x, r);
-  waxpby(1, b, -1, r, r);
-
-  real rnorm = nrm2(r);
-  if (rnorm / bnorm <= opts.rtol) {
-    result.converged = true;
-    result.final_relres = rnorm / bnorm;
-    return result;
-  }
-
-  if (m != nullptr) {
-    m->apply(r, z);
-  } else {
-    copy(r, z);
-  }
-  copy(z, p);
-  real rz = dot(r, z);
-
-  for (int it = 1; it <= opts.max_iters; ++it) {
-    a.apply(p, ap);
-    const real pap = dot(p, ap);
-    if (!std::isfinite(pap) || pap <= 0) {
-      result.breakdown = true;
-      break;
-    }
-    const real alpha = rz / pap;
-    axpy(alpha, p, x);
-    axpy(-alpha, ap, r);
-    rnorm = nrm2(r);
-    if (opts.track_history) result.history.push_back(rnorm);
-    result.iterations = it;
-    if (rnorm / bnorm <= opts.rtol) {
-      result.converged = true;
-      break;
-    }
-    if (m != nullptr) {
-      m->apply(r, z);
-    } else {
-      copy(r, z);
-    }
-    const real rz_new = dot(r, z);
-    const real beta = rz_new / rz;
-    rz = rz_new;
-    aypx(beta, z, p);
-  }
-  result.final_relres = rnorm / bnorm;
-  return result;
-}
-
-}  // namespace
 
 KrylovResult cg(const LinearOperator& a, std::span<const real> b,
                 std::span<real> x, const KrylovOptions& opts) {
-  return pcg_impl(a, nullptr, b, x, opts);
+  PROM_CHECK(a.cols() == a.rows());
+  return pcg_any(SerialBackend{}, a,
+                 static_cast<const LinearOperator*>(nullptr), b, x, opts);
 }
 
 KrylovResult pcg(const LinearOperator& a, const LinearOperator& m,
                  std::span<const real> b, std::span<real> x,
                  const KrylovOptions& opts) {
-  return pcg_impl(a, &m, b, x, opts);
+  PROM_CHECK(a.cols() == a.rows());
+  return pcg_any(SerialBackend{}, a, &m, b, x, opts);
 }
 
 KrylovResult gmres(const LinearOperator& a, const LinearOperator* m,
@@ -124,7 +55,7 @@ KrylovResult gmres(const LinearOperator& a, const LinearOperator* m,
     waxpby(1, b, -1, r, r);
     real rnorm = nrm2(r);
     result.final_relres = rnorm / bnorm;
-    if (rnorm / bnorm <= opts.rtol) {
+    if (krylov_converged(rnorm, bnorm, opts.rtol)) {
       result.converged = true;
       return result;
     }
@@ -181,7 +112,7 @@ KrylovResult gmres(const LinearOperator& a, const LinearOperator* m,
       result.iterations = total_iters;
       rnorm = std::fabs(g[k + 1]);
       if (opts.track_history) result.history.push_back(rnorm);
-      if (rnorm / bnorm <= opts.rtol || subdiag == 0) {
+      if (krylov_converged(rnorm, bnorm, opts.rtol) || subdiag == 0) {
         ++k;
         break;
       }
@@ -204,7 +135,7 @@ KrylovResult gmres(const LinearOperator& a, const LinearOperator* m,
       axpy(1, z, x);
     }
     result.final_relres = rnorm / bnorm;
-    if (rnorm / bnorm <= opts.rtol) {
+    if (krylov_converged(rnorm, bnorm, opts.rtol)) {
       result.converged = true;
       return result;
     }

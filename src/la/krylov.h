@@ -27,6 +27,13 @@ struct KrylovResult {
   std::vector<real> history;  ///< residual norms (if tracked), history[0]=||b||
 };
 
+/// The one relative-residual stopping criterion shared by every Krylov
+/// driver on every backend (serial and parx instantiate the same templated
+/// solver bodies, so tolerances cannot drift between them).
+inline bool krylov_converged(real rnorm, real bnorm, real rtol) {
+  return rnorm / bnorm <= rtol;
+}
+
 /// Unpreconditioned CG for SPD systems; x holds the initial guess on entry
 /// and the solution on exit.
 KrylovResult cg(const LinearOperator& a, std::span<const real> b,

@@ -1,0 +1,93 @@
+// The single preconditioned-conjugate-gradient implementation, templated
+// over an execution backend (la/backend.h). la::cg / la::pcg instantiate
+// it with SerialBackend; dla::dist_pcg instantiates it with ParxBackend —
+// same code, same stopping criterion, only the reductions differ.
+#pragma once
+
+#include <cmath>
+#include <span>
+#include <vector>
+
+#include "common/error.h"
+#include "la/backend.h"
+#include "la/krylov.h"
+#include "la/vec.h"
+
+namespace prom::la {
+
+/// PCG for SPD systems over any backend; `m == nullptr` means
+/// unpreconditioned. `b` and `x` are the local blocks of the distributed
+/// right-hand side and iterate (the whole vectors on SerialBackend); x
+/// holds the initial guess on entry and the solution on exit. On a
+/// collective backend every rank receives the same KrylovResult.
+template <class B, class Op>
+  requires BackendFor<B, Op>
+KrylovResult pcg_any(const B& be, const Op& a, const Op* m,
+                     std::span<const real> b, std::span<real> x,
+                     const KrylovOptions& opts) {
+  const idx n = be.local_n(a);
+  PROM_CHECK(static_cast<idx>(b.size()) == n &&
+             static_cast<idx>(x.size()) == n);
+
+  KrylovResult result;
+  std::vector<real> r(n), z(n), p(n), ap(n);
+
+  const real bnorm = be.norm2(b);
+  if (opts.track_history) result.history.push_back(bnorm);
+  if (bnorm == real{0}) {
+    set_all(x, 0);
+    result.converged = true;
+    return result;
+  }
+
+  // r = b - A x
+  be.apply(a, x, r);
+  waxpby(1, b, -1, r, r);
+
+  real rnorm = be.norm2(r);
+  if (krylov_converged(rnorm, bnorm, opts.rtol)) {
+    result.converged = true;
+    result.final_relres = rnorm / bnorm;
+    return result;
+  }
+
+  if (m != nullptr) {
+    be.apply(*m, r, z);
+  } else {
+    copy(r, z);
+  }
+  copy(z, p);
+  real rz = be.dot(r, z);
+
+  for (int it = 1; it <= opts.max_iters; ++it) {
+    be.apply(a, p, ap);
+    const real pap = be.dot(p, ap);
+    if (!std::isfinite(pap) || pap <= 0) {
+      result.breakdown = true;
+      break;
+    }
+    const real alpha = rz / pap;
+    be.axpy(alpha, p, x);
+    be.axpy(-alpha, ap, r);
+    rnorm = be.norm2(r);
+    if (opts.track_history) result.history.push_back(rnorm);
+    result.iterations = it;
+    if (krylov_converged(rnorm, bnorm, opts.rtol)) {
+      result.converged = true;
+      break;
+    }
+    if (m != nullptr) {
+      be.apply(*m, r, z);
+    } else {
+      copy(r, z);
+    }
+    const real rz_new = be.dot(r, z);
+    const real beta = rz_new / rz;
+    rz = rz_new;
+    aypx(beta, z, p);
+  }
+  result.final_relres = rnorm / bnorm;
+  return result;
+}
+
+}  // namespace prom::la

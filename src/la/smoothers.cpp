@@ -4,15 +4,11 @@
 
 #include "common/error.h"
 #include "common/flops.h"
-#include "common/parallel.h"
+#include "la/operator.h"
+#include "la/smoother_kernels.h"
 #include "la/vec.h"
 
 namespace prom::la {
-namespace {
-
-/// Fixed chunk sizes (see common/parallel.h determinism contract).
-constexpr idx kPointGrain = 8192;  // elementwise updates
-constexpr idx kBlockGrain = 8;     // block-Jacobi blocks
 
 std::vector<real> inverted_diagonal(const Csr& a) {
   std::vector<real> d = a.diagonal();
@@ -23,8 +19,6 @@ std::vector<real> inverted_diagonal(const Csr& a) {
   return d;
 }
 
-}  // namespace
-
 JacobiSmoother::JacobiSmoother(const Csr& a, real omega)
     : a_(&a), omega_(omega), inv_diag_(inverted_diagonal(a)) {
   PROM_CHECK(a.nrows == a.ncols);
@@ -32,17 +26,7 @@ JacobiSmoother::JacobiSmoother(const Csr& a, real omega)
 
 void JacobiSmoother::smooth(std::span<const real> b,
                             std::span<real> x) const {
-  const idx n = a_->nrows;
-  PROM_CHECK(static_cast<idx>(b.size()) == n &&
-             static_cast<idx>(x.size()) == n);
-  std::vector<real> r(n);
-  a_->spmv(x, r);
-  common::parallel_for(0, n, kPointGrain, [&](idx ib, idx ie) {
-    for (idx i = ib; i < ie; ++i) {
-      x[i] += omega_ * inv_diag_[i] * (b[i] - r[i]);
-    }
-  });
-  count_flops(4LL * n);
+  jacobi_sweep(SerialBackend{}, CsrOperator(*a_), inv_diag_, omega_, b, x);
 }
 
 SymmetricGaussSeidel::SymmetricGaussSeidel(const Csr& a)
@@ -50,6 +34,10 @@ SymmetricGaussSeidel::SymmetricGaussSeidel(const Csr& a)
   PROM_CHECK(a.nrows == a.ncols);
 }
 
+// Gauss–Seidel is inherently sequential (each row update reads the
+// previous ones), so it stays a serial-only baseline with no backend-
+// generic driver; the distributed hierarchy substitutes processor-block
+// Jacobi, exactly as the paper's parallel smoother does.
 void SymmetricGaussSeidel::smooth(std::span<const real> b,
                                   std::span<real> x) const {
   const idx n = a_->nrows;
@@ -85,25 +73,37 @@ BlockJacobiSmoother::BlockJacobiSmoother(const Csr& a,
     }
   }
   PROM_CHECK_MSG(total == a.nrows, "block Jacobi blocks must cover all rows");
+  factors_ = factor_diagonal_blocks(a, blocks_);
+}
 
-  factors_.reserve(blocks_.size());
-  for (const auto& block : blocks_) {
+void BlockJacobiSmoother::smooth(std::span<const real> b,
+                                 std::span<real> x) const {
+  block_jacobi_sweep(SerialBackend{}, CsrOperator(*a_), blocks_, factors_,
+                     omega_, b, x);
+}
+
+std::vector<DenseLdlt> factor_diagonal_blocks(
+    const Csr& a, std::span<const std::vector<idx>> blocks) {
+  std::vector<DenseLdlt> factors;
+  factors.reserve(blocks.size());
+  std::vector<idx> local_of(static_cast<std::size_t>(a.nrows), kInvalidIdx);
+  for (const auto& block : blocks) {
     const idx bn = static_cast<idx>(block.size());
     // Gather the dense diagonal block. Blocks are small (≈ 170 unknowns at
     // the paper's 6-per-1000 density), so dense extraction is fine.
-    std::vector<idx> local_of(static_cast<std::size_t>(a.nrows), kInvalidIdx);
     for (idx li = 0; li < bn; ++li) local_of[block[li]] = li;
     DenseMatrix blk(bn, bn);
     real max_diag = 0;
     for (idx li = 0; li < bn; ++li) {
       const idx gi = block[li];
       for (nnz_t k = a.rowptr[gi]; k < a.rowptr[gi + 1]; ++k) {
+        if (a.colidx[k] >= a.nrows) continue;  // ghost column (dist levels)
         const idx lj = local_of[a.colidx[k]];
         if (lj != kInvalidIdx) blk(li, lj) = a.vals[k];
         if (a.colidx[k] == gi) max_diag = std::max(max_diag, a.vals[k]);
       }
     }
-    factors_.emplace_back(blk);
+    factors.emplace_back(blk);
     // A diagonal block of an SPD matrix is SPD in exact arithmetic, but
     // ill-conditioned (or, inside Newton, mildly indefinite) operators can
     // defeat the unpivoted LDL^T. Escalate a relative diagonal shift until
@@ -111,42 +111,15 @@ BlockJacobiSmoother::BlockJacobiSmoother(const Csr& a,
     // fallback (cf. PETSc's pc_factor_shift); a strongly shifted block
     // degrades the smoother, never correctness.
     if (max_diag <= 0) max_diag = 1;
-    for (real shift = 1e-12 * max_diag; !factors_.back().ok(); shift *= 10) {
+    for (real shift = 1e-12 * max_diag; !factors.back().ok(); shift *= 10) {
       DenseMatrix shifted = blk;
       for (idx li = 0; li < bn; ++li) shifted(li, li) += shift;
-      factors_.back() = DenseLdlt(shifted);
+      factors.back() = DenseLdlt(shifted);
       PROM_CHECK_MSG(shift < 1e30, "block Jacobi shift escalation failed");
     }
+    for (idx li = 0; li < bn; ++li) local_of[block[li]] = kInvalidIdx;
   }
-}
-
-void BlockJacobiSmoother::smooth(std::span<const real> b,
-                                 std::span<real> x) const {
-  const idx n = a_->nrows;
-  PROM_CHECK(static_cast<idx>(b.size()) == n &&
-             static_cast<idx>(x.size()) == n);
-  std::vector<real> r(n);
-  a_->spmv(x, r);
-  waxpby(1, b, -1, r, r);  // r = b - A x
-  // Blocks partition the rows, so block solves write disjoint slices of x
-  // and parallelize without ordering concerns.
-  common::parallel_for(
-      0, static_cast<idx>(blocks_.size()), kBlockGrain, [&](idx kb, idx ke) {
-        std::vector<real> rb, xb;
-        for (idx k = kb; k < ke; ++k) {
-          const auto& block = blocks_[k];
-          rb.resize(block.size());
-          xb.resize(block.size());
-          for (std::size_t li = 0; li < block.size(); ++li) {
-            rb[li] = r[block[li]];
-          }
-          factors_[k].solve(rb, xb);
-          for (std::size_t li = 0; li < block.size(); ++li) {
-            x[block[li]] += omega_ * xb[li];
-          }
-        }
-      });
-  count_flops(2LL * n);
+  return factors;
 }
 
 ChebyshevSmoother::ChebyshevSmoother(const Csr& a, int degree,
@@ -154,53 +127,16 @@ ChebyshevSmoother::ChebyshevSmoother(const Csr& a, int degree,
     : a_(&a), degree_(std::max(1, degree)),
       inv_diag_(inverted_diagonal(a)) {
   PROM_CHECK(a.nrows == a.ncols);
-  // Power iteration on D^{-1}A for the largest eigenvalue.
-  const idx n = a.nrows;
-  std::vector<real> v(static_cast<std::size_t>(n)), av(v.size());
-  for (idx i = 0; i < n; ++i) v[i] = 1 + (i % 7) * 0.1;  // deterministic
-  real lambda = 1;
-  for (int it = 0; it < 15; ++it) {
-    a.spmv(v, av);
-    for (idx i = 0; i < n; ++i) av[i] *= inv_diag_[i];
-    lambda = nrm2(av);
-    if (lambda == 0) break;
-    for (idx i = 0; i < n; ++i) v[i] = av[i] / lambda;
-  }
+  const real lambda = estimate_lambda_max(SerialBackend{}, CsrOperator(a),
+                                          inv_diag_, /*row_offset=*/0);
   lmax_ = 1.1 * std::max(lambda, real{1e-12});
   lmin_ = lmax_ / eig_ratio;
 }
 
 void ChebyshevSmoother::smooth(std::span<const real> b,
                                std::span<real> x) const {
-  const idx n = a_->nrows;
-  PROM_CHECK(static_cast<idx>(b.size()) == n &&
-             static_cast<idx>(x.size()) == n);
-  const real theta = (lmax_ + lmin_) / 2;
-  const real delta = (lmax_ - lmin_) / 2;
-  const real sigma = theta / delta;
-  real rho = 1 / sigma;
-
-  std::vector<real> r(n), d(n), ad(n);
-  a_->spmv(x, r);
-  waxpby(1, b, -1, r, r);
-  common::parallel_for(0, n, kPointGrain, [&](idx ib, idx ie) {
-    for (idx i = ib; i < ie; ++i) d[i] = inv_diag_[i] * r[i] / theta;
-  });
-  for (int k = 0; k < degree_; ++k) {
-    axpy(1, d, x);
-    if (k + 1 == degree_) break;
-    a_->spmv(d, ad);
-    axpy(-1, ad, r);
-    const real rho_new = 1 / (2 * sigma - rho);
-    common::parallel_for(0, n, kPointGrain, [&](idx ib, idx ie) {
-      for (idx i = ib; i < ie; ++i) {
-        const real zi = inv_diag_[i] * r[i];
-        d[i] = rho_new * rho * d[i] + 2 * rho_new / delta * zi;
-      }
-    });
-    rho = rho_new;
-    count_flops(6LL * n);
-  }
+  chebyshev_sweep(SerialBackend{}, CsrOperator(*a_), inv_diag_, degree_,
+                  lmin_, lmax_, b, x);
 }
 
 std::vector<std::vector<idx>> contiguous_blocks(idx n, idx nblocks) {

@@ -100,4 +100,17 @@ class ChebyshevSmoother final : public Smoother {
 /// the fallback when no graph partitioner is supplied.
 std::vector<std::vector<idx>> contiguous_blocks(idx n, idx nblocks);
 
+/// 1 / diag(a), checked nonzero — the diagonal scaling every point-wise
+/// smoother needs (also used by the distributed levels on their local
+/// diagonal blocks).
+std::vector<real> inverted_diagonal(const Csr& a);
+
+/// Extracts and factors (dense LDL^T, with diagonal-shift escalation for
+/// non-SPD blocks) the diagonal blocks of `a` listed in `blocks` — shared
+/// by the serial BlockJacobiSmoother and the distributed processor-block
+/// smoothers. Columns >= a.nrows (ghost columns of a distributed local
+/// matrix) are ignored.
+std::vector<DenseLdlt> factor_diagonal_blocks(
+    const Csr& a, std::span<const std::vector<idx>> blocks);
+
 }  // namespace prom::la

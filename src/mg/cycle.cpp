@@ -1,72 +1,27 @@
 #include "mg/cycle.h"
 
-#include "common/error.h"
-#include "la/vec.h"
-
 namespace prom::mg {
+
+void HierarchyCycleView::coarse_solve(std::span<const real> b,
+                                      std::span<real> x) const {
+  const MgLevel& lv = h->level(h->num_levels() - 1);
+  if (lv.sparse_direct != nullptr) {
+    lv.sparse_direct->solve(b, x);
+  } else if (lv.direct != nullptr) {
+    lv.direct->solve(b, x);
+  } else {
+    // Single-level hierarchy: a few smoothing steps stand in.
+    for (int s = 0; s < 4; ++s) lv.smoother->smooth(b, x);
+  }
+}
 
 void vcycle(const Hierarchy& h, int level, std::span<const real> b,
             std::span<real> x) {
-  const MgLevel& lv = h.level(level);
-  PROM_CHECK(static_cast<idx>(b.size()) == lv.a.nrows &&
-             static_cast<idx>(x.size()) == lv.a.nrows);
-
-  if (level + 1 == h.num_levels()) {
-    if (lv.sparse_direct != nullptr) {
-      lv.sparse_direct->solve(b, x);
-    } else if (lv.direct != nullptr) {
-      lv.direct->solve(b, x);
-    } else {
-      // Single-level hierarchy: a few smoothing steps stand in.
-      for (int s = 0; s < 4; ++s) lv.smoother->smooth(b, x);
-    }
-    return;
-  }
-
-  const MgLevel& coarse = h.level(level + 1);
-  const MgOptions& opts = h.options();
-
-  for (int s = 0; s < opts.pre_smooth; ++s) lv.smoother->smooth(b, x);
-
-  // Residual and its restriction.
-  std::vector<real> r(b.size());
-  lv.a.spmv(x, r);
-  la::waxpby(1, b, -1, r, r);
-  std::vector<real> rc(static_cast<std::size_t>(coarse.a.nrows));
-  coarse.r.spmv(r, rc);
-
-  // Coarse-grid correction.
-  std::vector<real> xc(rc.size(), 0);
-  vcycle(h, level + 1, rc, xc);
-
-  // Prolongate (R^T) and add.
-  std::vector<real> dx(x.size());
-  coarse.r.spmv_transpose(xc, dx);
-  la::axpy(1, dx, x);
-
-  for (int s = 0; s < opts.post_smooth; ++s) lv.smoother->smooth(b, x);
+  vcycle_any(HierarchyCycleView{&h}, level, b, x);
 }
 
 std::vector<real> fmg_cycle(const Hierarchy& h, std::span<const real> b) {
-  const int nl = h.num_levels();
-  // Restrict the right-hand side to every level.
-  std::vector<std::vector<real>> bs(static_cast<std::size_t>(nl));
-  bs[0].assign(b.begin(), b.end());
-  for (int l = 1; l < nl; ++l) {
-    bs[l].resize(static_cast<std::size_t>(h.level(l).a.nrows));
-    h.level(l).r.spmv(bs[l - 1], bs[l]);
-  }
-
-  // Coarsest solve, then work upward: prolongate and V-cycle at each grid.
-  std::vector<real> x(bs[nl - 1].size(), 0);
-  vcycle(h, nl - 1, bs[nl - 1], x);
-  for (int l = nl - 2; l >= 0; --l) {
-    std::vector<real> xf(static_cast<std::size_t>(h.level(l).a.nrows));
-    h.level(l + 1).r.spmv_transpose(x, xf);
-    x = std::move(xf);
-    vcycle(h, l, bs[l], x);
-  }
-  return x;
+  return fmg_any(HierarchyCycleView{&h}, b);
 }
 
 }  // namespace prom::mg

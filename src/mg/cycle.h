@@ -1,19 +1,43 @@
-// Multigrid cycles: the V-cycle of Figure 1 and the full multigrid (FMG)
-// cycle the paper uses in its numerical experiments ("one full multigrid
-// cycle applies the V-cycle to each grid, starting with the coarsest").
+// Serial instantiation of the backend-generic multigrid cycles
+// (mg/cycle_any.h): HierarchyCycleView adapts mg::Hierarchy to the
+// CycleView concept, and vcycle / fmg_cycle keep their original
+// signatures as thin wrappers.
 #pragma once
 
 #include <span>
 #include <vector>
 
 #include "common/config.h"
+#include "mg/cycle_any.h"
 #include "mg/hierarchy.h"
 
 namespace prom::mg {
 
-/// One V-cycle at `level` for A_level x = b, improving x in place
-/// (Figure 1 of the paper: pre-smooth, restrict residual, recurse,
-/// prolongate correction, post-smooth; direct solve on the coarsest grid).
+/// Adapts the serial Hierarchy (with built operators and smoothers) to the
+/// generic cycle templates.
+struct HierarchyCycleView {
+  const Hierarchy* h;
+
+  int num_levels() const { return h->num_levels(); }
+  idx local_n(int l) const { return h->level(l).a.nrows; }
+  int pre_smooth() const { return h->options().pre_smooth; }
+  int post_smooth() const { return h->options().post_smooth; }
+  void smooth(int l, std::span<const real> b, std::span<real> x) const {
+    h->level(l).smoother->smooth(b, x);
+  }
+  void apply_a(int l, std::span<const real> x, std::span<real> y) const {
+    h->level(l).a.spmv(x, y);
+  }
+  void restrict_to(int l, std::span<const real> xf, std::span<real> xc) const {
+    h->level(l).r.spmv(xf, xc);
+  }
+  void prolong(int l, std::span<const real> xc, std::span<real> xf) const {
+    h->level(l).r.spmv_transpose(xc, xf);
+  }
+  void coarse_solve(std::span<const real> b, std::span<real> x) const;
+};
+
+/// One V-cycle at `level` for A_level x = b, improving x in place.
 void vcycle(const Hierarchy& h, int level, std::span<const real> b,
             std::span<real> x);
 

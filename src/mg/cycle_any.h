@@ -1,0 +1,115 @@
+// The single V-cycle / full-multigrid implementation, templated over a
+// CycleView — a thin adapter exposing one multigrid hierarchy's levels as
+// local-block operations. The serial mg::Hierarchy and the distributed
+// dla::DistHierarchy both provide a view, so Figure 1's algorithm exists
+// exactly once; only the level operations (smooth, SpMV, restriction,
+// coarse solve) know whether they communicate.
+#pragma once
+
+#include <algorithm>
+#include <concepts>
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "common/config.h"
+#include "common/error.h"
+#include "la/vec.h"
+
+namespace prom::mg {
+
+enum class CycleKind : std::uint8_t { kV, kFmg };
+
+/// What the cycle templates require of a hierarchy view. All vectors are
+/// the local blocks of level vectors (the whole vectors on the serial
+/// view); `restrict_to(l, xf, xc)` applies level l's restriction R_l to a
+/// level l-1 vector, `prolong(l, xc, xf)` applies R_l^T (overwrite), and
+/// `coarse_solve` solves on the coarsest level.
+template <class V>
+concept CycleView = requires(const V& h, int l, std::span<const real> c,
+                             std::span<real> m) {
+  { h.num_levels() } -> std::convertible_to<int>;
+  { h.local_n(l) } -> std::convertible_to<idx>;
+  { h.pre_smooth() } -> std::convertible_to<int>;
+  { h.post_smooth() } -> std::convertible_to<int>;
+  h.smooth(l, c, m);
+  h.apply_a(l, c, m);
+  h.restrict_to(l, c, m);
+  h.prolong(l, c, m);
+  h.coarse_solve(c, m);
+};
+
+/// One V-cycle at `level` for A_level x = b, improving x in place
+/// (Figure 1 of the paper: pre-smooth, restrict residual, recurse,
+/// prolongate correction, post-smooth; direct solve on the coarsest grid).
+template <CycleView V>
+void vcycle_any(const V& h, int level, std::span<const real> b,
+                std::span<real> x) {
+  PROM_CHECK(static_cast<idx>(b.size()) == h.local_n(level) &&
+             static_cast<idx>(x.size()) == h.local_n(level));
+
+  if (level + 1 == h.num_levels()) {
+    h.coarse_solve(b, x);
+    return;
+  }
+
+  for (int s = 0; s < h.pre_smooth(); ++s) h.smooth(level, b, x);
+
+  // Residual and its restriction.
+  std::vector<real> r(b.size());
+  h.apply_a(level, x, r);
+  la::waxpby(1, b, -1, r, r);
+  std::vector<real> rc(static_cast<std::size_t>(h.local_n(level + 1)));
+  h.restrict_to(level + 1, r, rc);
+
+  // Coarse-grid correction.
+  std::vector<real> xc(rc.size(), 0);
+  vcycle_any(h, level + 1, rc, xc);
+
+  // Prolongate (R^T) and add.
+  std::vector<real> dx(x.size());
+  h.prolong(level + 1, xc, dx);
+  la::axpy(1, dx, x);
+
+  for (int s = 0; s < h.post_smooth(); ++s) h.smooth(level, b, x);
+}
+
+/// One full multigrid cycle for A_0 x = b starting from zero; returns x.
+template <CycleView V>
+std::vector<real> fmg_any(const V& h, std::span<const real> b) {
+  const int nl = h.num_levels();
+  // Restrict the right-hand side to every level.
+  std::vector<std::vector<real>> bs(static_cast<std::size_t>(nl));
+  bs[0].assign(b.begin(), b.end());
+  for (int l = 1; l < nl; ++l) {
+    bs[l].resize(static_cast<std::size_t>(h.local_n(l)));
+    h.restrict_to(l, bs[l - 1], bs[l]);
+  }
+
+  // Coarsest solve, then work upward: prolongate and V-cycle at each grid.
+  std::vector<real> x(bs[nl - 1].size(), 0);
+  vcycle_any(h, nl - 1, bs[nl - 1], x);
+  for (int l = nl - 2; l >= 0; --l) {
+    std::vector<real> xf(static_cast<std::size_t>(h.local_n(l)));
+    h.prolong(l + 1, x, xf);
+    x = std::move(xf);
+    vcycle_any(h, l, bs[l], x);
+  }
+  return x;
+}
+
+/// One cycle of the requested kind as a preconditioner application
+/// y = M^{-1} x (the MG-PCG preconditioner body on every backend).
+template <CycleView V>
+void apply_cycle(const V& h, CycleKind kind, std::span<const real> x,
+                 std::span<real> y) {
+  if (kind == CycleKind::kFmg) {
+    const std::vector<real> z = fmg_any(h, x);
+    std::copy(z.begin(), z.end(), y.begin());
+  } else {
+    std::fill(y.begin(), y.end(), real{0});
+    vcycle_any(h, 0, x, y);
+  }
+}
+
+}  // namespace prom::mg

@@ -45,6 +45,14 @@ std::unique_ptr<la::Smoother> make_smoother(const la::Csr& a,
 
 Hierarchy Hierarchy::build(const mesh::Mesh& mesh, const fem::DofMap& dofmap,
                            la::Csr a_fine, const MgOptions& opts) {
+  Hierarchy h = build_grids(mesh, dofmap, std::move(a_fine), opts);
+  h.build_operators();
+  return h;
+}
+
+Hierarchy Hierarchy::build_grids(const mesh::Mesh& mesh,
+                                 const fem::DofMap& dofmap, la::Csr a_fine,
+                                 const MgOptions& opts) {
   PROM_CHECK(dofmap.num_vertices() == mesh.num_vertices());
   PROM_CHECK(a_fine.nrows == dofmap.num_free() &&
              a_fine.ncols == dofmap.num_free());
@@ -117,7 +125,6 @@ Hierarchy Hierarchy::build(const mesh::Mesh& mesh, const fem::DofMap& dofmap,
     dof_free = std::move(coarse_dof_free);
   }
 
-  h.build_operators();
   return h;
 }
 
@@ -151,6 +158,12 @@ void Hierarchy::update_fine_matrix(la::Csr a_fine) {
   PROM_CHECK(a_fine.nrows == levels_[0].a.nrows);
   levels_[0].a = std::move(a_fine);
   build_operators();
+}
+
+void Hierarchy::set_fine_matrix(la::Csr a_fine) {
+  PROM_CHECK(!levels_.empty());
+  PROM_CHECK(a_fine.nrows == levels_[0].a.nrows);
+  levels_[0].a = std::move(a_fine);
 }
 
 void Hierarchy::build_operators() {

@@ -75,6 +75,15 @@ class Hierarchy {
   static Hierarchy build(const mesh::Mesh& mesh, const fem::DofMap& dofmap,
                          la::Csr a_fine, const MgOptions& opts = {});
 
+  /// Grids-only build (the "mesh setup" phase alone): coarse grids and
+  /// restriction operators, but no Galerkin coarse operators, smoothers,
+  /// or coarse factorization — those are the *matrix setup* phase, which
+  /// the distributed path (dla::DistHierarchy) performs row-distributed.
+  /// The fine matrix is kept (it seeds the distributed chain).
+  static Hierarchy build_grids(const mesh::Mesh& mesh,
+                               const fem::DofMap& dofmap, la::Csr a_fine,
+                               const MgOptions& opts = {});
+
   /// Builds a hierarchy from an explicit operator/restriction chain
   /// (restrictions[l] maps level l free dofs -> level l+1); used by the
   /// algebraic (smoothed aggregation) coarsening, which produces its own
@@ -87,6 +96,11 @@ class Hierarchy {
   /// Galerkin chain, smoothers and coarse factorization on the *same*
   /// grids — the paper's "matrix setup" phase, paid once per Newton step.
   void update_fine_matrix(la::Csr a_fine);
+
+  /// Replaces the fine operator only, leaving serial matrix setup to the
+  /// distributed path (Newton with dist_ranks > 0 rebuilds the Galerkin
+  /// chain row-distributed from this matrix each iteration).
+  void set_fine_matrix(la::Csr a_fine);
 
   int num_levels() const { return static_cast<int>(levels_.size()); }
   const MgLevel& level(int l) const { return levels_[l]; }

@@ -1,31 +1,17 @@
 #include "mg/solver.h"
 
-#include <algorithm>
-
-#include "common/error.h"
-
 namespace prom::mg {
 
 void MgPreconditioner::apply(std::span<const real> x,
                              std::span<real> y) const {
-  if (kind_ == CycleKind::kFmg) {
-    const std::vector<real> z = fmg_cycle(*h_, x);
-    std::copy(z.begin(), z.end(), y.begin());
-  } else {
-    std::fill(y.begin(), y.end(), real{0});
-    vcycle(*h_, 0, x, y);
-  }
+  apply_cycle(HierarchyCycleView{h_}, kind_, x, y);
 }
 
 la::KrylovResult mg_pcg_solve(const Hierarchy& h, std::span<const real> b,
                               std::span<real> x, const MgSolveOptions& opts) {
   const MgPreconditioner precond(h, opts.cycle);
   const la::CsrOperator a(h.level(0).a);
-  la::KrylovOptions kopts;
-  kopts.rtol = opts.rtol;
-  kopts.max_iters = opts.max_iters;
-  kopts.track_history = opts.track_history;
-  return la::pcg(a, precond, b, x, kopts);
+  return la::pcg(a, precond, b, x, to_krylov_options(opts));
 }
 
 }  // namespace prom::mg

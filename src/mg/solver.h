@@ -1,6 +1,7 @@
 // The paper's solver: conjugate gradient preconditioned with one multigrid
 // cycle (§7.2: "preconditioned conjugate gradient (PCG), preconditioned
-// with one 'full' multigrid cycle").
+// with one 'full' multigrid cycle"). CycleKind lives in mg/cycle_any.h
+// with the backend-generic cycle templates.
 #pragma once
 
 #include <span>
@@ -11,8 +12,6 @@
 #include "mg/hierarchy.h"
 
 namespace prom::mg {
-
-enum class CycleKind : std::uint8_t { kV, kFmg };
 
 /// Adapts one multigrid cycle to the preconditioner interface.
 class MgPreconditioner final : public la::LinearOperator {
@@ -35,6 +34,18 @@ struct MgSolveOptions {
   CycleKind cycle = CycleKind::kFmg;
   bool track_history = false;
 };
+
+/// The single MgSolveOptions -> KrylovOptions mapping, shared by the
+/// serial and distributed MG-PCG drivers so the stopping criterion cannot
+/// drift between backends (both feed la::pcg_any, which applies
+/// la::krylov_converged).
+inline la::KrylovOptions to_krylov_options(const MgSolveOptions& opts) {
+  la::KrylovOptions kopts;
+  kopts.rtol = opts.rtol;
+  kopts.max_iters = opts.max_iters;
+  kopts.track_history = opts.track_history;
+  return kopts;
+}
 
 /// Solves A_0 x = b with MG-preconditioned CG; x holds the initial guess.
 la::KrylovResult mg_pcg_solve(const Hierarchy& h, std::span<const real> b,

@@ -5,7 +5,10 @@
 
 #include "common/error.h"
 #include "common/log.h"
+#include "dla/dist_mg.h"
 #include "la/vec.h"
+#include "partition/rcb.h"
+#include "parx/runtime.h"
 
 namespace prom::nonlinear {
 
@@ -14,11 +17,46 @@ NewtonDriver::NewtonDriver(fem::FeProblem& problem,
                            const NewtonOptions& opts)
     : problem_(&problem), opts_(opts) {
   // Mesh setup (grids + restriction operators), paid once: built from the
-  // unloaded tangent, which is SPD by construction.
+  // unloaded tangent, which is SPD by construction. In distributed mode
+  // the serial matrix setup is skipped entirely — every per-iteration
+  // Galerkin chain is built row-distributed from the fine tangent.
   fem::LinearSystem sys = fem::assemble_linear_system(problem);
-  hierarchy_ = mg::Hierarchy::build(problem.mesh(), problem.dofmap(),
-                                    std::move(sys.stiffness), mg_opts);
+  if (opts_.dist_ranks > 0) {
+    hierarchy_ = mg::Hierarchy::build_grids(problem.mesh(), problem.dofmap(),
+                                            std::move(sys.stiffness), mg_opts);
+    vertex_owner_ = partition::rcb_partition(problem.mesh().coords(),
+                                             opts_.dist_ranks);
+  } else {
+    hierarchy_ = mg::Hierarchy::build(problem.mesh(), problem.dofmap(),
+                                      std::move(sys.stiffness), mg_opts);
+  }
   u_free_.assign(static_cast<std::size_t>(problem.dofmap().num_free()), 0);
+}
+
+la::KrylovResult NewtonDriver::solve_linear_distributed(
+    std::span<const real> rhs, std::span<real> dx,
+    const mg::MgSolveOptions& so) {
+  la::KrylovResult result;
+  parx::Runtime::run(opts_.dist_ranks, [&](parx::Comm& comm) {
+    // Matrix setup, distributed: the Galerkin chain, smoothers, and
+    // coarse factorization for the current tangent.
+    const dla::DistHierarchy dist =
+        dla::DistHierarchy::build(comm, hierarchy_, vertex_owner_);
+    const auto& perm = dist.permutation(0);
+    const dla::RowDist& rows = dist.level(0).a.row_dist();
+    const idx b0 = rows.begin(comm.rank());
+    const idx nloc = rows.local_size(comm.rank());
+    std::vector<real> b_local(static_cast<std::size_t>(nloc));
+    std::vector<real> x_local(static_cast<std::size_t>(nloc), 0);
+    for (idx i = 0; i < nloc; ++i) b_local[i] = rhs[perm[b0 + i]];
+    const la::KrylovResult lin =
+        dla::dist_mg_pcg_solve(comm, dist, b_local, x_local, so);
+    // Ranks own disjoint index ranges, so the scatter back to the serial
+    // ordering is race-free; the result is identical on every rank.
+    for (idx i = 0; i < nloc; ++i) dx[perm[b0 + i]] = x_local[i];
+    if (comm.rank() == 0) result = lin;
+  });
+  return result;
 }
 
 NewtonStepReport NewtonDriver::solve_step(real bc_scale) {
@@ -62,8 +100,13 @@ NewtonStepReport NewtonDriver::solve_step(real bc_scale) {
     }
     prev_rnorm = rnorm;
 
-    // Matrix setup: new Galerkin chain + smoothers on the fixed grids.
-    hierarchy_.update_fine_matrix(std::move(asmres.stiffness));
+    // Matrix setup: new Galerkin chain + smoothers on the fixed grids
+    // (performed inside the distributed build in dist mode).
+    if (opts_.dist_ranks > 0) {
+      hierarchy_.set_fine_matrix(std::move(asmres.stiffness));
+    } else {
+      hierarchy_.update_fine_matrix(std::move(asmres.stiffness));
+    }
     ++matrix_setups_;
 
     // Linear solve for the increment.
@@ -72,8 +115,10 @@ NewtonStepReport NewtonDriver::solve_step(real bc_scale) {
     so.rtol = rtol;
     so.max_iters = opts_.max_linear_iters;
     so.cycle = opts_.cycle;
-    la::KrylovResult lin = mg::mg_pcg_solve(hierarchy_, rhs, dx, so);
-    if (lin.breakdown && opts_.gmres_fallback) {
+    la::KrylovResult lin = opts_.dist_ranks > 0
+                               ? solve_linear_distributed(rhs, dx, so)
+                               : mg::mg_pcg_solve(hierarchy_, rhs, dx, so);
+    if (lin.breakdown && opts_.gmres_fallback && opts_.dist_ranks == 0) {
       // Indefinite tangent: restarted GMRES with the same FMG
       // preconditioner still produces a usable Newton direction.
       std::fill(dx.begin(), dx.end(), real{0});

@@ -38,6 +38,12 @@ struct NewtonOptions {
   /// layer, where a finite-deformation tangent can lose positive
   /// definiteness; the converged-state tangent is SPD.
   bool initial_stiffness_first_iter = true;
+  /// > 0: run each Newton linear solve distributed over this many virtual
+  /// ranks — per-iteration matrix setup (the Galerkin chain + smoothers)
+  /// is then the row-distributed dla::DistHierarchy::build, reusing the
+  /// serially-built grids. 0 keeps the serial path. The GMRES breakdown
+  /// fallback is serial-only and is skipped in distributed mode.
+  int dist_ranks = 0;
 };
 
 struct NewtonStepReport {
@@ -76,10 +82,18 @@ class NewtonDriver {
   int matrix_setups() const { return matrix_setups_; }
 
  private:
+  /// Distributed linear solve: builds the per-tangent DistHierarchy on
+  /// opts_.dist_ranks virtual ranks and runs distributed MG-PCG; `dx` is
+  /// scattered back to the serial ordering.
+  la::KrylovResult solve_linear_distributed(std::span<const real> rhs,
+                                            std::span<real> dx,
+                                            const mg::MgSolveOptions& so);
+
   fem::FeProblem* problem_;
   NewtonOptions opts_;
   mg::Hierarchy hierarchy_;
   std::vector<real> u_free_;
+  std::vector<idx> vertex_owner_;  ///< fine-mesh partition (dist mode)
   real committed_scale_ = 0;
   int matrix_setups_ = 0;
 };

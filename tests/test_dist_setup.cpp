@@ -1,0 +1,109 @@
+// Distributed matrix setup (dla/dist_setup.h + DistHierarchy::build): the
+// Galerkin triple products run on row-distributed matrices, so the work
+// any one rank performs must *shrink* as ranks are added to a fixed mesh —
+// the scalability claim the replicated setup could not make — and no rank
+// may hold a global-size operator.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+#include "app/driver.h"
+#include "dla/dist_mg.h"
+#include "dla/dist_setup.h"
+#include "fem/assembly.h"
+#include "la/csr.h"
+#include "mg/hierarchy.h"
+#include "partition/rcb.h"
+#include "parx/runtime.h"
+
+namespace prom::dla {
+namespace {
+
+struct Fixture {
+  mg::Hierarchy hierarchy;
+  std::vector<Vec3> coords;
+};
+
+Fixture build_fixture(idx n) {
+  const app::ModelProblem p = app::make_box_problem(n);
+  fem::FeProblem fe(p.mesh, p.materials, p.dofmap);
+  fem::LinearSystem sys = fem::assemble_linear_system(fe);
+  mg::MgOptions mo;
+  mo.coarsest_max_dofs = 60;
+  Fixture out;
+  out.coords.assign(p.mesh.coords().begin(), p.mesh.coords().end());
+  out.hierarchy = mg::Hierarchy::build_grids(p.mesh, p.dofmap,
+                                             std::move(sys.stiffness), mo);
+  return out;
+}
+
+/// Max-over-ranks Galerkin flops for one distributed setup; also checks
+/// that with p > 1 every level's rows are genuinely split across ranks.
+std::int64_t max_rank_galerkin_flops(const Fixture& fx, int p) {
+  const std::vector<idx> owner = partition::rcb_partition(fx.coords, p);
+  std::vector<std::int64_t> flops(static_cast<std::size_t>(p), 0);
+  parx::Runtime::run(p, [&](parx::Comm& comm) {
+    const DistHierarchy dist = DistHierarchy::build(comm, fx.hierarchy, owner);
+    flops[comm.rank()] = dist.galerkin_flops();
+    for (int l = 0; l < dist.num_levels(); ++l) {
+      const DistCsr& a = dist.level(l).a;
+      EXPECT_EQ(a.local_rows(), a.row_dist().local_size(comm.rank()));
+      if (p > 1) {
+        // No rank constructs a global-size operator at any level.
+        EXPECT_LT(a.local_rows(), a.row_dist().global_size()) << "level " << l;
+      }
+    }
+  });
+  return *std::max_element(flops.begin(), flops.end());
+}
+
+TEST(DistSetup, PerRankGalerkinFlopsShrinkWithRanks) {
+  const Fixture fx = build_fixture(8);
+  ASSERT_GE(fx.hierarchy.num_levels(), 2);
+  const std::int64_t f1 = max_rank_galerkin_flops(fx, 1);
+  const std::int64_t f2 = max_rank_galerkin_flops(fx, 2);
+  const std::int64_t f4 = max_rank_galerkin_flops(fx, 4);
+  ASSERT_GT(f1, 0);
+  // Strict monotone decrease, and real (not merely epsilon) savings: the
+  // busiest of 4 ranks does well under the whole single-rank product.
+  EXPECT_LT(f2, f1);
+  EXPECT_LT(f4, f2);
+  EXPECT_LT(f4, (3 * f1) / 4);
+}
+
+TEST(DistSetup, OneRankMatchesSerialTripleProduct) {
+  // On one rank the distributed triple product is the serial one: same
+  // operator entries level by level as the serially built hierarchy.
+  const app::ModelProblem p = app::make_box_problem(5);
+  fem::FeProblem fe(p.mesh, p.materials, p.dofmap);
+  fem::LinearSystem sys = fem::assemble_linear_system(fe);
+  mg::MgOptions mo;
+  mo.coarsest_max_dofs = 60;
+  la::Csr stiffness = sys.stiffness;
+  const mg::Hierarchy full =
+      mg::Hierarchy::build(p.mesh, p.dofmap, std::move(stiffness), mo);
+  const mg::Hierarchy grids = mg::Hierarchy::build_grids(
+      p.mesh, p.dofmap, std::move(sys.stiffness), mo);
+  const std::vector<idx> owner(
+      static_cast<std::size_t>(p.mesh.num_vertices()), 0);
+  parx::Runtime::run(1, [&](parx::Comm& comm) {
+    const DistHierarchy dist = DistHierarchy::build(comm, grids, owner);
+    ASSERT_EQ(dist.num_levels(), full.num_levels());
+    for (int l = 1; l < dist.num_levels(); ++l) {
+      const la::Csr& ref = full.level(l).a;
+      const la::Csr& got = dist.level(l).a.local_matrix();
+      ASSERT_EQ(got.nrows, ref.nrows);
+      ASSERT_EQ(got.rowptr, ref.rowptr);  // single rank, identity layout
+      ASSERT_EQ(got.colidx, ref.colidx);
+      for (std::size_t k = 0; k < got.vals.size(); ++k) {
+        EXPECT_EQ(got.vals[k], ref.vals[k]) << "level " << l << " nnz " << k;
+      }
+    }
+  });
+}
+
+}  // namespace
+}  // namespace prom::dla

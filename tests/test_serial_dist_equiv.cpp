@@ -1,0 +1,189 @@
+// Serial/distributed equivalence: the parx backend runs the *same*
+// templated solver bodies (la/krylov_any.h, mg/cycle_any.h) as the serial
+// backend, so V-cycle, FMG, and MG-PCG on virtual ranks must reproduce the
+// serial iterate history and final residual to working precision at every
+// rank count, and every rank must report the identical KrylovResult.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <utility>
+#include <vector>
+
+#include "app/driver.h"
+#include "dla/dist_mg.h"
+#include "fem/assembly.h"
+#include "la/vec.h"
+#include "mg/cycle.h"
+#include "mg/hierarchy.h"
+#include "mg/solver.h"
+#include "parx/runtime.h"
+
+namespace prom {
+namespace {
+
+struct Problem {
+  mg::Hierarchy hierarchy;
+  std::vector<real> rhs;
+  idx num_vertices = 0;
+};
+
+Problem build_problem(mg::SmootherKind kind) {
+  const app::ModelProblem p = app::make_box_problem(6);
+  fem::FeProblem fe(p.mesh, p.materials, p.dofmap);
+  fem::LinearSystem sys = fem::assemble_linear_system(fe);
+  mg::MgOptions mo;
+  mo.smoother = kind;
+  mo.coarsest_max_dofs = 60;  // force a multi-level hierarchy on a small box
+  Problem out;
+  out.rhs = std::move(sys.rhs);
+  out.num_vertices = p.mesh.num_vertices();
+  out.hierarchy =
+      mg::Hierarchy::build(p.mesh, p.dofmap, std::move(sys.stiffness), mo);
+  return out;
+}
+
+/// Contiguous-block vertex ownership (monotone in vertex id), the layout
+/// whose induced per-level dof permutations stay closest to the serial
+/// ordering.
+std::vector<idx> block_owner(idx nv, int p) {
+  std::vector<idx> owner(static_cast<std::size_t>(nv));
+  for (idx v = 0; v < nv; ++v) {
+    owner[static_cast<std::size_t>(v)] =
+        static_cast<idx>((static_cast<std::int64_t>(v) * p) / nv);
+  }
+  return owner;
+}
+
+enum class Run { kVcycle, kFmg, kPcg };
+
+struct DistOutcome {
+  std::vector<real> x;  ///< solution mapped back to the serial ordering
+  std::vector<la::KrylovResult> results;  ///< per rank (PCG only)
+};
+
+DistOutcome run_distributed(const Problem& prob, int p, Run what,
+                            const mg::MgSolveOptions& so = {}) {
+  DistOutcome out;
+  out.x.assign(prob.rhs.size(), 0);
+  out.results.resize(static_cast<std::size_t>(p));
+  const std::vector<idx> owner = block_owner(prob.num_vertices, p);
+  parx::Runtime::run(p, [&](parx::Comm& comm) {
+    const dla::DistHierarchy dist =
+        dla::DistHierarchy::build(comm, prob.hierarchy, owner);
+    const auto& perm = dist.permutation(0);
+    const dla::RowDist& rows = dist.level(0).a.row_dist();
+    const idx b0 = rows.begin(comm.rank());
+    const idx nloc = rows.local_size(comm.rank());
+    std::vector<real> b_local(static_cast<std::size_t>(nloc));
+    for (idx i = 0; i < nloc; ++i) b_local[i] = prob.rhs[perm[b0 + i]];
+    std::vector<real> x_local(static_cast<std::size_t>(nloc), 0);
+    switch (what) {
+      case Run::kVcycle:
+        dist_vcycle(comm, dist, 0, b_local, x_local);
+        break;
+      case Run::kFmg:
+        x_local = dist_fmg_cycle(comm, dist, b_local);
+        break;
+      case Run::kPcg:
+        out.results[comm.rank()] =
+            dist_mg_pcg_solve(comm, dist, b_local, x_local, so);
+        break;
+    }
+    // Ranks own disjoint ranges: the scatter back is race-free.
+    for (idx i = 0; i < nloc; ++i) out.x[perm[b0 + i]] = x_local[i];
+  });
+  return out;
+}
+
+void expect_vectors_close(const std::vector<real>& ref,
+                          const std::vector<real>& got, real rel_tol) {
+  ASSERT_EQ(ref.size(), got.size());
+  real scale = 0;
+  for (real v : ref) scale = std::max(scale, std::fabs(v));
+  ASSERT_GT(scale, 0);
+  for (std::size_t i = 0; i < ref.size(); ++i) {
+    EXPECT_NEAR(got[i], ref[i], rel_tol * scale) << "entry " << i;
+  }
+}
+
+class EquivRanks : public ::testing::TestWithParam<int> {};
+
+TEST_P(EquivRanks, VcycleMatchesSerial) {
+  const Problem prob = build_problem(mg::SmootherKind::kJacobi);
+  ASSERT_GE(prob.hierarchy.num_levels(), 2);
+  std::vector<real> x_ref(prob.rhs.size(), 0);
+  mg::vcycle(prob.hierarchy, 0, prob.rhs, x_ref);
+  const DistOutcome got = run_distributed(prob, GetParam(), Run::kVcycle);
+  expect_vectors_close(x_ref, got.x, 1e-12);
+}
+
+TEST_P(EquivRanks, FmgMatchesSerial) {
+  const Problem prob = build_problem(mg::SmootherKind::kJacobi);
+  const std::vector<real> x_ref = mg::fmg_cycle(prob.hierarchy, prob.rhs);
+  const DistOutcome got = run_distributed(prob, GetParam(), Run::kFmg);
+  expect_vectors_close(x_ref, got.x, 1e-12);
+}
+
+TEST_P(EquivRanks, PcgHistoryMatchesSerial) {
+  const Problem prob = build_problem(mg::SmootherKind::kJacobi);
+  mg::MgSolveOptions so;
+  so.rtol = 1e-8;
+  so.track_history = true;
+  std::vector<real> x_ref(prob.rhs.size(), 0);
+  const la::KrylovResult ref =
+      mg::mg_pcg_solve(prob.hierarchy, prob.rhs, x_ref, so);
+  ASSERT_TRUE(ref.converged);
+  ASSERT_FALSE(ref.history.empty());
+
+  const DistOutcome got = run_distributed(prob, GetParam(), Run::kPcg, so);
+  const la::KrylovResult& d = got.results[0];
+  EXPECT_TRUE(d.converged);
+  EXPECT_EQ(d.iterations, ref.iterations);
+  // Same templated PCG body, same convergence helper: the iterate history
+  // agrees to the allreduce-vs-serial rounding of the dot products.
+  ASSERT_EQ(d.history.size(), ref.history.size());
+  for (std::size_t i = 0; i < ref.history.size(); ++i) {
+    EXPECT_NEAR(d.history[i], ref.history[i], 1e-12 * ref.history[0])
+        << "history entry " << i;
+  }
+  EXPECT_NEAR(d.final_relres, ref.final_relres, 1e-12);
+  expect_vectors_close(x_ref, got.x, 1e-10);
+
+  // The reductions are collective and deterministic, so every rank holds
+  // the bit-identical KrylovResult.
+  for (int r = 1; r < GetParam(); ++r) {
+    const la::KrylovResult& other = got.results[r];
+    EXPECT_EQ(other.iterations, d.iterations);
+    EXPECT_EQ(other.converged, d.converged);
+    EXPECT_EQ(other.breakdown, d.breakdown);
+    EXPECT_EQ(other.final_relres, d.final_relres);
+    ASSERT_EQ(other.history.size(), d.history.size());
+    for (std::size_t i = 0; i < d.history.size(); ++i) {
+      EXPECT_EQ(other.history[i], d.history[i]) << "rank " << r;
+    }
+  }
+}
+
+// Chebyshev estimates its eigenvalue bound with norm reductions whose
+// rounding differs between the serial and allreduce backends, so the
+// *smoother itself* differs slightly between backends; check convergence
+// behavior rather than bitwise iterates.
+TEST_P(EquivRanks, ChebyshevPcgConverges) {
+  const Problem prob = build_problem(mg::SmootherKind::kChebyshev);
+  mg::MgSolveOptions so;
+  so.rtol = 1e-8;
+  std::vector<real> x_ref(prob.rhs.size(), 0);
+  const la::KrylovResult ref =
+      mg::mg_pcg_solve(prob.hierarchy, prob.rhs, x_ref, so);
+  ASSERT_TRUE(ref.converged);
+  const DistOutcome got = run_distributed(prob, GetParam(), Run::kPcg, so);
+  EXPECT_TRUE(got.results[0].converged);
+  EXPECT_LE(got.results[0].final_relres, so.rtol);
+  EXPECT_LE(std::abs(got.results[0].iterations - ref.iterations), 2);
+  expect_vectors_close(x_ref, got.x, 1e-6);
+}
+
+INSTANTIATE_TEST_SUITE_P(Ranks, EquivRanks, ::testing::Values(1, 2, 4, 8));
+
+}  // namespace
+}  // namespace prom
