@@ -4,11 +4,21 @@
 //   e = (base per-unknown wall time) / (case per-unknown wall time),
 // which is the paper's 2/p * T(2)/T(p) * N(p)/N(2) normalization adapted
 // to a fixed host (the per-rank model covers the communication part in
-// Figure 11's bench).
+// Figure 11's bench). Also prints the level-resolved cycle-component
+// breakdown (smooth / residual / restrict / prolong / coarse solve) of
+// the largest case.
+//
+// All timings come out of the obs tracer: each case writes report.json
+// and the tables are printed from the parsed file.
+//
+// Environment: PROM_BENCH_FULL=1 enlarges the series; PROM_BENCH_SMOKE=1
+// shrinks it to the two smallest cases (the CI smoke lane).
 #include <cstdio>
 #include <cstdlib>
+#include <vector>
 
 #include "app/driver.h"
+#include "obs/report.h"
 
 using namespace prom;
 
@@ -22,47 +32,116 @@ double per_unknown(double seconds, idx unknowns) {
 
 int main() {
   const bool full = std::getenv("PROM_BENCH_FULL") != nullptr;
-  const auto series = app::scaled_series(full ? 4 : 3);
+  const bool smoke = std::getenv("PROM_BENCH_SMOKE") != nullptr;
+  const auto series = app::scaled_series(smoke ? 2 : (full ? 4 : 3));
 
   std::vector<app::LinearStudyReport> reports;
+  std::vector<obs::Report> obs_reports;
   for (const app::ScaledCase& sc : series) {
     const app::ModelProblem problem =
         app::make_sphere_problem(sc.params, 1.2);
     app::LinearStudyConfig cfg;
     cfg.nranks = sc.ranks;
     cfg.rtol = 1e-4;
+    cfg.report_path = "report.json";
     reports.push_back(app::run_linear_study(problem, cfg));
+    obs_reports.push_back(obs::Report::read_json("report.json"));
   }
   const app::LinearStudyReport& base = reports.front();
+  const obs::Report& base_rep = obs_reports.front();
+
+  struct Row {
+    idx unknowns;
+    int ranks;
+    double solve, matrix_setup, fine_grid, mesh_setup, total;
+  };
+  std::vector<Row> rows;
+
+  auto total_seconds = [](const obs::Report& rep) {
+    return rep.phase_seconds("partition") + rep.phase_seconds("fine_grid") +
+           rep.phase_seconds("mesh_setup") +
+           rep.phase_seconds("matrix_setup") + rep.phase_seconds("solve");
+  };
 
   std::printf("Figure 12: per-component scaled efficiencies "
               "(1.0 = perfect; > 1.0 = super-linear)\n");
   std::printf("%-10s %-7s %-10s %-11s %-11s %-11s %-9s\n", "equations",
               "ranks", "solve x", "mat setup", "fine grid", "mesh setup",
               "total");
-  for (const app::LinearStudyReport& r : reports) {
+  for (std::size_t i = 0; i < reports.size(); ++i) {
+    const app::LinearStudyReport& r = reports[i];
+    const obs::Report& rep = obs_reports[i];
     auto eff = [&](double base_t, double t) {
       const double b = per_unknown(base_t, base.unknowns);
       const double c = per_unknown(t, r.unknowns);
       return c > 0 ? b / c : 0.0;
     };
-    const double total_base = base.wall_partition + base.wall_fine_grid +
-                              base.wall_mesh_setup + base.wall_matrix_setup +
-                              base.wall_solve;
-    const double total_r = r.wall_partition + r.wall_fine_grid +
-                           r.wall_mesh_setup + r.wall_matrix_setup +
-                           r.wall_solve;
+    const Row row{
+        r.unknowns,
+        r.ranks,
+        eff(base_rep.phase_seconds("solve"), rep.phase_seconds("solve")),
+        eff(base_rep.phase_seconds("matrix_setup"),
+            rep.phase_seconds("matrix_setup")),
+        eff(base_rep.phase_seconds("fine_grid"),
+            rep.phase_seconds("fine_grid")),
+        eff(base_rep.phase_seconds("mesh_setup"),
+            rep.phase_seconds("mesh_setup")),
+        eff(total_seconds(base_rep), total_seconds(rep))};
+    rows.push_back(row);
     std::printf("%-10d %-7d %-10.2f %-11.2f %-11.2f %-11.2f %-9.2f\n",
-                r.unknowns, r.ranks, eff(base.wall_solve, r.wall_solve),
-                eff(base.wall_matrix_setup, r.wall_matrix_setup),
-                eff(base.wall_fine_grid, r.wall_fine_grid),
-                eff(base.wall_mesh_setup, r.wall_mesh_setup),
-                eff(total_base, total_r));
+                row.unknowns, row.ranks, row.solve, row.matrix_setup,
+                row.fine_grid, row.mesh_setup, row.total);
   }
   std::printf(
       "\nshape claims vs the paper's Figure 12: every component's "
       "efficiency\nstays within a band around 1.0 as the problem scales "
       "(all phases scale);\nthe solve's efficiency benefits from the "
       "super-linear iteration/flop terms.\n");
+
+  // Level-resolved cycle components of the largest case (Figure 12's
+  // companion breakdown: where the cycle's time goes, per level).
+  const obs::Report& last = obs_reports.back();
+  std::printf("\ncycle components of the largest case "
+              "(seconds summed over ranks and cycles)\n");
+  std::printf("%-6s %-16s %-12s %-12s %-10s\n", "level", "component",
+              "seconds", "max rank s", "count");
+  for (const obs::ComponentEntry& c : last.components) {
+    if (c.name.rfind("mg.", 0) != 0) continue;
+    std::printf("%-6d %-16s %-12.4f %-12.4f %-10lld\n", c.level,
+                c.name.c_str(), c.seconds, c.max_rank_seconds,
+                static_cast<long long>(c.count));
+  }
+
+  std::FILE* json = std::fopen("BENCH_fig12_components.json", "w");
+  if (json == nullptr) {
+    std::fprintf(stderr, "cannot write BENCH_fig12_components.json\n");
+    return 1;
+  }
+  std::fprintf(json,
+               "{\n  \"bench\": \"fig12_components\",\n  \"cases\": [\n");
+  for (std::size_t i = 0; i < rows.size(); ++i) {
+    const Row& r = rows[i];
+    std::fprintf(json,
+                 "    {\"unknowns\": %d, \"ranks\": %d, \"eff_solve\": %.4f, "
+                 "\"eff_matrix_setup\": %.4f, \"eff_fine_grid\": %.4f, "
+                 "\"eff_mesh_setup\": %.4f, \"eff_total\": %.4f}%s\n",
+                 r.unknowns, r.ranks, r.solve, r.matrix_setup, r.fine_grid,
+                 r.mesh_setup, r.total, i + 1 < rows.size() ? "," : "");
+  }
+  std::fprintf(json, "  ],\n  \"largest_case_components\": [\n");
+  bool first = true;
+  for (const obs::ComponentEntry& c : last.components) {
+    if (c.name.rfind("mg.", 0) != 0) continue;
+    std::fprintf(json,
+                 "%s    {\"name\": \"%s\", \"level\": %d, \"seconds\": %.6f, "
+                 "\"max_rank_seconds\": %.6f, \"count\": %lld}",
+                 first ? "" : ",\n", c.name.c_str(), c.level, c.seconds,
+                 c.max_rank_seconds, static_cast<long long>(c.count));
+    first = false;
+  }
+  std::fprintf(json, "\n  ]\n}\n");
+  std::fclose(json);
+  std::printf(
+      "wrote BENCH_fig12_components.json (timings read from report.json)\n");
   return 0;
 }

@@ -6,7 +6,12 @@
 // Emits BENCH_setup.json in the working directory so the perf trajectory
 // tracks setup, not just solve kernels.
 //
-// Environment: PROM_BENCH_FULL=1 enlarges the problem.
+// Wall time and traffic come out of the obs tracer: each sweep's
+// "phase.matrix_setup" spans are aggregated into report.json and the
+// table is printed from the parsed file — there is no stopwatch here.
+//
+// Environment: PROM_BENCH_FULL=1 enlarges the problem; PROM_BENCH_SMOKE=1
+// shrinks it (the CI smoke lane).
 #include <cstdint>
 #include <cstdio>
 #include <cstdlib>
@@ -14,10 +19,11 @@
 #include <vector>
 
 #include "app/driver.h"
-#include "common/timer.h"
 #include "dla/dist_mg.h"
 #include "fem/assembly.h"
 #include "mg/hierarchy.h"
+#include "obs/report.h"
+#include "obs/trace.h"
 #include "partition/rcb.h"
 #include "parx/runtime.h"
 
@@ -25,7 +31,8 @@ using namespace prom;
 
 int main() {
   const bool full = std::getenv("PROM_BENCH_FULL") != nullptr;
-  const idx n = full ? 24 : 14;
+  const bool smoke = std::getenv("PROM_BENCH_SMOKE") != nullptr;
+  const idx n = smoke ? 10 : (full ? 24 : 14);
   const app::ModelProblem problem = app::make_box_problem(n);
   fem::FeProblem fe(problem.mesh, problem.materials, problem.dofmap);
   fem::LinearSystem sys = fem::assemble_linear_system(fe);
@@ -43,37 +50,41 @@ int main() {
   };
   std::vector<Row> rows;
 
+  obs::Tracer& tracer = obs::Tracer::instance();
+  const bool was_tracing = obs::tracing();
+  tracer.set_enabled(true);
+
   std::printf("matrix setup (distributed R A R^T) rank sweep, %d unknowns, "
               "%d levels\n",
               unknowns, grids.num_levels());
   std::printf("%-6s | %-10s %-18s %-12s %-9s\n", "ranks", "setup (s)",
               "max galerkin Mflop", "sent MB", "messages");
-  for (const int p : {1, 2, 4, 8}) {
+  const std::vector<int> sweep = smoke ? std::vector<int>{1, 2, 4}
+                                       : std::vector<int>{1, 2, 4, 8};
+  for (const int p : sweep) {
     const std::vector<idx> owner =
         partition::rcb_partition(problem.mesh.coords(), p);
     std::vector<std::int64_t> flops(static_cast<std::size_t>(p), 0);
-    std::vector<parx::TrafficStats> stats(static_cast<std::size_t>(p));
-    double wall = 0;
+    const std::int64_t mark = obs::Tracer::now_ns();
     parx::Runtime::run(p, [&](parx::Comm& comm) {
       comm.barrier();
-      const parx::TrafficStats before = comm.traffic();
-      Timer timer;
+      const obs::Span span("phase.matrix_setup");
       const dla::DistHierarchy dist =
           dla::DistHierarchy::build(comm, grids, owner);
       comm.barrier();
-      if (comm.rank() == 0) wall = timer.seconds();
-      const parx::TrafficStats after = comm.traffic();
-      stats[comm.rank()] = {after.messages_sent - before.messages_sent,
-                            after.bytes_sent - before.bytes_sent,
-                            after.flops - before.flops};
       flops[comm.rank()] = dist.galerkin_flops();
     });
-    Row row{p, wall, 0, 0, 0};
+    obs::build_report(mark).write_json("report.json");
+    const obs::Report rep = obs::Report::read_json("report.json");
+    const obs::PhaseEntry* phase = rep.phase("matrix_setup");
+    if (phase == nullptr) {
+      std::fprintf(stderr, "report.json is missing phase matrix_setup\n");
+      return 1;
+    }
+    Row row{p, phase->seconds(), 0, phase->bytes, phase->messages};
     for (int r = 0; r < p; ++r) {
       row.max_galerkin_flops =
           std::max(row.max_galerkin_flops, flops[static_cast<std::size_t>(r)]);
-      row.bytes += stats[static_cast<std::size_t>(r)].bytes_sent;
-      row.messages += stats[static_cast<std::size_t>(r)].messages_sent;
     }
     rows.push_back(row);
     std::printf("%-6d | %-10.3f %-18.1f %-12.2f %-9lld\n", row.ranks, row.wall,
@@ -81,6 +92,7 @@ int main() {
                 static_cast<double>(row.bytes) / 1e6,
                 static_cast<long long>(row.messages));
   }
+  tracer.set_enabled(was_tracing);
   std::printf(
       "\nshape claim: the busiest rank's triple-product flops shrink as\n"
       "ranks grow (per-rank setup work scales with local rows); the\n"
@@ -107,6 +119,6 @@ int main() {
   }
   std::fprintf(json, "  ]\n}\n");
   std::fclose(json);
-  std::printf("wrote BENCH_setup.json\n");
+  std::printf("wrote BENCH_setup.json (timings read from report.json)\n");
   return 0;
 }

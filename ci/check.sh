@@ -1,12 +1,17 @@
 #!/usr/bin/env bash
-# The one-command CI gate: optimized build, the full test suite, then the
-# ThreadSanitizer race gate (ci/tsan.sh). Everything a PR must pass.
+# The one-command CI gate: optimized build + full test suite, the same
+# suite again under Address/UB sanitizers, then the ThreadSanitizer race
+# gate (ci/tsan.sh). Everything a PR must pass.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
 cmake --preset release
 cmake --build --preset release -j"$(nproc)"
 ctest --test-dir build-release --output-on-failure -j"$(nproc)"
+
+cmake --preset asan-ubsan
+cmake --build --preset asan-ubsan -j"$(nproc)"
+ctest --preset asan-ubsan -j"$(nproc)"
 
 ./ci/tsan.sh
 

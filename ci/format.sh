@@ -1,0 +1,24 @@
+#!/usr/bin/env bash
+# Formatting gate: runs clang-format (.clang-format at the repo root) over
+# the C++ sources in src/ tests/ bench/ examples/.
+#   ci/format.sh          rewrite files in place
+#   ci/format.sh --check  fail (exit 1) if any file would change — CI mode
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+CLANG_FORMAT="${CLANG_FORMAT:-clang-format}"
+if ! command -v "$CLANG_FORMAT" > /dev/null; then
+  echo "ci/format.sh: $CLANG_FORMAT not found (set CLANG_FORMAT=...)" >&2
+  exit 1
+fi
+
+mapfile -t files < <(git ls-files 'src/*.h' 'src/*.cpp' 'tests/*.h' \
+  'tests/*.cpp' 'bench/*.h' 'bench/*.cpp' 'examples/*.h' 'examples/*.cpp')
+
+if [[ "${1:-}" == "--check" ]]; then
+  "$CLANG_FORMAT" --dry-run --Werror "${files[@]}"
+  echo "ci/format.sh: OK (${#files[@]} files clean)"
+else
+  "$CLANG_FORMAT" -i "${files[@]}"
+  echo "ci/format.sh: formatted ${#files[@]} files"
+fi

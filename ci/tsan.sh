@@ -10,7 +10,7 @@ cd "$(dirname "$0")/.."
 
 cmake --preset tsan
 cmake --build --preset tsan -j"$(nproc)" --target \
-  test_threads_determinism test_parx_stress test_serial_dist_equiv
+  test_threads_determinism test_parx_stress test_serial_dist_equiv test_obs
 
 export TSAN_OPTIONS="halt_on_error=1 abort_on_error=1 ${TSAN_OPTIONS:-}"
 # Exercise the pool beyond the core count regardless of the CI machine.
@@ -19,5 +19,6 @@ export PROM_THREADS="${PROM_THREADS:-4}"
 ./build-tsan/tests/test_threads_determinism
 ./build-tsan/tests/test_parx_stress
 ./build-tsan/tests/test_serial_dist_equiv
+./build-tsan/tests/test_obs
 
 echo "tsan gate: OK (no races reported)"

@@ -9,6 +9,10 @@
 //      Galerkin) and run multigrid-preconditioned CG.
 //
 // Usage: quickstart [n]   (default n = 10: an n x n x n hex cube)
+//
+// Run with PROM_TRACE=trace.json to get a Chrome-trace timeline of the
+// phases below plus the per-level multigrid cycle components (open it at
+// ui.perfetto.dev).
 #include <cstdio>
 #include <cstdlib>
 
@@ -16,40 +20,66 @@
 #include "mesh/generate.h"
 #include "mg/hierarchy.h"
 #include "mg/solver.h"
+#include "obs/trace.h"
 
 int main(int argc, char** argv) {
   using namespace prom;
   const idx n = argc > 1 ? std::atoi(argv[1]) : 10;
 
   // 1. The fine grid: a unit cube of n^3 hexahedra, one elastic material.
-  mesh::Mesh mesh = mesh::box_hex(n, n, n, {0, 0, 0}, {1, 1, 1});
+  mesh::Mesh mesh;
+  {
+    const obs::Span span("phase.mesh");
+    mesh = mesh::box_hex(n, n, n, {0, 0, 0}, {1, 1, 1});
+  }
 
   // 2. Constraints: clamp the bottom face, press the top face down.
   fem::DofMap dofmap(mesh.num_vertices());
-  dofmap.fix_all(
-      mesh.vertices_where([](const Vec3& p) { return p.z < 1e-12; }), 0.0);
-  for (idx v :
-       mesh.vertices_where([](const Vec3& p) { return p.z > 1 - 1e-12; })) {
-    dofmap.fix(v, 2, -0.05);
+  {
+    const obs::Span span("phase.constraints");
+    dofmap.fix_all(
+        mesh.vertices_where([](const Vec3& p) { return p.z < 1e-12; }), 0.0);
+    for (idx v :
+         mesh.vertices_where([](const Vec3& p) { return p.z > 1 - 1e-12; })) {
+      dofmap.fix(v, 2, -0.05);
+    }
+    dofmap.finalize();
   }
-  dofmap.finalize();
 
   // 3. Assemble the linear elastic stiffness matrix.
-  fem::Material steel;  // E = 1, nu = 0.3
-  fem::FeProblem problem(mesh, {steel}, dofmap);
-  fem::LinearSystem sys = fem::assemble_linear_system(problem);
+  fem::LinearSystem sys;
+  {
+    const obs::Span span("phase.fine_grid");
+    fem::Material steel;  // E = 1, nu = 0.3
+    fem::FeProblem problem(mesh, {steel}, dofmap);
+    sys = fem::assemble_linear_system(problem);
+  }
   std::printf("assembled %d unknowns (%lld nonzeros)\n", sys.stiffness.nrows,
               static_cast<long long>(sys.stiffness.nnz()));
 
-  // 4. Automatic coarsening + full-multigrid-preconditioned CG.
-  mg::Hierarchy hierarchy =
-      mg::Hierarchy::build(mesh, dofmap, sys.stiffness, {});
+  // 4. Automatic coarsening (mesh setup: grids + restrictions) ...
+  mg::Hierarchy hierarchy;
+  {
+    const obs::Span span("phase.mesh_setup");
+    hierarchy =
+        mg::Hierarchy::build_grids(mesh, dofmap, sys.stiffness, {});
+  }
+  // ... Galerkin coarse operators + smoothers (matrix setup) ...
+  {
+    const obs::Span span("phase.matrix_setup");
+    hierarchy.update_fine_matrix(sys.stiffness);
+  }
   std::printf("%s", hierarchy.describe().c_str());
 
+  // ... and full-multigrid-preconditioned CG.
   std::vector<real> x(sys.rhs.size(), 0.0);
   mg::MgSolveOptions opts;
   opts.rtol = 1e-8;
-  const la::KrylovResult result = mg_pcg_solve(hierarchy, sys.rhs, x, opts);
+  la::KrylovResult result;
+  {
+    const obs::Span span("phase.solve");
+    result = mg_pcg_solve(hierarchy, sys.rhs, x, opts);
+  }
   std::printf("FMG-PCG: %d iterations, relative residual %.2e, %s\n",
               result.iterations, result.final_relres,
               result.converged ? "converged" : "NOT converged");

@@ -3,9 +3,9 @@
 #include <algorithm>
 
 #include "common/error.h"
-#include "common/timer.h"
 #include "dla/dist_mg.h"
 #include "dla/dist_vec.h"
+#include "obs/trace.h"
 #include "partition/rcb.h"
 #include "parx/runtime.h"
 
@@ -67,58 +67,81 @@ perf::RunMeasurement LinearStudyReport::measurement() const {
   return m;
 }
 
+namespace {
+
+/// Per-rank TrafficStats of one report phase (rank-indexed, zero for
+/// ranks that recorded nothing).
+std::vector<parx::TrafficStats> phase_traffic(const obs::Report& rep,
+                                              std::string_view name,
+                                              int nranks) {
+  std::vector<parx::TrafficStats> stats(static_cast<std::size_t>(nranks));
+  const obs::PhaseEntry* phase = rep.phase(name);
+  if (phase == nullptr) return stats;
+  for (const obs::RankPhase& rp : phase->per_rank) {
+    if (rp.rank < 0 || rp.rank >= nranks) continue;
+    stats[rp.rank] = {rp.messages, rp.bytes, rp.flops};
+  }
+  return stats;
+}
+
+}  // namespace
+
 LinearStudyReport run_linear_study(const ModelProblem& problem,
                                    const LinearStudyConfig& config) {
   LinearStudyReport report;
   report.ranks = config.nranks;
 
+  // Every phase wall time and traffic bracket below comes out of the obs
+  // tracer: recording is forced on for the study's window (independent of
+  // PROM_TRACE) and aggregated into report.obs at the end.
+  obs::Tracer& tracer = obs::Tracer::instance();
+  const bool was_tracing = obs::tracing();
+  tracer.set_enabled(true);
+  const std::int64_t mark = obs::Tracer::now_ns();
+
   // Phase 1 — partitioning (Athena/ParMetis): vertices to ranks by RCB.
-  Timer timer;
-  const std::vector<idx> vertex_owner =
-      partition::rcb_partition(problem.mesh.coords(), config.nranks);
-  report.wall_partition = timer.seconds();
+  std::vector<idx> vertex_owner;
+  {
+    const obs::Span span("phase.partition");
+    vertex_owner = partition::rcb_partition(problem.mesh.coords(),
+                                            config.nranks);
+  }
 
   // Phase 2 — fine grid creation (FEAP): assemble the stiffness matrix.
-  timer.reset();
-  fem::FeProblem fe(problem.mesh, problem.materials, problem.dofmap);
-  fem::LinearSystem sys = fem::assemble_linear_system(fe);
-  report.wall_fine_grid = timer.seconds();
+  fem::LinearSystem sys;
+  {
+    const obs::Span span("phase.fine_grid");
+    fem::FeProblem fe(problem.mesh, problem.materials, problem.dofmap);
+    sys = fem::assemble_linear_system(fe);
+  }
   report.unknowns = sys.stiffness.nrows;
 
   // Phase 3 — mesh setup (Prometheus): grids + restriction operators only;
   // the Galerkin operators belong to the distributed matrix setup below.
-  timer.reset();
-  mg::Hierarchy hierarchy = mg::Hierarchy::build_grids(
-      problem.mesh, problem.dofmap, sys.stiffness, config.mg);
-  report.wall_mesh_setup = timer.seconds();
+  mg::Hierarchy hierarchy;
+  {
+    const obs::Span span("phase.mesh_setup");
+    hierarchy = mg::Hierarchy::build_grids(problem.mesh, problem.dofmap,
+                                           sys.stiffness, config.mg);
+  }
   report.levels = hierarchy.num_levels();
 
   // Phases 4 + 5 — matrix setup (Epimetheus: distributed RAR^T, smoother
-  // setup, coarse factorization) and the solve, on virtual ranks, each
-  // bracketed by barriers so the wall times and traffic are per-phase.
-  std::vector<parx::TrafficStats> setup_stats(
-      static_cast<std::size_t>(config.nranks));
-  std::vector<parx::TrafficStats> solve_stats(
-      static_cast<std::size_t>(config.nranks));
+  // setup, coarse factorization) and the solve, on virtual ranks. Each
+  // rank's phase span starts after a barrier and covers a trailing
+  // barrier, so the spans — and the traffic they bracket — are per-phase.
   std::vector<std::int64_t> galerkin_flops(
       static_cast<std::size_t>(config.nranks));
   la::KrylovResult solve_result;
-  double wall_matrix_setup = 0;
-  double wall_solve = 0;
   parx::Runtime::run(config.nranks, [&](parx::Comm& comm) {
     comm.barrier();
-    const parx::TrafficStats setup_before = comm.traffic();
-    Timer setup_timer;
-    const dla::DistHierarchy dist =
-        dla::DistHierarchy::build(comm, hierarchy, vertex_owner);
-    comm.barrier();
-    const parx::TrafficStats setup_after = comm.traffic();
-    setup_stats[comm.rank()] = {
-        setup_after.messages_sent - setup_before.messages_sent,
-        setup_after.bytes_sent - setup_before.bytes_sent,
-        setup_after.flops - setup_before.flops};
+    dla::DistHierarchy dist;
+    {
+      const obs::Span span("phase.matrix_setup");
+      dist = dla::DistHierarchy::build(comm, hierarchy, vertex_owner);
+      comm.barrier();
+    }
     galerkin_flops[comm.rank()] = dist.galerkin_flops();
-    if (comm.rank() == 0) wall_matrix_setup = setup_timer.seconds();
 
     // Permuted local right-hand side.
     const auto& perm = dist.permutation(0);
@@ -132,37 +155,40 @@ LinearStudyReport run_linear_study(const ModelProblem& problem,
     std::vector<real> x_local(b_local.size(), 0);
 
     comm.barrier();
-    const parx::TrafficStats before = comm.traffic();
-    Timer solve_timer;
-    mg::MgSolveOptions so;
-    so.rtol = config.rtol;
-    so.max_iters = config.max_iters;
-    so.cycle = config.cycle;
-    const la::KrylovResult result =
-        dist_mg_pcg_solve(comm, dist, b_local, x_local, so);
-    comm.barrier();
-    const parx::TrafficStats after = comm.traffic();
-    solve_stats[comm.rank()] = {after.messages_sent - before.messages_sent,
-                                after.bytes_sent - before.bytes_sent,
-                                after.flops - before.flops};
-    if (comm.rank() == 0) {
-      solve_result = result;
-      wall_solve = solve_timer.seconds();
+    la::KrylovResult result;
+    {
+      const obs::Span span("phase.solve");
+      mg::MgSolveOptions so;
+      so.rtol = config.rtol;
+      so.max_iters = config.max_iters;
+      so.cycle = config.cycle;
+      result = dist_mg_pcg_solve(comm, dist, b_local, x_local, so);
+      comm.barrier();
     }
+    if (comm.rank() == 0) solve_result = result;
   });
+
+  tracer.set_enabled(was_tracing);
+  report.obs = obs::build_report(mark);
 
   report.iterations = solve_result.iterations;
   report.converged = solve_result.converged;
-  report.wall_matrix_setup = wall_matrix_setup;
-  report.wall_solve = wall_solve;
-  report.setup_phase.per_rank = std::move(setup_stats);
+  report.wall_partition = report.obs.phase_seconds("partition");
+  report.wall_fine_grid = report.obs.phase_seconds("fine_grid");
+  report.wall_mesh_setup = report.obs.phase_seconds("mesh_setup");
+  report.wall_matrix_setup = report.obs.phase_seconds("matrix_setup");
+  report.wall_solve = report.obs.phase_seconds("solve");
+  report.setup_phase.per_rank =
+      phase_traffic(report.obs, "matrix_setup", config.nranks);
   report.max_rank_galerkin_flops =
       *std::max_element(galerkin_flops.begin(), galerkin_flops.end());
-  report.solve_phase.per_rank = std::move(solve_stats);
+  report.solve_phase.per_rank =
+      phase_traffic(report.obs, "solve", config.nranks);
   const perf::MachineModel model;
   report.modeled_solve_time = report.solve_phase.modeled_time(model);
   report.modeled_mflops =
       report.solve_phase.modeled_flop_rate(model) / 1e6;
+  if (!config.report_path.empty()) report.obs.write_json(config.report_path);
   return report;
 }
 

@@ -7,12 +7,15 @@
 
 #include <vector>
 
+#include <string>
+
 #include "common/config.h"
 #include "fem/assembly.h"
 #include "mesh/generate.h"
 #include "mg/hierarchy.h"
 #include "mg/solver.h"
 #include "nonlinear/newton.h"
+#include "obs/report.h"
 #include "perf/efficiency.h"
 #include "perf/model.h"
 
@@ -41,6 +44,9 @@ struct LinearStudyConfig {
   int max_iters = 200;
   mg::MgOptions mg;
   mg::CycleKind cycle = mg::CycleKind::kFmg;
+  /// When non-empty, the study's obs report (report.json schema) is
+  /// written here after the run.
+  std::string report_path;
 };
 
 /// Everything Figures 10-12 and Table 2 need from one linear solve.
@@ -68,6 +74,11 @@ struct LinearStudyReport {
   perf::PhaseStats solve_phase;
   double modeled_solve_time = 0;   ///< machine-model seconds
   double modeled_mflops = 0;       ///< total modeled Mflop/s in MG iterations
+
+  /// The full observability report of the study's tracing window (phases,
+  /// level-resolved cycle components, metrics). Every wall/traffic field
+  /// above is derived from it — there is no separate stopwatch path.
+  obs::Report obs;
 
   perf::RunMeasurement measurement() const;
 };

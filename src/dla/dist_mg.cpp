@@ -13,6 +13,7 @@
 #include "la/smoothers.h"
 #include "la/vec.h"
 #include "mg/cycle_any.h"
+#include "obs/trace.h"
 #include "partition/greedy.h"
 
 namespace prom::dla {
@@ -165,6 +166,7 @@ DistHierarchy DistHierarchy::build(parx::Comm& comm,
   // serial inputs (each rank extracts its rows only); every coarse
   // operator is the distributed Galerkin product of the previous one.
   for (int l = 0; l < nl; ++l) {
+    const obs::Span span("setup.level", l);
     DistMgLevel& dl = h.levels_[l];
     if (l == 0) {
       dl.a = DistCsr::from_global_permuted(comm, serial.level(0).a, dists[0],
@@ -179,6 +181,12 @@ DistHierarchy DistHierarchy::build(parx::Comm& comm,
                                    h.perms_[l - 1]);
       h.galerkin_flops_ += window.flops();
     }
+    // Level-resolved size metrics: the gauge is identical on every rank
+    // (last-write merge keeps one copy); local nnz counters sum-merge
+    // across ranks into the global operator nnz.
+    obs::gauge_set("mg.rows", static_cast<double>(dists[l].global_size()), l);
+    obs::counter_add("mg.nnz",
+                     static_cast<double>(dl.a.local_matrix().vals.size()), l);
   }
 
   // Smoothers / coarse factorization.

@@ -7,6 +7,7 @@
 
 #include "common/error.h"
 #include "common/flops.h"
+#include "obs/trace.h"
 
 namespace prom::dla {
 namespace {
@@ -24,6 +25,7 @@ la::Csr local_rows_global_cols(const DistCsr& a) {
 
 DistCsr dist_spgemm(parx::Comm& comm, const DistCsr& a, const DistCsr& b,
                     std::span<const idx> a_col_serial) {
+  const obs::Span span("setup.spgemm");
   PROM_CHECK(a.col_dist().offsets == b.row_dist().offsets);
   PROM_CHECK(a_col_serial.empty() ||
              static_cast<idx>(a_col_serial.size()) ==
@@ -126,6 +128,7 @@ DistCsr dist_spgemm(parx::Comm& comm, const DistCsr& a, const DistCsr& b,
 }
 
 DistCsr dist_transpose(parx::Comm& comm, const DistCsr& r) {
+  const obs::Span span("setup.transpose");
   const int p = comm.size();
   const int rank = comm.rank();
   const RowDist& out_rows = r.col_dist();  // rows of R^T
@@ -180,12 +183,14 @@ DistCsr dist_transpose(parx::Comm& comm, const DistCsr& r) {
 DistCsr dist_galerkin_product(parx::Comm& comm, const DistCsr& r,
                               const DistCsr& a,
                               std::span<const idx> fine_col_serial) {
+  const obs::Span span("setup.galerkin");
   const DistCsr rt = dist_transpose(comm, r);
   const DistCsr art = dist_spgemm(comm, a, rt, fine_col_serial);
   return dist_spgemm(comm, r, art, fine_col_serial);
 }
 
 la::Csr dist_gather_matrix(parx::Comm& comm, const DistCsr& a) {
+  const obs::Span span("setup.gather_coarse");
   const la::Csr mine = local_rows_global_cols(a);
   std::vector<nnz_t> my_counts(static_cast<std::size_t>(mine.nrows));
   for (idx i = 0; i < mine.nrows; ++i) {

@@ -12,6 +12,7 @@
 #include "la/backend.h"
 #include "la/krylov.h"
 #include "la/vec.h"
+#include "obs/trace.h"
 
 namespace prom::la {
 
@@ -34,6 +35,10 @@ KrylovResult pcg_any(const B& be, const Op& a, const Op* m,
 
   const real bnorm = be.norm2(b);
   if (opts.track_history) result.history.push_back(bnorm);
+  // Residual history into the obs series registry (same convention as
+  // `history`: entry 0 is ||b||). Identical values on every rank of a
+  // collective backend; the report keeps one representative copy.
+  obs::series_push("pcg.residual", bnorm);
   if (bnorm == real{0}) {
     set_all(x, 0);
     result.converged = true;
@@ -71,6 +76,7 @@ KrylovResult pcg_any(const B& be, const Op& a, const Op* m,
     be.axpy(-alpha, ap, r);
     rnorm = be.norm2(r);
     if (opts.track_history) result.history.push_back(rnorm);
+    obs::series_push("pcg.residual", rnorm);
     result.iterations = it;
     if (krylov_converged(rnorm, bnorm, opts.rtol)) {
       result.converged = true;

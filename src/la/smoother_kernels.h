@@ -17,6 +17,7 @@
 #include "la/backend.h"
 #include "la/dense.h"
 #include "la/vec.h"
+#include "obs/trace.h"
 
 namespace prom::la {
 
@@ -30,6 +31,7 @@ template <class B, class Op>
   requires BackendFor<B, Op>
 void jacobi_sweep(const B& be, const Op& a, std::span<const real> inv_diag,
                   real omega, std::span<const real> b, std::span<real> x) {
+  const obs::Span span("smoother.jacobi");
   const idx n = be.local_n(a);
   PROM_CHECK(static_cast<idx>(b.size()) == n &&
              static_cast<idx>(x.size()) == n);
@@ -52,6 +54,7 @@ void block_jacobi_sweep(const B& be, const Op& a,
                         std::span<const std::vector<idx>> blocks,
                         std::span<const DenseLdlt> factors, real omega,
                         std::span<const real> b, std::span<real> x) {
+  const obs::Span span("smoother.block_jacobi");
   const idx n = be.local_n(a);
   PROM_CHECK(static_cast<idx>(b.size()) == n &&
              static_cast<idx>(x.size()) == n);
@@ -87,6 +90,7 @@ template <class B, class Op>
 void chebyshev_sweep(const B& be, const Op& a, std::span<const real> inv_diag,
                      int degree, real lmin, real lmax,
                      std::span<const real> b, std::span<real> x) {
+  const obs::Span span("smoother.chebyshev");
   const idx n = be.local_n(a);
   PROM_CHECK(static_cast<idx>(b.size()) == n &&
              static_cast<idx>(x.size()) == n);

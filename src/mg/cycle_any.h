@@ -15,6 +15,7 @@
 #include "common/config.h"
 #include "common/error.h"
 #include "la/vec.h"
+#include "obs/trace.h"
 
 namespace prom::mg {
 
@@ -49,29 +50,45 @@ void vcycle_any(const V& h, int level, std::span<const real> b,
              static_cast<idx>(x.size()) == h.local_n(level));
 
   if (level + 1 == h.num_levels()) {
+    const obs::Span span("mg.coarse_solve", level);
     h.coarse_solve(b, x);
     return;
   }
 
-  for (int s = 0; s < h.pre_smooth(); ++s) h.smooth(level, b, x);
+  {
+    const obs::Span span("mg.smooth", level);
+    for (int s = 0; s < h.pre_smooth(); ++s) h.smooth(level, b, x);
+  }
 
   // Residual and its restriction.
   std::vector<real> r(b.size());
-  h.apply_a(level, x, r);
-  la::waxpby(1, b, -1, r, r);
+  {
+    const obs::Span span("mg.residual", level);
+    h.apply_a(level, x, r);
+    la::waxpby(1, b, -1, r, r);
+  }
   std::vector<real> rc(static_cast<std::size_t>(h.local_n(level + 1)));
-  h.restrict_to(level + 1, r, rc);
+  {
+    const obs::Span span("mg.restrict", level);
+    h.restrict_to(level + 1, r, rc);
+  }
 
   // Coarse-grid correction.
   std::vector<real> xc(rc.size(), 0);
   vcycle_any(h, level + 1, rc, xc);
 
   // Prolongate (R^T) and add.
-  std::vector<real> dx(x.size());
-  h.prolong(level + 1, xc, dx);
-  la::axpy(1, dx, x);
+  {
+    const obs::Span span("mg.prolong", level);
+    std::vector<real> dx(x.size());
+    h.prolong(level + 1, xc, dx);
+    la::axpy(1, dx, x);
+  }
 
-  for (int s = 0; s < h.post_smooth(); ++s) h.smooth(level, b, x);
+  {
+    const obs::Span span("mg.smooth", level);
+    for (int s = 0; s < h.post_smooth(); ++s) h.smooth(level, b, x);
+  }
 }
 
 /// One full multigrid cycle for A_0 x = b starting from zero; returns x.
@@ -82,6 +99,7 @@ std::vector<real> fmg_any(const V& h, std::span<const real> b) {
   std::vector<std::vector<real>> bs(static_cast<std::size_t>(nl));
   bs[0].assign(b.begin(), b.end());
   for (int l = 1; l < nl; ++l) {
+    const obs::Span span("mg.restrict", l - 1);
     bs[l].resize(static_cast<std::size_t>(h.local_n(l)));
     h.restrict_to(l, bs[l - 1], bs[l]);
   }
@@ -91,7 +109,10 @@ std::vector<real> fmg_any(const V& h, std::span<const real> b) {
   vcycle_any(h, nl - 1, bs[nl - 1], x);
   for (int l = nl - 2; l >= 0; --l) {
     std::vector<real> xf(static_cast<std::size_t>(h.local_n(l)));
-    h.prolong(l + 1, x, xf);
+    {
+      const obs::Span span("mg.prolong", l);
+      h.prolong(l + 1, x, xf);
+    }
     x = std::move(xf);
     vcycle_any(h, l, bs[l], x);
   }

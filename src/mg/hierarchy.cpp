@@ -4,6 +4,7 @@
 
 #include "common/error.h"
 #include "common/log.h"
+#include "obs/trace.h"
 #include "partition/greedy.h"
 
 namespace prom::mg {
@@ -168,7 +169,15 @@ void Hierarchy::set_fine_matrix(la::Csr a_fine) {
 
 void Hierarchy::build_operators() {
   for (std::size_t l = 1; l < levels_.size(); ++l) {
+    const obs::Span span("setup.galerkin", static_cast<int>(l));
     levels_[l].a = la::galerkin_product(levels_[l].r, levels_[l - 1].a);
+  }
+  // Level-resolved size metrics (the serial mirror of the distributed
+  // build's records; the serial hierarchy holds the whole operator).
+  for (std::size_t l = 0; l < levels_.size(); ++l) {
+    const int li = static_cast<int>(l);
+    obs::gauge_set("mg.rows", static_cast<double>(levels_[l].a.nrows), li);
+    obs::counter_add("mg.nnz", static_cast<double>(levels_[l].a.nnz()), li);
   }
   for (std::size_t l = 0; l < levels_.size(); ++l) {
     const bool coarsest = l + 1 == levels_.size();

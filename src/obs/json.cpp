@@ -1,0 +1,256 @@
+#include "obs/json.h"
+
+#include <cctype>
+#include <cstdio>
+#include <cstdlib>
+
+#include "common/error.h"
+
+namespace prom::obs::json {
+
+class Parser {
+ public:
+  explicit Parser(std::string_view text) : text_(text) {}
+
+  Value document() {
+    Value v = value();
+    skip_ws();
+    PROM_CHECK_MSG(pos_ == text_.size(), "json: trailing characters");
+    return v;
+  }
+
+ private:
+  char peek() {
+    PROM_CHECK_MSG(pos_ < text_.size(), "json: unexpected end of input");
+    return text_[pos_];
+  }
+
+  char take() {
+    const char c = peek();
+    ++pos_;
+    return c;
+  }
+
+  void expect(char c) {
+    PROM_CHECK_MSG(take() == c, std::string("json: expected '") + c + "'");
+  }
+
+  void skip_ws() {
+    while (pos_ < text_.size() &&
+           std::isspace(static_cast<unsigned char>(text_[pos_]))) {
+      ++pos_;
+    }
+  }
+
+  bool consume_literal(std::string_view lit) {
+    if (text_.substr(pos_, lit.size()) != lit) return false;
+    pos_ += lit.size();
+    return true;
+  }
+
+  Value value() {
+    skip_ws();
+    const char c = peek();
+    Value v;
+    switch (c) {
+      case '{':
+        return object();
+      case '[':
+        return array();
+      case '"':
+        v.kind_ = Value::Kind::kString;
+        v.string_ = string();
+        return v;
+      case 't':
+        PROM_CHECK_MSG(consume_literal("true"), "json: bad literal");
+        v.kind_ = Value::Kind::kBool;
+        v.bool_ = true;
+        return v;
+      case 'f':
+        PROM_CHECK_MSG(consume_literal("false"), "json: bad literal");
+        v.kind_ = Value::Kind::kBool;
+        v.bool_ = false;
+        return v;
+      case 'n':
+        PROM_CHECK_MSG(consume_literal("null"), "json: bad literal");
+        return v;
+      default:
+        return number();
+    }
+  }
+
+  Value object() {
+    expect('{');
+    Value v;
+    v.kind_ = Value::Kind::kObject;
+    skip_ws();
+    if (peek() == '}') {
+      ++pos_;
+      return v;
+    }
+    for (;;) {
+      skip_ws();
+      std::string key = string();
+      skip_ws();
+      expect(':');
+      v.members_.emplace_back(std::move(key), value());
+      skip_ws();
+      const char c = take();
+      if (c == '}') return v;
+      PROM_CHECK_MSG(c == ',', "json: expected ',' or '}' in object");
+    }
+  }
+
+  Value array() {
+    expect('[');
+    Value v;
+    v.kind_ = Value::Kind::kArray;
+    skip_ws();
+    if (peek() == ']') {
+      ++pos_;
+      return v;
+    }
+    for (;;) {
+      v.items_.push_back(value());
+      skip_ws();
+      const char c = take();
+      if (c == ']') return v;
+      PROM_CHECK_MSG(c == ',', "json: expected ',' or ']' in array");
+    }
+  }
+
+  std::string string() {
+    expect('"');
+    std::string out;
+    for (;;) {
+      const char c = take();
+      if (c == '"') return out;
+      if (c != '\\') {
+        out += c;
+        continue;
+      }
+      const char esc = take();
+      switch (esc) {
+        case '"':
+        case '\\':
+        case '/':
+          out += esc;
+          break;
+        case 'b':
+          out += '\b';
+          break;
+        case 'f':
+          out += '\f';
+          break;
+        case 'n':
+          out += '\n';
+          break;
+        case 'r':
+          out += '\r';
+          break;
+        case 't':
+          out += '\t';
+          break;
+        case 'u': {
+          PROM_CHECK_MSG(pos_ + 4 <= text_.size(), "json: truncated \\u");
+          unsigned code = 0;
+          for (int i = 0; i < 4; ++i) {
+            const char h = take();
+            code <<= 4;
+            if (h >= '0' && h <= '9') {
+              code += static_cast<unsigned>(h - '0');
+            } else if (h >= 'a' && h <= 'f') {
+              code += static_cast<unsigned>(h - 'a' + 10);
+            } else if (h >= 'A' && h <= 'F') {
+              code += static_cast<unsigned>(h - 'A' + 10);
+            } else {
+              PROM_CHECK_MSG(false, "json: bad \\u escape");
+            }
+          }
+          PROM_CHECK_MSG(code < 0x80, "json: non-ASCII \\u unsupported");
+          out += static_cast<char>(code);
+          break;
+        }
+        default:
+          PROM_CHECK_MSG(false, "json: bad escape");
+      }
+    }
+  }
+
+  Value number() {
+    const std::size_t start = pos_;
+    if (pos_ < text_.size() && text_[pos_] == '-') ++pos_;
+    while (pos_ < text_.size() &&
+           (std::isdigit(static_cast<unsigned char>(text_[pos_])) ||
+            text_[pos_] == '.' || text_[pos_] == 'e' || text_[pos_] == 'E' ||
+            text_[pos_] == '+' || text_[pos_] == '-')) {
+      ++pos_;
+    }
+    PROM_CHECK_MSG(pos_ > start, "json: expected a value");
+    const std::string token(text_.substr(start, pos_ - start));
+    char* end = nullptr;
+    const double d = std::strtod(token.c_str(), &end);
+    PROM_CHECK_MSG(end == token.c_str() + token.size(), "json: bad number");
+    Value v;
+    v.kind_ = Value::Kind::kNumber;
+    v.number_ = d;
+    return v;
+  }
+
+  std::string_view text_;
+  std::size_t pos_ = 0;
+};
+
+Value Value::parse(std::string_view text) { return Parser(text).document(); }
+
+bool Value::as_bool() const {
+  PROM_CHECK_MSG(kind_ == Kind::kBool, "json: not a bool");
+  return bool_;
+}
+
+double Value::as_number() const {
+  PROM_CHECK_MSG(kind_ == Kind::kNumber, "json: not a number");
+  return number_;
+}
+
+const std::string& Value::as_string() const {
+  PROM_CHECK_MSG(kind_ == Kind::kString, "json: not a string");
+  return string_;
+}
+
+const std::vector<Value>& Value::items() const {
+  PROM_CHECK_MSG(kind_ == Kind::kArray, "json: not an array");
+  return items_;
+}
+
+const std::vector<std::pair<std::string, Value>>& Value::members() const {
+  PROM_CHECK_MSG(kind_ == Kind::kObject, "json: not an object");
+  return members_;
+}
+
+const Value* Value::find(std::string_view key) const {
+  PROM_CHECK_MSG(kind_ == Kind::kObject, "json: not an object");
+  for (const auto& [k, v] : members_) {
+    if (k == key) return &v;
+  }
+  return nullptr;
+}
+
+const Value& Value::at(std::string_view key) const {
+  const Value* v = find(key);
+  PROM_CHECK_MSG(v != nullptr, "json: missing key: " + std::string(key));
+  return *v;
+}
+
+Value parse_file(const std::string& path) {
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  PROM_CHECK_MSG(f != nullptr, "json: cannot open " + path);
+  std::string text;
+  char buf[4096];
+  std::size_t n;
+  while ((n = std::fread(buf, 1, sizeof buf, f)) > 0) text.append(buf, n);
+  std::fclose(f);
+  return Value::parse(text);
+}
+
+}  // namespace prom::obs::json

@@ -1,0 +1,61 @@
+// A minimal JSON document model and recursive-descent parser, just enough
+// for the obs outputs to be validated and consumed in-process: the benches
+// read their timings back out of the serialized report (so the schema the
+// CI artifacts carry is the schema the numbers came through), and the
+// tests round-trip `report.json` / the Chrome trace through it. Not a
+// general-purpose JSON library: no \uXXXX surrogate pairs, no comments,
+// numbers parsed as double.
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+namespace prom::obs::json {
+
+class Value {
+ public:
+  enum class Kind { kNull, kBool, kNumber, kString, kArray, kObject };
+
+  /// Parses one JSON document (throws prom::Error on malformed input or
+  /// trailing garbage).
+  static Value parse(std::string_view text);
+
+  Kind kind() const { return kind_; }
+  bool is_null() const { return kind_ == Kind::kNull; }
+  bool is_object() const { return kind_ == Kind::kObject; }
+  bool is_array() const { return kind_ == Kind::kArray; }
+
+  /// Checked accessors (throw prom::Error on kind mismatch).
+  bool as_bool() const;
+  double as_number() const;
+  const std::string& as_string() const;
+
+  /// Array elements (throws unless array).
+  const std::vector<Value>& items() const;
+
+  /// Object members in document order (throws unless object).
+  const std::vector<std::pair<std::string, Value>>& members() const;
+
+  /// Object lookup: nullptr when absent (throws unless object).
+  const Value* find(std::string_view key) const;
+
+  /// Object lookup that throws when the key is absent.
+  const Value& at(std::string_view key) const;
+
+ private:
+  Kind kind_ = Kind::kNull;
+  bool bool_ = false;
+  double number_ = 0;
+  std::string string_;
+  std::vector<Value> items_;
+  std::vector<std::pair<std::string, Value>> members_;
+
+  friend class Parser;
+};
+
+/// Reads and parses a JSON file (throws prom::Error if unreadable).
+Value parse_file(const std::string& path);
+
+}  // namespace prom::obs::json

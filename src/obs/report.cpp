@@ -1,0 +1,407 @@
+#include "obs/report.h"
+
+#include <algorithm>
+#include <cinttypes>
+#include <cmath>
+#include <cstdio>
+#include <cstring>
+#include <map>
+
+#include "common/error.h"
+#include "obs/json.h"
+
+namespace prom::obs {
+
+namespace {
+
+constexpr std::string_view kPhasePrefix = "phase.";
+
+bool is_phase_span(const SpanRecord& s) {
+  return std::string_view(s.name).substr(0, kPhasePrefix.size()) ==
+         kPhasePrefix;
+}
+
+double span_seconds(const SpanRecord& s) {
+  return static_cast<double>(s.t1_ns - s.t0_ns) / 1e9;
+}
+
+void append_number(std::string& out, double v) {
+  char buf[48];
+  if (std::isfinite(v) && v == std::floor(v) && std::abs(v) < 1e15) {
+    std::snprintf(buf, sizeof buf, "%.0f", v);
+  } else if (std::isfinite(v)) {
+    std::snprintf(buf, sizeof buf, "%.9g", v);
+  } else {
+    std::snprintf(buf, sizeof buf, "null");  // JSON has no NaN/Inf
+  }
+  out += buf;
+}
+
+void append_metrics(std::string& out, const char* key,
+                    const std::vector<MetricEntry>& entries) {
+  out += "  \"";
+  out += key;
+  out += "\": [";
+  for (std::size_t i = 0; i < entries.size(); ++i) {
+    const MetricEntry& e = entries[i];
+    out += i == 0 ? "\n" : ",\n";
+    char buf[64];
+    out += "    {\"name\": \"" + e.name + "\", \"level\": ";
+    std::snprintf(buf, sizeof buf, "%d", e.level);
+    out += buf;
+    out += ", \"value\": ";
+    append_number(out, e.value);
+    out += "}";
+  }
+  out += entries.empty() ? "]" : "\n  ]";
+}
+
+}  // namespace
+
+double PhaseEntry::seconds() const {
+  return host_seconds > 0 ? host_seconds : max_rank_seconds();
+}
+
+double PhaseEntry::max_rank_seconds() const {
+  double m = 0;
+  for (const RankPhase& r : per_rank) m = std::max(m, r.seconds);
+  return m;
+}
+
+const PhaseEntry* Report::phase(std::string_view name) const {
+  for (const PhaseEntry& p : phases) {
+    if (p.name == name) return &p;
+  }
+  return nullptr;
+}
+
+double Report::phase_seconds(std::string_view name) const {
+  const PhaseEntry* p = phase(name);
+  return p == nullptr ? 0 : p->seconds();
+}
+
+const ComponentEntry* Report::component(std::string_view name,
+                                        int level) const {
+  for (const ComponentEntry& c : components) {
+    if (c.name == name && c.level == level) return &c;
+  }
+  return nullptr;
+}
+
+double Report::gauge(std::string_view name, int level) const {
+  for (const MetricEntry& g : gauges) {
+    if (g.name == name && g.level == level) return g.value;
+  }
+  return std::nan("");
+}
+
+double Report::counter(std::string_view name, int level) const {
+  for (const MetricEntry& c : counters) {
+    if (c.name == name && c.level == level) return c.value;
+  }
+  return 0;
+}
+
+const SeriesEntry* Report::find_series(std::string_view name) const {
+  for (const SeriesEntry& s : series) {
+    if (s.name == name) return &s;
+  }
+  return nullptr;
+}
+
+Report build_report(std::int64_t mark_ns) {
+  const Tracer& tracer = Tracer::instance();
+  std::vector<SpanRecord> spans = tracer.spans_since(mark_ns);
+  std::vector<MetricRecord> metrics = tracer.metrics_since(mark_ns);
+
+  Report rep;
+  int max_rank = kHostRank;
+  for (const SpanRecord& s : spans) max_rank = std::max(max_rank, s.rank);
+  for (const MetricRecord& m : metrics) max_rank = std::max(max_rank, m.rank);
+  rep.ranks = max_rank + 1;
+
+  // Phases: top-level "phase.*" spans, in order of first open time.
+  std::stable_sort(spans.begin(), spans.end(),
+                   [](const SpanRecord& a, const SpanRecord& b) {
+                     return a.t0_ns < b.t0_ns;
+                   });
+  for (const SpanRecord& s : spans) {
+    if (s.depth != 0 || !is_phase_span(s)) continue;
+    const std::string name(std::string_view(s.name).substr(kPhasePrefix.size()));
+    PhaseEntry* entry = nullptr;
+    for (PhaseEntry& p : rep.phases) {
+      if (p.name == name) entry = &p;
+    }
+    if (entry == nullptr) {
+      rep.phases.push_back(PhaseEntry{name, 0, {}, 0, 0, 0});
+      entry = &rep.phases.back();
+    }
+    if (s.rank == kHostRank) {
+      entry->host_seconds += span_seconds(s);
+      continue;
+    }
+    auto it = std::find_if(entry->per_rank.begin(), entry->per_rank.end(),
+                           [&](const RankPhase& r) { return r.rank == s.rank; });
+    if (it == entry->per_rank.end()) {
+      entry->per_rank.push_back(RankPhase{s.rank, 0, 0, 0, 0});
+      it = entry->per_rank.end() - 1;
+    }
+    it->seconds += span_seconds(s);
+    it->messages += s.messages;
+    it->bytes += s.bytes;
+    it->flops += s.flops;
+  }
+  for (PhaseEntry& p : rep.phases) {
+    std::sort(p.per_rank.begin(), p.per_rank.end(),
+              [](const RankPhase& a, const RankPhase& b) {
+                return a.rank < b.rank;
+              });
+    for (const RankPhase& r : p.per_rank) {
+      p.messages += r.messages;
+      p.bytes += r.bytes;
+      p.flops += r.flops;
+    }
+  }
+
+  // Components: every non-phase span grouped by (name, level); per-rank
+  // second sums feed max_rank_seconds.
+  struct CompAccum {
+    ComponentEntry entry;
+    std::map<int, double> rank_seconds;
+  };
+  std::map<std::pair<std::string, int>, CompAccum> comps;
+  for (const SpanRecord& s : spans) {
+    if (is_phase_span(s)) continue;
+    CompAccum& acc = comps[{std::string(s.name), s.level}];
+    acc.entry.name = s.name;
+    acc.entry.level = s.level;
+    acc.entry.seconds += span_seconds(s);
+    acc.entry.count += 1;
+    acc.entry.messages += s.messages;
+    acc.entry.bytes += s.bytes;
+    acc.entry.flops += s.flops;
+    acc.rank_seconds[s.rank] += span_seconds(s);
+  }
+  for (auto& [key, acc] : comps) {
+    for (const auto& [rank, sec] : acc.rank_seconds) {
+      acc.entry.max_rank_seconds = std::max(acc.entry.max_rank_seconds, sec);
+    }
+    rep.components.push_back(std::move(acc.entry));
+  }
+
+  // Counters sum; gauges keep the latest write; series come from one
+  // representative thread per name (collective backends record identical
+  // series on every rank — prefer the host, else the lowest rank).
+  std::map<std::pair<std::string, int>, double> counter_sums;
+  std::map<std::pair<std::string, int>, std::pair<std::int64_t, double>>
+      gauge_last;
+  std::map<std::pair<std::string, int>, std::map<std::pair<int, std::uint32_t>,
+                                                 std::vector<double>>>
+      series_by_thread;
+  for (const MetricRecord& m : metrics) {
+    const std::pair<std::string, int> key{std::string(m.name), m.level};
+    switch (m.kind) {
+      case MetricKind::kCounter:
+        counter_sums[key] += m.value;
+        break;
+      case MetricKind::kGauge: {
+        auto [it, inserted] = gauge_last.try_emplace(key, m.t_ns, m.value);
+        if (!inserted && m.t_ns >= it->second.first) {
+          it->second = {m.t_ns, m.value};
+        }
+        break;
+      }
+      case MetricKind::kSeries: {
+        // Host records sort before ranks: key by (is_rank, rank, tid).
+        const int rank_key = m.rank == kHostRank ? -1 : m.rank;
+        series_by_thread[key][{rank_key, m.tid}].push_back(m.value);
+        break;
+      }
+    }
+  }
+  for (const auto& [key, v] : counter_sums) {
+    rep.counters.push_back(MetricEntry{key.first, key.second, v});
+  }
+  for (const auto& [key, tv] : gauge_last) {
+    rep.gauges.push_back(MetricEntry{key.first, key.second, tv.second});
+  }
+  for (const auto& [key, threads] : series_by_thread) {
+    rep.series.push_back(
+        SeriesEntry{key.first, key.second, threads.begin()->second});
+  }
+
+  // Derived gauge: grid/operator complexity from the per-level nnz
+  // counters, when the fine level is present.
+  const double fine_nnz = [&] {
+    for (const MetricEntry& c : rep.counters) {
+      if (c.name == "mg.nnz" && c.level == 0) return c.value;
+    }
+    return 0.0;
+  }();
+  if (fine_nnz > 0) {
+    double total = 0;
+    for (const MetricEntry& c : rep.counters) {
+      if (c.name == "mg.nnz") total += c.value;
+    }
+    rep.gauges.push_back(
+        MetricEntry{"mg.operator_complexity", kNoLevel, total / fine_nnz});
+  }
+  return rep;
+}
+
+std::string Report::to_json() const {
+  std::string out;
+  out.reserve(4096);
+  char buf[256];
+  out += "{\n  \"schema\": \"";
+  out += kReportSchema;
+  out += "\",\n  \"ranks\": ";
+  std::snprintf(buf, sizeof buf, "%d", ranks);
+  out += buf;
+  out += ",\n  \"phases\": [";
+  for (std::size_t i = 0; i < phases.size(); ++i) {
+    const PhaseEntry& p = phases[i];
+    out += i == 0 ? "\n" : ",\n";
+    out += "    {\"name\": \"" + p.name + "\", \"seconds\": ";
+    append_number(out, p.seconds());
+    out += ", \"host_seconds\": ";
+    append_number(out, p.host_seconds);
+    std::snprintf(buf, sizeof buf,
+                  ", \"messages\": %" PRId64 ", \"bytes\": %" PRId64
+                  ", \"flops\": %" PRId64 ", \"per_rank\": [",
+                  p.messages, p.bytes, p.flops);
+    out += buf;
+    for (std::size_t r = 0; r < p.per_rank.size(); ++r) {
+      const RankPhase& rp = p.per_rank[r];
+      if (r > 0) out += ", ";
+      std::snprintf(buf, sizeof buf,
+                    "{\"rank\": %d, \"seconds\": %.9g, \"messages\": %" PRId64
+                    ", \"bytes\": %" PRId64 ", \"flops\": %" PRId64 "}",
+                    rp.rank, rp.seconds, rp.messages, rp.bytes, rp.flops);
+      out += buf;
+    }
+    out += "]}";
+  }
+  out += phases.empty() ? "]" : "\n  ]";
+  out += ",\n  \"components\": [";
+  for (std::size_t i = 0; i < components.size(); ++i) {
+    const ComponentEntry& c = components[i];
+    out += i == 0 ? "\n" : ",\n";
+    out += "    {\"name\": \"" + c.name + "\", \"level\": ";
+    std::snprintf(buf, sizeof buf, "%d", c.level);
+    out += buf;
+    out += ", \"seconds\": ";
+    append_number(out, c.seconds);
+    out += ", \"max_rank_seconds\": ";
+    append_number(out, c.max_rank_seconds);
+    std::snprintf(buf, sizeof buf,
+                  ", \"count\": %" PRId64 ", \"messages\": %" PRId64
+                  ", \"bytes\": %" PRId64 ", \"flops\": %" PRId64 "}",
+                  c.count, c.messages, c.bytes, c.flops);
+    out += buf;
+  }
+  out += components.empty() ? "]" : "\n  ]";
+  out += ",\n";
+  append_metrics(out, "counters", counters);
+  out += ",\n";
+  append_metrics(out, "gauges", gauges);
+  out += ",\n  \"series\": [";
+  for (std::size_t i = 0; i < series.size(); ++i) {
+    const SeriesEntry& s = series[i];
+    out += i == 0 ? "\n" : ",\n";
+    out += "    {\"name\": \"" + s.name + "\", \"level\": ";
+    std::snprintf(buf, sizeof buf, "%d", s.level);
+    out += buf;
+    out += ", \"values\": [";
+    for (std::size_t k = 0; k < s.values.size(); ++k) {
+      if (k > 0) out += ", ";
+      append_number(out, s.values[k]);
+    }
+    out += "]}";
+  }
+  out += series.empty() ? "]" : "\n  ]";
+  out += "\n}\n";
+  return out;
+}
+
+void Report::write_json(const std::string& path) const {
+  const std::string text = to_json();
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  PROM_CHECK_MSG(f != nullptr, "cannot open report output: " + path);
+  std::fwrite(text.data(), 1, text.size(), f);
+  std::fclose(f);
+}
+
+namespace {
+
+std::int64_t as_int64(const json::Value& v) {
+  return static_cast<std::int64_t>(v.as_number());
+}
+
+std::vector<MetricEntry> parse_metrics(const json::Value& arr) {
+  std::vector<MetricEntry> out;
+  for (const json::Value& m : arr.items()) {
+    out.push_back(MetricEntry{m.at("name").as_string(),
+                              static_cast<int>(m.at("level").as_number()),
+                              m.at("value").as_number()});
+  }
+  return out;
+}
+
+}  // namespace
+
+Report Report::from_json(std::string_view text) {
+  const json::Value doc = json::Value::parse(text);
+  PROM_CHECK_MSG(doc.at("schema").as_string() == kReportSchema,
+                 "unexpected report schema: " + doc.at("schema").as_string());
+  Report rep;
+  rep.ranks = static_cast<int>(doc.at("ranks").as_number());
+  for (const json::Value& p : doc.at("phases").items()) {
+    PhaseEntry entry;
+    entry.name = p.at("name").as_string();
+    entry.host_seconds = p.at("host_seconds").as_number();
+    entry.messages = as_int64(p.at("messages"));
+    entry.bytes = as_int64(p.at("bytes"));
+    entry.flops = as_int64(p.at("flops"));
+    for (const json::Value& r : p.at("per_rank").items()) {
+      entry.per_rank.push_back(RankPhase{
+          static_cast<int>(r.at("rank").as_number()),
+          r.at("seconds").as_number(), as_int64(r.at("messages")),
+          as_int64(r.at("bytes")), as_int64(r.at("flops"))});
+    }
+    rep.phases.push_back(std::move(entry));
+  }
+  for (const json::Value& c : doc.at("components").items()) {
+    rep.components.push_back(ComponentEntry{
+        c.at("name").as_string(), static_cast<int>(c.at("level").as_number()),
+        c.at("seconds").as_number(), c.at("max_rank_seconds").as_number(),
+        as_int64(c.at("count")), as_int64(c.at("messages")),
+        as_int64(c.at("bytes")), as_int64(c.at("flops"))});
+  }
+  rep.counters = parse_metrics(doc.at("counters"));
+  rep.gauges = parse_metrics(doc.at("gauges"));
+  for (const json::Value& s : doc.at("series").items()) {
+    SeriesEntry entry;
+    entry.name = s.at("name").as_string();
+    entry.level = static_cast<int>(s.at("level").as_number());
+    for (const json::Value& v : s.at("values").items()) {
+      entry.values.push_back(v.as_number());
+    }
+    rep.series.push_back(std::move(entry));
+  }
+  return rep;
+}
+
+Report Report::read_json(const std::string& path) {
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  PROM_CHECK_MSG(f != nullptr, "cannot open report: " + path);
+  std::string text;
+  char buf[4096];
+  for (std::size_t got; (got = std::fread(buf, 1, sizeof buf, f)) > 0;) {
+    text.append(buf, got);
+  }
+  std::fclose(f);
+  return from_json(text);
+}
+
+}  // namespace prom::obs

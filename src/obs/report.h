@@ -1,0 +1,102 @@
+// The machine-readable aggregation of one tracing window: top-level
+// "phase.*" spans become per-rank phase breakdowns (Figure 10's bars plus
+// the §6 message/byte/flop brackets), every other span is grouped by
+// (name, level) into cycle-component totals (Figure 12's breakdown,
+// level-resolved), and the metric registry contributes per-level gauges
+// (rows, nnz, operator complexity), counters, and series (the PCG
+// residual history). `Report::to_json()` is the `report.json` schema the
+// benches consume and the CI smoke lane uploads.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "obs/trace.h"
+
+namespace prom::obs {
+
+inline constexpr std::string_view kReportSchema = "prom.obs.report.v1";
+
+/// One rank's share of a phase: summed same-named top-level spans.
+struct RankPhase {
+  int rank = kHostRank;
+  double seconds = 0;
+  std::int64_t messages = 0;
+  std::int64_t bytes = 0;
+  std::int64_t flops = 0;
+};
+
+/// One Figure-10 phase. `host_seconds` is the controlling thread's wall
+/// time (phases that run serially); `per_rank` covers the SPMD phases.
+struct PhaseEntry {
+  std::string name;  ///< span name without the "phase." prefix
+  double host_seconds = 0;
+  std::vector<RankPhase> per_rank;  ///< ranks >= 0, ascending
+  std::int64_t messages = 0;        ///< totals over ranks
+  std::int64_t bytes = 0;
+  std::int64_t flops = 0;
+
+  /// Host wall time if the phase ran on the host, else the slowest rank
+  /// (bulk-synchronous approximation).
+  double seconds() const;
+  double max_rank_seconds() const;
+};
+
+/// All spans of one (name, level) outside the top-level phases — e.g.
+/// ("mg.smooth", 2) across every V-cycle and rank of the window.
+struct ComponentEntry {
+  std::string name;
+  int level = kNoLevel;
+  double seconds = 0;           ///< summed over all ranks and spans
+  double max_rank_seconds = 0;  ///< max over ranks of that rank's sum
+  std::int64_t count = 0;
+  std::int64_t messages = 0;
+  std::int64_t bytes = 0;
+  std::int64_t flops = 0;
+};
+
+struct MetricEntry {
+  std::string name;
+  int level = kNoLevel;
+  double value = 0;
+};
+
+struct SeriesEntry {
+  std::string name;
+  int level = kNoLevel;
+  std::vector<double> values;
+};
+
+struct Report {
+  int ranks = 0;  ///< distinct parx ranks observed (0 = host-only window)
+  std::vector<PhaseEntry> phases;          ///< first-open order
+  std::vector<ComponentEntry> components;  ///< sorted by (name, level)
+  std::vector<MetricEntry> counters;       ///< summed per (name, level)
+  std::vector<MetricEntry> gauges;         ///< last write per (name, level)
+  std::vector<SeriesEntry> series;
+
+  const PhaseEntry* phase(std::string_view name) const;
+  double phase_seconds(std::string_view name) const;
+  const ComponentEntry* component(std::string_view name, int level) const;
+  /// NaN when the gauge was never set.
+  double gauge(std::string_view name, int level = kNoLevel) const;
+  double counter(std::string_view name, int level = kNoLevel) const;
+  const SeriesEntry* find_series(std::string_view name) const;
+
+  std::string to_json() const;
+  void write_json(const std::string& path) const;
+
+  /// Parses a report serialized with to_json() (schema tag checked) — the
+  /// benches consume their own report.json through this, so the artifact
+  /// schema is the schema the printed numbers came through.
+  static Report from_json(std::string_view text);
+  static Report read_json(const std::string& path);
+};
+
+/// Aggregates every record made at or after `mark_ns` (a Tracer::now_ns()
+/// value; 0 = everything). Call outside SPMD regions only.
+Report build_report(std::int64_t mark_ns = 0);
+
+}  // namespace prom::obs

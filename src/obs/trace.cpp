@@ -1,0 +1,247 @@
+#include "obs/trace.h"
+
+#include <chrono>
+#include <cinttypes>
+#include <cstdio>
+#include <cstdlib>
+#include <memory>
+#include <mutex>
+
+#include "common/error.h"
+#include "common/flops.h"
+
+namespace prom::obs {
+namespace detail {
+
+std::atomic<bool> g_tracing{false};
+
+}  // namespace detail
+
+namespace {
+
+struct ThreadLog {
+  std::uint32_t tid = 0;
+  std::uint32_t depth = 0;
+  std::uint32_t next_seq = 0;
+  std::vector<SpanRecord> spans;
+  std::vector<MetricRecord> metrics;
+};
+
+// The registry is leaked on purpose: the atexit Chrome-trace writer and
+// late-exiting threads may touch it after static destruction would have
+// run.
+struct Registry {
+  std::mutex m;
+  std::vector<std::unique_ptr<ThreadLog>> logs;
+};
+
+Registry& registry() {
+  static Registry* reg = new Registry;
+  return *reg;
+}
+
+thread_local ThreadLog* t_log = nullptr;
+thread_local int t_rank = kHostRank;
+thread_local std::int64_t t_messages = 0;
+thread_local std::int64_t t_bytes = 0;
+
+ThreadLog& local_log() {
+  if (t_log == nullptr) {
+    auto log = std::make_unique<ThreadLog>();
+    Registry& reg = registry();
+    std::lock_guard<std::mutex> lock(reg.m);
+    log->tid = static_cast<std::uint32_t>(reg.logs.size());
+    t_log = log.get();
+    reg.logs.push_back(std::move(log));
+  }
+  return *t_log;
+}
+
+std::chrono::steady_clock::time_point process_origin() {
+  static const std::chrono::steady_clock::time_point origin =
+      std::chrono::steady_clock::now();
+  return origin;
+}
+
+// Forces the origin before main() in instrumented binaries so timestamps
+// are process-relative, and wires up PROM_TRACE.
+struct EnvInit {
+  EnvInit() {
+    process_origin();
+    const char* path = std::getenv("PROM_TRACE");
+    if (path != nullptr && path[0] != '\0') {
+      Tracer& tracer = Tracer::instance();
+      tracer.set_trace_path(path);
+      tracer.set_enabled(true);
+      std::atexit(+[] {
+        const Tracer& t = Tracer::instance();
+        if (!t.trace_path().empty()) t.write_chrome_trace(t.trace_path());
+      });
+    }
+  }
+} g_env_init;
+
+void json_escape_into(std::string& out, const char* s) {
+  for (; *s != '\0'; ++s) {
+    const char c = *s;
+    if (c == '"' || c == '\\') {
+      out += '\\';
+      out += c;
+    } else if (static_cast<unsigned char>(c) < 0x20) {
+      char buf[8];
+      std::snprintf(buf, sizeof buf, "\\u%04x", c);
+      out += buf;
+    } else {
+      out += c;
+    }
+  }
+}
+
+}  // namespace
+
+namespace detail {
+
+void record_metric(const char* name, int kind, double value, int level) {
+  ThreadLog& log = local_log();
+  log.metrics.push_back({name, static_cast<MetricKind>(kind), level, t_rank,
+                         log.tid, log.next_seq++, Tracer::now_ns(), value});
+}
+
+}  // namespace detail
+
+void set_thread_rank(int rank) { t_rank = rank; }
+int thread_rank() { return t_rank; }
+
+void count_message(std::int64_t bytes) {
+  t_messages += 1;
+  t_bytes += bytes;
+}
+std::int64_t thread_messages() { return t_messages; }
+std::int64_t thread_bytes() { return t_bytes; }
+
+void Span::begin(const char* name, int level) {
+  ThreadLog& log = local_log();
+  active_ = true;
+  name_ = name;
+  level_ = level;
+  depth_ = log.depth++;
+  seq_ = log.next_seq++;
+  messages0_ = t_messages;
+  bytes0_ = t_bytes;
+  flops0_ = thread_flops();
+  t0_ = Tracer::now_ns();  // last: bookkeeping stays outside the interval
+}
+
+void Span::end() {
+  const std::int64_t t1 = Tracer::now_ns();
+  ThreadLog& log = *t_log;
+  log.depth--;
+  log.spans.push_back({name_, level_, t_rank, log.tid, depth_, seq_, t0_, t1,
+                       t_messages - messages0_, t_bytes - bytes0_,
+                       thread_flops() - flops0_});
+}
+
+Tracer& Tracer::instance() {
+  static Tracer* tracer = new Tracer;
+  return *tracer;
+}
+
+void Tracer::set_enabled(bool on) {
+  detail::g_tracing.store(on, std::memory_order_relaxed);
+}
+
+void Tracer::set_trace_path(std::string path) {
+  trace_path_ = std::move(path);
+}
+
+std::int64_t Tracer::now_ns() {
+  return std::chrono::duration_cast<std::chrono::nanoseconds>(
+             std::chrono::steady_clock::now() - process_origin())
+      .count();
+}
+
+std::vector<SpanRecord> Tracer::spans_since(std::int64_t mark_ns) const {
+  Registry& reg = registry();
+  std::lock_guard<std::mutex> lock(reg.m);
+  std::vector<SpanRecord> out;
+  for (const auto& log : reg.logs) {
+    for (const SpanRecord& s : log->spans) {
+      if (s.t0_ns >= mark_ns) out.push_back(s);
+    }
+  }
+  return out;
+}
+
+std::vector<MetricRecord> Tracer::metrics_since(std::int64_t mark_ns) const {
+  Registry& reg = registry();
+  std::lock_guard<std::mutex> lock(reg.m);
+  std::vector<MetricRecord> out;
+  for (const auto& log : reg.logs) {
+    for (const MetricRecord& m : log->metrics) {
+      if (m.t_ns >= mark_ns) out.push_back(m);
+    }
+  }
+  return out;
+}
+
+void Tracer::write_chrome_trace(const std::string& path) const {
+  const std::vector<SpanRecord> spans = spans_since(0);
+
+  std::string out;
+  out.reserve(spans.size() * 160 + 256);
+  out += "{\"displayTimeUnit\": \"ms\", \"traceEvents\": [\n";
+
+  // Process-name metadata: one Chrome "process" per rank (host = pid 0,
+  // rank r = pid r + 1) so Perfetto shows per-rank timelines.
+  int max_rank = kHostRank;
+  bool saw_host = false;
+  for (const SpanRecord& s : spans) {
+    if (s.rank > max_rank) max_rank = s.rank;
+    if (s.rank == kHostRank) saw_host = true;
+  }
+  bool first = true;
+  auto comma = [&] {
+    if (!first) out += ",\n";
+    first = false;
+  };
+  if (saw_host) {
+    comma();
+    out +=
+        "{\"ph\": \"M\", \"name\": \"process_name\", \"pid\": 0, "
+        "\"args\": {\"name\": \"host\"}}";
+  }
+  for (int r = 0; r <= max_rank; ++r) {
+    comma();
+    char buf[96];
+    std::snprintf(buf, sizeof buf,
+                  "{\"ph\": \"M\", \"name\": \"process_name\", \"pid\": %d, "
+                  "\"args\": {\"name\": \"rank %d\"}}",
+                  r + 1, r);
+    out += buf;
+  }
+
+  for (const SpanRecord& s : spans) {
+    comma();
+    out += "{\"name\": \"";
+    json_escape_into(out, s.name);
+    char buf[256];
+    std::snprintf(
+        buf, sizeof buf,
+        "\", \"cat\": \"obs\", \"ph\": \"X\", \"ts\": %.3f, \"dur\": %.3f, "
+        "\"pid\": %d, \"tid\": %u, \"args\": {\"level\": %d, "
+        "\"messages\": %" PRId64 ", \"bytes\": %" PRId64
+        ", \"flops\": %" PRId64 "}}",
+        static_cast<double>(s.t0_ns) / 1e3,
+        static_cast<double>(s.t1_ns - s.t0_ns) / 1e3, s.rank + 1, s.tid,
+        s.level, s.messages, s.bytes, s.flops);
+    out += buf;
+  }
+  out += "\n]}\n";
+
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  PROM_CHECK_MSG(f != nullptr, "cannot open trace output: " + path);
+  std::fwrite(out.data(), 1, out.size(), f);
+  std::fclose(f);
+}
+
+}  // namespace prom::obs

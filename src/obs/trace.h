@@ -1,0 +1,178 @@
+// Observability core: a hierarchical span tracer plus a typed
+// counter/gauge/series registry, always compiled in and near-free when
+// disabled. Every instrumentation call starts with one relaxed atomic
+// load (`tracing()`); when that is false nothing else happens, so the
+// bit-determinism and threads-sweep gates see exactly the code they saw
+// before this subsystem existed.
+//
+// Recording model (the lock-free contract): each thread appends records
+// to its own ThreadLog, registered once (under a mutex) at the thread's
+// first instrumented call. parx rank threads, the controlling thread and
+// kernel-pool workers therefore never contend while an SPMD region runs.
+// Readers (`Tracer::spans_since`, `obs::build_report`) copy the logs out
+// and must be called *outside* SPMD regions, i.e. after Runtime::run has
+// joined its rank threads — the only threads that record spans.
+//
+// Attribution: parx tags each rank thread via `set_thread_rank`; records
+// made on the controlling thread carry `kHostRank`. Spans bracket the
+// thread's wall clock, its parx traffic counters (messages/bytes, bumped
+// by `count_message` from the runtime) and its flop counter, so a span is
+// a per-rank measurement window in the §6 sense.
+//
+// Span and metric names must be string literals (records store the
+// pointer, not a copy).
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace prom::obs {
+
+/// `level` value for records not tied to a multigrid level.
+inline constexpr int kNoLevel = -1;
+
+/// `rank` value for records made outside any parx SPMD region.
+inline constexpr int kHostRank = -1;
+
+namespace detail {
+extern std::atomic<bool> g_tracing;
+void record_metric(const char* name, int kind, double value, int level);
+}  // namespace detail
+
+/// True when recording is on. One relaxed load — the entire cost of a
+/// disabled span or metric call.
+inline bool tracing() {
+  return detail::g_tracing.load(std::memory_order_relaxed);
+}
+
+/// Tags the calling thread as parx rank `rank` (kHostRank to clear);
+/// called by parx::Runtime::run on each rank thread.
+void set_thread_rank(int rank);
+int thread_rank();
+
+/// Thread-local traffic counters; parx bumps them on every send so spans
+/// can bracket message/byte deltas without reaching into the runtime.
+void count_message(std::int64_t bytes);
+std::int64_t thread_messages();
+std::int64_t thread_bytes();
+
+/// One closed span: a wall-clock interval on one thread with traffic and
+/// flop deltas. `depth` is the nesting depth at open (0 = top-level) and
+/// `seq` the per-thread open order — together they reconstruct the tree.
+struct SpanRecord {
+  const char* name;
+  int level;
+  int rank;
+  std::uint32_t tid;    ///< registration index of the recording thread
+  std::uint32_t depth;
+  std::uint32_t seq;
+  std::int64_t t0_ns;   ///< open/close times since the process origin
+  std::int64_t t1_ns;
+  std::int64_t messages;
+  std::int64_t bytes;
+  std::int64_t flops;
+};
+
+enum class MetricKind : std::uint8_t { kCounter, kGauge, kSeries };
+
+struct MetricRecord {
+  const char* name;
+  MetricKind kind;
+  int level;
+  int rank;
+  std::uint32_t tid;
+  std::uint32_t seq;
+  std::int64_t t_ns;
+  double value;
+};
+
+/// RAII span. Construction and destruction cost one branch each while
+/// tracing is off.
+class Span {
+ public:
+  explicit Span(const char* name, int level = kNoLevel) {
+    if (tracing()) begin(name, level);
+  }
+  ~Span() {
+    if (active_) end();
+  }
+
+  Span(const Span&) = delete;
+  Span& operator=(const Span&) = delete;
+
+ private:
+  void begin(const char* name, int level);
+  void end();
+
+  bool active_ = false;
+  const char* name_ = nullptr;
+  int level_ = kNoLevel;
+  std::uint32_t depth_ = 0;
+  std::uint32_t seq_ = 0;
+  std::int64_t t0_ = 0;
+  std::int64_t messages0_ = 0;
+  std::int64_t bytes0_ = 0;
+  std::int64_t flops0_ = 0;
+};
+
+/// Counters sum over all records (and all ranks) in a report window;
+/// gauges keep the last write (ranks recording the same global value may
+/// all write it); series keep per-thread append order and the report
+/// picks one representative thread (collective backends record identical
+/// series on every rank).
+inline void counter_add(const char* name, double value, int level = kNoLevel) {
+  if (tracing()) {
+    detail::record_metric(name, static_cast<int>(MetricKind::kCounter), value,
+                          level);
+  }
+}
+inline void gauge_set(const char* name, double value, int level = kNoLevel) {
+  if (tracing()) {
+    detail::record_metric(name, static_cast<int>(MetricKind::kGauge), value,
+                          level);
+  }
+}
+inline void series_push(const char* name, double value, int level = kNoLevel) {
+  if (tracing()) {
+    detail::record_metric(name, static_cast<int>(MetricKind::kSeries), value,
+                          level);
+  }
+}
+
+/// Process-wide recorder registry. `PROM_TRACE=<path>` in the environment
+/// enables recording at startup and writes a Chrome-trace JSON of every
+/// recorded span to <path> at process exit; programs can instead (or
+/// additionally) drive it through this class.
+class Tracer {
+ public:
+  static Tracer& instance();
+
+  void set_enabled(bool on);
+  bool enabled() const { return tracing(); }
+
+  /// Chrome-trace output path written at process exit ("" = none).
+  void set_trace_path(std::string path);
+  const std::string& trace_path() const { return trace_path_; }
+
+  /// Nanoseconds since the process origin; use as a window mark for
+  /// spans_since / metrics_since / build_report.
+  static std::int64_t now_ns();
+
+  /// Copies of every record whose span opened (metric: fired) at or after
+  /// `mark_ns`. Call outside SPMD regions only.
+  std::vector<SpanRecord> spans_since(std::int64_t mark_ns = 0) const;
+  std::vector<MetricRecord> metrics_since(std::int64_t mark_ns = 0) const;
+
+  /// Writes all spans recorded so far as a Chrome-trace ("chrome://tracing"
+  /// / Perfetto) JSON file: one process lane per rank, one thread lane per
+  /// recording thread, traffic/flop deltas in each event's args.
+  void write_chrome_trace(const std::string& path) const;
+
+ private:
+  Tracer() = default;
+  std::string trace_path_;
+};
+
+}  // namespace prom::obs

@@ -9,6 +9,7 @@
 
 #include "common/flops.h"
 #include "common/parallel.h"
+#include "obs/trace.h"
 
 namespace prom::parx {
 namespace detail {
@@ -37,6 +38,10 @@ class Context {
     box.cv.notify_all();
     stats_[from].messages_sent += 1;
     stats_[from].bytes_sent += static_cast<std::int64_t>(data.size());
+    // Mirror into the sender thread's obs counters so tracing spans can
+    // bracket traffic deltas without a Comm handle (send is only ever
+    // called from rank `from`'s own thread).
+    obs::count_message(static_cast<std::int64_t>(data.size()));
   }
 
   std::vector<std::byte> recv(int me, int from, int tag) {
@@ -117,6 +122,7 @@ TrafficStats Comm::traffic() const {
 }
 
 void Comm::barrier() {
+  const obs::Span span("parx.barrier");
   // Binomial reduce to rank 0 followed by a binomial broadcast.
   const int p = size();
   const std::byte token{0};
@@ -148,6 +154,7 @@ void Comm::barrier() {
 
 std::vector<std::byte> Comm::bcast_bytes(std::vector<std::byte> data,
                                          int root) {
+  const obs::Span span("parx.bcast");
   const int p = size();
   const int vr = (rank_ - root + p) % p;
   auto to_real = [&](int v) { return (v + root) % p; };
@@ -177,6 +184,7 @@ namespace {
 template <typename T>
 std::vector<T> allreduce_impl(Comm& comm, detail::Context* ctx, int rank,
                               std::vector<T> v, Comm::ReduceOp op) {
+  const obs::Span span("parx.allreduce");
   const int p = comm.size();
   auto combine = [op](std::vector<T>& acc, const std::vector<T>& other) {
     PROM_CHECK(acc.size() == other.size());
@@ -237,6 +245,7 @@ std::vector<TrafficStats> Runtime::run(
   for (int r = 0; r < nranks; ++r) {
     threads.emplace_back([&, r] {
       reset_thread_flops();
+      obs::set_thread_rank(r);
       try {
         Comm comm(&ctx, r);
         fn(comm);

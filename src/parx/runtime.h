@@ -23,6 +23,7 @@
 #include <vector>
 
 #include "common/error.h"
+#include "obs/trace.h"
 
 namespace prom::parx {
 
@@ -165,6 +166,7 @@ std::vector<T> Comm::bcast(std::vector<T> data, int root) {
 
 template <typename T>
 std::vector<std::vector<T>> Comm::allgatherv(const std::vector<T>& mine) {
+  const obs::Span span("parx.allgatherv");
   // Gather to rank 0 then broadcast; sizes first, then payloads.
   constexpr int kTagGather = 0x7ffffff1;
   const int p = size();
@@ -197,6 +199,7 @@ std::vector<std::vector<T>> Comm::allgatherv(const std::vector<T>& mine) {
 template <typename T>
 std::vector<std::vector<T>> Comm::alltoallv(
     const std::vector<std::vector<T>>& sendbufs) {
+  const obs::Span span("parx.alltoallv");
   const int p = size();
   PROM_CHECK(static_cast<int>(sendbufs.size()) == p);
   constexpr int kTag = 0x7ffffff0;
