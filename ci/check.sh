@@ -1,17 +1,28 @@
 #!/usr/bin/env bash
-# The one-command CI gate: optimized build + full test suite, the same
+# The one-command CI gate: optimized build + tier-1 test suite, the same
 # suite again under Address/UB sanitizers, then the ThreadSanitizer race
 # gate (ci/tsan.sh). Everything a PR must pass.
+#
+# By default only tier-1 tests run (`ctest -L tier1`) — the fast PR gate.
+# Pass --full to also run slow-labelled tests in both configurations, the
+# nightly-style full lane.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
+label_args=(-L tier1)
+if [[ "${1:-}" == "--full" ]]; then
+  label_args=()
+  shift
+fi
+
 cmake --preset release
 cmake --build --preset release -j"$(nproc)"
-ctest --test-dir build-release --output-on-failure -j"$(nproc)"
+ctest --test-dir build-release --output-on-failure -j"$(nproc)" \
+  "${label_args[@]}"
 
 cmake --preset asan-ubsan
 cmake --build --preset asan-ubsan -j"$(nproc)"
-ctest --preset asan-ubsan -j"$(nproc)"
+ctest --preset asan-ubsan -j"$(nproc)" "${label_args[@]}"
 
 ./ci/tsan.sh
 

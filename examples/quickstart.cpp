@@ -12,7 +12,9 @@
 //
 // Run with PROM_TRACE=trace.json to get a Chrome-trace timeline of the
 // phases below plus the per-level multigrid cycle components (open it at
-// ui.perfetto.dev).
+// ui.perfetto.dev). PROM_MATRIX=bsr3 switches the solve phase to the
+// node-block (BAIJ-style 3x3) kernels; the iteration count and residual
+// history match the default CSR path to rounding.
 #include <cstdio>
 #include <cstdlib>
 
@@ -65,9 +67,11 @@ int main(int argc, char** argv) {
         mg::Hierarchy::build_grids(mesh, dofmap, sys.stiffness, {});
   }
   // ... Galerkin coarse operators + smoothers (matrix setup) ...
+  const mg::MatrixFormat format = mg::matrix_format_from_env();
   {
     const obs::Span span("phase.matrix_setup");
     hierarchy.update_fine_matrix(sys.stiffness);
+    if (format == mg::MatrixFormat::kBsr3) hierarchy.enable_bsr();
   }
   std::printf("%s", hierarchy.describe().c_str());
 
@@ -75,6 +79,7 @@ int main(int argc, char** argv) {
   std::vector<real> x(sys.rhs.size(), 0.0);
   mg::MgSolveOptions opts;
   opts.rtol = 1e-8;
+  opts.format = format;
   la::KrylovResult result;
   {
     const obs::Span span("phase.solve");

@@ -138,7 +138,8 @@ LinearStudyReport run_linear_study(const ModelProblem& problem,
     dla::DistHierarchy dist;
     {
       const obs::Span span("phase.matrix_setup");
-      dist = dla::DistHierarchy::build(comm, hierarchy, vertex_owner);
+      dist = dla::DistHierarchy::build(comm, hierarchy, vertex_owner,
+                                       config.format);
       comm.barrier();
     }
     galerkin_flops[comm.rank()] = dist.galerkin_flops();
@@ -162,6 +163,7 @@ LinearStudyReport run_linear_study(const ModelProblem& problem,
       so.rtol = config.rtol;
       so.max_iters = config.max_iters;
       so.cycle = config.cycle;
+      so.format = config.format;
       result = dist_mg_pcg_solve(comm, dist, b_local, x_local, so);
       comm.barrier();
     }

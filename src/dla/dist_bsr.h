@@ -1,0 +1,97 @@
+// Distributed node-block (BAIJ-style) matrices for the solve phase: the
+// blocked counterpart of DistCsr. Each rank re-blocks its owned rows of a
+// square row-distributed operator into dense 3x3 node blocks (la/bsr.h)
+// and the ghost exchange ships whole node blocks — one node index plus
+// kDofPerVertex values per ghost node instead of one index per scalar —
+// cutting both the plan metadata and the per-SpMV index traffic by 3x.
+//
+// Node identity comes from the level's vertex ids: the distributed dof
+// permutation stable-sorts free dofs by owning rank, so a node's free
+// dofs stay contiguous (and on one rank) in the permuted global
+// numbering. Block columns are ordered by global position, so the local
+// blocked SpMV accumulates each scalar row in DistCsr's storage order and
+// the two formats produce the same residual histories to rounding.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "common/config.h"
+#include "dla/dist_csr.h"
+#include "dla/dist_krylov.h"
+#include "la/bsr.h"
+#include "parx/runtime.h"
+
+namespace prom::dla {
+
+class DistBsr {
+ public:
+  DistBsr() = default;
+
+  /// Re-blocks the square row-distributed operator `a` (row and column
+  /// distributions aligned) into node blocks. `perm` is the level's
+  /// global permutation (perm[global] = serial free-dof index, identical
+  /// on all ranks) and `free_dofs` the level's serial free-dof list
+  /// (kDofPerVertex * vertex + component) — together they recover the
+  /// (node, component) of every owned and ghost column. Collective
+  /// (builds the node-granularity exchange plan).
+  static DistBsr build(parx::Comm& comm, const DistCsr& a,
+                       std::span<const idx> perm,
+                       std::span<const idx> free_dofs);
+
+  idx local_rows() const { return nlocal_; }
+
+  /// The owned node-block rows over [owned | ghost] node columns.
+  const la::Bsr3& local_matrix() const { return local_; }
+
+  /// y_local = A x on free-dof local blocks; ships whole node blocks in
+  /// the ghost exchange. Collective.
+  void spmv(parx::Comm& comm, std::span<const real> x_local,
+            std::span<real> y_local) const;
+
+  /// r_local = b - A x, fused (same bits as spmv + subtraction).
+  /// Collective.
+  void residual(parx::Comm& comm, std::span<const real> b_local,
+                std::span<const real> x_local, std::span<real> r_local) const;
+
+ private:
+  void fill_extended(parx::Comm& comm, std::span<const real> x_local,
+                     std::span<real> x_ext) const;
+
+  int rank_ = 0;
+  idx nlocal_ = 0;  // owned scalar rows (free dofs)
+  la::Bsr3 local_;  // owned node rows x [owned | ghost] node cols
+  std::vector<idx> row_slot_of_free_;   // local row -> BS*brow + comp
+  std::vector<idx> slot_of_owned_col_;  // local owned col -> x_ext slot
+  /// Per owned-node slot, the local dof holding its value (kInvalidIdx for
+  /// constrained/padding components, which always carry 0).
+  std::vector<idx> own_node_dof_;
+  // Node-granularity exchange plan (cf. DistCsr): per peer, the owned
+  // node-block rows to send and the ghost node-block columns to fill.
+  std::vector<int> peers_send_;
+  std::vector<std::vector<idx>> send_brows_;
+  std::vector<int> peers_recv_;
+  std::vector<std::vector<idx>> recv_bcols_;
+};
+
+/// DistOperator adapter for a square DistBsr, with the fused residual the
+/// ParxBackend picks up.
+class DistBsrOperator final : public DistOperator {
+ public:
+  explicit DistBsrOperator(const DistBsr& a) : a_(&a) {}
+  idx local_n() const override { return a_->local_rows(); }
+  void apply(parx::Comm& comm, std::span<const real> x_local,
+             std::span<real> y_local) const override {
+    a_->spmv(comm, x_local, y_local);
+  }
+  void residual(parx::Comm& comm, std::span<const real> b_local,
+                std::span<const real> x_local,
+                std::span<real> r_local) const {
+    a_->residual(comm, b_local, x_local, r_local);
+  }
+
+ private:
+  const DistBsr* a_;
+};
+
+}  // namespace prom::dla

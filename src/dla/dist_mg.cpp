@@ -71,7 +71,12 @@ struct DistCycleView {
     h->level(l).smooth(*comm, b, x);
   }
   void apply_a(int l, std::span<const real> x, std::span<real> y) const {
-    h->level(l).a.spmv(*comm, x, y);
+    const DistMgLevel& lv = h->level(l);
+    if (lv.a_bsr != nullptr) {
+      lv.a_bsr->spmv(*comm, x, y);
+    } else {
+      lv.a.spmv(*comm, x, y);
+    }
   }
   void restrict_to(int l, std::span<const real> xf, std::span<real> xc) const {
     h->level(l).r.spmv(*comm, xf, xc);
@@ -99,28 +104,44 @@ struct DistCycleView {
 
 }  // namespace
 
-void DistMgLevel::smooth(parx::Comm& comm, std::span<const real> b_local,
-                         std::span<real> x_local) const {
+namespace {
+
+/// Smoother dispatch over the operator view: the sweeps are generic in
+/// the operator, so the CSR and node-block paths share one body.
+template <class Op>
+void smooth_with(const DistMgLevel& lv, parx::Comm& comm, const Op& op,
+                 std::span<const real> b_local, std::span<real> x_local) {
   const ParxBackend be{&comm};
-  const DistCsrOperator op(a);
-  switch (kind) {
+  switch (lv.kind) {
     case mg::SmootherKind::kJacobi:
-      la::jacobi_sweep(be, op, inv_diag, omega, b_local, x_local);
+      la::jacobi_sweep(be, op, lv.inv_diag, lv.omega, b_local, x_local);
       break;
     case mg::SmootherKind::kChebyshev:
-      la::chebyshev_sweep(be, op, inv_diag, cheby_degree, cheby_lmin,
-                          cheby_lmax, b_local, x_local);
+      la::chebyshev_sweep(be, op, lv.inv_diag, lv.cheby_degree, lv.cheby_lmin,
+                          lv.cheby_lmax, b_local, x_local);
       break;
     default:
-      la::block_jacobi_sweep(be, op, blocks, factors, omega, b_local,
+      la::block_jacobi_sweep(be, op, lv.blocks, lv.factors, lv.omega, b_local,
                              x_local);
       break;
   }
 }
 
+}  // namespace
+
+void DistMgLevel::smooth(parx::Comm& comm, std::span<const real> b_local,
+                         std::span<real> x_local) const {
+  if (a_bsr != nullptr) {
+    smooth_with(*this, comm, DistBsrOperator(*a_bsr), b_local, x_local);
+  } else {
+    smooth_with(*this, comm, DistCsrOperator(a), b_local, x_local);
+  }
+}
+
 DistHierarchy DistHierarchy::build(parx::Comm& comm,
                                    const mg::Hierarchy& serial,
-                                   std::span<const idx> fine_vertex_owner) {
+                                   std::span<const idx> fine_vertex_owner,
+                                   mg::MatrixFormat format) {
   const int nl = serial.num_levels();
   const int p = comm.size();
   const int rank = comm.rank();
@@ -180,6 +201,12 @@ DistHierarchy DistHierarchy::build(parx::Comm& comm,
       dl.a = dist_galerkin_product(comm, dl.r, h.levels_[l - 1].a,
                                    h.perms_[l - 1]);
       h.galerkin_flops_ += window.flops();
+    }
+    if (format == mg::MatrixFormat::kBsr3) {
+      // Node-block view for the solve phase; the setup above stays CSR so
+      // both formats see bit-identical operators.
+      dl.a_bsr = std::make_unique<DistBsr>(DistBsr::build(
+          comm, dl.a, h.perms_[l], serial.level(l).free_dofs));
     }
     // Level-resolved size metrics: the gauge is identical on every rank
     // (last-write merge keeps one copy); local nnz counters sum-merge
@@ -249,6 +276,13 @@ la::KrylovResult dist_mg_pcg_solve(parx::Comm& comm, const DistHierarchy& h,
                                    std::span<real> x_local,
                                    const mg::MgSolveOptions& opts) {
   const DistMgPreconditioner precond(h, opts.cycle);
+  if (opts.format == mg::MatrixFormat::kBsr3) {
+    PROM_CHECK_MSG(h.level(0).a_bsr != nullptr,
+                   "MatrixFormat::kBsr3 requires a hierarchy built with it");
+    const DistBsrOperator a(*h.level(0).a_bsr);
+    return dist_pcg(comm, a, &precond, b_local, x_local,
+                    mg::to_krylov_options(opts));
+  }
   const DistCsrOperator a(h.level(0).a);
   return dist_pcg(comm, a, &precond, b_local, x_local,
                   mg::to_krylov_options(opts));

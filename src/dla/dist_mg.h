@@ -19,6 +19,7 @@
 #include <memory>
 #include <vector>
 
+#include "dla/dist_bsr.h"
 #include "dla/dist_csr.h"
 #include "dla/dist_krylov.h"
 #include "la/dense.h"
@@ -30,6 +31,13 @@ namespace prom::dla {
 struct DistMgLevel {
   DistCsr a;   ///< level operator (square, row/col dist identical)
   DistCsr r;   ///< restriction from the finer level (empty on level 0)
+  /// Node-block (BAIJ) view of `a`, built when the hierarchy is
+  /// constructed with mg::MatrixFormat::kBsr3; the solve phase (SpMV
+  /// inside smoothers, cycles, and PCG) then ships whole node blocks in
+  /// the ghost exchange. Null in the scalar configuration. The matrix
+  /// *setup* (Galerkin chain) stays CSR either way, so both formats see
+  /// bit-identical operators.
+  std::unique_ptr<DistBsr> a_bsr;
 
   // Smoother data over the local rows (kSymGaussSeidel falls back to
   // processor-block Jacobi — Gauss–Seidel does not parallelize).
@@ -64,7 +72,8 @@ class DistHierarchy {
   /// identical on all ranks. The permutations applied per level are
   /// retained so solutions can be mapped back to the serial ordering.
   static DistHierarchy build(parx::Comm& comm, const mg::Hierarchy& serial,
-                             std::span<const idx> fine_vertex_owner);
+                             std::span<const idx> fine_vertex_owner,
+                             mg::MatrixFormat format = mg::MatrixFormat::kCsr);
 
   int num_levels() const { return static_cast<int>(levels_.size()); }
   const DistMgLevel& level(int l) const { return levels_[l]; }

@@ -34,6 +34,19 @@ struct ParxBackend {
     op.apply(*comm, x, y);
   }
 
+  /// r = b - Op x on the local block; same bits as apply + waxpby (see
+  /// la/backend.h), fused when the operator provides a residual kernel.
+  template <class Op>
+  void residual(const Op& op, std::span<const real> b,
+                std::span<const real> x, std::span<real> r) const {
+    if constexpr (requires { op.residual(*comm, b, x, r); }) {
+      op.residual(*comm, b, x, r);
+    } else {
+      apply(op, x, r);
+      la::waxpby(1, b, -1, r, r);
+    }
+  }
+
   real reduce_sum(real local) const { return comm->allreduce_sum(local); }
 
   real dot(std::span<const real> x, std::span<const real> y) const {

@@ -32,6 +32,7 @@ concept BackendFor =
              std::span<real> mx, real v) {
       { be.local_n(op) } -> std::convertible_to<idx>;
       be.apply(op, cx, mx);
+      be.residual(op, cx, cx, mx);
       { be.reduce_sum(v) } -> std::convertible_to<real>;
       { be.dot(cx, cx) } -> std::convertible_to<real>;
       { be.norm2(cx) } -> std::convertible_to<real>;
@@ -53,6 +54,21 @@ struct SerialBackend {
   template <class Op>
   void apply(const Op& op, std::span<const real> x, std::span<real> y) const {
     op.apply(x, y);
+  }
+
+  /// r = b - Op x. Operators exposing a fused residual kernel (the blocked
+  /// formats) get it; the fallback composes apply + waxpby, which produces
+  /// the same bits (one subtraction per entry either way), so backends may
+  /// fuse freely without perturbing residual histories.
+  template <class Op>
+  void residual(const Op& op, std::span<const real> b,
+                std::span<const real> x, std::span<real> r) const {
+    if constexpr (requires { op.residual(b, x, r); }) {
+      op.residual(b, x, r);
+    } else {
+      apply(op, x, r);
+      waxpby(1, b, -1, r, r);
+    }
   }
 
   real reduce_sum(real local) const { return local; }

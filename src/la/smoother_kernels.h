@@ -36,10 +36,10 @@ void jacobi_sweep(const B& be, const Op& a, std::span<const real> inv_diag,
   PROM_CHECK(static_cast<idx>(b.size()) == n &&
              static_cast<idx>(x.size()) == n);
   std::vector<real> r(n);
-  be.apply(a, x, r);
+  be.residual(a, b, x, r);  // r = b - A x
   common::parallel_for(0, n, kSmootherPointGrain, [&](idx ib, idx ie) {
     for (idx i = ib; i < ie; ++i) {
-      x[i] += omega * inv_diag[i] * (b[i] - r[i]);
+      x[i] += omega * inv_diag[i] * r[i];
     }
   });
   count_flops(4LL * n);
@@ -59,8 +59,7 @@ void block_jacobi_sweep(const B& be, const Op& a,
   PROM_CHECK(static_cast<idx>(b.size()) == n &&
              static_cast<idx>(x.size()) == n);
   std::vector<real> r(n);
-  be.apply(a, x, r);
-  waxpby(1, b, -1, r, r);  // r = b - A x
+  be.residual(a, b, x, r);  // r = b - A x
   // Blocks partition the rows, so block solves write disjoint slices of x
   // and parallelize without ordering concerns.
   common::parallel_for(
@@ -100,8 +99,7 @@ void chebyshev_sweep(const B& be, const Op& a, std::span<const real> inv_diag,
   real rho = 1 / sigma;
 
   std::vector<real> r(n), d(n), ad(n);
-  be.apply(a, x, r);
-  waxpby(1, b, -1, r, r);
+  be.residual(a, b, x, r);
   common::parallel_for(0, n, kSmootherPointGrain, [&](idx ib, idx ie) {
     for (idx i = ib; i < ie; ++i) d[i] = inv_diag[i] * r[i] / theta;
   });
@@ -119,6 +117,103 @@ void chebyshev_sweep(const B& be, const Op& a, std::span<const real> inv_diag,
     });
     rho = rho_new;
     count_flops(6LL * n);
+  }
+}
+
+/// One damped point-block Jacobi step on a node-block operator:
+/// x += omega * blkdiag(A)^{-1} (b - A x), where blkdiag(A) is the BS x BS
+/// diagonal node block of each block row, inverted directly (the paper's
+/// nodal smoother on BAIJ matrices). `inv_blocks` holds BS*BS reals per
+/// local block row (e.g. Bsr::inverted_block_diagonal()); vectors live on
+/// the block space, so local_n(a) must be a multiple of BS.
+template <int BS, class B, class Op>
+  requires BackendFor<B, Op>
+void pointblock_jacobi_sweep(const B& be, const Op& a,
+                             std::span<const real> inv_blocks, real omega,
+                             std::span<const real> b, std::span<real> x) {
+  const obs::Span span("smoother.pointblock_jacobi");
+  const idx n = be.local_n(a);
+  PROM_CHECK(n % BS == 0);
+  PROM_CHECK(static_cast<idx>(b.size()) == n &&
+             static_cast<idx>(x.size()) == n &&
+             static_cast<idx>(inv_blocks.size()) == n * BS);
+  std::vector<real> r(n);
+  be.residual(a, b, x, r);
+  common::parallel_for(
+      0, n / BS, kSmootherPointGrain / BS, [&](idx ib, idx ie) {
+        for (idx i = ib; i < ie; ++i) {
+          const real* inv = inv_blocks.data() +
+                            static_cast<std::size_t>(i) * BS * BS;
+          const real* ri = r.data() + static_cast<std::size_t>(i) * BS;
+          real* xi = x.data() + static_cast<std::size_t>(i) * BS;
+          for (int rr = 0; rr < BS; ++rr) {
+            real sum = 0;
+            for (int c = 0; c < BS; ++c) sum += inv[rr * BS + c] * ri[c];
+            xi[rr] += omega * sum;
+          }
+        }
+      });
+  count_flops((2LL * BS + 2) * n);
+}
+
+/// One Chebyshev smoothing pass of the given degree preconditioned by the
+/// inverted diagonal node blocks (blkdiag(A)^{-1} A), targeting
+/// [lmin, lmax] — the point-block analogue of chebyshev_sweep.
+template <int BS, class B, class Op>
+  requires BackendFor<B, Op>
+void pointblock_chebyshev_sweep(const B& be, const Op& a,
+                                std::span<const real> inv_blocks, int degree,
+                                real lmin, real lmax, std::span<const real> b,
+                                std::span<real> x) {
+  const obs::Span span("smoother.pointblock_chebyshev");
+  const idx n = be.local_n(a);
+  PROM_CHECK(n % BS == 0);
+  PROM_CHECK(static_cast<idx>(b.size()) == n &&
+             static_cast<idx>(x.size()) == n &&
+             static_cast<idx>(inv_blocks.size()) == n * BS);
+  const real theta = (lmax + lmin) / 2;
+  const real delta = (lmax - lmin) / 2;
+  const real sigma = theta / delta;
+  real rho = 1 / sigma;
+
+  std::vector<real> r(n), d(n), ad(n);
+  be.residual(a, b, x, r);
+  common::parallel_for(
+      0, n / BS, kSmootherPointGrain / BS, [&](idx ib, idx ie) {
+        for (idx i = ib; i < ie; ++i) {
+          const real* inv = inv_blocks.data() +
+                            static_cast<std::size_t>(i) * BS * BS;
+          const real* ri = r.data() + static_cast<std::size_t>(i) * BS;
+          real* di = d.data() + static_cast<std::size_t>(i) * BS;
+          for (int rr = 0; rr < BS; ++rr) {
+            real sum = 0;
+            for (int c = 0; c < BS; ++c) sum += inv[rr * BS + c] * ri[c];
+            di[rr] = sum / theta;
+          }
+        }
+      });
+  for (int k = 0; k < degree; ++k) {
+    axpy(1, d, x);
+    if (k + 1 == degree) break;
+    be.apply(a, d, ad);
+    axpy(-1, ad, r);
+    const real rho_new = 1 / (2 * sigma - rho);
+    common::parallel_for(
+        0, n / BS, kSmootherPointGrain / BS, [&](idx ib, idx ie) {
+          for (idx i = ib; i < ie; ++i) {
+            const real* inv = inv_blocks.data() +
+                              static_cast<std::size_t>(i) * BS * BS;
+            const real* ri = r.data() + static_cast<std::size_t>(i) * BS;
+            real* di = d.data() + static_cast<std::size_t>(i) * BS;
+            for (int rr = 0; rr < BS; ++rr) {
+              real zi = 0;
+              for (int c = 0; c < BS; ++c) zi += inv[rr * BS + c] * ri[c];
+              di[rr] = rho_new * rho * di[rr] + 2 * rho_new / delta * zi;
+            }
+          }
+        });
+    rho = rho_new;
+    count_flops((2LL * BS + 6) * n);
   }
 }
 

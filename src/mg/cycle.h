@@ -17,6 +17,10 @@ namespace prom::mg {
 /// generic cycle templates.
 struct HierarchyCycleView {
   const Hierarchy* h;
+  /// Apply level operators through their node-block (BAIJ) views when the
+  /// hierarchy has them (Hierarchy::enable_bsr). Same bits as the scalar
+  /// path — the blocked SpMV preserves the CSR accumulation order.
+  bool use_bsr = false;
 
   int num_levels() const { return h->num_levels(); }
   idx local_n(int l) const { return h->level(l).a.nrows; }
@@ -26,7 +30,12 @@ struct HierarchyCycleView {
     h->level(l).smoother->smooth(b, x);
   }
   void apply_a(int l, std::span<const real> x, std::span<real> y) const {
-    h->level(l).a.spmv(x, y);
+    const MgLevel& lv = h->level(l);
+    if (use_bsr && lv.a_bsr != nullptr) {
+      lv.a_bsr->apply(x, y);
+    } else {
+      lv.a.spmv(x, y);
+    }
   }
   void restrict_to(int l, std::span<const real> xf, std::span<real> xc) const {
     h->level(l).r.spmv(xf, xc);

@@ -1,6 +1,8 @@
 #include "mg/hierarchy.h"
 
+#include <cstdlib>
 #include <sstream>
+#include <string_view>
 
 #include "common/error.h"
 #include "common/log.h"
@@ -165,6 +167,7 @@ void Hierarchy::set_fine_matrix(la::Csr a_fine) {
   PROM_CHECK(!levels_.empty());
   PROM_CHECK(a_fine.nrows == levels_[0].a.nrows);
   levels_[0].a = std::move(a_fine);
+  levels_[0].a_bsr.reset();  // stale node-block view; enable_bsr rebuilds
 }
 
 void Hierarchy::build_operators() {
@@ -184,6 +187,7 @@ void Hierarchy::build_operators() {
     levels_[l].smoother.reset();
     levels_[l].direct.reset();
     levels_[l].sparse_direct.reset();
+    levels_[l].a_bsr.reset();  // stale node-block view; enable_bsr rebuilds
     if (coarsest && levels_.size() > 1 &&
         opts_.coarse_solver == CoarseSolverKind::kSparseCholesky) {
       const la::Csr& a = levels_[l].a;
@@ -229,6 +233,27 @@ void Hierarchy::build_operators() {
     } else {
       levels_[l].smoother = make_smoother(levels_[l].a, opts_);
     }
+  }
+}
+
+MatrixFormat matrix_format_from_env() {
+  const char* env = std::getenv("PROM_MATRIX");
+  if (env == nullptr || env[0] == '\0') return MatrixFormat::kCsr;
+  const std::string_view v(env);
+  if (v == "csr") return MatrixFormat::kCsr;
+  if (v == "bsr3") return MatrixFormat::kBsr3;
+  PROM_CHECK_MSG(false, "PROM_MATRIX must be 'csr' or 'bsr3'");
+  return MatrixFormat::kCsr;
+}
+
+void Hierarchy::enable_bsr() {
+  const obs::Span span("setup.enable_bsr");
+  for (MgLevel& lv : levels_) {
+    PROM_CHECK(static_cast<idx>(lv.free_dofs.size()) == lv.a.nrows);
+    la::NodeBlockMap map = la::node_block_map(lv.free_dofs);
+    la::Bsr3 blocked = la::bsr_from_free_csr(lv.a, map);
+    lv.a_bsr =
+        std::make_unique<la::BsrOperator>(std::move(blocked), std::move(map));
   }
 }
 

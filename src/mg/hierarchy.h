@@ -11,6 +11,7 @@
 #include "coarsen/coarsen.h"
 #include "common/config.h"
 #include "fem/assembly.h"
+#include "la/bsr.h"
 #include "la/csr.h"
 #include "la/dense.h"
 #include "la/smoothers.h"
@@ -25,6 +26,17 @@ enum class SmootherKind : std::uint8_t {
   kBlockJacobi,
   kChebyshev,
 };
+
+/// Storage format the solve phase applies operators in. kCsr is the
+/// scalar baseline (PETSc AIJ); kBsr3 re-blocks every level into dense
+/// 3x3 node blocks (PETSc BAIJ, what the paper ran on). Both produce the
+/// same residual history to rounding — the blocked SpMV preserves the
+/// scalar accumulation order (la/bsr.h).
+enum class MatrixFormat : std::uint8_t { kCsr, kBsr3 };
+
+/// Reads the PROM_MATRIX environment switch ("csr" | "bsr3"; unset or
+/// empty means kCsr). Fails fast on an unknown value.
+MatrixFormat matrix_format_from_env();
 
 enum class CoarseSolverKind : std::uint8_t { kDense, kSparseCholesky };
 
@@ -56,6 +68,9 @@ struct MgLevel {
   /// Restriction from the next-finer level's free dofs to this level's
   /// (empty on level 0). Prolongation is r^T.
   la::Csr r;
+  /// Node-block (BAIJ) view of `a`, built by Hierarchy::enable_bsr();
+  /// null in the default scalar configuration.
+  std::unique_ptr<la::BsrOperator> a_bsr;
   std::unique_ptr<la::Smoother> smoother;        // all but coarsest
   std::unique_ptr<la::DenseLdlt> direct;         // coarsest (dense mode)
   std::unique_ptr<la::SparseCholesky> sparse_direct;  // coarsest (sparse)
@@ -101,6 +116,11 @@ class Hierarchy {
   /// distributed path (Newton with dist_ranks > 0 rebuilds the Galerkin
   /// chain row-distributed from this matrix each iteration).
   void set_fine_matrix(la::Csr a_fine);
+
+  /// Re-blocks every level's operator into the padded node-block space
+  /// (MgLevel::a_bsr) so the solve phase can run in MatrixFormat::kBsr3.
+  /// Call after operators exist (build / update_fine_matrix); idempotent.
+  void enable_bsr();
 
   int num_levels() const { return static_cast<int>(levels_.size()); }
   const MgLevel& level(int l) const { return levels_[l]; }

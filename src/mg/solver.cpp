@@ -1,15 +1,23 @@
 #include "mg/solver.h"
 
+#include "common/error.h"
+
 namespace prom::mg {
 
 void MgPreconditioner::apply(std::span<const real> x,
                              std::span<real> y) const {
-  apply_cycle(HierarchyCycleView{h_}, kind_, x, y);
+  const bool use_bsr = format_ == MatrixFormat::kBsr3;
+  apply_cycle(HierarchyCycleView{h_, use_bsr}, kind_, x, y);
 }
 
 la::KrylovResult mg_pcg_solve(const Hierarchy& h, std::span<const real> b,
                               std::span<real> x, const MgSolveOptions& opts) {
-  const MgPreconditioner precond(h, opts.cycle);
+  const MgPreconditioner precond(h, opts.cycle, opts.format);
+  if (opts.format == MatrixFormat::kBsr3) {
+    PROM_CHECK_MSG(h.level(0).a_bsr != nullptr,
+                   "MatrixFormat::kBsr3 requires Hierarchy::enable_bsr()");
+    return la::pcg(*h.level(0).a_bsr, precond, b, x, to_krylov_options(opts));
+  }
   const la::CsrOperator a(h.level(0).a);
   return la::pcg(a, precond, b, x, to_krylov_options(opts));
 }

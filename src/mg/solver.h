@@ -16,8 +16,9 @@ namespace prom::mg {
 /// Adapts one multigrid cycle to the preconditioner interface.
 class MgPreconditioner final : public la::LinearOperator {
  public:
-  MgPreconditioner(const Hierarchy& h, CycleKind kind)
-      : h_(&h), kind_(kind) {}
+  MgPreconditioner(const Hierarchy& h, CycleKind kind,
+                   MatrixFormat format = MatrixFormat::kCsr)
+      : h_(&h), kind_(kind), format_(format) {}
 
   idx rows() const override { return h_->level(0).a.nrows; }
   idx cols() const override { return rows(); }
@@ -26,6 +27,7 @@ class MgPreconditioner final : public la::LinearOperator {
  private:
   const Hierarchy* h_;
   CycleKind kind_;
+  MatrixFormat format_;
 };
 
 struct MgSolveOptions {
@@ -33,6 +35,9 @@ struct MgSolveOptions {
   int max_iters = 200;
   CycleKind cycle = CycleKind::kFmg;
   bool track_history = false;
+  /// kBsr3 applies every level operator through its node-block view
+  /// (requires Hierarchy::enable_bsr() first).
+  MatrixFormat format = MatrixFormat::kCsr;
 };
 
 /// The single MgSolveOptions -> KrylovOptions mapping, shared by the

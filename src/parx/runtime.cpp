@@ -212,7 +212,7 @@ std::vector<T> allreduce_impl(Comm& comm, detail::Context* ctx, int rank,
     if (rank + mask < p) {
       std::vector<std::byte> raw = ctx->recv(rank, rank + mask, kTagReduce);
       std::vector<T> other(raw.size() / sizeof(T));
-      std::memcpy(other.data(), raw.data(), raw.size());
+      if (!raw.empty()) std::memcpy(other.data(), raw.data(), raw.size());
       combine(v, other);
     }
   }

@@ -83,7 +83,8 @@ class Comm {
     std::vector<std::byte> raw = recv_bytes(from, tag);
     PROM_CHECK(raw.size() % sizeof(T) == 0);
     std::vector<T> out(raw.size() / sizeof(T));
-    std::memcpy(out.data(), raw.data(), raw.size());
+    // Empty messages are legal; memcpy's pointers must not be null then.
+    if (!raw.empty()) std::memcpy(out.data(), raw.data(), raw.size());
     return out;
   }
 
@@ -157,10 +158,12 @@ template <typename T>
 std::vector<T> Comm::bcast(std::vector<T> data, int root) {
   static_assert(std::is_trivially_copyable_v<T>);
   std::vector<std::byte> raw(data.size() * sizeof(T));
-  if (rank_ == root) std::memcpy(raw.data(), data.data(), raw.size());
+  if (rank_ == root && !raw.empty()) {
+    std::memcpy(raw.data(), data.data(), raw.size());
+  }
   raw = bcast_bytes(std::move(raw), root);
   std::vector<T> out(raw.size() / sizeof(T));
-  std::memcpy(out.data(), raw.data(), raw.size());
+  if (!raw.empty()) std::memcpy(out.data(), raw.data(), raw.size());
   return out;
 }
 

@@ -169,6 +169,57 @@ TEST_F(AssemblyFixture, BcCouplingMatchesExplicitProduct) {
   }
 }
 
+TEST_F(AssemblyFixture, BlockedAssemblyMatchesScalar) {
+  // The node-block assembly path must reproduce the scalar one: same rhs
+  // bit for bit (identical accumulation order), same stiffness entries to
+  // the triplet-reordering tolerance, identity pivots on every
+  // constrained diagonal slot, zeros elsewhere in constrained rows/cols.
+  FeProblem scalar_problem(mesh_, {Material{}}, dofmap_);
+  const LinearSystem sys = assemble_linear_system(scalar_problem);
+  FeProblem blocked_problem(mesh_, {Material{}}, dofmap_);
+  const LinearSystemBsr bsys = assemble_linear_system_bsr(blocked_problem);
+
+  ASSERT_EQ(bsys.rhs.size(), sys.rhs.size());
+  for (std::size_t i = 0; i < sys.rhs.size(); ++i) {
+    EXPECT_EQ(bsys.rhs[i], sys.rhs[i]) << "rhs entry " << i;
+  }
+
+  const la::NodeBlockMap& map = bsys.map;
+  ASSERT_EQ(map.nfree, sys.stiffness.nrows);
+  real scale = 0;
+  for (real v : sys.stiffness.vals) scale = std::max(scale, std::abs(v));
+  for (idx i = 0; i < map.nfree; ++i) {
+    // Stored scalar entries agree (duplicate triplets may sum in a
+    // different order between the two paths — tolerance, not bitwise).
+    for (nnz_t k = sys.stiffness.rowptr[i]; k < sys.stiffness.rowptr[i + 1];
+         ++k) {
+      EXPECT_NEAR(bsys.stiffness.at(map.slot_of_free[i],
+                                    map.slot_of_free[sys.stiffness.colidx[k]]),
+                  sys.stiffness.vals[k], 1e-12 * scale)
+          << "entry (" << i << ", " << sys.stiffness.colidx[k] << ")";
+    }
+  }
+  for (idx s = 0; s < map.nslots(); ++s) {
+    if (map.free_of_slot[s] == kInvalidIdx) {
+      EXPECT_EQ(bsys.stiffness.at(s, s), 1.0) << "padding slot " << s;
+    }
+  }
+
+  // The blocked operator applied through the map matches the scalar SpMV.
+  const la::BsrOperator op(bsys.stiffness, map);
+  std::vector<real> x(static_cast<std::size_t>(map.nfree));
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    x[i] = std::sin(static_cast<real>(i) + 1);
+  }
+  std::vector<real> yb(x.size());
+  std::vector<real> ys(x.size());
+  op.apply(x, yb);
+  sys.stiffness.spmv(x, ys);
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    EXPECT_NEAR(yb[i], ys[i], 1e-12 * scale) << "spmv entry " << i;
+  }
+}
+
 TEST(FeProblem, PlasticFractionLifecycle) {
   // One hard element sheared far beyond yield; commit() latches state.
   mesh::Mesh m = mesh::box_hex(1, 1, 1, {0, 0, 0}, {1, 1, 1});

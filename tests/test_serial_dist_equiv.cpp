@@ -62,14 +62,15 @@ struct DistOutcome {
 };
 
 DistOutcome run_distributed(const Problem& prob, int p, Run what,
-                            const mg::MgSolveOptions& so = {}) {
+                            const mg::MgSolveOptions& so = {},
+                            mg::MatrixFormat format = mg::MatrixFormat::kCsr) {
   DistOutcome out;
   out.x.assign(prob.rhs.size(), 0);
   out.results.resize(static_cast<std::size_t>(p));
   const std::vector<idx> owner = block_owner(prob.num_vertices, p);
   parx::Runtime::run(p, [&](parx::Comm& comm) {
     const dla::DistHierarchy dist =
-        dla::DistHierarchy::build(comm, prob.hierarchy, owner);
+        dla::DistHierarchy::build(comm, prob.hierarchy, owner, format);
     const auto& perm = dist.permutation(0);
     const dla::RowDist& rows = dist.level(0).a.row_dist();
     const idx b0 = rows.begin(comm.rank());
@@ -162,6 +163,53 @@ TEST_P(EquivRanks, PcgHistoryMatchesSerial) {
       EXPECT_EQ(other.history[i], d.history[i]) << "rank " << r;
     }
   }
+}
+
+// Node-block (BAIJ) solve path: the distributed bsr3 PCG must reproduce
+// the *serial scalar CSR* iterate history — the blocked kernels accumulate
+// each scalar row in the same order as CSR (block columns sorted by global
+// position, padding contributes exact zeros), so the format change adds no
+// rounding of its own on top of the backend's allreduce-vs-serial delta.
+TEST_P(EquivRanks, Bsr3PcgHistoryMatchesSerialCsr) {
+  Problem prob = build_problem(mg::SmootherKind::kJacobi);
+  mg::MgSolveOptions so;
+  so.rtol = 1e-8;
+  so.track_history = true;
+  std::vector<real> x_ref(prob.rhs.size(), 0);
+  const la::KrylovResult ref =
+      mg::mg_pcg_solve(prob.hierarchy, prob.rhs, x_ref, so);
+  ASSERT_TRUE(ref.converged);
+  ASSERT_FALSE(ref.history.empty());
+
+  // Serial bsr3 against serial CSR first: same residual history to the
+  // reassociation-free tolerance.
+  prob.hierarchy.enable_bsr();
+  mg::MgSolveOptions so_bsr = so;
+  so_bsr.format = mg::MatrixFormat::kBsr3;
+  std::vector<real> x_sb(prob.rhs.size(), 0);
+  const la::KrylovResult sb =
+      mg::mg_pcg_solve(prob.hierarchy, prob.rhs, x_sb, so_bsr);
+  EXPECT_EQ(sb.iterations, ref.iterations);
+  ASSERT_EQ(sb.history.size(), ref.history.size());
+  for (std::size_t i = 0; i < ref.history.size(); ++i) {
+    EXPECT_NEAR(sb.history[i], ref.history[i], 1e-12 * ref.history[0])
+        << "serial bsr3 history entry " << i;
+  }
+  expect_vectors_close(x_ref, x_sb, 1e-12);
+
+  // Distributed bsr3 at every rank count.
+  const DistOutcome got = run_distributed(prob, GetParam(), Run::kPcg, so_bsr,
+                                          mg::MatrixFormat::kBsr3);
+  const la::KrylovResult& d = got.results[0];
+  EXPECT_TRUE(d.converged);
+  EXPECT_EQ(d.iterations, ref.iterations);
+  ASSERT_EQ(d.history.size(), ref.history.size());
+  for (std::size_t i = 0; i < ref.history.size(); ++i) {
+    EXPECT_NEAR(d.history[i], ref.history[i], 1e-12 * ref.history[0])
+        << "dist bsr3 history entry " << i;
+  }
+  EXPECT_NEAR(d.final_relres, ref.final_relres, 1e-12);
+  expect_vectors_close(x_ref, got.x, 1e-10);
 }
 
 // Chebyshev estimates its eigenvalue bound with norm reductions whose
