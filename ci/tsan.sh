@@ -1,18 +1,20 @@
 #!/usr/bin/env bash
 # CI race gate for the two-level parallelism model (parx rank threads x
 # intra-rank kernel threads): builds the `tsan` preset and runs the
-# threaded-determinism, parx stress, BSR kernel property, and
-# serial/distributed equivalence suites under ThreadSanitizer (the
+# threaded-determinism, parx stress, BSR kernel property, halo-exchange,
+# and serial/distributed equivalence suites under ThreadSanitizer (the
 # equivalence suite drives the whole distributed matrix setup + solve —
-# both matrix formats — across 1..8 rank threads). Any reported race
-# fails the build (TSAN_OPTIONS below aborts on the first report).
+# both matrix formats — across 1..8 rank threads; the halo suite drives
+# the overlapped arrival-order ghost drain with staggered peer sends).
+# Any reported race fails the build (TSAN_OPTIONS below aborts on the
+# first report).
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
 cmake --preset tsan
 cmake --build --preset tsan -j"$(nproc)" --target \
   test_threads_determinism test_parx_stress test_la_bsr_prop \
-  test_serial_dist_equiv test_obs
+  test_serial_dist_equiv test_halo test_obs
 
 export TSAN_OPTIONS="halt_on_error=1 abort_on_error=1 ${TSAN_OPTIONS:-}"
 # Exercise the pool beyond the core count regardless of the CI machine.
@@ -22,6 +24,7 @@ export PROM_THREADS="${PROM_THREADS:-4}"
 ./build-tsan/tests/test_parx_stress
 ./build-tsan/tests/test_la_bsr_prop
 ./build-tsan/tests/test_serial_dist_equiv
+./build-tsan/tests/test_halo
 ./build-tsan/tests/test_obs
 
 echo "tsan gate: OK (no races reported)"

@@ -4,10 +4,13 @@
 #include <utility>
 
 #include "common/error.h"
+#include "obs/trace.h"
 
 namespace prom::dla {
 namespace {
 
+// Forward node-block ghost exchange; the plan's reverse path would use
+// kTagNodeGhost + 1 (unused — DistBsr has no transpose).
 constexpr int kTagNodeGhost = 311;
 constexpr int BS = kDofPerVertex;
 
@@ -182,67 +185,79 @@ DistBsr DistBsr::build(parx::Comm& comm, const DistCsr& a,
   for (int r = 0; r < comm.size(); ++r) {
     if (r == rank) continue;
     if (!incoming[r].empty()) {
-      d.peers_send_.push_back(r);
-      std::vector<idx> brows;
-      brows.reserve(incoming[r].size());
+      // Whole node blocks on the wire: BS values per requested node,
+      // padding components gathered as kInvalidIdx (shipped as 0).
+      std::vector<idx> gather;
+      gather.reserve(incoming[r].size() * BS);
       for (idx v : incoming[r]) {
         const auto it = std::lower_bound(
             vertex_to_brow.begin(), vertex_to_brow.end(),
             std::make_pair(v, idx{0}),
             [](const auto& a_, const auto& b_) { return a_.first < b_.first; });
         PROM_CHECK(it != vertex_to_brow.end() && it->first == v);
-        brows.push_back(it->second);
+        for (int c = 0; c < BS; ++c) {
+          gather.push_back(
+              d.own_node_dof_[static_cast<std::size_t>(it->second) * BS + c]);
+        }
       }
-      d.send_brows_.push_back(std::move(brows));
+      d.plan_.add_send(r, std::move(gather));
     }
     if (!requests[r].empty()) {
-      d.peers_recv_.push_back(r);
-      d.recv_bcols_.push_back(std::move(req_bcols[r]));
+      std::vector<idx> slots;
+      slots.reserve(req_bcols[r].size() * BS);
+      for (idx nd : req_bcols[r]) {
+        for (int c = 0; c < BS; ++c) slots.push_back(nd * BS + c);
+      }
+      d.plan_.add_recv(r, std::move(slots));
     }
   }
-  return d;
-}
+  d.plan_.finalize(kTagNodeGhost);
 
-void DistBsr::fill_extended(parx::Comm& comm, std::span<const real> x_local,
-                            std::span<real> x_ext) const {
-  for (idx i = 0; i < nlocal_; ++i) {
-    x_ext[slot_of_owned_col_[i]] = x_local[i];
-  }
-  // Whole node blocks on the wire: BS values per requested node, padding
-  // components shipped as the zeros they hold.
-  std::vector<real> buffer;
-  for (std::size_t p = 0; p < peers_send_.size(); ++p) {
-    buffer.clear();
-    buffer.reserve(send_brows_[p].size() * BS);
-    for (idx br : send_brows_[p]) {
-      for (int c = 0; c < BS; ++c) {
-        const idx i = own_node_dof_[static_cast<std::size_t>(br) * BS + c];
-        buffer.push_back(i == kInvalidIdx ? real{0} : x_local[i]);
+  // Interior/boundary split at block-row granularity: a block row is
+  // interior when every referenced node column is owned.
+  for (idx br = 0; br < nbrows; ++br) {
+    bool interior = true;
+    for (nnz_t k = m.browptr[br]; k < m.browptr[br + 1]; ++k) {
+      if (brow_of_node[m.bcolidx[k]] == kInvalidIdx) {
+        interior = false;
+        break;
       }
     }
-    comm.send<real>(peers_send_[p], kTagNodeGhost, buffer);
+    (interior ? d.interior_brows_ : d.boundary_brows_).push_back(br);
   }
-  for (std::size_t p = 0; p < peers_recv_.size(); ++p) {
-    const std::vector<real> vals =
-        comm.recv<real>(peers_recv_[p], kTagNodeGhost);
-    PROM_CHECK(vals.size() == recv_bcols_[p].size() * BS);
-    for (std::size_t j = 0; j < recv_bcols_[p].size(); ++j) {
-      const std::size_t slot =
-          static_cast<std::size_t>(recv_bcols_[p][j]) * BS;
-      for (int c = 0; c < BS; ++c) x_ext[slot + c] = vals[j * BS + c];
-    }
-  }
+
+  // Persistent padded work vectors. Zero invariants: owned padding slots
+  // of x_ext_ are never rewritten (the per-call scatter touches only free
+  // owned slots, the exchange rewrites whole ghost nodes incl. their
+  // padding zeros); b_pad_ padding likewise stays 0 after this fill.
+  d.x_ext_.assign(static_cast<std::size_t>(d.local_.cols()), real{0});
+  d.y_pad_.assign(static_cast<std::size_t>(d.local_.rows()), real{0});
+  d.b_pad_.assign(static_cast<std::size_t>(d.local_.rows()), real{0});
+  d.r_pad_.assign(static_cast<std::size_t>(d.local_.rows()), real{0});
+  return d;
 }
 
 void DistBsr::spmv(parx::Comm& comm, std::span<const real> x_local,
                    std::span<real> y_local) const {
   PROM_CHECK(static_cast<idx>(x_local.size()) == nlocal_ &&
              static_cast<idx>(y_local.size()) == nlocal_);
-  std::vector<real> x_ext(static_cast<std::size_t>(local_.cols()), real{0});
-  fill_extended(comm, x_local, x_ext);
-  std::vector<real> y_pad(static_cast<std::size_t>(local_.rows()));
-  local_.spmv(x_ext, y_pad);
-  for (idx i = 0; i < nlocal_; ++i) y_local[i] = y_pad[row_slot_of_free_[i]];
+  plan_.post(comm, x_local);
+  for (idx i = 0; i < nlocal_; ++i) {
+    x_ext_[slot_of_owned_col_[i]] = x_local[i];
+  }
+  if (halo_mode() == HaloMode::kOverlap) {
+    {
+      const obs::Span span("halo.interior");
+      local_.spmv_brows(x_ext_, y_pad_, interior_brows_);
+    }
+    plan_.finish(comm, x_ext_);
+    const obs::Span span("halo.boundary");
+    local_.spmv_brows(x_ext_, y_pad_, boundary_brows_);
+  } else {
+    plan_.finish_rank_order(comm, x_ext_);
+    local_.spmv(x_ext_, y_pad_);
+  }
+  for (idx i = 0; i < nlocal_; ++i) y_local[i] = y_pad_[row_slot_of_free_[i]];
 }
 
 void DistBsr::residual(parx::Comm& comm, std::span<const real> b_local,
@@ -251,13 +266,26 @@ void DistBsr::residual(parx::Comm& comm, std::span<const real> b_local,
   PROM_CHECK(static_cast<idx>(b_local.size()) == nlocal_ &&
              static_cast<idx>(x_local.size()) == nlocal_ &&
              static_cast<idx>(r_local.size()) == nlocal_);
-  std::vector<real> x_ext(static_cast<std::size_t>(local_.cols()), real{0});
-  fill_extended(comm, x_local, x_ext);
-  std::vector<real> b_pad(static_cast<std::size_t>(local_.rows()), real{0});
-  for (idx i = 0; i < nlocal_; ++i) b_pad[row_slot_of_free_[i]] = b_local[i];
-  std::vector<real> r_pad(b_pad.size());
-  local_.residual(b_pad, x_ext, r_pad);
-  for (idx i = 0; i < nlocal_; ++i) r_local[i] = r_pad[row_slot_of_free_[i]];
+  plan_.post(comm, x_local);
+  for (idx i = 0; i < nlocal_; ++i) {
+    x_ext_[slot_of_owned_col_[i]] = x_local[i];
+  }
+  for (idx i = 0; i < nlocal_; ++i) {
+    b_pad_[row_slot_of_free_[i]] = b_local[i];
+  }
+  if (halo_mode() == HaloMode::kOverlap) {
+    {
+      const obs::Span span("halo.interior");
+      local_.residual_brows(b_pad_, x_ext_, r_pad_, interior_brows_);
+    }
+    plan_.finish(comm, x_ext_);
+    const obs::Span span("halo.boundary");
+    local_.residual_brows(b_pad_, x_ext_, r_pad_, boundary_brows_);
+  } else {
+    plan_.finish_rank_order(comm, x_ext_);
+    local_.residual(b_pad_, x_ext_, r_pad_);
+  }
+  for (idx i = 0; i < nlocal_; ++i) r_local[i] = r_pad_[row_slot_of_free_[i]];
 }
 
 }  // namespace prom::dla

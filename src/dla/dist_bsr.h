@@ -19,6 +19,7 @@
 #include "common/config.h"
 #include "dla/dist_csr.h"
 #include "dla/dist_krylov.h"
+#include "dla/halo.h"
 #include "la/bsr.h"
 #include "parx/runtime.h"
 
@@ -44,6 +45,14 @@ class DistBsr {
   /// The owned node-block rows over [owned | ghost] node columns.
   const la::Bsr3& local_matrix() const { return local_; }
 
+  /// Block rows referencing only owned node columns — computable before
+  /// the ghost exchange completes; boundary_brows() is the complement.
+  const std::vector<idx>& interior_brows() const { return interior_brows_; }
+  const std::vector<idx>& boundary_brows() const { return boundary_brows_; }
+
+  /// The exchange plan (persistent staging; see dla/halo.h).
+  const HaloPlan& halo_plan() const { return plan_; }
+
   /// y_local = A x on free-dof local blocks; ships whole node blocks in
   /// the ghost exchange. Collective.
   void spmv(parx::Comm& comm, std::span<const real> x_local,
@@ -55,9 +64,6 @@ class DistBsr {
                 std::span<const real> x_local, std::span<real> r_local) const;
 
  private:
-  void fill_extended(parx::Comm& comm, std::span<const real> x_local,
-                     std::span<real> x_ext) const;
-
   int rank_ = 0;
   idx nlocal_ = 0;  // owned scalar rows (free dofs)
   la::Bsr3 local_;  // owned node rows x [owned | ghost] node cols
@@ -66,12 +72,19 @@ class DistBsr {
   /// Per owned-node slot, the local dof holding its value (kInvalidIdx for
   /// constrained/padding components, which always carry 0).
   std::vector<idx> own_node_dof_;
-  // Node-granularity exchange plan (cf. DistCsr): per peer, the owned
-  // node-block rows to send and the ghost node-block columns to fill.
-  std::vector<int> peers_send_;
-  std::vector<std::vector<idx>> send_brows_;
-  std::vector<int> peers_recv_;
-  std::vector<std::vector<idx>> recv_bcols_;
+  // Scalar-slot exchange plan over whole node blocks: the gather list is
+  // own_node_dof_ per requested node (kInvalidIdx ships the padding zero)
+  // and the recv slots are each ghost node's x_ext slots. Ghost padding
+  // slots are rewritten with zeros every exchange; owned padding slots are
+  // zeroed once at build and never touched again.
+  HaloPlan plan_;
+  std::vector<idx> interior_brows_;  // block rows with owned columns only
+  std::vector<idx> boundary_brows_;  // the rest
+  // Persistent padded work vectors (see build() for the zero invariants).
+  mutable std::vector<real> x_ext_;
+  mutable std::vector<real> y_pad_;
+  mutable std::vector<real> b_pad_;
+  mutable std::vector<real> r_pad_;
 };
 
 /// DistOperator adapter for a square DistBsr, with the fused residual the

@@ -3,13 +3,14 @@
 #include <algorithm>
 
 #include "common/error.h"
-#include "common/flops.h"
+#include "obs/trace.h"
 
 namespace prom::dla {
 namespace {
 
+// Forward ghost exchange; the HaloPlan's reverse (transpose) path uses
+// kTagGhost + 1.
 constexpr int kTagGhost = 301;
-constexpr int kTagTranspose = 302;
 
 }  // namespace
 
@@ -52,30 +53,45 @@ void DistCsr::init_from_local(parx::Comm& comm, const la::Csr& local_rows) {
   for (idx g : ghost_cols_) requests[cols_.owner(g)].push_back(g);
   const auto incoming = comm.alltoallv(requests);
 
-  peers_send_.clear();
-  send_lists_.clear();
-  peers_recv_.clear();
-  recv_slots_.clear();
+  plan_ = HaloPlan{};
   for (int r = 0; r < comm.size(); ++r) {
     if (r == rank_) continue;
     if (!incoming[r].empty()) {
-      peers_send_.push_back(r);
       std::vector<idx> local_ids;
       local_ids.reserve(incoming[r].size());
       for (idx g : incoming[r]) {
         PROM_CHECK(cols_.owner(g) == rank_);
         local_ids.push_back(g - c0);
       }
-      send_lists_.push_back(std::move(local_ids));
+      plan_.add_send(r, std::move(local_ids));
     }
     if (!requests[r].empty()) {
-      peers_recv_.push_back(r);
+      // Absolute x_ext slots: the ghost block starts after the owned cols.
       std::vector<idx> slots;
       slots.reserve(requests[r].size());
-      for (idx g : requests[r]) slots.push_back(ghost_slot(g));
-      recv_slots_.push_back(std::move(slots));
+      for (idx g : requests[r]) slots.push_back(n_local_cols + ghost_slot(g));
+      plan_.add_recv(r, std::move(slots));
     }
   }
+  plan_.finalize(kTagGhost);
+
+  // Interior/boundary split: interior rows reference only owned columns,
+  // so they can be computed while the ghost exchange is in flight.
+  interior_rows_.clear();
+  boundary_rows_.clear();
+  for (idx i = 0; i < local_.nrows; ++i) {
+    bool interior = true;
+    for (nnz_t k = local_.rowptr[i]; k < local_.rowptr[i + 1]; ++k) {
+      if (local_.colidx[k] >= n_local_cols) {
+        interior = false;
+        break;
+      }
+    }
+    (interior ? interior_rows_ : boundary_rows_).push_back(i);
+  }
+
+  x_ext_.assign(static_cast<std::size_t>(local_.ncols), real{0});
+  y_ext_.assign(static_cast<std::size_t>(local_.ncols), real{0});
 }
 
 DistCsr::DistCsr(parx::Comm& comm, const la::Csr& a, RowDist row_dist,
@@ -152,35 +168,50 @@ DistCsr DistCsr::from_global_permuted(parx::Comm& comm, const la::Csr& a,
                          std::move(col_dist));
 }
 
-void DistCsr::exchange_ghosts(parx::Comm& comm, std::span<const real> x_local,
-                              std::span<real> ghost_values) const {
-  std::vector<real> buffer;
-  for (std::size_t p = 0; p < peers_send_.size(); ++p) {
-    buffer.clear();
-    for (idx li : send_lists_[p]) buffer.push_back(x_local[li]);
-    comm.send<real>(peers_send_[p], kTagGhost, buffer);
-  }
-  for (std::size_t p = 0; p < peers_recv_.size(); ++p) {
-    const std::vector<real> vals = comm.recv<real>(peers_recv_[p], kTagGhost);
-    PROM_CHECK(vals.size() == recv_slots_[p].size());
-    for (std::size_t i = 0; i < vals.size(); ++i) {
-      ghost_values[recv_slots_[p][i]] = vals[i];
-    }
-  }
-}
-
 void DistCsr::spmv(parx::Comm& comm, std::span<const real> x_local,
                    std::span<real> y_local) const {
   const idx n_own = cols_.local_size(rank_);
   PROM_CHECK(static_cast<idx>(x_local.size()) == n_own);
   PROM_CHECK(static_cast<idx>(y_local.size()) == local_.nrows);
 
-  // Assemble [owned | ghost] input.
-  std::vector<real> x_ext(static_cast<std::size_t>(local_.ncols), 0);
-  std::copy(x_local.begin(), x_local.end(), x_ext.begin());
-  exchange_ghosts(comm, x_local,
-                  std::span<real>(x_ext).subspan(n_own));
-  local_.spmv(x_ext, y_local);
+  plan_.post(comm, x_local);
+  std::copy(x_local.begin(), x_local.end(), x_ext_.begin());
+  if (halo_mode() == HaloMode::kOverlap) {
+    {
+      const obs::Span span("halo.interior");
+      local_.spmv_rows(x_ext_, y_local, interior_rows_);
+    }
+    plan_.finish(comm, x_ext_);
+    const obs::Span span("halo.boundary");
+    local_.spmv_rows(x_ext_, y_local, boundary_rows_);
+  } else {
+    plan_.finish_rank_order(comm, x_ext_);
+    local_.spmv(x_ext_, y_local);
+  }
+}
+
+void DistCsr::residual(parx::Comm& comm, std::span<const real> b_local,
+                       std::span<const real> x_local,
+                       std::span<real> r_local) const {
+  const idx n_own = cols_.local_size(rank_);
+  PROM_CHECK(static_cast<idx>(x_local.size()) == n_own);
+  PROM_CHECK(static_cast<idx>(b_local.size()) == local_.nrows &&
+             static_cast<idx>(r_local.size()) == local_.nrows);
+
+  plan_.post(comm, x_local);
+  std::copy(x_local.begin(), x_local.end(), x_ext_.begin());
+  if (halo_mode() == HaloMode::kOverlap) {
+    {
+      const obs::Span span("halo.interior");
+      local_.residual_rows(b_local, x_ext_, r_local, interior_rows_);
+    }
+    plan_.finish(comm, x_ext_);
+    const obs::Span span("halo.boundary");
+    local_.residual_rows(b_local, x_ext_, r_local, boundary_rows_);
+  } else {
+    plan_.finish_rank_order(comm, x_ext_);
+    local_.residual(b_local, x_ext_, r_local);
+  }
 }
 
 void DistCsr::spmv_transpose(parx::Comm& comm, std::span<const real> x_local,
@@ -189,31 +220,13 @@ void DistCsr::spmv_transpose(parx::Comm& comm, std::span<const real> x_local,
   PROM_CHECK(static_cast<idx>(x_local.size()) == local_.nrows);
   PROM_CHECK(static_cast<idx>(y_local.size()) == n_own_cols);
 
-  // Local A^T x over the extended column space.
-  std::vector<real> y_ext(static_cast<std::size_t>(local_.ncols), 0);
-  local_.spmv_transpose(x_local, y_ext);
-
-  std::fill(y_local.begin(), y_local.end(), real{0});
-  for (idx c = 0; c < n_own_cols; ++c) y_local[c] = y_ext[c];
-
-  // Ship ghost contributions to their owners (reverse of the ghost plan:
-  // I RECEIVED ghost values from peers_recv_, so contributions go back to
-  // those ranks, and I accumulate contributions arriving from peers_send_).
-  for (std::size_t p = 0; p < peers_recv_.size(); ++p) {
-    std::vector<real> buffer;
-    buffer.reserve(recv_slots_[p].size());
-    for (idx slot : recv_slots_[p]) buffer.push_back(y_ext[n_own_cols + slot]);
-    comm.send<real>(peers_recv_[p], kTagTranspose, buffer);
-  }
-  for (std::size_t p = 0; p < peers_send_.size(); ++p) {
-    const std::vector<real> vals =
-        comm.recv<real>(peers_send_[p], kTagTranspose);
-    PROM_CHECK(vals.size() == send_lists_[p].size());
-    for (std::size_t i = 0; i < vals.size(); ++i) {
-      y_local[send_lists_[p][i]] += vals[i];
-    }
-    count_flops(static_cast<std::int64_t>(vals.size()));
-  }
+  // Local A^T x over the extended column space; ghost contributions then
+  // travel the plan's reverse path back to their owners. Every owned
+  // entry of y_local is overwritten by the copy, so no zero-fill.
+  local_.spmv_transpose(x_local, y_ext_);
+  plan_.reverse_post(comm, y_ext_);
+  for (idx c = 0; c < n_own_cols; ++c) y_local[c] = y_ext_[c];
+  plan_.reverse_accumulate(comm, y_local);
 }
 
 la::Csr DistCsr::local_diagonal_block() const {

@@ -10,6 +10,7 @@
 
 #include "common/config.h"
 #include "dla/dist_vec.h"
+#include "dla/halo.h"
 #include "la/csr.h"
 #include "parx/runtime.h"
 
@@ -56,10 +57,25 @@ class DistCsr {
                              : ghost_cols_[local_col - n_own];
   }
 
+  /// Local row indices whose entries reference only owned columns — safe
+  /// to compute before the ghost exchange completes. Complemented by
+  /// boundary_rows(); together they cover [0, local_rows()).
+  const std::vector<idx>& interior_rows() const { return interior_rows_; }
+  const std::vector<idx>& boundary_rows() const { return boundary_rows_; }
+
+  /// The exchange plan (persistent staging; see dla/halo.h).
+  const HaloPlan& halo_plan() const { return plan_; }
+
   /// y_local = A x (x given as the local block of the distributed input);
-  /// performs the ghost exchange. Collective.
+  /// performs the ghost exchange, overlapping it with the interior rows
+  /// under HaloMode::kOverlap. Collective.
   void spmv(parx::Comm& comm, std::span<const real> x_local,
             std::span<real> y_local) const;
+
+  /// r_local = b - A x, fused (same bits as spmv + subtraction, see
+  /// la/backend.h). Collective.
+  void residual(parx::Comm& comm, std::span<const real> b_local,
+                std::span<const real> x_local, std::span<real> r_local) const;
 
   /// y_local = A^T x distributed: each rank computes its rows' scatter
   /// contributions and ships them to the owners of the output (used for
@@ -77,25 +93,24 @@ class DistCsr {
 
  private:
   /// Shared construction core: remaps the owned rows (global column ids)
-  /// into the [owned | ghost] local indexing and builds the neighbor
-  /// exchange plan. Collective.
+  /// into the [owned | ghost] local indexing, builds the neighbor
+  /// exchange plan with its persistent staging, and splits the rows into
+  /// interior and boundary. Collective.
   void init_from_local(parx::Comm& comm, const la::Csr& local_rows);
-
-  void exchange_ghosts(parx::Comm& comm, std::span<const real> x_local,
-                       std::span<real> ghost_values) const;
 
   int rank_ = 0;
   RowDist rows_;
   RowDist cols_;
   la::Csr local_;                 // local rows, remapped columns
   std::vector<idx> ghost_cols_;   // global ids of ghost columns (sorted)
-  // Exchange plan: for each peer rank, the local indices of my owned x
-  // entries to send (send_plan_) and the ghost slots to fill (recv ordering
-  // follows each peer's send order = their request order).
-  std::vector<int> peers_send_;               // ranks I send values to
-  std::vector<std::vector<idx>> send_lists_;  // local x indices per peer
-  std::vector<int> peers_recv_;               // ranks I receive from
-  std::vector<std::vector<idx>> recv_slots_;  // ghost slots per peer
+  HaloPlan plan_;                 // ghost exchange (forward + reverse)
+  std::vector<idx> interior_rows_;  // rows referencing no ghost column
+  std::vector<idx> boundary_rows_;  // the rest
+  // Persistent [owned | ghost] work vectors: the owned prefix is rewritten
+  // on every call and every ghost slot belongs to exactly one peer's recv
+  // segment, so no per-call zero-fill or allocation is needed.
+  mutable std::vector<real> x_ext_;
+  mutable std::vector<real> y_ext_;  // spmv_transpose scratch
 };
 
 }  // namespace prom::dla

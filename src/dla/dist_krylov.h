@@ -22,7 +22,8 @@ class DistOperator {
                      std::span<real> y_local) const = 0;
 };
 
-/// Adapter for a square DistCsr.
+/// Adapter for a square DistCsr, with the fused residual the ParxBackend
+/// picks up (bitwise equal to apply + waxpby, see la/backend.h).
 class DistCsrOperator final : public DistOperator {
  public:
   explicit DistCsrOperator(const DistCsr& a) : a_(&a) {}
@@ -30,6 +31,11 @@ class DistCsrOperator final : public DistOperator {
   void apply(parx::Comm& comm, std::span<const real> x_local,
              std::span<real> y_local) const override {
     a_->spmv(comm, x_local, y_local);
+  }
+  void residual(parx::Comm& comm, std::span<const real> b_local,
+                std::span<const real> x_local,
+                std::span<real> r_local) const {
+    a_->residual(comm, b_local, x_local, r_local);
   }
 
  private:

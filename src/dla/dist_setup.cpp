@@ -1,6 +1,7 @@
 #include "dla/dist_setup.h"
 
 #include <algorithm>
+#include <cstring>
 #include <tuple>
 #include <unordered_map>
 #include <vector>
@@ -12,6 +13,9 @@
 namespace prom::dla {
 namespace {
 
+/// Ghost-row replies: one fused message per peer (counts + cols + vals).
+constexpr int kTagGhostRows = 321;
+
 /// This rank's rows of `a` with column indices mapped back to global ids
 /// (storage order — ascending global column — preserved).
 la::Csr local_rows_global_cols(const DistCsr& a) {
@@ -20,6 +24,30 @@ la::Csr local_rows_global_cols(const DistCsr& a) {
   for (auto& c : out.colidx) c = a.global_col(c);
   return out;
 }
+
+template <typename T>
+void append_bytes(std::vector<std::byte>& msg, const std::vector<T>& v) {
+  const auto raw = std::as_bytes(std::span<const T>(v));
+  msg.insert(msg.end(), raw.begin(), raw.end());
+}
+
+template <typename T>
+std::vector<T> take_bytes(const std::vector<std::byte>& msg, std::size_t& off,
+                          std::size_t count) {
+  std::vector<T> out(count);
+  PROM_CHECK(off + count * sizeof(T) <= msg.size());
+  if (count > 0) std::memcpy(out.data(), msg.data() + off, count * sizeof(T));
+  off += count * sizeof(T);
+  return out;
+}
+
+/// One peer's ghost rows: per requested row its length, then all column
+/// ids and values concatenated in request order.
+struct GhostRowReply {
+  std::vector<nnz_t> counts;
+  std::vector<idx> cols;
+  std::vector<real> vals;
+};
 
 }  // namespace
 
@@ -41,25 +69,62 @@ DistCsr dist_spgemm(parx::Comm& comm, const DistCsr& a, const DistCsr& b,
   for (idx g : a.ghost_cols()) want[bd.owner(g)].push_back(g);
   const auto asked = comm.alltoallv(want);
 
+  // Each owner replies with one fused message per requester — the row
+  // lengths, column ids and values of the requested rows back to back —
+  // instead of three separate collectives. Replies are drained in arrival
+  // order (slow peers never stall parsed ones); the assembly loop below
+  // walks the ghost list in fixed order, so the result is deterministic.
   const la::Csr b_rows = local_rows_global_cols(b);
   const idx b0 = bd.begin(rank);
-  std::vector<std::vector<nnz_t>> counts(p);
-  std::vector<std::vector<idx>> cols(p);
-  std::vector<std::vector<real>> vals(p);
-  for (int r = 0; r < p; ++r) {
-    for (idx grow : asked[r]) {
-      PROM_CHECK(bd.owner(grow) == rank);
-      const idx lr = grow - b0;
-      counts[r].push_back(b_rows.rowptr[lr + 1] - b_rows.rowptr[lr]);
-      for (nnz_t k = b_rows.rowptr[lr]; k < b_rows.rowptr[lr + 1]; ++k) {
-        cols[r].push_back(b_rows.colidx[k]);
-        vals[r].push_back(b_rows.vals[k]);
+  {
+    std::vector<nnz_t> counts;
+    std::vector<idx> cols;
+    std::vector<real> vals;
+    for (int r = 0; r < p; ++r) {
+      if (r == rank || asked[r].empty()) continue;
+      counts.clear();
+      cols.clear();
+      vals.clear();
+      for (idx grow : asked[r]) {
+        PROM_CHECK(bd.owner(grow) == rank);
+        const idx lr = grow - b0;
+        counts.push_back(b_rows.rowptr[lr + 1] - b_rows.rowptr[lr]);
+        for (nnz_t k = b_rows.rowptr[lr]; k < b_rows.rowptr[lr + 1]; ++k) {
+          cols.push_back(b_rows.colidx[k]);
+          vals.push_back(b_rows.vals[k]);
+        }
       }
+      std::vector<std::byte> msg;
+      msg.reserve(counts.size() * sizeof(nnz_t) + cols.size() * sizeof(idx) +
+                  vals.size() * sizeof(real));
+      append_bytes(msg, counts);
+      append_bytes(msg, cols);
+      append_bytes(msg, vals);
+      comm.send_bytes(r, kTagGhostRows, msg);
     }
   }
-  const auto got_counts = comm.alltoallv(counts);
-  const auto got_cols = comm.alltoallv(cols);
-  const auto got_vals = comm.alltoallv(vals);
+  std::vector<GhostRowReply> replies(p);
+  {
+    std::vector<int> pending;
+    for (int r = 0; r < p; ++r) {
+      if (r != rank && !want[r].empty()) pending.push_back(r);
+    }
+    while (!pending.empty()) {
+      const int src = comm.wait_any(pending, kTagGhostRows);
+      const std::vector<std::byte> msg = comm.recv_bytes(src, kTagGhostRows);
+      std::size_t off = 0;
+      GhostRowReply& rep = replies[src];
+      rep.counts = take_bytes<nnz_t>(msg, off, want[src].size());
+      nnz_t total = 0;
+      for (nnz_t nz : rep.counts) total += nz;
+      rep.cols = take_bytes<idx>(msg, off, static_cast<std::size_t>(total));
+      rep.vals = take_bytes<real>(msg, off, static_cast<std::size_t>(total));
+      PROM_CHECK(off == msg.size());
+      pending.erase(std::find(pending.begin(), pending.end(), src));
+    }
+  }
+  // Self-requests never happen: every ghost column is owned elsewhere.
+  PROM_CHECK(want[rank].empty());
 
   // Ghost-row table aligned with A's ghost slots (global columns).
   la::Csr ghost_rows;
@@ -69,10 +134,11 @@ DistCsr dist_spgemm(parx::Comm& comm, const DistCsr& a, const DistCsr& b,
   std::vector<std::size_t> ccur(p, 0), ecur(p, 0);
   for (std::size_t g = 0; g < a.ghost_cols().size(); ++g) {
     const int o = bd.owner(a.ghost_cols()[g]);
-    const nnz_t nz = got_counts[o][ccur[o]++];
+    const GhostRowReply& rep = replies[o];
+    const nnz_t nz = rep.counts[ccur[o]++];
     for (nnz_t t = 0; t < nz; ++t) {
-      ghost_rows.colidx.push_back(got_cols[o][ecur[o]]);
-      ghost_rows.vals.push_back(got_vals[o][ecur[o]]);
+      ghost_rows.colidx.push_back(rep.cols[ecur[o]]);
+      ghost_rows.vals.push_back(rep.vals[ecur[o]]);
       ++ecur[o];
     }
     ghost_rows.rowptr[g + 1] = static_cast<nnz_t>(ghost_rows.colidx.size());

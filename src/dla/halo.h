@@ -1,0 +1,115 @@
+// Latency-hiding halo exchange shared by DistCsr and DistBsr (§6: halo
+// cost is amortized against per-rank flops only if communication and
+// interior compute actually overlap). A HaloPlan is built once per
+// operator: per peer, the flattened gather list of local values to ship
+// and the absolute destination slots to fill, plus persistent pre-sized
+// staging buffers — after finalize() an exchange performs no heap
+// allocation in this layer (the parx transport still buffers messages,
+// like MPI_Bsend).
+//
+// The overlap schedule is post() → compute interior rows → finish() →
+// compute boundary rows. finish() drains peers in *arrival* order
+// (parx::Comm::wait_any); that is deterministic because each peer's
+// destination slots are disjoint, and bitwise identical to the
+// synchronous path because every scalar row still accumulates in CSR
+// sorted-column order over the same extended vector. The reverse
+// (transpose) exchange also stages replies in arrival order but
+// *accumulates* them in fixed peer order — reverse contributions from
+// different peers may target the same output entry, so the summation
+// order must not depend on timing.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "common/config.h"
+#include "parx/runtime.h"
+
+namespace prom::dla {
+
+/// Schedule used by the distributed SpMV/residual paths: kSync reproduces
+/// the historical blocking exchange (post all sends, drain peers in rank
+/// order, then run the full local kernel); kOverlap posts sends, computes
+/// interior rows while messages are in flight, drains in arrival order
+/// and finishes with the boundary rows. Both produce identical bits.
+enum class HaloMode { kSync, kOverlap };
+
+/// Process-wide mode switch. The initial value comes from PROM_HALO
+/// ("sync" | "overlap"), defaulting to kOverlap. Set outside SPMD regions.
+void set_halo_mode(HaloMode mode);
+HaloMode halo_mode();
+
+/// One operator's neighbor-exchange plan with persistent staging buffers.
+class HaloPlan {
+ public:
+  /// Registers a peer this rank sends to. `gather[i]` is the local index
+  /// of the i-th wire value; kInvalidIdx ships a literal 0 (DistBsr's
+  /// constrained/padding node components).
+  void add_send(int peer, std::vector<idx> gather);
+
+  /// Registers a peer this rank receives from. `slots[i]` is the absolute
+  /// index (into the destination span of finish()) the i-th wire value
+  /// fills. Slots of different peers are disjoint by construction.
+  void add_recv(int peer, std::vector<idx> slots);
+
+  /// Sizes the staging buffers. The forward exchange uses `tag`, the
+  /// reverse (transpose) exchange `tag + 1`.
+  void finalize(int tag);
+
+  int num_send_peers() const { return static_cast<int>(send_peers_.size()); }
+  int num_recv_peers() const { return static_cast<int>(recv_peers_.size()); }
+  /// Total scalar values shipped / received per forward exchange.
+  std::int64_t send_count() const {
+    return static_cast<std::int64_t>(send_idx_.size());
+  }
+  std::int64_t recv_count() const {
+    return static_cast<std::int64_t>(recv_slots_.size());
+  }
+
+  // ---- forward exchange (owner -> ghost) ----
+
+  /// Packs the staging buffer from `x_local` and sends every peer its
+  /// segment. Returns immediately (parx sends are buffered).
+  void post(parx::Comm& comm, std::span<const real> x_local) const;
+
+  /// Drains all pending peers in arrival order, scattering each segment
+  /// into `dst` at the registered slots.
+  void finish(parx::Comm& comm, std::span<real> dst) const;
+
+  /// Drains peers in ascending registration (rank) order — the historical
+  /// blocking schedule, kept for HaloMode::kSync and as the bitwise
+  /// reference the overlap tests compare against.
+  void finish_rank_order(parx::Comm& comm, std::span<real> dst) const;
+
+  // ---- reverse exchange (ghost contributions -> owner) ----
+
+  /// Ships each recv peer the values its slots hold in `src` (used by
+  /// spmv_transpose: the ghost rows of y_ext go back to their owners).
+  void reverse_post(parx::Comm& comm, std::span<const real> src) const;
+
+  /// Receives one reverse message per send peer (arrival-order staging
+  /// under kOverlap, rank order under kSync) and accumulates
+  /// `y_local[gather[i]] += value` in *fixed* peer order — reverse
+  /// targets overlap across peers, so the accumulation order must be a
+  /// function of the plan alone. kInvalidIdx gather entries are dropped.
+  void reverse_accumulate(parx::Comm& comm, std::span<real> y_local) const;
+
+ private:
+  void scatter(std::size_t peer, std::span<real> dst) const;
+
+  int tag_ = 0;
+  std::vector<int> send_peers_;
+  std::vector<std::size_t> send_off_{0};  // per-peer segment offsets
+  std::vector<idx> send_idx_;             // flattened gather lists
+  std::vector<int> recv_peers_;
+  std::vector<std::size_t> recv_off_{0};
+  std::vector<idx> recv_slots_;  // flattened absolute destination slots
+  // Persistent staging; sized by finalize(), reused by every exchange.
+  // send_buf_ doubles as the reverse-direction receive staging (the
+  // reverse payload per peer has exactly the forward send length).
+  mutable std::vector<real> send_buf_;
+  mutable std::vector<real> recv_buf_;
+  mutable std::vector<int> pending_;  // wait_any scratch
+};
+
+}  // namespace prom::dla

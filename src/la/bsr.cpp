@@ -127,6 +127,60 @@ void Bsr<BS>::residual(std::span<const real> b, std::span<const real> x,
 }
 
 template <int BS>
+void Bsr<BS>::spmv_brows(std::span<const real> x, std::span<real> y,
+                         std::span<const idx> brows) const {
+  PROM_CHECK(static_cast<idx>(x.size()) == cols() &&
+             static_cast<idx>(y.size()) == rows());
+  const idx n = static_cast<idx>(brows.size());
+  common::parallel_for(0, n, kBlockRowGrain, [&](idx tb, idx te) {
+    nnz_t sub = 0;
+    for (idx t = tb; t < te; ++t) {
+      const idx i = brows[t];
+      real acc[BS] = {};
+      for (nnz_t k = browptr[i]; k < browptr[i + 1]; ++k) {
+        const real* blk = vals.data() + static_cast<std::size_t>(k) * kBlockSize;
+        const real* xj = x.data() + static_cast<std::size_t>(bcolidx[k]) * BS;
+        for (int r = 0; r < BS; ++r) {
+          for (int c = 0; c < BS; ++c) acc[r] += blk[r * BS + c] * xj[c];
+        }
+      }
+      real* yi = y.data() + static_cast<std::size_t>(i) * BS;
+      for (int r = 0; r < BS; ++r) yi[r] = acc[r];
+      sub += browptr[i + 1] - browptr[i];
+    }
+    count_flops(2 * kBlockSize * sub);
+  });
+}
+
+template <int BS>
+void Bsr<BS>::residual_brows(std::span<const real> b, std::span<const real> x,
+                             std::span<real> r,
+                             std::span<const idx> brows) const {
+  PROM_CHECK(static_cast<idx>(x.size()) == cols() &&
+             static_cast<idx>(b.size()) == rows() &&
+             static_cast<idx>(r.size()) == rows());
+  const idx n = static_cast<idx>(brows.size());
+  common::parallel_for(0, n, kBlockRowGrain, [&](idx tb, idx te) {
+    nnz_t sub = 0;
+    for (idx t = tb; t < te; ++t) {
+      const idx i = brows[t];
+      real acc[BS] = {};
+      for (nnz_t k = browptr[i]; k < browptr[i + 1]; ++k) {
+        const real* blk = vals.data() + static_cast<std::size_t>(k) * kBlockSize;
+        const real* xj = x.data() + static_cast<std::size_t>(bcolidx[k]) * BS;
+        for (int rr = 0; rr < BS; ++rr) {
+          for (int c = 0; c < BS; ++c) acc[rr] += blk[rr * BS + c] * xj[c];
+        }
+      }
+      const std::size_t base = static_cast<std::size_t>(i) * BS;
+      for (int rr = 0; rr < BS; ++rr) r[base + rr] = b[base + rr] - acc[rr];
+      sub += browptr[i + 1] - browptr[i];
+    }
+    count_flops(2 * kBlockSize * sub + static_cast<std::int64_t>(te - tb) * BS);
+  });
+}
+
+template <int BS>
 void Bsr<BS>::spmv_transpose(std::span<const real> x,
                              std::span<real> y) const {
   PROM_CHECK(static_cast<idx>(x.size()) == rows() &&

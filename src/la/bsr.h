@@ -67,6 +67,16 @@ struct Bsr {
   void residual(std::span<const real> b, std::span<const real> x,
                 std::span<real> r) const;
 
+  /// y = A x restricted to the listed block rows; other entries of y are
+  /// not touched. Each block row accumulates exactly as in spmv, so
+  /// splitting the block-row space across calls reproduces spmv's bits.
+  void spmv_brows(std::span<const real> x, std::span<real> y,
+                  std::span<const idx> brows) const;
+
+  /// r = b - A x restricted to the listed block rows.
+  void residual_brows(std::span<const real> b, std::span<const real> x,
+                      std::span<real> r, std::span<const idx> brows) const;
+
   /// Convenience: returns A x as a new vector.
   std::vector<real> apply(std::span<const real> x) const;
 

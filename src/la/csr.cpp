@@ -100,6 +100,64 @@ void Csr::spmv_transpose(std::span<const real> x, std::span<real> y) const {
   count_flops(2 * nnz());
 }
 
+void Csr::residual(std::span<const real> b, std::span<const real> x,
+                   std::span<real> r) const {
+  PROM_CHECK(static_cast<idx>(x.size()) == ncols &&
+             static_cast<idx>(b.size()) == nrows &&
+             static_cast<idx>(r.size()) == nrows);
+  common::parallel_for(0, nrows, kRowGrain, [&](idx rb, idx re) {
+    for (idx i = rb; i < re; ++i) {
+      real sum = 0;
+      for (nnz_t k = rowptr[i]; k < rowptr[i + 1]; ++k) {
+        sum += vals[k] * x[colidx[k]];
+      }
+      r[i] = b[i] - sum;
+    }
+  });
+  count_flops(2 * nnz() + nrows);
+}
+
+void Csr::spmv_rows(std::span<const real> x, std::span<real> y,
+                    std::span<const idx> rows) const {
+  PROM_CHECK(static_cast<idx>(x.size()) == ncols &&
+             static_cast<idx>(y.size()) == nrows);
+  const idx n = static_cast<idx>(rows.size());
+  common::parallel_for(0, n, kRowGrain, [&](idx tb, idx te) {
+    nnz_t sub = 0;
+    for (idx t = tb; t < te; ++t) {
+      const idx i = rows[t];
+      real sum = 0;
+      for (nnz_t k = rowptr[i]; k < rowptr[i + 1]; ++k) {
+        sum += vals[k] * x[colidx[k]];
+      }
+      y[i] = sum;
+      sub += rowptr[i + 1] - rowptr[i];
+    }
+    count_flops(2 * sub);
+  });
+}
+
+void Csr::residual_rows(std::span<const real> b, std::span<const real> x,
+                        std::span<real> r, std::span<const idx> rows) const {
+  PROM_CHECK(static_cast<idx>(x.size()) == ncols &&
+             static_cast<idx>(b.size()) == nrows &&
+             static_cast<idx>(r.size()) == nrows);
+  const idx n = static_cast<idx>(rows.size());
+  common::parallel_for(0, n, kRowGrain, [&](idx tb, idx te) {
+    nnz_t sub = 0;
+    for (idx t = tb; t < te; ++t) {
+      const idx i = rows[t];
+      real sum = 0;
+      for (nnz_t k = rowptr[i]; k < rowptr[i + 1]; ++k) {
+        sum += vals[k] * x[colidx[k]];
+      }
+      r[i] = b[i] - sum;
+      sub += rowptr[i + 1] - rowptr[i];
+    }
+    count_flops(2 * sub + (te - tb));
+  });
+}
+
 std::vector<real> Csr::apply(std::span<const real> x) const {
   std::vector<real> y(static_cast<std::size_t>(nrows));
   spmv(x, y);

@@ -36,6 +36,21 @@ struct Csr {
   /// y = A^T x (no explicit transpose formed)
   void spmv_transpose(std::span<const real> x, std::span<real> y) const;
 
+  /// r = b - A x, fused. Exactly the bits of spmv followed by
+  /// r[i] = b[i] - y[i] (see la/backend.h on why the fusion is lossless).
+  void residual(std::span<const real> b, std::span<const real> x,
+                std::span<real> r) const;
+
+  /// y[i] = (A x)[i] for the listed rows only; other entries of y are not
+  /// touched. Each row accumulates exactly as in spmv, so splitting the
+  /// row space across calls reproduces spmv's bits.
+  void spmv_rows(std::span<const real> x, std::span<real> y,
+                 std::span<const idx> rows) const;
+
+  /// r[i] = b[i] - (A x)[i] for the listed rows only.
+  void residual_rows(std::span<const real> b, std::span<const real> x,
+                     std::span<real> r, std::span<const idx> rows) const;
+
   /// Convenience: returns A x as a new vector.
   std::vector<real> apply(std::span<const real> x) const;
 

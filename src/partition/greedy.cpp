@@ -127,7 +127,12 @@ std::vector<std::vector<idx>> block_jacobi_blocks(const graph::Graph& g,
     return blocks;
   }
   const std::vector<idx> part = greedy_graph_partition(g, nblocks);
-  return parts_to_blocks(part, nblocks);
+  // parts_to_blocks keeps empty parts as empty blocks (aligned with part
+  // ids); the block-Jacobi factorization wants one block per non-empty
+  // dof set, so drop the empties here.
+  std::vector<std::vector<idx>> blocks = parts_to_blocks(part, nblocks);
+  std::erase_if(blocks, [](const auto& b) { return b.empty(); });
+  return blocks;
 }
 
 }  // namespace prom::partition

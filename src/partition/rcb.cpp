@@ -65,11 +65,13 @@ std::vector<idx> part_sizes(std::span<const idx> part, idx nparts) {
 
 std::vector<std::vector<idx>> parts_to_blocks(std::span<const idx> part,
                                               idx nparts) {
+  // blocks[p] lists the members of part p — aligned with part ids, so an
+  // empty part yields an empty block (callers that cannot use empty
+  // blocks filter them out themselves).
   std::vector<std::vector<idx>> blocks(static_cast<std::size_t>(nparts));
   for (std::size_t i = 0; i < part.size(); ++i) {
     blocks[part[i]].push_back(static_cast<idx>(i));
   }
-  std::erase_if(blocks, [](const auto& b) { return b.empty(); });
   return blocks;
 }
 

@@ -19,7 +19,9 @@ std::vector<idx> rcb_partition(std::span<const Vec3> points, idx nparts);
 /// Part sizes histogram (convenience for balance checks).
 std::vector<idx> part_sizes(std::span<const idx> part, idx nparts);
 
-/// Converts a part assignment into explicit index blocks.
+/// Converts a part assignment into explicit index blocks, aligned with
+/// part ids: blocks[p] lists the members of part p, so empty parts yield
+/// empty blocks and block indices keep corresponding to part ids.
 std::vector<std::vector<idx>> parts_to_blocks(std::span<const idx> part,
                                               idx nparts);
 

@@ -60,6 +60,44 @@ class Context {
     }
   }
 
+  // Returns the source of the earliest-arrived waiting message with `tag`
+  // from any rank in `sources`, blocking until one exists. Scanning the
+  // deque front-to-back gives arrival order because sends append at the
+  // back under the mailbox lock.
+  int wait_any(int me, std::span<const int> sources, int tag) {
+    Mailbox& box = *boxes_[me];
+    std::unique_lock<std::mutex> lock(box.m);
+    for (;;) {
+      for (const Message& msg : box.q) {
+        if (msg.tag != tag) continue;
+        for (const int s : sources) {
+          if (msg.src == s) return msg.src;
+        }
+      }
+      box.cv.wait(lock);
+    }
+  }
+
+  void recv_into(int me, int from, int tag, std::span<std::byte> out) {
+    PROM_CHECK_MSG(from >= 0 && from < nranks_, "recv_into: bad source rank");
+    Mailbox& box = *boxes_[me];
+    std::unique_lock<std::mutex> lock(box.m);
+    for (;;) {
+      for (auto it = box.q.begin(); it != box.q.end(); ++it) {
+        if (it->src == from && it->tag == tag) {
+          PROM_CHECK_MSG(it->data.size() == out.size(),
+                         "recv_into: message size mismatch");
+          if (!out.empty()) {
+            std::memcpy(out.data(), it->data.data(), out.size());
+          }
+          box.q.erase(it);
+          return;
+        }
+      }
+      box.cv.wait(lock);
+    }
+  }
+
   bool has_message(int me, int from, int tag) {
     Mailbox& box = *boxes_[me];
     std::lock_guard<std::mutex> lock(box.m);
@@ -98,6 +136,7 @@ constexpr int kTagBarrierUp = -1;
 constexpr int kTagBarrierDown = -2;
 constexpr int kTagBcast = -3;
 constexpr int kTagReduce = -4;
+constexpr int kTagAllgather = -5;
 
 }  // namespace
 
@@ -111,8 +150,16 @@ std::vector<std::byte> Comm::recv_bytes(int from, int tag) {
   return ctx_->recv(rank_, from, tag);
 }
 
+void Comm::recv_bytes_into(int from, int tag, std::span<std::byte> out) {
+  ctx_->recv_into(rank_, from, tag, out);
+}
+
 bool Comm::has_message(int from, int tag) const {
   return ctx_->has_message(rank_, from, tag);
+}
+
+int Comm::wait_any(std::span<const int> sources, int tag) const {
+  return ctx_->wait_any(rank_, sources, tag);
 }
 
 TrafficStats Comm::traffic() const {
@@ -177,6 +224,49 @@ std::vector<std::byte> Comm::bcast_bytes(std::vector<std::byte> data,
     mask >>= 1;
   }
   return data;
+}
+
+std::vector<std::vector<std::byte>> Comm::allgatherv_bytes(
+    std::span<const std::byte> mine) {
+  // Bruck-style dissemination allgather with variable block sizes: after
+  // round k every rank holds the `cnt` circularly-consecutive blocks
+  // starting at its own, and each round (ceil(log2 p) total) it ships the
+  // first min(cnt, p-cnt) of them to rank-cnt while receiving the next
+  // ones from rank+cnt. Every foreign block crosses the wire exactly once
+  // per receiver, so total data traffic is (p-1)·S plus an 8-byte length
+  // header per shipped block — no rank ever funnels the whole payload.
+  const int p = size();
+  std::vector<std::vector<std::byte>> all(p);
+  all[rank_].assign(mine.begin(), mine.end());
+  int cnt = 1;
+  while (cnt < p) {
+    const int step = std::min(cnt, p - cnt);
+    const int dst = (rank_ - cnt + p) % p;
+    const int src = (rank_ + cnt) % p;
+    std::vector<std::byte> msg;
+    for (int k = 0; k < step; ++k) {
+      const std::vector<std::byte>& blk = all[(rank_ + k) % p];
+      const std::int64_t sz = static_cast<std::int64_t>(blk.size());
+      const auto* hdr = reinterpret_cast<const std::byte*>(&sz);
+      msg.insert(msg.end(), hdr, hdr + sizeof(sz));
+      msg.insert(msg.end(), blk.begin(), blk.end());
+    }
+    ctx_->send(rank_, dst, kTagAllgather, msg);
+    const std::vector<std::byte> in = ctx_->recv(rank_, src, kTagAllgather);
+    std::size_t off = 0;
+    for (int k = 0; k < step; ++k) {
+      std::int64_t sz = 0;
+      PROM_CHECK(off + sizeof(sz) <= in.size());
+      std::memcpy(&sz, in.data() + off, sizeof(sz));
+      off += sizeof(sz);
+      PROM_CHECK(sz >= 0 && off + static_cast<std::size_t>(sz) <= in.size());
+      all[(src + k) % p].assign(in.begin() + off, in.begin() + off + sz);
+      off += static_cast<std::size_t>(sz);
+    }
+    PROM_CHECK(off == in.size());
+    cnt += step;
+  }
+  return all;
 }
 
 namespace {

@@ -10,10 +10,14 @@
 //  - send() is buffered and never blocks (like MPI_Bsend);
 //  - recv() blocks until a message with matching (source, tag) arrives;
 //    messages from the same source with the same tag are FIFO;
-//  - collectives are implemented over point-to-point with binomial trees,
-//    so their traffic is O(log P) deep like a real MPI implementation.
+//  - wait_any() blocks until a message from any listed source arrives,
+//    so receivers can drain peers in arrival order (MPI_Waitany);
+//  - collectives are implemented over point-to-point with binomial trees
+//    or log-round dissemination schedules, so their traffic is O(log P)
+//    deep like a real MPI implementation.
 #pragma once
 
+#include <algorithm>
 #include <cstddef>
 #include <cstdint>
 #include <cstring>
@@ -51,8 +55,18 @@ class Comm {
   /// Blocking receive of a message from `from` with tag `tag`.
   std::vector<std::byte> recv_bytes(int from, int tag);
 
+  /// Blocking receive into a caller-provided buffer (no allocation). The
+  /// message size must equal `out.size()`.
+  void recv_bytes_into(int from, int tag, std::span<std::byte> out);
+
   /// True if a message from (from, tag) is already waiting.
   bool has_message(int from, int tag) const;
+
+  /// Blocks until a message with `tag` from any rank in `sources` is
+  /// waiting and returns that source — the one whose message arrived
+  /// earliest, so pairing wait_any with recv drains peers in arrival
+  /// order (MPI_Waitany). Does not consume the message.
+  int wait_any(std::span<const int> sources, int tag) const;
 
   /// Snapshot of this rank's cumulative traffic counters (messages/bytes
   /// sent so far) plus the calling thread's flop counter — used to bracket
@@ -95,6 +109,14 @@ class Comm {
     return v[0];
   }
 
+  /// Typed blocking receive into a caller-provided buffer; the message
+  /// must hold exactly `out.size()` elements.
+  template <typename T>
+  void recv_into(int from, int tag, std::span<T> out) {
+    static_assert(std::is_trivially_copyable_v<T>);
+    recv_bytes_into(from, tag, std::as_writable_bytes(out));
+  }
+
   // ---- collectives (all ranks must call; tree-based over p2p) ----
 
   void barrier();
@@ -123,7 +145,9 @@ class Comm {
   std::vector<T> bcast(std::vector<T> data, int root);
 
   /// Variable-size gather-to-all: every rank contributes `mine`, every rank
-  /// receives all contributions indexed by rank.
+  /// receives all contributions indexed by rank. Bruck-style dissemination
+  /// (ceil(log2 P) rounds; every foreign block crosses the wire exactly
+  /// once per receiver), so no rank funnels the whole payload.
   template <typename T>
   std::vector<std::vector<T>> allgatherv(const std::vector<T>& mine);
 
@@ -139,6 +163,8 @@ class Comm {
   Comm(detail::Context* ctx, int rank) : ctx_(ctx), rank_(rank) {}
 
   std::vector<std::byte> bcast_bytes(std::vector<std::byte> data, int root);
+  std::vector<std::vector<std::byte>> allgatherv_bytes(
+      std::span<const std::byte> mine);
 
   detail::Context* ctx_;
   int rank_;
@@ -170,31 +196,16 @@ std::vector<T> Comm::bcast(std::vector<T> data, int root) {
 template <typename T>
 std::vector<std::vector<T>> Comm::allgatherv(const std::vector<T>& mine) {
   const obs::Span span("parx.allgatherv");
-  // Gather to rank 0 then broadcast; sizes first, then payloads.
-  constexpr int kTagGather = 0x7ffffff1;
-  const int p = size();
-  std::vector<std::vector<T>> all(p);
-  if (rank_ == 0) {
-    all[0] = mine;
-    for (int r = 1; r < p; ++r) all[r] = recv<T>(r, kTagGather);
-  } else {
-    send<T>(0, kTagGather, mine);
-  }
-  // Broadcast the concatenation with a size table.
-  std::vector<std::int64_t> sizes(p);
-  std::vector<T> flat;
-  if (rank_ == 0) {
-    for (int r = 0; r < p; ++r) {
-      sizes[r] = static_cast<std::int64_t>(all[r].size());
-      flat.insert(flat.end(), all[r].begin(), all[r].end());
+  static_assert(std::is_trivially_copyable_v<T>);
+  std::vector<std::vector<std::byte>> raw =
+      allgatherv_bytes(std::as_bytes(std::span<const T>(mine)));
+  std::vector<std::vector<T>> all(raw.size());
+  for (std::size_t r = 0; r < raw.size(); ++r) {
+    PROM_CHECK(raw[r].size() % sizeof(T) == 0);
+    all[r].resize(raw[r].size() / sizeof(T));
+    if (!raw[r].empty()) {
+      std::memcpy(all[r].data(), raw[r].data(), raw[r].size());
     }
-  }
-  sizes = bcast(std::move(sizes), 0);
-  flat = bcast(std::move(flat), 0);
-  std::size_t off = 0;
-  for (int r = 0; r < p; ++r) {
-    all[r].assign(flat.begin() + off, flat.begin() + off + sizes[r]);
-    off += sizes[r];
   }
   return all;
 }
@@ -211,8 +222,17 @@ std::vector<std::vector<T>> Comm::alltoallv(
   }
   std::vector<std::vector<T>> recvbufs(p);
   recvbufs[rank_] = sendbufs[rank_];
+  // Drain peers in arrival order (destinations are disjoint per source),
+  // so one slow peer never stalls buffers that have already landed.
+  std::vector<int> pending;
+  pending.reserve(static_cast<std::size_t>(p > 0 ? p - 1 : 0));
   for (int r = 0; r < p; ++r) {
-    if (r != rank_) recvbufs[r] = recv<T>(r, kTag);
+    if (r != rank_) pending.push_back(r);
+  }
+  while (!pending.empty()) {
+    const int src = wait_any(pending, kTag);
+    recvbufs[src] = recv<T>(src, kTag);
+    pending.erase(std::find(pending.begin(), pending.end(), src));
   }
   return recvbufs;
 }

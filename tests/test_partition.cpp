@@ -90,6 +90,18 @@ TEST(PartsToBlocks, RoundTrip) {
   EXPECT_EQ(blocks[2], (std::vector<idx>{3}));
 }
 
+TEST(PartsToBlocks, KeepsEmptyPartsAligned) {
+  // Part 1 is empty: blocks must stay aligned with part ids (blocks[p] is
+  // part p's members), not silently compact and shift later parts down.
+  const std::vector<idx> part = {0, 2, 0, 2};
+  const auto blocks = parts_to_blocks(part, 4);
+  ASSERT_EQ(blocks.size(), 4u);
+  EXPECT_EQ(blocks[0], (std::vector<idx>{0, 2}));
+  EXPECT_TRUE(blocks[1].empty());
+  EXPECT_EQ(blocks[2], (std::vector<idx>{1, 3}));
+  EXPECT_TRUE(blocks[3].empty());
+}
+
 graph::Graph mesh_graph(idx n) {
   return mesh::box_hex(n, n, n, {0, 0, 0}, {1, 1, 1}).vertex_graph();
 }

@@ -130,6 +130,99 @@ TEST_P(ParxRanks, Alltoallv) {
   });
 }
 
+TEST_P(ParxRanks, RecvIntoMatchesRecv) {
+  const int p = GetParam();
+  if (p < 2) GTEST_SKIP();
+  Runtime::run(p, [](Comm& comm) {
+    const int next = (comm.rank() + 1) % comm.size();
+    const int prev = (comm.rank() + comm.size() - 1) % comm.size();
+    std::vector<double> mine(17);
+    for (std::size_t i = 0; i < mine.size(); ++i) {
+      mine[i] = 100.0 * comm.rank() + static_cast<double>(i);
+    }
+    comm.send<double>(next, 31, mine);
+    std::vector<double> got(mine.size(), -1.0);
+    comm.recv_into<double>(prev, 31, got);
+    for (std::size_t i = 0; i < got.size(); ++i) {
+      EXPECT_EQ(got[i], 100.0 * prev + static_cast<double>(i));
+    }
+  });
+}
+
+TEST(Parx, WaitAnyReturnsArrivalOrder) {
+  // Rank 2 sends first and rank 1 only after rank 0 has consumed rank 2's
+  // message, so wait_any must report rank 2 although rank 1 is listed
+  // first — a rank-ordered drain would block on the still-silent rank 1.
+  Runtime::run(3, [](Comm& comm) {
+    constexpr int kTag = 41;
+    if (comm.rank() == 0) {
+      const std::vector<int> sources = {1, 2};
+      const int first = comm.wait_any(sources, kTag);
+      EXPECT_EQ(first, 2);
+      EXPECT_EQ(comm.recv_value<int>(first, kTag), 22);
+      comm.send_value<int>(1, kTag + 1, 0);  // release rank 1
+      const int second = comm.wait_any(sources, kTag);
+      EXPECT_EQ(second, 1);
+      EXPECT_EQ(comm.recv_value<int>(second, kTag), 11);
+    } else if (comm.rank() == 1) {
+      (void)comm.recv_value<int>(0, kTag + 1);
+      comm.send_value<int>(0, kTag, 11);
+    } else {
+      comm.send_value<int>(0, kTag, 22);
+    }
+  });
+}
+
+TEST(Parx, WaitAnyIgnoresUnlistedSourcesAndTags) {
+  Runtime::run(3, [](Comm& comm) {
+    constexpr int kTag = 43;
+    if (comm.rank() == 0) {
+      // Rank 2's wrong-tag message and rank 1's unlisted-source message
+      // must not satisfy the wait.
+      (void)comm.recv_value<int>(1, kTag);      // ensure both arrived
+      (void)comm.recv_value<int>(2, kTag + 1);  // wrong-tag arrival
+      const std::vector<int> sources = {2};
+      EXPECT_FALSE(comm.has_message(2, kTag));
+      comm.send_value<int>(2, kTag, 0);  // ask rank 2 for the real one
+      EXPECT_EQ(comm.wait_any(sources, kTag), 2);
+      EXPECT_EQ(comm.recv_value<int>(2, kTag), 99);
+    } else if (comm.rank() == 1) {
+      comm.send_value<int>(0, kTag, 1);
+    } else {
+      comm.send_value<int>(0, kTag + 1, 2);
+      (void)comm.recv_value<int>(0, kTag);
+      comm.send_value<int>(0, kTag, 99);
+    }
+  });
+}
+
+TEST(Parx, AllgathervTrafficAvoidsRootFunnel) {
+  // Dissemination allgatherv ships every foreign block to every receiver
+  // exactly once: total data = (p-1) * S plus one 8-byte length header
+  // per shipped block. The old gather-to-root + bcast path moved ~2x the
+  // payload (S per rank to root, then the p*S concatenation down a
+  // binomial tree), so total traffic must now stay strictly below p * S.
+  const int p = 8;
+  static constexpr std::size_t kPerRank = 1000;
+  const auto stats = Runtime::run(p, [](Comm& comm) {
+    std::vector<double> mine(kPerRank, 1.0 + comm.rank());
+    const auto all = comm.allgatherv(mine);
+    for (int r = 0; r < comm.size(); ++r) {
+      ASSERT_EQ(all[r].size(), kPerRank);
+      EXPECT_EQ(all[r][0], 1.0 + r);
+    }
+  });
+  const std::int64_t per_rank =
+      static_cast<std::int64_t>(kPerRank) * sizeof(double);
+  const std::int64_t payload = p * per_rank;  // S: the gathered result
+  std::int64_t total_bytes = 0;
+  for (const auto& s : stats) total_bytes += s.bytes_sent;
+  // (p-1) foreign blocks per receiver plus an 8-byte header per block.
+  EXPECT_EQ(total_bytes,
+            std::int64_t{p} * (p - 1) * per_rank + std::int64_t{8} * p * (p - 1));
+  EXPECT_LT(total_bytes, p * payload);
+}
+
 TEST_P(ParxRanks, TrafficStatsCountSends) {
   const int p = GetParam();
   if (p < 2) GTEST_SKIP();
