@@ -9,6 +9,7 @@
 #include <benchmark/benchmark.h>
 
 #include <chrono>
+#include <cmath>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -22,6 +23,7 @@
 #include "coarsen/coarsen.h"
 #include "delaunay/delaunay.h"
 #include "fem/assembly.h"
+#include "fem/matrix_free.h"
 #include "geom/predicates.h"
 #include "graph/mis.h"
 #include "graph/order.h"
@@ -367,11 +369,15 @@ BENCHMARK(BM_Assembly)->Apply([](benchmark::internal::Benchmark* b) {
 
 // ---- matrix-format comparison -------------------------------------------
 //
-// Scalar CSR (AIJ) vs 3x3 node-block BSR (BAIJ) on the elasticity
-// operator, 1 kernel thread — the paper ran Prometheus on PETSc block
-// matrices for exactly this effect (column-index traffic drops 9x per
-// block). Timed manually (best mean over repetitions) and written to
-// BENCH_kernels.json so the perf trajectory tracks the speedup.
+// Scalar CSR (AIJ) vs 3x3 node-block BSR (BAIJ) vs the matrix-free
+// element apply on the elasticity operator, 1 kernel thread — the paper
+// ran Prometheus on PETSc block matrices for the column-index-traffic
+// effect, and the matrix-free fine level (fem/matrix_free.h) removes the
+// stored matrix from the apply stream altogether. Reports ns/dof and a
+// bytes/dof traffic model per format, plus a >= 100k-unknown scale entry
+// where the matrix-free bytes/dof must undercut assembled CSR. Timed
+// manually (best mean over repetitions) and written to BENCH_kernels.json
+// so the perf trajectory tracks the speedups.
 
 /// Mean ns/op of the best of `reps` batches of `iters` calls.
 template <typename Body>
@@ -389,6 +395,27 @@ double best_mean_ns(int reps, int iters, const Body& body) {
   return best;
 }
 
+/// Apply-stream traffic of the scalar CSR SpMV in bytes per output row:
+/// vals + colidx + rowptr once each, x and y once each (perfect cache).
+double csr_bytes_per_dof(const la::Csr& a) {
+  const double bytes =
+      static_cast<double>(a.nnz()) * (sizeof(real) + sizeof(idx)) +
+      static_cast<double>(a.rowptr.size()) * sizeof(nnz_t) +
+      static_cast<double>(a.ncols + a.nrows) * sizeof(real);
+  return bytes / a.nrows;
+}
+
+/// Same traffic model for the 3x3 node-block BSR: block values + one
+/// column index per block + block rowptr + x and y.
+double bsr3_bytes_per_dof(const la::Bsr3& ab) {
+  const double bytes =
+      static_cast<double>(ab.vals.size()) * sizeof(real) +
+      static_cast<double>(ab.bcolidx.size()) * sizeof(idx) +
+      static_cast<double>(ab.browptr.size()) * sizeof(nnz_t) +
+      static_cast<double>(ab.cols() + ab.rows()) * sizeof(real);
+  return bytes / ab.rows();
+}
+
 int run_format_comparison() {
   // Unconstrained elasticity: every vertex keeps its 3 dofs, so the
   // scalar operator blocks losslessly and both formats do identical
@@ -396,15 +423,19 @@ int run_format_comparison() {
   const idx n = kSmoke ? 8 : 16;
   mesh::Mesh mesh = mesh::box_hex(n, n, n, {0, 0, 0}, {1, 1, 1});
   fem::DofMap dofmap(mesh.num_vertices());
-  fem::FeProblem prob(mesh, {fem::Material{}}, dofmap);
+  const std::vector<fem::Material> materials(1);
+  fem::FeProblem prob(mesh, materials, dofmap);
   const la::Csr a = fem::assemble_linear_system(prob).stiffness;
   const la::Bsr3 ab = la::Bsr3::from_csr(a);
+  const fem::MatrixFreeOperator mf =
+      fem::MatrixFreeOperator::build(mesh, materials, dofmap);
 
   std::vector<real> x(static_cast<std::size_t>(a.ncols));
   Rng rng(5);
   for (real& v : x) v = rng.next_real() - 0.5;
   std::vector<real> y(static_cast<std::size_t>(a.nrows));
   std::vector<real> yb(y.size());
+  std::vector<real> ym(y.size());
 
   common::set_kernel_threads(1);
   const int reps = kSmoke ? 3 : 5;
@@ -417,10 +448,31 @@ int run_format_comparison() {
     ab.spmv(x, yb);
     benchmark::DoNotOptimize(yb.data());
   });
+  const double mf_apply = best_mean_ns(reps, iters, [&] {
+    mf.apply(x, ym);
+    benchmark::DoNotOptimize(ym.data());
+  });
   if (std::memcmp(y.data(), yb.data(), y.size() * sizeof(real)) != 0) {
     std::fprintf(stderr,
                  "FATAL: blocked SpMV is not bit-identical to scalar CSR\n");
     return 1;
+  }
+  // The matrix-free apply sums element contributions instead of matrix
+  // rows — same operator to reassociation rounding, not bitwise.
+  {
+    real scale = 0;
+    real err = 0;
+    for (std::size_t i = 0; i < y.size(); ++i) {
+      scale = std::max(scale, std::fabs(y[i]));
+      err = std::max(err, std::fabs(ym[i] - y[i]));
+    }
+    if (err > 1e-12 * scale) {
+      std::fprintf(stderr,
+                   "FATAL: matrix-free apply deviates from CSR by %.3e "
+                   "(scale %.3e)\n",
+                   err, scale);
+      return 1;
+    }
   }
 
   // One smoother sweep: scalar Jacobi vs the point-block sweep that
@@ -443,16 +495,55 @@ int run_format_comparison() {
                                    b, xs);
     benchmark::DoNotOptimize(xs.data());
   });
+  // Fine-level scale point (>= 100k unknowns non-smoke: the n=32 box has
+  // 33^3 * 3 = 107,811 free dofs). Here the assembled matrix blows out of
+  // cache and the bytes/dof model decides the apply speed — the
+  // matrix-free stream must undercut assembled CSR (the acceptance bar).
+  const idx n_scale = kSmoke ? 8 : 32;
+  mesh::Mesh mesh_s = mesh::box_hex(n_scale, n_scale, n_scale, {0, 0, 0},
+                                    {1, 1, 1});
+  fem::DofMap dofmap_s(mesh_s.num_vertices());
+  fem::FeProblem prob_s(mesh_s, materials, dofmap_s);
+  const la::Csr a_s = fem::assemble_linear_system(prob_s).stiffness;
+  const fem::MatrixFreeOperator mf_s =
+      fem::MatrixFreeOperator::build(mesh_s, materials, dofmap_s);
+  std::vector<real> x_s(static_cast<std::size_t>(a_s.ncols));
+  for (real& v : x_s) v = rng.next_real() - 0.5;
+  std::vector<real> y_s(static_cast<std::size_t>(a_s.nrows));
+  const int iters_s = kSmoke ? 3 : 5;
+  const double csr_spmv_s = best_mean_ns(2, iters_s, [&] {
+    a_s.spmv(x_s, y_s);
+    benchmark::DoNotOptimize(y_s.data());
+  });
+  const double mf_apply_s = best_mean_ns(2, iters_s, [&] {
+    mf_s.apply(x_s, y_s);
+    benchmark::DoNotOptimize(y_s.data());
+  });
   common::set_kernel_threads(0);
 
   const double spmv_speedup = csr_spmv / bsr_spmv;
   const double sweep_speedup = csr_sweep / bsr_sweep;
+  const double csr_bytes = csr_bytes_per_dof(a);
+  const double bsr_bytes = bsr3_bytes_per_dof(ab);
+  const double mf_bytes = mf.core().apply_bytes_per_row();
+  const double csr_bytes_s = csr_bytes_per_dof(a_s);
+  const double mf_bytes_s = mf_s.core().apply_bytes_per_row();
   std::printf(
       "\nmatrix-format comparison (1 thread, %d unknowns, nnz %lld):\n"
-      "  spmv     csr %8.0f ns  bsr3 %8.0f ns  speedup %.2fx\n"
-      "  jacobi   csr %8.0f ns  bsr3 %8.0f ns  speedup %.2fx\n",
+      "  spmv      csr %8.0f ns  bsr3 %8.0f ns  speedup %.2fx\n"
+      "  mf apply  %8.0f ns  (%.2fx vs csr spmv)\n"
+      "  jacobi    csr %8.0f ns  bsr3 %8.0f ns  speedup %.2fx\n"
+      "  ns/dof    csr %8.2f     bsr3 %8.2f     mf %8.2f\n"
+      "  bytes/dof csr %8.1f     bsr3 %8.1f     mf %8.1f\n"
+      "fine-level scale point (%d unknowns):\n"
+      "  ns/dof    csr %8.2f     mf %8.2f\n"
+      "  bytes/dof csr %8.1f     mf %8.1f  (mf %s csr)\n",
       a.nrows, static_cast<long long>(a.nnz()), csr_spmv, bsr_spmv,
-      spmv_speedup, csr_sweep, bsr_sweep, sweep_speedup);
+      spmv_speedup, mf_apply, csr_spmv / mf_apply, csr_sweep, bsr_sweep,
+      sweep_speedup, csr_spmv / a.nrows, bsr_spmv / a.nrows,
+      mf_apply / a.nrows, csr_bytes, bsr_bytes, mf_bytes, a_s.nrows,
+      csr_spmv_s / a_s.nrows, mf_apply_s / a_s.nrows, csr_bytes_s,
+      mf_bytes_s, mf_bytes_s < csr_bytes_s ? "<" : ">=");
 
   std::FILE* json = std::fopen("BENCH_kernels.json", "w");
   if (json == nullptr) {
@@ -465,9 +556,20 @@ int run_format_comparison() {
                "  \"spmv\": {\"csr_ns\": %.1f, \"bsr3_ns\": %.1f, "
                "\"speedup\": %.3f},\n"
                "  \"jacobi_sweep\": {\"csr_ns\": %.1f, \"bsr3_ns\": %.1f, "
-               "\"speedup\": %.3f}\n}\n",
+               "\"speedup\": %.3f},\n"
+               "  \"mf_apply\": {\"ns\": %.1f, \"ns_per_dof\": %.3f, "
+               "\"vs_csr_spmv\": %.3f},\n"
+               "  \"bytes_per_dof\": {\"csr\": %.1f, \"bsr3\": %.1f, "
+               "\"mf\": %.1f},\n"
+               "  \"mf_scale\": {\"unknowns\": %d, "
+               "\"csr_ns_per_dof\": %.3f, \"mf_ns_per_dof\": %.3f, "
+               "\"csr_bytes_per_dof\": %.1f, \"mf_bytes_per_dof\": %.1f}\n"
+               "}\n",
                a.nrows, static_cast<long long>(a.nnz()), csr_spmv, bsr_spmv,
-               spmv_speedup, csr_sweep, bsr_sweep, sweep_speedup);
+               spmv_speedup, csr_sweep, bsr_sweep, sweep_speedup, mf_apply,
+               mf_apply / a.nrows, csr_spmv / mf_apply, csr_bytes, bsr_bytes,
+               mf_bytes, a_s.nrows, csr_spmv_s / a_s.nrows,
+               mf_apply_s / a_s.nrows, csr_bytes_s, mf_bytes_s);
   std::fclose(json);
   std::printf("wrote BENCH_kernels.json\n");
   return 0;

@@ -24,6 +24,12 @@ cmake --preset asan-ubsan
 cmake --build --preset asan-ubsan -j"$(nproc)"
 ctest --preset asan-ubsan -j"$(nproc)" "${label_args[@]}"
 
+# The matrix-free equivalence battery gets an explicit direct run under
+# ASan/UBSan on top of the labelled ctest pass: it exercises the SIMD
+# element kernel's raw slot gathers and the overlapped DistMf ghost
+# indexing — exactly where an out-of-bounds lane would hide.
+./build-asan-ubsan/tests/test_mf_equiv
+
 ./ci/tsan.sh
 
 echo "ci/check.sh: OK"

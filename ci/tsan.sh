@@ -2,10 +2,13 @@
 # CI race gate for the two-level parallelism model (parx rank threads x
 # intra-rank kernel threads): builds the `tsan` preset and runs the
 # threaded-determinism, parx stress, BSR kernel property, halo-exchange,
-# and serial/distributed equivalence suites under ThreadSanitizer (the
-# equivalence suite drives the whole distributed matrix setup + solve —
-# both matrix formats — across 1..8 rank threads; the halo suite drives
-# the overlapped arrival-order ghost drain with staggered peer sends).
+# matrix-free equivalence, and serial/distributed equivalence suites
+# under ThreadSanitizer (the equivalence suite drives the whole
+# distributed matrix setup + solve — both assembled formats — across
+# 1..8 rank threads; the matrix-free suite drives the SIMD element
+# kernel across kernel-thread counts and the overlapped DistMf apply on
+# 1..8 ranks; the halo suite drives the overlapped arrival-order ghost
+# drain with staggered peer sends).
 # Any reported race fails the build (TSAN_OPTIONS below aborts on the
 # first report).
 set -euo pipefail
@@ -14,7 +17,7 @@ cd "$(dirname "$0")/.."
 cmake --preset tsan
 cmake --build --preset tsan -j"$(nproc)" --target \
   test_threads_determinism test_parx_stress test_la_bsr_prop \
-  test_serial_dist_equiv test_halo test_obs
+  test_serial_dist_equiv test_mf_equiv test_halo test_obs
 
 export TSAN_OPTIONS="halt_on_error=1 abort_on_error=1 ${TSAN_OPTIONS:-}"
 # Exercise the pool beyond the core count regardless of the CI machine.
@@ -24,6 +27,7 @@ export PROM_THREADS="${PROM_THREADS:-4}"
 ./build-tsan/tests/test_parx_stress
 ./build-tsan/tests/test_la_bsr_prop
 ./build-tsan/tests/test_serial_dist_equiv
+./build-tsan/tests/test_mf_equiv
 ./build-tsan/tests/test_halo
 ./build-tsan/tests/test_obs
 

@@ -13,8 +13,10 @@
 // Run with PROM_TRACE=trace.json to get a Chrome-trace timeline of the
 // phases below plus the per-level multigrid cycle components (open it at
 // ui.perfetto.dev). PROM_MATRIX=bsr3 switches the solve phase to the
-// node-block (BAIJ-style 3x3) kernels; the iteration count and residual
-// history match the default CSR path to rounding.
+// node-block (BAIJ-style 3x3) kernels; PROM_MATRIX=mf applies the finest
+// level matrix-free from batched element data (coarse levels stay
+// assembled). The iteration count and residual history match the default
+// CSR path to rounding either way.
 #include <cstdio>
 #include <cstdlib>
 
@@ -49,11 +51,11 @@ int main(int argc, char** argv) {
   }
 
   // 3. Assemble the linear elastic stiffness matrix.
+  const std::vector<fem::Material> materials(1);  // E = 1, nu = 0.3
   fem::LinearSystem sys;
   {
     const obs::Span span("phase.fine_grid");
-    fem::Material steel;  // E = 1, nu = 0.3
-    fem::FeProblem problem(mesh, {steel}, dofmap);
+    fem::FeProblem problem(mesh, materials, dofmap);
     sys = fem::assemble_linear_system(problem);
   }
   std::printf("assembled %d unknowns (%lld nonzeros)\n", sys.stiffness.nrows,
@@ -72,6 +74,9 @@ int main(int argc, char** argv) {
     const obs::Span span("phase.matrix_setup");
     hierarchy.update_fine_matrix(sys.stiffness);
     if (format == mg::MatrixFormat::kBsr3) hierarchy.enable_bsr();
+    if (format == mg::MatrixFormat::kMf) {
+      hierarchy.enable_mf(mesh, materials, dofmap);
+    }
   }
   std::printf("%s", hierarchy.describe().c_str());
 

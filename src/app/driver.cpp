@@ -138,8 +138,13 @@ LinearStudyReport run_linear_study(const ModelProblem& problem,
     dla::DistHierarchy dist;
     {
       const obs::Span span("phase.matrix_setup");
-      dist = dla::DistHierarchy::build(comm, hierarchy, vertex_owner,
-                                       config.format);
+      // MatrixFormat::kMf additionally needs the fine-level element data
+      // (mesh/materials/constraints) to integrate the apply on the fly.
+      const dla::MfProblem mf{&problem.mesh, &problem.materials,
+                              &problem.dofmap, /*bbar=*/true};
+      dist = dla::DistHierarchy::build(
+          comm, hierarchy, vertex_owner, config.format,
+          config.format == mg::MatrixFormat::kMf ? &mf : nullptr);
       comm.barrier();
     }
     galerkin_flops[comm.rank()] = dist.galerkin_flops();

@@ -44,10 +44,12 @@ struct LinearStudyConfig {
   int max_iters = 200;
   mg::MgOptions mg;
   mg::CycleKind cycle = mg::CycleKind::kFmg;
-  /// Solve-phase matrix format (PROM_MATRIX=csr|bsr3 by default): kBsr3
-  /// re-blocks every level operator into 3x3 node blocks and ships whole
-  /// node blocks in the ghost exchange; iteration counts and residual
-  /// histories match kCsr to rounding.
+  /// Solve-phase matrix format (PROM_MATRIX=csr|bsr3|mf by default):
+  /// kBsr3 re-blocks every level operator into 3x3 node blocks and ships
+  /// whole node blocks in the ghost exchange; kMf applies the finest
+  /// level matrix-free from batched element data (coarse levels stay
+  /// assembled). Iteration counts and residual histories match kCsr to
+  /// rounding in both cases.
   mg::MatrixFormat format = mg::matrix_format_from_env();
   /// When non-empty, the study's obs report (report.json schema) is
   /// written here after the run.

@@ -72,7 +72,9 @@ struct DistCycleView {
   }
   void apply_a(int l, std::span<const real> x, std::span<real> y) const {
     const DistMgLevel& lv = h->level(l);
-    if (lv.a_bsr != nullptr) {
+    if (lv.a_mf != nullptr) {
+      lv.a_mf->spmv(*comm, x, y);
+    } else if (lv.a_bsr != nullptr) {
       lv.a_bsr->spmv(*comm, x, y);
     } else {
       lv.a.spmv(*comm, x, y);
@@ -141,7 +143,10 @@ void DistMgLevel::smooth(parx::Comm& comm, std::span<const real> b_local,
 DistHierarchy DistHierarchy::build(parx::Comm& comm,
                                    const mg::Hierarchy& serial,
                                    std::span<const idx> fine_vertex_owner,
-                                   mg::MatrixFormat format) {
+                                   mg::MatrixFormat format,
+                                   const MfProblem* mf) {
+  PROM_CHECK_MSG(format != mg::MatrixFormat::kMf || mf != nullptr,
+                 "MatrixFormat::kMf requires an MfProblem");
   const int nl = serial.num_levels();
   const int p = comm.size();
   const int rank = comm.rank();
@@ -207,6 +212,12 @@ DistHierarchy DistHierarchy::build(parx::Comm& comm,
       // both formats see bit-identical operators.
       dl.a_bsr = std::make_unique<DistBsr>(DistBsr::build(
           comm, dl.a, h.perms_[l], serial.level(l).free_dofs));
+    }
+    if (format == mg::MatrixFormat::kMf && l == 0) {
+      // Matrix-free fine-level view over dl.a's layout and exchange plan;
+      // coarse levels stay assembled (Galerkin products need entries).
+      dl.a_mf = std::make_unique<DistMf>(
+          DistMf::build(comm, *mf, dl.a, h.perms_[0]));
     }
     // Level-resolved size metrics: the gauge is identical on every rank
     // (last-write merge keeps one copy); local nnz counters sum-merge
@@ -280,6 +291,13 @@ la::KrylovResult dist_mg_pcg_solve(parx::Comm& comm, const DistHierarchy& h,
     PROM_CHECK_MSG(h.level(0).a_bsr != nullptr,
                    "MatrixFormat::kBsr3 requires a hierarchy built with it");
     const DistBsrOperator a(*h.level(0).a_bsr);
+    return dist_pcg(comm, a, &precond, b_local, x_local,
+                    mg::to_krylov_options(opts));
+  }
+  if (opts.format == mg::MatrixFormat::kMf) {
+    PROM_CHECK_MSG(h.level(0).a_mf != nullptr,
+                   "MatrixFormat::kMf requires a hierarchy built with it");
+    const DistMfOperator a(*h.level(0).a_mf);
     return dist_pcg(comm, a, &precond, b_local, x_local,
                     mg::to_krylov_options(opts));
   }

@@ -22,6 +22,7 @@
 #include "dla/dist_bsr.h"
 #include "dla/dist_csr.h"
 #include "dla/dist_krylov.h"
+#include "dla/dist_mf.h"
 #include "la/dense.h"
 #include "mg/hierarchy.h"
 #include "mg/solver.h"
@@ -38,6 +39,12 @@ struct DistMgLevel {
   /// *setup* (Galerkin chain) stays CSR either way, so both formats see
   /// bit-identical operators.
   std::unique_ptr<DistBsr> a_bsr;
+  /// Matrix-free element view of `a`, built when the hierarchy is
+  /// constructed with mg::MatrixFormat::kMf and an MfProblem; level 0
+  /// only (coarse levels have no elements). It borrows `a`'s layout and
+  /// exchange plan, so the assembled fine matrix stays resident for the
+  /// Galerkin products and the smoother diagonals.
+  std::unique_ptr<DistMf> a_mf;
 
   // Smoother data over the local rows (kSymGaussSeidel falls back to
   // processor-block Jacobi — Gauss–Seidel does not parallelize).
@@ -71,9 +78,12 @@ class DistHierarchy {
   /// ownership follows the MIS parent chain. Collective; deterministic and
   /// identical on all ranks. The permutations applied per level are
   /// retained so solutions can be mapped back to the serial ordering.
+  /// `mf` supplies the fine-level element data when `format` is
+  /// mg::MatrixFormat::kMf (required then, ignored otherwise).
   static DistHierarchy build(parx::Comm& comm, const mg::Hierarchy& serial,
                              std::span<const idx> fine_vertex_owner,
-                             mg::MatrixFormat format = mg::MatrixFormat::kCsr);
+                             mg::MatrixFormat format = mg::MatrixFormat::kCsr,
+                             const MfProblem* mf = nullptr);
 
   int num_levels() const { return static_cast<int>(levels_.size()); }
   const DistMgLevel& level(int l) const { return levels_[l]; }

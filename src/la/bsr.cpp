@@ -6,6 +6,7 @@
 #include "common/error.h"
 #include "common/flops.h"
 #include "common/parallel.h"
+#include "la/block_kernels.h"
 
 namespace prom::la {
 namespace {
@@ -59,6 +60,38 @@ bool invert_block(const real* in, real* out) {
   return true;
 }
 
+/// out(0..BS) = block row i times x. For BS == 3 the inner op is the
+/// shared vectorized microkernel (la/block_kernels.h); otherwise the
+/// reference scalar loop. Either way each scalar row accumulates in
+/// ascending block-column then ascending scalar-column order, so the
+/// result is bit-identical to the scalar CSR walk of the same row.
+template <int BS>
+inline void block_row_times(const std::vector<nnz_t>& browptr,
+                            const std::vector<idx>& bcolidx,
+                            const std::vector<real>& vals,
+                            std::span<const real> x, idx i, real* out) {
+  constexpr int kBlockSize = BS * BS;
+  if constexpr (BS == 3) {
+    RealPack acc = pack_zero();
+    for (nnz_t k = browptr[i]; k < browptr[i + 1]; ++k) {
+      const real* blk = vals.data() + static_cast<std::size_t>(k) * kBlockSize;
+      const real* xj = x.data() + static_cast<std::size_t>(bcolidx[k]) * BS;
+      block3_row_madd(blk, xj, acc);
+    }
+    for (int r = 0; r < BS; ++r) out[r] = pack_lane(acc, r);
+  } else {
+    real acc[BS] = {};
+    for (nnz_t k = browptr[i]; k < browptr[i + 1]; ++k) {
+      const real* blk = vals.data() + static_cast<std::size_t>(k) * kBlockSize;
+      const real* xj = x.data() + static_cast<std::size_t>(bcolidx[k]) * BS;
+      for (int r = 0; r < BS; ++r) {
+        for (int c = 0; c < BS; ++c) acc[r] += blk[r * BS + c] * xj[c];
+      }
+    }
+    for (int r = 0; r < BS; ++r) out[r] = acc[r];
+  }
+}
+
 }  // namespace
 
 template <int BS>
@@ -67,16 +100,8 @@ void Bsr<BS>::spmv(std::span<const real> x, std::span<real> y) const {
              static_cast<idx>(y.size()) == rows());
   common::parallel_for(0, nbrows, kBlockRowGrain, [&](idx rb, idx re) {
     for (idx i = rb; i < re; ++i) {
-      real acc[BS] = {};
-      for (nnz_t k = browptr[i]; k < browptr[i + 1]; ++k) {
-        const real* blk = vals.data() + static_cast<std::size_t>(k) * kBlockSize;
-        const real* xj = x.data() + static_cast<std::size_t>(bcolidx[k]) * BS;
-        for (int r = 0; r < BS; ++r) {
-          for (int c = 0; c < BS; ++c) acc[r] += blk[r * BS + c] * xj[c];
-        }
-      }
-      real* yi = y.data() + static_cast<std::size_t>(i) * BS;
-      for (int r = 0; r < BS; ++r) yi[r] = acc[r];
+      block_row_times<BS>(browptr, bcolidx, vals, x, i,
+                          y.data() + static_cast<std::size_t>(i) * BS);
     }
   });
   count_flops(2 * kBlockSize * nblocks());
@@ -88,14 +113,8 @@ void Bsr<BS>::spmv_add(std::span<const real> x, std::span<real> y) const {
              static_cast<idx>(y.size()) == rows());
   common::parallel_for(0, nbrows, kBlockRowGrain, [&](idx rb, idx re) {
     for (idx i = rb; i < re; ++i) {
-      real acc[BS] = {};
-      for (nnz_t k = browptr[i]; k < browptr[i + 1]; ++k) {
-        const real* blk = vals.data() + static_cast<std::size_t>(k) * kBlockSize;
-        const real* xj = x.data() + static_cast<std::size_t>(bcolidx[k]) * BS;
-        for (int r = 0; r < BS; ++r) {
-          for (int c = 0; c < BS; ++c) acc[r] += blk[r * BS + c] * xj[c];
-        }
-      }
+      real acc[BS];
+      block_row_times<BS>(browptr, bcolidx, vals, x, i, acc);
       real* yi = y.data() + static_cast<std::size_t>(i) * BS;
       for (int r = 0; r < BS; ++r) yi[r] += acc[r];
     }
@@ -111,14 +130,8 @@ void Bsr<BS>::residual(std::span<const real> b, std::span<const real> x,
              static_cast<idx>(r.size()) == rows());
   common::parallel_for(0, nbrows, kBlockRowGrain, [&](idx rb, idx re) {
     for (idx i = rb; i < re; ++i) {
-      real acc[BS] = {};
-      for (nnz_t k = browptr[i]; k < browptr[i + 1]; ++k) {
-        const real* blk = vals.data() + static_cast<std::size_t>(k) * kBlockSize;
-        const real* xj = x.data() + static_cast<std::size_t>(bcolidx[k]) * BS;
-        for (int rr = 0; rr < BS; ++rr) {
-          for (int c = 0; c < BS; ++c) acc[rr] += blk[rr * BS + c] * xj[c];
-        }
-      }
+      real acc[BS];
+      block_row_times<BS>(browptr, bcolidx, vals, x, i, acc);
       const std::size_t base = static_cast<std::size_t>(i) * BS;
       for (int rr = 0; rr < BS; ++rr) r[base + rr] = b[base + rr] - acc[rr];
     }
@@ -136,16 +149,8 @@ void Bsr<BS>::spmv_brows(std::span<const real> x, std::span<real> y,
     nnz_t sub = 0;
     for (idx t = tb; t < te; ++t) {
       const idx i = brows[t];
-      real acc[BS] = {};
-      for (nnz_t k = browptr[i]; k < browptr[i + 1]; ++k) {
-        const real* blk = vals.data() + static_cast<std::size_t>(k) * kBlockSize;
-        const real* xj = x.data() + static_cast<std::size_t>(bcolidx[k]) * BS;
-        for (int r = 0; r < BS; ++r) {
-          for (int c = 0; c < BS; ++c) acc[r] += blk[r * BS + c] * xj[c];
-        }
-      }
-      real* yi = y.data() + static_cast<std::size_t>(i) * BS;
-      for (int r = 0; r < BS; ++r) yi[r] = acc[r];
+      block_row_times<BS>(browptr, bcolidx, vals, x, i,
+                          y.data() + static_cast<std::size_t>(i) * BS);
       sub += browptr[i + 1] - browptr[i];
     }
     count_flops(2 * kBlockSize * sub);
@@ -164,14 +169,8 @@ void Bsr<BS>::residual_brows(std::span<const real> b, std::span<const real> x,
     nnz_t sub = 0;
     for (idx t = tb; t < te; ++t) {
       const idx i = brows[t];
-      real acc[BS] = {};
-      for (nnz_t k = browptr[i]; k < browptr[i + 1]; ++k) {
-        const real* blk = vals.data() + static_cast<std::size_t>(k) * kBlockSize;
-        const real* xj = x.data() + static_cast<std::size_t>(bcolidx[k]) * BS;
-        for (int rr = 0; rr < BS; ++rr) {
-          for (int c = 0; c < BS; ++c) acc[rr] += blk[rr * BS + c] * xj[c];
-        }
-      }
+      real acc[BS];
+      block_row_times<BS>(browptr, bcolidx, vals, x, i, acc);
       const std::size_t base = static_cast<std::size_t>(i) * BS;
       for (int rr = 0; rr < BS; ++rr) r[base + rr] = b[base + rr] - acc[rr];
       sub += browptr[i + 1] - browptr[i];

@@ -21,6 +21,10 @@ struct HierarchyCycleView {
   /// hierarchy has them (Hierarchy::enable_bsr). Same bits as the scalar
   /// path — the blocked SpMV preserves the CSR accumulation order.
   bool use_bsr = false;
+  /// Apply the finest level through its matrix-free element view when the
+  /// hierarchy has one (Hierarchy::enable_mf); coarse levels always go
+  /// through their assembled operators.
+  bool use_mf = false;
 
   int num_levels() const { return h->num_levels(); }
   idx local_n(int l) const { return h->level(l).a.nrows; }
@@ -31,7 +35,9 @@ struct HierarchyCycleView {
   }
   void apply_a(int l, std::span<const real> x, std::span<real> y) const {
     const MgLevel& lv = h->level(l);
-    if (use_bsr && lv.a_bsr != nullptr) {
+    if (use_mf && lv.a_mf != nullptr) {
+      lv.a_mf->apply(x, y);
+    } else if (use_bsr && lv.a_bsr != nullptr) {
       lv.a_bsr->apply(x, y);
     } else {
       lv.a.spmv(x, y);

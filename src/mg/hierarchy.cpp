@@ -242,7 +242,8 @@ MatrixFormat matrix_format_from_env() {
   const std::string_view v(env);
   if (v == "csr") return MatrixFormat::kCsr;
   if (v == "bsr3") return MatrixFormat::kBsr3;
-  PROM_CHECK_MSG(false, "PROM_MATRIX must be 'csr' or 'bsr3'");
+  if (v == "mf") return MatrixFormat::kMf;
+  PROM_CHECK_MSG(false, "PROM_MATRIX must be 'csr', 'bsr3' or 'mf'");
   return MatrixFormat::kCsr;
 }
 
@@ -255,6 +256,17 @@ void Hierarchy::enable_bsr() {
     lv.a_bsr =
         std::make_unique<la::BsrOperator>(std::move(blocked), std::move(map));
   }
+}
+
+void Hierarchy::enable_mf(const mesh::Mesh& mesh,
+                          std::span<const fem::Material> materials,
+                          const fem::DofMap& dofmap, bool bbar) {
+  PROM_CHECK(!levels_.empty());
+  fem::MatrixFreeOperator op =
+      fem::MatrixFreeOperator::build(mesh, materials, dofmap, bbar);
+  PROM_CHECK_MSG(op.rows() == levels_[0].a.nrows,
+                 "enable_mf: dofmap does not match the fine operator");
+  levels_[0].a_mf = std::make_unique<fem::MatrixFreeOperator>(std::move(op));
 }
 
 std::string Hierarchy::describe() const {

@@ -11,6 +11,7 @@
 #include "coarsen/coarsen.h"
 #include "common/config.h"
 #include "fem/assembly.h"
+#include "fem/matrix_free.h"
 #include "la/bsr.h"
 #include "la/csr.h"
 #include "la/dense.h"
@@ -29,13 +30,16 @@ enum class SmootherKind : std::uint8_t {
 
 /// Storage format the solve phase applies operators in. kCsr is the
 /// scalar baseline (PETSc AIJ); kBsr3 re-blocks every level into dense
-/// 3x3 node blocks (PETSc BAIJ, what the paper ran on). Both produce the
-/// same residual history to rounding — the blocked SpMV preserves the
-/// scalar accumulation order (la/bsr.h).
-enum class MatrixFormat : std::uint8_t { kCsr, kBsr3 };
+/// 3x3 node blocks (PETSc BAIJ, what the paper ran on); kMf applies the
+/// finest level matrix-free from batched element data (fem/matrix_free.h)
+/// while every coarse level stays assembled Galerkin. All three produce
+/// the same residual history to rounding: the blocked SpMV preserves the
+/// scalar accumulation order exactly (la/bsr.h), the element apply to
+/// reassociation rounding (~1e-12).
+enum class MatrixFormat : std::uint8_t { kCsr, kBsr3, kMf };
 
-/// Reads the PROM_MATRIX environment switch ("csr" | "bsr3"; unset or
-/// empty means kCsr). Fails fast on an unknown value.
+/// Reads the PROM_MATRIX environment switch ("csr" | "bsr3" | "mf"; unset
+/// or empty means kCsr). Fails fast on an unknown value.
 MatrixFormat matrix_format_from_env();
 
 enum class CoarseSolverKind : std::uint8_t { kDense, kSparseCholesky };
@@ -71,6 +75,9 @@ struct MgLevel {
   /// Node-block (BAIJ) view of `a`, built by Hierarchy::enable_bsr();
   /// null in the default scalar configuration.
   std::unique_ptr<la::BsrOperator> a_bsr;
+  /// Matrix-free element view of `a`, built by Hierarchy::enable_mf();
+  /// level 0 only (coarse levels have no elements to integrate over).
+  std::unique_ptr<fem::MatrixFreeOperator> a_mf;
   std::unique_ptr<la::Smoother> smoother;        // all but coarsest
   std::unique_ptr<la::DenseLdlt> direct;         // coarsest (dense mode)
   std::unique_ptr<la::SparseCholesky> sparse_direct;  // coarsest (sparse)
@@ -121,6 +128,15 @@ class Hierarchy {
   /// (MgLevel::a_bsr) so the solve phase can run in MatrixFormat::kBsr3.
   /// Call after operators exist (build / update_fine_matrix); idempotent.
   void enable_bsr();
+
+  /// Builds the fine level's matrix-free element view (MgLevel::a_mf) so
+  /// the solve phase can run in MatrixFormat::kMf. Valid only for the
+  /// unloaded-state tangent (what assemble_linear_system produced — see
+  /// fem/matrix_free.h); the mesh/materials/dofmap must be the ones the
+  /// fine matrix was assembled from. Idempotent (rebuilds the view).
+  void enable_mf(const mesh::Mesh& mesh,
+                 std::span<const fem::Material> materials,
+                 const fem::DofMap& dofmap, bool bbar = true);
 
   int num_levels() const { return static_cast<int>(levels_.size()); }
   const MgLevel& level(int l) const { return levels_[l]; }

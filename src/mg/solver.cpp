@@ -7,7 +7,8 @@ namespace prom::mg {
 void MgPreconditioner::apply(std::span<const real> x,
                              std::span<real> y) const {
   const bool use_bsr = format_ == MatrixFormat::kBsr3;
-  apply_cycle(HierarchyCycleView{h_, use_bsr}, kind_, x, y);
+  const bool use_mf = format_ == MatrixFormat::kMf;
+  apply_cycle(HierarchyCycleView{h_, use_bsr, use_mf}, kind_, x, y);
 }
 
 la::KrylovResult mg_pcg_solve(const Hierarchy& h, std::span<const real> b,
@@ -17,6 +18,11 @@ la::KrylovResult mg_pcg_solve(const Hierarchy& h, std::span<const real> b,
     PROM_CHECK_MSG(h.level(0).a_bsr != nullptr,
                    "MatrixFormat::kBsr3 requires Hierarchy::enable_bsr()");
     return la::pcg(*h.level(0).a_bsr, precond, b, x, to_krylov_options(opts));
+  }
+  if (opts.format == MatrixFormat::kMf) {
+    PROM_CHECK_MSG(h.level(0).a_mf != nullptr,
+                   "MatrixFormat::kMf requires Hierarchy::enable_mf()");
+    return la::pcg(*h.level(0).a_mf, precond, b, x, to_krylov_options(opts));
   }
   const la::CsrOperator a(h.level(0).a);
   return la::pcg(a, precond, b, x, to_krylov_options(opts));

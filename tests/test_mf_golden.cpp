@@ -1,0 +1,124 @@
+// Golden-history regression for the matrix-free fine level: the
+// quickstart elasticity solve under PROM_MATRIX=mf must (a) reproduce the
+// assembled CSR path's PCG residual history to 1e-12 with the identical
+// iteration count (the matrix-free apply is the same operator to
+// reassociation rounding), (b) emit the mf.setup and mf.apply obs spans,
+// and (c) reproduce the committed golden history
+// (tests/golden/mf_quickstart.json, an obs::Report) — catching any change
+// to the element kernel, the SIMD batching, or the two-pass accumulation
+// that alters convergence. Regenerate the golden file after an
+// *intentional* change with PROM_UPDATE_GOLDEN=1.
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "app/driver.h"
+#include "fem/assembly.h"
+#include "la/krylov.h"
+#include "mg/hierarchy.h"
+#include "mg/solver.h"
+#include "obs/report.h"
+#include "obs/trace.h"
+
+#ifndef PROM_GOLDEN_DIR
+#error "PROM_GOLDEN_DIR must point at the committed golden files"
+#endif
+
+namespace prom {
+namespace {
+
+struct SolveOutcome {
+  la::KrylovResult result;
+  obs::Report report;  ///< contains the "pcg.residual" series
+};
+
+/// The quickstart problem (8^3 box, clamped bottom, pressed top) solved
+/// with the requested solve-phase format under a fresh tracing window.
+SolveOutcome run_quickstart(mg::MatrixFormat format) {
+  const app::ModelProblem p = app::make_box_problem(8);
+  fem::FeProblem fe(p.mesh, p.materials, p.dofmap);
+  fem::LinearSystem sys = fem::assemble_linear_system(fe);
+  mg::Hierarchy h =
+      mg::Hierarchy::build(p.mesh, p.dofmap, std::move(sys.stiffness), {});
+
+  obs::Tracer& tracer = obs::Tracer::instance();
+  const bool was_tracing = obs::tracing();
+  tracer.set_enabled(true);
+  const std::int64_t mark = obs::Tracer::now_ns();
+
+  // Inside the window so the mf.setup span is recorded.
+  if (format == mg::MatrixFormat::kMf) {
+    h.enable_mf(p.mesh, p.materials, p.dofmap);
+  }
+
+  mg::MgSolveOptions opts;
+  opts.rtol = 1e-8;
+  opts.track_history = true;
+  opts.format = format;
+  std::vector<real> x(sys.rhs.size(), 0);
+  SolveOutcome out;
+  out.result = mg::mg_pcg_solve(h, sys.rhs, x, opts);
+  tracer.set_enabled(was_tracing);
+  out.report = obs::build_report(mark);
+  return out;
+}
+
+const std::vector<double>& residual_series(const obs::Report& rep) {
+  const obs::SeriesEntry* s = rep.find_series("pcg.residual");
+  EXPECT_NE(s, nullptr) << "report lacks the pcg.residual series";
+  static const std::vector<double> empty;
+  return s != nullptr ? s->values : empty;
+}
+
+TEST(MfGolden, MatchesCsrHistoryAndCommittedGolden) {
+  const SolveOutcome csr = run_quickstart(mg::MatrixFormat::kCsr);
+  const SolveOutcome mf = run_quickstart(mg::MatrixFormat::kMf);
+  ASSERT_TRUE(csr.result.converged);
+  ASSERT_TRUE(mf.result.converged);
+
+  // (a) The matrix-free solve is the same iteration to rounding:
+  // identical iteration count, history equal to 1e-12 of the initial
+  // residual (the acceptance bar for PROM_MATRIX=mf).
+  EXPECT_EQ(mf.result.iterations, csr.result.iterations);
+  const std::vector<double>& hc = residual_series(csr.report);
+  const std::vector<double>& hm = residual_series(mf.report);
+  ASSERT_FALSE(hc.empty());
+  ASSERT_EQ(hm.size(), hc.size());
+  for (std::size_t i = 0; i < hc.size(); ++i) {
+    EXPECT_NEAR(hm[i], hc[i], 1e-12 * hc[0]) << "history entry " << i;
+  }
+  EXPECT_NEAR(mf.result.final_relres, csr.result.final_relres, 1e-12);
+
+  // (b) The matrix-free spans were recorded: one setup, one apply per
+  // fine-level operator application (PCG matvecs + cycle fine levels).
+  const obs::ComponentEntry* setup =
+      mf.report.component("mf.setup", obs::kNoLevel);
+  ASSERT_NE(setup, nullptr);
+  EXPECT_GE(setup->count, 1);
+  const obs::ComponentEntry* apply =
+      mf.report.component("mf.apply", obs::kNoLevel);
+  ASSERT_NE(apply, nullptr);
+  EXPECT_GT(apply->count, static_cast<std::int64_t>(mf.result.iterations));
+  EXPECT_EQ(csr.report.component("mf.apply", obs::kNoLevel), nullptr);
+
+  // (c) The mf history matches the committed golden history.
+  const std::string path =
+      std::string(PROM_GOLDEN_DIR) + "/mf_quickstart.json";
+  if (std::getenv("PROM_UPDATE_GOLDEN") != nullptr) {
+    mf.report.write_json(path);
+    GTEST_SKIP() << "golden file regenerated at " << path;
+  }
+  const obs::Report golden = obs::Report::read_json(path);
+  const std::vector<double>& hg = residual_series(golden);
+  ASSERT_EQ(hm.size(), hg.size())
+      << "iteration count drifted from the golden history; if intended, "
+         "regenerate with PROM_UPDATE_GOLDEN=1";
+  for (std::size_t i = 0; i < hg.size(); ++i) {
+    EXPECT_NEAR(hm[i], hg[i], 1e-10 * hg[0]) << "golden entry " << i;
+  }
+}
+
+}  // namespace
+}  // namespace prom
