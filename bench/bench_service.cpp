@@ -1,0 +1,175 @@
+// Solve-service request stream: cached vs uncached setup and the blocked
+// multi-RHS solve path. The stream issues one cold request (full
+// partition → assembly → mesh setup → matrix setup → solve lifecycle),
+// then repeat requests against the cached hierarchy — the report parsed
+// out of the obs tracer must show the setup phases absent from the warm
+// window — and finally a k ∈ {1, 2, 4, 8} sweep comparing one blocked
+// k-RHS request against k sequential single-RHS requests (identical
+// right-hand sides, bitwise-identical answers per test_service; this
+// harness measures what the shared ghost exchanges and single matrix
+// traversal buy). Emits BENCH_service.json with solves/s per shape and
+// the setup-amortization ratio (setup cost over one warm solve).
+//
+// Environment: PROM_BENCH_FULL=1 enlarges the problem; PROM_BENCH_SMOKE=1
+// shrinks it (the CI smoke lane); PROM_RHS_BLOCK caps the columns per
+// blocked chunk (default 8).
+#include <algorithm>
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <vector>
+
+#include "app/service.h"
+#include "common/rng.h"
+#include "obs/report.h"
+#include "obs/trace.h"
+
+using namespace prom;
+
+namespace {
+
+la::MultiVec random_rhs(idx n, int k, std::uint64_t seed) {
+  Rng rng(seed);
+  la::MultiVec b(n, k);
+  for (int j = 0; j < k; ++j) {
+    for (real& v : b.col(j)) v = rng.next_real() - 0.5;
+  }
+  return b;
+}
+
+/// Seconds the solve phase took inside one request's tracing window.
+double timed_solve(app::SolveService& service, const app::SolveRequest& req,
+                   obs::Report* rep_out = nullptr) {
+  const std::int64_t mark = obs::Tracer::now_ns();
+  service.solve(req);
+  const obs::Report rep = obs::build_report(mark);
+  if (rep_out != nullptr) *rep_out = rep;
+  return rep.phase_seconds("solve");
+}
+
+}  // namespace
+
+int main() {
+  const bool full = std::getenv("PROM_BENCH_FULL") != nullptr;
+  const bool smoke = std::getenv("PROM_BENCH_SMOKE") != nullptr;
+  const idx n = smoke ? 8 : (full ? 16 : 12);
+  const int p = smoke ? 2 : 4;
+  const int reps = smoke ? 1 : 3;
+
+  app::ServiceConfig sc;
+  sc.nranks = p;
+  app::SolveService service(sc);
+  service.register_problem("box", app::make_box_problem(n));
+
+  obs::Tracer& tracer = obs::Tracer::instance();
+  const bool was_tracing = obs::tracing();
+  tracer.set_enabled(true);
+
+  app::SolveRequest req;
+  req.mesh_id = "box";
+  req.return_solutions = false;
+
+  // Cold request: the whole setup lifecycle runs inside the window.
+  obs::Report cold;
+  const double cold_solve_s = timed_solve(service, req, &cold);
+  const double setup_s =
+      cold.phase_seconds("partition") + cold.phase_seconds("fine_grid") +
+      cold.phase_seconds("mesh_setup") + cold.phase_seconds("matrix_setup");
+
+  // Warm requests: the cache must absorb the setup entirely — no setup
+  // phase span may appear in a warm request's window.
+  obs::Report warm;
+  double warm_solve_s = timed_solve(service, req, &warm);
+  for (int r = 1; r < reps; ++r) {
+    warm_solve_s = std::min(warm_solve_s, timed_solve(service, req));
+  }
+  const bool setup_skipped = warm.phase("partition") == nullptr &&
+                             warm.phase("fine_grid") == nullptr &&
+                             warm.phase("mesh_setup") == nullptr &&
+                             warm.phase("matrix_setup") == nullptr;
+  const idx unknowns = service.acquire("box")->unknowns;
+
+  std::printf("solve service: %d unknowns, %d ranks, cache %s setup on warm "
+              "requests\n",
+              unknowns, p, setup_skipped ? "skips" : "RE-RUNS (BUG)");
+  std::printf("setup %.4f s, cold solve %.4f s, warm solve %.4f s "
+              "(amortizes after %.1f warm solves)\n\n",
+              setup_s, cold_solve_s, warm_solve_s,
+              warm_solve_s > 0 ? setup_s / warm_solve_s : 0.0);
+
+  // Blocked k-RHS request vs k sequential single-RHS requests.
+  struct Row {
+    int k;
+    double blocked_s;
+    double sequential_s;
+  };
+  std::vector<Row> rows;
+  std::printf("%-4s | %-12s %-12s | %-14s %-14s | %-7s\n", "k", "blocked (s)",
+              "seq (s)", "blocked sol/s", "seq sol/s", "speedup");
+  for (const int k : {1, 2, 4, 8}) {
+    const la::MultiVec rhs = random_rhs(unknowns, k, 1234 + k);
+    Row row{k, 1e30, 1e30};
+    for (int r = 0; r < reps; ++r) {
+      app::SolveRequest blocked = req;
+      blocked.rhs = rhs;
+      row.blocked_s = std::min(row.blocked_s, timed_solve(service, blocked));
+
+      const std::int64_t mark = obs::Tracer::now_ns();
+      for (int j = 0; j < k; ++j) {
+        app::SolveRequest single = req;
+        single.rhs = la::MultiVec(unknowns, 1);
+        std::copy(rhs.col(j).begin(), rhs.col(j).end(),
+                  single.rhs.col(0).begin());
+        service.solve(single);
+      }
+      row.sequential_s = std::min(
+          row.sequential_s, obs::build_report(mark).phase_seconds("solve"));
+    }
+    rows.push_back(row);
+    std::printf("%-4d | %-12.4f %-12.4f | %-14.1f %-14.1f | %-7.2f\n", k,
+                row.blocked_s, row.sequential_s,
+                row.blocked_s > 0 ? k / row.blocked_s : 0.0,
+                row.sequential_s > 0 ? k / row.sequential_s : 0.0,
+                row.blocked_s > 0 ? row.sequential_s / row.blocked_s : 0.0);
+  }
+  tracer.set_enabled(was_tracing);
+
+  std::printf(
+      "\nshape claim: warm requests skip the setup phases entirely (the\n"
+      "hierarchy cache), and the blocked path beats k sequential solves\n"
+      "because one ghost exchange per operator application serves every\n"
+      "column and each matrix is traversed once per k columns — the gap\n"
+      "widens with k until PROM_RHS_BLOCK splits the block into chunks.\n");
+
+  std::FILE* json = std::fopen("BENCH_service.json", "w");
+  if (json == nullptr) {
+    std::fprintf(stderr, "cannot write BENCH_service.json\n");
+    return 1;
+  }
+  std::fprintf(json,
+               "{\n  \"bench\": \"service\",\n  \"unknowns\": %d,\n"
+               "  \"ranks\": %d,\n  \"setup_s\": %.6f,\n"
+               "  \"cold_solve_s\": %.6f,\n  \"warm_solve_s\": %.6f,\n"
+               "  \"setup_amortization_solves\": %.2f,\n"
+               "  \"cached_request_skips_setup\": %s,\n  \"sweep\": [\n",
+               unknowns, p, setup_s, cold_solve_s, warm_solve_s,
+               warm_solve_s > 0 ? setup_s / warm_solve_s : 0.0,
+               setup_skipped ? "true" : "false");
+  for (std::size_t i = 0; i < rows.size(); ++i) {
+    const Row& r = rows[i];
+    std::fprintf(json,
+                 "    {\"k\": %d, \"blocked_s\": %.6f, \"sequential_s\": "
+                 "%.6f, \"blocked_solves_per_s\": %.3f, "
+                 "\"sequential_solves_per_s\": %.3f, \"speedup\": %.3f}%s\n",
+                 r.k, r.blocked_s, r.sequential_s,
+                 r.blocked_s > 0 ? r.k / r.blocked_s : 0.0,
+                 r.sequential_s > 0 ? r.k / r.sequential_s : 0.0,
+                 r.blocked_s > 0 ? r.sequential_s / r.blocked_s : 0.0,
+                 i + 1 < rows.size() ? "," : "");
+  }
+  std::fprintf(json, "  ]\n}\n");
+  std::fclose(json);
+  std::printf("wrote BENCH_service.json (timings read from the obs "
+              "tracer)\n");
+  return setup_skipped ? 0 : 1;
+}

@@ -8,7 +8,9 @@
 # 1..8 rank threads; the matrix-free suite drives the SIMD element
 # kernel across kernel-thread counts and the overlapped DistMf apply on
 # 1..8 ranks; the halo suite drives the overlapped arrival-order ghost
-# drain with staggered peer sends).
+# drain with staggered peer sends; the service suite drives the blocked
+# multi-RHS solve path — one message per peer carrying k columns — across
+# rank and kernel-thread counts in all three matrix formats).
 # Any reported race fails the build (TSAN_OPTIONS below aborts on the
 # first report).
 set -euo pipefail
@@ -17,7 +19,7 @@ cd "$(dirname "$0")/.."
 cmake --preset tsan
 cmake --build --preset tsan -j"$(nproc)" --target \
   test_threads_determinism test_parx_stress test_la_bsr_prop \
-  test_serial_dist_equiv test_mf_equiv test_halo test_obs
+  test_serial_dist_equiv test_mf_equiv test_halo test_obs test_service
 
 export TSAN_OPTIONS="halt_on_error=1 abort_on_error=1 ${TSAN_OPTIONS:-}"
 # Exercise the pool beyond the core count regardless of the CI machine.
@@ -30,5 +32,6 @@ export PROM_THREADS="${PROM_THREADS:-4}"
 ./build-tsan/tests/test_mf_equiv
 ./build-tsan/tests/test_halo
 ./build-tsan/tests/test_obs
+./build-tsan/tests/test_service
 
 echo "tsan gate: OK (no races reported)"

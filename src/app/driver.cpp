@@ -1,13 +1,11 @@
 #include "app/driver.h"
 
 #include <algorithm>
+#include <memory>
 
+#include "app/service.h"
 #include "common/error.h"
-#include "dla/dist_mg.h"
-#include "dla/dist_vec.h"
 #include "obs/trace.h"
-#include "partition/rcb.h"
-#include "parx/runtime.h"
 
 namespace prom::app {
 
@@ -99,87 +97,37 @@ LinearStudyReport run_linear_study(const ModelProblem& problem,
   tracer.set_enabled(true);
   const std::int64_t mark = obs::Tracer::now_ns();
 
-  // Phase 1 — partitioning (Athena/ParMetis): vertices to ranks by RCB.
-  std::vector<idx> vertex_owner;
-  {
-    const obs::Span span("phase.partition");
-    vertex_owner = partition::rcb_partition(problem.mesh.coords(),
-                                            config.nranks);
-  }
+  // The study is one uncached request through the solve service: a fresh
+  // service per study, so the setup phases (partition, fine grid, mesh
+  // setup, distributed matrix setup) always run — and emit their spans —
+  // inside the tracing window.
+  ServiceConfig sc;
+  sc.nranks = config.nranks;
+  sc.mg = config.mg;
+  sc.cycle = config.cycle;
+  sc.format = config.format;
+  sc.cache_capacity = 1;
+  SolveService service(sc);
+  // Non-owning alias: the caller's problem outlives the study.
+  service.register_problem(
+      "study",
+      std::shared_ptr<const ModelProblem>(std::shared_ptr<void>(), &problem));
+  const EntryHandle entry = service.acquire("study");
+  report.unknowns = entry->unknowns;
+  report.levels = entry->grids.num_levels();
 
-  // Phase 2 — fine grid creation (FEAP): assemble the stiffness matrix.
-  fem::LinearSystem sys;
-  {
-    const obs::Span span("phase.fine_grid");
-    fem::FeProblem fe(problem.mesh, problem.materials, problem.dofmap);
-    sys = fem::assemble_linear_system(fe);
-  }
-  report.unknowns = sys.stiffness.nrows;
-
-  // Phase 3 — mesh setup (Prometheus): grids + restriction operators only;
-  // the Galerkin operators belong to the distributed matrix setup below.
-  mg::Hierarchy hierarchy;
-  {
-    const obs::Span span("phase.mesh_setup");
-    hierarchy = mg::Hierarchy::build_grids(problem.mesh, problem.dofmap,
-                                           sys.stiffness, config.mg);
-  }
-  report.levels = hierarchy.num_levels();
-
-  // Phases 4 + 5 — matrix setup (Epimetheus: distributed RAR^T, smoother
-  // setup, coarse factorization) and the solve, on virtual ranks. Each
-  // rank's phase span starts after a barrier and covers a trailing
-  // barrier, so the spans — and the traffic they bracket — are per-phase.
-  std::vector<std::int64_t> galerkin_flops(
-      static_cast<std::size_t>(config.nranks));
-  la::KrylovResult solve_result;
-  parx::Runtime::run(config.nranks, [&](parx::Comm& comm) {
-    comm.barrier();
-    dla::DistHierarchy dist;
-    {
-      const obs::Span span("phase.matrix_setup");
-      // MatrixFormat::kMf additionally needs the fine-level element data
-      // (mesh/materials/constraints) to integrate the apply on the fly.
-      const dla::MfProblem mf{&problem.mesh, &problem.materials,
-                              &problem.dofmap, /*bbar=*/true};
-      dist = dla::DistHierarchy::build(
-          comm, hierarchy, vertex_owner, config.format,
-          config.format == mg::MatrixFormat::kMf ? &mf : nullptr);
-      comm.barrier();
-    }
-    galerkin_flops[comm.rank()] = dist.galerkin_flops();
-
-    // Permuted local right-hand side.
-    const auto& perm = dist.permutation(0);
-    const dla::RowDist& rows = dist.level(0).a.row_dist();
-    const idx b0 = rows.begin(comm.rank());
-    std::vector<real> b_local(
-        static_cast<std::size_t>(rows.local_size(comm.rank())));
-    for (idx i = 0; i < static_cast<idx>(b_local.size()); ++i) {
-      b_local[i] = sys.rhs[perm[b0 + i]];
-    }
-    std::vector<real> x_local(b_local.size(), 0);
-
-    comm.barrier();
-    la::KrylovResult result;
-    {
-      const obs::Span span("phase.solve");
-      mg::MgSolveOptions so;
-      so.rtol = config.rtol;
-      so.max_iters = config.max_iters;
-      so.cycle = config.cycle;
-      so.format = config.format;
-      result = dist_mg_pcg_solve(comm, dist, b_local, x_local, so);
-      comm.barrier();
-    }
-    if (comm.rank() == 0) solve_result = result;
-  });
+  SolveRequest req;
+  req.mesh_id = "study";
+  req.rtol = config.rtol;
+  req.max_iters = config.max_iters;
+  req.return_solutions = false;  // the study reads measurements, not x
+  const SolveResponse resp = service.solve_with(entry, req);
 
   tracer.set_enabled(was_tracing);
   report.obs = obs::build_report(mark);
 
-  report.iterations = solve_result.iterations;
-  report.converged = solve_result.converged;
+  report.iterations = resp.results[0].iterations;
+  report.converged = resp.results[0].converged;
   report.wall_partition = report.obs.phase_seconds("partition");
   report.wall_fine_grid = report.obs.phase_seconds("fine_grid");
   report.wall_mesh_setup = report.obs.phase_seconds("mesh_setup");
@@ -187,8 +135,10 @@ LinearStudyReport run_linear_study(const ModelProblem& problem,
   report.wall_solve = report.obs.phase_seconds("solve");
   report.setup_phase.per_rank =
       phase_traffic(report.obs, "matrix_setup", config.nranks);
-  report.max_rank_galerkin_flops =
-      *std::max_element(galerkin_flops.begin(), galerkin_flops.end());
+  for (const dla::DistHierarchy& dist : entry->per_rank) {
+    report.max_rank_galerkin_flops =
+        std::max(report.max_rank_galerkin_flops, dist.galerkin_flops());
+  }
   report.solve_phase.per_rank =
       phase_traffic(report.obs, "solve", config.nranks);
   const perf::MachineModel model;

@@ -288,4 +288,81 @@ void DistBsr::residual(parx::Comm& comm, std::span<const real> b_local,
   for (idx i = 0; i < nlocal_; ++i) r_local[i] = r_pad_[row_slot_of_free_[i]];
 }
 
+void DistBsr::ensure_mv_buffers(int k) const {
+  if (x_ext_mv_.cols() == k) return;
+  x_ext_mv_.resize(static_cast<idx>(x_ext_.size()), k);
+  y_pad_mv_.resize(static_cast<idx>(y_pad_.size()), k);
+  b_pad_mv_.resize(static_cast<idx>(b_pad_.size()), k);
+  r_pad_mv_.resize(static_cast<idx>(r_pad_.size()), k);
+}
+
+void DistBsr::spmm(parx::Comm& comm, const la::MultiVec& x_local,
+                   la::MultiVec& y_local) const {
+  const int k = x_local.cols();
+  PROM_CHECK(x_local.rows() == nlocal_ && y_local.rows() == nlocal_ &&
+             y_local.cols() == k);
+  ensure_mv_buffers(k);
+  plan_.post_mv(comm, x_local);
+  for (int j = 0; j < k; ++j) {
+    const real* xj = x_local.col_data(j);
+    real* ext = x_ext_mv_.col_data(j);
+    for (idx i = 0; i < nlocal_; ++i) ext[slot_of_owned_col_[i]] = xj[i];
+  }
+  if (halo_mode() == HaloMode::kOverlap) {
+    {
+      const obs::Span span("halo.interior");
+      local_.spmm_brows(x_ext_mv_, y_pad_mv_, interior_brows_);
+    }
+    plan_.finish_mv(comm, x_ext_mv_);
+    const obs::Span span("halo.boundary");
+    local_.spmm_brows(x_ext_mv_, y_pad_mv_, boundary_brows_);
+  } else {
+    plan_.finish_rank_order_mv(comm, x_ext_mv_);
+    local_.spmm(x_ext_mv_, y_pad_mv_);
+  }
+  for (int j = 0; j < k; ++j) {
+    const real* yp = y_pad_mv_.col_data(j);
+    real* yj = y_local.col_data(j);
+    for (idx i = 0; i < nlocal_; ++i) yj[i] = yp[row_slot_of_free_[i]];
+  }
+}
+
+void DistBsr::residual_mv(parx::Comm& comm, const la::MultiVec& b_local,
+                          const la::MultiVec& x_local,
+                          la::MultiVec& r_local) const {
+  const int k = x_local.cols();
+  PROM_CHECK(b_local.rows() == nlocal_ && x_local.rows() == nlocal_ &&
+             r_local.rows() == nlocal_ && b_local.cols() == k &&
+             r_local.cols() == k);
+  ensure_mv_buffers(k);
+  plan_.post_mv(comm, x_local);
+  for (int j = 0; j < k; ++j) {
+    const real* xj = x_local.col_data(j);
+    const real* bj = b_local.col_data(j);
+    real* ext = x_ext_mv_.col_data(j);
+    real* bp = b_pad_mv_.col_data(j);
+    for (idx i = 0; i < nlocal_; ++i) ext[slot_of_owned_col_[i]] = xj[i];
+    for (idx i = 0; i < nlocal_; ++i) bp[row_slot_of_free_[i]] = bj[i];
+  }
+  if (halo_mode() == HaloMode::kOverlap) {
+    {
+      const obs::Span span("halo.interior");
+      local_.residual_mv_brows(b_pad_mv_, x_ext_mv_, r_pad_mv_,
+                               interior_brows_);
+    }
+    plan_.finish_mv(comm, x_ext_mv_);
+    const obs::Span span("halo.boundary");
+    local_.residual_mv_brows(b_pad_mv_, x_ext_mv_, r_pad_mv_,
+                             boundary_brows_);
+  } else {
+    plan_.finish_rank_order_mv(comm, x_ext_mv_);
+    local_.residual_mv(b_pad_mv_, x_ext_mv_, r_pad_mv_);
+  }
+  for (int j = 0; j < k; ++j) {
+    const real* rp = r_pad_mv_.col_data(j);
+    real* rj = r_local.col_data(j);
+    for (idx i = 0; i < nlocal_; ++i) rj[i] = rp[row_slot_of_free_[i]];
+  }
+}
+
 }  // namespace prom::dla

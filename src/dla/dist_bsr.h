@@ -63,7 +63,21 @@ class DistBsr {
   void residual(parx::Comm& comm, std::span<const real> b_local,
                 std::span<const real> x_local, std::span<real> r_local) const;
 
+  /// Column-blocked spmv: one node-block ghost exchange and one blocked
+  /// matrix pass serve all k columns; column j bitwise equals `spmv` on
+  /// that column. Collective.
+  void spmm(parx::Comm& comm, const la::MultiVec& x_local,
+            la::MultiVec& y_local) const;
+
+  /// Column-blocked fused residual. Collective.
+  void residual_mv(parx::Comm& comm, const la::MultiVec& b_local,
+                   const la::MultiVec& x_local, la::MultiVec& r_local) const;
+
  private:
+  /// Reshapes the padded mv work buffers to width k. The zero-fill on
+  /// reshape re-establishes the padding invariants per column (owned
+  /// padding slots stay zero; ghost padding is rewritten every exchange).
+  void ensure_mv_buffers(int k) const;
   int rank_ = 0;
   idx nlocal_ = 0;  // owned scalar rows (free dofs)
   la::Bsr3 local_;  // owned node rows x [owned | ghost] node cols
@@ -85,6 +99,11 @@ class DistBsr {
   mutable std::vector<real> y_pad_;
   mutable std::vector<real> b_pad_;
   mutable std::vector<real> r_pad_;
+  // Blocked counterparts (see ensure_mv_buffers).
+  mutable la::MultiVec x_ext_mv_;
+  mutable la::MultiVec y_pad_mv_;
+  mutable la::MultiVec b_pad_mv_;
+  mutable la::MultiVec r_pad_mv_;
 };
 
 /// DistOperator adapter for a square DistBsr, with the fused residual the
@@ -101,6 +120,14 @@ class DistBsrOperator final : public DistOperator {
                 std::span<const real> x_local,
                 std::span<real> r_local) const {
     a_->residual(comm, b_local, x_local, r_local);
+  }
+  void apply_mv(parx::Comm& comm, const la::MultiVec& x_local,
+                la::MultiVec& y_local) const override {
+    a_->spmm(comm, x_local, y_local);
+  }
+  void residual_mv(parx::Comm& comm, const la::MultiVec& b_local,
+                   const la::MultiVec& x_local, la::MultiVec& r_local) const {
+    a_->residual_mv(comm, b_local, x_local, r_local);
   }
 
  private:

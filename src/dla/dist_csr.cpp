@@ -229,6 +229,89 @@ void DistCsr::spmv_transpose(parx::Comm& comm, std::span<const real> x_local,
   plan_.reverse_accumulate(comm, y_local);
 }
 
+void DistCsr::spmm(parx::Comm& comm, const la::MultiVec& x_local,
+                   la::MultiVec& y_local) const {
+  const idx n_own = cols_.local_size(rank_);
+  const int k = x_local.cols();
+  PROM_CHECK(x_local.rows() == n_own && y_local.rows() == local_.nrows &&
+             y_local.cols() == k);
+  if (x_ext_mv_.rows() != local_.ncols || x_ext_mv_.cols() != k) {
+    x_ext_mv_.resize(local_.ncols, k);
+  }
+
+  plan_.post_mv(comm, x_local);
+  for (int j = 0; j < k; ++j) {
+    std::copy(x_local.col_data(j), x_local.col_data(j) + n_own,
+              x_ext_mv_.col_data(j));
+  }
+  if (halo_mode() == HaloMode::kOverlap) {
+    {
+      const obs::Span span("halo.interior");
+      local_.spmm_rows(x_ext_mv_, y_local, interior_rows_);
+    }
+    plan_.finish_mv(comm, x_ext_mv_);
+    const obs::Span span("halo.boundary");
+    local_.spmm_rows(x_ext_mv_, y_local, boundary_rows_);
+  } else {
+    plan_.finish_rank_order_mv(comm, x_ext_mv_);
+    local_.spmm(x_ext_mv_, y_local);
+  }
+}
+
+void DistCsr::residual_mv(parx::Comm& comm, const la::MultiVec& b_local,
+                          const la::MultiVec& x_local,
+                          la::MultiVec& r_local) const {
+  const idx n_own = cols_.local_size(rank_);
+  const int k = x_local.cols();
+  PROM_CHECK(x_local.rows() == n_own && b_local.rows() == local_.nrows &&
+             r_local.rows() == local_.nrows && b_local.cols() == k &&
+             r_local.cols() == k);
+  if (x_ext_mv_.rows() != local_.ncols || x_ext_mv_.cols() != k) {
+    x_ext_mv_.resize(local_.ncols, k);
+  }
+
+  plan_.post_mv(comm, x_local);
+  for (int j = 0; j < k; ++j) {
+    std::copy(x_local.col_data(j), x_local.col_data(j) + n_own,
+              x_ext_mv_.col_data(j));
+  }
+  if (halo_mode() == HaloMode::kOverlap) {
+    {
+      const obs::Span span("halo.interior");
+      local_.residual_mv_rows(b_local, x_ext_mv_, r_local, interior_rows_);
+    }
+    plan_.finish_mv(comm, x_ext_mv_);
+    const obs::Span span("halo.boundary");
+    local_.residual_mv_rows(b_local, x_ext_mv_, r_local, boundary_rows_);
+  } else {
+    plan_.finish_rank_order_mv(comm, x_ext_mv_);
+    local_.residual_mv(b_local, x_ext_mv_, r_local);
+  }
+}
+
+void DistCsr::spmm_transpose(parx::Comm& comm, const la::MultiVec& x_local,
+                             la::MultiVec& y_local) const {
+  const idx n_own_cols = cols_.local_size(rank_);
+  const int k = x_local.cols();
+  PROM_CHECK(x_local.rows() == local_.nrows && y_local.rows() == n_own_cols &&
+             y_local.cols() == k);
+  if (y_ext_mv_.rows() != local_.ncols || y_ext_mv_.cols() != k) {
+    y_ext_mv_.resize(local_.ncols, k);
+  }
+
+  // Per-column local transpose (already deterministic), then ONE blocked
+  // reverse exchange ships every column's ghost contributions per peer.
+  for (int j = 0; j < k; ++j) {
+    local_.spmv_transpose(x_local.col(j), y_ext_mv_.col(j));
+  }
+  plan_.reverse_post_mv(comm, y_ext_mv_);
+  for (int j = 0; j < k; ++j) {
+    std::copy(y_ext_mv_.col_data(j), y_ext_mv_.col_data(j) + n_own_cols,
+              y_local.col_data(j));
+  }
+  plan_.reverse_accumulate_mv(comm, y_local);
+}
+
 la::Csr DistCsr::local_diagonal_block() const {
   const idx n_own_cols = cols_.local_size(rank_);
   la::Csr d;

@@ -83,6 +83,21 @@ class DistCsr {
   void spmv_transpose(parx::Comm& comm, std::span<const real> x_local,
                       std::span<real> y_local) const;
 
+  /// Column-blocked spmv: one ghost exchange (one message per peer
+  /// carrying all k columns) and one matrix pass serve every column;
+  /// column j is bitwise identical to `spmv` on that column. Collective.
+  void spmm(parx::Comm& comm, const la::MultiVec& x_local,
+            la::MultiVec& y_local) const;
+
+  /// Column-blocked fused residual. Collective.
+  void residual_mv(parx::Comm& comm, const la::MultiVec& b_local,
+                   const la::MultiVec& x_local, la::MultiVec& r_local) const;
+
+  /// Column-blocked spmv_transpose (one reverse message per peer carrying
+  /// all k columns). Collective.
+  void spmm_transpose(parx::Comm& comm, const la::MultiVec& x_local,
+                      la::MultiVec& y_local) const;
+
   /// The local rows with *local* column indexing: columns [0, n_local) are
   /// owned, [n_local, n_local + n_ghost) are ghosts.
   const la::Csr& local_matrix() const { return local_; }
@@ -111,6 +126,10 @@ class DistCsr {
   // segment, so no per-call zero-fill or allocation is needed.
   mutable std::vector<real> x_ext_;
   mutable std::vector<real> y_ext_;  // spmv_transpose scratch
+  // Blocked counterparts, reshaped lazily (no allocation once the widest
+  // block has been seen; same rewrite invariants as the scalar buffers).
+  mutable la::MultiVec x_ext_mv_;
+  mutable la::MultiVec y_ext_mv_;
 };
 
 }  // namespace prom::dla

@@ -12,4 +12,12 @@ la::KrylovResult dist_pcg(parx::Comm& comm, const DistOperator& a,
   return la::pcg_any(ParxBackend{&comm}, a, m, b_local, x_local, opts);
 }
 
+std::vector<la::KrylovResult> dist_pcg_multi(
+    parx::Comm& comm, const DistOperator& a, const DistOperator* m,
+    const la::MultiVec& b_local, la::MultiVec& x_local,
+    const la::KrylovOptions& opts, la::KrylovWorkspace* ws) {
+  return la::pcg_multi_any(ParxBackend{&comm}, a, m, b_local, x_local, opts,
+                           ws);
+}
+
 }  // namespace prom::dla

@@ -8,6 +8,7 @@
 
 #include "dla/dist_csr.h"
 #include "la/krylov.h"
+#include "la/multivec.h"
 #include "parx/runtime.h"
 
 namespace prom::dla {
@@ -20,6 +21,16 @@ class DistOperator {
   virtual idx local_n() const = 0;
   virtual void apply(parx::Comm& comm, std::span<const real> x_local,
                      std::span<real> y_local) const = 0;
+  /// Column-blocked apply on the local blocks of k distributed vectors;
+  /// column j is bitwise identical to `apply` on that column. Overridden
+  /// by operators whose exchange can carry all columns in one message per
+  /// peer; the default applies column by column. Collective.
+  virtual void apply_mv(parx::Comm& comm, const la::MultiVec& x_local,
+                        la::MultiVec& y_local) const {
+    for (int j = 0; j < x_local.cols(); ++j) {
+      apply(comm, x_local.col(j), y_local.col(j));
+    }
+  }
 };
 
 /// Adapter for a square DistCsr, with the fused residual the ParxBackend
@@ -37,6 +48,14 @@ class DistCsrOperator final : public DistOperator {
                 std::span<real> r_local) const {
     a_->residual(comm, b_local, x_local, r_local);
   }
+  void apply_mv(parx::Comm& comm, const la::MultiVec& x_local,
+                la::MultiVec& y_local) const override {
+    a_->spmm(comm, x_local, y_local);
+  }
+  void residual_mv(parx::Comm& comm, const la::MultiVec& b_local,
+                   const la::MultiVec& x_local, la::MultiVec& r_local) const {
+    a_->residual_mv(comm, b_local, x_local, r_local);
+  }
 
  private:
   const DistCsr* a_;
@@ -48,5 +67,14 @@ la::KrylovResult dist_pcg(parx::Comm& comm, const DistOperator& a,
                           const DistOperator* m, std::span<const real> b_local,
                           std::span<real> x_local,
                           const la::KrylovOptions& opts = {});
+
+/// Column-blocked distributed PCG: one exchange per operator application
+/// serves all k right-hand sides; column j of the result is bitwise
+/// identical to `dist_pcg` on that column alone. Collective; every rank
+/// receives the same results.
+std::vector<la::KrylovResult> dist_pcg_multi(
+    parx::Comm& comm, const DistOperator& a, const DistOperator* m,
+    const la::MultiVec& b_local, la::MultiVec& x_local,
+    const la::KrylovOptions& opts = {}, la::KrylovWorkspace* ws = nullptr);
 
 }  // namespace prom::dla

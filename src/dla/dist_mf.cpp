@@ -125,4 +125,92 @@ void DistMf::residual(parx::Comm& comm, std::span<const real> b_local,
   core_.pass_b_residual(b_local, r_local);
 }
 
+void DistMf::spmm(parx::Comm& comm, const la::MultiVec& x_local,
+                  la::MultiVec& y_local) const {
+  const int k = x_local.cols();
+  PROM_CHECK(x_local.rows() == nlocal_ && y_local.rows() == nlocal_ &&
+             y_local.cols() == k);
+  const obs::Span apply_span("mf.apply");
+
+  const idx next = nlocal_ + a_->num_ghosts();
+  if (x_ext_mv_.rows() != next || x_ext_mv_.cols() != k) {
+    x_ext_mv_.resize(next, k);
+  }
+  const HaloPlan& plan = a_->halo_plan();
+  plan.post_mv(comm, x_local);
+  for (int j = 0; j < k; ++j) {
+    std::copy(x_local.col(j).begin(), x_local.col(j).end(),
+              x_ext_mv_.col(j).begin());
+  }
+  // One per-element force buffer means the element passes are per column;
+  // only column 0's Pass A can overlap the (single, blocked) exchange.
+  if (halo_mode() == HaloMode::kOverlap) {
+    {
+      const obs::Span span("halo.interior");
+      core_.pass_a(x_ext_mv_.col(0), 0, core_.num_interior_batches());
+    }
+    plan.finish_mv(comm, x_ext_mv_);
+    {
+      const obs::Span span("halo.boundary");
+      core_.pass_a(x_ext_mv_.col(0), core_.num_interior_batches(),
+                   core_.num_batches());
+    }
+    core_.pass_b_apply(y_local.col(0));
+    for (int j = 1; j < k; ++j) {
+      core_.pass_a(x_ext_mv_.col(j), 0, core_.num_batches());
+      core_.pass_b_apply(y_local.col(j));
+    }
+  } else {
+    plan.finish_rank_order_mv(comm, x_ext_mv_);
+    for (int j = 0; j < k; ++j) {
+      core_.pass_a(x_ext_mv_.col(j), 0, core_.num_batches());
+      core_.pass_b_apply(y_local.col(j));
+    }
+  }
+}
+
+void DistMf::residual_mv(parx::Comm& comm, const la::MultiVec& b_local,
+                         const la::MultiVec& x_local,
+                         la::MultiVec& r_local) const {
+  const int k = x_local.cols();
+  PROM_CHECK(x_local.rows() == nlocal_ && b_local.rows() == nlocal_ &&
+             r_local.rows() == nlocal_ && b_local.cols() == k &&
+             r_local.cols() == k);
+  const obs::Span apply_span("mf.apply");
+
+  const idx next = nlocal_ + a_->num_ghosts();
+  if (x_ext_mv_.rows() != next || x_ext_mv_.cols() != k) {
+    x_ext_mv_.resize(next, k);
+  }
+  const HaloPlan& plan = a_->halo_plan();
+  plan.post_mv(comm, x_local);
+  for (int j = 0; j < k; ++j) {
+    std::copy(x_local.col(j).begin(), x_local.col(j).end(),
+              x_ext_mv_.col(j).begin());
+  }
+  if (halo_mode() == HaloMode::kOverlap) {
+    {
+      const obs::Span span("halo.interior");
+      core_.pass_a(x_ext_mv_.col(0), 0, core_.num_interior_batches());
+    }
+    plan.finish_mv(comm, x_ext_mv_);
+    {
+      const obs::Span span("halo.boundary");
+      core_.pass_a(x_ext_mv_.col(0), core_.num_interior_batches(),
+                   core_.num_batches());
+    }
+    core_.pass_b_residual(b_local.col(0), r_local.col(0));
+    for (int j = 1; j < k; ++j) {
+      core_.pass_a(x_ext_mv_.col(j), 0, core_.num_batches());
+      core_.pass_b_residual(b_local.col(j), r_local.col(j));
+    }
+  } else {
+    plan.finish_rank_order_mv(comm, x_ext_mv_);
+    for (int j = 0; j < k; ++j) {
+      core_.pass_a(x_ext_mv_.col(j), 0, core_.num_batches());
+      core_.pass_b_residual(b_local.col(j), r_local.col(j));
+    }
+  }
+}
+
 }  // namespace prom::dla

@@ -59,11 +59,24 @@ class DistMf {
   void residual(parx::Comm& comm, std::span<const real> b_local,
                 std::span<const real> x_local, std::span<real> r_local) const;
 
+  /// Column-blocked spmv: one ghost exchange (one message per peer
+  /// carrying all k columns) serves every column; the element passes run
+  /// column by column (one per-element force buffer), with column 0
+  /// overlapped against the exchange. Column j bitwise equals `spmv` on
+  /// that column. Collective.
+  void spmm(parx::Comm& comm, const la::MultiVec& x_local,
+            la::MultiVec& y_local) const;
+
+  /// Column-blocked fused residual. Collective.
+  void residual_mv(parx::Comm& comm, const la::MultiVec& b_local,
+                   const la::MultiVec& x_local, la::MultiVec& r_local) const;
+
  private:
   idx nlocal_ = 0;
   const DistCsr* a_ = nullptr;  // layout + halo plan donor
   fem::MfCore core_;
   mutable std::vector<real> x_ext_;  // [owned | ghost] gather space
+  mutable la::MultiVec x_ext_mv_;    // blocked counterpart
 };
 
 /// DistOperator adapter with the fused residual the ParxBackend picks up.
@@ -79,6 +92,14 @@ class DistMfOperator final : public DistOperator {
                 std::span<const real> x_local,
                 std::span<real> r_local) const {
     a_->residual(comm, b_local, x_local, r_local);
+  }
+  void apply_mv(parx::Comm& comm, const la::MultiVec& x_local,
+                la::MultiVec& y_local) const override {
+    a_->spmm(comm, x_local, y_local);
+  }
+  void residual_mv(parx::Comm& comm, const la::MultiVec& b_local,
+                   const la::MultiVec& x_local, la::MultiVec& r_local) const {
+    a_->residual_mv(comm, b_local, x_local, r_local);
   }
 
  private:

@@ -102,6 +102,46 @@ struct DistCycleView {
       for (int s = 0; s < 4; ++s) lv.smooth(*comm, b, x);
     }
   }
+
+  // Column-blocked level operations (MultiCycleView); column j bitwise
+  // equals the scalar operation on that column.
+  void smooth_mv(int l, const la::MultiVec& b, la::MultiVec& x) const {
+    h->level(l).smooth_mv(*comm, b, x);
+  }
+  void apply_a_mv(int l, const la::MultiVec& x, la::MultiVec& y) const {
+    const DistMgLevel& lv = h->level(l);
+    if (lv.a_mf != nullptr) {
+      lv.a_mf->spmm(*comm, x, y);
+    } else if (lv.a_bsr != nullptr) {
+      lv.a_bsr->spmm(*comm, x, y);
+    } else {
+      lv.a.spmm(*comm, x, y);
+    }
+  }
+  void restrict_to_mv(int l, const la::MultiVec& xf, la::MultiVec& xc) const {
+    h->level(l).r.spmm(*comm, xf, xc);
+  }
+  void prolong_mv(int l, const la::MultiVec& xc, la::MultiVec& xf) const {
+    h->level(l).r.spmm_transpose(*comm, xc, xf);
+  }
+  void coarse_solve_mv(const la::MultiVec& b, la::MultiVec& x) const {
+    const DistMgLevel& lv = h->level(h->num_levels() - 1);
+    if (lv.direct != nullptr) {
+      // One allgatherv carries every column; the factor-solve is already
+      // local and runs per column in order.
+      const la::MultiVec b_full =
+          dist_gather_all_mv(*comm, lv.a.row_dist(), b);
+      const idx b0 = lv.a.row_dist().begin(comm->rank());
+      std::vector<real> x_full(static_cast<std::size_t>(b_full.rows()));
+      for (int j = 0; j < b.cols(); ++j) {
+        lv.direct->solve(b_full.col(j), x_full);
+        real* xj = x.col_data(j);
+        for (idx i = 0; i < lv.local_n(); ++i) xj[i] = x_full[b0 + i];
+      }
+    } else {
+      for (int s = 0; s < 4; ++s) lv.smooth_mv(*comm, b, x);
+    }
+  }
 };
 
 }  // namespace
@@ -129,6 +169,27 @@ void smooth_with(const DistMgLevel& lv, parx::Comm& comm, const Op& op,
   }
 }
 
+/// Column-blocked smoother dispatch; same structure as smooth_with over
+/// the mv sweeps.
+template <class Op>
+void smooth_with_mv(const DistMgLevel& lv, parx::Comm& comm, const Op& op,
+                    const la::MultiVec& b_local, la::MultiVec& x_local) {
+  const ParxBackend be{&comm};
+  switch (lv.kind) {
+    case mg::SmootherKind::kJacobi:
+      la::jacobi_sweep_mv(be, op, lv.inv_diag, lv.omega, b_local, x_local);
+      break;
+    case mg::SmootherKind::kChebyshev:
+      la::chebyshev_sweep_mv(be, op, lv.inv_diag, lv.cheby_degree,
+                             lv.cheby_lmin, lv.cheby_lmax, b_local, x_local);
+      break;
+    default:
+      la::block_jacobi_sweep_mv(be, op, lv.blocks, lv.factors, lv.omega,
+                                b_local, x_local);
+      break;
+  }
+}
+
 }  // namespace
 
 void DistMgLevel::smooth(parx::Comm& comm, std::span<const real> b_local,
@@ -137,6 +198,15 @@ void DistMgLevel::smooth(parx::Comm& comm, std::span<const real> b_local,
     smooth_with(*this, comm, DistBsrOperator(*a_bsr), b_local, x_local);
   } else {
     smooth_with(*this, comm, DistCsrOperator(a), b_local, x_local);
+  }
+}
+
+void DistMgLevel::smooth_mv(parx::Comm& comm, const la::MultiVec& b_local,
+                            la::MultiVec& x_local) const {
+  if (a_bsr != nullptr) {
+    smooth_with_mv(*this, comm, DistBsrOperator(*a_bsr), b_local, x_local);
+  } else {
+    smooth_with_mv(*this, comm, DistCsrOperator(a), b_local, x_local);
   }
 }
 
@@ -282,6 +352,12 @@ void DistMgPreconditioner::apply(parx::Comm& comm,
   mg::apply_cycle(DistCycleView{&comm, h_}, kind_, x_local, y_local);
 }
 
+void DistMgPreconditioner::apply_mv(parx::Comm& comm,
+                                    const la::MultiVec& x_local,
+                                    la::MultiVec& y_local) const {
+  mg::apply_cycle_mv(DistCycleView{&comm, h_}, kind_, x_local, y_local);
+}
+
 la::KrylovResult dist_mg_pcg_solve(parx::Comm& comm, const DistHierarchy& h,
                                    std::span<const real> b_local,
                                    std::span<real> x_local,
@@ -304,6 +380,30 @@ la::KrylovResult dist_mg_pcg_solve(parx::Comm& comm, const DistHierarchy& h,
   const DistCsrOperator a(h.level(0).a);
   return dist_pcg(comm, a, &precond, b_local, x_local,
                   mg::to_krylov_options(opts));
+}
+
+std::vector<la::KrylovResult> dist_mg_pcg_solve_mv(
+    parx::Comm& comm, const DistHierarchy& h, const la::MultiVec& b_local,
+    la::MultiVec& x_local, const mg::MgSolveOptions& opts,
+    la::KrylovWorkspace* ws) {
+  const DistMgPreconditioner precond(h, opts.cycle);
+  if (opts.format == mg::MatrixFormat::kBsr3) {
+    PROM_CHECK_MSG(h.level(0).a_bsr != nullptr,
+                   "MatrixFormat::kBsr3 requires a hierarchy built with it");
+    const DistBsrOperator a(*h.level(0).a_bsr);
+    return dist_pcg_multi(comm, a, &precond, b_local, x_local,
+                          mg::to_krylov_options(opts), ws);
+  }
+  if (opts.format == mg::MatrixFormat::kMf) {
+    PROM_CHECK_MSG(h.level(0).a_mf != nullptr,
+                   "MatrixFormat::kMf requires a hierarchy built with it");
+    const DistMfOperator a(*h.level(0).a_mf);
+    return dist_pcg_multi(comm, a, &precond, b_local, x_local,
+                          mg::to_krylov_options(opts), ws);
+  }
+  const DistCsrOperator a(h.level(0).a);
+  return dist_pcg_multi(comm, a, &precond, b_local, x_local,
+                        mg::to_krylov_options(opts), ws);
 }
 
 }  // namespace prom::dla

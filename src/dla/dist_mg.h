@@ -66,6 +66,12 @@ struct DistMgLevel {
   /// One smoothing step of the configured kind (collective).
   void smooth(parx::Comm& comm, std::span<const real> b_local,
               std::span<real> x_local) const;
+
+  /// Column-blocked smoothing step: one exchange per operator application
+  /// serves all k columns; column j bitwise equals `smooth` on that
+  /// column. Collective.
+  void smooth_mv(parx::Comm& comm, const la::MultiVec& b_local,
+                 la::MultiVec& x_local) const;
 };
 
 class DistHierarchy {
@@ -120,6 +126,8 @@ class DistMgPreconditioner final : public DistOperator {
   idx local_n() const override { return h_->level(0).local_n(); }
   void apply(parx::Comm& comm, std::span<const real> x_local,
              std::span<real> y_local) const override;
+  void apply_mv(parx::Comm& comm, const la::MultiVec& x_local,
+                la::MultiVec& y_local) const override;
 
  private:
   const DistHierarchy* h_;
@@ -131,5 +139,16 @@ la::KrylovResult dist_mg_pcg_solve(parx::Comm& comm, const DistHierarchy& h,
                                    std::span<const real> b_local,
                                    std::span<real> x_local,
                                    const mg::MgSolveOptions& opts = {});
+
+/// Column-blocked distributed MG-PCG for k right-hand sides: every ghost
+/// exchange ships one message per peer carrying all k columns, and column
+/// j of the result is bitwise identical to `dist_mg_pcg_solve` on that
+/// column alone (at any rank count, kernel-thread count, and halo mode).
+/// `ws` (optional, per rank) reuses the PCG work vectors across solves.
+/// Collective.
+std::vector<la::KrylovResult> dist_mg_pcg_solve_mv(
+    parx::Comm& comm, const DistHierarchy& h, const la::MultiVec& b_local,
+    la::MultiVec& x_local, const mg::MgSolveOptions& opts = {},
+    la::KrylovWorkspace* ws = nullptr);
 
 }  // namespace prom::dla

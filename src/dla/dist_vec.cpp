@@ -59,4 +59,25 @@ std::vector<real> dist_gather_all(parx::Comm& comm, const RowDist& dist,
   return full;
 }
 
+la::MultiVec dist_gather_all_mv(parx::Comm& comm, const RowDist& dist,
+                                const la::MultiVec& local) {
+  const int rank = comm.rank();
+  const int k = local.cols();
+  PROM_CHECK(local.rows() == dist.local_size(rank));
+  // Ship the whole column-major local block in one message per rank.
+  const auto parts = comm.allgatherv(std::vector<real>(
+      local.data(), local.data() + static_cast<std::size_t>(local.rows()) * k));
+  la::MultiVec full(dist.global_size(), k);
+  for (int r = 0; r < dist.nranks(); ++r) {
+    const idx nr = dist.local_size(r);
+    PROM_CHECK(static_cast<idx>(parts[r].size()) == nr * k);
+    for (int j = 0; j < k; ++j) {
+      std::copy(parts[r].begin() + static_cast<std::size_t>(j) * nr,
+                parts[r].begin() + static_cast<std::size_t>(j + 1) * nr,
+                full.col(j).begin() + dist.begin(r));
+    }
+  }
+  return full;
+}
+
 }  // namespace prom::dla

@@ -9,6 +9,7 @@
 #include <vector>
 
 #include "common/config.h"
+#include "la/multivec.h"
 #include "parx/runtime.h"
 
 namespace prom::dla {
@@ -45,5 +46,11 @@ real dist_nrm2(parx::Comm& comm, std::span<const real> a);
 /// Gathers a distributed vector to a full copy on every rank.
 std::vector<real> dist_gather_all(parx::Comm& comm, const RowDist& dist,
                                   std::span<const real> local);
+
+/// Gathers k distributed vectors to full copies on every rank with a
+/// single allgatherv (each rank contributes its column-major local
+/// block). Column j bitwise equals dist_gather_all on that column.
+la::MultiVec dist_gather_all_mv(parx::Comm& comm, const RowDist& dist,
+                                const la::MultiVec& local);
 
 }  // namespace prom::dla

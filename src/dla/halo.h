@@ -23,6 +23,7 @@
 #include <vector>
 
 #include "common/config.h"
+#include "la/multivec.h"
 #include "parx/runtime.h"
 
 namespace prom::dla {
@@ -94,8 +95,39 @@ class HaloPlan {
   /// function of the plan alone. kInvalidIdx gather entries are dropped.
   void reverse_accumulate(parx::Comm& comm, std::span<real> y_local) const;
 
+  // ---- blocked (multi-column) exchange ----
+  //
+  // The mv variants ship all k columns of a MultiVec in ONE message per
+  // peer: a peer whose forward segment holds c values receives c*k reals,
+  // column-major within the segment (value t of column j at j*c + t). The
+  // per-peer message count — and hence the latency bill — is that of a
+  // single-column exchange; only the payload grows. Per column the packed
+  // values, destination slots, and accumulation order match the scalar
+  // exchange exactly, so every column is bitwise identical to a scalar
+  // exchange of that column. Staging grows monotonically to the widest
+  // block seen and is then reused allocation-free.
+
+  /// Blocked post: one message per send peer carrying all columns.
+  void post_mv(parx::Comm& comm, const la::MultiVec& x_local) const;
+
+  /// Blocked finish, draining peers in arrival order.
+  void finish_mv(parx::Comm& comm, la::MultiVec& dst) const;
+
+  /// Blocked finish in ascending registration (rank) order.
+  void finish_rank_order_mv(parx::Comm& comm, la::MultiVec& dst) const;
+
+  /// Blocked reverse post (one message per recv peer, all columns).
+  void reverse_post_mv(parx::Comm& comm, const la::MultiVec& src) const;
+
+  /// Blocked reverse accumulate: stages every reply, then accumulates
+  /// column by column in the scalar path's fixed flattened order.
+  void reverse_accumulate_mv(parx::Comm& comm, la::MultiVec& y_local) const;
+
  private:
   void scatter(std::size_t peer, std::span<real> dst) const;
+  void scatter_mv(std::size_t peer, la::MultiVec& dst) const;
+  /// Grows the blocked staging to width k (never shrinks).
+  void ensure_mv_staging(int k) const;
 
   int tag_ = 0;
   std::vector<int> send_peers_;
@@ -110,6 +142,10 @@ class HaloPlan {
   mutable std::vector<real> send_buf_;
   mutable std::vector<real> recv_buf_;
   mutable std::vector<int> pending_;  // wait_any scratch
+  // Blocked staging, sized lazily to (counts * widest block seen).
+  mutable std::vector<real> send_buf_mv_;
+  mutable std::vector<real> recv_buf_mv_;
+  mutable int mv_width_ = 0;
 };
 
 }  // namespace prom::dla

@@ -47,6 +47,31 @@ struct ParxBackend {
     }
   }
 
+  /// Column-blocked apply: one exchange per peer carries all columns when
+  /// the operator provides a blocked kernel; otherwise column by column.
+  /// Either way column j matches `apply` on that column bitwise.
+  template <class Op>
+  void apply_mv(const Op& op, const la::MultiVec& x, la::MultiVec& y) const {
+    if constexpr (requires { op.apply_mv(*comm, x, y); }) {
+      op.apply_mv(*comm, x, y);
+    } else {
+      for (int j = 0; j < x.cols(); ++j) apply(op, x.col(j), y.col(j));
+    }
+  }
+
+  template <class Op>
+  void residual_mv(const Op& op, const la::MultiVec& b, const la::MultiVec& x,
+                   la::MultiVec& r) const {
+    if constexpr (requires { op.residual_mv(*comm, b, x, r); }) {
+      op.residual_mv(*comm, b, x, r);
+    } else {
+      apply_mv(op, x, r);
+      for (int j = 0; j < x.cols(); ++j) {
+        la::waxpby(1, b.col(j), -1, r.col(j), r.col(j));
+      }
+    }
+  }
+
   real reduce_sum(real local) const { return comm->allreduce_sum(local); }
 
   real dot(std::span<const real> x, std::span<const real> y) const {

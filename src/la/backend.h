@@ -16,6 +16,7 @@
 #include <span>
 
 #include "common/config.h"
+#include "la/multivec.h"
 #include "la/vec.h"
 
 namespace prom::la {
@@ -68,6 +69,35 @@ struct SerialBackend {
     } else {
       apply(op, x, r);
       waxpby(1, b, -1, r, r);
+    }
+  }
+
+  /// Y = Op X, column-blocked. Dispatches to an operator SpMM when one is
+  /// exposed (including the virtual LinearOperator::apply_mv); the
+  /// fallback applies column by column. Either way column j is bitwise
+  /// identical to `apply` on that column alone.
+  template <class Op>
+  void apply_mv(const Op& op, const MultiVec& x, MultiVec& y) const {
+    if constexpr (requires { op.apply_mv(x, y); }) {
+      op.apply_mv(x, y);
+    } else {
+      for (int j = 0; j < x.cols(); ++j) apply(op, x.col(j), y.col(j));
+    }
+  }
+
+  /// R = B - Op X, column-blocked, with the same fused-vs-composed
+  /// dispatch as `residual` — both arms subtract once per entry, so the
+  /// residual history of every column is unperturbed.
+  template <class Op>
+  void residual_mv(const Op& op, const MultiVec& b, const MultiVec& x,
+                   MultiVec& r) const {
+    if constexpr (requires { op.residual_mv(b, x, r); }) {
+      op.residual_mv(b, x, r);
+    } else {
+      apply_mv(op, x, r);
+      for (int j = 0; j < x.cols(); ++j) {
+        waxpby(1, b.col(j), -1, r.col(j), r.col(j));
+      }
     }
   }
 

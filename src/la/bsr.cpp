@@ -179,6 +179,171 @@ void Bsr<BS>::residual_brows(std::span<const real> b, std::span<const real> x,
   });
 }
 
+namespace {
+
+/// Blocked counterpart of block_row_times: one pass over block row i feeds
+/// one accumulator per column of X, each updated in exactly
+/// block_row_times' order, so every output column matches the
+/// single-vector kernel bitwise. `out[j]` receives the BS row results for
+/// column j.
+template <int BS>
+inline void block_row_times_mv(const std::vector<nnz_t>& browptr,
+                               const std::vector<idx>& bcolidx,
+                               const std::vector<real>& vals,
+                               const real* const* xp, int ncol, idx i,
+                               real out[][BS]) {
+  constexpr int kBlockSize = BS * BS;
+  if constexpr (BS == 3) {
+    RealPack acc[kMaxRhsBlock];
+    for (int j = 0; j < ncol; ++j) acc[j] = pack_zero();
+    for (nnz_t k = browptr[i]; k < browptr[i + 1]; ++k) {
+      const real* blk = vals.data() + static_cast<std::size_t>(k) * kBlockSize;
+      const std::size_t xoff = static_cast<std::size_t>(bcolidx[k]) * BS;
+      for (int j = 0; j < ncol; ++j) {
+        block3_row_madd(blk, xp[j] + xoff, acc[j]);
+      }
+    }
+    for (int j = 0; j < ncol; ++j) {
+      for (int r = 0; r < BS; ++r) out[j][r] = pack_lane(acc[j], r);
+    }
+  } else {
+    real acc[kMaxRhsBlock][BS] = {};
+    for (nnz_t k = browptr[i]; k < browptr[i + 1]; ++k) {
+      const real* blk = vals.data() + static_cast<std::size_t>(k) * kBlockSize;
+      const std::size_t xoff = static_cast<std::size_t>(bcolidx[k]) * BS;
+      for (int j = 0; j < ncol; ++j) {
+        for (int r = 0; r < BS; ++r) {
+          for (int c = 0; c < BS; ++c) {
+            acc[j][r] += blk[r * BS + c] * xp[j][xoff + c];
+          }
+        }
+      }
+    }
+    for (int j = 0; j < ncol; ++j) {
+      for (int r = 0; r < BS; ++r) out[j][r] = acc[j][r];
+    }
+  }
+}
+
+}  // namespace
+
+template <int BS>
+void Bsr<BS>::spmm(const MultiVec& x, MultiVec& y) const {
+  PROM_CHECK(x.rows() == cols() && y.rows() == rows() &&
+             x.cols() == y.cols() && x.cols() >= 1);
+  const int ncol = x.cols();
+  const real* xp[kMaxRhsBlock];
+  real* yp[kMaxRhsBlock];
+  for (int j = 0; j < ncol; ++j) {
+    xp[j] = x.col_data(j);
+    yp[j] = y.col_data(j);
+  }
+  common::parallel_for(0, nbrows, kBlockRowGrain, [&](idx rb, idx re) {
+    for (idx i = rb; i < re; ++i) {
+      real acc[kMaxRhsBlock][BS];
+      block_row_times_mv<BS>(browptr, bcolidx, vals, xp, ncol, i, acc);
+      const std::size_t base = static_cast<std::size_t>(i) * BS;
+      for (int j = 0; j < ncol; ++j) {
+        for (int r = 0; r < BS; ++r) yp[j][base + r] = acc[j][r];
+      }
+    }
+  });
+  count_flops(2 * kBlockSize * nblocks() * ncol);
+}
+
+template <int BS>
+void Bsr<BS>::residual_mv(const MultiVec& b, const MultiVec& x,
+                          MultiVec& r) const {
+  PROM_CHECK(x.rows() == cols() && b.rows() == rows() && r.rows() == rows() &&
+             x.cols() == b.cols() && x.cols() == r.cols() && x.cols() >= 1);
+  const int ncol = x.cols();
+  const real* xp[kMaxRhsBlock];
+  const real* bp[kMaxRhsBlock];
+  real* rp[kMaxRhsBlock];
+  for (int j = 0; j < ncol; ++j) {
+    xp[j] = x.col_data(j);
+    bp[j] = b.col_data(j);
+    rp[j] = r.col_data(j);
+  }
+  common::parallel_for(0, nbrows, kBlockRowGrain, [&](idx rb, idx re) {
+    for (idx i = rb; i < re; ++i) {
+      real acc[kMaxRhsBlock][BS];
+      block_row_times_mv<BS>(browptr, bcolidx, vals, xp, ncol, i, acc);
+      const std::size_t base = static_cast<std::size_t>(i) * BS;
+      for (int j = 0; j < ncol; ++j) {
+        for (int rr = 0; rr < BS; ++rr) {
+          rp[j][base + rr] = bp[j][base + rr] - acc[j][rr];
+        }
+      }
+    }
+  });
+  count_flops((2 * kBlockSize * nblocks() + static_cast<std::int64_t>(rows())) *
+              ncol);
+}
+
+template <int BS>
+void Bsr<BS>::spmm_brows(const MultiVec& x, MultiVec& y,
+                         std::span<const idx> brows) const {
+  PROM_CHECK(x.rows() == cols() && y.rows() == rows() &&
+             x.cols() == y.cols() && x.cols() >= 1);
+  const int ncol = x.cols();
+  const real* xp[kMaxRhsBlock];
+  real* yp[kMaxRhsBlock];
+  for (int j = 0; j < ncol; ++j) {
+    xp[j] = x.col_data(j);
+    yp[j] = y.col_data(j);
+  }
+  const idx n = static_cast<idx>(brows.size());
+  common::parallel_for(0, n, kBlockRowGrain, [&](idx tb, idx te) {
+    nnz_t sub = 0;
+    for (idx t = tb; t < te; ++t) {
+      const idx i = brows[t];
+      real acc[kMaxRhsBlock][BS];
+      block_row_times_mv<BS>(browptr, bcolidx, vals, xp, ncol, i, acc);
+      const std::size_t base = static_cast<std::size_t>(i) * BS;
+      for (int j = 0; j < ncol; ++j) {
+        for (int r = 0; r < BS; ++r) yp[j][base + r] = acc[j][r];
+      }
+      sub += browptr[i + 1] - browptr[i];
+    }
+    count_flops(2 * kBlockSize * sub * ncol);
+  });
+}
+
+template <int BS>
+void Bsr<BS>::residual_mv_brows(const MultiVec& b, const MultiVec& x,
+                                MultiVec& r, std::span<const idx> brows) const {
+  PROM_CHECK(x.rows() == cols() && b.rows() == rows() && r.rows() == rows() &&
+             x.cols() == b.cols() && x.cols() == r.cols() && x.cols() >= 1);
+  const int ncol = x.cols();
+  const real* xp[kMaxRhsBlock];
+  const real* bp[kMaxRhsBlock];
+  real* rp[kMaxRhsBlock];
+  for (int j = 0; j < ncol; ++j) {
+    xp[j] = x.col_data(j);
+    bp[j] = b.col_data(j);
+    rp[j] = r.col_data(j);
+  }
+  const idx n = static_cast<idx>(brows.size());
+  common::parallel_for(0, n, kBlockRowGrain, [&](idx tb, idx te) {
+    nnz_t sub = 0;
+    for (idx t = tb; t < te; ++t) {
+      const idx i = brows[t];
+      real acc[kMaxRhsBlock][BS];
+      block_row_times_mv<BS>(browptr, bcolidx, vals, xp, ncol, i, acc);
+      const std::size_t base = static_cast<std::size_t>(i) * BS;
+      for (int j = 0; j < ncol; ++j) {
+        for (int rr = 0; rr < BS; ++rr) {
+          rp[j][base + rr] = bp[j][base + rr] - acc[j][rr];
+        }
+      }
+      sub += browptr[i + 1] - browptr[i];
+    }
+    count_flops((2 * kBlockSize * sub + static_cast<std::int64_t>(te - tb) * BS) *
+                ncol);
+  });
+}
+
 template <int BS>
 void Bsr<BS>::spmv_transpose(std::span<const real> x,
                              std::span<real> y) const {
@@ -677,6 +842,15 @@ void BsrOperator::apply(std::span<const real> x, std::span<real> y) const {
   map_.scatter(ys, y);
 }
 
+void BsrOperator::apply_mv(const MultiVec& x, MultiVec& y) const {
+  const idx ns = map_.nslots();
+  const int ncol = x.cols();
+  MultiVec xs(ns, ncol), ys(ns, ncol);
+  for (int j = 0; j < ncol; ++j) map_.gather(x.col(j), xs.col(j));
+  a_.spmm(xs, ys);
+  for (int j = 0; j < ncol; ++j) map_.scatter(ys.col(j), y.col(j));
+}
+
 void BsrOperator::residual(std::span<const real> b, std::span<const real> x,
                            std::span<real> r) const {
   const std::size_t ns = static_cast<std::size_t>(map_.nslots());
@@ -685,6 +859,19 @@ void BsrOperator::residual(std::span<const real> b, std::span<const real> x,
   map_.gather(b, bs);
   a_.residual(bs, xs, rs);
   map_.scatter(rs, r);
+}
+
+void BsrOperator::residual_mv(const MultiVec& b, const MultiVec& x,
+                              MultiVec& r) const {
+  const idx ns = map_.nslots();
+  const int ncol = x.cols();
+  MultiVec xs(ns, ncol), bs(ns, ncol), rs(ns, ncol);
+  for (int j = 0; j < ncol; ++j) {
+    map_.gather(x.col(j), xs.col(j));
+    map_.gather(b.col(j), bs.col(j));
+  }
+  a_.residual_mv(bs, xs, rs);
+  for (int j = 0; j < ncol; ++j) map_.scatter(rs.col(j), r.col(j));
 }
 
 }  // namespace prom::la

@@ -77,6 +77,22 @@ struct Bsr {
   void residual_brows(std::span<const real> b, std::span<const real> x,
                       std::span<real> r, std::span<const idx> brows) const;
 
+  /// Y = A X, column-blocked: one pass over the block structure feeds one
+  /// accumulator per column, each in spmv's order (column j bitwise equals
+  /// spmv on X.col(j)).
+  void spmm(const MultiVec& x, MultiVec& y) const;
+
+  /// R = B - A X, fused column-blocked residual.
+  void residual_mv(const MultiVec& b, const MultiVec& x, MultiVec& r) const;
+
+  /// Column-blocked spmv_brows (listed block rows only).
+  void spmm_brows(const MultiVec& x, MultiVec& y,
+                  std::span<const idx> brows) const;
+
+  /// Column-blocked residual_brows.
+  void residual_mv_brows(const MultiVec& b, const MultiVec& x, MultiVec& r,
+                         std::span<const idx> brows) const;
+
   /// Convenience: returns A x as a new vector.
   std::vector<real> apply(std::span<const real> x) const;
 
@@ -168,10 +184,14 @@ class BsrOperator final : public LinearOperator {
   idx rows() const override { return map_.nfree; }
   idx cols() const override { return map_.nfree; }
   void apply(std::span<const real> x, std::span<real> y) const override;
+  void apply_mv(const MultiVec& x, MultiVec& y) const override;
 
   /// r = b - A x on free vectors (fused kernel, same bits as apply + sub).
   void residual(std::span<const real> b, std::span<const real> x,
                 std::span<real> r) const;
+
+  /// Column-blocked fused residual on free multi-vectors.
+  void residual_mv(const MultiVec& b, const MultiVec& x, MultiVec& r) const;
 
   const Bsr3& matrix() const { return a_; }
   const NodeBlockMap& map() const { return map_; }

@@ -158,6 +158,95 @@ void Csr::residual_rows(std::span<const real> b, std::span<const real> x,
   });
 }
 
+namespace {
+
+/// Shared core of the blocked kernels: per row, one pass over the nonzeros
+/// feeds one accumulator per column, each updated in the same sorted-column
+/// order as spmv — so every column's bits match the single-vector kernel.
+/// `emit(i, j, sum)` stores the row result for column j.
+template <class Emit>
+void spmm_rows_core(const Csr& a, const MultiVec& x, std::span<const idx> rows,
+                    const Emit& emit) {
+  const int k = x.cols();
+  const real* xp[kMaxRhsBlock];
+  for (int j = 0; j < k; ++j) xp[j] = x.col_data(j);
+  // An empty `rows` means "all rows in order" (the dense spmm/residual_mv
+  // case); a non-empty list reproduces spmv_rows' subset semantics.
+  const idx n = rows.empty() ? a.nrows : static_cast<idx>(rows.size());
+  common::parallel_for(0, n, kRowGrain, [&](idx tb, idx te) {
+    nnz_t sub = 0;
+    for (idx t = tb; t < te; ++t) {
+      const idx i = rows.empty() ? t : rows[t];
+      real acc[kMaxRhsBlock];
+      for (int j = 0; j < k; ++j) acc[j] = 0;
+      for (nnz_t kk = a.rowptr[i]; kk < a.rowptr[i + 1]; ++kk) {
+        const real v = a.vals[kk];
+        const idx c = a.colidx[kk];
+        for (int j = 0; j < k; ++j) acc[j] += v * xp[j][c];
+      }
+      for (int j = 0; j < k; ++j) emit(i, j, acc[j]);
+      sub += a.rowptr[i + 1] - a.rowptr[i];
+    }
+    count_flops(2 * sub * k);
+  });
+}
+
+void check_mv_shapes(const Csr& a, const MultiVec& x, const MultiVec& y) {
+  PROM_CHECK(x.rows() == a.ncols && y.rows() == a.nrows &&
+             x.cols() == y.cols() && x.cols() >= 1);
+}
+
+}  // namespace
+
+void Csr::spmm(const MultiVec& x, MultiVec& y) const {
+  check_mv_shapes(*this, x, y);
+  real* yp[kMaxRhsBlock];
+  for (int j = 0; j < x.cols(); ++j) yp[j] = y.col_data(j);
+  spmm_rows_core(*this, x, {},
+                 [&](idx i, int j, real sum) { yp[j][i] = sum; });
+}
+
+void Csr::residual_mv(const MultiVec& b, const MultiVec& x,
+                      MultiVec& r) const {
+  check_mv_shapes(*this, x, r);
+  PROM_CHECK(b.rows() == nrows && b.cols() == x.cols());
+  const real* bp[kMaxRhsBlock];
+  real* rp[kMaxRhsBlock];
+  for (int j = 0; j < x.cols(); ++j) {
+    bp[j] = b.col_data(j);
+    rp[j] = r.col_data(j);
+  }
+  spmm_rows_core(*this, x, {},
+                 [&](idx i, int j, real sum) { rp[j][i] = bp[j][i] - sum; });
+  count_flops(static_cast<std::int64_t>(nrows) * x.cols());
+}
+
+void Csr::spmm_rows(const MultiVec& x, MultiVec& y,
+                    std::span<const idx> rows) const {
+  check_mv_shapes(*this, x, y);
+  if (rows.empty()) return;
+  real* yp[kMaxRhsBlock];
+  for (int j = 0; j < x.cols(); ++j) yp[j] = y.col_data(j);
+  spmm_rows_core(*this, x, rows,
+                 [&](idx i, int j, real sum) { yp[j][i] = sum; });
+}
+
+void Csr::residual_mv_rows(const MultiVec& b, const MultiVec& x, MultiVec& r,
+                           std::span<const idx> rows) const {
+  check_mv_shapes(*this, x, r);
+  PROM_CHECK(b.rows() == nrows && b.cols() == x.cols());
+  if (rows.empty()) return;
+  const real* bp[kMaxRhsBlock];
+  real* rp[kMaxRhsBlock];
+  for (int j = 0; j < x.cols(); ++j) {
+    bp[j] = b.col_data(j);
+    rp[j] = r.col_data(j);
+  }
+  spmm_rows_core(*this, x, rows,
+                 [&](idx i, int j, real sum) { rp[j][i] = bp[j][i] - sum; });
+  count_flops(static_cast<std::int64_t>(rows.size()) * x.cols());
+}
+
 std::vector<real> Csr::apply(std::span<const real> x) const {
   std::vector<real> y(static_cast<std::size_t>(nrows));
   spmv(x, y);

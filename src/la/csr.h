@@ -7,6 +7,7 @@
 #include <vector>
 
 #include "common/config.h"
+#include "la/multivec.h"
 
 namespace prom::la {
 
@@ -50,6 +51,23 @@ struct Csr {
   /// r[i] = b[i] - (A x)[i] for the listed rows only.
   void residual_rows(std::span<const real> b, std::span<const real> x,
                      std::span<real> r, std::span<const idx> rows) const;
+
+  /// Y = A X, column-blocked. One pass over the matrix serves every
+  /// column; each column accumulates in exactly spmv's order, so column j
+  /// of the result is bitwise identical to spmv on X.col(j).
+  void spmm(const MultiVec& x, MultiVec& y) const;
+
+  /// R = B - A X, fused column-blocked residual (bitwise = per-column
+  /// `residual`).
+  void residual_mv(const MultiVec& b, const MultiVec& x, MultiVec& r) const;
+
+  /// Column-blocked spmv_rows: Y[i] = (A X)[i] for the listed rows only.
+  void spmm_rows(const MultiVec& x, MultiVec& y,
+                 std::span<const idx> rows) const;
+
+  /// Column-blocked residual_rows.
+  void residual_mv_rows(const MultiVec& b, const MultiVec& x, MultiVec& r,
+                        std::span<const idx> rows) const;
 
   /// Convenience: returns A x as a new vector.
   std::vector<real> apply(std::span<const real> x) const;

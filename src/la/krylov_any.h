@@ -16,22 +16,46 @@
 
 namespace prom::la {
 
+/// Reusable PCG work storage (r, z, p, ap). Owned by long-lived callers
+/// (the solve service keeps one per rank) so that repeat solves against a
+/// cached operator perform no per-solve heap allocation: `ensure` only
+/// reallocates when the requested shape exceeds anything seen before.
+struct KrylovWorkspace {
+  MultiVec r, z, p, ap;
+
+  void ensure(idx n, int k) {
+    if (r.rows() == n && r.cols() == k) return;
+    r.resize(n, k);
+    z.resize(n, k);
+    p.resize(n, k);
+    ap.resize(n, k);
+  }
+};
+
 /// PCG for SPD systems over any backend; `m == nullptr` means
 /// unpreconditioned. `b` and `x` are the local blocks of the distributed
 /// right-hand side and iterate (the whole vectors on SerialBackend); x
 /// holds the initial guess on entry and the solution on exit. On a
-/// collective backend every rank receives the same KrylovResult.
+/// collective backend every rank receives the same KrylovResult. A
+/// caller-owned `ws` makes repeat solves allocation-free.
 template <class B, class Op>
   requires BackendFor<B, Op>
 KrylovResult pcg_any(const B& be, const Op& a, const Op* m,
                      std::span<const real> b, std::span<real> x,
-                     const KrylovOptions& opts) {
+                     const KrylovOptions& opts,
+                     KrylovWorkspace* ws = nullptr) {
   const idx n = be.local_n(a);
   PROM_CHECK(static_cast<idx>(b.size()) == n &&
              static_cast<idx>(x.size()) == n);
 
   KrylovResult result;
-  std::vector<real> r(n), z(n), p(n), ap(n);
+  KrylovWorkspace local_ws;
+  KrylovWorkspace& w = ws != nullptr ? *ws : local_ws;
+  w.ensure(n, 1);
+  const std::span<real> r = w.r.col(0);
+  const std::span<real> z = w.z.col(0);
+  const std::span<real> p = w.p.col(0);
+  const std::span<real> ap = w.ap.col(0);
 
   const real bnorm = be.norm2(b);
   if (opts.track_history) result.history.push_back(bnorm);
@@ -94,6 +118,131 @@ KrylovResult pcg_any(const B& be, const Op& a, const Op* m,
   }
   result.final_relres = rnorm / bnorm;
   return result;
+}
+
+/// Blocked PCG: k right-hand sides against one operator, sharing every
+/// matrix pass (apply_mv) and ghost exchange while keeping all per-column
+/// scalar recurrences separate. Column j runs exactly pcg_any's operation
+/// sequence on its own data — per-column dots/norms reduced individually,
+/// same update order — so it is bitwise identical to a standalone pcg_any
+/// solve of that RHS, at any kernel-thread count, serial or distributed.
+///
+/// Convergence masking: a column that converges (or breaks down) freezes —
+/// its scalar recurrences stop exactly where pcg_any would have stopped.
+/// Frozen columns still ride along in the blocked applies (their results
+/// are discarded), so the collective call counts stay identical on every
+/// rank; all masks derive from reduced values, which a collective backend
+/// returns bit-identically everywhere.
+template <class B, class Op>
+  requires BackendFor<B, Op>
+std::vector<KrylovResult> pcg_multi_any(const B& be, const Op& a, const Op* m,
+                                        const MultiVec& b, MultiVec& x,
+                                        const KrylovOptions& opts,
+                                        KrylovWorkspace* ws = nullptr) {
+  const idx n = be.local_n(a);
+  const int k = b.cols();
+  PROM_CHECK(b.rows() == n && x.rows() == n && x.cols() == k && k >= 1 &&
+             k <= kMaxRhsBlock);
+
+  std::vector<KrylovResult> results(static_cast<std::size_t>(k));
+  KrylovWorkspace local_ws;
+  KrylovWorkspace& w = ws != nullptr ? *ws : local_ws;
+  w.ensure(n, k);
+  MultiVec& r = w.r;
+  MultiVec& z = w.z;
+  MultiVec& p = w.p;
+  MultiVec& ap = w.ap;
+
+  real bnorm[kMaxRhsBlock];
+  real rnorm[kMaxRhsBlock] = {};
+  real rz[kMaxRhsBlock] = {};
+  bool active[kMaxRhsBlock];
+  const auto any_active = [&] {
+    for (int j = 0; j < k; ++j) {
+      if (active[j]) return true;
+    }
+    return false;
+  };
+
+  for (int j = 0; j < k; ++j) {
+    active[j] = true;
+    bnorm[j] = be.norm2(b.col(j));
+    if (opts.track_history) results[j].history.push_back(bnorm[j]);
+    obs::series_push("pcg.residual", bnorm[j]);
+    if (bnorm[j] == real{0}) {
+      set_all(x.col(j), 0);
+      results[j].converged = true;
+      active[j] = false;
+    }
+  }
+  if (!any_active()) return results;
+
+  // R = B - A X (columns of dead RHSs computed and ignored).
+  be.residual_mv(a, b, x, r);
+  for (int j = 0; j < k; ++j) {
+    if (!active[j]) continue;
+    rnorm[j] = be.norm2(r.col(j));
+    if (krylov_converged(rnorm[j], bnorm[j], opts.rtol)) {
+      results[j].converged = true;
+      results[j].final_relres = rnorm[j] / bnorm[j];
+      active[j] = false;
+    }
+  }
+  if (!any_active()) return results;
+
+  if (m != nullptr) {
+    be.apply_mv(*m, r, z);
+  } else {
+    for (int j = 0; j < k; ++j) copy(r.col(j), z.col(j));
+  }
+  for (int j = 0; j < k; ++j) {
+    if (!active[j]) continue;
+    copy(z.col(j), p.col(j));
+    rz[j] = be.dot(r.col(j), z.col(j));
+  }
+
+  for (int it = 1; it <= opts.max_iters; ++it) {
+    be.apply_mv(a, p, ap);
+    for (int j = 0; j < k; ++j) {
+      if (!active[j]) continue;
+      const real pap = be.dot(p.col(j), ap.col(j));
+      if (!std::isfinite(pap) || pap <= 0) {
+        results[j].breakdown = true;
+        results[j].final_relres = rnorm[j] / bnorm[j];
+        active[j] = false;
+        continue;
+      }
+      const real alpha = rz[j] / pap;
+      be.axpy(alpha, p.col(j), x.col(j));
+      be.axpy(-alpha, ap.col(j), r.col(j));
+      rnorm[j] = be.norm2(r.col(j));
+      if (opts.track_history) results[j].history.push_back(rnorm[j]);
+      obs::series_push("pcg.residual", rnorm[j]);
+      results[j].iterations = it;
+      if (krylov_converged(rnorm[j], bnorm[j], opts.rtol)) {
+        results[j].converged = true;
+        results[j].final_relres = rnorm[j] / bnorm[j];
+        active[j] = false;
+      }
+    }
+    if (!any_active()) break;
+    if (m != nullptr) {
+      be.apply_mv(*m, r, z);
+    } else {
+      for (int j = 0; j < k; ++j) copy(r.col(j), z.col(j));
+    }
+    for (int j = 0; j < k; ++j) {
+      if (!active[j]) continue;
+      const real rz_new = be.dot(r.col(j), z.col(j));
+      const real beta = rz_new / rz[j];
+      rz[j] = rz_new;
+      aypx(beta, z.col(j), p.col(j));
+    }
+  }
+  for (int j = 0; j < k; ++j) {
+    if (active[j]) results[j].final_relres = rnorm[j] / bnorm[j];
+  }
+  return results;
 }
 
 }  // namespace prom::la

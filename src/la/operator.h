@@ -20,6 +20,14 @@ class LinearOperator {
 
   /// y = Op(x). `x` and `y` never alias.
   virtual void apply(std::span<const real> x, std::span<real> y) const = 0;
+
+  /// Y = Op(X), column-blocked. The default applies the operator one
+  /// column at a time (trivially bitwise-equal to k standalone applies);
+  /// formats with a one-matrix-pass SpMM override it. Overrides must keep
+  /// every column bitwise identical to `apply` on that column alone.
+  virtual void apply_mv(const MultiVec& x, MultiVec& y) const {
+    for (int j = 0; j < x.cols(); ++j) apply(x.col(j), y.col(j));
+  }
 };
 
 /// Adapts a CSR matrix (not owned) to the LinearOperator interface.
@@ -31,6 +39,15 @@ class CsrOperator final : public LinearOperator {
   idx cols() const override { return a_->ncols; }
   void apply(std::span<const real> x, std::span<real> y) const override {
     a_->spmv(x, y);
+  }
+  void apply_mv(const MultiVec& x, MultiVec& y) const override {
+    a_->spmm(x, y);
+  }
+
+  /// Fused blocked residual (picked up by SerialBackend's requires-hook
+  /// when called with the concrete adapter type).
+  void residual_mv(const MultiVec& b, const MultiVec& x, MultiVec& r) const {
+    a_->residual_mv(b, x, r);
   }
 
  private:

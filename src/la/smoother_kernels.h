@@ -217,6 +217,221 @@ void pointblock_chebyshev_sweep(const B& be, const Op& a,
   }
 }
 
+// ---------------------------------------------------------------------------
+// Column-blocked sweeps. Each shares the operator pass (residual_mv /
+// apply_mv) across the k columns and then runs the scalar elementwise
+// update per column with the same fixed grains, so column j of a blocked
+// sweep is bitwise identical to the single-vector sweep on that column.
+
+/// Column-blocked jacobi_sweep.
+template <class B, class Op>
+  requires BackendFor<B, Op>
+void jacobi_sweep_mv(const B& be, const Op& a, std::span<const real> inv_diag,
+                     real omega, const MultiVec& b, MultiVec& x) {
+  const obs::Span span("smoother.jacobi");
+  const idx n = be.local_n(a);
+  const int ncol = b.cols();
+  PROM_CHECK(b.rows() == n && x.rows() == n && x.cols() == ncol);
+  MultiVec r(n, ncol);
+  be.residual_mv(a, b, x, r);
+  for (int j = 0; j < ncol; ++j) {
+    const real* rj = r.col_data(j);
+    real* xj = x.col_data(j);
+    common::parallel_for(0, n, kSmootherPointGrain, [&](idx ib, idx ie) {
+      for (idx i = ib; i < ie; ++i) {
+        xj[i] += omega * inv_diag[i] * rj[i];
+      }
+    });
+  }
+  count_flops(4LL * n * ncol);
+}
+
+/// Column-blocked block_jacobi_sweep.
+template <class B, class Op>
+  requires BackendFor<B, Op>
+void block_jacobi_sweep_mv(const B& be, const Op& a,
+                           std::span<const std::vector<idx>> blocks,
+                           std::span<const DenseLdlt> factors, real omega,
+                           const MultiVec& b, MultiVec& x) {
+  const obs::Span span("smoother.block_jacobi");
+  const idx n = be.local_n(a);
+  const int ncol = b.cols();
+  PROM_CHECK(b.rows() == n && x.rows() == n && x.cols() == ncol);
+  MultiVec r(n, ncol);
+  be.residual_mv(a, b, x, r);
+  common::parallel_for(
+      0, static_cast<idx>(blocks.size()), kSmootherBlockGrain,
+      [&](idx kb, idx ke) {
+        std::vector<real> rb, xb;
+        for (idx k = kb; k < ke; ++k) {
+          const auto& block = blocks[k];
+          rb.resize(block.size());
+          xb.resize(block.size());
+          for (int j = 0; j < ncol; ++j) {
+            const real* rj = r.col_data(j);
+            real* xj = x.col_data(j);
+            for (std::size_t li = 0; li < block.size(); ++li) {
+              rb[li] = rj[block[li]];
+            }
+            factors[k].solve(rb, xb);
+            for (std::size_t li = 0; li < block.size(); ++li) {
+              xj[block[li]] += omega * xb[li];
+            }
+          }
+        }
+      });
+  count_flops(2LL * n * ncol);
+}
+
+/// Column-blocked chebyshev_sweep. The recurrence scalars (theta, rho, …)
+/// depend only on the preset eigenvalue bounds, so sharing them across
+/// columns changes nothing.
+template <class B, class Op>
+  requires BackendFor<B, Op>
+void chebyshev_sweep_mv(const B& be, const Op& a,
+                        std::span<const real> inv_diag, int degree, real lmin,
+                        real lmax, const MultiVec& b, MultiVec& x) {
+  const obs::Span span("smoother.chebyshev");
+  const idx n = be.local_n(a);
+  const int ncol = b.cols();
+  PROM_CHECK(b.rows() == n && x.rows() == n && x.cols() == ncol);
+  const real theta = (lmax + lmin) / 2;
+  const real delta = (lmax - lmin) / 2;
+  const real sigma = theta / delta;
+  real rho = 1 / sigma;
+
+  MultiVec r(n, ncol), d(n, ncol), ad(n, ncol);
+  be.residual_mv(a, b, x, r);
+  for (int j = 0; j < ncol; ++j) {
+    const real* rj = r.col_data(j);
+    real* dj = d.col_data(j);
+    common::parallel_for(0, n, kSmootherPointGrain, [&](idx ib, idx ie) {
+      for (idx i = ib; i < ie; ++i) dj[i] = inv_diag[i] * rj[i] / theta;
+    });
+  }
+  for (int k = 0; k < degree; ++k) {
+    for (int j = 0; j < ncol; ++j) axpy(1, d.col(j), x.col(j));
+    if (k + 1 == degree) break;
+    be.apply_mv(a, d, ad);
+    for (int j = 0; j < ncol; ++j) axpy(-1, ad.col(j), r.col(j));
+    const real rho_new = 1 / (2 * sigma - rho);
+    for (int j = 0; j < ncol; ++j) {
+      const real* rj = r.col_data(j);
+      real* dj = d.col_data(j);
+      common::parallel_for(0, n, kSmootherPointGrain, [&](idx ib, idx ie) {
+        for (idx i = ib; i < ie; ++i) {
+          const real zi = inv_diag[i] * rj[i];
+          dj[i] = rho_new * rho * dj[i] + 2 * rho_new / delta * zi;
+        }
+      });
+    }
+    rho = rho_new;
+    count_flops(6LL * n * ncol);
+  }
+}
+
+/// Column-blocked pointblock_jacobi_sweep.
+template <int BS, class B, class Op>
+  requires BackendFor<B, Op>
+void pointblock_jacobi_sweep_mv(const B& be, const Op& a,
+                                std::span<const real> inv_blocks, real omega,
+                                const MultiVec& b, MultiVec& x) {
+  const obs::Span span("smoother.pointblock_jacobi");
+  const idx n = be.local_n(a);
+  const int ncol = b.cols();
+  PROM_CHECK(n % BS == 0);
+  PROM_CHECK(b.rows() == n && x.rows() == n && x.cols() == ncol &&
+             static_cast<idx>(inv_blocks.size()) == n * BS);
+  MultiVec r(n, ncol);
+  be.residual_mv(a, b, x, r);
+  for (int j = 0; j < ncol; ++j) {
+    const real* rcol = r.col_data(j);
+    real* xcol = x.col_data(j);
+    common::parallel_for(
+        0, n / BS, kSmootherPointGrain / BS, [&](idx ib, idx ie) {
+          for (idx i = ib; i < ie; ++i) {
+            const real* inv =
+                inv_blocks.data() + static_cast<std::size_t>(i) * BS * BS;
+            const real* ri = rcol + static_cast<std::size_t>(i) * BS;
+            real* xi = xcol + static_cast<std::size_t>(i) * BS;
+            for (int rr = 0; rr < BS; ++rr) {
+              real sum = 0;
+              for (int c = 0; c < BS; ++c) sum += inv[rr * BS + c] * ri[c];
+              xi[rr] += omega * sum;
+            }
+          }
+        });
+  }
+  count_flops((2LL * BS + 2) * n * ncol);
+}
+
+/// Column-blocked pointblock_chebyshev_sweep.
+template <int BS, class B, class Op>
+  requires BackendFor<B, Op>
+void pointblock_chebyshev_sweep_mv(const B& be, const Op& a,
+                                   std::span<const real> inv_blocks,
+                                   int degree, real lmin, real lmax,
+                                   const MultiVec& b, MultiVec& x) {
+  const obs::Span span("smoother.pointblock_chebyshev");
+  const idx n = be.local_n(a);
+  const int ncol = b.cols();
+  PROM_CHECK(n % BS == 0);
+  PROM_CHECK(b.rows() == n && x.rows() == n && x.cols() == ncol &&
+             static_cast<idx>(inv_blocks.size()) == n * BS);
+  const real theta = (lmax + lmin) / 2;
+  const real delta = (lmax - lmin) / 2;
+  const real sigma = theta / delta;
+  real rho = 1 / sigma;
+
+  MultiVec r(n, ncol), d(n, ncol), ad(n, ncol);
+  be.residual_mv(a, b, x, r);
+  for (int j = 0; j < ncol; ++j) {
+    const real* rcol = r.col_data(j);
+    real* dcol = d.col_data(j);
+    common::parallel_for(
+        0, n / BS, kSmootherPointGrain / BS, [&](idx ib, idx ie) {
+          for (idx i = ib; i < ie; ++i) {
+            const real* inv =
+                inv_blocks.data() + static_cast<std::size_t>(i) * BS * BS;
+            const real* ri = rcol + static_cast<std::size_t>(i) * BS;
+            real* di = dcol + static_cast<std::size_t>(i) * BS;
+            for (int rr = 0; rr < BS; ++rr) {
+              real sum = 0;
+              for (int c = 0; c < BS; ++c) sum += inv[rr * BS + c] * ri[c];
+              di[rr] = sum / theta;
+            }
+          }
+        });
+  }
+  for (int k = 0; k < degree; ++k) {
+    for (int j = 0; j < ncol; ++j) axpy(1, d.col(j), x.col(j));
+    if (k + 1 == degree) break;
+    be.apply_mv(a, d, ad);
+    for (int j = 0; j < ncol; ++j) axpy(-1, ad.col(j), r.col(j));
+    const real rho_new = 1 / (2 * sigma - rho);
+    for (int j = 0; j < ncol; ++j) {
+      const real* rcol = r.col_data(j);
+      real* dcol = d.col_data(j);
+      common::parallel_for(
+          0, n / BS, kSmootherPointGrain / BS, [&](idx ib, idx ie) {
+            for (idx i = ib; i < ie; ++i) {
+              const real* inv =
+                  inv_blocks.data() + static_cast<std::size_t>(i) * BS * BS;
+              const real* ri = rcol + static_cast<std::size_t>(i) * BS;
+              real* di = dcol + static_cast<std::size_t>(i) * BS;
+              for (int rr = 0; rr < BS; ++rr) {
+                real zi = 0;
+                for (int c = 0; c < BS; ++c) zi += inv[rr * BS + c] * ri[c];
+                di[rr] = rho_new * rho * di[rr] + 2 * rho_new / delta * zi;
+              }
+            }
+          });
+    }
+    rho = rho_new;
+    count_flops((2LL * BS + 6) * n * ncol);
+  }
+}
+
 /// Power iteration for the largest eigenvalue of D^{-1}A (15 steps from a
 /// deterministic start). `row_offset` is the global index of the first
 /// local row, so the start vector — and hence the estimate — is a function

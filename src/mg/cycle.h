@@ -50,6 +50,33 @@ struct HierarchyCycleView {
     h->level(l).r.spmv_transpose(xc, xf);
   }
   void coarse_solve(std::span<const real> b, std::span<real> x) const;
+
+  // Column-blocked level operations (MultiCycleView); column j bitwise
+  // equals the scalar operation on that column.
+  void smooth_mv(int l, const la::MultiVec& b, la::MultiVec& x) const {
+    h->level(l).smoother->smooth_mv(b, x);
+  }
+  void apply_a_mv(int l, const la::MultiVec& x, la::MultiVec& y) const {
+    const MgLevel& lv = h->level(l);
+    if (use_mf && lv.a_mf != nullptr) {
+      lv.a_mf->apply_mv(x, y);
+    } else if (use_bsr && lv.a_bsr != nullptr) {
+      lv.a_bsr->apply_mv(x, y);
+    } else {
+      lv.a.spmm(x, y);
+    }
+  }
+  void restrict_to_mv(int l, const la::MultiVec& xf, la::MultiVec& xc) const {
+    h->level(l).r.spmm(xf, xc);
+  }
+  void prolong_mv(int l, const la::MultiVec& xc, la::MultiVec& xf) const {
+    for (int j = 0; j < xc.cols(); ++j) {
+      h->level(l).r.spmv_transpose(xc.col(j), xf.col(j));
+    }
+  }
+  void coarse_solve_mv(const la::MultiVec& b, la::MultiVec& x) const {
+    for (int j = 0; j < b.cols(); ++j) coarse_solve(b.col(j), x.col(j));
+  }
 };
 
 /// One V-cycle at `level` for A_level x = b, improving x in place.

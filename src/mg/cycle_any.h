@@ -14,6 +14,7 @@
 
 #include "common/config.h"
 #include "common/error.h"
+#include "la/multivec.h"
 #include "la/vec.h"
 #include "obs/trace.h"
 
@@ -130,6 +131,126 @@ void apply_cycle(const V& h, CycleKind kind, std::span<const real> x,
   } else {
     std::fill(y.begin(), y.end(), real{0});
     vcycle_any(h, 0, x, y);
+  }
+}
+
+/// Column-blocked extension of CycleView: the same level operations over
+/// k columns at once, column j bitwise identical to the scalar operation
+/// on that column.
+template <class V>
+concept MultiCycleView =
+    CycleView<V> && requires(const V& h, int l, const la::MultiVec& c,
+                             la::MultiVec& m) {
+      h.smooth_mv(l, c, m);
+      h.apply_a_mv(l, c, m);
+      h.restrict_to_mv(l, c, m);
+      h.prolong_mv(l, c, m);
+      h.coarse_solve_mv(c, m);
+    };
+
+/// Column-blocked V-cycle: the scalar vcycle_any over k columns with one
+/// exchange per level operation; column j bitwise equals `vcycle_any` on
+/// that column (the per-column BLAS-1 updates run in the scalar order).
+template <MultiCycleView V>
+void vcycle_any_mv(const V& h, int level, const la::MultiVec& b,
+                   la::MultiVec& x) {
+  const int k = b.cols();
+  PROM_CHECK(b.rows() == h.local_n(level) && x.rows() == h.local_n(level) &&
+             x.cols() == k);
+
+  if (level + 1 == h.num_levels()) {
+    const obs::Span span("mg.coarse_solve", level);
+    h.coarse_solve_mv(b, x);
+    return;
+  }
+
+  {
+    const obs::Span span("mg.smooth", level);
+    for (int s = 0; s < h.pre_smooth(); ++s) h.smooth_mv(level, b, x);
+  }
+
+  // Residual and its restriction.
+  la::MultiVec r(h.local_n(level), k);
+  {
+    const obs::Span span("mg.residual", level);
+    h.apply_a_mv(level, x, r);
+    for (int j = 0; j < k; ++j) {
+      la::waxpby(1, b.col(j), -1, r.col(j), r.col(j));
+    }
+  }
+  la::MultiVec rc(h.local_n(level + 1), k);
+  {
+    const obs::Span span("mg.restrict", level);
+    h.restrict_to_mv(level + 1, r, rc);
+  }
+
+  // Coarse-grid correction.
+  la::MultiVec xc(h.local_n(level + 1), k);
+  vcycle_any_mv(h, level + 1, rc, xc);
+
+  // Prolongate (R^T) and add.
+  {
+    const obs::Span span("mg.prolong", level);
+    la::MultiVec dx(h.local_n(level), k);
+    h.prolong_mv(level + 1, xc, dx);
+    for (int j = 0; j < k; ++j) la::axpy(1, dx.col(j), x.col(j));
+  }
+
+  {
+    const obs::Span span("mg.smooth", level);
+    for (int s = 0; s < h.post_smooth(); ++s) h.smooth_mv(level, b, x);
+  }
+}
+
+/// Column-blocked full multigrid cycle; column j bitwise equals `fmg_any`
+/// on that column.
+template <MultiCycleView V>
+la::MultiVec fmg_any_mv(const V& h, const la::MultiVec& b) {
+  const int nl = h.num_levels();
+  const int k = b.cols();
+  // Restrict the right-hand side to every level.
+  std::vector<la::MultiVec> bs(static_cast<std::size_t>(nl));
+  bs[0].resize(b.rows(), k);
+  for (int j = 0; j < k; ++j) {
+    std::copy(b.col(j).begin(), b.col(j).end(), bs[0].col(j).begin());
+  }
+  for (int l = 1; l < nl; ++l) {
+    const obs::Span span("mg.restrict", l - 1);
+    bs[l].resize(h.local_n(l), k);
+    h.restrict_to_mv(l, bs[l - 1], bs[l]);
+  }
+
+  // Coarsest solve, then work upward: prolongate and V-cycle at each grid.
+  la::MultiVec x(h.local_n(nl - 1), k);
+  vcycle_any_mv(h, nl - 1, bs[nl - 1], x);
+  for (int l = nl - 2; l >= 0; --l) {
+    la::MultiVec xf(h.local_n(l), k);
+    {
+      const obs::Span span("mg.prolong", l);
+      h.prolong_mv(l + 1, x, xf);
+    }
+    x = std::move(xf);
+    vcycle_any_mv(h, l, bs[l], x);
+  }
+  return x;
+}
+
+/// Column-blocked preconditioner application; column j bitwise equals
+/// `apply_cycle` on that column.
+template <MultiCycleView V>
+void apply_cycle_mv(const V& h, CycleKind kind, const la::MultiVec& x,
+                    la::MultiVec& y) {
+  const int k = x.cols();
+  if (kind == CycleKind::kFmg) {
+    const la::MultiVec z = fmg_any_mv(h, x);
+    for (int j = 0; j < k; ++j) {
+      std::copy(z.col(j).begin(), z.col(j).end(), y.col(j).begin());
+    }
+  } else {
+    for (int j = 0; j < k; ++j) {
+      std::fill(y.col(j).begin(), y.col(j).end(), real{0});
+    }
+    vcycle_any_mv(h, 0, x, y);
   }
 }
 

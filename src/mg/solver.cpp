@@ -11,6 +11,13 @@ void MgPreconditioner::apply(std::span<const real> x,
   apply_cycle(HierarchyCycleView{h_, use_bsr, use_mf}, kind_, x, y);
 }
 
+void MgPreconditioner::apply_mv(const la::MultiVec& x,
+                                la::MultiVec& y) const {
+  const bool use_bsr = format_ == MatrixFormat::kBsr3;
+  const bool use_mf = format_ == MatrixFormat::kMf;
+  apply_cycle_mv(HierarchyCycleView{h_, use_bsr, use_mf}, kind_, x, y);
+}
+
 la::KrylovResult mg_pcg_solve(const Hierarchy& h, std::span<const real> b,
                               std::span<real> x, const MgSolveOptions& opts) {
   const MgPreconditioner precond(h, opts.cycle, opts.format);
@@ -26,6 +33,28 @@ la::KrylovResult mg_pcg_solve(const Hierarchy& h, std::span<const real> b,
   }
   const la::CsrOperator a(h.level(0).a);
   return la::pcg(a, precond, b, x, to_krylov_options(opts));
+}
+
+std::vector<la::KrylovResult> mg_pcg_solve_mv(const Hierarchy& h,
+                                              const la::MultiVec& b,
+                                              la::MultiVec& x,
+                                              const MgSolveOptions& opts,
+                                              la::KrylovWorkspace* ws) {
+  const MgPreconditioner precond(h, opts.cycle, opts.format);
+  if (opts.format == MatrixFormat::kBsr3) {
+    PROM_CHECK_MSG(h.level(0).a_bsr != nullptr,
+                   "MatrixFormat::kBsr3 requires Hierarchy::enable_bsr()");
+    return la::pcg_multi(*h.level(0).a_bsr, &precond, b, x,
+                         to_krylov_options(opts), ws);
+  }
+  if (opts.format == MatrixFormat::kMf) {
+    PROM_CHECK_MSG(h.level(0).a_mf != nullptr,
+                   "MatrixFormat::kMf requires Hierarchy::enable_mf()");
+    return la::pcg_multi(*h.level(0).a_mf, &precond, b, x,
+                         to_krylov_options(opts), ws);
+  }
+  const la::CsrOperator a(h.level(0).a);
+  return la::pcg_multi(a, &precond, b, x, to_krylov_options(opts), ws);
 }
 
 }  // namespace prom::mg

@@ -23,6 +23,9 @@ class MgPreconditioner final : public la::LinearOperator {
   idx rows() const override { return h_->level(0).a.nrows; }
   idx cols() const override { return rows(); }
   void apply(std::span<const real> x, std::span<real> y) const override;
+  /// One blocked cycle serves all k columns (column j bitwise equals
+  /// `apply` on that column).
+  void apply_mv(const la::MultiVec& x, la::MultiVec& y) const override;
 
  private:
   const Hierarchy* h_;
@@ -56,5 +59,16 @@ inline la::KrylovOptions to_krylov_options(const MgSolveOptions& opts) {
 la::KrylovResult mg_pcg_solve(const Hierarchy& h, std::span<const real> b,
                               std::span<real> x,
                               const MgSolveOptions& opts = {});
+
+/// Solves A_0 X = B for k right-hand sides with one blocked MG-PCG run:
+/// every operator application and cycle serves all columns at once, and
+/// column j of the result is bitwise identical to `mg_pcg_solve` on that
+/// column alone. `ws` (optional) reuses PCG work vectors across solves.
+std::vector<la::KrylovResult> mg_pcg_solve_mv(const Hierarchy& h,
+                                              const la::MultiVec& b,
+                                              la::MultiVec& x,
+                                              const MgSolveOptions& opts = {},
+                                              la::KrylovWorkspace* ws =
+                                                  nullptr);
 
 }  // namespace prom::mg
