@@ -1,0 +1,179 @@
+#!/usr/bin/env python3
+"""Bench regression gate: diff fresh BENCH_*.json files against the
+committed baselines in bench/baselines/ and fail on a throughput
+regression beyond the tolerance in any named series.
+
+Series are the time-valued leaves of each BENCH file (keys ending in
+`_ns` / `_s`, or the literal `ns`), flattened to dotted names; rows of a
+`sweep` array are keyed by their identifying fields (ranks / threads / k /
+level) so the same configuration is compared across runs. Derived ratio
+series (`speedup`, `*_per_s`) are *not* gated — they are quotients of two
+gated times and would double-count the same regression — and tiny
+baselines below the noise floor are skipped, since a smoke-sized bench
+cannot measure them meaningfully.
+
+A series present in the baseline but missing from the fresh output fails
+the gate (a renamed or dropped series must come with a baseline refresh,
+see the README's "Refreshing bench baselines"); brand-new series pass
+with a note and start gating once committed to the baseline.
+
+Exit status: 0 = within tolerance, 1 = regression or missing series,
+2 = usage/IO error. Stdlib only.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import sys
+
+# Fields that identify a sweep row rather than measure it.
+KEY_FIELDS = ("ranks", "threads", "k", "level")
+
+# Noise floors: baselines below these cannot be compared meaningfully on
+# a shared CI runner (timer resolution + scheduler jitter).
+DEFAULT_FLOOR_NS = 10_000.0  # 10 us
+DEFAULT_FLOOR_S = 1e-3  # 1 ms
+
+DEFAULT_FILES = ("BENCH_kernels.json", "BENCH_halo.json", "BENCH_service.json")
+
+
+def flatten(prefix: str, node, out: dict[str, float]) -> None:
+    """Collects every numeric leaf under dotted names; sweep rows are keyed
+    by their identifying fields so row order never matters."""
+    if isinstance(node, dict):
+        for key, value in node.items():
+            flatten(f"{prefix}.{key}" if prefix else key, value, out)
+    elif isinstance(node, list):
+        for i, row in enumerate(node):
+            if not isinstance(row, dict):
+                continue
+            ident = ",".join(
+                f"{f}={row[f]}" for f in KEY_FIELDS if f in row
+            )
+            label = f"{prefix}[{ident or i}]"
+            for key, value in row.items():
+                if key in KEY_FIELDS:
+                    continue
+                flatten(f"{label}.{key}", value, out)
+    elif isinstance(node, (int, float)) and not isinstance(node, bool):
+        out[prefix] = float(node)
+
+
+def time_unit(name: str) -> str | None:
+    """'ns' / 's' for gated time series, None for everything else
+    (identifiers, counts, and derived ratios such as speedup/*_per_s)."""
+    leaf = name.rsplit(".", 1)[-1]
+    if leaf.endswith("_per_s"):
+        return None
+    if leaf == "ns" or leaf.endswith("_ns"):
+        return "ns"
+    if leaf.endswith("_s"):
+        return "s"
+    return None
+
+
+def load_series(path: str) -> dict[str, float]:
+    with open(path, "r", encoding="utf-8") as f:
+        doc = json.load(f)
+    out: dict[str, float] = {}
+    flatten("", doc, out)
+    return out
+
+
+def compare_file(
+    name: str,
+    baseline: dict[str, float],
+    fresh: dict[str, float],
+    tol: float,
+    floor_ns: float,
+    floor_s: float,
+) -> list[str]:
+    failures: list[str] = []
+    for series in sorted(baseline):
+        unit = time_unit(series)
+        if unit is None:
+            continue
+        base = baseline[series]
+        if series not in fresh:
+            failures.append(
+                f"{name}: series '{series}' missing from fresh output "
+                "(refresh bench/baselines/ if it was renamed)"
+            )
+            continue
+        got = fresh[series]
+        floor = floor_ns if unit == "ns" else floor_s
+        if base < floor:
+            print(f"  skip  {name}:{series} baseline {base:g}{unit} "
+                  f"below noise floor {floor:g}{unit}")
+            continue
+        ratio = got / base if base > 0 else float("inf")
+        verdict = "  ok  "
+        if ratio > 1 + tol:
+            verdict = " FAIL "
+            failures.append(
+                f"{name}: {series} regressed {100 * (ratio - 1):.1f}% "
+                f"({base:g}{unit} -> {got:g}{unit}, tol {100 * tol:.0f}%)"
+            )
+        print(f"{verdict}{name}:{series} {base:g}{unit} -> {got:g}{unit} "
+              f"({100 * (ratio - 1):+.1f}%)")
+    for series in sorted(set(fresh) - set(baseline)):
+        if time_unit(series) is not None:
+            print(f"  new   {name}:{series} = {fresh[series]:g} "
+                  "(ungated until added to the baseline)")
+    return failures
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(
+        description="Fail on bench throughput regressions vs baselines.")
+    parser.add_argument("--baseline-dir", default="bench/baselines")
+    parser.add_argument("--fresh-dir", default="bench-artifacts")
+    parser.add_argument("--files", default=",".join(DEFAULT_FILES),
+                        help="comma-separated BENCH_*.json names to compare")
+    parser.add_argument("--tol", type=float,
+                        default=float(os.environ.get("PROM_BENCH_TOL", 0.25)),
+                        help="allowed fractional slowdown (default 0.25)")
+    parser.add_argument("--floor-ns", type=float, default=DEFAULT_FLOOR_NS)
+    parser.add_argument("--floor-s", type=float, default=DEFAULT_FLOOR_S)
+    args = parser.parse_args()
+
+    failures: list[str] = []
+    compared = 0
+    for name in [f for f in args.files.split(",") if f]:
+        base_path = os.path.join(args.baseline_dir, name)
+        fresh_path = os.path.join(args.fresh_dir, name)
+        if not os.path.exists(base_path):
+            print(f"  note  no baseline {base_path} — skipping {name}")
+            continue
+        if not os.path.exists(fresh_path):
+            failures.append(f"{name}: fresh output {fresh_path} not found")
+            continue
+        try:
+            baseline = load_series(base_path)
+            fresh = load_series(fresh_path)
+        except (OSError, json.JSONDecodeError) as err:
+            print(f"error reading {name}: {err}", file=sys.stderr)
+            return 2
+        compared += 1
+        failures += compare_file(name, baseline, fresh, args.tol,
+                                 args.floor_ns, args.floor_s)
+
+    if compared == 0 and not failures:
+        print("bench_compare: no baselines found — nothing gated")
+        return 0
+    if failures:
+        print("\nbench_compare: FAIL")
+        for f in failures:
+            print(f"  {f}")
+        print("If the regression is expected (or the series set changed), "
+              "refresh bench/baselines/ (see README) or put [bench-skip] "
+              "in the commit message.")
+        return 1
+    print("\nbench_compare: OK")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

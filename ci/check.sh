@@ -15,13 +15,42 @@ if [[ "${1:-}" == "--full" ]]; then
   shift
 fi
 
+# Doc-only short-circuit: a committed diff that touches nothing but
+# documentation cannot change a build or a test, so skip the whole gate.
+# Only taken when the working tree is clean (local uncommitted edits are
+# exactly what a local run wants checked) and a comparison base exists;
+# PROM_CI_NO_DOC_SKIP=1 forces the full gate regardless.
+if [[ "${PROM_CI_NO_DOC_SKIP:-0}" != "1" && -z "$(git status --porcelain 2>/dev/null)" ]]; then
+  base="$(git merge-base HEAD origin/main 2>/dev/null ||
+          git rev-parse HEAD~1 2>/dev/null || true)"
+  if [[ -n "${base}" && "${base}" != "$(git rev-parse HEAD)" ]]; then
+    changed="$(git diff --name-only "${base}" HEAD)"
+    if [[ -n "${changed}" ]] &&
+       ! grep -qvE '(\.md|\.txt|^LICENSE)$' <<<"${changed}"; then
+      echo "ci/check.sh: doc-only diff ${base:0:12}..HEAD — skipping gate"
+      exit 0
+    fi
+  fi
+fi
+
+# ccache visibility: print hit/miss stats after every build step so cache
+# effectiveness (and a cold or thrashing CI cache) shows up in the log.
+ccache_epilogue() {
+  if command -v ccache >/dev/null 2>&1; then
+    echo "--- ccache stats after $1 build ---"
+    ccache -s || true
+  fi
+}
+
 cmake --preset release
 cmake --build --preset release -j"$(nproc)"
+ccache_epilogue release
 ctest --test-dir build-release --output-on-failure -j"$(nproc)" \
   "${label_args[@]}"
 
 cmake --preset asan-ubsan
 cmake --build --preset asan-ubsan -j"$(nproc)"
+ccache_epilogue asan-ubsan
 ctest --preset asan-ubsan -j"$(nproc)" "${label_args[@]}"
 
 # The matrix-free equivalence battery gets an explicit direct run under
@@ -31,5 +60,6 @@ ctest --preset asan-ubsan -j"$(nproc)" "${label_args[@]}"
 ./build-asan-ubsan/tests/test_mf_equiv
 
 ./ci/tsan.sh
+ccache_epilogue tsan
 
 echo "ci/check.sh: OK"

@@ -19,7 +19,8 @@ cd "$(dirname "$0")/.."
 cmake --preset tsan
 cmake --build --preset tsan -j"$(nproc)" --target \
   test_threads_determinism test_parx_stress test_la_bsr_prop \
-  test_serial_dist_equiv test_mf_equiv test_halo test_obs test_service
+  test_serial_dist_equiv test_mf_equiv test_halo test_obs test_service \
+  test_agglom
 
 export TSAN_OPTIONS="halt_on_error=1 abort_on_error=1 ${TSAN_OPTIONS:-}"
 # Exercise the pool beyond the core count regardless of the CI machine.
@@ -33,5 +34,9 @@ export PROM_THREADS="${PROM_THREADS:-4}"
 ./build-tsan/tests/test_halo
 ./build-tsan/tests/test_obs
 ./build-tsan/tests/test_service
+# Agglomerated coarse levels: idle ranks skipping the cycle subtree while
+# active ranks exchange at the level boundary is exactly the kind of
+# schedule a race would hide in.
+./build-tsan/tests/test_agglom
 
 echo "tsan gate: OK (no races reported)"

@@ -39,6 +39,16 @@ DistCsr dist_galerkin_product(parx::Comm& comm, const DistCsr& r,
                               const DistCsr& a,
                               std::span<const idx> fine_col_serial = {});
 
+/// Repartitions `a` onto new row/column distributions of the same global
+/// sizes (the coarse-level rank-agglomeration step): every owned row is
+/// shipped to its new owner with global column ids in storage order, so
+/// the redistributed matrix holds bit-identical rows — redistributing
+/// back round-trips exactly. Ranks owning nothing under `rows` (the
+/// agglomeration's idle set) end up with an empty local block and no
+/// exchange-plan roles at this level. Collective.
+DistCsr dist_redistribute(parx::Comm& comm, const DistCsr& a,
+                          const RowDist& rows, const RowDist& cols);
+
 /// Gathers a distributed matrix to a replicated la::Csr on every rank.
 /// Only legitimate for the constant-size coarsest operator (the redundant
 /// coarse solve of §5); everything larger stays distributed. Collective.

@@ -50,6 +50,17 @@ void vcycle_any(const V& h, int level, std::span<const real> b,
   PROM_CHECK(static_cast<idx>(b.size()) == h.local_n(level) &&
              static_cast<idx>(x.size()) == h.local_n(level));
 
+  // Coarse-level agglomeration (views exposing level_inactive): a rank
+  // outside this level's active set holds no rows and no exchange-plan
+  // roles at or below it, so the whole subtree is skipped. Its share of
+  // the level boundary — the restriction / prolongation exchange — runs
+  // in the caller's frame, where it still holds plan roles.
+  if constexpr (requires {
+                  { h.level_inactive(level) } -> std::convertible_to<bool>;
+                }) {
+    if (h.level_inactive(level)) return;
+  }
+
   if (level + 1 == h.num_levels()) {
     const obs::Span span("mg.coarse_solve", level);
     h.coarse_solve(b, x);
@@ -157,6 +168,13 @@ void vcycle_any_mv(const V& h, int level, const la::MultiVec& b,
   const int k = b.cols();
   PROM_CHECK(b.rows() == h.local_n(level) && x.rows() == h.local_n(level) &&
              x.cols() == k);
+
+  // Same agglomeration guard as the scalar vcycle_any.
+  if constexpr (requires {
+                  { h.level_inactive(level) } -> std::convertible_to<bool>;
+                }) {
+    if (h.level_inactive(level)) return;
+  }
 
   if (level + 1 == h.num_levels()) {
     const obs::Span span("mg.coarse_solve", level);

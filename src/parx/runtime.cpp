@@ -140,52 +140,92 @@ constexpr int kTagAllgather = -5;
 
 }  // namespace
 
-int Comm::size() const { return ctx_->nranks(); }
+int Comm::size() const {
+  return group_ != nullptr ? static_cast<int>(group_->size()) : ctx_->nranks();
+}
+
+int Comm::global_rank(int r) const {
+  if (group_ == nullptr) return r;
+  PROM_CHECK_MSG(r >= 0 && r < static_cast<int>(group_->size()),
+                 "rank outside this communicator's group");
+  return (*group_)[r];
+}
+
+Comm Comm::split(std::span<const int> members) const {
+  PROM_CHECK_MSG(!members.empty(), "split: empty member list");
+  auto group = std::make_shared<std::vector<int>>();
+  group->reserve(members.size());
+  int local = -1;
+  for (std::size_t i = 0; i < members.size(); ++i) {
+    PROM_CHECK_MSG(members[i] >= 0 && members[i] < size(),
+                   "split: member outside this communicator");
+    PROM_CHECK_MSG(i == 0 || members[i - 1] < members[i],
+                   "split: members must be strictly ascending");
+    if (members[i] == rank_) local = static_cast<int>(i);
+    group->push_back(global_rank(members[i]));
+  }
+  PROM_CHECK_MSG(local >= 0, "split: the calling rank must be a member");
+  Comm sub(ctx_, local);
+  sub.group_ = std::move(group);
+  return sub;
+}
 
 void Comm::send_bytes(int to, int tag, std::span<const std::byte> data) {
-  ctx_->send(rank_, to, tag, data);
+  ctx_->send(global_rank(rank_), global_rank(to), tag, data);
 }
 
 std::vector<std::byte> Comm::recv_bytes(int from, int tag) {
-  return ctx_->recv(rank_, from, tag);
+  return ctx_->recv(global_rank(rank_), global_rank(from), tag);
 }
 
 void Comm::recv_bytes_into(int from, int tag, std::span<std::byte> out) {
-  ctx_->recv_into(rank_, from, tag, out);
+  ctx_->recv_into(global_rank(rank_), global_rank(from), tag, out);
 }
 
 bool Comm::has_message(int from, int tag) const {
-  return ctx_->has_message(rank_, from, tag);
+  return ctx_->has_message(global_rank(rank_), global_rank(from), tag);
 }
 
 int Comm::wait_any(std::span<const int> sources, int tag) const {
-  return ctx_->wait_any(rank_, sources, tag);
+  if (group_ == nullptr) return ctx_->wait_any(rank_, sources, tag);
+  std::vector<int> gsources(sources.size());
+  for (std::size_t i = 0; i < sources.size(); ++i) {
+    gsources[i] = global_rank(sources[i]);
+  }
+  const int g = ctx_->wait_any(global_rank(rank_), gsources, tag);
+  for (std::size_t i = 0; i < gsources.size(); ++i) {
+    if (gsources[i] == g) return sources[i];
+  }
+  PROM_CHECK_MSG(false, "wait_any: source not in this communicator");
+  return -1;
 }
 
 TrafficStats Comm::traffic() const {
-  TrafficStats t = ctx_->stats(rank_);
+  TrafficStats t = ctx_->stats(global_rank(rank_));
   t.flops = thread_flops();
   return t;
 }
 
 void Comm::barrier() {
   const obs::Span span("parx.barrier");
-  // Binomial reduce to rank 0 followed by a binomial broadcast.
+  // Binomial reduce to rank 0 followed by a binomial broadcast. All p2p
+  // below goes through send_bytes/recv_bytes, which translate group ranks
+  // onto the context — the same trees run unchanged on split() subsets.
   const int p = size();
   const std::byte token{0};
   for (int mask = 1; mask < p; mask <<= 1) {
     if (rank_ & mask) {
-      ctx_->send(rank_, rank_ - mask, kTagBarrierUp, {&token, 1});
+      send_bytes(rank_ - mask, kTagBarrierUp, {&token, 1});
       break;
     }
-    if (rank_ + mask < p) ctx_->recv(rank_, rank_ + mask, kTagBarrierUp);
+    if (rank_ + mask < p) recv_bytes(rank_ + mask, kTagBarrierUp);
   }
   // Binomial release: each rank receives from the parent given by its
   // lowest set bit, then forwards to children at the smaller bit positions.
   int mask = 1;
   while (mask < p) {
     if (rank_ & mask) {
-      ctx_->recv(rank_, rank_ - mask, kTagBarrierDown);
+      recv_bytes(rank_ - mask, kTagBarrierDown);
       break;
     }
     mask <<= 1;
@@ -193,7 +233,7 @@ void Comm::barrier() {
   mask >>= 1;
   while (mask > 0) {
     if (rank_ + mask < p) {
-      ctx_->send(rank_, rank_ + mask, kTagBarrierDown, {&token, 1});
+      send_bytes(rank_ + mask, kTagBarrierDown, {&token, 1});
     }
     mask >>= 1;
   }
@@ -210,7 +250,7 @@ std::vector<std::byte> Comm::bcast_bytes(std::vector<std::byte> data,
   int mask = 1;
   while (mask < p) {
     if (vr & mask) {
-      data = ctx_->recv(rank_, to_real(vr - mask), kTagBcast);
+      data = recv_bytes(to_real(vr - mask), kTagBcast);
       break;
     }
     mask <<= 1;
@@ -218,7 +258,7 @@ std::vector<std::byte> Comm::bcast_bytes(std::vector<std::byte> data,
   mask >>= 1;
   while (mask > 0) {
     if (vr + mask < p) {
-      ctx_->send(rank_, to_real(vr + mask), kTagBcast,
+      send_bytes(to_real(vr + mask), kTagBcast,
                  std::span<const std::byte>(data));
     }
     mask >>= 1;
@@ -251,8 +291,8 @@ std::vector<std::vector<std::byte>> Comm::allgatherv_bytes(
       msg.insert(msg.end(), hdr, hdr + sizeof(sz));
       msg.insert(msg.end(), blk.begin(), blk.end());
     }
-    ctx_->send(rank_, dst, kTagAllgather, msg);
-    const std::vector<std::byte> in = ctx_->recv(rank_, src, kTagAllgather);
+    send_bytes(dst, kTagAllgather, msg);
+    const std::vector<std::byte> in = recv_bytes(src, kTagAllgather);
     std::size_t off = 0;
     for (int k = 0; k < step; ++k) {
       std::int64_t sz = 0;
@@ -272,10 +312,11 @@ std::vector<std::vector<std::byte>> Comm::allgatherv_bytes(
 namespace {
 
 template <typename T>
-std::vector<T> allreduce_impl(Comm& comm, detail::Context* ctx, int rank,
-                              std::vector<T> v, Comm::ReduceOp op) {
+std::vector<T> allreduce_impl(Comm& comm, std::vector<T> v,
+                              Comm::ReduceOp op) {
   const obs::Span span("parx.allreduce");
   const int p = comm.size();
+  const int rank = comm.rank();
   auto combine = [op](std::vector<T>& acc, const std::vector<T>& other) {
     PROM_CHECK(acc.size() == other.size());
     for (std::size_t i = 0; i < acc.size(); ++i) {
@@ -292,15 +333,15 @@ std::vector<T> allreduce_impl(Comm& comm, detail::Context* ctx, int rank,
       }
     }
   };
-  // Binomial reduce to rank 0.
+  // Binomial reduce to rank 0 (of this communicator).
   for (int mask = 1; mask < p; mask <<= 1) {
     if (rank & mask) {
-      ctx->send(rank, rank - mask, kTagReduce,
-                std::as_bytes(std::span<const T>(v)));
+      comm.send_bytes(rank - mask, kTagReduce,
+                      std::as_bytes(std::span<const T>(v)));
       break;
     }
     if (rank + mask < p) {
-      std::vector<std::byte> raw = ctx->recv(rank, rank + mask, kTagReduce);
+      std::vector<std::byte> raw = comm.recv_bytes(rank + mask, kTagReduce);
       std::vector<T> other(raw.size() / sizeof(T));
       if (!raw.empty()) std::memcpy(other.data(), raw.data(), raw.size());
       combine(v, other);
@@ -312,12 +353,12 @@ std::vector<T> allreduce_impl(Comm& comm, detail::Context* ctx, int rank,
 }  // namespace
 
 std::vector<double> Comm::allreduce(std::vector<double> v, ReduceOp op) {
-  return allreduce_impl<double>(*this, ctx_, rank_, std::move(v), op);
+  return allreduce_impl<double>(*this, std::move(v), op);
 }
 
 std::vector<std::int64_t> Comm::allreduce(std::vector<std::int64_t> v,
                                           ReduceOp op) {
-  return allreduce_impl<std::int64_t>(*this, ctx_, rank_, std::move(v), op);
+  return allreduce_impl<std::int64_t>(*this, std::move(v), op);
 }
 
 std::vector<TrafficStats> Runtime::run(

@@ -22,6 +22,7 @@
 #include <cstdint>
 #include <cstring>
 #include <functional>
+#include <memory>
 #include <span>
 #include <type_traits>
 #include <vector>
@@ -43,10 +44,25 @@ class Context;
 }
 
 /// Per-rank communicator handle; only valid inside Runtime::run.
+/// A Comm is either the world communicator Runtime::run hands to `fn` or
+/// a subset of it made by split(); either way it is a cheap value type
+/// (a context pointer, a rank, and a shared group list).
 class Comm {
  public:
   int rank() const { return rank_; }
   int size() const;
+
+  /// Subset communicator over `members` — ranks of *this* communicator,
+  /// ascending, containing the caller; the result's rank r is members[r].
+  /// Construction is pure-local (no communication, unlike
+  /// MPI_Comm_split): every member derives the same group from the same
+  /// list, which is all the tree collectives need. Point-to-point and
+  /// collective traffic translates member ranks onto the parent context,
+  /// so tags and per-rank traffic counters are shared with the parent;
+  /// concurrent traffic on *overlapping* communicators with the same
+  /// (peer, tag) is the caller's responsibility, exactly as in MPI.
+  /// Disjoint subsets may communicate concurrently. Splits nest.
+  Comm split(std::span<const int> members) const;
 
   /// Buffered, non-blocking send of raw bytes. `tag` must be >= 0 (negative
   /// tags are reserved for collectives).
@@ -162,12 +178,18 @@ class Comm {
   friend class detail::Context;
   Comm(detail::Context* ctx, int rank) : ctx_(ctx), rank_(rank) {}
 
+  /// Context rank of communicator rank r (identity on the world comm).
+  int global_rank(int r) const;
+
   std::vector<std::byte> bcast_bytes(std::vector<std::byte> data, int root);
   std::vector<std::vector<std::byte>> allgatherv_bytes(
       std::span<const std::byte> mine);
 
   detail::Context* ctx_;
   int rank_;
+  /// Ascending context ranks of the group; null means the full context.
+  /// Shared so copying a Comm (and nesting splits) stays cheap.
+  std::shared_ptr<const std::vector<int>> group_;
 };
 
 /// Launches an SPMD region on `nranks` virtual ranks (threads). Exceptions

@@ -222,7 +222,12 @@ TEST_P(HaloRanks, Bsr3OverlapMatchesSyncBitwise) {
   }
 }
 
-INSTANTIATE_TEST_SUITE_P(Ranks, HaloRanks, ::testing::Values(1, 2, 4, 8));
+// "pN" names let the CI rank matrix select one rank count per job with
+// --gtest_filter='*/pN'.
+INSTANTIATE_TEST_SUITE_P(Ranks, HaloRanks, ::testing::Values(1, 2, 4, 8),
+                         [](const ::testing::TestParamInfo<int>& info) {
+                           return "p" + std::to_string(info.param);
+                         });
 
 TEST(Halo, StaggeredPeerSendsDrainInArrivalOrder) {
   // Adversarial timing: low ranks enter the exchange long after high

@@ -244,6 +244,107 @@ TEST_P(ParxRanks, TrafficStatsCountSends) {
 INSTANTIATE_TEST_SUITE_P(RankCounts, ParxRanks,
                          ::testing::Values(1, 2, 3, 4, 5, 8, 13));
 
+TEST(Parx, SplitSubsetCollectivesAndConcurrentDisjointGroups) {
+  // Evens and odds each split off their own communicator and run the same
+  // collectives concurrently: translation keeps every message inside the
+  // group, so the shared tag space never cross-talks between disjoint
+  // groups.
+  Runtime::run(8, [](Comm& comm) {
+    std::vector<int> members;
+    for (int r = comm.rank() % 2; r < 8; r += 2) members.push_back(r);
+    Comm sub = comm.split(members);
+    EXPECT_EQ(sub.size(), 4);
+    EXPECT_EQ(sub.rank(), comm.rank() / 2);
+    const double sum = sub.allreduce_sum(1.0 * comm.rank());
+    EXPECT_DOUBLE_EQ(sum, comm.rank() % 2 == 0 ? 12.0 : 16.0);
+    std::vector<int> data;
+    if (sub.rank() == 1) data = {comm.rank() % 2 + 100};
+    data = sub.bcast(std::move(data), 1);
+    ASSERT_EQ(data.size(), 1u);
+    EXPECT_EQ(data[0], comm.rank() % 2 + 100);
+    const auto all = sub.allgatherv(std::vector<int>{comm.rank()});
+    ASSERT_EQ(all.size(), 4u);
+    for (int r = 0; r < 4; ++r) {
+      ASSERT_EQ(all[r].size(), 1u);
+      EXPECT_EQ(all[r][0], 2 * r + comm.rank() % 2);
+    }
+    sub.barrier();
+  });
+}
+
+TEST(Parx, SplitTranslatesPointToPointAndTraffic) {
+  // Group ranks are translated at the p2p boundary: subcomm rank 0 is
+  // global rank 1, and the traffic stats bill that global rank.
+  const auto stats = Runtime::run(4, [](Comm& comm) {
+    if (comm.rank() != 1 && comm.rank() != 3) return;
+    Comm sub = comm.split(std::vector<int>{1, 3});
+    if (sub.rank() == 0) {
+      sub.send_value<int>(1, 9, 77);
+      EXPECT_EQ(sub.traffic().messages_sent, 1);
+    } else {
+      EXPECT_EQ(sub.recv_value<int>(0, 9), 77);
+      EXPECT_FALSE(sub.has_message(0, 9));
+    }
+  });
+  EXPECT_EQ(stats[1].messages_sent, 1);
+  EXPECT_EQ(stats[3].messages_sent, 0);
+}
+
+TEST(Parx, SplitNests) {
+  // A split of a split composes the translations: members are named in
+  // parent-communicator ranks at every layer.
+  Runtime::run(8, [](Comm& comm) {
+    if (comm.rank() % 2 != 0) return;
+    Comm evens = comm.split(std::vector<int>{0, 2, 4, 6});
+    if (evens.rank() >= 2) return;
+    Comm pair = evens.split(std::vector<int>{0, 1});  // global {0, 2}
+    EXPECT_EQ(pair.size(), 2);
+    EXPECT_DOUBLE_EQ(pair.allreduce_sum(1.0 * comm.rank()), 2.0);
+    const auto all = pair.allgatherv(std::vector<int>{comm.rank()});
+    ASSERT_EQ(all.size(), 2u);
+    EXPECT_EQ(all[0][0], 0);
+    EXPECT_EQ(all[1][0], 2);
+  });
+}
+
+TEST(Parx, SplitWaitAnyReportsGroupRanks) {
+  // Arrival-order drain inside a subcomm: sources are listed and reported
+  // in group ranks (the halo plans of agglomerated levels rely on this).
+  Runtime::run(4, [](Comm& comm) {
+    if (comm.rank() == 0) return;
+    Comm sub = comm.split(std::vector<int>{1, 2, 3});
+    constexpr int kTag = 17;
+    if (sub.rank() == 0) {
+      const std::vector<int> sources = {1, 2};
+      const int first = sub.wait_any(sources, kTag);
+      EXPECT_EQ(first, 2);
+      EXPECT_EQ(sub.recv_value<int>(2, kTag), 22);
+      sub.send_value<int>(1, kTag + 1, 0);  // release sub rank 1
+      const int second = sub.wait_any(sources, kTag);
+      EXPECT_EQ(second, 1);
+      EXPECT_EQ(sub.recv_value<int>(1, kTag), 11);
+    } else if (sub.rank() == 1) {
+      (void)sub.recv_value<int>(0, kTag + 1);
+      sub.send_value<int>(0, kTag, 11);
+    } else {
+      sub.send_value<int>(0, kTag, 22);
+    }
+  });
+}
+
+TEST(Parx, SplitSingletonBehavesLikeSingleRankWorld) {
+  Runtime::run(3, [](Comm& comm) {
+    Comm solo = comm.split(std::vector<int>{comm.rank()});
+    EXPECT_EQ(solo.size(), 1);
+    EXPECT_EQ(solo.rank(), 0);
+    EXPECT_DOUBLE_EQ(solo.allreduce_sum(2.5), 2.5);
+    solo.barrier();
+    const auto all = solo.allgatherv(std::vector<int>{comm.rank()});
+    ASSERT_EQ(all.size(), 1u);
+    EXPECT_EQ(all[0][0], comm.rank());
+  });
+}
+
 TEST(Parx, ExceptionInRankPropagates) {
   EXPECT_THROW(Runtime::run(3,
                             [](Comm& comm) {

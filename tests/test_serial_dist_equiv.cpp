@@ -231,7 +231,12 @@ TEST_P(EquivRanks, ChebyshevPcgConverges) {
   expect_vectors_close(x_ref, got.x, 1e-6);
 }
 
-INSTANTIATE_TEST_SUITE_P(Ranks, EquivRanks, ::testing::Values(1, 2, 4, 8));
+// "pN" names let the CI rank matrix select one rank count per job with
+// --gtest_filter='*/pN'.
+INSTANTIATE_TEST_SUITE_P(Ranks, EquivRanks, ::testing::Values(1, 2, 4, 8),
+                         [](const ::testing::TestParamInfo<int>& info) {
+                           return "p" + std::to_string(info.param);
+                         });
 
 }  // namespace
 }  // namespace prom
