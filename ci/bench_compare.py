@@ -36,7 +36,8 @@ KEY_FIELDS = ("ranks", "threads", "k", "level")
 DEFAULT_FLOOR_NS = 10_000.0  # 10 us
 DEFAULT_FLOOR_S = 1e-3  # 1 ms
 
-DEFAULT_FILES = ("BENCH_kernels.json", "BENCH_halo.json", "BENCH_service.json")
+DEFAULT_FILES = ("BENCH_kernels.json", "BENCH_halo.json", "BENCH_service.json",
+                 "BENCH_equations.json")
 
 
 def flatten(prefix: str, node, out: dict[str, float]) -> None:

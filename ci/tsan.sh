@@ -10,7 +10,10 @@
 # 1..8 ranks; the halo suite drives the overlapped arrival-order ghost
 # drain with staggered peer sends; the service suite drives the blocked
 # multi-RHS solve path — one message per peer carrying k columns — across
-# rank and kernel-thread counts in all three matrix formats).
+# rank and kernel-thread counts in all three matrix formats; the scalar
+# assembly suite drives the chunked block-size-1 assembly across kernel-
+# thread counts; the equations golden suite drives the scalar service
+# path — GMRES included — on 2 rank threads).
 # Any reported race fails the build (TSAN_OPTIONS below aborts on the
 # first report).
 set -euo pipefail
@@ -20,7 +23,7 @@ cmake --preset tsan
 cmake --build --preset tsan -j"$(nproc)" --target \
   test_threads_determinism test_parx_stress test_la_bsr_prop \
   test_serial_dist_equiv test_mf_equiv test_halo test_obs test_service \
-  test_agglom
+  test_agglom test_scalar_assembly_prop test_equations_golden
 
 export TSAN_OPTIONS="halt_on_error=1 abort_on_error=1 ${TSAN_OPTIONS:-}"
 # Exercise the pool beyond the core count regardless of the CI machine.
@@ -38,5 +41,10 @@ export PROM_THREADS="${PROM_THREADS:-4}"
 # active ranks exchange at the level boundary is exactly the kind of
 # schedule a race would hide in.
 ./build-tsan/tests/test_agglom
+# Scalar (block-size-1) stack: chunk-ordered assembly across kernel
+# threads, and the non-symmetric Krylov drivers through the distributed
+# service path.
+./build-tsan/tests/test_scalar_assembly_prop
+./build-tsan/tests/test_equations_golden
 
 echo "tsan gate: OK (no races reported)"

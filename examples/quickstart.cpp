@@ -16,19 +16,80 @@
 // node-block (BAIJ-style 3x3) kernels; PROM_MATRIX=mf applies the finest
 // level matrix-free from batched element data (coarse levels stay
 // assembled). The iteration count and residual history match the default
-// CSR path to rounding either way.
+// CSR path to rounding either way. PROM_EQUATION=poisson_het|advdiff
+// swaps the elasticity problem for a scalar equation class (jump-
+// coefficient Poisson under MG-PCG, SUPG advection-diffusion under
+// right-preconditioned MG-GMRES) on the same cube.
 #include <cstdio>
 #include <cstdlib>
+#include <utility>
+#include <vector>
 
+#include "app/driver.h"
 #include "fem/assembly.h"
+#include "fem/scalar.h"
 #include "mesh/generate.h"
 #include "mg/hierarchy.h"
 #include "mg/solver.h"
 #include "obs/trace.h"
 
+namespace {
+
+/// The scalar-equation quickstart: same automatic coarsening, block size
+/// 1, and the equation class's default smoother + Krylov driver.
+int run_scalar(prom::app::EquationClass eq, prom::idx n) {
+  using namespace prom;
+  app::ModelProblem p;
+  {
+    const obs::Span span("phase.mesh");
+    p = eq == app::EquationClass::kPoissonHet
+            ? app::make_poisson_het_problem(n, 1e3)
+            : app::make_advdiff_problem(n, 10.0);
+  }
+  fem::ScalarSystem sys;
+  {
+    const obs::Span span("phase.fine_grid");
+    sys = fem::assemble_scalar_system(p.mesh, p.scalar_dofmap, p.coeffs);
+  }
+  std::printf("assembled %d scalar unknowns (%lld nonzeros, %s)\n",
+              sys.stiffness.nrows,
+              static_cast<long long>(sys.stiffness.nnz()),
+              app::to_string(eq));
+
+  const mg::MgOptions mo = app::default_mg_options(eq);
+  std::vector<real> rhs = std::move(sys.rhs);
+  mg::Hierarchy hierarchy;
+  {
+    const obs::Span span("phase.mesh_setup");
+    hierarchy = mg::Hierarchy::build_scalar(p.mesh, p.scalar_dofmap,
+                                            std::move(sys.stiffness), mo);
+  }
+  std::printf("%s", hierarchy.describe().c_str());
+
+  mg::MgSolveOptions opts;
+  opts.rtol = 1e-8;
+  opts.krylov = app::default_krylov(eq);
+  std::vector<real> x(rhs.size(), 0.0);
+  la::KrylovResult result;
+  {
+    const obs::Span span("phase.solve");
+    result = mg_krylov_solve(hierarchy, rhs, x, opts);
+  }
+  std::printf("MG-%s: %d iterations, relative residual %.2e, %s\n",
+              la::to_string(opts.krylov), result.iterations,
+              result.final_relres,
+              result.converged ? "converged" : "NOT converged");
+  return result.converged ? 0 : 1;
+}
+
+}  // namespace
+
 int main(int argc, char** argv) {
   using namespace prom;
   const idx n = argc > 1 ? std::atoi(argv[1]) : 10;
+
+  const app::EquationClass eq = app::equation_from_env();
+  if (eq != app::EquationClass::kElasticity) return run_scalar(eq, n);
 
   // 1. The fine grid: a unit cube of n^3 hexahedra, one elastic material.
   mesh::Mesh mesh;

@@ -1,13 +1,52 @@
 #include "app/driver.h"
 
 #include <algorithm>
+#include <cmath>
+#include <cstdlib>
 #include <memory>
+#include <string_view>
 
 #include "app/service.h"
 #include "common/error.h"
 #include "obs/trace.h"
 
 namespace prom::app {
+
+const char* to_string(EquationClass eq) {
+  switch (eq) {
+    case EquationClass::kElasticity: return "elasticity";
+    case EquationClass::kPoissonHet: return "poisson_het";
+    case EquationClass::kAdvDiff: return "advdiff";
+  }
+  return "?";
+}
+
+EquationClass equation_from_env() {
+  const char* env = std::getenv("PROM_EQUATION");
+  if (env == nullptr || *env == '\0') return EquationClass::kElasticity;
+  const std::string_view v(env);
+  if (v == "elasticity") return EquationClass::kElasticity;
+  if (v == "poisson_het") return EquationClass::kPoissonHet;
+  if (v == "advdiff") return EquationClass::kAdvDiff;
+  PROM_CHECK_MSG(false,
+                 "PROM_EQUATION must be elasticity, poisson_het, or advdiff");
+  return EquationClass::kElasticity;
+}
+
+mg::MgOptions default_mg_options(EquationClass eq) {
+  mg::MgOptions mo;
+  if (eq == EquationClass::kAdvDiff) {
+    mo.smoother = mg::SmootherKind::kJacobi;
+    mo.omega = 0.5;
+    mo.coarse_solver = mg::CoarseSolverKind::kDenseLu;
+  }
+  return mo;
+}
+
+la::KrylovKind default_krylov(EquationClass eq) {
+  return eq == EquationClass::kAdvDiff ? la::KrylovKind::kGmres
+                                       : la::KrylovKind::kPcg;
+}
 
 ModelProblem make_sphere_problem(const mesh::SphereInCubeParams& params,
                                  real crush) {
@@ -50,6 +89,58 @@ ModelProblem make_box_problem(idx n, real crush, fem::Material material) {
     p.dofmap.fix(v, 2, -crush);
   }
   p.dofmap.finalize();
+  return p;
+}
+
+ModelProblem make_poisson_het_problem(idx n, real contrast) {
+  ModelProblem p;
+  p.equation = EquationClass::kPoissonHet;
+  p.mesh = mesh::box_hex(n, n, n, {0, 0, 0}, {1, 1, 1});
+  p.scalar_dofmap = fem::ScalarDofMap(p.mesh.num_vertices());
+  const real eps = 1e-9;
+  for (idx v :
+       p.mesh.vertices_where([&](const Vec3& x) { return x.z < eps; })) {
+    p.scalar_dofmap.fix(v, 0);
+  }
+  for (idx v :
+       p.mesh.vertices_where([&](const Vec3& x) { return x.z > 1 - eps; })) {
+    p.scalar_dofmap.fix(v, 1);
+  }
+  p.scalar_dofmap.finalize();
+  p.coeffs.diffusion = [contrast](idx, const Vec3& x) {
+    const bool inside = x.x > 0.25 && x.x < 0.75 && x.y > 0.25 &&
+                        x.y < 0.75 && x.z > 0.25 && x.z < 0.75;
+    return (inside ? contrast : real(1)) * Mat3::identity();
+  };
+  p.coeffs.source = [](idx, const Vec3&) { return real(1); };
+  return p;
+}
+
+ModelProblem make_advdiff_problem(idx n, real peclet) {
+  PROM_CHECK_MSG(peclet > 0, "make_advdiff_problem: peclet must be > 0");
+  ModelProblem p;
+  p.equation = EquationClass::kAdvDiff;
+  p.mesh = mesh::box_hex(n, n, n, {0, 0, 0}, {1, 1, 1});
+  p.scalar_dofmap = fem::ScalarDofMap(p.mesh.num_vertices());
+  const real eps = 1e-9;
+  for (idx v :
+       p.mesh.vertices_where([&](const Vec3& x) { return x.x < eps; })) {
+    p.scalar_dofmap.fix(v, 1);
+  }
+  for (idx v :
+       p.mesh.vertices_where([&](const Vec3& x) { return x.x > 1 - eps; })) {
+    p.scalar_dofmap.fix(v, 0);
+  }
+  p.scalar_dofmap.finalize();
+  const Vec3 dir{1, 0.5, 0.25};
+  const real speed = norm(dir);
+  const real kappa = speed / peclet;
+  p.coeffs.diffusion = [kappa](idx, const Vec3&) {
+    return kappa * Mat3::identity();
+  };
+  p.coeffs.velocity = [dir](idx, const Vec3&) { return dir; };
+  p.coeffs.source = [](idx, const Vec3&) { return real(1); };
+  p.coeffs.supg = true;
   return p;
 }
 

@@ -11,6 +11,7 @@
 
 #include "common/config.h"
 #include "fem/assembly.h"
+#include "fem/scalar.h"
 #include "mesh/generate.h"
 #include "mg/hierarchy.h"
 #include "mg/solver.h"
@@ -21,11 +22,39 @@
 
 namespace prom::app {
 
-/// A ready-to-solve model problem (mesh + constraints + materials).
+/// Which PDE the model problem discretizes. Elasticity is the paper's
+/// 3-dof-per-vertex system; the scalar classes (block size 1) stress the
+/// same hierarchy machinery with coefficient jumps and non-symmetry.
+enum class EquationClass : std::uint8_t {
+  kElasticity,  ///< 3D linear elasticity (SPD, block size 3)
+  kPoissonHet,  ///< jump-coefficient Poisson (SPD, block size 1)
+  kAdvDiff,     ///< SUPG advection-diffusion (non-symmetric, block size 1)
+};
+const char* to_string(EquationClass eq);
+/// PROM_EQUATION=elasticity|poisson_het|advdiff (default elasticity).
+/// Fails fast on an unknown value.
+EquationClass equation_from_env();
+
+/// Solver defaults appropriate to an equation class. The SPD classes keep
+/// the paper's configuration (PCG, processor-block Jacobi, LDL^T
+/// coarsest); advection-diffusion swaps in damped point Jacobi —
+/// BlockJacobi's LDL^T block factors and Chebyshev's eigenvalue bounds
+/// both assume symmetry — plus a partial-pivoting LU coarsest solve.
+mg::MgOptions default_mg_options(EquationClass eq);
+/// PCG for the SPD classes, right-preconditioned GMRES(m) for
+/// advection-diffusion.
+la::KrylovKind default_krylov(EquationClass eq);
+
+/// A ready-to-solve model problem (mesh + constraints + coefficients).
+/// Elasticity uses `dofmap` + `materials`; the scalar classes use
+/// `scalar_dofmap` + `coeffs` instead.
 struct ModelProblem {
+  EquationClass equation = EquationClass::kElasticity;
   mesh::Mesh mesh;
   fem::DofMap dofmap{0};
   std::vector<fem::Material> materials;
+  fem::ScalarDofMap scalar_dofmap{0};
+  fem::ScalarCoefficients coeffs;
 };
 
 /// The paper's §7 concentric-spheres problem: symmetric BCs on the three
@@ -37,6 +66,21 @@ ModelProblem make_sphere_problem(const mesh::SphereInCubeParams& params,
 /// simple scalable problem used by tests and the quickstart.
 ModelProblem make_box_problem(idx n, real crush = 0.05,
                               fem::Material material = {});
+
+/// Jump-coefficient Poisson on the unit cube (n^3 hex cells): diffusion
+/// `contrast` inside the centered half-cube [1/4, 3/4]^3 and 1 outside
+/// (sampled per quadrature point; the interface aligns with element faces
+/// when 4 divides n); u = 0 on the bottom face, u = 1 on the top, natural
+/// elsewhere; unit volume source.
+ModelProblem make_poisson_het_problem(idx n, real contrast = 1e3);
+
+/// SUPG advection-diffusion on the unit cube (n^3 hex cells): skew
+/// velocity v = (1, 1/2, 1/4)/|.|, isotropic diffusion kappa = |v|/peclet
+/// (so `peclet` is the global Péclet number |v| L / kappa at L = 1);
+/// u = 1 on the inflow face x = 0, u = 0 on the outflow face x = 1,
+/// natural side walls; unit volume source. Non-symmetric: solve with
+/// GMRES or BiCGStab.
+ModelProblem make_advdiff_problem(idx n, real peclet = 10);
 
 struct LinearStudyConfig {
   int nranks = 2;

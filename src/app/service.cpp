@@ -37,11 +37,17 @@ void SolveService::register_problem(
 std::string SolveService::fingerprint(const std::string& mesh_id) const {
   // Every knob that shapes the grids, the operators, or their
   // distribution. Two requests agreeing on all of these may share a
-  // hierarchy; any difference must build a distinct entry.
+  // hierarchy; any difference must build a distinct entry. The equation
+  // class comes from the registered problem (block size 1 vs 3 changes
+  // every level operator); an unregistered id keys as elasticity and
+  // fails in build_entry anyway.
+  EquationClass eq = EquationClass::kElasticity;
+  const auto pit = problems_.find(mesh_id);
+  if (pit != problems_.end()) eq = pit->second->equation;
   const mg::MgOptions& mo = config_.mg;
   const coarsen::CoarsenOptions& co = mo.coarsen;
   std::ostringstream os;
-  os << mesh_id << "|p=" << config_.nranks
+  os << mesh_id << "|eq=" << static_cast<int>(eq) << "|p=" << config_.nranks
      << "|fmt=" << static_cast<int>(config_.format)
      << "|cyc=" << static_cast<int>(config_.cycle)
      << "|L=" << mo.max_levels << "|cmax=" << mo.coarsest_max_dofs
@@ -100,17 +106,29 @@ EntryHandle SolveService::build_entry(const std::string& mesh_id,
     entry->vertex_owner =
         partition::rcb_partition(problem.mesh.coords(), config_.nranks);
   }
+  const bool scalar = problem.equation != EquationClass::kElasticity;
   {
     const obs::Span span("phase.fine_grid");
-    fem::FeProblem fe(problem.mesh, problem.materials, problem.dofmap);
-    entry->sys = fem::assemble_linear_system(fe);
+    if (scalar) {
+      fem::ScalarSystem sys = fem::assemble_scalar_system(
+          problem.mesh, problem.scalar_dofmap, problem.coeffs);
+      entry->sys.stiffness = std::move(sys.stiffness);
+      entry->sys.rhs = std::move(sys.rhs);
+    } else {
+      fem::FeProblem fe(problem.mesh, problem.materials, problem.dofmap);
+      entry->sys = fem::assemble_linear_system(fe);
+    }
   }
   entry->unknowns = entry->sys.stiffness.nrows;
   {
     const obs::Span span("phase.mesh_setup");
-    entry->grids = mg::Hierarchy::build_grids(problem.mesh, problem.dofmap,
-                                              entry->sys.stiffness,
-                                              config_.mg);
+    entry->grids =
+        scalar ? mg::Hierarchy::build_grids_scalar(problem.mesh,
+                                                   problem.scalar_dofmap,
+                                                   entry->sys.stiffness,
+                                                   config_.mg)
+               : mg::Hierarchy::build_grids(problem.mesh, problem.dofmap,
+                                            entry->sys.stiffness, config_.mg);
   }
 
   entry->per_rank.resize(static_cast<std::size_t>(config_.nranks));
@@ -166,6 +184,7 @@ SolveResponse SolveService::solve_with(const EntryHandle& entry,
   so.cycle = config_.cycle;
   so.format = config_.format;
   so.track_history = req.track_history;
+  so.krylov = default_krylov(entry->problem->equation);
 
   parx::Runtime::run(p, [&](parx::Comm& comm) {
     const int rank = comm.rank();
@@ -187,8 +206,20 @@ SolveResponse SolveService::solve_with(const EntryHandle& entry,
         const real* bs = b.col_data(j0 + j);
         for (idx i = 0; i < nloc; ++i) bl[i] = bs[perm[b0 + i]];
       }
-      const std::vector<la::KrylovResult> results = dla::dist_mg_pcg_solve_mv(
-          comm, dist, b_local, x_local, so, &entry->workspaces[rank]);
+      std::vector<la::KrylovResult> results;
+      if (so.krylov == la::KrylovKind::kPcg) {
+        results = dla::dist_mg_pcg_solve_mv(comm, dist, b_local, x_local, so,
+                                            &entry->workspaces[rank]);
+      } else {
+        // Non-symmetric classes: no blocked GMRES/BiCGStab driver, so the
+        // chunk's columns solve one at a time (the chunking itself stays,
+        // keeping request shapes identical to the SPD path).
+        results.resize(static_cast<std::size_t>(k));
+        for (int j = 0; j < k; ++j) {
+          results[static_cast<std::size_t>(j)] = dla::dist_mg_krylov_solve(
+              comm, dist, b_local.col(j), x_local.col(j), so);
+        }
+      }
       if (req.return_solutions) {
         const la::MultiVec x_full =
             dla::dist_gather_all_mv(comm, rows, x_local);

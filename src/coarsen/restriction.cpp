@@ -258,10 +258,12 @@ RestrictionResult build_restriction(std::span<const Vec3> fine_coords,
 
 la::Csr expand_restriction_to_dofs(const la::Csr& r_vertex,
                                    std::span<const idx> fine_free,
-                                   std::span<const idx> coarse_free) {
+                                   std::span<const idx> coarse_free,
+                                   int ncomp) {
+  PROM_CHECK(ncomp >= 1);
   // Map global fine dof -> fine free index.
-  const idx n_fine_dofs = 3 * r_vertex.ncols;
-  const idx n_coarse_dofs = 3 * r_vertex.nrows;
+  const idx n_fine_dofs = ncomp * r_vertex.ncols;
+  const idx n_coarse_dofs = ncomp * r_vertex.nrows;
   std::vector<idx> fine_index(static_cast<std::size_t>(n_fine_dofs),
                               kInvalidIdx);
   for (std::size_t i = 0; i < fine_free.size(); ++i) {
@@ -272,11 +274,11 @@ la::Csr expand_restriction_to_dofs(const la::Csr& r_vertex,
   for (std::size_t ci = 0; ci < coarse_free.size(); ++ci) {
     const idx cdof = coarse_free[ci];
     PROM_CHECK(cdof >= 0 && cdof < n_coarse_dofs);
-    const idx cvert = cdof / 3;
-    const int comp = static_cast<int>(cdof % 3);
+    const idx cvert = cdof / ncomp;
+    const int comp = static_cast<int>(cdof % ncomp);
     for (nnz_t k = r_vertex.rowptr[cvert]; k < r_vertex.rowptr[cvert + 1];
          ++k) {
-      const idx fdof = 3 * r_vertex.colidx[k] + comp;
+      const idx fdof = ncomp * r_vertex.colidx[k] + comp;
       const idx fj = fine_index[fdof];
       if (fj == kInvalidIdx) continue;  // constrained fine dof: dropped
       triplets.push_back({static_cast<idx>(ci), fj, r_vertex.vals[k]});

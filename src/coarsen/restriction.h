@@ -53,13 +53,15 @@ RestrictionResult build_restriction(std::span<const Vec3> fine_coords,
                                     const RestrictionOptions& opts = {},
                                     const graph::Graph* fine_graph = nullptr);
 
-/// Expands a vertex-weight restriction to dof space (3 dofs per vertex):
-/// R_dof = R_vertex (Kronecker) I_3, then restricted to the given free-dof
-/// subsets: row c of the result corresponds to coarse free dof c, and
-/// columns to fine free dofs. `fine_free`/`coarse_free` list the free dofs
-/// (3*vertex+comp) at each level in free-index order.
+/// Expands a vertex-weight restriction to dof space (`ncomp` dofs per
+/// vertex): R_dof = R_vertex (Kronecker) I_ncomp, then restricted to the
+/// given free-dof subsets: row c of the result corresponds to coarse free
+/// dof c, and columns to fine free dofs. `fine_free`/`coarse_free` list
+/// the free dofs (ncomp*vertex+comp) at each level in free-index order.
+/// ncomp=3 is the elasticity stack; ncomp=1 the scalar equation classes.
 la::Csr expand_restriction_to_dofs(const la::Csr& r_vertex,
                                    std::span<const idx> fine_free,
-                                   std::span<const idx> coarse_free);
+                                   std::span<const idx> coarse_free,
+                                   int ncomp = 3);
 
 }  // namespace prom::coarsen

@@ -77,4 +77,23 @@ std::vector<la::KrylovResult> dist_pcg_multi(
     const la::MultiVec& b_local, la::MultiVec& x_local,
     const la::KrylovOptions& opts = {}, la::KrylovWorkspace* ws = nullptr);
 
+/// Distributed restarted GMRES(m) with optional right preconditioning —
+/// la::gmres_any on the parx backend, for non-symmetric operators
+/// (advection–diffusion). Collective; every rank receives the same
+/// KrylovResult.
+la::KrylovResult dist_gmres(parx::Comm& comm, const DistOperator& a,
+                            const DistOperator* m,
+                            std::span<const real> b_local,
+                            std::span<real> x_local,
+                            const la::GmresOptions& opts = {});
+
+/// Distributed BiCGStab with optional right preconditioning —
+/// la::bicgstab_any on the parx backend. Collective; every rank receives
+/// the same KrylovResult.
+la::KrylovResult dist_bicgstab(parx::Comm& comm, const DistOperator& a,
+                               const DistOperator* m,
+                               std::span<const real> b_local,
+                               std::span<real> x_local,
+                               const la::KrylovOptions& opts = {});
+
 }  // namespace prom::dla

@@ -56,6 +56,21 @@ std::unique_ptr<la::DenseLdlt> factor_coarse(const la::Csr& a) {
   return direct;
 }
 
+/// LU counterpart of factor_coarse for non-symmetric coarsest operators:
+/// partial pivoting needs no shift escalation.
+std::unique_ptr<la::DenseLu> factor_coarse_lu(const la::Csr& a) {
+  la::DenseMatrix dense(a.nrows, a.ncols);
+  for (idx i = 0; i < a.nrows; ++i) {
+    for (nnz_t k = a.rowptr[i]; k < a.rowptr[i + 1]; ++k) {
+      dense(i, a.colidx[k]) = a.vals[k];
+    }
+  }
+  auto direct = std::make_unique<la::DenseLu>(dense);
+  PROM_CHECK_MSG(direct->ok(),
+                 "coarsest-level LU factorization failed (singular)");
+  return direct;
+}
+
 /// The active-subset communicator of an agglomerated level: ranks
 /// [0, active). Pure-local construction (Comm::split), so building it per
 /// coarse solve costs one small allocation and no traffic.
@@ -75,14 +90,16 @@ RowDist active_rowdist(const RowDist& dist, int active) {
 }
 
 /// Even row split of an agglomerated level over its first `active` ranks,
-/// with every split point snapped *up* to the next node boundary so 3x3
-/// node blocks (DistBsr) never straddle ranks. Trailing ranks own empty
-/// ranges. The node id of new row i is free_dofs[perm[i]] / 3, exactly the
-/// grouping DistBsr::build uses.
+/// with every split point snapped *up* to the next node boundary so node
+/// blocks (DistBsr, block size `bs`) never straddle ranks. Trailing ranks
+/// own empty ranges. The node id of new row i is free_dofs[perm[i]] / bs,
+/// exactly the grouping DistBsr::build uses; at bs = 1 every row is its
+/// own node and the split is exactly even.
 RowDist agglom_rowdist(const std::vector<idx>& free_dofs,
-                       const std::vector<idx>& perm, int active, int nranks) {
+                       const std::vector<idx>& perm, int active, int nranks,
+                       int bs) {
   const idx n = static_cast<idx>(perm.size());
-  const auto node_of = [&](idx i) { return free_dofs[perm[i]] / 3; };
+  const auto node_of = [&](idx i) { return free_dofs[perm[i]] / bs; };
   std::vector<idx> off(static_cast<std::size_t>(nranks) + 1, n);
   off[0] = 0;
   for (int r = 1; r < active; ++r) {
@@ -135,7 +152,7 @@ struct DistCycleView {
   void coarse_solve(std::span<const real> b, std::span<real> x) const {
     const int nl = h->num_levels();
     const DistMgLevel& lv = h->level(nl - 1);
-    if (lv.direct != nullptr) {
+    if (lv.direct != nullptr || lv.direct_lu != nullptr) {
       // Redundant coarse solve: gather, factor-solve locally, keep my
       // slice (§5 — the coarsest problem is constant-size). When the
       // coarsest level is agglomerated, only its active ranks reach this
@@ -151,7 +168,11 @@ struct DistCycleView {
         b_full = dist_gather_all(*comm, lv.a.row_dist(), b);
       }
       std::vector<real> x_full(b_full.size());
-      lv.direct->solve(b_full, x_full);
+      if (lv.direct != nullptr) {
+        lv.direct->solve(b_full, x_full);
+      } else {
+        lv.direct_lu->solve(b_full, x_full);
+      }
       const idx b0 = lv.a.row_dist().begin(comm->rank());
       for (idx i = 0; i < lv.local_n(); ++i) x[i] = x_full[b0 + i];
     } else {
@@ -184,7 +205,7 @@ struct DistCycleView {
   void coarse_solve_mv(const la::MultiVec& b, la::MultiVec& x) const {
     const int nl = h->num_levels();
     const DistMgLevel& lv = h->level(nl - 1);
-    if (lv.direct != nullptr) {
+    if (lv.direct != nullptr || lv.direct_lu != nullptr) {
       // One allgatherv carries every column; the factor-solve is already
       // local and runs per column in order. Same active-subset rule as
       // the scalar path.
@@ -200,7 +221,11 @@ struct DistCycleView {
       const idx b0 = lv.a.row_dist().begin(comm->rank());
       std::vector<real> x_full(static_cast<std::size_t>(b_full.rows()));
       for (int j = 0; j < b.cols(); ++j) {
-        lv.direct->solve(b_full.col(j), x_full);
+        if (lv.direct != nullptr) {
+          lv.direct->solve(b_full.col(j), x_full);
+        } else {
+          lv.direct_lu->solve(b_full.col(j), x_full);
+        }
         real* xj = x.col_data(j);
         for (idx i = 0; i < lv.local_n(); ++i) xj[i] = x_full[b0 + i];
       }
@@ -298,6 +323,9 @@ DistHierarchy DistHierarchy::build(parx::Comm& comm,
                                    const MfProblem* mf) {
   PROM_CHECK_MSG(format != mg::MatrixFormat::kMf || mf != nullptr,
                  "MatrixFormat::kMf requires an MfProblem");
+  const int bs = serial.block_size();
+  PROM_CHECK_MSG(bs == 3 || format == mg::MatrixFormat::kCsr,
+                 "node-block and matrix-free formats require block size 3");
   const int nl = serial.num_levels();
   const int p = comm.size();
   const int rank = comm.rank();
@@ -327,7 +355,7 @@ DistHierarchy DistHierarchy::build(parx::Comm& comm,
     // Owner of free dof i = owner of its vertex; stable-sort dofs by owner.
     std::vector<idx> owner(static_cast<std::size_t>(n));
     for (idx i = 0; i < n; ++i) {
-      owner[i] = vertex_owner[l][lv.free_dofs[i] / 3];
+      owner[i] = vertex_owner[l][lv.free_dofs[i] / bs];
     }
     std::vector<idx>& perm = h.perms_[l];
     perm.resize(static_cast<std::size_t>(n));
@@ -352,7 +380,7 @@ DistHierarchy DistHierarchy::build(parx::Comm& comm,
   for (int l = 1; l < nl; ++l) {
     if (h.active_[l] < p) {
       final_dists[l] = agglom_rowdist(serial.level(l).free_dofs, h.perms_[l],
-                                      h.active_[l], p);
+                                      h.active_[l], p, bs);
     }
   }
 
@@ -425,8 +453,13 @@ DistHierarchy DistHierarchy::build(parx::Comm& comm,
     const bool coarsest = l + 1 == nl;
     if (coarsest && nl > 1) {
       // The coarsest operator has constant size (§5): gather it and
-      // factor redundantly on every rank.
-      dl.direct = factor_coarse(dist_gather_matrix(comm, dl.a));
+      // factor redundantly on every rank — LU when the serial options ask
+      // for the non-symmetric coarse solve, LDL^T otherwise.
+      if (mo.coarse_solver == mg::CoarseSolverKind::kDenseLu) {
+        dl.direct_lu = factor_coarse_lu(dist_gather_matrix(comm, dl.a));
+      } else {
+        dl.direct = factor_coarse(dist_gather_matrix(comm, dl.a));
+      }
       continue;
     }
     dl.kind = mo.smoother == mg::SmootherKind::kSymGaussSeidel
@@ -526,6 +559,48 @@ std::vector<la::KrylovResult> dist_mg_pcg_solve_mv(
   const DistCsrOperator a(h.level(0).a);
   return dist_pcg_multi(comm, a, &precond, b_local, x_local,
                         mg::to_krylov_options(opts), ws);
+}
+
+namespace {
+
+la::KrylovResult run_nonsym(parx::Comm& comm, const DistOperator& a,
+                            const DistOperator& precond,
+                            std::span<const real> b_local,
+                            std::span<real> x_local,
+                            const mg::MgSolveOptions& opts) {
+  if (opts.krylov == la::KrylovKind::kGmres) {
+    return dist_gmres(comm, a, &precond, b_local, x_local,
+                      mg::to_gmres_options(opts));
+  }
+  return dist_bicgstab(comm, a, &precond, b_local, x_local,
+                       mg::to_krylov_options(opts));
+}
+
+}  // namespace
+
+la::KrylovResult dist_mg_krylov_solve(parx::Comm& comm,
+                                      const DistHierarchy& h,
+                                      std::span<const real> b_local,
+                                      std::span<real> x_local,
+                                      const mg::MgSolveOptions& opts) {
+  if (opts.krylov == la::KrylovKind::kPcg) {
+    return dist_mg_pcg_solve(comm, h, b_local, x_local, opts);
+  }
+  const DistMgPreconditioner precond(h, opts.cycle);
+  if (opts.format == mg::MatrixFormat::kBsr3) {
+    PROM_CHECK_MSG(h.level(0).a_bsr != nullptr,
+                   "MatrixFormat::kBsr3 requires a hierarchy built with it");
+    const DistBsrOperator a(*h.level(0).a_bsr);
+    return run_nonsym(comm, a, precond, b_local, x_local, opts);
+  }
+  if (opts.format == mg::MatrixFormat::kMf) {
+    PROM_CHECK_MSG(h.level(0).a_mf != nullptr,
+                   "MatrixFormat::kMf requires a hierarchy built with it");
+    const DistMfOperator a(*h.level(0).a_mf);
+    return run_nonsym(comm, a, precond, b_local, x_local, opts);
+  }
+  const DistCsrOperator a(h.level(0).a);
+  return run_nonsym(comm, a, precond, b_local, x_local, opts);
 }
 
 }  // namespace prom::dla

@@ -69,8 +69,12 @@ struct DistMgLevel {
   real cheby_lmin = 0, cheby_lmax = 0;
 
   // Coarsest level: replicated dense factorization of the gathered
-  // (constant-size) operator; null on single-level hierarchies.
+  // (constant-size) operator; null on single-level hierarchies. LDL^T for
+  // symmetric chains, partial-pivoting LU when the serial hierarchy was
+  // built with CoarseSolverKind::kDenseLu (non-symmetric scalar classes);
+  // exactly one of the two is set on the coarsest level.
   std::unique_ptr<la::DenseLdlt> direct;
+  std::unique_ptr<la::DenseLu> direct_lu;
 
   idx local_n() const { return a.local_rows(); }
 
@@ -171,5 +175,15 @@ std::vector<la::KrylovResult> dist_mg_pcg_solve_mv(
     parx::Comm& comm, const DistHierarchy& h, const la::MultiVec& b_local,
     la::MultiVec& x_local, const mg::MgSolveOptions& opts = {},
     la::KrylovWorkspace* ws = nullptr);
+
+/// Distributed MG-preconditioned solve with the Krylov driver selected by
+/// `opts.krylov` (PCG, GMRES(m), or BiCGStab — the latter two for
+/// non-symmetric operators, right-preconditioned with the same cycle).
+/// Collective; every rank receives the same KrylovResult.
+la::KrylovResult dist_mg_krylov_solve(parx::Comm& comm,
+                                      const DistHierarchy& h,
+                                      std::span<const real> b_local,
+                                      std::span<real> x_local,
+                                      const mg::MgSolveOptions& opts = {});
 
 }  // namespace prom::dla

@@ -1,0 +1,113 @@
+// Scalar (block-size-1) equation assembly: one dof per vertex, P1/trilinear
+// discretization of
+//
+//   -div(K grad u) + v . grad u + c u = f
+//
+// with per-element coefficient callbacks — the diffusion tensor K covers
+// jump-coefficient Poisson problems, the velocity field v (with optional
+// SUPG stabilization) covers advection–diffusion. The assembled free-dof
+// operator is a plain la::Csr that the same multigrid stack consumes at
+// block size 1 (mg::Hierarchy::build_scalar).
+#pragma once
+
+#include <functional>
+#include <span>
+#include <vector>
+
+#include "common/config.h"
+#include "geom/mat3.h"
+#include "geom/vec3.h"
+#include "la/csr.h"
+#include "mesh/mesh.h"
+
+namespace prom::fem {
+
+/// Maps a vertex to its (single) global dof and tracks Dirichlet
+/// constraints with prescribed values — the scalar counterpart of DofMap,
+/// with vertex == dof so no component indexing.
+class ScalarDofMap {
+ public:
+  explicit ScalarDofMap(idx num_vertices);
+
+  idx num_vertices() const { return nv_; }
+  idx num_dofs() const { return nv_; }
+
+  /// Prescribes the value at `vertex`.
+  void fix(idx vertex, real value);
+  void fix_all(std::span<const idx> vertices, real value = 0);
+
+  bool is_constrained(idx vertex) const { return constrained_[vertex] != 0; }
+  real bc_value(idx vertex) const { return bc_value_[vertex]; }
+
+  /// Builds the free-dof numbering; call after all fix() calls.
+  void finalize();
+
+  idx num_free() const { return static_cast<idx>(free_dofs_.size()); }
+  const std::vector<idx>& free_dofs() const { return free_dofs_; }
+  /// Free index of `vertex` or kInvalidIdx if constrained.
+  idx free_index(idx vertex) const { return free_index_[vertex]; }
+
+  /// Expands a free-dof vector to a full (per-vertex) vector, inserting
+  /// `bc_scale * bc_value` at constrained vertices.
+  std::vector<real> full_from_free(std::span<const real> free_values,
+                                   real bc_scale = 1) const;
+
+  /// Restricts a full vector to the free dofs.
+  std::vector<real> free_from_full(std::span<const real> full_values) const;
+
+ private:
+  idx nv_;
+  std::vector<char> constrained_;
+  std::vector<real> bc_value_;
+  std::vector<idx> free_index_;
+  std::vector<idx> free_dofs_;
+};
+
+/// Coefficient callbacks for the scalar equation, evaluated per quadrature
+/// point with the owning cell id (jump coefficients key off the cell or
+/// its material, manufactured solutions off the position). `diffusion` is
+/// required; a null `velocity` / `reaction` / `source` means zero.
+struct ScalarCoefficients {
+  std::function<Mat3(idx cell, const Vec3& x)> diffusion;
+  std::function<Vec3(idx cell, const Vec3& x)> velocity;
+  std::function<real(idx cell, const Vec3& x)> reaction;
+  std::function<real(idx cell, const Vec3& x)> source;
+  /// Streamline-upwind Petrov–Galerkin stabilization: adds the
+  /// residual-weighted tau (v.grad w) test-function term with the standard
+  /// optimal tau = h/(2|v|) (coth Pe - 1/Pe). Consistent (the exact
+  /// solution still satisfies the discrete system), so MMS convergence
+  /// orders are preserved; essential once the element Peclet number
+  /// exceeds 1, where plain Galerkin oscillates.
+  bool supg = false;
+};
+
+struct ScalarAssembly {
+  la::Csr stiffness;            ///< free x free operator
+  std::vector<real> load;       ///< source load vector on free dofs
+  std::vector<real> bc_coupling;  ///< K_fc * u_c on free dofs
+};
+
+/// Assembles the scalar operator, the source load, and the Dirichlet
+/// coupling on the free dofs. TET4 uses the 4-point rule, HEX8 the 2x2x2
+/// rule. Deterministic for any kernel-thread count (same fixed cell
+/// chunking + chunk-order merge as FeProblem::assemble).
+ScalarAssembly assemble_scalar(const mesh::Mesh& mesh,
+                               const ScalarDofMap& dofmap,
+                               const ScalarCoefficients& coeffs);
+
+/// Convenience: the linear system K_ff u_f = load - K_fc u_c.
+struct ScalarSystem {
+  la::Csr stiffness;
+  std::vector<real> rhs;
+};
+ScalarSystem assemble_scalar_system(const mesh::Mesh& mesh,
+                                    const ScalarDofMap& dofmap,
+                                    const ScalarCoefficients& coeffs);
+
+/// L2-norm error ||u_h - u_exact|| over the mesh, quadrature of the same
+/// order as assembly. `u_full` is the per-vertex solution (constrained
+/// values inserted). Test/MMS helper.
+real scalar_l2_error(const mesh::Mesh& mesh, std::span<const real> u_full,
+                     const std::function<real(const Vec3&)>& exact);
+
+}  // namespace prom::fem

@@ -71,4 +71,64 @@ void DenseLdlt::solve(std::span<const real> b, std::span<real> x) const {
   count_flops(2LL * n * n);
 }
 
+DenseLu::DenseLu(const DenseMatrix& a)
+    : n_(a.rows()), lu_(a), piv_(static_cast<std::size_t>(a.rows())) {
+  PROM_CHECK(a.rows() == a.cols());
+  const idx n = n_;
+  for (idx k = 0; k < n; ++k) {
+    // Partial pivoting: largest magnitude in column k at or below the
+    // diagonal.
+    idx p = k;
+    real pmax = std::fabs(lu_(k, k));
+    for (idx i = k + 1; i < n; ++i) {
+      const real v = std::fabs(lu_(i, k));
+      if (v > pmax) {
+        pmax = v;
+        p = i;
+      }
+    }
+    piv_[k] = p;
+    if (!(std::isfinite(pmax)) || pmax == real{0}) {
+      ok_ = false;
+      return;
+    }
+    if (p != k) {
+      for (idx j = 0; j < n; ++j) std::swap(lu_(k, j), lu_(p, j));
+    }
+    const real pivot = lu_(k, k);
+    for (idx i = k + 1; i < n; ++i) {
+      const real lik = lu_(i, k) / pivot;
+      lu_(i, k) = lik;
+      for (idx j = k + 1; j < n; ++j) lu_(i, j) -= lik * lu_(k, j);
+    }
+  }
+  count_flops(2LL * n * n * n / 3);
+  ok_ = true;
+}
+
+void DenseLu::solve(std::span<const real> b, std::span<real> x) const {
+  PROM_CHECK_MSG(ok_, "DenseLu::solve on a failed factorization");
+  PROM_CHECK(static_cast<idx>(b.size()) == n_ &&
+             static_cast<idx>(x.size()) == n_);
+  const idx n = n_;
+  for (idx i = 0; i < n; ++i) x[i] = b[i];
+  // Apply the pivot row swaps in factorization order.
+  for (idx k = 0; k < n; ++k) {
+    if (piv_[k] != k) std::swap(x[k], x[piv_[k]]);
+  }
+  // Forward solve L y = P b (unit diagonal).
+  for (idx i = 0; i < n; ++i) {
+    real yi = x[i];
+    for (idx k = 0; k < i; ++k) yi -= lu_(i, k) * x[k];
+    x[i] = yi;
+  }
+  // Backward solve U x = y.
+  for (idx i = n - 1; i >= 0; --i) {
+    real xi = x[i];
+    for (idx k = i + 1; k < n; ++k) xi -= lu_(i, k) * x[k];
+    x[i] = xi / lu_(i, i);
+  }
+  count_flops(2LL * n * n);
+}
+
 }  // namespace prom::la

@@ -65,4 +65,28 @@ class DenseLdlt {
   std::vector<real> d_;      // diagonal of D
 };
 
+/// LU factorization with partial pivoting — the general-matrix counterpart
+/// of DenseLdlt, used for the redundant coarsest-level solve of
+/// non-symmetric operators (advection–diffusion Galerkin chains). A
+/// vanishing pivot (singular to working precision) marks the
+/// factorization as failed rather than producing NaNs.
+class DenseLu {
+ public:
+  DenseLu() = default;
+  /// Factors P A = L U. O(2n^3/3).
+  explicit DenseLu(const DenseMatrix& a);
+
+  bool ok() const { return ok_; }
+  idx n() const { return n_; }
+
+  /// Solves A x = b. Requires ok().
+  void solve(std::span<const real> b, std::span<real> x) const;
+
+ private:
+  idx n_ = 0;
+  bool ok_ = false;
+  DenseMatrix lu_;          // packed L (unit diagonal implied) and U
+  std::vector<idx> piv_;    // row of the k-th pivot
+};
+
 }  // namespace prom::la

@@ -33,127 +33,27 @@ std::vector<KrylovResult> pcg_multi(const LinearOperator& a,
 KrylovResult gmres(const LinearOperator& a, const LinearOperator* m,
                    std::span<const real> b, std::span<real> x,
                    const GmresOptions& opts) {
-  const idx n = a.rows();
-  PROM_CHECK(a.cols() == n);
-  PROM_CHECK(static_cast<idx>(b.size()) == n &&
-             static_cast<idx>(x.size()) == n);
-  const int restart = std::max(1, opts.restart);
+  PROM_CHECK(a.cols() == a.rows());
+  return gmres_any(SerialBackend{}, a, m, b, x, opts);
+}
 
-  KrylovResult result;
-  const real bnorm = nrm2(b);
-  if (opts.track_history) result.history.push_back(bnorm);
-  if (bnorm == real{0}) {
-    set_all(x, 0);
-    result.converged = true;
-    return result;
+KrylovResult bicgstab(const LinearOperator& a, const LinearOperator* m,
+                      std::span<const real> b, std::span<real> x,
+                      const KrylovOptions& opts) {
+  PROM_CHECK(a.cols() == a.rows());
+  return bicgstab_any(SerialBackend{}, a, m, b, x, opts);
+}
+
+const char* to_string(KrylovKind k) {
+  switch (k) {
+    case KrylovKind::kPcg:
+      return "pcg";
+    case KrylovKind::kGmres:
+      return "gmres";
+    case KrylovKind::kBicgstab:
+      return "bicgstab";
   }
-
-  std::vector<std::vector<real>> basis;  // Arnoldi vectors v_0..v_k
-  // Hessenberg in compact column form + Givens rotation coefficients.
-  std::vector<std::vector<real>> hcols;
-  std::vector<real> cs(static_cast<std::size_t>(restart) + 1);
-  std::vector<real> sn(static_cast<std::size_t>(restart) + 1);
-  std::vector<real> g(static_cast<std::size_t>(restart) + 1);
-  std::vector<real> r(n), w(n), z(n);
-
-  int total_iters = 0;
-  while (total_iters < opts.max_iters) {
-    // (Re)start: r = b - A x.
-    a.apply(x, r);
-    waxpby(1, b, -1, r, r);
-    real rnorm = nrm2(r);
-    result.final_relres = rnorm / bnorm;
-    if (krylov_converged(rnorm, bnorm, opts.rtol)) {
-      result.converged = true;
-      return result;
-    }
-
-    basis.clear();
-    hcols.clear();
-    basis.push_back(std::vector<real>(r.begin(), r.end()));
-    scale(1 / rnorm, basis[0]);
-    std::fill(g.begin(), g.end(), real{0});
-    g[0] = rnorm;
-
-    int k = 0;
-    for (; k < restart && total_iters < opts.max_iters; ++k) {
-      // w = A M^{-1} v_k (right preconditioning).
-      if (m != nullptr) {
-        m->apply(basis[k], z);
-        a.apply(z, w);
-      } else {
-        a.apply(basis[k], w);
-      }
-      // Modified Gram-Schmidt.
-      std::vector<real> h(static_cast<std::size_t>(k) + 2, 0);
-      for (int i = 0; i <= k; ++i) {
-        h[i] = dot(w, basis[i]);
-        axpy(-h[i], basis[i], w);
-      }
-      h[k + 1] = nrm2(w);
-      const real subdiag = h[k + 1];
-      if (h[k + 1] > 0) {
-        basis.push_back(std::vector<real>(w.begin(), w.end()));
-        scale(1 / h[k + 1], basis.back());
-      }
-      // Apply previous Givens rotations to the new column.
-      for (int i = 0; i < k; ++i) {
-        const real t = cs[i] * h[i] + sn[i] * h[i + 1];
-        h[i + 1] = -sn[i] * h[i] + cs[i] * h[i + 1];
-        h[i] = t;
-      }
-      // New rotation to annihilate h[k+1].
-      const real denom = std::sqrt(h[k] * h[k] + h[k + 1] * h[k + 1]);
-      if (denom == 0) {
-        cs[k] = 1;
-        sn[k] = 0;
-      } else {
-        cs[k] = h[k] / denom;
-        sn[k] = h[k + 1] / denom;
-      }
-      h[k] = cs[k] * h[k] + sn[k] * h[k + 1];
-      h[k + 1] = 0;
-      g[k + 1] = -sn[k] * g[k];
-      g[k] = cs[k] * g[k];
-      hcols.push_back(std::move(h));
-      ++total_iters;
-      result.iterations = total_iters;
-      rnorm = std::fabs(g[k + 1]);
-      if (opts.track_history) result.history.push_back(rnorm);
-      if (krylov_converged(rnorm, bnorm, opts.rtol) || subdiag == 0) {
-        ++k;
-        break;
-      }
-    }
-
-    // Solve the k x k triangular system and update x.
-    std::vector<real> y(static_cast<std::size_t>(k));
-    for (int i = k - 1; i >= 0; --i) {
-      real sum = g[i];
-      for (int jj = i + 1; jj < k; ++jj) sum -= hcols[jj][i] * y[jj];
-      PROM_CHECK_MSG(hcols[i][i] != 0, "GMRES breakdown: singular H");
-      y[i] = sum / hcols[i][i];
-    }
-    std::fill(z.begin(), z.end(), real{0});
-    for (int i = 0; i < k; ++i) axpy(y[i], basis[i], z);
-    if (m != nullptr) {
-      m->apply(z, w);
-      axpy(1, w, x);
-    } else {
-      axpy(1, z, x);
-    }
-    result.final_relres = rnorm / bnorm;
-    if (krylov_converged(rnorm, bnorm, opts.rtol)) {
-      result.converged = true;
-      return result;
-    }
-  }
-  // Final true-residual check.
-  a.apply(x, r);
-  waxpby(1, b, -1, r, r);
-  result.final_relres = nrm2(r) / bnorm;
-  result.converged = result.final_relres <= opts.rtol;
-  return result;
+  return "?";
 }
 
 }  // namespace prom::la

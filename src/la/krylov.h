@@ -73,4 +73,23 @@ KrylovResult gmres(const LinearOperator& a, const LinearOperator* m,
                    std::span<const real> b, std::span<real> x,
                    const GmresOptions& opts = {});
 
+/// BiCGStab with optional *right* preconditioning (`m` may be null): the
+/// short-recurrence companion to `gmres` for non-symmetric systems — no
+/// growing Arnoldi basis, at the price of a less monotone residual.
+KrylovResult bicgstab(const LinearOperator& a, const LinearOperator* m,
+                      std::span<const real> b, std::span<real> x,
+                      const KrylovOptions& opts = {});
+
+/// Which outer Krylov driver a multigrid solve wraps the V/FMG
+/// preconditioner in. PCG is correct only for SPD operators (elasticity,
+/// pure-diffusion scalars); non-symmetric operators (SUPG
+/// advection–diffusion) take GMRES or BiCGStab.
+enum class KrylovKind {
+  kPcg,
+  kGmres,
+  kBicgstab,
+};
+
+const char* to_string(KrylovKind k);
+
 }  // namespace prom::la

@@ -9,6 +9,8 @@ void HierarchyCycleView::coarse_solve(std::span<const real> b,
     lv.sparse_direct->solve(b, x);
   } else if (lv.direct != nullptr) {
     lv.direct->solve(b, x);
+  } else if (lv.direct_lu != nullptr) {
+    lv.direct_lu->solve(b, x);
   } else {
     // Single-level hierarchy: a few smoothing steps stand in.
     for (int s = 0; s < 4; ++s) lv.smoother->smooth(b, x);

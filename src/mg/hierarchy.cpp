@@ -59,26 +59,58 @@ Hierarchy Hierarchy::build_grids(const mesh::Mesh& mesh,
   PROM_CHECK(dofmap.num_vertices() == mesh.num_vertices());
   PROM_CHECK(a_fine.nrows == dofmap.num_free() &&
              a_fine.ncols == dofmap.num_free());
+  std::vector<char> dof_free(static_cast<std::size_t>(dofmap.num_dofs()));
+  for (idx d = 0; d < dofmap.num_dofs(); ++d) {
+    dof_free[d] = dofmap.is_constrained(d) ? 0 : 1;
+  }
+  return build_grids_any(mesh, 3, std::move(dof_free), dofmap.free_dofs(),
+                         std::move(a_fine), opts);
+}
 
+Hierarchy Hierarchy::build_scalar(const mesh::Mesh& mesh,
+                                  const fem::ScalarDofMap& dofmap,
+                                  la::Csr a_fine, const MgOptions& opts) {
+  Hierarchy h = build_grids_scalar(mesh, dofmap, std::move(a_fine), opts);
+  h.build_operators();
+  return h;
+}
+
+Hierarchy Hierarchy::build_grids_scalar(const mesh::Mesh& mesh,
+                                        const fem::ScalarDofMap& dofmap,
+                                        la::Csr a_fine,
+                                        const MgOptions& opts) {
+  PROM_CHECK(dofmap.num_vertices() == mesh.num_vertices());
+  PROM_CHECK(a_fine.nrows == dofmap.num_free() &&
+             a_fine.ncols == dofmap.num_free());
+  std::vector<char> dof_free(static_cast<std::size_t>(dofmap.num_dofs()));
+  for (idx v = 0; v < dofmap.num_dofs(); ++v) {
+    dof_free[v] = dofmap.is_constrained(v) ? 0 : 1;
+  }
+  return build_grids_any(mesh, 1, std::move(dof_free), dofmap.free_dofs(),
+                         std::move(a_fine), opts);
+}
+
+Hierarchy Hierarchy::build_grids_any(const mesh::Mesh& mesh, int ncomp,
+                                     std::vector<char> dof_free,
+                                     std::vector<idx> fine_free,
+                                     la::Csr a_fine, const MgOptions& opts) {
   Hierarchy h;
   h.opts_ = opts;
+  h.block_size_ = ncomp;
 
   // Level 0: the application-provided grid.
   MgLevel fine;
   fine.a = std::move(a_fine);
   fine.num_vertices = mesh.num_vertices();
-  fine.free_dofs = dofmap.free_dofs();
+  fine.free_dofs = std::move(fine_free);
   h.levels_.push_back(std::move(fine));
 
-  // Geometry of the level currently being coarsened.
+  // Geometry of the level currently being coarsened. The coarsening is
+  // purely vertex-based — identical grids for any block size; only the
+  // dof expansion of the restriction differs.
   std::vector<Vec3> coords = mesh.coords();
   graph::Graph vgraph = mesh.vertex_graph();
   coarsen::Classification cls = coarsen::classify_mesh(mesh, opts.coarsen.face);
-  // Per-vertex dof constraint flags, inherited down the hierarchy.
-  std::vector<char> dof_free(static_cast<std::size_t>(3) * mesh.num_vertices());
-  for (idx d = 0; d < dofmap.num_dofs(); ++d) {
-    dof_free[d] = dofmap.is_constrained(d) ? 0 : 1;
-  }
 
   for (int l = 0; l + 1 < opts.max_levels; ++l) {
     const idx n_free = static_cast<idx>(h.levels_.back().free_dofs.size());
@@ -97,19 +129,20 @@ Hierarchy Hierarchy::build_grids(const mesh::Mesh& mesh,
     }
 
     // Coarse constraint flags + free dof lists for the dof expansion.
-    std::vector<char> coarse_dof_free(static_cast<std::size_t>(3) * n_coarse);
+    std::vector<char> coarse_dof_free(static_cast<std::size_t>(ncomp) *
+                                      n_coarse);
     std::vector<idx> coarse_free;
     for (idx c = 0; c < n_coarse; ++c) {
-      for (int comp = 0; comp < 3; ++comp) {
-        const char f = dof_free[3 * cl.selected[c] + comp];
-        coarse_dof_free[3 * c + comp] = f;
-        if (f) coarse_free.push_back(3 * c + comp);
+      for (int comp = 0; comp < ncomp; ++comp) {
+        const char f = dof_free[ncomp * cl.selected[c] + comp];
+        coarse_dof_free[ncomp * c + comp] = f;
+        if (f) coarse_free.push_back(ncomp * c + comp);
       }
     }
 
     MgLevel next;
     next.r = coarsen::expand_restriction_to_dofs(
-        cl.r_vertex, h.levels_.back().free_dofs, coarse_free);
+        cl.r_vertex, h.levels_.back().free_dofs, coarse_free, ncomp);
     next.num_vertices = n_coarse;
     next.free_dofs = std::move(coarse_free);
     next.selected_from_fine = cl.selected;
@@ -186,10 +219,26 @@ void Hierarchy::build_operators() {
     const bool coarsest = l + 1 == levels_.size();
     levels_[l].smoother.reset();
     levels_[l].direct.reset();
+    levels_[l].direct_lu.reset();
     levels_[l].sparse_direct.reset();
     levels_[l].a_bsr.reset();  // stale node-block view; enable_bsr rebuilds
     if (coarsest && levels_.size() > 1 &&
-        opts_.coarse_solver == CoarseSolverKind::kSparseCholesky) {
+        opts_.coarse_solver == CoarseSolverKind::kDenseLu) {
+      // Partial-pivoting LU: the non-symmetric coarse solve. No shift
+      // escalation — pivoting handles anything short of exact
+      // singularity, which PROM_CHECK rejects.
+      const la::Csr& a = levels_[l].a;
+      la::DenseMatrix dense(a.nrows, a.ncols);
+      for (idx i = 0; i < a.nrows; ++i) {
+        for (nnz_t k = a.rowptr[i]; k < a.rowptr[i + 1]; ++k) {
+          dense(i, a.colidx[k]) = a.vals[k];
+        }
+      }
+      levels_[l].direct_lu = std::make_unique<la::DenseLu>(dense);
+      PROM_CHECK_MSG(levels_[l].direct_lu->ok(),
+                     "coarsest-level LU factorization failed (singular)");
+    } else if (coarsest && levels_.size() > 1 &&
+               opts_.coarse_solver == CoarseSolverKind::kSparseCholesky) {
       const la::Csr& a = levels_[l].a;
       levels_[l].sparse_direct = std::make_unique<la::SparseCholesky>(a);
       if (!levels_[l].sparse_direct->ok()) {
@@ -259,6 +308,8 @@ idx agglom_min_rows_from_env() {
 
 void Hierarchy::enable_bsr() {
   const obs::Span span("setup.enable_bsr");
+  PROM_CHECK_MSG(block_size_ == 3,
+                 "node-block (bsr3) format requires block size 3");
   for (MgLevel& lv : levels_) {
     PROM_CHECK(static_cast<idx>(lv.free_dofs.size()) == lv.a.nrows);
     la::NodeBlockMap map = la::node_block_map(lv.free_dofs);
@@ -272,6 +323,8 @@ void Hierarchy::enable_mf(const mesh::Mesh& mesh,
                           std::span<const fem::Material> materials,
                           const fem::DofMap& dofmap, bool bbar) {
   PROM_CHECK(!levels_.empty());
+  PROM_CHECK_MSG(block_size_ == 3,
+                 "matrix-free elasticity format requires block size 3");
   fem::MatrixFreeOperator op =
       fem::MatrixFreeOperator::build(mesh, materials, dofmap, bbar);
   PROM_CHECK_MSG(op.rows() == levels_[0].a.nrows,

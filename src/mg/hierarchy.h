@@ -12,6 +12,7 @@
 #include "common/config.h"
 #include "fem/assembly.h"
 #include "fem/matrix_free.h"
+#include "fem/scalar.h"
 #include "la/bsr.h"
 #include "la/csr.h"
 #include "la/dense.h"
@@ -47,7 +48,11 @@ MatrixFormat matrix_format_from_env();
 /// a negative or non-numeric value.
 idx agglom_min_rows_from_env();
 
-enum class CoarseSolverKind : std::uint8_t { kDense, kSparseCholesky };
+/// kDense / kSparseCholesky factor symmetric operators (LDL^T /
+/// Cholesky); kDenseLu is the general-matrix option required by the
+/// non-symmetric scalar classes (SUPG advection–diffusion), where the
+/// Galerkin coarse operators are non-symmetric too.
+enum class CoarseSolverKind : std::uint8_t { kDense, kSparseCholesky, kDenseLu };
 
 struct MgOptions {
   int max_levels = 12;
@@ -93,6 +98,7 @@ struct MgLevel {
   std::unique_ptr<fem::MatrixFreeOperator> a_mf;
   std::unique_ptr<la::Smoother> smoother;        // all but coarsest
   std::unique_ptr<la::DenseLdlt> direct;         // coarsest (dense mode)
+  std::unique_ptr<la::DenseLu> direct_lu;        // coarsest (dense LU mode)
   std::unique_ptr<la::SparseCholesky> sparse_direct;  // coarsest (sparse)
 
   // Grid diagnostics (Figure 7 / DESIGN.md hierarchy stats).
@@ -118,6 +124,19 @@ class Hierarchy {
   static Hierarchy build_grids(const mesh::Mesh& mesh,
                                const fem::DofMap& dofmap, la::Csr a_fine,
                                const MgOptions& opts = {});
+
+  /// Scalar (block-size-1) counterpart of build: same MIS coarsening on
+  /// the vertex graph, same Galerkin chain, but one dof per vertex —
+  /// restriction rows are the bare vertex weights (no Kronecker I_3).
+  static Hierarchy build_scalar(const mesh::Mesh& mesh,
+                                const fem::ScalarDofMap& dofmap,
+                                la::Csr a_fine, const MgOptions& opts = {});
+
+  /// Grids-only scalar build (see build_grids).
+  static Hierarchy build_grids_scalar(const mesh::Mesh& mesh,
+                                      const fem::ScalarDofMap& dofmap,
+                                      la::Csr a_fine,
+                                      const MgOptions& opts = {});
 
   /// Builds a hierarchy from an explicit operator/restriction chain
   /// (restrictions[l] maps level l free dofs -> level l+1); used by the
@@ -155,14 +174,25 @@ class Hierarchy {
   const MgLevel& level(int l) const { return levels_[l]; }
   const MgOptions& options() const { return opts_; }
 
+  /// Dofs per vertex of the operators in this hierarchy: 3 for the
+  /// elasticity stack, 1 for the scalar equation classes. The distributed
+  /// build (dla::DistHierarchy) derives vertex ownership from free dofs
+  /// through this.
+  int block_size() const { return block_size_; }
+
   /// One-line-per-level summary (vertices, dofs, nnz) for logs/benches.
   std::string describe() const;
 
  private:
+  static Hierarchy build_grids_any(const mesh::Mesh& mesh, int ncomp,
+                                   std::vector<char> dof_free,
+                                   std::vector<idx> fine_free, la::Csr a_fine,
+                                   const MgOptions& opts);
   void build_operators();
 
   MgOptions opts_;
   std::vector<MgLevel> levels_;
+  int block_size_ = 3;
 };
 
 }  // namespace prom::mg

@@ -35,6 +35,30 @@ la::KrylovResult mg_pcg_solve(const Hierarchy& h, std::span<const real> b,
   return la::pcg(a, precond, b, x, to_krylov_options(opts));
 }
 
+la::KrylovResult mg_krylov_solve(const Hierarchy& h, std::span<const real> b,
+                                 std::span<real> x,
+                                 const MgSolveOptions& opts) {
+  if (opts.krylov == la::KrylovKind::kPcg) {
+    return mg_pcg_solve(h, b, x, opts);
+  }
+  const MgPreconditioner precond(h, opts.cycle, opts.format);
+  const la::CsrOperator a_csr(h.level(0).a);
+  const la::LinearOperator* a = &a_csr;
+  if (opts.format == MatrixFormat::kBsr3) {
+    PROM_CHECK_MSG(h.level(0).a_bsr != nullptr,
+                   "MatrixFormat::kBsr3 requires Hierarchy::enable_bsr()");
+    a = h.level(0).a_bsr.get();
+  } else if (opts.format == MatrixFormat::kMf) {
+    PROM_CHECK_MSG(h.level(0).a_mf != nullptr,
+                   "MatrixFormat::kMf requires Hierarchy::enable_mf()");
+    a = h.level(0).a_mf.get();
+  }
+  if (opts.krylov == la::KrylovKind::kGmres) {
+    return la::gmres(*a, &precond, b, x, to_gmres_options(opts));
+  }
+  return la::bicgstab(*a, &precond, b, x, to_krylov_options(opts));
+}
+
 std::vector<la::KrylovResult> mg_pcg_solve_mv(const Hierarchy& h,
                                               const la::MultiVec& b,
                                               la::MultiVec& x,

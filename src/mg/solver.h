@@ -41,6 +41,12 @@ struct MgSolveOptions {
   /// kBsr3 applies every level operator through its node-block view
   /// (requires Hierarchy::enable_bsr() first).
   MatrixFormat format = MatrixFormat::kCsr;
+  /// Outer Krylov driver (mg_krylov_solve / dist_mg_krylov_solve): PCG
+  /// for SPD operators, GMRES/BiCGStab for non-symmetric ones. The MG
+  /// preconditioner is a fixed linear operator (the cycle never adapts to
+  /// its input), so right-preconditioned GMRES is valid as-is.
+  la::KrylovKind krylov = la::KrylovKind::kPcg;
+  int restart = 50;  ///< GMRES subspace dimension per cycle
 };
 
 /// The single MgSolveOptions -> KrylovOptions mapping, shared by the
@@ -55,10 +61,29 @@ inline la::KrylovOptions to_krylov_options(const MgSolveOptions& opts) {
   return kopts;
 }
 
+/// The MgSolveOptions -> GmresOptions mapping, shared by the serial and
+/// distributed MG-GMRES drivers (same tolerance discipline as
+/// to_krylov_options).
+inline la::GmresOptions to_gmres_options(const MgSolveOptions& opts) {
+  la::GmresOptions gopts;
+  gopts.rtol = opts.rtol;
+  gopts.max_iters = opts.max_iters;
+  gopts.restart = opts.restart;
+  gopts.track_history = opts.track_history;
+  return gopts;
+}
+
 /// Solves A_0 x = b with MG-preconditioned CG; x holds the initial guess.
 la::KrylovResult mg_pcg_solve(const Hierarchy& h, std::span<const real> b,
                               std::span<real> x,
                               const MgSolveOptions& opts = {});
+
+/// Solves A_0 x = b with the Krylov driver selected by `opts.krylov` —
+/// MG-preconditioned CG, GMRES(m), or BiCGStab. The non-symmetric drivers
+/// right-precondition with the same cycle.
+la::KrylovResult mg_krylov_solve(const Hierarchy& h, std::span<const real> b,
+                                 std::span<real> x,
+                                 const MgSolveOptions& opts = {});
 
 /// Solves A_0 X = B for k right-hand sides with one blocked MG-PCG run:
 /// every operator application and cycle serves all columns at once, and

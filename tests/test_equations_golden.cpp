@@ -1,0 +1,145 @@
+// Golden-history regressions for the scalar equation classes through the
+// solve service: the jump-coefficient Poisson problem (MG-PCG) and the
+// SUPG advection-diffusion problem (MG-GMRES) on 2 virtual ranks must
+// reproduce their committed residual histories
+// (tests/golden/poisson_het.json, tests/golden/advdiff.json — obs::Report
+// files), catching any change to the scalar assembly, the block-size-1
+// hierarchy, or the non-symmetric Krylov drivers that alters convergence.
+// Cached repeat requests must carry no setup spans (the service contract).
+// Regenerate after an *intentional* change with PROM_UPDATE_GOLDEN=1.
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "app/driver.h"
+#include "app/service.h"
+#include "obs/report.h"
+#include "obs/trace.h"
+
+#ifndef PROM_GOLDEN_DIR
+#error "PROM_GOLDEN_DIR must point at the committed golden files"
+#endif
+
+namespace prom {
+namespace {
+
+struct GoldenCase {
+  const char* name;         ///< golden file stem and mesh id
+  app::EquationClass eq;
+  const char* series;       ///< obs residual series of the expected driver
+};
+
+struct ServiceOutcome {
+  app::SolveResponse cold;
+  app::SolveResponse warm;
+  obs::Report cold_report;  ///< tracing window around the cold request
+  obs::Report warm_report;  ///< tracing window around the cached request
+};
+
+app::ModelProblem make_problem(app::EquationClass eq) {
+  return eq == app::EquationClass::kPoissonHet
+             ? app::make_poisson_het_problem(8, 1e3)
+             : app::make_advdiff_problem(8, 10.0);
+}
+
+ServiceOutcome run_case(const GoldenCase& c) {
+  app::ServiceConfig sc;
+  sc.nranks = 2;
+  sc.mg = app::default_mg_options(c.eq);
+  sc.mg.coarsest_max_dofs = 60;
+  app::SolveService service(sc);
+  service.register_problem(c.name, make_problem(c.eq));
+
+  app::SolveRequest req;
+  req.mesh_id = c.name;
+  req.rtol = 1e-8;
+  req.max_iters = 200;
+  req.track_history = true;
+
+  obs::Tracer& tracer = obs::Tracer::instance();
+  const bool was_tracing = obs::tracing();
+  ServiceOutcome out;
+
+  tracer.set_enabled(true);
+  std::int64_t mark = obs::Tracer::now_ns();
+  out.cold = service.solve(req);
+  out.cold_report = obs::build_report(mark);
+
+  mark = obs::Tracer::now_ns();
+  out.warm = service.solve(req);
+  out.warm_report = obs::build_report(mark);
+  tracer.set_enabled(was_tracing);
+  return out;
+}
+
+const std::vector<double>& residual_series(const obs::Report& rep,
+                                           const char* name) {
+  const obs::SeriesEntry* s = rep.find_series(name);
+  EXPECT_NE(s, nullptr) << "report lacks the " << name << " series";
+  static const std::vector<double> empty;
+  return s != nullptr ? s->values : empty;
+}
+
+class EquationsGolden : public ::testing::TestWithParam<GoldenCase> {};
+
+TEST_P(EquationsGolden, MatchesCommittedHistoryAndSkipsCachedSetup) {
+  const GoldenCase& c = GetParam();
+  const ServiceOutcome out = run_case(c);
+  ASSERT_EQ(out.cold.results.size(), 1u);
+  ASSERT_TRUE(out.cold.results[0].converged);
+  EXPECT_FALSE(out.cold.cache_hit);
+
+  // The cold request emits every setup phase; the cached one none of them
+  // (its window must hold only the solve).
+  for (const char* phase :
+       {"partition", "fine_grid", "mesh_setup", "matrix_setup"}) {
+    EXPECT_NE(out.cold_report.phase(phase), nullptr) << phase;
+    EXPECT_EQ(out.warm_report.phase(phase), nullptr) << phase;
+  }
+  EXPECT_NE(out.warm_report.phase("solve"), nullptr);
+  EXPECT_TRUE(out.warm.cache_hit);
+  ASSERT_TRUE(out.warm.results[0].converged);
+  EXPECT_EQ(out.warm.results[0].iterations, out.cold.results[0].iterations);
+
+  // The residual series of the expected Krylov driver — and no other.
+  const std::vector<double>& hist = residual_series(out.cold_report, c.series);
+  ASSERT_FALSE(hist.empty());
+  const char* other = c.eq == app::EquationClass::kPoissonHet
+                          ? "gmres.residual"
+                          : "pcg.residual";
+  EXPECT_EQ(out.cold_report.find_series(other), nullptr)
+      << "unexpected " << other << " series";
+
+  const std::string path =
+      std::string(PROM_GOLDEN_DIR) + "/" + c.name + ".json";
+  if (std::getenv("PROM_UPDATE_GOLDEN") != nullptr) {
+    out.cold_report.write_json(path);
+    GTEST_SKIP() << "golden file regenerated at " << path;
+  }
+  const obs::Report golden = obs::Report::read_json(path);
+  const std::vector<double>& hg = residual_series(golden, c.series);
+  ASSERT_EQ(hist.size(), hg.size())
+      << "iteration count drifted from the golden history; if intended, "
+         "regenerate with PROM_UPDATE_GOLDEN=1";
+  // The report writer serializes at 9 significant digits, so the committed
+  // values carry ~5e-10 relative rounding; 1e-8 still pins the history.
+  for (std::size_t i = 0; i < hg.size(); ++i) {
+    EXPECT_NEAR(hist[i], hg[i], 1e-8 * hg[0]) << "golden entry " << i;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Classes, EquationsGolden,
+    ::testing::Values(
+        GoldenCase{"poisson_het", app::EquationClass::kPoissonHet,
+                   "pcg.residual"},
+        GoldenCase{"advdiff", app::EquationClass::kAdvDiff,
+                   "gmres.residual"}),
+    [](const ::testing::TestParamInfo<GoldenCase>& info) {
+      return std::string(info.param.name);
+    });
+
+}  // namespace
+}  // namespace prom

@@ -12,6 +12,7 @@
 #include "app/driver.h"
 #include "dla/dist_mg.h"
 #include "fem/assembly.h"
+#include "fem/scalar.h"
 #include "la/vec.h"
 #include "mg/cycle.h"
 #include "mg/hierarchy.h"
@@ -42,6 +43,27 @@ Problem build_problem(mg::SmootherKind kind) {
   return out;
 }
 
+/// Scalar (block-size-1) problem of the given class on the same small box.
+/// Point Jacobi both serially and distributed (processor-block Jacobi
+/// degenerates to it), so the smoother is backend-identical like the
+/// elasticity cases above.
+Problem build_scalar_problem(app::EquationClass eq) {
+  const app::ModelProblem p = eq == app::EquationClass::kPoissonHet
+                                  ? app::make_poisson_het_problem(7, 1e3)
+                                  : app::make_advdiff_problem(7, 20.0);
+  fem::ScalarSystem sys =
+      fem::assemble_scalar_system(p.mesh, p.scalar_dofmap, p.coeffs);
+  mg::MgOptions mo = app::default_mg_options(eq);
+  mo.smoother = mg::SmootherKind::kJacobi;
+  mo.coarsest_max_dofs = 30;
+  Problem out;
+  out.rhs = std::move(sys.rhs);
+  out.num_vertices = p.mesh.num_vertices();
+  out.hierarchy = mg::Hierarchy::build_scalar(p.mesh, p.scalar_dofmap,
+                                              std::move(sys.stiffness), mo);
+  return out;
+}
+
 /// Contiguous-block vertex ownership (monotone in vertex id), the layout
 /// whose induced per-level dof permutations stay closest to the serial
 /// ordering.
@@ -54,7 +76,7 @@ std::vector<idx> block_owner(idx nv, int p) {
   return owner;
 }
 
-enum class Run { kVcycle, kFmg, kPcg };
+enum class Run { kVcycle, kFmg, kPcg, kKrylov };
 
 struct DistOutcome {
   std::vector<real> x;  ///< solution mapped back to the serial ordering
@@ -88,6 +110,10 @@ DistOutcome run_distributed(const Problem& prob, int p, Run what,
       case Run::kPcg:
         out.results[comm.rank()] =
             dist_mg_pcg_solve(comm, dist, b_local, x_local, so);
+        break;
+      case Run::kKrylov:
+        out.results[comm.rank()] =
+            dist_mg_krylov_solve(comm, dist, b_local, x_local, so);
         break;
     }
     // Ranks own disjoint ranges: the scatter back is race-free.
@@ -163,6 +189,93 @@ TEST_P(EquivRanks, PcgHistoryMatchesSerial) {
       EXPECT_EQ(other.history[i], d.history[i]) << "rank " << r;
     }
   }
+}
+
+/// Shared check: the distributed result reproduces the serial history to
+/// 1e-12 of ||b|| with the identical iteration count, and every rank holds
+/// the bit-identical KrylovResult.
+void expect_histories_match(const la::KrylovResult& ref,
+                            const DistOutcome& got, int p) {
+  const la::KrylovResult& d = got.results[0];
+  EXPECT_TRUE(d.converged);
+  EXPECT_EQ(d.iterations, ref.iterations);
+  ASSERT_EQ(d.history.size(), ref.history.size());
+  for (std::size_t i = 0; i < ref.history.size(); ++i) {
+    EXPECT_NEAR(d.history[i], ref.history[i], 1e-12 * ref.history[0])
+        << "history entry " << i;
+  }
+  EXPECT_NEAR(d.final_relres, ref.final_relres, 1e-12);
+  for (int r = 1; r < p; ++r) {
+    const la::KrylovResult& other = got.results[r];
+    EXPECT_EQ(other.iterations, d.iterations);
+    EXPECT_EQ(other.converged, d.converged);
+    EXPECT_EQ(other.final_relres, d.final_relres);
+    ASSERT_EQ(other.history.size(), d.history.size());
+    for (std::size_t i = 0; i < d.history.size(); ++i) {
+      EXPECT_EQ(other.history[i], d.history[i]) << "rank " << r;
+    }
+  }
+}
+
+// Scalar (block-size-1) hierarchy, SPD class: the same backend-generic
+// PCG on a one-dof-per-vertex operator chain — MIS grids, Galerkin chain,
+// halo plans, and agglomeration all at block size 1.
+TEST_P(EquivRanks, ScalarPoissonPcgHistoryMatchesSerial) {
+  const Problem prob =
+      build_scalar_problem(app::EquationClass::kPoissonHet);
+  ASSERT_GE(prob.hierarchy.num_levels(), 2);
+  ASSERT_EQ(prob.hierarchy.block_size(), 1);
+  mg::MgSolveOptions so;
+  so.rtol = 1e-8;
+  so.track_history = true;
+  std::vector<real> x_ref(prob.rhs.size(), 0);
+  const la::KrylovResult ref =
+      mg::mg_pcg_solve(prob.hierarchy, prob.rhs, x_ref, so);
+  ASSERT_TRUE(ref.converged);
+  ASSERT_FALSE(ref.history.empty());
+  const DistOutcome got = run_distributed(prob, GetParam(), Run::kPcg, so);
+  expect_histories_match(ref, got, GetParam());
+  expect_vectors_close(x_ref, got.x, 1e-10);
+}
+
+// Non-symmetric class: right-preconditioned GMRES. The Hessenberg/Givens
+// recurrence is replicated scalar state derived purely from backend
+// reductions, so the distributed driver must track the serial history as
+// tightly as PCG does.
+TEST_P(EquivRanks, AdvdiffGmresHistoryMatchesSerial) {
+  const Problem prob = build_scalar_problem(app::EquationClass::kAdvDiff);
+  ASSERT_GE(prob.hierarchy.num_levels(), 2);
+  ASSERT_EQ(prob.hierarchy.block_size(), 1);
+  mg::MgSolveOptions so;
+  so.rtol = 1e-8;
+  so.track_history = true;
+  so.krylov = la::KrylovKind::kGmres;
+  std::vector<real> x_ref(prob.rhs.size(), 0);
+  const la::KrylovResult ref =
+      mg::mg_krylov_solve(prob.hierarchy, prob.rhs, x_ref, so);
+  ASSERT_TRUE(ref.converged);
+  ASSERT_FALSE(ref.history.empty());
+  const DistOutcome got = run_distributed(prob, GetParam(), Run::kKrylov, so);
+  expect_histories_match(ref, got, GetParam());
+  expect_vectors_close(x_ref, got.x, 1e-8);
+}
+
+// Same operator through the short-recurrence driver (rho/alpha/omega are
+// replicated scalars from the same reductions).
+TEST_P(EquivRanks, AdvdiffBicgstabHistoryMatchesSerial) {
+  const Problem prob = build_scalar_problem(app::EquationClass::kAdvDiff);
+  mg::MgSolveOptions so;
+  so.rtol = 1e-8;
+  so.track_history = true;
+  so.krylov = la::KrylovKind::kBicgstab;
+  std::vector<real> x_ref(prob.rhs.size(), 0);
+  const la::KrylovResult ref =
+      mg::mg_krylov_solve(prob.hierarchy, prob.rhs, x_ref, so);
+  ASSERT_TRUE(ref.converged);
+  ASSERT_FALSE(ref.history.empty());
+  const DistOutcome got = run_distributed(prob, GetParam(), Run::kKrylov, so);
+  expect_histories_match(ref, got, GetParam());
+  expect_vectors_close(x_ref, got.x, 1e-8);
 }
 
 // Node-block (BAIJ) solve path: the distributed bsr3 PCG must reproduce
