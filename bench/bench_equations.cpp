@@ -111,13 +111,26 @@ int main() {
   }
   print_rows("peclet", peclet_rows);
 
-  std::printf("shape claim: PCG iterations stay roughly flat across six\n"
-              "orders of coefficient contrast, and GMRES iterations grow\n"
-              "only mildly with the Péclet number.\n");
+  // Reaction-dominated Helmholtz-like class (-div(grad u) + c u = f):
+  // the zeroth-order term only adds diagonal mass, so MG-PCG iterations
+  // should *drop* as c grows (the operator becomes more diagonally
+  // dominant and the smoother more effective).
+  std::vector<Row> reaction_rows;
+  for (const double reaction : {1.0, 1e3, 1e6}) {
+    reaction_rows.push_back(
+        run(app::make_reaction_problem(n, reaction), reaction));
+  }
+  print_rows("reaction", reaction_rows);
+
+  std::printf("shape claims: PCG iterations stay roughly flat across six\n"
+              "orders of coefficient contrast, GMRES iterations grow only\n"
+              "mildly with the Péclet number, and reaction dominance only\n"
+              "helps the symmetric solver.\n");
 
   bool ok = true;
   for (const Row& r : contrast_rows) ok = ok && r.converged;
   for (const Row& r : peclet_rows) ok = ok && r.converged;
+  for (const Row& r : reaction_rows) ok = ok && r.converged;
 
   std::FILE* json = std::fopen("BENCH_equations.json", "w");
   if (json == nullptr) {
@@ -126,7 +139,8 @@ int main() {
   }
   std::fprintf(json, "{\n  \"bench\": \"equations\",\n  \"n\": %d,\n", n);
   write_rows(json, "contrast_sweep", "contrast", contrast_rows, false);
-  write_rows(json, "peclet_sweep", "peclet", peclet_rows, true);
+  write_rows(json, "peclet_sweep", "peclet", peclet_rows, false);
+  write_rows(json, "reaction_sweep", "reaction", reaction_rows, true);
   std::fprintf(json, "}\n");
   std::fclose(json);
   std::printf("wrote BENCH_equations.json\n");

@@ -37,7 +37,7 @@ DEFAULT_FLOOR_NS = 10_000.0  # 10 us
 DEFAULT_FLOOR_S = 1e-3  # 1 ms
 
 DEFAULT_FILES = ("BENCH_kernels.json", "BENCH_halo.json", "BENCH_service.json",
-                 "BENCH_equations.json")
+                 "BENCH_equations.json", "BENCH_refine.json")
 
 
 def flatten(prefix: str, node, out: dict[str, float]) -> None:

@@ -23,7 +23,8 @@ cmake --preset tsan
 cmake --build --preset tsan -j"$(nproc)" --target \
   test_threads_determinism test_parx_stress test_la_bsr_prop \
   test_serial_dist_equiv test_mf_equiv test_halo test_obs test_service \
-  test_agglom test_scalar_assembly_prop test_equations_golden
+  test_agglom test_scalar_assembly_prop test_equations_golden \
+  test_dist_refine
 
 export TSAN_OPTIONS="halt_on_error=1 abort_on_error=1 ${TSAN_OPTIONS:-}"
 # Exercise the pool beyond the core count regardless of the CI machine.
@@ -46,5 +47,9 @@ export PROM_THREADS="${PROM_THREADS:-4}"
 # service path.
 ./build-tsan/tests/test_scalar_assembly_prop
 ./build-tsan/tests/test_equations_golden
+# Refined hierarchies: masked local smoothing and mesh repartitioning
+# across 1..8 rank threads, plus the whole refine pipeline across
+# kernel-thread counts.
+./build-tsan/tests/test_dist_refine
 
 echo "tsan gate: OK (no races reported)"

@@ -19,13 +19,19 @@
 // CSR path to rounding either way. PROM_EQUATION=poisson_het|advdiff
 // swaps the elasticity problem for a scalar equation class (jump-
 // coefficient Poisson under MG-PCG, SUPG advection-diffusion under
-// right-preconditioned MG-GMRES) on the same cube.
+// right-preconditioned MG-GMRES) on the same cube — scalar classes run
+// CSR only (PROM_MATRIX=bsr3|mf is rejected: no node blocks at block
+// size 1). PROM_REFINE=r runs r adaptive solve-estimate-mark-refine
+// rounds first (app/refine.h) and solves on the locally refined tet
+// mesh, with the refinement levels stacked above the MIS chain.
 #include <cstdio>
 #include <cstdlib>
 #include <utility>
 #include <vector>
 
 #include "app/driver.h"
+#include "app/refine.h"
+#include "common/error.h"
 #include "fem/assembly.h"
 #include "fem/scalar.h"
 #include "mesh/generate.h"
@@ -35,10 +41,24 @@
 
 namespace {
 
+void print_refined(const prom::app::AdaptiveLoop& loop) {
+  std::printf("adaptive refinement: %d rounds, unknowns",
+              static_cast<int>(loop.rounds.size()));
+  for (prom::idx u : loop.round_unknowns) std::printf(" %d", u);
+  std::printf(", %d cells\n", loop.final_mesh().num_cells());
+}
+
 /// The scalar-equation quickstart: same automatic coarsening, block size
 /// 1, and the equation class's default smoother + Krylov driver.
-int run_scalar(prom::app::EquationClass eq, prom::idx n) {
+int run_scalar(prom::app::EquationClass eq, prom::idx n, int refine_rounds) {
   using namespace prom;
+  // Fail fast instead of silently solving in CSR: the scalar classes
+  // have no 3x3 node blocks for bsr3 and no elasticity element kernels
+  // for mf.
+  PROM_CHECK_MSG(mg::matrix_format_from_env() == mg::MatrixFormat::kCsr,
+                 "quickstart: scalar equation classes (poisson_het, advdiff) "
+                 "support only PROM_MATRIX=csr; bsr3 and mf are "
+                 "elasticity-only");
   app::ModelProblem p;
   {
     const obs::Span span("phase.mesh");
@@ -46,20 +66,32 @@ int run_scalar(prom::app::EquationClass eq, prom::idx n) {
             ? app::make_poisson_het_problem(n, 1e3)
             : app::make_advdiff_problem(n, 10.0);
   }
-  fem::ScalarSystem sys;
-  {
-    const obs::Span span("phase.fine_grid");
-    sys = fem::assemble_scalar_system(p.mesh, p.scalar_dofmap, p.coeffs);
-  }
-  std::printf("assembled %d scalar unknowns (%lld nonzeros, %s)\n",
-              sys.stiffness.nrows,
-              static_cast<long long>(sys.stiffness.nnz()),
-              app::to_string(eq));
-
   const mg::MgOptions mo = app::default_mg_options(eq);
-  std::vector<real> rhs = std::move(sys.rhs);
+
+  std::vector<real> rhs;
   mg::Hierarchy hierarchy;
-  {
+  if (refine_rounds > 0) {
+    app::AdaptiveOptions ao;
+    ao.rounds = refine_rounds;
+    ao.mg = mo;
+    app::AdaptiveLoop loop = app::run_adaptive_refinement(p, ao);
+    print_refined(loop);
+    rhs = std::move(loop.sys.rhs);
+    const obs::Span span("phase.mesh_setup");
+    hierarchy = mg::Hierarchy::build_refined_scalar(
+        loop.mesh_ptrs(), loop.scalar_dofmap_ptrs(), loop.rounds,
+        std::move(loop.sys.stiffness), mo);
+  } else {
+    fem::ScalarSystem sys;
+    {
+      const obs::Span span("phase.fine_grid");
+      sys = fem::assemble_scalar_system(p.mesh, p.scalar_dofmap, p.coeffs);
+    }
+    std::printf("assembled %d scalar unknowns (%lld nonzeros, %s)\n",
+                sys.stiffness.nrows,
+                static_cast<long long>(sys.stiffness.nnz()),
+                app::to_string(eq));
+    rhs = std::move(sys.rhs);
     const obs::Span span("phase.mesh_setup");
     hierarchy = mg::Hierarchy::build_scalar(p.mesh, p.scalar_dofmap,
                                             std::move(sys.stiffness), mo);
@@ -84,12 +116,70 @@ int run_scalar(prom::app::EquationClass eq, prom::idx n) {
 
 }  // namespace
 
+namespace {
+
+/// Elasticity with PROM_REFINE > 0: the adaptive loop refines the
+/// (tet-split) cube where the error indicator is largest, then the solve
+/// runs on the refined hierarchy — refinement levels with local
+/// smoothing above the automatic MIS/Delaunay chain.
+int run_refined_elasticity(prom::idx n, int refine_rounds) {
+  using namespace prom;
+  app::ModelProblem p;
+  {
+    const obs::Span span("phase.mesh");
+    p = app::make_box_problem(n);
+  }
+  app::AdaptiveOptions ao;
+  ao.rounds = refine_rounds;
+  app::AdaptiveLoop loop = app::run_adaptive_refinement(p, ao);
+  print_refined(loop);
+
+  std::vector<real> rhs = std::move(loop.sys.rhs);
+  mg::Hierarchy hierarchy;
+  {
+    const obs::Span span("phase.mesh_setup");
+    hierarchy = mg::Hierarchy::build_refined(
+        loop.mesh_ptrs(), loop.dofmap_ptrs(), loop.rounds,
+        std::move(loop.sys.stiffness), {});
+  }
+  const mg::MatrixFormat format = mg::matrix_format_from_env();
+  {
+    const obs::Span span("phase.matrix_setup");
+    if (format == mg::MatrixFormat::kBsr3) hierarchy.enable_bsr();
+    if (format == mg::MatrixFormat::kMf) {
+      hierarchy.enable_mf(loop.final_mesh(), p.materials,
+                          loop.final_dofmap());
+    }
+  }
+  std::printf("%s", hierarchy.describe().c_str());
+
+  std::vector<real> x(rhs.size(), 0.0);
+  mg::MgSolveOptions opts;
+  opts.rtol = 1e-8;
+  opts.format = format;
+  la::KrylovResult result;
+  {
+    const obs::Span span("phase.solve");
+    result = mg_pcg_solve(hierarchy, rhs, x, opts);
+  }
+  std::printf("FMG-PCG: %d iterations, relative residual %.2e, %s\n",
+              result.iterations, result.final_relres,
+              result.converged ? "converged" : "NOT converged");
+  return result.converged ? 0 : 1;
+}
+
+}  // namespace
+
 int main(int argc, char** argv) {
   using namespace prom;
   const idx n = argc > 1 ? std::atoi(argv[1]) : 10;
 
   const app::EquationClass eq = app::equation_from_env();
-  if (eq != app::EquationClass::kElasticity) return run_scalar(eq, n);
+  const int refine_rounds = app::refine_rounds_from_env();
+  if (eq != app::EquationClass::kElasticity) {
+    return run_scalar(eq, n, refine_rounds);
+  }
+  if (refine_rounds > 0) return run_refined_elasticity(n, refine_rounds);
 
   // 1. The fine grid: a unit cube of n^3 hexahedra, one elastic material.
   mesh::Mesh mesh;

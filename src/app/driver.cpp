@@ -53,25 +53,25 @@ ModelProblem make_sphere_problem(const mesh::SphereInCubeParams& params,
   ModelProblem p;
   p.mesh = mesh::sphere_in_cube_octant(params);
   p.materials = {fem::Material::paper_soft(), fem::Material::paper_hard()};
-  p.dofmap = fem::DofMap(p.mesh.num_vertices());
   const real side = params.cube_side;
   const real eps = 1e-9 * side;
-  for (idx v :
-       p.mesh.vertices_where([&](const Vec3& x) { return x.x < eps; })) {
-    p.dofmap.fix(v, 0, 0);
-  }
-  for (idx v :
-       p.mesh.vertices_where([&](const Vec3& x) { return x.y < eps; })) {
-    p.dofmap.fix(v, 1, 0);
-  }
-  for (idx v :
-       p.mesh.vertices_where([&](const Vec3& x) { return x.z < eps; })) {
-    p.dofmap.fix(v, 2, 0);
-  }
-  for (idx v : p.mesh.vertices_where(
-           [&](const Vec3& x) { return x.z > side - eps; })) {
-    p.dofmap.fix(v, 2, -crush);
-  }
+  p.fix_bcs = [side, eps, crush](const mesh::Mesh& m, fem::DofMap& dm) {
+    for (idx v : m.vertices_where([&](const Vec3& x) { return x.x < eps; })) {
+      dm.fix(v, 0, 0);
+    }
+    for (idx v : m.vertices_where([&](const Vec3& x) { return x.y < eps; })) {
+      dm.fix(v, 1, 0);
+    }
+    for (idx v : m.vertices_where([&](const Vec3& x) { return x.z < eps; })) {
+      dm.fix(v, 2, 0);
+    }
+    for (idx v : m.vertices_where(
+             [&](const Vec3& x) { return x.z > side - eps; })) {
+      dm.fix(v, 2, -crush);
+    }
+  };
+  p.dofmap = fem::DofMap(p.mesh.num_vertices());
+  p.fix_bcs(p.mesh, p.dofmap);
   p.dofmap.finalize();
   return p;
 }
@@ -80,14 +80,16 @@ ModelProblem make_box_problem(idx n, real crush, fem::Material material) {
   ModelProblem p;
   p.mesh = mesh::box_hex(n, n, n, {0, 0, 0}, {1, 1, 1});
   p.materials = {material};
-  p.dofmap = fem::DofMap(p.mesh.num_vertices());
   const real eps = 1e-9;
-  p.dofmap.fix_all(
-      p.mesh.vertices_where([&](const Vec3& x) { return x.z < eps; }), 0);
-  for (idx v : p.mesh.vertices_where(
-           [&](const Vec3& x) { return x.z > 1 - eps; })) {
-    p.dofmap.fix(v, 2, -crush);
-  }
+  p.fix_bcs = [eps, crush](const mesh::Mesh& m, fem::DofMap& dm) {
+    dm.fix_all(m.vertices_where([&](const Vec3& x) { return x.z < eps; }), 0);
+    for (idx v :
+         m.vertices_where([&](const Vec3& x) { return x.z > 1 - eps; })) {
+      dm.fix(v, 2, -crush);
+    }
+  };
+  p.dofmap = fem::DofMap(p.mesh.num_vertices());
+  p.fix_bcs(p.mesh, p.dofmap);
   p.dofmap.finalize();
   return p;
 }
@@ -96,16 +98,18 @@ ModelProblem make_poisson_het_problem(idx n, real contrast) {
   ModelProblem p;
   p.equation = EquationClass::kPoissonHet;
   p.mesh = mesh::box_hex(n, n, n, {0, 0, 0}, {1, 1, 1});
-  p.scalar_dofmap = fem::ScalarDofMap(p.mesh.num_vertices());
   const real eps = 1e-9;
-  for (idx v :
-       p.mesh.vertices_where([&](const Vec3& x) { return x.z < eps; })) {
-    p.scalar_dofmap.fix(v, 0);
-  }
-  for (idx v :
-       p.mesh.vertices_where([&](const Vec3& x) { return x.z > 1 - eps; })) {
-    p.scalar_dofmap.fix(v, 1);
-  }
+  p.fix_scalar_bcs = [eps](const mesh::Mesh& m, fem::ScalarDofMap& dm) {
+    for (idx v : m.vertices_where([&](const Vec3& x) { return x.z < eps; })) {
+      dm.fix(v, 0);
+    }
+    for (idx v :
+         m.vertices_where([&](const Vec3& x) { return x.z > 1 - eps; })) {
+      dm.fix(v, 1);
+    }
+  };
+  p.scalar_dofmap = fem::ScalarDofMap(p.mesh.num_vertices());
+  p.fix_scalar_bcs(p.mesh, p.scalar_dofmap);
   p.scalar_dofmap.finalize();
   p.coeffs.diffusion = [contrast](idx, const Vec3& x) {
     const bool inside = x.x > 0.25 && x.x < 0.75 && x.y > 0.25 &&
@@ -116,21 +120,50 @@ ModelProblem make_poisson_het_problem(idx n, real contrast) {
   return p;
 }
 
+ModelProblem make_reaction_problem(idx n, real reaction) {
+  PROM_CHECK_MSG(reaction >= 0, "make_reaction_problem: reaction must be >= 0");
+  ModelProblem p;
+  p.equation = EquationClass::kPoissonHet;
+  p.mesh = mesh::box_hex(n, n, n, {0, 0, 0}, {1, 1, 1});
+  const real eps = 1e-9;
+  p.fix_scalar_bcs = [eps](const mesh::Mesh& m, fem::ScalarDofMap& dm) {
+    for (idx v : m.vertices_where([&](const Vec3& x) {
+           return x.x < eps || x.x > 1 - eps || x.y < eps || x.y > 1 - eps ||
+                  x.z < eps || x.z > 1 - eps;
+         })) {
+      dm.fix(v, 0);
+    }
+  };
+  p.scalar_dofmap = fem::ScalarDofMap(p.mesh.num_vertices());
+  p.fix_scalar_bcs(p.mesh, p.scalar_dofmap);
+  p.scalar_dofmap.finalize();
+  p.coeffs.diffusion = [](idx, const Vec3&) { return Mat3::identity(); };
+  p.coeffs.reaction = [reaction](idx, const Vec3&) { return reaction; };
+  const real pi = real(3.14159265358979323846);
+  p.coeffs.source = [reaction, pi](idx, const Vec3& x) {
+    return (3 * pi * pi + reaction) * std::sin(pi * x.x) *
+           std::sin(pi * x.y) * std::sin(pi * x.z);
+  };
+  return p;
+}
+
 ModelProblem make_advdiff_problem(idx n, real peclet) {
   PROM_CHECK_MSG(peclet > 0, "make_advdiff_problem: peclet must be > 0");
   ModelProblem p;
   p.equation = EquationClass::kAdvDiff;
   p.mesh = mesh::box_hex(n, n, n, {0, 0, 0}, {1, 1, 1});
-  p.scalar_dofmap = fem::ScalarDofMap(p.mesh.num_vertices());
   const real eps = 1e-9;
-  for (idx v :
-       p.mesh.vertices_where([&](const Vec3& x) { return x.x < eps; })) {
-    p.scalar_dofmap.fix(v, 1);
-  }
-  for (idx v :
-       p.mesh.vertices_where([&](const Vec3& x) { return x.x > 1 - eps; })) {
-    p.scalar_dofmap.fix(v, 0);
-  }
+  p.fix_scalar_bcs = [eps](const mesh::Mesh& m, fem::ScalarDofMap& dm) {
+    for (idx v : m.vertices_where([&](const Vec3& x) { return x.x < eps; })) {
+      dm.fix(v, 1);
+    }
+    for (idx v :
+         m.vertices_where([&](const Vec3& x) { return x.x > 1 - eps; })) {
+      dm.fix(v, 0);
+    }
+  };
+  p.scalar_dofmap = fem::ScalarDofMap(p.mesh.num_vertices());
+  p.fix_scalar_bcs(p.mesh, p.scalar_dofmap);
   p.scalar_dofmap.finalize();
   const Vec3 dir{1, 0.5, 0.25};
   const real speed = norm(dir);

@@ -5,9 +5,9 @@
 // times and the §6 flop/traffic measurements the benches print.
 #pragma once
 
-#include <vector>
-
+#include <functional>
 #include <string>
+#include <vector>
 
 #include "common/config.h"
 #include "fem/assembly.h"
@@ -55,6 +55,16 @@ struct ModelProblem {
   std::vector<fem::Material> materials;
   fem::ScalarDofMap scalar_dofmap{0};
   fem::ScalarCoefficients coeffs;
+
+  /// Re-applies the problem's Dirichlet constraints to a dof map over a
+  /// different mesh of the same domain (adaptive refinement creates new
+  /// boundary vertices; bisection midpoints of a boundary face stay on
+  /// its plane, so the factories' coordinate predicates still apply).
+  /// The callback fixes dofs only; the caller finalizes. Set by every
+  /// factory for its own equation family; null for hand-built problems,
+  /// which then cannot be refined.
+  std::function<void(const mesh::Mesh&, fem::DofMap&)> fix_bcs;
+  std::function<void(const mesh::Mesh&, fem::ScalarDofMap&)> fix_scalar_bcs;
 };
 
 /// The paper's §7 concentric-spheres problem: symmetric BCs on the three
@@ -73,6 +83,14 @@ ModelProblem make_box_problem(idx n, real crush = 0.05,
 /// when 4 divides n); u = 0 on the bottom face, u = 1 on the top, natural
 /// elsewhere; unit volume source.
 ModelProblem make_poisson_het_problem(idx n, real contrast = 1e3);
+
+/// Reaction-dominated scalar problem on the unit cube (n^3 hex cells):
+/// -lap(u) + c u = f with constant reaction c = `reaction`, manufactured
+/// so u = sin(pi x) sin(pi y) sin(pi z) exactly (f = (3 pi^2 + c) u,
+/// u = 0 on the whole boundary). SPD at any c, so it runs the
+/// kPoissonHet configuration (MG-PCG); the MMS gate checks O(h^2) L2
+/// convergence, exercising the ScalarCoefficients::reaction term.
+ModelProblem make_reaction_problem(idx n, real reaction = 1e3);
 
 /// SUPG advection-diffusion on the unit cube (n^3 hex cells): skew
 /// velocity v = (1, 1/2, 1/4)/|.|, isotropic diffusion kappa = |v|/peclet

@@ -34,7 +34,9 @@ void SolveService::register_problem(
   problems_[std::move(mesh_id)] = std::move(problem);
 }
 
-std::string SolveService::fingerprint(const std::string& mesh_id) const {
+std::string SolveService::fingerprint(const std::string& mesh_id,
+                                      int refine_rounds) const {
+  if (refine_rounds < 0) refine_rounds = config_.refine_rounds;
   // Every knob that shapes the grids, the operators, or their
   // distribution. Two requests agreeing on all of these may share a
   // hierarchy; any difference must build a distinct entry. The equation
@@ -59,12 +61,15 @@ std::string SolveService::fingerprint(const std::string& mesh_id) const {
      << "|agg=" << mo.agglom_min_rows
      << "|mod=" << co.modify_graph << "|rcl=" << co.reclassify_from_level
      << "|ext=" << static_cast<int>(co.exterior_order)
-     << "|int=" << static_cast<int>(co.interior_order) << "|seed=" << co.seed;
+     << "|int=" << static_cast<int>(co.interior_order) << "|seed=" << co.seed
+     << "|ref=" << refine_rounds << "|rfrac=" << config_.refine_fraction;
   return os.str();
 }
 
-EntryHandle SolveService::acquire(const std::string& mesh_id) {
-  std::string key = fingerprint(mesh_id);
+EntryHandle SolveService::acquire(const std::string& mesh_id,
+                                  int refine_rounds) {
+  if (refine_rounds < 0) refine_rounds = config_.refine_rounds;
+  std::string key = fingerprint(mesh_id, refine_rounds);
   // The cache span covers only the lookup: the miss path's phase.* setup
   // spans must stay top-level for the report builder to count them.
   {
@@ -79,7 +84,7 @@ EntryHandle SolveService::acquire(const std::string& mesh_id) {
     obs::counter_add("service.cache.miss", 1);
     ++misses_;
   }
-  EntryHandle entry = build_entry(mesh_id, std::move(key));
+  EntryHandle entry = build_entry(mesh_id, std::move(key), refine_rounds);
   lru_.push_front(entry);
   cache_.emplace(entry->key, lru_.begin());
   if (static_cast<int>(lru_.size()) > std::max(1, config_.cache_capacity)) {
@@ -92,7 +97,7 @@ EntryHandle SolveService::acquire(const std::string& mesh_id) {
 }
 
 EntryHandle SolveService::build_entry(const std::string& mesh_id,
-                                      std::string key) {
+                                      std::string key, int refine_rounds) {
   const auto pit = problems_.find(mesh_id);
   PROM_CHECK_MSG(pit != problems_.end(),
                  "SolveService: unknown mesh id (register_problem first)");
@@ -100,16 +105,61 @@ EntryHandle SolveService::build_entry(const std::string& mesh_id,
   entry->key = std::move(key);
   entry->problem = pit->second;
   const ModelProblem& problem = *entry->problem;
+  const bool scalar = problem.equation != EquationClass::kElasticity;
+
+  // The blocked (bsr3) and matrix-free formats are elasticity-only: both
+  // are built around the 3-dof node block (la::Bsr3 / the element
+  // kernels), and the scalar classes have no node blocks to form. Reject
+  // the combination here — at entry — instead of letting the scalar path
+  // silently fall back to CSR or trip an assert deep in the distributed
+  // setup.
+  PROM_CHECK_MSG(!scalar || config_.format == mg::MatrixFormat::kCsr,
+                 config_.format == mg::MatrixFormat::kBsr3
+                     ? "SolveService: scalar equation classes (poisson_het, "
+                       "advdiff) support only PROM_MATRIX=csr; "
+                       "PROM_MATRIX=bsr3 is elasticity-only"
+                     : "SolveService: scalar equation classes (poisson_het, "
+                       "advdiff) support only PROM_MATRIX=csr; "
+                       "PROM_MATRIX=mf is elasticity-only");
+
+  if (refine_rounds > 0) {
+    const obs::Span span("phase.refine");
+    AdaptiveOptions aopts;
+    aopts.rounds = refine_rounds;
+    aopts.mark_fraction = config_.refine_fraction;
+    aopts.mg = config_.mg;
+    aopts.cycle = config_.cycle;
+    entry->refined = std::make_unique<AdaptiveLoop>(
+        run_adaptive_refinement(problem, aopts));
+  }
+  const AdaptiveLoop* refined = entry->refined.get();
 
   {
     const obs::Span span("phase.partition");
+    const mesh::Mesh& pmesh =
+        refined != nullptr ? refined->final_mesh() : problem.mesh;
     entry->vertex_owner =
-        partition::rcb_partition(problem.mesh.coords(), config_.nranks);
+        partition::rcb_partition(pmesh.coords(), config_.nranks);
+    if (refined != nullptr) {
+      // How lopsided the refined mesh would be under the *unrefined*
+      // partition (midpoints inheriting a parent's rank) vs the fresh
+      // RCB cut the entry actually uses.
+      const std::vector<idx> base_owner = partition::rcb_partition(
+          refined->base.coords(), config_.nranks);
+      obs::gauge_set(
+          "refine.imbalance.inherited",
+          partition_imbalance(inherit_owners(*refined, base_owner),
+                              config_.nranks));
+      obs::gauge_set("refine.imbalance.rebalanced",
+                     partition_imbalance(entry->vertex_owner,
+                                         config_.nranks));
+    }
   }
-  const bool scalar = problem.equation != EquationClass::kElasticity;
   {
     const obs::Span span("phase.fine_grid");
-    if (scalar) {
+    if (refined != nullptr) {
+      entry->sys = std::move(entry->refined->sys);
+    } else if (scalar) {
       fem::ScalarSystem sys = fem::assemble_scalar_system(
           problem.mesh, problem.scalar_dofmap, problem.coeffs);
       entry->sys.stiffness = std::move(sys.stiffness);
@@ -122,13 +172,24 @@ EntryHandle SolveService::build_entry(const std::string& mesh_id,
   entry->unknowns = entry->sys.stiffness.nrows;
   {
     const obs::Span span("phase.mesh_setup");
-    entry->grids =
-        scalar ? mg::Hierarchy::build_grids_scalar(problem.mesh,
-                                                   problem.scalar_dofmap,
-                                                   entry->sys.stiffness,
-                                                   config_.mg)
-               : mg::Hierarchy::build_grids(problem.mesh, problem.dofmap,
-                                            entry->sys.stiffness, config_.mg);
+    if (refined != nullptr) {
+      entry->grids =
+          scalar ? mg::Hierarchy::build_grids_refined_scalar(
+                       refined->mesh_ptrs(), refined->scalar_dofmap_ptrs(),
+                       refined->rounds, entry->sys.stiffness, config_.mg)
+                 : mg::Hierarchy::build_grids_refined(
+                       refined->mesh_ptrs(), refined->dofmap_ptrs(),
+                       refined->rounds, entry->sys.stiffness, config_.mg);
+    } else {
+      entry->grids =
+          scalar
+              ? mg::Hierarchy::build_grids_scalar(problem.mesh,
+                                                  problem.scalar_dofmap,
+                                                  entry->sys.stiffness,
+                                                  config_.mg)
+              : mg::Hierarchy::build_grids(problem.mesh, problem.dofmap,
+                                           entry->sys.stiffness, config_.mg);
+    }
   }
 
   entry->per_rank.resize(static_cast<std::size_t>(config_.nranks));
@@ -136,8 +197,14 @@ EntryHandle SolveService::build_entry(const std::string& mesh_id,
   parx::Runtime::run(config_.nranks, [&](parx::Comm& comm) {
     comm.barrier();
     const obs::Span span("phase.matrix_setup");
-    const dla::MfProblem mf{&problem.mesh, &problem.materials,
-                            &problem.dofmap, /*bbar=*/true};
+    // The matrix-free view is elasticity-only (enforced above), so the
+    // scalar paths keep the unrefined pointers — the struct is unused.
+    const bool mf_refined = !scalar && refined != nullptr;
+    const dla::MfProblem mf{
+        mf_refined ? &refined->final_mesh() : &problem.mesh,
+        &problem.materials,
+        mf_refined ? &refined->final_dofmap() : &problem.dofmap,
+        /*bbar=*/true};
     entry->per_rank[comm.rank()] = dla::DistHierarchy::build(
         comm, entry->grids, entry->vertex_owner, config_.format,
         config_.format == mg::MatrixFormat::kMf ? &mf : nullptr);
@@ -148,7 +215,7 @@ EntryHandle SolveService::build_entry(const std::string& mesh_id,
 
 SolveResponse SolveService::solve(const SolveRequest& req) {
   const std::int64_t hits_before = hits_;
-  const EntryHandle entry = acquire(req.mesh_id);
+  const EntryHandle entry = acquire(req.mesh_id, req.refine_rounds);
   SolveResponse resp = solve_with(entry, req);
   resp.cache_hit = hits_ > hits_before;
   return resp;

@@ -17,6 +17,7 @@
 #include <vector>
 
 #include "app/driver.h"
+#include "app/refine.h"
 #include "dla/dist_mg.h"
 #include "la/krylov_any.h"
 #include "la/multivec.h"
@@ -34,6 +35,13 @@ struct ServiceConfig {
   mg::MatrixFormat format = mg::matrix_format_from_env();
   /// Cached hierarchies kept alive (LRU eviction beyond this).
   int cache_capacity = 4;
+  /// Adaptive refinement rounds run before setup (app/refine.h): the
+  /// entry is then built on the refined mesh — refined grids finest-
+  /// first, fresh RCB cut of the refined coordinates. 0 = the seed
+  /// behavior (no refinement). Seeded from PROM_REFINE; a SolveRequest
+  /// can override per request.
+  int refine_rounds = refine_rounds_from_env();
+  real refine_fraction = 0.1;  ///< fixed-fraction marking per round
 };
 
 /// One cached setup: everything DistHierarchy::build produced, per
@@ -43,6 +51,12 @@ struct ServiceConfig {
 struct ServiceEntry {
   std::string key;  ///< the cache fingerprint this entry was built under
   std::shared_ptr<const ModelProblem> problem;
+  /// The refined mesh family the entry was built on (null when the entry
+  /// ran zero refinement rounds). Owns the final mesh and dof maps the
+  /// grids — and the matrix-free fine operator — point into, and the
+  /// per-round dof counts callers report; `sys` below is the refined
+  /// system (AdaptiveLoop::sys moved out).
+  std::unique_ptr<AdaptiveLoop> refined;
   std::vector<idx> vertex_owner;
   fem::LinearSystem sys;
   mg::Hierarchy grids;
@@ -67,6 +81,10 @@ struct SolveRequest {
   /// Gather solutions back to the serial numbering (costs one allgatherv
   /// per chunk); the study driver turns this off.
   bool return_solutions = true;
+  /// Adaptive refinement rounds for this request: -1 uses the config
+  /// default (ServiceConfig::refine_rounds); any other value overrides
+  /// it, keying a distinct cache entry.
+  int refine_rounds = -1;
 };
 
 struct SolveResponse {
@@ -93,7 +111,8 @@ class SolveService {
   /// The cached entry for `mesh_id` under the current config, building it
   /// on a miss (emits the setup phase spans only then — a cached request
   /// has no partition/fine_grid/mesh_setup/matrix_setup spans at all).
-  EntryHandle acquire(const std::string& mesh_id);
+  /// `refine_rounds` = -1 uses the config default.
+  EntryHandle acquire(const std::string& mesh_id, int refine_rounds = -1);
 
   /// acquire + solve_with in one call.
   SolveResponse solve(const SolveRequest& req);
@@ -109,10 +128,13 @@ class SolveService {
   std::int64_t cache_misses() const { return misses_; }
 
   /// The cache key `mesh_id` resolves to under the current config.
-  std::string fingerprint(const std::string& mesh_id) const;
+  /// `refine_rounds` = -1 uses the config default.
+  std::string fingerprint(const std::string& mesh_id,
+                          int refine_rounds = -1) const;
 
  private:
-  EntryHandle build_entry(const std::string& mesh_id, std::string key);
+  EntryHandle build_entry(const std::string& mesh_id, std::string key,
+                          int refine_rounds);
 
   ServiceConfig config_;
   std::unordered_map<std::string, std::shared_ptr<const ModelProblem>>

@@ -285,6 +285,21 @@ void smooth_with_mv(const DistMgLevel& lv, parx::Comm& comm, const Op& op,
 
 void DistMgLevel::smooth(parx::Comm& comm, std::span<const real> b_local,
                          std::span<real> x_local) const {
+  if (smooth_masked) {
+    // Local smoothing (adaptive refinement levels): the full collective
+    // sweep runs on a scratch copy — same exchanges on every rank, since
+    // the masked flag is a level property, not a rank property — and only
+    // the refined-region rows this rank owns take the update.
+    std::vector<real> tmp(x_local.begin(), x_local.end());
+    smooth_full(comm, b_local, tmp);
+    for (idx i : smooth_rows_local) x_local[i] = tmp[i];
+    return;
+  }
+  smooth_full(comm, b_local, x_local);
+}
+
+void DistMgLevel::smooth_full(parx::Comm& comm, std::span<const real> b_local,
+                              std::span<real> x_local) const {
   if (a_bsr != nullptr) {
     smooth_with(*this, comm, DistBsrOperator(*a_bsr), b_local, x_local);
   } else {
@@ -294,6 +309,21 @@ void DistMgLevel::smooth(parx::Comm& comm, std::span<const real> b_local,
 
 void DistMgLevel::smooth_mv(parx::Comm& comm, const la::MultiVec& b_local,
                             la::MultiVec& x_local) const {
+  if (smooth_masked) {
+    la::MultiVec tmp = x_local;
+    smooth_full_mv(comm, b_local, tmp);
+    for (int j = 0; j < x_local.cols(); ++j) {
+      real* xj = x_local.col_data(j);
+      const real* tj = tmp.col_data(j);
+      for (idx i : smooth_rows_local) xj[i] = tj[i];
+    }
+    return;
+  }
+  smooth_full_mv(comm, b_local, x_local);
+}
+
+void DistMgLevel::smooth_full_mv(parx::Comm& comm, const la::MultiVec& b_local,
+                                 la::MultiVec& x_local) const {
   if (a_bsr != nullptr) {
     smooth_with_mv(*this, comm, DistBsrOperator(*a_bsr), b_local, x_local);
   } else {
@@ -467,6 +497,22 @@ DistHierarchy DistHierarchy::build(parx::Comm& comm,
                   : mo.smoother;
     dl.omega = mo.omega;
     dl.local_diag = dl.a.local_diagonal_block();
+    // Local-smoothing mask (adaptive refinement levels): this rank's
+    // slice of the serial MgLevel::smooth_rows, in local row numbering.
+    // The masked flag is a property of the serial level, so it is
+    // identical on every rank and the collective sweep schedule agrees.
+    const mg::MgLevel& sl = serial.level(l);
+    if (!sl.smooth_rows.empty()) {
+      dl.smooth_masked = true;
+      std::vector<char> in_mask(sl.free_dofs.size(), 0);
+      for (idx i : sl.smooth_rows) in_mask[i] = 1;
+      const RowDist& rd = dl.a.row_dist();
+      const idx b0 = rd.begin(rank);
+      const idx nloc = rd.local_size(rank);
+      for (idx i = 0; i < nloc; ++i) {
+        if (in_mask[h.perms_[l][b0 + i]]) dl.smooth_rows_local.push_back(i);
+      }
+    }
     switch (dl.kind) {
       case mg::SmootherKind::kJacobi:
         dl.inv_diag = la::inverted_diagonal(dl.local_diag);

@@ -76,6 +76,15 @@ struct DistMgLevel {
   std::unique_ptr<la::DenseLdlt> direct;
   std::unique_ptr<la::DenseLu> direct_lu;
 
+  /// Local smoothing (adaptive refinement levels, MgLevel::smooth_rows):
+  /// when `smooth_masked` is set — identically on every rank of the
+  /// level — a smoothing step updates only the local rows listed in
+  /// `smooth_rows_local` (this rank's slice of the refined region) and
+  /// leaves the rest of x untouched. The underlying sweep still runs
+  /// collectively on all rows, so the exchange schedule is unchanged.
+  bool smooth_masked = false;
+  std::vector<idx> smooth_rows_local;
+
   idx local_n() const { return a.local_rows(); }
 
   /// One smoothing step of the configured kind (collective).
@@ -87,6 +96,12 @@ struct DistMgLevel {
   /// column. Collective.
   void smooth_mv(parx::Comm& comm, const la::MultiVec& b_local,
                  la::MultiVec& x_local) const;
+
+ private:
+  void smooth_full(parx::Comm& comm, std::span<const real> b_local,
+                   std::span<real> x_local) const;
+  void smooth_full_mv(parx::Comm& comm, const la::MultiVec& b_local,
+                      la::MultiVec& x_local) const;
 };
 
 class DistHierarchy {

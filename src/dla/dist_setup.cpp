@@ -2,8 +2,10 @@
 
 #include <algorithm>
 #include <cstring>
+#include <numeric>
 #include <tuple>
 #include <unordered_map>
+#include <utility>
 #include <vector>
 
 #include "common/error.h"
@@ -316,6 +318,105 @@ DistCsr dist_redistribute(parx::Comm& comm, const DistCsr& a,
   PROM_CHECK(row == local.nrows &&
              local.vals.size() == local.colidx.size());
   return DistCsr::from_local_rows(comm, local, rows, cols);
+}
+
+RepartitionResult repartition_mesh(parx::Comm& comm, const DistCsr& a,
+                                   std::span<const idx> old_perm,
+                                   std::span<const idx> new_owner) {
+  const obs::Span span("rebalance.migrate");
+  const int p = comm.size();
+  const int rank = comm.rank();
+  const idx n = a.row_dist().global_size();
+  PROM_CHECK(static_cast<idx>(old_perm.size()) == n);
+  PROM_CHECK(static_cast<idx>(new_owner.size()) == n);
+  PROM_CHECK(a.col_dist().global_size() == n);
+
+  // New numbering: stable-sort the serial rows by their new owner (the
+  // DistHierarchy::build recipe, so downstream layouts agree bitwise).
+  RepartitionResult out;
+  out.perm.resize(static_cast<std::size_t>(n));
+  std::iota(out.perm.begin(), out.perm.end(), idx{0});
+  std::stable_sort(out.perm.begin(), out.perm.end(), [&](idx x, idx y) {
+    return new_owner[x] < new_owner[y];
+  });
+  std::vector<idx> sorted_owner(static_cast<std::size_t>(n));
+  std::vector<idx> new_of_serial(static_cast<std::size_t>(n));
+  for (idx g = 0; g < n; ++g) {
+    sorted_owner[g] = new_owner[out.perm[g]];
+    new_of_serial[out.perm[g]] = g;
+  }
+  const RowDist dist = RowDist::from_sorted_owners(sorted_owner, p);
+
+  // Ship every owned row to its new owner: (new row id, nnz, new column
+  // ids ascending) in the idx stream, values in the real stream. Sorting
+  // the relabeled columns permutes (column, value) pairs only — values
+  // stay bit-identical to the serial matrix's.
+  const la::Csr mine = local_rows_global_cols(a);
+  std::vector<std::vector<idx>> send_meta(static_cast<std::size_t>(p));
+  std::vector<std::vector<real>> send_vals(static_cast<std::size_t>(p));
+  const idx my0 = a.row_dist().begin(rank);
+  std::vector<std::pair<idx, real>> row;
+  for (idx i = 0; i < mine.nrows; ++i) {
+    const idx serial = old_perm[my0 + i];
+    const int dest = static_cast<int>(new_owner[serial]);
+    row.clear();
+    for (nnz_t k = mine.rowptr[i]; k < mine.rowptr[i + 1]; ++k) {
+      row.emplace_back(new_of_serial[old_perm[mine.colidx[k]]],
+                       mine.vals[k]);
+    }
+    std::sort(row.begin(), row.end(),
+              [](const auto& x, const auto& y) { return x.first < y.first; });
+    send_meta[dest].push_back(new_of_serial[serial]);
+    send_meta[dest].push_back(static_cast<idx>(row.size()));
+    for (const auto& [c, v] : row) {
+      send_meta[dest].push_back(c);
+      send_vals[dest].push_back(v);
+    }
+  }
+  const auto recv_meta = comm.alltoallv(send_meta);
+  const auto recv_vals = comm.alltoallv(send_vals);
+
+  // Reassemble: every new row of mine arrives exactly once; scatter the
+  // payloads into their slots (deterministic for any arrival order).
+  la::Csr local;
+  local.nrows = dist.local_size(rank);
+  local.ncols = n;
+  local.rowptr.assign(static_cast<std::size_t>(local.nrows) + 1, 0);
+  const idx b0 = dist.begin(rank);
+  std::vector<idx> nnz_of(static_cast<std::size_t>(local.nrows), 0);
+  for (int s = 0; s < p; ++s) {
+    const std::vector<idx>& meta = recv_meta[s];
+    for (std::size_t k = 0; k < meta.size();) {
+      const idx g = meta[k];
+      const idx nz = meta[k + 1];
+      PROM_CHECK(g >= b0 && g < b0 + local.nrows);
+      nnz_of[g - b0] = nz;
+      k += 2 + static_cast<std::size_t>(nz);
+    }
+  }
+  for (idx i = 0; i < local.nrows; ++i) {
+    local.rowptr[i + 1] = local.rowptr[i] + nnz_of[i];
+  }
+  local.colidx.resize(static_cast<std::size_t>(local.rowptr[local.nrows]));
+  local.vals.resize(local.colidx.size());
+  for (int s = 0; s < p; ++s) {
+    const std::vector<idx>& meta = recv_meta[s];
+    const std::vector<real>& vals = recv_vals[s];
+    std::size_t voff = 0;
+    for (std::size_t k = 0; k < meta.size();) {
+      const idx g = meta[k];
+      const idx nz = meta[k + 1];
+      nnz_t at = local.rowptr[g - b0];
+      for (idx j = 0; j < nz; ++j) {
+        local.colidx[at + j] = meta[k + 2 + static_cast<std::size_t>(j)];
+        local.vals[at + j] = vals[voff++];
+      }
+      k += 2 + static_cast<std::size_t>(nz);
+    }
+    PROM_CHECK(voff == vals.size());
+  }
+  out.a = DistCsr::from_local_rows(comm, local, dist, dist);
+  return out;
 }
 
 la::Csr dist_gather_matrix(parx::Comm& comm, const DistCsr& a) {

@@ -49,6 +49,27 @@ DistCsr dist_galerkin_product(parx::Comm& comm, const DistCsr& r,
 DistCsr dist_redistribute(parx::Comm& comm, const DistCsr& a,
                           const RowDist& rows, const RowDist& cols);
 
+/// Result of repartition_mesh: the migrated operator plus the permutation
+/// (new global index -> serial index) its rows and columns now follow.
+struct RepartitionResult {
+  DistCsr a;
+  std::vector<idx> perm;
+};
+
+/// Migrates a row-distributed operator onto a new serial-row -> rank
+/// assignment (the refine->rebalance step: `new_owner` is typically
+/// partition::rcb_partition of the refined mesh, expanded to dofs).
+/// Unlike dist_redistribute, the global numbering changes: the new
+/// numbering stable-sorts the serial rows by their new owner — exactly
+/// the recipe DistHierarchy::build uses — so the result is bit-identical
+/// to DistCsr::from_global_permuted of the serial operator under the new
+/// assignment, without any rank touching the serial matrix. `old_perm`
+/// maps `a`'s current global ids to serial ids (DistHierarchy::
+/// permutation(0) when migrating a fine level). Collective.
+RepartitionResult repartition_mesh(parx::Comm& comm, const DistCsr& a,
+                                   std::span<const idx> old_perm,
+                                   std::span<const idx> new_owner);
+
 /// Gathers a distributed matrix to a replicated la::Csr on every rank.
 /// Only legitimate for the constant-size coarsest operator (the redundant
 /// coarse solve of §5); everything larger stays distributed. Collective.

@@ -1,0 +1,201 @@
+#include "fem/indicator.h"
+
+#include <algorithm>
+#include <array>
+#include <cmath>
+#include <unordered_map>
+
+#include "common/error.h"
+
+namespace prom::fem {
+namespace {
+
+constexpr std::array<std::array<int, 3>, 4> kTetFaces = {
+    {{0, 1, 2}, {0, 1, 3}, {0, 2, 3}, {1, 2, 3}}};
+
+struct TripleHash {
+  std::size_t operator()(const std::array<idx, 3>& t) const {
+    std::uint64_t h = 1469598103934665603ull;
+    for (idx v : t) {
+      h ^= static_cast<std::uint64_t>(static_cast<std::uint32_t>(v));
+      h *= 1099511628211ull;
+    }
+    return static_cast<std::size_t>(h);
+  }
+};
+
+struct CellGeom {
+  std::array<Vec3, 4> grad;  ///< P1 basis gradients
+  Vec3 centroid;
+  real volume = 0;
+  real h = 0;  ///< longest edge (the element diameter)
+};
+
+CellGeom cell_geom(const mesh::Mesh& mesh, idx e) {
+  const std::span<const idx> c = mesh.cell(e);
+  const Vec3 p0 = mesh.coord(c[0]);
+  const Vec3 d1 = mesh.coord(c[1]) - p0;
+  const Vec3 d2 = mesh.coord(c[2]) - p0;
+  const Vec3 d3 = mesh.coord(c[3]) - p0;
+  const real det6 = dot(d1, cross(d2, d3));  // 6 * signed volume
+  PROM_CHECK_MSG(det6 != 0, "error indicator: degenerate tet");
+  CellGeom g;
+  g.volume = std::abs(det6) / 6;
+  // Gradients of barycentric coordinates: rows of the inverse Jacobian.
+  g.grad[1] = cross(d2, d3) / det6;
+  g.grad[2] = cross(d3, d1) / det6;
+  g.grad[3] = cross(d1, d2) / det6;
+  g.grad[0] = -(g.grad[1] + g.grad[2] + g.grad[3]);
+  g.centroid = mesh.centroid(e);
+  g.h = 0;
+  for (int a = 0; a < 4; ++a) {
+    for (int b = a + 1; b < 4; ++b) {
+      g.h = std::max(g.h,
+                     norm(mesh.coord(c[a]) - mesh.coord(c[b])));
+    }
+  }
+  return g;
+}
+
+/// Accumulates the face-jump terms: `flux_of(e)` returns the element's
+/// constant flux row(s); for each interior face the squared jump of the
+/// normal component, weighted by sqrt(A_f)/2 * A_f, is added to both
+/// neighbors' eta^2.
+template <typename FluxOf>
+void add_face_jumps(const mesh::Mesh& mesh, const FluxOf& flux_of,
+                    std::vector<real>& eta2) {
+  struct Side {
+    idx cell = kInvalidIdx;
+    std::array<idx, 3> verts{};
+  };
+  std::unordered_map<std::array<idx, 3>, Side, TripleHash> open;
+  open.reserve(static_cast<std::size_t>(mesh.num_cells()) * 2);
+  for (idx e = 0; e < mesh.num_cells(); ++e) {
+    const std::span<const idx> c = mesh.cell(e);
+    for (const auto& f : kTetFaces) {
+      std::array<idx, 3> verts = {c[f[0]], c[f[1]], c[f[2]]};
+      std::array<idx, 3> key = verts;
+      std::sort(key.begin(), key.end());
+      const auto it = open.find(key);
+      if (it == open.end()) {
+        open.emplace(key, Side{e, verts});
+        continue;
+      }
+      const Side other = it->second;
+      open.erase(it);
+      const Vec3 p0 = mesh.coord(verts[0]);
+      const Vec3 a = mesh.coord(verts[1]) - p0;
+      const Vec3 b = mesh.coord(verts[2]) - p0;
+      const Vec3 an = cross(a, b);  // |an| = 2 * area
+      const real area = norm(an) / 2;
+      if (area == 0) continue;
+      const Vec3 n = an / (2 * area);
+      const real jump2 = flux_of(e, other.cell, n);
+      const real h_f = std::sqrt(area);
+      // Half of the face term to each neighbor.
+      const real w = (h_f / 2) * area * jump2 / 2;
+      eta2[e] += w;
+      eta2[other.cell] += w;
+    }
+  }
+}
+
+}  // namespace
+
+std::vector<real> scalar_error_indicator(const mesh::Mesh& mesh,
+                                         std::span<const real> u_full,
+                                         const ScalarCoefficients& coeffs) {
+  PROM_CHECK(mesh.kind() == mesh::CellKind::kTet4);
+  PROM_CHECK(static_cast<idx>(u_full.size()) == mesh.num_vertices());
+  PROM_CHECK_MSG(coeffs.diffusion != nullptr,
+                 "scalar_error_indicator: diffusion coefficient required");
+  const idx ne = mesh.num_cells();
+  std::vector<real> eta2(static_cast<std::size_t>(ne), 0);
+  std::vector<Vec3> flux(static_cast<std::size_t>(ne));
+
+  for (idx e = 0; e < ne; ++e) {
+    const CellGeom g = cell_geom(mesh, e);
+    const std::span<const idx> c = mesh.cell(e);
+    Vec3 grad_u{};
+    real u_bar = 0;
+    for (int k = 0; k < 4; ++k) {
+      grad_u += u_full[c[k]] * g.grad[k];
+      u_bar += u_full[c[k]] / 4;
+    }
+    const Mat3 kmat = coeffs.diffusion(e, g.centroid);
+    Vec3 f{};
+    for (int i = 0; i < 3; ++i) {
+      f[i] = kmat(i, 0) * grad_u.x + kmat(i, 1) * grad_u.y +
+             kmat(i, 2) * grad_u.z;
+    }
+    flux[e] = f;
+    // Interior residual at the centroid; div(K grad u) vanishes for the
+    // element-wise constant gradient.
+    real r = coeffs.source ? coeffs.source(e, g.centroid) : 0;
+    if (coeffs.velocity) r -= dot(coeffs.velocity(e, g.centroid), grad_u);
+    if (coeffs.reaction) r -= coeffs.reaction(e, g.centroid) * u_bar;
+    eta2[e] += g.h * g.h * g.volume * r * r;
+  }
+
+  add_face_jumps(mesh,
+                 [&](idx e, idx o, const Vec3& n) {
+                   const real j = dot(flux[e] - flux[o], n);
+                   return j * j;
+                 },
+                 eta2);
+
+  std::vector<real> eta(eta2.size());
+  for (std::size_t e = 0; e < eta2.size(); ++e) eta[e] = std::sqrt(eta2[e]);
+  return eta;
+}
+
+std::vector<real> elasticity_error_indicator(
+    const mesh::Mesh& mesh, std::span<const real> u_full,
+    std::span<const Material> materials) {
+  PROM_CHECK(mesh.kind() == mesh::CellKind::kTet4);
+  PROM_CHECK(static_cast<idx>(u_full.size()) == 3 * mesh.num_vertices());
+  const idx ne = mesh.num_cells();
+  std::vector<real> eta2(static_cast<std::size_t>(ne), 0);
+  std::vector<Mat3> stress(static_cast<std::size_t>(ne));
+
+  for (idx e = 0; e < ne; ++e) {
+    const CellGeom g = cell_geom(mesh, e);
+    const std::span<const idx> c = mesh.cell(e);
+    Mat3 grad = Mat3::zero();  // grad(i,j) = d u_i / d x_j
+    for (int k = 0; k < 4; ++k) {
+      for (int i = 0; i < 3; ++i) {
+        const real ui = u_full[3 * c[k] + i];
+        for (int j = 0; j < 3; ++j) grad(i, j) += ui * g.grad[k][j];
+      }
+    }
+    const Material& mat = materials[mesh.material(e)];
+    const real mu = mat.mu();
+    const real lambda = mat.lambda();
+    const real tr = grad(0, 0) + grad(1, 1) + grad(2, 2);
+    Mat3 sig = Mat3::zero();
+    for (int i = 0; i < 3; ++i) {
+      for (int j = 0; j < 3; ++j) sig(i, j) = mu * (grad(i, j) + grad(j, i));
+      sig(i, i) += lambda * tr;
+    }
+    stress[e] = sig;
+  }
+
+  add_face_jumps(mesh,
+                 [&](idx e, idx o, const Vec3& n) {
+                   const Mat3 d = stress[e] - stress[o];
+                   real j2 = 0;
+                   for (int i = 0; i < 3; ++i) {
+                     const real t =
+                         d(i, 0) * n.x + d(i, 1) * n.y + d(i, 2) * n.z;
+                     j2 += t * t;
+                   }
+                   return j2;
+                 },
+                 eta2);
+
+  std::vector<real> eta(eta2.size());
+  for (std::size_t e = 0; e < eta2.size(); ++e) eta[e] = std::sqrt(eta2[e]);
+  return eta;
+}
+
+}  // namespace prom::fem

@@ -1,0 +1,40 @@
+// Residual-based a-posteriori error indicators on TET4 meshes (the
+// marking signal for mesh::refine_local). For P1 elements the gradient is
+// constant per element, so the classical estimator reduces to an interior
+// residual term plus normal-flux (scalar) / traction (elasticity) jumps
+// across interior faces:
+//
+//   eta_e^2 = h_e^2 |T_e| r_e^2  +  sum_f (h_f / 2) A_f |[[flux . n]]|^2
+//
+// with half of each face jump attributed to each neighbor. Only the
+// *relative* sizes matter for fixed-fraction marking; the indicators are
+// computed serially from the gathered full (per-vertex) solution, like
+// every other mesh-setup stage, so they are trivially deterministic.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "common/config.h"
+#include "fem/material.h"
+#include "fem/scalar.h"
+#include "mesh/mesh.h"
+
+namespace prom::fem {
+
+/// Scalar-equation indicator for -div(K grad u) + v.grad u + c u = f.
+/// `u_full` is the per-vertex solution (constrained values inserted);
+/// coefficients are sampled at element centroids. Returns one value per
+/// cell (eta_e, not squared).
+std::vector<real> scalar_error_indicator(const mesh::Mesh& mesh,
+                                         std::span<const real> u_full,
+                                         const ScalarCoefficients& coeffs);
+
+/// Linear-elasticity indicator: traction jumps [[sigma . n]] of the
+/// element-wise constant stress (zero body force, so no interior term).
+/// `u_full` holds 3 displacement components per vertex.
+std::vector<real> elasticity_error_indicator(
+    const mesh::Mesh& mesh, std::span<const real> u_full,
+    std::span<const Material> materials);
+
+}  // namespace prom::fem

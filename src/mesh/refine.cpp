@@ -1,0 +1,261 @@
+#include "mesh/refine.h"
+
+#include <algorithm>
+#include <bit>
+#include <cstdint>
+#include <unordered_map>
+#include <utility>
+
+#include "common/error.h"
+
+namespace prom::mesh {
+namespace {
+
+/// Sorted vertex pair packed into a map key.
+std::uint64_t edge_key(idx u, idx v) {
+  if (u > v) std::swap(u, v);
+  return (static_cast<std::uint64_t>(static_cast<std::uint32_t>(u)) << 32) |
+         static_cast<std::uint32_t>(v);
+}
+
+/// The six vertex pairs of a tetrahedron.
+constexpr std::array<std::array<int, 2>, 6> kTetEdges = {
+    {{0, 1}, {0, 2}, {0, 3}, {1, 2}, {1, 3}, {2, 3}}};
+
+/// The longest edge of the tet, ties broken by the lexicographically
+/// smallest sorted vertex pair so the choice depends only on the mesh.
+std::array<idx, 2> longest_edge(const std::vector<Vec3>& coords,
+                                const std::array<idx, 4>& t) {
+  std::array<idx, 2> best{kInvalidIdx, kInvalidIdx};
+  real best_len = -1;
+  for (const auto& e : kTetEdges) {
+    idx u = t[e[0]], v = t[e[1]];
+    if (u > v) std::swap(u, v);
+    const real len = norm2(coords[v] - coords[u]);
+    const bool better =
+        len > best_len ||
+        (len == best_len &&
+         (u < best[0] || (u == best[0] && v < best[1])));
+    if (better) {
+      best = {u, v};
+      best_len = len;
+    }
+  }
+  return best;
+}
+
+}  // namespace
+
+Mesh hex_to_tet(const Mesh& mesh) {
+  if (mesh.kind() == CellKind::kTet4) return mesh;
+  // Kuhn triangulation: six tets sharing the body diagonal local0-local6.
+  // Every quad face is cut along the diagonal that touches local 0 or 6;
+  // with the consistent VTK local ordering of the structured generators,
+  // the two hexes sharing a face pick the same cut, so no hanging edges.
+  constexpr std::array<std::array<int, 4>, 6> kKuhn = {{{0, 1, 2, 6},
+                                                        {0, 2, 3, 6},
+                                                        {0, 3, 7, 6},
+                                                        {0, 7, 4, 6},
+                                                        {0, 4, 5, 6},
+                                                        {0, 5, 1, 6}}};
+  const idx ne = mesh.num_cells();
+  std::vector<idx> cells;
+  cells.reserve(static_cast<std::size_t>(ne) * 24);
+  std::vector<idx> materials;
+  materials.reserve(static_cast<std::size_t>(ne) * 6);
+  for (idx e = 0; e < ne; ++e) {
+    const std::span<const idx> hex = mesh.cell(e);
+    for (const auto& t : kKuhn) {
+      for (int k = 0; k < 4; ++k) cells.push_back(hex[t[k]]);
+      materials.push_back(mesh.material(e));
+    }
+  }
+  Mesh tet(CellKind::kTet4, mesh.coords(), std::move(cells),
+           std::move(materials));
+  for (idx e = 0; e < tet.num_cells(); ++e) {
+    PROM_CHECK_MSG(cell_volume(tet, e) > 0,
+                   "hex_to_tet: inverted tet (degenerate hex?)");
+  }
+  return tet;
+}
+
+RefineResult refine_local(const Mesh& mesh, std::span<const idx> marked) {
+  PROM_CHECK_MSG(mesh.kind() == CellKind::kTet4,
+                 "refine_local requires a TET4 mesh (see hex_to_tet)");
+  const idx n_in = mesh.num_cells();
+  const idx nv_in = mesh.num_vertices();
+
+  std::vector<Vec3> coords = mesh.coords();
+  std::vector<std::array<idx, 4>> cells(static_cast<std::size_t>(n_in));
+  std::vector<idx> ancestor(static_cast<std::size_t>(n_in));
+  std::vector<char> alive(static_cast<std::size_t>(n_in), 1);
+  std::vector<char> want(static_cast<std::size_t>(n_in), 0);
+  for (idx e = 0; e < n_in; ++e) {
+    const std::span<const idx> c = mesh.cell(e);
+    cells[e] = {c[0], c[1], c[2], c[3]};
+    ancestor[e] = e;
+  }
+  for (idx m : marked) {
+    PROM_CHECK(m >= 0 && m < n_in);
+    want[m] = 1;
+  }
+
+  std::unordered_map<std::uint64_t, idx> midpoint;
+  std::vector<std::array<idx, 2>> vertex_parents;
+
+  const auto bisect = [&](idx c) {
+    const std::array<idx, 4> t = cells[c];
+    const std::array<idx, 2> e = longest_edge(coords, t);
+    const std::uint64_t key = edge_key(e[0], e[1]);
+    idx m;
+    const auto it = midpoint.find(key);
+    if (it != midpoint.end()) {
+      m = it->second;
+    } else {
+      m = static_cast<idx>(coords.size());
+      coords.push_back((coords[e[0]] + coords[e[1]]) * real{0.5});
+      vertex_parents.push_back({e[0], e[1]});
+      midpoint.emplace(key, m);
+    }
+    std::array<idx, 4> child0 = t;
+    std::array<idx, 4> child1 = t;
+    for (int k = 0; k < 4; ++k) {
+      if (t[k] == e[1]) child0[k] = m;  // keeps orientation: |child| = |t|/2
+      if (t[k] == e[0]) child1[k] = m;
+    }
+    alive[c] = 0;
+    cells.push_back(child0);
+    cells.push_back(child1);
+    ancestor.push_back(ancestor[c]);
+    ancestor.push_back(ancestor[c]);
+    alive.push_back(1);
+    alive.push_back(1);
+    want.push_back(0);
+    want.push_back(0);
+  };
+
+  const auto has_hanging = [&](idx c) {
+    const std::array<idx, 4>& t = cells[c];
+    for (const auto& e : kTetEdges) {
+      if (midpoint.count(edge_key(t[e[0]], t[e[1]])) != 0) return true;
+    }
+    return false;
+  };
+
+  // Bisect marked cells, then sweep until conforming: any live cell with
+  // a midpoint hanging on one of its edges is bisected by its *longest*
+  // edge (Rivara propagation — the hanging edge becomes the longest edge
+  // of a descendant after finitely many bisections). Cells are visited in
+  // id order and children are appended, so each sweep processes its own
+  // cascade and the result is a pure function of (mesh, marked).
+  for (int sweep = 0;; ++sweep) {
+    PROM_CHECK_MSG(sweep < 200, "refine_local: closure did not terminate");
+    bool progress = false;
+    for (idx c = 0; c < static_cast<idx>(cells.size()); ++c) {
+      if (!alive[c]) continue;
+      if (want[c] || has_hanging(c)) {
+        bisect(c);
+        progress = true;
+      }
+    }
+    if (!progress) break;
+  }
+
+  RefineResult out;
+  out.num_parent_vertices = nv_in;
+  out.vertex_parents = std::move(vertex_parents);
+  out.cell_changed.assign(static_cast<std::size_t>(n_in), 0);
+  for (idx c = 0; c < n_in; ++c) out.cell_changed[c] = alive[c] ? 0 : 1;
+
+  std::vector<idx> flat;
+  std::vector<idx> materials;
+  for (std::size_t c = 0; c < cells.size(); ++c) {
+    if (!alive[c]) continue;
+    for (int k = 0; k < 4; ++k) flat.push_back(cells[c][k]);
+    materials.push_back(mesh.material(ancestor[c]));
+    out.parent_cell.push_back(ancestor[c]);
+  }
+  out.mesh = Mesh(CellKind::kTet4, std::move(coords), std::move(flat),
+                  std::move(materials));
+  return out;
+}
+
+std::vector<idx> mark_fraction(std::span<const real> indicator,
+                               real fraction) {
+  const idx n = static_cast<idx>(indicator.size());
+  if (n == 0 || fraction <= 0) return {};
+  std::vector<idx> order(static_cast<std::size_t>(n));
+  for (idx i = 0; i < n; ++i) order[i] = i;
+  std::stable_sort(order.begin(), order.end(), [&](idx a, idx b) {
+    if (indicator[a] != indicator[b]) return indicator[a] > indicator[b];
+    return a < b;
+  });
+  const idx count = std::min<idx>(
+      n, std::max<idx>(1, static_cast<idx>(fraction * static_cast<real>(n) +
+                                           real{0.999999})));
+  order.resize(static_cast<std::size_t>(count));
+  std::sort(order.begin(), order.end());
+  return order;
+}
+
+bool is_conforming(const Mesh& mesh) {
+  PROM_CHECK(mesh.kind() == CellKind::kTet4);
+  constexpr std::array<std::array<int, 3>, 4> kFaces = {
+      {{0, 1, 2}, {0, 1, 3}, {0, 2, 3}, {1, 2, 3}}};
+  struct TripleHash {
+    std::size_t operator()(const std::array<idx, 3>& t) const {
+      std::uint64_t h = 1469598103934665603ull;
+      for (idx v : t) {
+        h ^= static_cast<std::uint64_t>(static_cast<std::uint32_t>(v));
+        h *= 1099511628211ull;
+      }
+      return static_cast<std::size_t>(h);
+    }
+  };
+  std::unordered_map<std::array<idx, 3>, int, TripleHash> face_count;
+  for (idx e = 0; e < mesh.num_cells(); ++e) {
+    const std::span<const idx> c = mesh.cell(e);
+    for (const auto& f : kFaces) {
+      std::array<idx, 3> t = {c[f[0]], c[f[1]], c[f[2]]};
+      std::sort(t.begin(), t.end());
+      if (++face_count[t] > 2) return false;
+    }
+  }
+  // Hanging-node check: a vertex sitting bitwise at the midpoint of a
+  // cell's edge means closure failed to split that cell (midpoints are
+  // computed as (a+b)/2 exactly, so the comparison is exact).
+  struct PosHash {
+    std::size_t operator()(const std::array<std::uint64_t, 3>& p) const {
+      std::uint64_t h = 1469598103934665603ull;
+      for (std::uint64_t v : p) {
+        h ^= v;
+        h *= 1099511628211ull;
+      }
+      return static_cast<std::size_t>(h);
+    }
+  };
+  const auto pos_key = [](const Vec3& p) {
+    return std::array<std::uint64_t, 3>{std::bit_cast<std::uint64_t>(p.x),
+                                        std::bit_cast<std::uint64_t>(p.y),
+                                        std::bit_cast<std::uint64_t>(p.z)};
+  };
+  std::unordered_map<std::array<std::uint64_t, 3>, idx, PosHash> at;
+  for (idx v = 0; v < mesh.num_vertices(); ++v) {
+    at.emplace(pos_key(mesh.coord(v)), v);
+  }
+  for (idx e = 0; e < mesh.num_cells(); ++e) {
+    const std::span<const idx> c = mesh.cell(e);
+    for (const auto& ed : kTetEdges) {
+      const Vec3 mid =
+          (mesh.coord(c[ed[0]]) + mesh.coord(c[ed[1]])) * real{0.5};
+      const auto it = at.find(pos_key(mid));
+      if (it != at.end() && it->second != c[ed[0]] &&
+          it->second != c[ed[1]]) {
+        return false;  // hanging vertex on this edge
+      }
+    }
+  }
+  return true;
+}
+
+}  // namespace prom::mesh

@@ -1,0 +1,74 @@
+// Adaptive local refinement of tetrahedral meshes: Rivara longest-edge
+// bisection with conformity closure (no hanging nodes) plus the Kuhn
+// 6-tet split that turns the structured hex model problems into the tet
+// meshes the bisection operates on. The refinement record (parent cells,
+// midpoint parent vertices) is exactly what mg::Hierarchy::build_refined
+// needs to form geometric prolongation between refinement levels.
+#pragma once
+
+#include <array>
+#include <span>
+#include <vector>
+
+#include "common/config.h"
+#include "mesh/mesh.h"
+
+namespace prom::mesh {
+
+/// Splits every hexahedron into 6 tetrahedra around the body diagonal
+/// v0-v6 (the Kuhn/Freudenthal triangulation). No vertices are added or
+/// reordered, so dof maps built on the hex mesh remain valid. For the
+/// structured-connectivity generators in mesh/generate.h (consistent VTK
+/// local ordering per cell) the shared-face diagonals of neighboring
+/// hexes coincide, so the result is conforming. Tet meshes pass through
+/// unchanged.
+Mesh hex_to_tet(const Mesh& mesh);
+
+/// What one refinement round produced, in terms the multigrid and
+/// partitioning layers consume.
+struct RefineResult {
+  Mesh mesh;  ///< the conforming refined mesh
+
+  /// For each cell of the refined mesh, the id of its ancestor cell in
+  /// the input mesh (the cell itself when it was not split).
+  std::vector<idx> parent_cell;
+
+  /// Vertex count of the input mesh. Vertices [0, num_parent_vertices)
+  /// of the refined mesh are the input vertices with unchanged ids;
+  /// vertices at and above it are edge midpoints created by this round.
+  idx num_parent_vertices = 0;
+
+  /// For each created vertex m (refined id m >= num_parent_vertices,
+  /// entry m - num_parent_vertices), the two endpoints of the bisected
+  /// edge. Both endpoint ids are strictly smaller than m — an endpoint
+  /// may itself be a midpoint created earlier in the same round (closure
+  /// cascades), so interpolation weights onto the input vertices compose
+  /// in increasing id order.
+  std::vector<std::array<idx, 2>> vertex_parents;
+
+  /// Per *input* cell: 1 when the cell was bisected this round.
+  std::vector<std::uint8_t> cell_changed;
+};
+
+/// Bisects the marked cells of a TET4 mesh by their longest edge and
+/// propagates (Rivara) until the mesh is conforming again: a bisection
+/// midpoint hanging on an edge of an unsplit neighbor forces that
+/// neighbor's (longest-edge) bisection too. Deterministic: ties in edge
+/// length break on the lexicographically smallest sorted vertex pair,
+/// and cells are processed in id order, so the output depends only on
+/// the input mesh and the marked set.
+RefineResult refine_local(const Mesh& mesh, std::span<const idx> marked);
+
+/// Marks the `fraction` of cells with the largest indicator values
+/// (fixed-fraction/Doerfler-style marking). Deterministic: sorts by
+/// (-indicator, cell id). Always marks at least one cell when the mesh
+/// is non-empty and fraction > 0.
+std::vector<idx> mark_fraction(std::span<const real> indicator,
+                               real fraction);
+
+/// Conformity check: every interior tet face is shared by exactly two
+/// cells and carries no hanging vertex (i.e. face multiset counts are 1
+/// or 2). Used by tests and debug assertions.
+bool is_conforming(const Mesh& mesh);
+
+}  // namespace prom::mesh

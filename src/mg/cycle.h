@@ -31,7 +31,18 @@ struct HierarchyCycleView {
   int pre_smooth() const { return h->options().pre_smooth; }
   int post_smooth() const { return h->options().post_smooth; }
   void smooth(int l, std::span<const real> b, std::span<real> x) const {
-    h->level(l).smoother->smooth(b, x);
+    const MgLevel& lv = h->level(l);
+    if (lv.smooth_rows.empty()) {
+      lv.smoother->smooth(b, x);
+      return;
+    }
+    // Local smoothing (adaptive refinement levels): run the configured
+    // smoother on a scratch copy and keep only the refined-region rows —
+    // identical update on those rows to the full sweep, identity
+    // elsewhere, for any smoother kind.
+    std::vector<real> tmp(x.begin(), x.end());
+    lv.smoother->smooth(b, tmp);
+    for (idx i : lv.smooth_rows) x[i] = tmp[i];
   }
   void apply_a(int l, std::span<const real> x, std::span<real> y) const {
     const MgLevel& lv = h->level(l);
@@ -54,7 +65,18 @@ struct HierarchyCycleView {
   // Column-blocked level operations (MultiCycleView); column j bitwise
   // equals the scalar operation on that column.
   void smooth_mv(int l, const la::MultiVec& b, la::MultiVec& x) const {
-    h->level(l).smoother->smooth_mv(b, x);
+    const MgLevel& lv = h->level(l);
+    if (lv.smooth_rows.empty()) {
+      lv.smoother->smooth_mv(b, x);
+      return;
+    }
+    la::MultiVec tmp = x;
+    lv.smoother->smooth_mv(b, tmp);
+    for (int j = 0; j < x.cols(); ++j) {
+      real* xj = x.col_data(j);
+      const real* tj = tmp.col_data(j);
+      for (idx i : lv.smooth_rows) xj[i] = tj[i];
+    }
   }
   void apply_a_mv(int l, const la::MultiVec& x, la::MultiVec& y) const {
     const MgLevel& lv = h->level(l);

@@ -1,8 +1,10 @@
 #include "mg/hierarchy.h"
 
+#include <algorithm>
 #include <cstdlib>
 #include <sstream>
 #include <string_view>
+#include <utility>
 
 #include "common/error.h"
 #include "common/log.h"
@@ -161,6 +163,198 @@ Hierarchy Hierarchy::build_grids_any(const mesh::Mesh& mesh, int ncomp,
     dof_free = std::move(coarse_dof_free);
   }
 
+  return h;
+}
+
+namespace {
+
+/// Free-dof list of a finalized dof map, plus the constraint flags the
+/// MIS chain continues from.
+template <typename AnyDofMap>
+std::vector<idx> free_list(const AnyDofMap& dm) {
+  return dm.free_dofs();
+}
+
+/// Vertex-weight restriction for one bisection round: n_coarse x n_fine,
+/// column f holding fine vertex f's interpolation weights on the coarse
+/// (pre-round) vertices. Surviving vertices inject; midpoints take half
+/// of each bisected-edge endpoint, composed through same-round midpoints
+/// in increasing id order (parents always have smaller ids).
+la::Csr refinement_restriction(const mesh::RefineResult& round,
+                               idx n_fine) {
+  const idx n_coarse = round.num_parent_vertices;
+  PROM_CHECK(n_fine ==
+             n_coarse + static_cast<idx>(round.vertex_parents.size()));
+  // weights[f]: sorted (coarse vertex, weight) pairs for fine vertex f.
+  std::vector<std::vector<std::pair<idx, real>>> weights(
+      static_cast<std::size_t>(n_fine));
+  for (idx f = 0; f < n_coarse; ++f) weights[f] = {{f, 1}};
+  for (idx m = n_coarse; m < n_fine; ++m) {
+    const auto& par = round.vertex_parents[m - n_coarse];
+    std::vector<std::pair<idx, real>> w;
+    for (idx p : {par[0], par[1]}) {
+      PROM_CHECK(p < m);
+      for (const auto& [cv, cw] : weights[p]) w.emplace_back(cv, cw / 2);
+    }
+    std::sort(w.begin(), w.end());
+    std::vector<std::pair<idx, real>> merged;
+    for (const auto& [cv, cw] : w) {
+      if (!merged.empty() && merged.back().first == cv) {
+        merged.back().second += cw;
+      } else {
+        merged.emplace_back(cv, cw);
+      }
+    }
+    weights[m] = std::move(merged);
+  }
+  // Transpose the per-column weights into CSR rows (coarse vertices).
+  std::vector<nnz_t> rowptr(static_cast<std::size_t>(n_coarse) + 1, 0);
+  for (idx f = 0; f < n_fine; ++f) {
+    for (const auto& [cv, cw] : weights[f]) rowptr[cv + 1]++;
+  }
+  for (idx i = 0; i < n_coarse; ++i) rowptr[i + 1] += rowptr[i];
+  la::Csr r;
+  r.nrows = n_coarse;
+  r.ncols = n_fine;
+  r.rowptr = rowptr;
+  r.colidx.resize(static_cast<std::size_t>(rowptr[n_coarse]));
+  r.vals.resize(static_cast<std::size_t>(rowptr[n_coarse]));
+  std::vector<nnz_t> cursor(rowptr.begin(), rowptr.end() - 1);
+  for (idx f = 0; f < n_fine; ++f) {
+    for (const auto& [cv, cw] : weights[f]) {
+      const nnz_t k = cursor[cv]++;
+      r.colidx[k] = f;
+      r.vals[k] = cw;
+    }
+  }
+  return r;
+}
+
+/// Free-dof rows (level-local) of the vertices touching the cells that
+/// `round` subdivided — the local-smoothing region of that level.
+std::vector<idx> refined_region_rows(const mesh::Mesh& mesh,
+                                     const mesh::RefineResult& round,
+                                     std::span<const idx> free,
+                                     int ncomp) {
+  std::vector<char> in_region(static_cast<std::size_t>(mesh.num_vertices()),
+                              0);
+  for (idx e = 0; e < mesh.num_cells(); ++e) {
+    if (!round.cell_changed[e]) continue;
+    for (idx v : mesh.cell(e)) in_region[v] = 1;
+  }
+  std::vector<idx> rows;
+  for (idx i = 0; i < static_cast<idx>(free.size()); ++i) {
+    if (in_region[free[i] / ncomp]) rows.push_back(i);
+  }
+  return rows;
+}
+
+}  // namespace
+
+Hierarchy Hierarchy::build_grids_refined(
+    const std::vector<const mesh::Mesh*>& meshes,
+    const std::vector<const fem::DofMap*>& dofmaps,
+    const std::vector<mesh::RefineResult>& rounds, la::Csr a_fine,
+    const MgOptions& opts) {
+  std::vector<std::vector<idx>> level_free;
+  for (const fem::DofMap* dm : dofmaps) level_free.push_back(free_list(*dm));
+  return build_grids_refined_any(meshes, rounds, std::move(level_free), 3,
+                                 std::move(a_fine), opts);
+}
+
+Hierarchy Hierarchy::build_grids_refined_scalar(
+    const std::vector<const mesh::Mesh*>& meshes,
+    const std::vector<const fem::ScalarDofMap*>& dofmaps,
+    const std::vector<mesh::RefineResult>& rounds, la::Csr a_fine,
+    const MgOptions& opts) {
+  std::vector<std::vector<idx>> level_free;
+  for (const fem::ScalarDofMap* dm : dofmaps) {
+    level_free.push_back(free_list(*dm));
+  }
+  return build_grids_refined_any(meshes, rounds, std::move(level_free), 1,
+                                 std::move(a_fine), opts);
+}
+
+Hierarchy Hierarchy::build_refined(
+    const std::vector<const mesh::Mesh*>& meshes,
+    const std::vector<const fem::DofMap*>& dofmaps,
+    const std::vector<mesh::RefineResult>& rounds, la::Csr a_fine,
+    const MgOptions& opts) {
+  Hierarchy h = build_grids_refined(meshes, dofmaps, rounds,
+                                    std::move(a_fine), opts);
+  h.build_operators();
+  return h;
+}
+
+Hierarchy Hierarchy::build_refined_scalar(
+    const std::vector<const mesh::Mesh*>& meshes,
+    const std::vector<const fem::ScalarDofMap*>& dofmaps,
+    const std::vector<mesh::RefineResult>& rounds, la::Csr a_fine,
+    const MgOptions& opts) {
+  Hierarchy h = build_grids_refined_scalar(meshes, dofmaps, rounds,
+                                           std::move(a_fine), opts);
+  h.build_operators();
+  return h;
+}
+
+Hierarchy Hierarchy::build_grids_refined_any(
+    const std::vector<const mesh::Mesh*>& meshes,
+    const std::vector<mesh::RefineResult>& rounds,
+    std::vector<std::vector<idx>> level_free, int ncomp, la::Csr a_fine,
+    const MgOptions& opts) {
+  const int R = static_cast<int>(rounds.size());
+  PROM_CHECK(static_cast<int>(meshes.size()) == R + 1);
+  PROM_CHECK(static_cast<int>(level_free.size()) == R + 1);
+  PROM_CHECK(R >= 1);
+  for (const mesh::Mesh* m : meshes) {
+    PROM_CHECK_MSG(m->kind() == mesh::CellKind::kTet4,
+                   "build_refined: refinement levels must be TET4 meshes");
+  }
+  PROM_CHECK(a_fine.nrows == static_cast<idx>(level_free[R].size()));
+
+  Hierarchy h;
+  h.opts_ = opts;
+  h.block_size_ = ncomp;
+
+  // Level 0: the finest refined mesh. Full smoothing — everything below
+  // defers its unrefined region here or to the MIS chain.
+  MgLevel fine;
+  fine.a = std::move(a_fine);
+  fine.num_vertices = meshes[R]->num_vertices();
+  fine.free_dofs = level_free[R];
+  h.levels_.push_back(std::move(fine));
+
+  // Refinement levels, finest first: level R - r is meshes[r].
+  for (int r = R - 1; r >= 0; --r) {
+    const obs::Span span("setup.refine_level", R - r);
+    const idx n_coarse = meshes[r]->num_vertices();
+    la::Csr r_vertex =
+        refinement_restriction(rounds[r], meshes[r + 1]->num_vertices());
+    MgLevel next;
+    next.r = coarsen::expand_restriction_to_dofs(
+        r_vertex, h.levels_.back().free_dofs, level_free[r], ncomp);
+    next.num_vertices = n_coarse;
+    next.free_dofs = level_free[r];
+    // Ownership chain for the distributed build: every coarse vertex IS
+    // fine vertex with the same id (bisection only appends midpoints).
+    next.selected_from_fine.resize(static_cast<std::size_t>(n_coarse));
+    for (idx v = 0; v < n_coarse; ++v) next.selected_from_fine[v] = v;
+    next.smooth_rows =
+        refined_region_rows(*meshes[r], rounds[r], level_free[r], ncomp);
+    h.levels_.push_back(std::move(next));
+  }
+
+  // MIS/Delaunay chain below the unrefined mesh: reuse the standard grid
+  // build on meshes[0] and splice its coarse levels in (its level 0
+  // duplicates the refinement-coarsest level above and is dropped).
+  std::vector<char> dof_free(
+      static_cast<std::size_t>(ncomp) * meshes[0]->num_vertices(), 0);
+  for (idx d : level_free[0]) dof_free[d] = 1;
+  Hierarchy mis = build_grids_any(*meshes[0], ncomp, std::move(dof_free),
+                                  level_free[0], la::Csr{}, opts);
+  for (std::size_t l = 1; l < mis.levels_.size(); ++l) {
+    h.levels_.push_back(std::move(mis.levels_[l]));
+  }
   return h;
 }
 

@@ -19,6 +19,7 @@
 #include "la/smoothers.h"
 #include "la/sparse_chol.h"
 #include "mesh/mesh.h"
+#include "mesh/refine.h"
 
 namespace prom::mg {
 
@@ -107,6 +108,13 @@ struct MgLevel {
   std::vector<idx> selected_from_fine;  ///< fine-level vertex of each vertex
   idx lost_vertices = 0;
   nnz_t graph_edges_removed = 0;
+
+  /// Local smoothing (adaptive refinement levels only): when non-empty,
+  /// smoothing on this level updates only these free-dof rows — the dofs
+  /// of the region the next refinement round subdivided — leaving the
+  /// rest of the level to the coarser grids (arXiv:1904.03317). Empty
+  /// means smooth everywhere (every non-refinement level).
+  std::vector<idx> smooth_rows;
 };
 
 class Hierarchy {
@@ -137,6 +145,43 @@ class Hierarchy {
                                       const fem::ScalarDofMap& dofmap,
                                       la::Csr a_fine,
                                       const MgOptions& opts = {});
+
+  /// Grids for an adaptively refined mesh family (mesh::refine_local):
+  /// `meshes[0]` is the unrefined tet mesh, `meshes.back()` the finest;
+  /// `rounds[r]` records the bisections taking meshes[r] to meshes[r+1];
+  /// `dofmaps[r]` holds meshes[r]'s constraints (finalized). The levels
+  /// are the refinement meshes finest-first — prolongation interpolates
+  /// midpoints from their bisected-edge endpoints, smoothing on each
+  /// refinement level is restricted to the region that round subdivided
+  /// (MgLevel::smooth_rows) — followed by the usual MIS/Delaunay chain
+  /// below meshes[0]. `a_fine` is the assembled operator on the finest
+  /// mesh's free dofs.
+  static Hierarchy build_grids_refined(
+      const std::vector<const mesh::Mesh*>& meshes,
+      const std::vector<const fem::DofMap*>& dofmaps,
+      const std::vector<mesh::RefineResult>& rounds, la::Csr a_fine,
+      const MgOptions& opts = {});
+
+  /// Scalar (block-size-1) counterpart of build_grids_refined.
+  static Hierarchy build_grids_refined_scalar(
+      const std::vector<const mesh::Mesh*>& meshes,
+      const std::vector<const fem::ScalarDofMap*>& dofmaps,
+      const std::vector<mesh::RefineResult>& rounds, la::Csr a_fine,
+      const MgOptions& opts = {});
+
+  /// build_grids_refined + Galerkin operators/smoothers (serial solves).
+  static Hierarchy build_refined(
+      const std::vector<const mesh::Mesh*>& meshes,
+      const std::vector<const fem::DofMap*>& dofmaps,
+      const std::vector<mesh::RefineResult>& rounds, la::Csr a_fine,
+      const MgOptions& opts = {});
+
+  /// build_grids_refined_scalar + operators (serial scalar solves).
+  static Hierarchy build_refined_scalar(
+      const std::vector<const mesh::Mesh*>& meshes,
+      const std::vector<const fem::ScalarDofMap*>& dofmaps,
+      const std::vector<mesh::RefineResult>& rounds, la::Csr a_fine,
+      const MgOptions& opts = {});
 
   /// Builds a hierarchy from an explicit operator/restriction chain
   /// (restrictions[l] maps level l free dofs -> level l+1); used by the
@@ -188,6 +233,11 @@ class Hierarchy {
                                    std::vector<char> dof_free,
                                    std::vector<idx> fine_free, la::Csr a_fine,
                                    const MgOptions& opts);
+  static Hierarchy build_grids_refined_any(
+      const std::vector<const mesh::Mesh*>& meshes,
+      const std::vector<mesh::RefineResult>& rounds,
+      std::vector<std::vector<idx>> level_free, int ncomp, la::Csr a_fine,
+      const MgOptions& opts);
   void build_operators();
 
   MgOptions opts_;

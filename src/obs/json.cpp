@@ -119,6 +119,45 @@ class Parser {
     }
   }
 
+  /// Four hex digits of a \uXXXX escape.
+  unsigned hex4() {
+    PROM_CHECK_MSG(pos_ + 4 <= text_.size(), "json: truncated \\u");
+    unsigned code = 0;
+    for (int i = 0; i < 4; ++i) {
+      const char h = take();
+      code <<= 4;
+      if (h >= '0' && h <= '9') {
+        code += static_cast<unsigned>(h - '0');
+      } else if (h >= 'a' && h <= 'f') {
+        code += static_cast<unsigned>(h - 'a' + 10);
+      } else if (h >= 'A' && h <= 'F') {
+        code += static_cast<unsigned>(h - 'A' + 10);
+      } else {
+        PROM_CHECK_MSG(false, "json: bad \\u escape");
+      }
+    }
+    return code;
+  }
+
+  /// UTF-8 encoding of one code point (<= 0x10FFFF by construction).
+  static void append_utf8(std::string& out, unsigned code) {
+    if (code < 0x80) {
+      out += static_cast<char>(code);
+    } else if (code < 0x800) {
+      out += static_cast<char>(0xC0 | (code >> 6));
+      out += static_cast<char>(0x80 | (code & 0x3F));
+    } else if (code < 0x10000) {
+      out += static_cast<char>(0xE0 | (code >> 12));
+      out += static_cast<char>(0x80 | ((code >> 6) & 0x3F));
+      out += static_cast<char>(0x80 | (code & 0x3F));
+    } else {
+      out += static_cast<char>(0xF0 | (code >> 18));
+      out += static_cast<char>(0x80 | ((code >> 12) & 0x3F));
+      out += static_cast<char>(0x80 | ((code >> 6) & 0x3F));
+      out += static_cast<char>(0x80 | (code & 0x3F));
+    }
+  }
+
   std::string string() {
     expect('"');
     std::string out;
@@ -152,23 +191,21 @@ class Parser {
           out += '\t';
           break;
         case 'u': {
-          PROM_CHECK_MSG(pos_ + 4 <= text_.size(), "json: truncated \\u");
-          unsigned code = 0;
-          for (int i = 0; i < 4; ++i) {
-            const char h = take();
-            code <<= 4;
-            if (h >= '0' && h <= '9') {
-              code += static_cast<unsigned>(h - '0');
-            } else if (h >= 'a' && h <= 'f') {
-              code += static_cast<unsigned>(h - 'a' + 10);
-            } else if (h >= 'A' && h <= 'F') {
-              code += static_cast<unsigned>(h - 'A' + 10);
-            } else {
-              PROM_CHECK_MSG(false, "json: bad \\u escape");
-            }
+          unsigned code = hex4();
+          if (code >= 0xD800 && code <= 0xDBFF) {
+            // High surrogate: the low half must follow as its own \uXXXX.
+            PROM_CHECK_MSG(pos_ + 2 <= text_.size() && take() == '\\' &&
+                               take() == 'u',
+                           "json: unpaired high surrogate");
+            const unsigned lo = hex4();
+            PROM_CHECK_MSG(lo >= 0xDC00 && lo <= 0xDFFF,
+                           "json: unpaired high surrogate");
+            code = 0x10000 + ((code - 0xD800) << 10) + (lo - 0xDC00);
+          } else {
+            PROM_CHECK_MSG(!(code >= 0xDC00 && code <= 0xDFFF),
+                           "json: unpaired low surrogate");
           }
-          PROM_CHECK_MSG(code < 0x80, "json: non-ASCII \\u unsupported");
-          out += static_cast<char>(code);
+          append_utf8(out, code);
           break;
         }
         default:
@@ -251,6 +288,29 @@ Value parse_file(const std::string& path) {
   while ((n = std::fread(buf, 1, sizeof buf, f)) > 0) text.append(buf, n);
   std::fclose(f);
   return Value::parse(text);
+}
+
+void escape_into(std::string& out, std::string_view s) {
+  for (const char c : s) {
+    if (c == '"' || c == '\\') {
+      out += '\\';
+      out += c;
+    } else if (static_cast<unsigned char>(c) < 0x20) {
+      char buf[8];
+      std::snprintf(buf, sizeof buf, "\\u%04x",
+                    static_cast<unsigned>(static_cast<unsigned char>(c)));
+      out += buf;
+    } else {
+      out += c;
+    }
+  }
+}
+
+std::string escaped(std::string_view s) {
+  std::string out;
+  out.reserve(s.size());
+  escape_into(out, s);
+  return out;
 }
 
 }  // namespace prom::obs::json

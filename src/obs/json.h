@@ -3,8 +3,8 @@
 // read their timings back out of the serialized report (so the schema the
 // CI artifacts carry is the schema the numbers came through), and the
 // tests round-trip `report.json` / the Chrome trace through it. Not a
-// general-purpose JSON library: no \uXXXX surrogate pairs, no comments,
-// numbers parsed as double.
+// general-purpose JSON library: no comments, numbers parsed as double.
+// \uXXXX escapes decode to UTF-8, including surrogate pairs.
 #pragma once
 
 #include <string>
@@ -57,5 +57,15 @@ class Value {
 
 /// Reads and parses a JSON file (throws prom::Error if unreadable).
 Value parse_file(const std::string& path);
+
+/// Appends `s` to `out` with JSON string escaping: quote, backslash, and
+/// control characters (\uXXXX); everything else — including non-ASCII
+/// UTF-8 bytes — passes through verbatim. The single escaper behind every
+/// obs writer (report.json, the Chrome trace), so adversarial span labels
+/// cannot break the documents.
+void escape_into(std::string& out, std::string_view s);
+
+/// Convenience: the escaped copy.
+std::string escaped(std::string_view s);
 
 }  // namespace prom::obs::json

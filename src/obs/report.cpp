@@ -46,7 +46,7 @@ void append_metrics(std::string& out, const char* key,
     const MetricEntry& e = entries[i];
     out += i == 0 ? "\n" : ",\n";
     char buf[64];
-    out += "    {\"name\": \"" + e.name + "\", \"level\": ";
+    out += "    {\"name\": \"" + json::escaped(e.name) + "\", \"level\": ";
     std::snprintf(buf, sizeof buf, "%d", e.level);
     out += buf;
     out += ", \"value\": ";
@@ -262,7 +262,7 @@ std::string Report::to_json() const {
   for (std::size_t i = 0; i < phases.size(); ++i) {
     const PhaseEntry& p = phases[i];
     out += i == 0 ? "\n" : ",\n";
-    out += "    {\"name\": \"" + p.name + "\", \"seconds\": ";
+    out += "    {\"name\": \"" + json::escaped(p.name) + "\", \"seconds\": ";
     append_number(out, p.seconds());
     out += ", \"host_seconds\": ";
     append_number(out, p.host_seconds);
@@ -287,7 +287,7 @@ std::string Report::to_json() const {
   for (std::size_t i = 0; i < components.size(); ++i) {
     const ComponentEntry& c = components[i];
     out += i == 0 ? "\n" : ",\n";
-    out += "    {\"name\": \"" + c.name + "\", \"level\": ";
+    out += "    {\"name\": \"" + json::escaped(c.name) + "\", \"level\": ";
     std::snprintf(buf, sizeof buf, "%d", c.level);
     out += buf;
     out += ", \"seconds\": ";
@@ -309,7 +309,7 @@ std::string Report::to_json() const {
   for (std::size_t i = 0; i < series.size(); ++i) {
     const SeriesEntry& s = series[i];
     out += i == 0 ? "\n" : ",\n";
-    out += "    {\"name\": \"" + s.name + "\", \"level\": ";
+    out += "    {\"name\": \"" + json::escaped(s.name) + "\", \"level\": ";
     std::snprintf(buf, sizeof buf, "%d", s.level);
     out += buf;
     out += ", \"values\": [";

@@ -9,6 +9,7 @@
 
 #include "common/error.h"
 #include "common/flops.h"
+#include "obs/json.h"
 
 namespace prom::obs {
 namespace detail {
@@ -80,22 +81,6 @@ struct EnvInit {
     }
   }
 } g_env_init;
-
-void json_escape_into(std::string& out, const char* s) {
-  for (; *s != '\0'; ++s) {
-    const char c = *s;
-    if (c == '"' || c == '\\') {
-      out += '\\';
-      out += c;
-    } else if (static_cast<unsigned char>(c) < 0x20) {
-      char buf[8];
-      std::snprintf(buf, sizeof buf, "\\u%04x", c);
-      out += buf;
-    } else {
-      out += c;
-    }
-  }
-}
 
 }  // namespace
 
@@ -223,7 +208,7 @@ void Tracer::write_chrome_trace(const std::string& path) const {
   for (const SpanRecord& s : spans) {
     comma();
     out += "{\"name\": \"";
-    json_escape_into(out, s.name);
+    json::escape_into(out, s.name);
     char buf[256];
     std::snprintf(
         buf, sizeof buf,

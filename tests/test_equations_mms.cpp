@@ -71,6 +71,7 @@ Exact trig_exact(real length) {
 struct Pde {
   real kappa = 1;           ///< isotropic diffusion coefficient
   Vec3 velocity{0, 0, 0};   ///< constant advection field (zero = Poisson)
+  real reaction = 0;        ///< constant reaction coefficient c
   bool supg = false;
 };
 
@@ -94,11 +95,16 @@ real mms_l2_error(const mesh::Mesh& mesh, const Exact& exact, const Pde& pde,
   if (!(vel == Vec3{})) {
     coeffs.velocity = [vel](idx, const Vec3&) { return vel; };
   }
+  const real c = pde.reaction;
+  if (c != 0) {
+    coeffs.reaction = [c](idx, const Vec3&) { return c; };
+  }
   coeffs.supg = pde.supg;
-  // f = -kappa lap(u) + v . grad(u), the strong residual of the exact
-  // solution.
-  coeffs.source = [kappa, vel, &exact](idx, const Vec3& x) {
-    return -kappa * exact.laplace(x) + dot(vel, exact.grad(x));
+  // f = -kappa lap(u) + v . grad(u) + c u, the strong residual of the
+  // exact solution.
+  coeffs.source = [kappa, vel, c, &exact](idx, const Vec3& x) {
+    return -kappa * exact.laplace(x) + dot(vel, exact.grad(x)) +
+           c * exact.u(x);
   };
 
   fem::ScalarSystem sys = fem::assemble_scalar_system(mesh, dm, coeffs);
@@ -162,10 +168,23 @@ struct RateCase {
   Pde pde;
 };
 
+TEST(EquationsMms, ReactionReproducesLinearExactly) {
+  // The mass term of a linear solution integrates exactly under both
+  // quadrature rules, so -lap(u) + c u = f keeps linears in the discrete
+  // kernel of the error.
+  const real err = mms_l2_error(unit_box(5), linear_exact(),
+                                {.kappa = 1.0, .reaction = 50.0},
+                                box_boundary(1));
+  EXPECT_LE(err, 1e-9);
+}
+
 TEST(EquationsMms, SecondOrderL2RatesOnBox) {
   const RateCase cases[] = {
       {"poisson_quadratic", quadratic_exact(), {.kappa = 1.0}},
       {"poisson_trig", trig_exact(1.0), {.kappa = 1.0}},
+      {"reaction_trig",
+       trig_exact(1.0),
+       {.kappa = 1.0, .reaction = 1e3}},  // reaction-dominated
       {"advdiff_quadratic",
        quadratic_exact(),
        {.kappa = 0.5, .velocity = {1.0, 0.5, 0.25}, .supg = true}},
@@ -183,8 +202,48 @@ TEST(EquationsMms, SecondOrderL2RatesOnBox) {
     const real rate = std::log2(e_coarse / e_fine);
     EXPECT_GE(rate, 1.8) << c.name << ": e(h)=" << e_coarse
                          << " e(h/2)=" << e_fine;
-    EXPECT_LE(rate, 2.8) << c.name << ": superconvergence artifact?";
+    // Reaction dominance pushes the discrete solution toward the L2
+    // projection, which superconverges at these coarse sizes (observed
+    // rate ~3 at n=4->8); the looser ceiling still catches an
+    // accidentally-exact manufactured solution.
+    const real ceiling = c.pde.reaction > 1 ? 3.5 : 2.8;
+    EXPECT_LE(rate, ceiling) << c.name << ": superconvergence artifact?";
   }
+}
+
+TEST(EquationsMms, ReactionFactoryConvergesAtSecondOrder) {
+  // The app factory's manufactured reaction problem end to end: assemble
+  // through ScalarCoefficients::reaction, solve through the scalar MG
+  // stack, and gate the L2 rate against u = sin(pi x)sin(pi y)sin(pi z).
+  const auto exact = [](const Vec3& x) {
+    return std::sin(M_PI * x.x) * std::sin(M_PI * x.y) * std::sin(M_PI * x.z);
+  };
+  real errs[2];
+  for (int step = 0; step < 2; ++step) {
+    const idx n = step == 0 ? 4 : 8;
+    const app::ModelProblem p = app::make_reaction_problem(n);
+    fem::ScalarSystem sys =
+        fem::assemble_scalar_system(p.mesh, p.scalar_dofmap, p.coeffs);
+    mg::MgOptions mo = app::default_mg_options(p.equation);
+    mo.coarsest_max_dofs = 100;
+    std::vector<real> rhs = std::move(sys.rhs);
+    const mg::Hierarchy h = mg::Hierarchy::build_scalar(
+        p.mesh, p.scalar_dofmap, std::move(sys.stiffness), mo);
+    mg::MgSolveOptions so;
+    so.rtol = 1e-11;
+    so.max_iters = 400;
+    so.krylov = app::default_krylov(p.equation);
+    std::vector<real> x(rhs.size(), 0);
+    const la::KrylovResult r = mg::mg_krylov_solve(h, rhs, x, so);
+    ASSERT_TRUE(r.converged);
+    const std::vector<real> full = p.scalar_dofmap.full_from_free(x);
+    errs[step] = fem::scalar_l2_error(p.mesh, full, exact);
+    ASSERT_GT(errs[step], 0);
+  }
+  const real rate = std::log2(errs[0] / errs[1]);
+  EXPECT_GE(rate, 1.8) << "e(h)=" << errs[0] << " e(h/2)=" << errs[1];
+  // Same reaction-dominated superconvergence allowance as the rate table.
+  EXPECT_LE(rate, 3.5);
 }
 
 TEST(EquationsMms, SecondOrderL2RateOnSphereMesh) {

@@ -1,5 +1,7 @@
 #include <gtest/gtest.h>
 
+#include <unistd.h>
+
 #include <cstdio>
 #include <set>
 
@@ -189,7 +191,9 @@ TEST(VerticesWhere, SelectsPredicateMatches) {
 
 TEST(Vtk, WritesReadableFile) {
   const Mesh m = box_hex(2, 2, 2, {0, 0, 0}, {1, 1, 1});
-  const std::string path = ::testing::TempDir() + "/prom_test.vtk";
+  // Pid suffix so concurrent test runs sharing TempDir don't clobber it.
+  const std::string path = ::testing::TempDir() + "/prom_test." +
+                           std::to_string(::getpid()) + ".vtk";
   std::vector<real> disp(static_cast<std::size_t>(m.num_vertices()) * 3, 0.5);
   VtkFields fields;
   fields.displacement = disp;

@@ -1,5 +1,7 @@
 #include <gtest/gtest.h>
 
+#include <unistd.h>
+
 #include <cstdio>
 
 #include "common/error.h"
@@ -10,8 +12,11 @@
 namespace prom::mesh {
 namespace {
 
+// Per-process temp path: ctest runs each registered test as its own process,
+// so the pid suffix keeps concurrent `ctest -j` invocations (and repeated
+// runs sharing TMPDIR) from clobbering each other's files.
 std::string temp_path(const std::string& name) {
-  return ::testing::TempDir() + "/" + name;
+  return ::testing::TempDir() + "/" + std::to_string(::getpid()) + "." + name;
 }
 
 void expect_meshes_equal(const Mesh& a, const Mesh& b) {

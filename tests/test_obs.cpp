@@ -69,6 +69,48 @@ TEST(ObsJson, RejectsMalformedDocuments) {
   EXPECT_THROW(obs::json::Value::parse("nul"), Error);
 }
 
+TEST(ObsJson, DecodesUnicodeEscapesToUtf8) {
+  // BMP code points: 1-, 2-, and 3-byte UTF-8.
+  EXPECT_EQ(obs::json::Value::parse("\"\\u0041\"").as_string(), "A");
+  EXPECT_EQ(obs::json::Value::parse("\"\\u00e9\"").as_string(),
+            "\xC3\xA9");  // e-acute
+  EXPECT_EQ(obs::json::Value::parse("\"\\u20ac\"").as_string(),
+            "\xE2\x82\xAC");  // euro sign
+  // Supplementary plane: the surrogate pair combines to one 4-byte
+  // sequence (U+1F600).
+  EXPECT_EQ(obs::json::Value::parse("\"\\ud83d\\ude00\"").as_string(),
+            "\xF0\x9F\x98\x80");
+  // Control characters as \u00XX escapes.
+  EXPECT_EQ(obs::json::Value::parse("\"\\u0001\\u001f\"").as_string(),
+            "\x01\x1F");
+
+  // Broken surrogates and truncated escapes are malformed, not silently
+  // passed through.
+  EXPECT_THROW(obs::json::Value::parse("\"\\ud83d\""), Error);
+  EXPECT_THROW(obs::json::Value::parse("\"\\ud83dx\""), Error);
+  EXPECT_THROW(obs::json::Value::parse("\"\\ud83d\\u0041\""), Error);
+  EXPECT_THROW(obs::json::Value::parse("\"\\ude00\""), Error);
+  EXPECT_THROW(obs::json::Value::parse("\"\\u12\""), Error);
+  EXPECT_THROW(obs::json::Value::parse("\"\\u12gz\""), Error);
+}
+
+TEST(ObsJson, EscapedRoundTripsAdversarialStrings) {
+  const std::string cases[] = {
+      "plain",
+      "quote \" backslash \\ slash /",
+      "newline\nreturn\rtab\t",
+      std::string("nul\0byte", 8),
+      "\x01\x02\x1F control run",
+      "non-ascii: émile \xE2\x82\xAC \xF0\x9F\x98\x80",
+      "looks like an escape: \\u0041 \\n",
+      "{\"json\": [\"inside\", 1]}",
+  };
+  for (const std::string& s : cases) {
+    const std::string doc = "\"" + obs::json::escaped(s) + "\"";
+    EXPECT_EQ(obs::json::Value::parse(doc).as_string(), s) << doc;
+  }
+}
+
 // ---- span recording -------------------------------------------------------
 
 /// A nested-span workload whose inner work runs through parallel_for.
@@ -318,6 +360,60 @@ TEST(ObsTrace, ChromeTraceFileMatchesSchema) {
   EXPECT_TRUE(saw_metadata);
   EXPECT_TRUE(saw_host);
   EXPECT_TRUE(saw_rank);
+}
+
+// ---- adversarial labels ---------------------------------------------------
+
+// Span and metric labels flow verbatim into report.json and the Chrome
+// trace; quotes, backslashes, control characters, and non-ASCII bytes in
+// a label must produce valid JSON documents whose strings round-trip
+// byte-for-byte (satellite of the shared json::escape_into fix).
+TEST(ObsReport, AdversarialLabelsSurviveJsonRoundTrip) {
+  const ScopedTracing tracing;
+  static const char kPhase[] = "phase.bad \"quote\" \\back\nline\x01";
+  static const char kComp[] = "comp \"x\"\t\\end\x1f\xC3\xA9";
+  static const char kCount[] = "count \"c\" \\\n\x02";
+  static const char kGauge[] = "gauge \"g\"\r\x03\xE2\x82\xAC";
+  static const char kSeries[] = "series \"s\"\\u0041\x04";
+  const std::int64_t mark = obs::Tracer::now_ns();
+  {
+    const obs::Span phase(kPhase);
+    const obs::Span comp(kComp, 1);
+  }
+  obs::counter_add(kCount, 2.0, 0);
+  obs::gauge_set(kGauge, 1.5);
+  obs::series_push(kSeries, 0.5);
+
+  const obs::Report rep = obs::build_report(mark);
+  const std::string json = rep.to_json();
+  // The document must parse despite the hostile labels...
+  const obs::Report back = obs::Report::from_json(json);
+  // ...and every label must round-trip byte-for-byte.
+  ASSERT_NE(back.phase(std::string(kPhase).substr(6)), nullptr);
+  ASSERT_NE(back.component(kComp, 1), nullptr);
+  EXPECT_DOUBLE_EQ(back.counter(kCount, 0), 2.0);
+  EXPECT_DOUBLE_EQ(back.gauge(kGauge), 1.5);
+  ASSERT_NE(back.find_series(kSeries), nullptr);
+  EXPECT_EQ(back.find_series(kSeries)->values, (std::vector<double>{0.5}));
+}
+
+TEST(ObsTrace, ChromeTraceSurvivesAdversarialSpanNames) {
+  const ScopedTracing tracing;
+  static const char kName[] = "test.bad \"quote\"\\slash\nline\x01\xC3\xA9";
+  {
+    const obs::Span span(kName, 2);
+  }
+  const std::string path = temp_path("test_obs_chrome_adversarial");
+  obs::Tracer::instance().write_chrome_trace(path);
+  const obs::json::Value doc = obs::json::parse_file(path);
+  std::remove(path.c_str());
+
+  bool found = false;
+  for (const obs::json::Value& e : doc.at("traceEvents").items()) {
+    if (e.at("ph").as_string() != "X") continue;
+    if (e.at("name").as_string() == kName) found = true;
+  }
+  EXPECT_TRUE(found) << "hostile span name must survive the trace writer";
 }
 
 // ---- bit-identity ---------------------------------------------------------

@@ -11,6 +11,7 @@
 #include <vector>
 
 #include "app/service.h"
+#include "common/error.h"
 #include "common/parallel.h"
 #include "dla/halo.h"
 #include "obs/report.h"
@@ -245,6 +246,129 @@ TEST(ServiceSolve, BlockedMatchesSingleUnderSyncHalo) {
   service.register_problem("box", make_box_problem(4));
   const idx n = service.acquire("box")->unknowns;
   check_blocked_matches_single(service, make_rhs_block(n, 3));
+}
+
+TEST(ServiceRefine, FingerprintSeparatesRefineRounds) {
+  SolveService service(small_config(2, mg::MatrixFormat::kCsr));
+  service.register_problem("box", make_box_problem(4));
+  const std::string base = service.fingerprint("box");
+  // Refinement shapes the grids, so it must be part of the cache key.
+  EXPECT_NE(base.find("|ref="), std::string::npos);
+  EXPECT_NE(base, service.fingerprint("box", 2));
+  EXPECT_NE(service.fingerprint("box", 1), service.fingerprint("box", 2));
+  // A request's default (-1) resolves to the config's refine_rounds.
+  {
+    ServiceConfig sc = small_config(2, mg::MatrixFormat::kCsr);
+    sc.refine_rounds = 2;
+    SolveService with_default(sc);
+    with_default.register_problem("box", make_box_problem(4));
+    EXPECT_EQ(with_default.fingerprint("box"),
+              with_default.fingerprint("box", 2));
+    EXPECT_EQ(with_default.fingerprint("box", 2),
+              service.fingerprint("box", 2));
+  }
+  // The marking fraction shapes which cells refine: distinct key too.
+  {
+    ServiceConfig sc = small_config(2, mg::MatrixFormat::kCsr);
+    sc.refine_fraction = 0.25;
+    SolveService other(sc);
+    other.register_problem("box", make_box_problem(4));
+    EXPECT_NE(service.fingerprint("box", 2), other.fingerprint("box", 2));
+  }
+}
+
+TEST(ServiceRefine, DistinctRoundsAreDistinctEntries) {
+  SolveService service(small_config(2, mg::MatrixFormat::kCsr));
+  service.register_problem("box", make_box_problem(4));
+
+  const EntryHandle plain = service.acquire("box");
+  const EntryHandle refined = service.acquire("box", 2);
+  EXPECT_EQ(service.cache_misses(), 2);
+  EXPECT_NE(plain.get(), refined.get());
+  EXPECT_EQ(service.cache_size(), 2u);
+  // Two bisection rounds grow the unknown count past the unrefined box.
+  EXPECT_GT(refined->unknowns, plain->unknowns);
+
+  // A request carrying refine_rounds hits the refined entry and solves on
+  // the refined free-dof space.
+  SolveRequest req;
+  req.mesh_id = "box";
+  req.refine_rounds = 2;
+  const SolveResponse resp = service.solve(req);
+  EXPECT_TRUE(resp.cache_hit);
+  ASSERT_EQ(resp.results.size(), 1u);
+  EXPECT_TRUE(resp.results[0].converged);
+  EXPECT_EQ(resp.solutions.rows(), refined->unknowns);
+}
+
+TEST(ServiceRefine, RefinedScalarSolveConverges) {
+  ServiceConfig sc = small_config(2, mg::MatrixFormat::kCsr);
+  sc.refine_rounds = 1;
+  SolveService service(sc);
+  service.register_problem("het", make_poisson_het_problem(4, 1e3));
+  SolveRequest req;
+  req.mesh_id = "het";
+  const SolveResponse resp = service.solve(req);
+  ASSERT_EQ(resp.results.size(), 1u);
+  EXPECT_TRUE(resp.results[0].converged);
+}
+
+TEST(ServiceRefine, EmitsImbalanceGauges) {
+  SolveService service(small_config(4, mg::MatrixFormat::kCsr));
+  service.register_problem("box", make_box_problem(4));
+
+  obs::Tracer& tracer = obs::Tracer::instance();
+  const bool was_tracing = obs::tracing();
+  tracer.set_enabled(true);
+  const std::int64_t mark = obs::Tracer::now_ns();
+  service.acquire("box", 2);
+  tracer.set_enabled(was_tracing);
+  const obs::Report rep = obs::build_report(mark);
+
+  EXPECT_NE(rep.phase("refine"), nullptr);
+  const double inherited = rep.gauge("refine.imbalance.inherited");
+  const double rebalanced = rep.gauge("refine.imbalance.rebalanced");
+  ASSERT_FALSE(std::isnan(inherited));
+  ASSERT_FALSE(std::isnan(rebalanced));
+  EXPECT_GE(inherited, 1.0);
+  // The acceptance bar: the fresh RCB cut stays within 1.2 of perfect.
+  EXPECT_GE(rebalanced, 1.0);
+  EXPECT_LE(rebalanced, 1.2);
+  EXPECT_LE(rebalanced, inherited + 1e-12);
+}
+
+TEST(ServiceRefine, ScalarRejectsNodeBlockFormats) {
+  // bsr3 and mf are built around the 3-dof node block; the scalar classes
+  // must be rejected at entry with a message naming the combination, not
+  // silently downgraded to CSR.
+  for (const mg::MatrixFormat format :
+       {mg::MatrixFormat::kBsr3, mg::MatrixFormat::kMf}) {
+    SCOPED_TRACE("format " + std::to_string(static_cast<int>(format)));
+    SolveService service(small_config(2, format));
+    service.register_problem("het", make_poisson_het_problem(4, 1e3));
+    service.register_problem("adv", make_advdiff_problem(4, 10.0));
+    EXPECT_THROW(service.acquire("het"), prom::Error);
+    EXPECT_THROW(service.acquire("adv"), prom::Error);
+    try {
+      service.acquire("het");
+      FAIL() << "scalar + non-CSR format must throw";
+    } catch (const prom::Error& e) {
+      const std::string what = e.what();
+      EXPECT_NE(what.find("scalar equation classes"), std::string::npos)
+          << what;
+      EXPECT_NE(what.find(format == mg::MatrixFormat::kBsr3 ? "bsr3" : "mf"),
+                std::string::npos)
+          << what;
+      EXPECT_NE(what.find("elasticity-only"), std::string::npos) << what;
+    }
+    // Elasticity keeps working in the same format.
+    service.register_problem("box", make_box_problem(4));
+    EXPECT_TRUE(service.solve({.mesh_id = "box"}).results[0].converged);
+  }
+  // The supported scalar configuration still solves.
+  SolveService csr(small_config(2, mg::MatrixFormat::kCsr));
+  csr.register_problem("het", make_poisson_het_problem(4, 1e3));
+  EXPECT_TRUE(csr.solve({.mesh_id = "het"}).results[0].converged);
 }
 
 TEST(ServiceSolve, ChunkingCoversWideBlocks) {
